@@ -1,0 +1,77 @@
+// Figure 6 — "Comparing the degradation under OA*-PE and OA*-SE for a mix
+// of PE and serial benchmark programs" (quad-core and 8-core).
+//
+// Five PE programs (PI, MMS, RA, MCM, EP-Par) mixed with NPB-SER serials +
+// art; OA*-SE ignores the parallel structure (Eq. 12), OA*-PE uses the
+// correct max-aggregation (Eq. 13). Both schedules are evaluated under the
+// true Eq. 13 objective, per benchmark program.
+#include <iostream>
+
+#include "astar/search.hpp"
+#include "core/builders.hpp"
+#include "harness/experiment.hpp"
+#include "workload/benchmark_catalog.hpp"
+
+using namespace cosched;
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  print_experiment_header(
+      "Figure 6 (ICPP'15)",
+      "OA*-PE vs OA*-SE average degradation, PE + serial mixes");
+  const std::int64_t pe_procs = args.get_int("pe-procs", 4);
+
+  for (std::uint32_t cores : {4u, 8u}) {
+    CatalogProblemSpec spec;
+    spec.cores = cores;
+    spec.trace_length =
+        static_cast<std::size_t>(args.get_int("trace", 50000));
+    // Paper: each parallel program runs 10 processes; that makes exact OA*
+    // instances large, so default to 4 per job on quad-core and 2 on
+    // 8-core (u = 8 grows the graph as C(n,8); --pe-procs scales both).
+    std::int32_t procs_here =
+        cores == 8 ? std::max<std::int64_t>(3, pe_procs * 3 / 4) : pe_procs;
+    for (const auto& name : pe_program_names())
+      spec.parallel_jobs.push_back(
+          {name, static_cast<std::int32_t>(procs_here), false});
+    spec.serial_programs = {"BT", "DC", "UA", "IS", "art"};
+    Problem p = build_catalog_problem(spec);
+
+    // Exact searches (condensation collapses the PE jobs' symmetric
+    // processes, keeping these instances small).
+    SearchOptions se;
+    se.aggregation = Aggregation::SumAllProcesses;
+    auto r_se = solve_oastar(p, se);
+    SearchOptions pe;
+    pe.dismiss = DismissPolicy::ParetoDominance;
+    auto r_pe = solve_oastar(p, pe);
+    if (!r_se.found || !r_pe.found) {
+      std::cerr << "search failed\n";
+      return 1;
+    }
+    auto ev_se = evaluate_solution(p, r_se.solution);
+    auto ev_pe = evaluate_solution(p, r_pe.solution);
+
+    TextTable table({"job", "kind", "OA*-PE", "OA*-SE"});
+    for (const Job& job : p.batch.jobs()) {
+      if (job.kind == JobKind::Imaginary) continue;
+      table.add_row({job.name, to_string(job.kind),
+                     TextTable::fmt(
+                         ev_pe.per_job[static_cast<std::size_t>(job.id)], 3),
+                     TextTable::fmt(
+                         ev_se.per_job[static_cast<std::size_t>(job.id)], 3)});
+    }
+    table.add_row({"AVG", "-", TextTable::fmt(ev_pe.average_per_job, 3),
+                   TextTable::fmt(ev_se.average_per_job, 3)});
+    std::cout << "\n--- " << cores << "-core machines ---\n"
+              << table.render();
+    Real gap = (ev_se.average_per_job - ev_pe.average_per_job) /
+               ev_pe.average_per_job * 100.0;
+    std::cout << "OA*-SE average is worse than OA*-PE by "
+              << TextTable::fmt(gap, 1)
+              << "% (paper: 31.9% quad / 34.8% 8-core)\n";
+    write_csv(args.get_string("out-dir", "results"),
+              "fig6_" + std::to_string(cores) + "core", table);
+  }
+  return 0;
+}

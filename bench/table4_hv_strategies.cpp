@@ -1,0 +1,71 @@
+// Table IV — "Comparison of the strategies for setting h(v)".
+//
+// Solving time and visited-path counts for OA* under Strategy 1 vs
+// Strategy 2, with O-SVP (h ≡ 0) as the reference, on 16/20/24 synthetic
+// serial jobs (quad-core). The paper's shape: Strategy 2 dominates by
+// orders of magnitude in both metrics.
+#include <iostream>
+
+#include "astar/search.hpp"
+#include "core/builders.hpp"
+#include "harness/experiment.hpp"
+#include "util/timer.hpp"
+
+using namespace cosched;
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  print_experiment_header(
+      "Table IV (ICPP'15)",
+      "h(v) Strategy 1 vs Strategy 2 vs O-SVP: time and visited paths");
+
+  TextTable table({"jobs", "S1 time(s)", "S2 time(s)", "O-SVP time(s)",
+                   "S1 paths", "S2 paths", "O-SVP paths"});
+  std::int64_t max_jobs = args.get_int("max-jobs", 24);
+  const Real point_limit = args.get_real("point-limit", 90.0);
+  for (std::int32_t jobs = 16; jobs <= max_jobs; jobs += 4) {
+    SyntheticProblemSpec spec;
+    spec.landscape = SyntheticLandscape::Smooth;  // the h(v)-pruning regime
+    spec.cores = 4;
+    spec.serial_jobs = jobs;
+    spec.seed = 4242 + static_cast<std::uint64_t>(jobs);
+    Problem p = build_synthetic_problem(spec);
+
+    auto run = [&](HeuristicKind h) {
+      SearchOptions opt;
+      opt.heuristic = h;
+      opt.time_limit_seconds = point_limit;
+      WallTimer t;
+      auto r = solve_oastar(p, opt);
+      return std::tuple{t.seconds(), r.stats.visited_paths, r.objective,
+                        r.found};
+    };
+    auto [t1, v1, o1, f1] = run(HeuristicKind::Strategy1);
+    auto [t2, v2, o2, f2] = run(HeuristicKind::Strategy2);
+    auto [t0, v0, o0, f0] = run(HeuristicKind::None);  // O-SVP
+    if (f1 && f2 && std::abs(o1 - o2) > 1e-9) {
+      std::cerr << "optimality mismatch across strategies\n";
+      return 1;
+    }
+    if (f0 && f2 && std::abs(o0 - o2) > 1e-9) {
+      std::cerr << "optimality mismatch across strategies\n";
+      return 1;
+    }
+    auto cell = [&](double secs, bool found) {
+      std::string c = TextTable::fmt(secs, 3);
+      if (!found) c += " (limit)";
+      return c;
+    };
+    table.add_row({TextTable::fmt_int(jobs), cell(t1, f1), cell(t2, f2),
+                   cell(t0, f0),
+                   TextTable::fmt_int(static_cast<std::int64_t>(v1)),
+                   TextTable::fmt_int(static_cast<std::int64_t>(v2)),
+                   TextTable::fmt_int(static_cast<std::int64_t>(v0))});
+  }
+  std::cout << table.render();
+  std::cout << "\nPaper shape (Table IV): Strategy 2 visits orders of "
+               "magnitude fewer paths\nthan Strategy 1, which in turn beats "
+               "O-SVP; same optimum everywhere.\n";
+  write_csv(args.get_string("out-dir", "results"), "table4", table);
+  return 0;
+}

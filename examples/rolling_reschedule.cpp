@@ -1,0 +1,53 @@
+// rolling_reschedule: the paper's future-work scenario in action — a
+// running placement drifts out of tune as the workload changes, and the
+// operator replans with an explicit price per VM migration.
+//
+// Demonstrates the migration extension: Hungarian alignment of a fresh
+// schedule to the running placement, and the degradation-vs-migrations
+// trade-off curve.
+#include <iostream>
+
+#include "baseline/random_schedule.hpp"
+#include "core/builders.hpp"
+#include "util/table.hpp"
+#include "vm/migration.hpp"
+
+int main() {
+  using namespace cosched;
+
+  // A 24-job synthetic fleet on quad-core hosts whose current placement
+  // was made without contention awareness (random).
+  SyntheticProblemSpec spec;
+  spec.cores = 4;
+  spec.serial_jobs = 24;
+  spec.seed = 2026;
+  Problem problem = build_synthetic_problem(spec);
+
+  Rng rng(7);
+  Solution current = solve_random(problem, rng);
+  Real current_obj = evaluate_solution(problem, current).total;
+  std::cout << "Running placement: total degradation "
+            << TextTable::fmt(current_obj) << " on "
+            << problem.machine_count() << " hosts\n\n";
+
+  TextTable table({"migration cost", "degradation", "migrations",
+                   "combined objective"});
+  for (Real cost : {0.0, 0.01, 0.05, 0.2, 1.0}) {
+    ReplanOptions opt;
+    opt.migration_cost = cost;
+    ReplanResult r = replan_with_migrations(problem, current, opt);
+    table.add_row({TextTable::fmt(cost, 2), TextTable::fmt(r.degradation),
+                   TextTable::fmt_int(r.migrations),
+                   TextTable::fmt(r.combined)});
+    if (r.combined > current_obj + 1e-9) {
+      std::cerr << "BUG: replanning made things worse\n";
+      return 1;
+    }
+  }
+  std::cout << table.render();
+  std::cout << "\nReading: cheap migrations buy most of the attainable "
+               "degradation\nreduction; as the per-move price rises the "
+               "replanner keeps more VMs in\nplace until it pins the "
+               "current placement entirely.\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+#include "astar/mer.hpp"
+
+#include <algorithm>
+
+#include "graph/node_enumerator.hpp"
+
+namespace cosched {
+
+MerResult compute_mer(const NodeEvaluator& eval, Solution solution) {
+  const Problem& problem = eval.problem();
+  const std::int32_t n = problem.n();
+  const std::int32_t u = problem.u();
+  solution.canonicalize();
+
+  MerResult result;
+  std::vector<bool> scheduled_before(static_cast<std::size_t>(n), false);
+  std::vector<Real> d_scratch;
+
+  for (const auto& path_node : solution.machines) {
+    const ProcessId lead = path_node[0];
+    const Real own_weight = eval.weight(path_node, d_scratch);
+
+    // Enumerate the whole level (all (u-1)-subsets of ids > lead, scheduled
+    // or not — the level is a static part of the graph).
+    std::vector<ProcessId> level_pool;
+    for (ProcessId p = lead + 1; p < n; ++p) level_pool.push_back(p);
+
+    // Rank = 1 + number of level nodes *strictly* cheaper: equal-weight
+    // nodes are interchangeable in a weight-sorted level, so the path node
+    // is credited with the first position of its tie class (a weight-aware
+    // HA* can always attempt it there). Strictness uses a small relative
+    // epsilon so float noise does not split tie classes.
+    std::int64_t cheaper = 0;
+    std::int64_t cheaper_invalid = 0;
+    const Real tie_eps =
+        1e-9 * std::max<Real>(1.0, std::abs(own_weight));
+    for_each_valid_node(
+        lead, level_pool, u, [&](std::span<const ProcessId> node) {
+          Real w = eval.weight(node, d_scratch);
+          bool before = w < own_weight - tie_eps;
+          if (before) {
+            ++cheaper;
+            for (ProcessId p : node) {
+              if (scheduled_before[static_cast<std::size_t>(p)]) {
+                ++cheaper_invalid;
+                break;
+              }
+            }
+          }
+          return true;
+        });
+
+    std::int32_t rank = static_cast<std::int32_t>(cheaper) + 1;
+    std::int32_t eff =
+        rank - static_cast<std::int32_t>(cheaper_invalid);
+    result.ranks.push_back(rank);
+    result.effective_ranks.push_back(eff);
+    result.mer = std::max(result.mer, eff);
+
+    for (ProcessId p : path_node)
+      scheduled_before[static_cast<std::size_t>(p)] = true;
+  }
+  return result;
+}
+
+}  // namespace cosched

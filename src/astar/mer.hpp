@@ -1,0 +1,31 @@
+// MER — Maximum Effective Rank of a shortest path (paper Section IV).
+//
+// For each node on the optimal path, its *rank* i is its position in its
+// graph level when the level is sorted ascending by node weight; j of the
+// i-1 cheaper nodes are invalid w.r.t. the processes scheduled by the path
+// prefix; the *effective rank* is i - j. MER is the maximum effective rank
+// over the path's nodes. The HA* trimming rests on the statistical
+// observation (Fig. 5) that MER rarely exceeds n/u.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/node_eval.hpp"
+#include "core/objective.hpp"
+
+namespace cosched {
+
+struct MerResult {
+  std::int32_t mer = 0;
+  std::vector<std::int32_t> effective_ranks;  ///< one per path node
+  std::vector<std::int32_t> ranks;            ///< raw ranks i
+};
+
+/// Computes MER for `solution` (one machine = one path node). The solution
+/// is canonicalized internally so machines appear in level order. The
+/// evaluation enumerates each node's graph level, so it is only feasible
+/// when C(n-1, u-1) is modest (the Fig. 5 scales).
+MerResult compute_mer(const NodeEvaluator& eval, Solution solution);
+
+}  // namespace cosched

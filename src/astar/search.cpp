@@ -1,0 +1,706 @@
+#include "astar/search.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "graph/condensation.hpp"
+#include "graph/level_stats.hpp"
+#include "util/combinatorics.hpp"
+#include "util/dynamic_bitset.hpp"
+#include "util/timer.hpp"
+
+namespace cosched {
+namespace {
+
+struct StateRec {
+  DynamicBitset scheduled;
+  Real g_serial = 0.0;        ///< summed part of the path distance
+  std::vector<Real> par_max;  ///< running max per parallel job (Eq. 13)
+  Real g = 0.0;               ///< g_serial + Σ par_max
+  std::int32_t parent = -1;
+  std::vector<ProcessId> via_node;  ///< node appended to reach this state
+  std::int32_t q = 0;               ///< processes scheduled
+  bool alive = true;                ///< false once superseded/dominated
+};
+
+struct HeapEntry {
+  Real f;
+  std::int32_t depth;  ///< processes scheduled; deeper first on equal f
+  std::int64_t seq;    ///< FIFO tie-break keeps runs deterministic
+  std::int32_t idx;
+  bool operator>(const HeapEntry& o) const {
+    if (f != o.f) return f > o.f;
+    if (depth != o.depth) return depth < o.depth;
+    return seq > o.seq;
+  }
+};
+
+class Engine {
+ public:
+  Engine(const Problem& problem, const SearchOptions& options)
+      : problem_(problem),
+        options_(options),
+        model_(options.use_comm_model ? *problem.full_model
+                                      : *problem.contention_model),
+        eval_(problem, model_),
+        n_(problem.n()),
+        u_(problem.u()),
+        num_parallel_(problem.batch.parallel_job_count()) {}
+
+  SearchResult run() {
+    SearchResult result;
+    WallTimer total_timer;
+
+    prepare_level_stats(result.stats);
+    condense_ = options_.condense && num_parallel_ > 0;
+    mer_cap_ = options_.mer_cap > 0 ? options_.mer_cap : (n_ + u_ - 1) / u_;
+    // HA* falls back to beam mode when only approximate level statistics
+    // exist (see SearchOptions::beam_width).
+    beam_mode_ = options_.beam_width > 0 ||
+                 (options_.heuristic_search && !level_stats_.exact() &&
+                  options_.heuristic != HeuristicKind::None);
+    beam_width_ =
+        options_.beam_width > 0 ? options_.beam_width : mer_cap_;
+
+    WallTimer search_timer;
+    // Root: nothing scheduled.
+    {
+      StateRec root;
+      root.scheduled = DynamicBitset(static_cast<std::size_t>(n_));
+      root.par_max.assign(static_cast<std::size_t>(num_parallel_), 0.0);
+      states_.push_back(std::move(root));
+      if (!beam_mode_) push_heap(0, /*h=*/full_h(states_[0]));
+      table_[states_[0].scheduled] = {0};
+    }
+
+    if (beam_mode_) {
+      run_beam(result, search_timer);
+      stats_.search_seconds = search_timer.seconds();
+      result.stats = stats_;
+      return result;
+    }
+
+    while (!heap_.empty()) {
+      if (limits_hit(search_timer)) {
+        result.timed_out = true;
+        break;
+      }
+      HeapEntry top = heap_.top();
+      heap_.pop();
+      // Stale entries: records superseded by a cheaper subpath over the
+      // same process set. Each record is pushed exactly once.
+      if (!states_[static_cast<std::size_t>(top.idx)].alive) continue;
+
+      if (states_[static_cast<std::size_t>(top.idx)].q == n_) {
+        reconstruct(top.idx, result);
+        break;
+      }
+      expand(top.idx);
+      ++stats_.expanded;
+    }
+
+    stats_.search_seconds = search_timer.seconds();
+    result.stats = stats_;
+    return result;
+  }
+
+ private:
+  void prepare_level_stats(SearchStats& out) {
+    if (options_.heuristic == HeuristicKind::None) return;
+    WallTimer timer;
+    std::uint64_t total = binomial(static_cast<std::uint64_t>(n_),
+                                   static_cast<std::uint64_t>(u_));
+    bool exact_ok = total <= options_.max_stats_nodes;
+    if (!exact_ok) {
+      // Approximate statistics are heuristic: acceptable for HA*, but OA*
+      // would silently lose its optimality guarantee — refuse instead.
+      COSCHED_EXPECTS(options_.heuristic_search &&
+                      options_.heuristic != HeuristicKind::Strategy1);
+      level_stats_ = LevelStats::build_approx(eval_, options_.h_weight_mode);
+    } else {
+      level_stats_ = LevelStats::build_exact(eval_, options_.h_weight_mode,
+                                             options_.max_stats_nodes);
+    }
+    stats_.precompute_seconds = timer.seconds();
+    out.precompute_seconds = stats_.precompute_seconds;
+  }
+
+  bool limits_hit(const WallTimer& timer) {
+    if (options_.max_expansions > 0 &&
+        stats_.expanded >= options_.max_expansions)
+      return true;
+    if (options_.time_limit_seconds > 0.0 &&
+        timer.seconds() > options_.time_limit_seconds)
+      return true;
+    return false;
+  }
+
+  /// Depth-synchronized beam search: expand the whole frontier one graph
+  /// level at a time, keep the `beam_width_` best (by g + h) distinct
+  /// states, repeat. Dismissal/condensation still apply within a depth.
+  void run_beam(SearchResult& result, const WallTimer& timer) {
+    std::vector<std::int32_t> frontier{0};
+    const std::int32_t depth_count = n_ / u_;
+    for (std::int32_t depth = 0; depth < depth_count; ++depth) {
+      beam_next_.clear();
+      for (std::int32_t idx : frontier) {
+        if (limits_hit(timer)) {
+          result.timed_out = true;
+          return;
+        }
+        expand(idx);
+        ++stats_.expanded;
+      }
+      // Two-stage selection. Stage 1: the cheap generation-time h ranks all
+      // successors; keep the best 3×width alive states. Stage 2: re-rank
+      // those few by g + a greedy-completion estimate — complement-pair the
+      // remaining pool (heaviest with lightest) and sum true machine
+      // weights — which discriminates partial schedules far better than
+      // any per-level bound, at a cost paid only for the shortlist.
+      std::sort(beam_next_.begin(), beam_next_.end(),
+                [](const std::pair<Real, std::int32_t>& a,
+                   const std::pair<Real, std::int32_t>& b) {
+                  if (a.first != b.first) return a.first < b.first;
+                  return a.second < b.second;
+                });
+      std::vector<std::pair<Real, std::int32_t>> shortlist;
+      for (const auto& [f, idx] : beam_next_) {
+        if (!states_[static_cast<std::size_t>(idx)].alive) continue;
+        shortlist.push_back({f, idx});
+        if (static_cast<std::int32_t>(shortlist.size()) >= 3 * beam_width_)
+          break;
+      }
+      for (auto& [score, idx] : shortlist) {
+        const StateRec& rec = states_[static_cast<std::size_t>(idx)];
+        score = rec.g + completion_estimate(rec);
+      }
+      std::sort(shortlist.begin(), shortlist.end(),
+                [](const std::pair<Real, std::int32_t>& a,
+                   const std::pair<Real, std::int32_t>& b) {
+                  if (a.first != b.first) return a.first < b.first;
+                  return a.second < b.second;
+                });
+      frontier.clear();
+      for (const auto& [score, idx] : shortlist) {
+        frontier.push_back(idx);
+        if (static_cast<std::int32_t>(frontier.size()) >= beam_width_)
+          break;
+      }
+      if (frontier.empty()) return;  // should not happen on valid inputs
+    }
+    // The frontier now holds complete schedules; pick the cheapest.
+    std::int32_t best = -1;
+    for (std::int32_t idx : frontier) {
+      const StateRec& rec = states_[static_cast<std::size_t>(idx)];
+      COSCHED_ENSURES(rec.q == n_);
+      if (best < 0 || rec.g < states_[static_cast<std::size_t>(best)].g)
+        best = idx;
+    }
+    if (best >= 0) reconstruct(best, result);
+  }
+
+  /// Greedy-completion estimate of a partial schedule: deal the unscheduled
+  /// pool across the remaining machines in serpentine order of pressure
+  /// (1..m, m..1, 1..m, ...) — which near-balances per-machine pressure for
+  /// any u — and sum the true machine weights. Ignores the level/lead
+  /// structure: it estimates cost, it does not build the actual path.
+  Real completion_estimate(const StateRec& rec) {
+    thread_local std::vector<ProcessId> pool;
+    pool.clear();
+    rec.scheduled.collect_clear(pool);
+    if (pool.empty()) return 0.0;
+    const std::size_t machines = pool.size() / static_cast<std::size_t>(u_);
+    if (machines == 0) return 0.0;
+    std::sort(pool.begin(), pool.end(), [&](ProcessId a, ProcessId b) {
+      Real pa = model_.pressure(a), pb = model_.pressure(b);
+      if (pa != pb) return pa > pb;
+      return a < b;
+    });
+    thread_local std::vector<std::vector<ProcessId>> deal;
+    deal.assign(machines, {});
+    std::size_t idx = 0;
+    bool forward = true;
+    for (ProcessId p : pool) {
+      deal[idx].push_back(p);
+      if (forward) {
+        if (idx + 1 == machines) forward = false;
+        else ++idx;
+      } else {
+        if (idx == 0) forward = true;
+        else --idx;
+      }
+    }
+    Real total = 0.0;
+    for (auto& machine : deal) {
+      std::sort(machine.begin(), machine.end());
+      total += eval_.weight(machine);
+    }
+    return total;
+  }
+
+  // h(v) for a freshly created state; used for the root (expansions compute
+  // h incrementally via the per-expansion caches below).
+  Real full_h(const StateRec& rec) {
+    std::int32_t remaining = n_ - rec.q;
+    if (remaining == 0 || options_.heuristic == HeuristicKind::None)
+      return 0.0;
+    std::int32_t k = remaining / u_;
+    std::vector<ProcessId> unscheduled;
+    rec.scheduled.collect_clear(unscheduled);
+    if (options_.heuristic == HeuristicKind::Strategy2)
+      return level_stats_.strategy2_h(unscheduled, k);
+    // Strategy 1 from the root: all levels qualify (level > -1).
+    return level_stats_.strategy1_h(-1, k);
+  }
+
+  void expand(std::int32_t idx) {
+    // Copy what we need: states_ may reallocate while pushing successors.
+    const DynamicBitset parent_set = states_[static_cast<std::size_t>(idx)].scheduled;
+    const Real parent_g_serial = states_[static_cast<std::size_t>(idx)].g_serial;
+    const std::vector<Real> parent_par_max =
+        states_[static_cast<std::size_t>(idx)].par_max;
+    const std::int32_t parent_q = states_[static_cast<std::size_t>(idx)].q;
+
+    const ProcessId lead =
+        static_cast<ProcessId>(parent_set.find_first_clear());
+    COSCHED_ENSURES(lead < n_);
+
+    // Unscheduled ids beyond the lead form the combination pool.
+    std::vector<ProcessId> pool;
+    pool.reserve(static_cast<std::size_t>(n_ - parent_q - 1));
+    for (std::size_t p = parent_set.find_next_clear(
+             static_cast<std::size_t>(lead) + 1);
+         p < static_cast<std::size_t>(n_);
+         p = parent_set.find_next_clear(p + 1))
+      pool.push_back(static_cast<ProcessId>(p));
+
+    const std::int32_t remaining_after = n_ - parent_q - u_;
+    const std::int32_t k_rem = remaining_after / u_;
+
+    // Per-expansion heuristic caches.
+    Real h1 = 0.0;
+    if (options_.heuristic == HeuristicKind::Strategy1 && remaining_after > 0)
+      h1 = level_stats_.strategy1_h(lead, k_rem);
+    std::vector<std::pair<Real, ProcessId>> s2_sorted;
+    if (options_.heuristic == HeuristicKind::Strategy2 &&
+        remaining_after > 0) {
+      s2_sorted.reserve(pool.size());
+      for (ProcessId p : pool) {
+        if (p + u_ > n_) continue;
+        Real w = level_stats_.min_level_weight(p);
+        if (w < kInfinity) s2_sorted.emplace_back(w, p);
+      }
+      std::sort(s2_sorted.begin(), s2_sorted.end());
+    }
+
+    // Beam-mode h: pool-average completion estimate. Strategy 1/2 sum the
+    // *cheapest* remaining level minima — an admissible bound that cannot
+    // penalize a successor for leaving all the heavy processes bunched at
+    // the tail. The beam instead estimates the remaining cost as
+    // k_rem × weight(representative machine), where the representative
+    // machine holds the u pool processes whose pressure is closest to the
+    // post-successor pool mean. Inadmissible, but the beam is heuristic
+    // anyway, and this is what makes it balance load end to end.
+    std::vector<ProcessId> pool_by_pressure;
+    Real pool_pressure_sum = 0.0;
+    if (beam_mode_ && remaining_after > 0) {
+      pool_by_pressure = pool;
+      std::sort(pool_by_pressure.begin(), pool_by_pressure.end(),
+                [&](ProcessId a, ProcessId b) {
+                  Real pa = model_.pressure(a), pb = model_.pressure(b);
+                  if (pa != pb) return pa < pb;
+                  return a < b;
+                });
+      for (ProcessId p : pool) pool_pressure_sum += model_.pressure(p);
+    }
+
+    auto beam_h = [&](std::span<const ProcessId> node) -> Real {
+      if (remaining_after == 0) return 0.0;
+      Real sum = pool_pressure_sum;
+      for (ProcessId m : node)
+        if (m != lead) sum -= model_.pressure(m);
+      const Real mean =
+          sum / static_cast<Real>(remaining_after);
+      // u pool processes with pressure nearest the mean, skipping the
+      // successor's members.
+      auto in_node = [&](ProcessId p) {
+        for (ProcessId m : node)
+          if (m == p) return true;
+        return false;
+      };
+      auto it = std::lower_bound(
+          pool_by_pressure.begin(), pool_by_pressure.end(), mean,
+          [&](ProcessId p, Real v) { return model_.pressure(p) < v; });
+      std::ptrdiff_t hi = it - pool_by_pressure.begin();
+      std::ptrdiff_t lo = hi - 1;
+      thread_local std::vector<ProcessId> rep;
+      rep.clear();
+      const auto size =
+          static_cast<std::ptrdiff_t>(pool_by_pressure.size());
+      while (static_cast<std::int32_t>(rep.size()) < u_ &&
+             (lo >= 0 || hi < size)) {
+        bool take_hi;
+        if (lo < 0) take_hi = true;
+        else if (hi >= size) take_hi = false;
+        else {
+          Real dlo = mean - model_.pressure(pool_by_pressure[
+                                static_cast<std::size_t>(lo)]);
+          Real dhi = model_.pressure(pool_by_pressure[
+                         static_cast<std::size_t>(hi)]) - mean;
+          take_hi = dhi < dlo;
+        }
+        ProcessId cand = take_hi
+                             ? pool_by_pressure[static_cast<std::size_t>(hi++)]
+                             : pool_by_pressure[static_cast<std::size_t>(lo--)];
+        if (!in_node(cand)) rep.push_back(cand);
+      }
+      if (rep.empty()) return 0.0;
+      std::sort(rep.begin(), rep.end());
+      return static_cast<Real>(k_rem) * eval_.weight(rep);
+    };
+
+    auto successor_h = [&](std::span<const ProcessId> node) -> Real {
+      if (remaining_after == 0) return 0.0;
+      if (beam_mode_) return beam_h(node);
+      switch (options_.heuristic) {
+        case HeuristicKind::None: return 0.0;
+        case HeuristicKind::Strategy1: return h1;
+        case HeuristicKind::Strategy2: {
+          // Sum the k_rem smallest level minima over ids unscheduled after
+          // taking `node` (walk the sorted cache, skipping node members).
+          Real h = 0.0;
+          std::int32_t taken = 0;
+          for (const auto& [w, p] : s2_sorted) {
+            bool in_node = false;
+            for (ProcessId m : node)
+              if (m == p) {
+                in_node = true;
+                break;
+              }
+            if (in_node) continue;
+            h += w;
+            if (++taken == k_rem) break;
+          }
+          return h;
+        }
+      }
+      return 0.0;
+    };
+
+    auto make_successor = [&](std::span<const ProcessId> node,
+                              const std::vector<Real>& member_d) {
+      ++stats_.generated;
+      Real g_serial = parent_g_serial;
+      thread_local std::vector<Real> par_max;
+      par_max = parent_par_max;
+      for (std::size_t m = 0; m < node.size(); ++m) {
+        ProcessId p = node[m];
+        std::int32_t pj =
+            options_.aggregation == Aggregation::MaxPerParallelJob
+                ? problem_.batch.parallel_index_of(p)
+                : -1;
+        if (pj >= 0) {
+          auto& mx = par_max[static_cast<std::size_t>(pj)];
+          if (member_d[m] > mx) mx = member_d[m];
+        } else {
+          g_serial += member_d[m];
+        }
+      }
+      Real g = g_serial;
+      for (Real mx : par_max) g += mx;
+
+      DynamicBitset set = parent_set;
+      for (ProcessId p : node) set.set(static_cast<std::size_t>(p));
+
+      if (!admit(set, g_serial, par_max, g)) {
+        ++stats_.dismissed;
+        return;
+      }
+
+      StateRec rec;
+      rec.scheduled = std::move(set);
+      rec.g_serial = g_serial;
+      rec.par_max = par_max;
+      rec.g = g;
+      rec.parent = idx;
+      rec.via_node.assign(node.begin(), node.end());
+      rec.q = parent_q + u_;
+      std::int32_t new_idx = static_cast<std::int32_t>(states_.size());
+      register_record(new_idx, rec);
+      Real h = successor_h(node);
+      states_.push_back(std::move(rec));
+      if (beam_mode_) {
+        beam_next_.push_back({g + h, new_idx});
+        ++stats_.visited_paths;
+      } else {
+        push_heap(new_idx, h);
+      }
+    };
+
+    std::unordered_set<CondensationKey, CondensationKeyHash> seen_keys;
+    auto condensed_duplicate = [&](std::span<const ProcessId> node) {
+      if (!condense_) return false;
+      CondensationKey key =
+          condensation_key(node, problem_.batch, problem_.topology.get());
+      if (!seen_keys.insert(std::move(key)).second) {
+        ++stats_.condensed_skips;
+        return true;
+      }
+      return false;
+    };
+
+    if (options_.heuristic_search) {
+      std::int32_t request = condense_ ? mer_cap_ * 2 : mer_cap_;
+      auto candidates =
+          k_best_valid_nodes(eval_, lead, pool, u_, request,
+                             options_.selection, options_.surrogate_overgen);
+      std::int32_t attempted = 0;
+      for (const auto& cand : candidates) {
+        if (condensed_duplicate(cand.node)) continue;
+        make_successor(cand.node, cand.member_d);
+        if (++attempted == mer_cap_) break;
+      }
+      if (u_ >= 2 &&
+          static_cast<std::int32_t>(pool.size()) >= u_ - 1) {
+        // Diversity candidates (all HA* modes): the k cheapest nodes above
+        // all pair the lead with light partners, so heavy processes would
+        // pile up in the tail machines — on threshold-shaped landscapes
+        // that costs tens of percent. The pressure-target family sweeps the
+        // whole spectrum of co-runner loads: variant j aims for a total
+        // partner pressure τ_j between "u-1 lightest" and "u-1 heaviest",
+        // picking, slot by slot, the unused process closest to the
+        // remaining per-slot budget. The search's f-ordering (or the
+        // beam's g+h ranking) arbitrates between the families.
+        if (pool_by_pressure.empty()) {
+          pool_by_pressure = pool;
+          std::sort(pool_by_pressure.begin(), pool_by_pressure.end(),
+                    [&](ProcessId a, ProcessId b) {
+                      Real pa = model_.pressure(a), pb = model_.pressure(b);
+                      if (pa != pb) return pa < pb;
+                      return a < b;
+                    });
+        }
+        const auto pool_size =
+            static_cast<std::int32_t>(pool_by_pressure.size());
+        std::vector<Real> pool_pressures(
+            static_cast<std::size_t>(pool_size));
+        for (std::int32_t t = 0; t < pool_size; ++t)
+          pool_pressures[static_cast<std::size_t>(t)] = model_.pressure(
+              pool_by_pressure[static_cast<std::size_t>(t)]);
+        Real lo_sum = 0.0, hi_sum = 0.0;
+        for (std::int32_t t = 0; t < u_ - 1; ++t) {
+          lo_sum += pool_pressures[static_cast<std::size_t>(t)];
+          hi_sum +=
+              pool_pressures[static_cast<std::size_t>(pool_size - 1 - t)];
+        }
+        std::vector<ProcessId> node;
+        std::vector<Real> d_scratch;
+        std::vector<bool> used(static_cast<std::size_t>(pool_size));
+        const std::int32_t variants = std::max<std::int32_t>(2, mer_cap_);
+        for (std::int32_t j = 0; j < variants; ++j) {
+          Real budget = lo_sum + (hi_sum - lo_sum) *
+                                     static_cast<Real>(j) /
+                                     static_cast<Real>(variants - 1);
+          std::fill(used.begin(), used.end(), false);
+          node.clear();
+          node.push_back(lead);
+          for (std::int32_t slot = 0; slot < u_ - 1; ++slot) {
+            Real desired = budget / static_cast<Real>(u_ - 1 - slot);
+            // Nearest unused pool process by pressure: binary search, then
+            // probe outward (used entries cluster little, so this is ~O(1)).
+            auto it = std::lower_bound(pool_pressures.begin(),
+                                       pool_pressures.end(), desired);
+            std::int32_t hi = static_cast<std::int32_t>(
+                it - pool_pressures.begin());
+            std::int32_t lo = hi - 1;
+            std::int32_t best = -1;
+            while (lo >= 0 || hi < pool_size) {
+              bool lo_ok = lo >= 0 && !used[static_cast<std::size_t>(lo)];
+              bool hi_ok =
+                  hi < pool_size && !used[static_cast<std::size_t>(hi)];
+              if (lo_ok && hi_ok) {
+                Real dlo = desired - pool_pressures[static_cast<std::size_t>(lo)];
+                Real dhi = pool_pressures[static_cast<std::size_t>(hi)] - desired;
+                best = dhi < dlo ? hi : lo;
+                break;
+              }
+              if (lo_ok) { best = lo; break; }
+              if (hi_ok) { best = hi; break; }
+              if (lo >= 0) --lo;
+              if (hi < pool_size) ++hi;
+            }
+            COSCHED_ENSURES(best >= 0);
+            used[static_cast<std::size_t>(best)] = true;
+            ProcessId chosen =
+                pool_by_pressure[static_cast<std::size_t>(best)];
+            node.push_back(chosen);
+            budget -= pool_pressures[static_cast<std::size_t>(best)];
+          }
+          std::sort(node.begin(), node.end());
+          if (condensed_duplicate(node)) continue;
+          eval_.weight(node, d_scratch);
+          make_successor(node, d_scratch);
+        }
+      }
+    } else {
+      // Generate successors in ascending node-weight order (the paper keeps
+      // levels weight-sorted). Correctness does not depend on the order,
+      // but on f-plateaus the FIFO tie-break then prefers cheap nodes, so
+      // the optimal path returned among co-optimal ones is the one a
+      // weight-sorted search finds — which the Fig. 5 MER statistics
+      // measure.
+      struct Cand {
+        std::vector<ProcessId> node;
+        std::vector<Real> d;
+        Real weight;
+      };
+      std::vector<Cand> cands;
+      std::vector<Real> d_scratch;
+      for_each_valid_node(lead, pool, u_,
+                          [&](std::span<const ProcessId> node) {
+                            if (condensed_duplicate(node)) return true;
+                            Real w = eval_.weight(node, d_scratch);
+                            cands.push_back(
+                                Cand{{node.begin(), node.end()},
+                                     d_scratch, w});
+                            return true;
+                          });
+      std::sort(cands.begin(), cands.end(),
+                [](const Cand& a, const Cand& b) {
+                  if (a.weight != b.weight) return a.weight < b.weight;
+                  return a.node < b.node;
+                });
+      for (const Cand& c : cands) make_successor(c.node, c.d);
+    }
+  }
+
+  /// Dismissal check. Returns true if the successor must be kept, in which
+  /// case any superseded/dominated records have been retired already.
+  bool admit(const DynamicBitset& set, Real g_serial,
+             const std::vector<Real>& par_max, Real g) {
+    auto it = table_.find(set);
+    if (it == table_.end()) return true;
+    auto& entries = it->second;
+    if (options_.dismiss == DismissPolicy::PaperMinDistance) {
+      COSCHED_ENSURES(entries.size() == 1);
+      StateRec& existing = states_[static_cast<std::size_t>(entries[0])];
+      if (g < existing.g) {
+        existing.alive = false;
+        return true;
+      }
+      return false;
+    }
+    // Pareto dominance over (g_serial, par_max...).
+    auto dominates = [](Real gs_a, const std::vector<Real>& pm_a, Real gs_b,
+                        const std::vector<Real>& pm_b) {
+      if (gs_a > gs_b) return false;
+      for (std::size_t j = 0; j < pm_a.size(); ++j)
+        if (pm_a[j] > pm_b[j]) return false;
+      return true;
+    };
+    for (std::int32_t e : entries) {
+      const StateRec& ex = states_[static_cast<std::size_t>(e)];
+      if (ex.alive &&
+          dominates(ex.g_serial, ex.par_max, g_serial, par_max))
+        return false;
+    }
+    for (std::int32_t e : entries) {
+      StateRec& ex = states_[static_cast<std::size_t>(e)];
+      if (ex.alive && dominates(g_serial, par_max, ex.g_serial, ex.par_max))
+        ex.alive = false;
+    }
+    (void)g;
+    return true;
+  }
+
+  /// Records the accepted successor in the dismissal table.
+  void register_record(std::int32_t new_idx, const StateRec& rec) {
+    auto& entries = table_[rec.scheduled];
+    if (options_.dismiss == DismissPolicy::PaperMinDistance) {
+      entries.assign(1, new_idx);
+    } else {
+      std::erase_if(entries, [&](std::int32_t e) {
+        return !states_[static_cast<std::size_t>(e)].alive;
+      });
+      entries.push_back(new_idx);
+    }
+  }
+
+  void push_heap(std::int32_t idx, Real h) {
+    heap_.push(HeapEntry{states_[static_cast<std::size_t>(idx)].g + h,
+                         states_[static_cast<std::size_t>(idx)].q, seq_++,
+                         idx});
+    ++stats_.visited_paths;
+  }
+
+  void reconstruct(std::int32_t idx, SearchResult& result) {
+    result.found = true;
+    result.objective = states_[static_cast<std::size_t>(idx)].g;
+    std::vector<std::vector<ProcessId>> machines;
+    for (std::int32_t cur = idx; cur >= 0;
+         cur = states_[static_cast<std::size_t>(cur)].parent) {
+      const auto& node = states_[static_cast<std::size_t>(cur)].via_node;
+      if (!node.empty()) machines.push_back(node);
+    }
+    std::reverse(machines.begin(), machines.end());
+    result.solution.machines = std::move(machines);
+    result.solution.canonicalize();
+  }
+
+  const Problem& problem_;
+  SearchOptions options_;
+  const DegradationModel& model_;
+  NodeEvaluator eval_;
+  const std::int32_t n_;
+  const std::int32_t u_;
+  const std::int32_t num_parallel_;
+
+  LevelStats level_stats_;
+  bool condense_ = false;
+  std::int32_t mer_cap_ = 0;
+  bool beam_mode_ = false;
+  std::int32_t beam_width_ = 0;
+  std::vector<std::pair<Real, std::int32_t>> beam_next_;
+
+  std::vector<StateRec> states_;
+  std::unordered_map<DynamicBitset, std::vector<std::int32_t>,
+                     DynamicBitsetHash>
+      table_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
+      heap_;
+  std::int64_t seq_ = 0;
+  SearchStats stats_;
+};
+
+}  // namespace
+
+CoScheduleSearch::CoScheduleSearch(const Problem& problem,
+                                   SearchOptions options)
+    : problem_(problem), options_(options) {
+  problem.check();
+}
+
+SearchResult CoScheduleSearch::run() {
+  Engine engine(problem_, options_);
+  return engine.run();
+}
+
+SearchResult solve_oastar(const Problem& problem, SearchOptions options) {
+  options.heuristic_search = false;
+  return CoScheduleSearch(problem, options).run();
+}
+
+SearchResult solve_hastar(const Problem& problem, SearchOptions options) {
+  options.heuristic_search = true;
+  return CoScheduleSearch(problem, options).run();
+}
+
+SearchResult solve_osvp(const Problem& problem, SearchOptions options) {
+  options.heuristic = HeuristicKind::None;
+  options.heuristic_search = false;
+  return CoScheduleSearch(problem, options).run();
+}
+
+}  // namespace cosched

@@ -1,0 +1,127 @@
+#include "baseline/brute_force.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "core/node_eval.hpp"
+#include "util/combinatorics.hpp"
+
+namespace cosched {
+namespace {
+
+class Enumerator {
+ public:
+  Enumerator(const Problem& problem, const DegradationModel& model,
+             Aggregation aggregation)
+      : problem_(problem),
+        batch_(problem.batch),
+        aggregation_(aggregation),
+        eval_(problem, model),
+        n_(problem.n()),
+        u_(problem.u()),
+        assigned_(static_cast<std::size_t>(n_), false),
+        par_max_(static_cast<std::size_t>(batch_.parallel_job_count()), 0.0) {}
+
+  BruteForceResult run() {
+    recurse(0.0);
+    result_.solution.canonicalize();
+    return result_;
+  }
+
+ private:
+  void recurse(Real g) {
+    if (g >= result_.objective) return;  // completing never decreases g
+    // Lowest unassigned process leads the next machine.
+    ProcessId lead = kInvalidProcess;
+    for (std::int32_t p = 0; p < n_; ++p)
+      if (!assigned_[static_cast<std::size_t>(p)]) {
+        lead = p;
+        break;
+      }
+    if (lead == kInvalidProcess) {
+      ++result_.partitions_examined;
+      if (g < result_.objective) {
+        result_.objective = g;
+        result_.solution.machines = current_;
+      }
+      return;
+    }
+    std::vector<ProcessId> pool;
+    for (std::int32_t p = lead + 1; p < n_; ++p)
+      if (!assigned_[static_cast<std::size_t>(p)]) pool.push_back(p);
+
+    std::vector<ProcessId> node(static_cast<std::size_t>(u_));
+    node[0] = lead;
+    std::vector<Real> d;
+    for_each_combination(
+        pool, static_cast<std::size_t>(u_ - 1),
+        [&](const std::vector<std::int32_t>& comb) {
+          for (std::size_t k = 0; k < comb.size(); ++k) node[k + 1] = comb[k];
+          eval_.weight(node, d);
+
+          Real delta = 0.0;
+          // Saved maxima to restore on backtrack.
+          std::array<std::pair<std::int32_t, Real>, 16> saved;
+          std::size_t num_saved = 0;
+          for (std::size_t k = 0; k < node.size(); ++k) {
+            std::int32_t pj =
+                aggregation_ == Aggregation::MaxPerParallelJob
+                    ? batch_.parallel_index_of(node[k])
+                    : -1;
+            if (pj < 0) {
+              delta += d[k];
+            } else {
+              Real& mx = par_max_[static_cast<std::size_t>(pj)];
+              if (d[k] > mx) {
+                saved[num_saved++] = {pj, mx};
+                delta += d[k] - mx;
+                mx = d[k];
+              }
+            }
+          }
+          for (ProcessId p : node) assigned_[static_cast<std::size_t>(p)] = true;
+          current_.push_back(node);
+
+          recurse(g + delta);
+
+          current_.pop_back();
+          for (ProcessId p : node)
+            assigned_[static_cast<std::size_t>(p)] = false;
+          // Restore in reverse: the same job may appear once per node only,
+          // so order is immaterial, but reverse is safest.
+          for (std::size_t s = num_saved; s > 0; --s)
+            par_max_[static_cast<std::size_t>(saved[s - 1].first)] =
+                saved[s - 1].second;
+          return true;
+        });
+  }
+
+  const Problem& problem_;
+  const JobBatch& batch_;
+  Aggregation aggregation_;
+  NodeEvaluator eval_;
+  const std::int32_t n_;
+  const std::int32_t u_;
+  std::vector<bool> assigned_;
+  std::vector<Real> par_max_;
+  std::vector<std::vector<ProcessId>> current_;
+  BruteForceResult result_;
+};
+
+}  // namespace
+
+BruteForceResult solve_brute_force(const Problem& problem,
+                                   const DegradationModel& model,
+                                   Aggregation aggregation) {
+  problem.check();
+  COSCHED_EXPECTS(problem.u() <= 16);
+  Enumerator e(problem, model, aggregation);
+  return e.run();
+}
+
+BruteForceResult solve_brute_force(const Problem& problem) {
+  return solve_brute_force(problem, *problem.full_model,
+                           Aggregation::MaxPerParallelJob);
+}
+
+}  // namespace cosched

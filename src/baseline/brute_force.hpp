@@ -1,0 +1,31 @@
+// Exhaustive optimal co-scheduler (test oracle).
+//
+// Enumerates every partition of the processes into u-sized machines in
+// canonical order (each new machine is led by the lowest unassigned
+// process), maintaining the exact Eq. 13 partial distance and pruning
+// branches that already reach the best known objective. Exponential — used
+// to validate OA* and the IP model on small instances, and as the
+// "guaranteed optimum" in unit tests.
+#pragma once
+
+#include <cstdint>
+
+#include "core/objective.hpp"
+#include "core/problem.hpp"
+
+namespace cosched {
+
+struct BruteForceResult {
+  Solution solution;
+  Real objective = kInfinity;
+  std::uint64_t partitions_examined = 0;  ///< complete partitions reached
+};
+
+BruteForceResult solve_brute_force(
+    const Problem& problem, const DegradationModel& model,
+    Aggregation aggregation = Aggregation::MaxPerParallelJob);
+
+/// Convenience: full model + Eq. 13 aggregation.
+BruteForceResult solve_brute_force(const Problem& problem);
+
+}  // namespace cosched

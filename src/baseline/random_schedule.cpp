@@ -1,0 +1,25 @@
+#include "baseline/random_schedule.hpp"
+
+#include <numeric>
+
+namespace cosched {
+
+Solution solve_random(const Problem& problem, Rng& rng) {
+  problem.check();
+  std::vector<ProcessId> perm(static_cast<std::size_t>(problem.n()));
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.shuffle(perm);
+
+  Solution s;
+  const std::int32_t u = problem.u();
+  for (std::int32_t j = 0; j < problem.machine_count(); ++j) {
+    std::vector<ProcessId> machine(
+        perm.begin() + static_cast<std::ptrdiff_t>(j) * u,
+        perm.begin() + static_cast<std::ptrdiff_t>(j + 1) * u);
+    s.machines.push_back(std::move(machine));
+  }
+  s.canonicalize();
+  return s;
+}
+
+}  // namespace cosched

@@ -1,0 +1,13 @@
+// Uniform random valid schedule — the naive baseline and the starting point
+// for local search.
+#pragma once
+
+#include "core/objective.hpp"
+#include "core/problem.hpp"
+#include "util/rng.hpp"
+
+namespace cosched {
+
+Solution solve_random(const Problem& problem, Rng& rng);
+
+}  // namespace cosched

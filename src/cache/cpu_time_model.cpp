@@ -1,0 +1,25 @@
+#include "cache/cpu_time_model.hpp"
+
+namespace cosched {
+
+Real cpu_time_seconds(const ProgramTiming& timing, Real misses,
+                      const MachineConfig& machine) {
+  COSCHED_EXPECTS(misses >= 0.0);
+  Real stall = misses * machine.miss_penalty_cycles;
+  return (timing.base_cycles + stall) * machine.clock_cycle_seconds();
+}
+
+Real degradation_from_misses(const ProgramTiming& timing, Real corun_misses,
+                             const MachineConfig& machine) {
+  Real solo_cycles =
+      timing.base_cycles + timing.solo_misses * machine.miss_penalty_cycles;
+  COSCHED_EXPECTS(solo_cycles > 0.0);
+  Real extra =
+      (corun_misses - timing.solo_misses) * machine.miss_penalty_cycles;
+  // Co-running never speeds a process up in this model; clamp tiny negative
+  // values that can arise from SDC granting a process more ways than it uses.
+  Real d = extra / solo_cycles;
+  return d > 0.0 ? d : 0.0;
+}
+
+}  // namespace cosched

@@ -1,0 +1,33 @@
+// CPU-time model, Eq. 14-15 of the paper (after Patterson & Hennessy):
+//
+//   CPU_Time          = (CPU_Clock_Cycle + Memory_Stall_Cycle) * Clock_Cycle_Time
+//   Memory_Stall_Cycle = Number_of_Misses * Miss_Penalty
+//
+// CPU_Clock_Cycle (the non-stall cycle count) and the solo miss count come
+// from the program's solo simulation; co-run miss counts come from the SDC
+// model. Degradation then follows from Eq. 1.
+#pragma once
+
+#include "cache/machine_config.hpp"
+#include "util/common.hpp"
+
+namespace cosched {
+
+/// Timing characterization of one program on one machine.
+struct ProgramTiming {
+  Real base_cycles = 0.0;   ///< CPU_Clock_Cycle: non-memory-stall cycles
+  Real solo_misses = 0.0;   ///< Number_of_Misses when running alone
+};
+
+/// Eq. 14: CPU time in seconds for a given miss count.
+Real cpu_time_seconds(const ProgramTiming& timing, Real misses,
+                      const MachineConfig& machine);
+
+/// Eq. 1 evaluated through Eq. 14-15:
+///   d = (t_corun - t_solo) / t_solo
+///     = penalty * (misses_corun - misses_solo) / (base + misses_solo*penalty)
+/// (Clock_Cycle_Time cancels.)
+Real degradation_from_misses(const ProgramTiming& timing, Real corun_misses,
+                             const MachineConfig& machine);
+
+}  // namespace cosched

@@ -1,0 +1,62 @@
+#include "cache/lru_cache_sim.hpp"
+
+namespace cosched {
+
+LruCacheSim::LruCacheSim(CacheConfig config) : config_(config) {
+  COSCHED_EXPECTS(config_.num_sets >= 1);
+  COSCHED_EXPECTS(config_.associativity >= 1);
+  ways_.assign(static_cast<std::size_t>(config_.num_sets) *
+                   config_.associativity,
+               kEmpty);
+}
+
+void LruCacheSim::reset() {
+  std::fill(ways_.begin(), ways_.end(), kEmpty);
+}
+
+std::uint32_t LruCacheSim::access(std::uint64_t line_addr) {
+  const std::uint32_t A = config_.associativity;
+  const std::uint64_t set = line_addr % config_.num_sets;
+  const std::uint64_t tag = line_addr / config_.num_sets;
+  std::uint64_t* w = &ways_[static_cast<std::size_t>(set) * A];
+
+  // Search MRU..LRU for the tag; on hit, its index+1 is the stack distance.
+  std::uint32_t pos = A;  // A == not found
+  for (std::uint32_t i = 0; i < A; ++i) {
+    if (w[i] == tag) {
+      pos = i;
+      break;
+    }
+  }
+  if (pos < A) {
+    // Hit at stack distance pos+1; rotate [0..pos] right to promote to MRU.
+    for (std::uint32_t i = pos; i > 0; --i) w[i] = w[i - 1];
+    w[0] = tag;
+    return pos + 1;
+  }
+  // Miss: evict LRU, shift right, install at MRU.
+  for (std::uint32_t i = A - 1; i > 0; --i) w[i] = w[i - 1];
+  w[0] = tag;
+  return 0;
+}
+
+CacheSimResult LruCacheSim::simulate(const CacheConfig& config,
+                                     const std::vector<std::uint64_t>& trace) {
+  LruCacheSim sim(config);
+  CacheSimResult result;
+  result.sdp = StackDistanceProfile(config.associativity);
+  result.accesses = trace.size();
+  for (std::uint64_t line : trace) {
+    std::uint32_t d = sim.access(line);
+    if (d == 0) {
+      result.sdp.record_miss();
+      ++result.misses;
+    } else {
+      result.sdp.record_hit(d);
+      ++result.hits;
+    }
+  }
+  return result;
+}
+
+}  // namespace cosched

@@ -1,0 +1,56 @@
+// Trace-driven set-associative LRU cache simulator with stack-distance
+// profiling.
+//
+// This replaces the paper's measurement stack (`perf` counters + gcc-slo
+// SDPs): we run a program's synthetic trace through the modelled shared
+// cache once, solo, collecting its SDP; the SDC model then predicts co-run
+// behaviour from the solo SDPs, exactly as in the paper's Section V.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/machine_config.hpp"
+#include "cache/stack_distance.hpp"
+
+namespace cosched {
+
+/// Result of one simulation run.
+struct CacheSimResult {
+  StackDistanceProfile sdp;   ///< per-access stack distances (A+1 buckets)
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+
+  Real miss_rate() const {
+    return accesses ? static_cast<Real>(misses) / static_cast<Real>(accesses)
+                    : 0.0;
+  }
+};
+
+/// A set-associative cache with true-LRU replacement.
+class LruCacheSim {
+ public:
+  explicit LruCacheSim(CacheConfig config);
+
+  /// Processes one line-granular access; returns the 1-based stack distance
+  /// on a hit, or 0 on a miss. The line is installed/promoted to MRU.
+  std::uint32_t access(std::uint64_t line_addr);
+
+  /// Resets cache contents (not the config).
+  void reset();
+
+  const CacheConfig& config() const { return config_; }
+
+  /// Runs a whole trace through a fresh cache, collecting the SDP.
+  static CacheSimResult simulate(const CacheConfig& config,
+                                 const std::vector<std::uint64_t>& trace);
+
+ private:
+  CacheConfig config_;
+  // ways_[set * A + way] = tag, ordered MRU..LRU. kEmpty marks an empty way.
+  static constexpr std::uint64_t kEmpty = ~0ULL;
+  std::vector<std::uint64_t> ways_;
+};
+
+}  // namespace cosched

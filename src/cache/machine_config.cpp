@@ -1,0 +1,50 @@
+#include "cache/machine_config.hpp"
+
+namespace cosched {
+
+MachineConfig dual_core_machine() {
+  MachineConfig m;
+  m.name = "dual-core (Core 2 Duo, 4MB 16-way shared L2)";
+  m.cores = 2;
+  m.shared_cache = CacheConfig{64, 16, 4096};  // 4 MB
+  m.clock_ghz = 2.4;
+  m.miss_penalty_cycles = 180;
+  return m;
+}
+
+MachineConfig quad_core_machine() {
+  MachineConfig m;
+  m.name = "quad-core (Core i7-2600, 8MB 16-way shared L3)";
+  m.cores = 4;
+  m.shared_cache = CacheConfig{64, 16, 8192};  // 8 MB
+  m.clock_ghz = 3.4;
+  m.miss_penalty_cycles = 220;
+  return m;
+}
+
+MachineConfig eight_core_machine() {
+  MachineConfig m;
+  m.name = "8-core (Xeon E5-2450L, 20MB 16-way shared L3)";
+  m.cores = 8;
+  m.shared_cache = CacheConfig{64, 16, 20480};  // 20 MB
+  m.clock_ghz = 1.8;
+  m.miss_penalty_cycles = 240;
+  return m;
+}
+
+MachineConfig machine_by_cores(std::uint32_t cores) {
+  switch (cores) {
+    case 2: return dual_core_machine();
+    case 4: return quad_core_machine();
+    case 8: return eight_core_machine();
+    default: {
+      // Generic machine interpolating the presets; used by tests and sweeps.
+      MachineConfig m = quad_core_machine();
+      m.name = "generic " + std::to_string(cores) + "-core";
+      m.cores = cores;
+      return m;
+    }
+  }
+}
+
+}  // namespace cosched

@@ -1,0 +1,55 @@
+// Machine models: core count, shared last-level cache geometry, and the
+// timing constants of the Eq. 14-15 CPU-time model.
+//
+// The paper evaluates on three machines; we model the shared cache each one
+// exposes to co-running processes (private L1/L2 levels do not participate in
+// inter-core contention and are folded into the base CPI of each program):
+//   * Dual-core  — Intel Core 2 Duo:   4 MB, 16-way shared L2
+//   * Quad-core  — Intel Core i7-2600: 8 MB, 16-way shared L3
+//   * 8-core     — Intel Xeon E5-2450L: 20 MB, 16-way shared L3
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/common.hpp"
+
+namespace cosched {
+
+/// Geometry of one (shared) cache level.
+struct CacheConfig {
+  std::uint32_t line_size = 64;     ///< bytes per cache line
+  std::uint32_t associativity = 16; ///< ways per set
+  std::uint32_t num_sets = 4096;    ///< sets
+
+  std::uint64_t size_bytes() const {
+    return static_cast<std::uint64_t>(line_size) * associativity * num_sets;
+  }
+  std::uint64_t size_lines() const {
+    return static_cast<std::uint64_t>(associativity) * num_sets;
+  }
+};
+
+/// A machine = u cores sharing one cache, plus timing constants.
+struct MachineConfig {
+  std::string name;
+  std::uint32_t cores = 4;       ///< u: processes co-scheduled per machine
+  CacheConfig shared_cache;
+  Real clock_ghz = 3.0;          ///< determines Clock_Cycle_Time (Eq. 14)
+  Real miss_penalty_cycles = 200;///< Miss_Penalty (Eq. 15)
+  /// Inter-machine bandwidth for PC jobs (Eq. 10), bytes/second. The paper
+  /// uses 10 GbE; effective ~1.1 GB/s.
+  Real network_bandwidth = 1.1e9;
+
+  Real clock_cycle_seconds() const { return 1e-9 / clock_ghz; }
+};
+
+/// The three machines of the paper's evaluation (Section V).
+MachineConfig dual_core_machine();
+MachineConfig quad_core_machine();
+MachineConfig eight_core_machine();
+
+/// Lookup by core count (2, 4 or 8).
+MachineConfig machine_by_cores(std::uint32_t cores);
+
+}  // namespace cosched

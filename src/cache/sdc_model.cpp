@@ -1,0 +1,54 @@
+#include "cache/sdc_model.hpp"
+
+namespace cosched {
+
+SdcAllocation sdc_compete(
+    const std::vector<const StackDistanceProfile*>& profiles) {
+  COSCHED_EXPECTS(!profiles.empty());
+  const std::uint32_t A = profiles[0]->associativity();
+  for (const auto* p : profiles) {
+    COSCHED_EXPECTS(p != nullptr);
+    COSCHED_EXPECTS(p->associativity() == A);
+  }
+
+  SdcAllocation alloc;
+  alloc.ways.assign(profiles.size(), 0);
+
+  // next_[i] = the stack position profile i competes with next (1-based).
+  // Ties go to the process currently holding fewer ways (then the lower
+  // index), so identical profiles split the cache evenly.
+  std::vector<std::uint32_t> next(profiles.size(), 1);
+  for (std::uint32_t step = 0; step < A; ++step) {
+    std::size_t winner = 0;
+    Real best = -1.0;
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+      Real contender =
+          next[i] <= A ? profiles[i]->hits_at(next[i]) : 0.0;
+      if (contender > best ||
+          (contender == best && alloc.ways[i] < alloc.ways[winner])) {
+        best = contender;
+        winner = i;
+      }
+    }
+    ++alloc.ways[winner];
+    if (next[winner] <= A) ++next[winner];
+  }
+  return alloc;
+}
+
+Real sdc_corun_misses(const StackDistanceProfile& profile,
+                      std::uint32_t ways) {
+  return profile.misses() + profile.hits_beyond(ways);
+}
+
+std::vector<Real> sdc_predict_misses(
+    const std::vector<const StackDistanceProfile*>& profiles) {
+  SdcAllocation alloc = sdc_compete(profiles);
+  std::vector<Real> misses;
+  misses.reserve(profiles.size());
+  for (std::size_t i = 0; i < profiles.size(); ++i)
+    misses.push_back(sdc_corun_misses(*profiles[i], alloc.ways[i]));
+  return misses;
+}
+
+}  // namespace cosched

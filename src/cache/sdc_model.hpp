@@ -1,0 +1,38 @@
+// SDC — Stack Distance Competition (Chandra, Guo, Kim, Solihin; HPCA'05).
+//
+// Predicts how co-running processes share a cache of associativity A from
+// their *solo* stack distance profiles. The model merges the individual
+// profiles position by position: at each of the A merge steps the process
+// with the highest hit count at its next unclaimed stack position wins one
+// way. A process that ends up with e_i ways re-classifies its solo hits at
+// stack distance > e_i as misses. This is exactly the predictor the paper
+// uses to synthesize co-run execution times (Section V).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/stack_distance.hpp"
+
+namespace cosched {
+
+/// Outcome of the competition: one effective way count per input profile.
+struct SdcAllocation {
+  std::vector<std::uint32_t> ways;  // Σ ways == associativity
+};
+
+/// Runs the SDC merge over `profiles` (all must share the same
+/// associativity A). Deterministic: ties go to the earlier profile.
+SdcAllocation sdc_compete(
+    const std::vector<const StackDistanceProfile*>& profiles);
+
+/// Predicted co-run miss count for a process granted `ways` effective ways:
+/// its solo misses plus its solo hits at stack distance > ways.
+Real sdc_corun_misses(const StackDistanceProfile& profile,
+                      std::uint32_t ways);
+
+/// Convenience: competition + per-process predicted co-run misses.
+std::vector<Real> sdc_predict_misses(
+    const std::vector<const StackDistanceProfile*>& profiles);
+
+}  // namespace cosched

@@ -1,0 +1,52 @@
+#include "cache/stack_distance.hpp"
+
+#include <sstream>
+
+namespace cosched {
+
+StackDistanceProfile::StackDistanceProfile(std::uint32_t associativity)
+    : hits_(associativity, 0.0) {
+  COSCHED_EXPECTS(associativity >= 1);
+}
+
+StackDistanceProfile::StackDistanceProfile(std::vector<Real> hits_per_distance,
+                                           Real misses)
+    : hits_(std::move(hits_per_distance)), misses_(misses) {
+  COSCHED_EXPECTS(!hits_.empty());
+  COSCHED_EXPECTS(misses_ >= 0.0);
+  for (Real h : hits_) COSCHED_EXPECTS(h >= 0.0);
+}
+
+Real StackDistanceProfile::total_hits() const {
+  Real s = 0.0;
+  for (Real h : hits_) s += h;
+  return s;
+}
+
+Real StackDistanceProfile::miss_rate() const {
+  Real total = total_accesses();
+  return total > 0.0 ? misses_ / total : 0.0;
+}
+
+Real StackDistanceProfile::hits_beyond(std::uint32_t ways) const {
+  Real s = 0.0;
+  for (std::uint32_t d = ways + 1; d <= hits_.size(); ++d) s += hits_[d - 1];
+  return s;
+}
+
+StackDistanceProfile StackDistanceProfile::scaled(Real factor) const {
+  COSCHED_EXPECTS(factor >= 0.0);
+  StackDistanceProfile out(*this);
+  for (Real& h : out.hits_) h *= factor;
+  out.misses_ *= factor;
+  return out;
+}
+
+std::string StackDistanceProfile::summary() const {
+  std::ostringstream os;
+  os << "SDP(A=" << associativity() << ", hits=" << total_hits()
+     << ", misses=" << misses_ << ", miss_rate=" << miss_rate() << ")";
+  return os.str();
+}
+
+}  // namespace cosched

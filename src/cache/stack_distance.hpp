@@ -1,0 +1,69 @@
+// Stack Distance Profiles (SDPs).
+//
+// For a set-associative LRU cache of associativity A, the stack distance of
+// an access is the LRU-stack position (1-based) of the accessed line within
+// its set; accesses to lines deeper than A (or not resident) are misses.
+// An SDP is the histogram C_1..C_A of hits per stack position plus the miss
+// counter C_{>A}. The paper obtains SDPs with the gcc-slo compiler suite and
+// feeds them to the SDC model of Chandra et al.; we obtain them from our own
+// cache simulator (see lru_cache_sim.hpp) or synthesize them directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace cosched {
+
+class StackDistanceProfile {
+ public:
+  StackDistanceProfile() = default;
+
+  /// Creates an all-zero profile for associativity A.
+  explicit StackDistanceProfile(std::uint32_t associativity);
+
+  /// Builds a profile from explicit hit counters (size = A) and misses.
+  StackDistanceProfile(std::vector<Real> hits_per_distance, Real misses);
+
+  std::uint32_t associativity() const {
+    return static_cast<std::uint32_t>(hits_.size());
+  }
+
+  /// Hits with stack distance exactly d (1-based, 1 <= d <= A).
+  Real hits_at(std::uint32_t d) const {
+    COSCHED_EXPECTS(d >= 1 && d <= hits_.size());
+    return hits_[d - 1];
+  }
+
+  void record_hit(std::uint32_t d) {
+    COSCHED_EXPECTS(d >= 1 && d <= hits_.size());
+    hits_[d - 1] += 1.0;
+  }
+  void record_miss() { misses_ += 1.0; }
+
+  Real total_hits() const;
+  Real misses() const { return misses_; }
+  Real total_accesses() const { return total_hits() + misses_; }
+
+  /// misses / accesses; 0 for an empty profile.
+  Real miss_rate() const;
+
+  /// Hits that would become misses if the process only kept `ways` ways of
+  /// the cache: sum of hits at stack distance > ways (Chandra's reallocation
+  /// rule). ways may be 0 (all hits lost).
+  Real hits_beyond(std::uint32_t ways) const;
+
+  /// Multiplies every counter by `factor` (used to normalize profiles of
+  /// programs with different trace lengths to a common time base).
+  StackDistanceProfile scaled(Real factor) const;
+
+  std::string summary() const;
+
+ private:
+  std::vector<Real> hits_;  // hits_[d-1] = hits at stack distance d
+  Real misses_ = 0.0;
+};
+
+}  // namespace cosched

@@ -1,0 +1,52 @@
+#include "cache/trace_gen.hpp"
+
+namespace cosched {
+
+TraceGenerator::TraceGenerator(LocalitySpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)), rng_(seed) {
+  COSCHED_EXPECTS(!spec_.regions.empty() || spec_.streaming_prob > 0.0);
+  COSCHED_EXPECTS(spec_.streaming_prob >= 0.0 && spec_.streaming_prob <= 1.0);
+  // Lay regions out in disjoint address ranges, separated by guard gaps so
+  // distinct regions never alias to the same lines.
+  std::uint64_t base = 0;
+  for (const auto& r : spec_.regions) {
+    COSCHED_EXPECTS(r.size_lines > 0);
+    COSCHED_EXPECTS(r.weight >= 0.0);
+    COSCHED_EXPECTS(r.stride_lines > 0);
+    COSCHED_EXPECTS(r.jump_prob >= 0.0 && r.jump_prob <= 1.0);
+    base_.push_back(base);
+    cursor_.push_back(0);
+    base += r.size_lines + 64;  // guard gap
+    total_weight_ += r.weight;
+    cumulative_weight_.push_back(total_weight_);
+  }
+  streaming_base_ = base + (1ULL << 40);  // far away from every region
+}
+
+std::uint64_t TraceGenerator::next_line() {
+  if (spec_.streaming_prob > 0.0 && rng_.uniform01() < spec_.streaming_prob) {
+    return streaming_base_ + streaming_next_++;
+  }
+  COSCHED_ENSURES(total_weight_ > 0.0);
+  // Pick a region by weight.
+  Real pick = rng_.uniform01() * total_weight_;
+  std::size_t ri = 0;
+  while (ri + 1 < cumulative_weight_.size() && pick > cumulative_weight_[ri])
+    ++ri;
+  const auto& r = spec_.regions[ri];
+  if (r.jump_prob > 0.0 && rng_.uniform01() < r.jump_prob) {
+    cursor_[ri] = rng_.uniform(r.size_lines);
+  } else {
+    cursor_[ri] = (cursor_[ri] + r.stride_lines) % r.size_lines;
+  }
+  return base_[ri] + cursor_[ri];
+}
+
+std::vector<std::uint64_t> TraceGenerator::generate(std::size_t n) {
+  std::vector<std::uint64_t> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(next_line());
+  return out;
+}
+
+}  // namespace cosched

@@ -1,0 +1,63 @@
+// Synthetic memory-trace generation.
+//
+// The paper profiles real NPB/SPEC programs; we stand in for them with a
+// parametric locality model (see DESIGN.md "Substitutions"). A program is a
+// mixture of *regions* — address ranges walked with a stride — plus a random
+// far-miss component. Small hot regions produce low-stack-distance hits
+// (cache-friendly programs such as EP/PI); regions larger than the shared
+// cache produce high miss rates (memory-intensive programs such as RA/art).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+#include "util/rng.hpp"
+
+namespace cosched {
+
+/// One region of a program's locality mixture.
+struct LocalityRegion {
+  /// Size of the region in cache lines.
+  std::uint64_t size_lines = 1024;
+  /// Relative probability of the next access landing in this region.
+  Real weight = 1.0;
+  /// Stride in lines for the sequential walk inside the region.
+  std::uint64_t stride_lines = 1;
+  /// Probability of a random jump within the region instead of the walk.
+  Real jump_prob = 0.0;
+};
+
+/// Locality model of one program.
+struct LocalitySpec {
+  std::vector<LocalityRegion> regions;
+  /// Probability of an access going to a fresh, never-reused line
+  /// (compulsory-miss stream, models streaming writes / huge footprints).
+  Real streaming_prob = 0.0;
+};
+
+/// Generates a line-granular address trace for a LocalitySpec.
+class TraceGenerator {
+ public:
+  /// `seed` makes the trace reproducible.
+  TraceGenerator(LocalitySpec spec, std::uint64_t seed);
+
+  /// Next accessed line address (already divided by line size).
+  std::uint64_t next_line();
+
+  /// Generates `n` accesses into a fresh vector.
+  std::vector<std::uint64_t> generate(std::size_t n);
+
+ private:
+  LocalitySpec spec_;
+  Rng rng_;
+  std::vector<std::uint64_t> cursor_;      // per-region walk position
+  std::vector<std::uint64_t> base_;        // per-region base line address
+  std::vector<Real> cumulative_weight_;
+  Real total_weight_ = 0.0;
+  std::uint64_t streaming_next_ = 0;       // fresh-line counter
+  std::uint64_t streaming_base_ = 0;
+};
+
+}  // namespace cosched

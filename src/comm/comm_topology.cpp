@@ -1,0 +1,80 @@
+#include "comm/comm_topology.hpp"
+
+#include <algorithm>
+
+namespace cosched {
+
+void CommTopology::attach(JobId job, ProcessId first_process,
+                          const JobCommPattern& pattern) {
+  COSCHED_EXPECTS(job >= 0);
+  COSCHED_EXPECTS(first_process >= 0);
+  COSCHED_EXPECTS(!patterns_.contains(job));
+  COSCHED_EXPECTS(pattern.num_procs >= 1);
+  COSCHED_EXPECTS(pattern.neighbors.size() ==
+                  static_cast<std::size_t>(pattern.num_procs));
+  patterns_.emplace(job, pattern);
+  first_process_.emplace(job, first_process);
+  for (std::int32_t r = 0; r < pattern.num_procs; ++r)
+    process_placement_.emplace(first_process + r, Placement{job, r});
+}
+
+const JobCommPattern* CommTopology::pattern_of(JobId job) const {
+  auto it = patterns_.find(job);
+  return it == patterns_.end() ? nullptr : &it->second;
+}
+
+const CommTopology::Placement* CommTopology::placement_of(ProcessId i) const {
+  auto it = process_placement_.find(i);
+  return it == process_placement_.end() ? nullptr : &it->second;
+}
+
+Real CommTopology::external_bytes(
+    ProcessId i, std::span<const ProcessId> co_runners) const {
+  const Placement* place = placement_of(i);
+  if (place == nullptr) return 0.0;
+  const JobCommPattern& pattern = patterns_.at(place->job);
+  const ProcessId first = first_process_.at(place->job);
+
+  Real bytes = 0.0;
+  for (const CommEdge& e :
+       pattern.neighbors[static_cast<std::size_t>(place->rank)]) {
+    ProcessId peer = first + e.peer_rank;
+    bool colocated =
+        std::find(co_runners.begin(), co_runners.end(), peer) !=
+        co_runners.end();
+    if (!colocated) bytes += e.bytes;  // β_i(k,S) = 1
+  }
+  return bytes;
+}
+
+Real CommTopology::comm_time(ProcessId i,
+                             std::span<const ProcessId> co_runners,
+                             Real bandwidth_bytes_per_s) const {
+  COSCHED_EXPECTS(bandwidth_bytes_per_s > 0.0);
+  return external_bytes(i, co_runners) / bandwidth_bytes_per_s;
+}
+
+std::array<std::int32_t, 3> CommTopology::comm_property(
+    JobId job, std::span<const ProcessId> node_members) const {
+  std::array<std::int32_t, 3> counts{0, 0, 0};
+  const JobCommPattern* pattern = pattern_of(job);
+  if (pattern == nullptr) return counts;
+  const ProcessId first = first_process_.at(job);
+
+  for (ProcessId member : node_members) {
+    const Placement* place = placement_of(member);
+    if (place == nullptr || place->job != job) continue;
+    for (const CommEdge& e :
+         pattern->neighbors[static_cast<std::size_t>(place->rank)]) {
+      ProcessId peer = first + e.peer_rank;
+      bool internal =
+          std::find(node_members.begin(), node_members.end(), peer) !=
+          node_members.end();
+      if (!internal)
+        ++counts[static_cast<std::size_t>(e.dir)];
+    }
+  }
+  return counts;
+}
+
+}  // namespace cosched

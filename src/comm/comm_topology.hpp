@@ -1,0 +1,61 @@
+// CommTopology: maps global processes to their jobs' communication patterns
+// and evaluates the Eq. 10-11 communication-time model.
+//
+//   c(i,S) = (1/B) * Σ_k α_i(k) * β_i(k,S)
+//   β_i(k,S) = 0 if the k-th neighbour of p_i is co-scheduled with p_i
+//              (same machine: intra-processor communication overlaps and is
+//              faster), 1 otherwise.
+#pragma once
+
+#include <array>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "comm/decomposition.hpp"
+#include "util/common.hpp"
+
+namespace cosched {
+
+class CommTopology {
+ public:
+  /// Registers a PC job's pattern. `first_process` is the global id of the
+  /// job's local rank 0; ranks are contiguous.
+  void attach(JobId job, ProcessId first_process,
+              const JobCommPattern& pattern);
+
+  bool has_pattern(JobId job) const {
+    return patterns_.contains(job);
+  }
+  const JobCommPattern* pattern_of(JobId job) const;
+
+  /// Total bytes process i must send to neighbours NOT in `co_runners`
+  /// (Eq. 10 numerator). Processes without a pattern communicate nothing.
+  Real external_bytes(ProcessId i,
+                      std::span<const ProcessId> co_runners) const;
+
+  /// c(i,S) = external_bytes / bandwidth (Eq. 10).
+  Real comm_time(ProcessId i, std::span<const ProcessId> co_runners,
+                 Real bandwidth_bytes_per_s) const;
+
+  /// Communication property (c_x, c_y, c_z) of job `job`'s processes inside
+  /// the node `node_members` (paper Section III-E): the number of halo
+  /// exchanges the member processes perform per direction with processes
+  /// outside the node. Members not belonging to `job` are ignored.
+  std::array<std::int32_t, 3> comm_property(
+      JobId job, std::span<const ProcessId> node_members) const;
+
+ private:
+  struct Placement {
+    JobId job;
+    std::int32_t rank;
+  };
+
+  const Placement* placement_of(ProcessId i) const;
+
+  std::unordered_map<JobId, JobCommPattern> patterns_;
+  std::unordered_map<JobId, ProcessId> first_process_;
+  std::unordered_map<ProcessId, Placement> process_placement_;
+};
+
+}  // namespace cosched

@@ -1,0 +1,146 @@
+#include "comm/decomposition.hpp"
+
+#include <cmath>
+
+namespace cosched {
+namespace {
+
+// Factor `procs` into `dims` near-equal extents, largest first.
+std::array<std::int32_t, 3> balanced_grid(std::int32_t procs,
+                                          std::int32_t dims) {
+  COSCHED_EXPECTS(procs >= 1);
+  COSCHED_EXPECTS(dims >= 1 && dims <= 3);
+  std::array<std::int32_t, 3> grid{procs, 1, 1};
+  if (dims == 1) return grid;
+  if (dims == 2) {
+    // Largest divisor pair closest to sqrt.
+    std::int32_t best = 1;
+    for (std::int32_t a = 1;
+         static_cast<std::int64_t>(a) * a <= procs; ++a)
+      if (procs % a == 0) best = a;
+    grid = {procs / best, best, 1};
+    return grid;
+  }
+  // dims == 3: greedy near-cubic factorization.
+  std::int32_t best_a = 1, best_b = 1;
+  Real best_score = kInfinity;
+  for (std::int32_t a = 1;
+       static_cast<std::int64_t>(a) * a * a <= procs; ++a) {
+    if (procs % a != 0) continue;
+    std::int32_t rest = procs / a;
+    for (std::int32_t b = a;
+         static_cast<std::int64_t>(b) * b <= rest; ++b) {
+      if (rest % b != 0) continue;
+      std::int32_t c = rest / b;
+      Real score = static_cast<Real>(c - a);  // spread of extents
+      if (score < best_score) {
+        best_score = score;
+        best_a = a;
+        best_b = b;
+      }
+    }
+  }
+  grid = {procs / (best_a * best_b), best_b, best_a};
+  return grid;
+}
+
+}  // namespace
+
+JobCommPattern make_1d_pattern(std::int32_t procs, Real halo_bytes) {
+  COSCHED_EXPECTS(procs >= 1);
+  COSCHED_EXPECTS(halo_bytes >= 0.0);
+  JobCommPattern p;
+  p.num_procs = procs;
+  p.dims = 1;
+  p.grid = {procs, 1, 1};
+  p.neighbors.resize(static_cast<std::size_t>(procs));
+  for (std::int32_t r = 0; r < procs; ++r) {
+    if (r > 0)
+      p.neighbors[r].push_back({r - 1, halo_bytes, Direction::X});
+    if (r + 1 < procs)
+      p.neighbors[r].push_back({r + 1, halo_bytes, Direction::X});
+  }
+  return p;
+}
+
+JobCommPattern make_2d_pattern(std::int32_t px, std::int32_t py,
+                               Real halo_bytes_x, Real halo_bytes_y) {
+  COSCHED_EXPECTS(px >= 1 && py >= 1);
+  JobCommPattern p;
+  p.num_procs = px * py;
+  p.dims = 2;
+  p.grid = {px, py, 1};
+  p.neighbors.resize(static_cast<std::size_t>(p.num_procs));
+  auto rank = [&](std::int32_t x, std::int32_t y) { return y * px + x; };
+  for (std::int32_t y = 0; y < py; ++y) {
+    for (std::int32_t x = 0; x < px; ++x) {
+      auto& nb = p.neighbors[static_cast<std::size_t>(rank(x, y))];
+      if (x > 0) nb.push_back({rank(x - 1, y), halo_bytes_x, Direction::X});
+      if (x + 1 < px)
+        nb.push_back({rank(x + 1, y), halo_bytes_x, Direction::X});
+      if (y > 0) nb.push_back({rank(x, y - 1), halo_bytes_y, Direction::Y});
+      if (y + 1 < py)
+        nb.push_back({rank(x, y + 1), halo_bytes_y, Direction::Y});
+    }
+  }
+  return p;
+}
+
+JobCommPattern make_3d_pattern(std::int32_t px, std::int32_t py,
+                               std::int32_t pz, Real halo_bytes_x,
+                               Real halo_bytes_y, Real halo_bytes_z) {
+  COSCHED_EXPECTS(px >= 1 && py >= 1 && pz >= 1);
+  JobCommPattern p;
+  p.num_procs = px * py * pz;
+  p.dims = 3;
+  p.grid = {px, py, pz};
+  p.neighbors.resize(static_cast<std::size_t>(p.num_procs));
+  auto rank = [&](std::int32_t x, std::int32_t y, std::int32_t z) {
+    return (z * py + y) * px + x;
+  };
+  for (std::int32_t z = 0; z < pz; ++z) {
+    for (std::int32_t y = 0; y < py; ++y) {
+      for (std::int32_t x = 0; x < px; ++x) {
+        auto& nb = p.neighbors[static_cast<std::size_t>(rank(x, y, z))];
+        if (x > 0)
+          nb.push_back({rank(x - 1, y, z), halo_bytes_x, Direction::X});
+        if (x + 1 < px)
+          nb.push_back({rank(x + 1, y, z), halo_bytes_x, Direction::X});
+        if (y > 0)
+          nb.push_back({rank(x, y - 1, z), halo_bytes_y, Direction::Y});
+        if (y + 1 < py)
+          nb.push_back({rank(x, y + 1, z), halo_bytes_y, Direction::Y});
+        if (z > 0)
+          nb.push_back({rank(x, y, z - 1), halo_bytes_z, Direction::Z});
+        if (z + 1 < pz)
+          nb.push_back({rank(x, y, z + 1), halo_bytes_z, Direction::Z});
+      }
+    }
+  }
+  return p;
+}
+
+JobCommPattern make_grid_pattern(std::int32_t procs, std::int32_t dims,
+                                 Real halo_bytes) {
+  auto grid = balanced_grid(procs, dims);
+  switch (dims) {
+    case 1: return make_1d_pattern(procs, halo_bytes);
+    case 2: return make_2d_pattern(grid[0], grid[1], halo_bytes, halo_bytes);
+    case 3:
+      return make_3d_pattern(grid[0], grid[1], grid[2], halo_bytes,
+                             halo_bytes, halo_bytes);
+    default: break;
+  }
+  throw ContractViolation("dims must be 1, 2 or 3");
+}
+
+JobCommPattern default_pattern_for(const std::string& program_name,
+                                   std::int32_t procs, Real halo_bytes) {
+  std::int32_t dims = 2;
+  if (program_name == "CG-Par") dims = 1;
+  else if (program_name == "MG-Par") dims = 3;
+  // BT-Par, LU-Par and anything unknown default to 2D.
+  return make_grid_pattern(procs, dims, halo_bytes);
+}
+
+}  // namespace cosched

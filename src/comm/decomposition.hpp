@@ -1,0 +1,63 @@
+// Regular domain decompositions and the communication patterns they induce.
+//
+// A PC job decomposes its data set 1D/2D/3D across its processes (paper
+// Fig. 2). Each process exchanges halo data with its grid neighbours; the
+// data volume α_i(k) per neighbour is determined by the face size in that
+// direction. In typical decompositions α is identical for the two
+// neighbours of the same dimension (paper: α5(1) = α5(3)).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace cosched {
+
+/// Dimension of a halo exchange; used for the communication property
+/// (c_x, c_y, c_z) of the condensation technique (paper Section III-E).
+enum class Direction : std::uint8_t { X = 0, Y = 1, Z = 2 };
+
+struct CommEdge {
+  std::int32_t peer_rank;  ///< local rank of the neighbour within the job
+  Real bytes;              ///< α: data volume exchanged per step
+  Direction dir;
+};
+
+/// Per-job communication pattern over local ranks 0..num_procs-1.
+struct JobCommPattern {
+  std::int32_t num_procs = 0;
+  std::int32_t dims = 0;                      // 1, 2 or 3
+  std::array<std::int32_t, 3> grid{1, 1, 1};  // process grid extents
+  std::vector<std::vector<CommEdge>> neighbors;  // indexed by local rank
+
+  bool empty() const { return neighbors.empty(); }
+};
+
+/// 1D chain: rank r talks to r-1 and r+1, exchanging `halo_bytes` each.
+JobCommPattern make_1d_pattern(std::int32_t procs, Real halo_bytes);
+
+/// 2D grid px × py (row-major ranks). X-neighbours exchange `halo_bytes_x`,
+/// Y-neighbours `halo_bytes_y`.
+JobCommPattern make_2d_pattern(std::int32_t px, std::int32_t py,
+                               Real halo_bytes_x, Real halo_bytes_y);
+
+/// 3D grid px × py × pz.
+JobCommPattern make_3d_pattern(std::int32_t px, std::int32_t py,
+                               std::int32_t pz, Real halo_bytes_x,
+                               Real halo_bytes_y, Real halo_bytes_z);
+
+/// Picks a near-balanced grid for `procs` processes in `dims` dimensions
+/// (e.g. 12 procs, 2D -> 4x3) and builds the pattern with uniform halo
+/// volume per dimension.
+JobCommPattern make_grid_pattern(std::int32_t procs, std::int32_t dims,
+                                 Real halo_bytes);
+
+/// The decomposition the catalog assigns to each PC program:
+/// BT-Par/LU-Par are 2D, MG-Par is 3D, CG-Par is 1D.
+JobCommPattern default_pattern_for(const std::string& program_name,
+                                   std::int32_t procs, Real halo_bytes);
+
+}  // namespace cosched

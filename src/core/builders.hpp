@@ -1,0 +1,83 @@
+// Problem builders: assemble a full co-scheduling instance from either the
+// benchmark catalog (the paper's real-job experiments) or from synthetic
+// miss rates (the paper's large-scale sweeps, Figs. 5, 12, 13).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/degradation_models.hpp"
+#include "core/problem.hpp"
+
+namespace cosched {
+
+/// One parallel job in a catalog-backed instance.
+struct ParallelJobSpec {
+  std::string program;       ///< catalog name (e.g. "MG-Par", "RA")
+  std::int32_t processes = 2;
+  bool with_comm = false;    ///< true → PC job with its default pattern
+  /// Halo volume per exchange in bytes (PC only). Default gives comm times
+  /// of the same order as the contention degradations.
+  Real halo_bytes = 2.0e5;
+};
+
+struct CatalogProblemSpec {
+  std::uint32_t cores = 4;                 ///< u: 2, 4 or 8
+  std::vector<std::string> serial_programs;
+  std::vector<ParallelJobSpec> parallel_jobs;
+  std::size_t trace_length = 200000;
+  std::uint64_t seed = 42;
+};
+
+/// Builds a Problem whose degradations come from the SDC pipeline over the
+/// catalog programs characterized on the chosen machine. The batch is padded
+/// to a multiple of u with imaginary processes.
+Problem build_catalog_problem(const CatalogProblemSpec& spec);
+
+struct SyntheticProblemSpec {
+  std::uint32_t cores = 4;
+  /// Degradation response shape; Threshold also draws bimodal miss rates
+  /// (compute-bound vs memory-bound modes), Smooth draws uniformly.
+  SyntheticLandscape landscape = SyntheticLandscape::Threshold;
+  std::int32_t serial_jobs = 0;
+  /// Sizes (process counts) of parallel jobs to add.
+  std::vector<std::int32_t> parallel_job_sizes;
+  bool parallel_with_comm = false;  ///< PE when false, PC when true
+  std::int32_t comm_dims = 2;       ///< decomposition for PC jobs
+  Real halo_bytes = 5.0e7;          ///< sized against solo_time == 1
+  Real miss_rate_lo = 0.15;         ///< paper: miss rates in [15%, 75%]
+  Real miss_rate_hi = 0.75;
+  std::uint64_t seed = 1;
+};
+
+/// Builds a Problem over the closed-form synthetic degradation model.
+Problem build_synthetic_problem(const SyntheticProblemSpec& spec);
+
+/// The paper's synthetic-job methodology (Section IV/V): each job gets a
+/// random cache miss rate in [15%, 75%], from which a parametric stack
+/// distance profile is synthesized (memory-hungrier jobs reuse lines at
+/// deeper stack positions and spend fewer compute cycles per access);
+/// degradations then come from the full SDC + Eq. 14-15 pipeline, exactly
+/// like catalog problems. Used by the Fig. 5 MER study.
+struct SdcSyntheticSpec {
+  std::uint32_t cores = 4;
+  std::int32_t serial_jobs = 0;
+  std::vector<std::int32_t> parallel_job_sizes;
+  bool parallel_with_comm = false;
+  std::int32_t comm_dims = 2;
+  Real halo_bytes = 2.0e5;
+  Real miss_rate_lo = 0.15;
+  Real miss_rate_hi = 0.75;
+  Real accesses = 100000.0;  ///< per-job access count (profile mass)
+  /// Number of discrete miss-rate values to draw from ("randomly generated
+  /// cache misses" in the paper reads as a discrete draw); 0 = continuous.
+  /// Discrete rates produce exact weight ties between symmetric nodes, the
+  /// regime in which the paper's MER statistics (Fig. 5) arise.
+  std::int32_t miss_rate_steps = 13;
+  std::uint64_t seed = 1;
+};
+
+Problem build_sdc_synthetic_problem(const SdcSyntheticSpec& spec);
+
+}  // namespace cosched

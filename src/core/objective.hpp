@@ -1,0 +1,55 @@
+// Solutions and objective evaluation (Eq. 6 / Eq. 13).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/degradation_model.hpp"
+#include "core/problem.hpp"
+
+namespace cosched {
+
+/// How per-process degradations aggregate into the objective.
+enum class Aggregation {
+  /// Treat every process as serial: Σ_i d_i (Eq. 2 / Eq. 12). This is the
+  /// OA*-SE objective of the paper's Section V-B.
+  SumAllProcesses,
+  /// Serial processes sum; each parallel job contributes its max (Eq. 6 /
+  /// Eq. 13). The correct objective for PE and PC jobs.
+  MaxPerParallelJob,
+};
+
+/// A co-schedule: `machines[m]` lists the u processes placed on machine m.
+struct Solution {
+  std::vector<std::vector<ProcessId>> machines;
+
+  /// Sorts processes within machines and machines by first process.
+  void canonicalize();
+
+  /// Index of the machine hosting process p, or -1.
+  std::int32_t machine_of(ProcessId p) const;
+
+  std::string to_string(const JobBatch& batch) const;
+};
+
+struct Evaluation {
+  Real total = 0.0;
+  std::vector<Real> per_process;  ///< d_i of every process (incl. imaginary)
+  std::vector<Real> per_job;      ///< aggregated contribution per job
+  /// Average over *real* jobs (the paper reports average degradation).
+  Real average_per_job = 0.0;
+};
+
+/// Throws ContractViolation if `s` is not a valid partition of the problem's
+/// processes into machines of exactly u processes each.
+void validate_solution(const Problem& problem, const Solution& s);
+
+/// Evaluates `s` under `model` and the given aggregation. `s` must be valid.
+Evaluation evaluate_solution(const Problem& problem, const Solution& s,
+                             const DegradationModel& model,
+                             Aggregation aggregation);
+
+/// Shorthand: full model + MaxPerParallelJob (the paper's objective).
+Evaluation evaluate_solution(const Problem& problem, const Solution& s);
+
+}  // namespace cosched

@@ -1,0 +1,43 @@
+// Problem: one co-scheduling instance — the batch, the machine type, and the
+// degradation models the schedulers query.
+#pragma once
+
+#include <memory>
+
+#include "cache/machine_config.hpp"
+#include "comm/comm_topology.hpp"
+#include "core/degradation_model.hpp"
+#include "workload/job_batch.hpp"
+
+namespace cosched {
+
+struct Problem {
+  MachineConfig machine;  ///< machine.cores is u
+  JobBatch batch;         ///< already padded: process_count() % u == 0
+
+  /// Contention-only model (Eq. 1); used by OA*-SE / OA*-PE variants.
+  DegradationModelPtr contention_model;
+  /// Full model incl. communication for PC jobs (Eq. 9). Equals
+  /// contention_model when the batch has no PC jobs.
+  DegradationModelPtr full_model;
+  /// Communication topology; null when the batch has no PC jobs.
+  std::shared_ptr<const CommTopology> topology;
+
+  std::int32_t u() const { return static_cast<std::int32_t>(machine.cores); }
+  std::int32_t n() const { return batch.process_count(); }
+  std::int32_t machine_count() const {
+    COSCHED_EXPECTS(n() % u() == 0);
+    return n() / u();
+  }
+
+  /// Validates internal consistency; throws ContractViolation on error.
+  void check() const {
+    COSCHED_EXPECTS(u() >= 1);
+    COSCHED_EXPECTS(n() >= 1);
+    COSCHED_EXPECTS(n() % u() == 0);
+    COSCHED_EXPECTS(contention_model != nullptr);
+    COSCHED_EXPECTS(full_model != nullptr);
+  }
+};
+
+}  // namespace cosched

@@ -1,0 +1,53 @@
+#include "graph/condensation.hpp"
+
+namespace cosched {
+namespace {
+
+void append_i32(std::string& s, std::int32_t v) {
+  s.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+}  // namespace
+
+CondensationKey condensation_key(std::span<const ProcessId> node,
+                                 const JobBatch& batch,
+                                 const CommTopology* topology) {
+  CondensationKey key;
+  key.bytes.reserve(node.size() * 8 + 16);
+
+  // Member identity part: serial/imaginary processes keep their concrete id
+  // (distinct programs are never interchangeable); parallel members are
+  // reduced to their job id. Node members are sorted and processes of one
+  // job are contiguous ids, so equal multisets serialize identically.
+  JobId last_parallel_job = kInvalidJob;
+  for (ProcessId p : node) {
+    const Job& job = batch.job_of_process(p);
+    if (job.is_parallel()) {
+      append_i32(key.bytes, -2);  // tag: parallel member
+      append_i32(key.bytes, job.id);
+      last_parallel_job = job.id;
+    } else {
+      append_i32(key.bytes, -1);  // tag: concrete process
+      append_i32(key.bytes, p);
+    }
+  }
+
+  // Communication-property part: for every distinct parallel job in the
+  // node, its (c_x, c_y, c_z) w.r.t. this node's members.
+  if (topology != nullptr) {
+    JobId prev = kInvalidJob;
+    for (ProcessId p : node) {
+      const Job& job = batch.job_of_process(p);
+      if (!job.is_parallel() || job.id == prev) continue;
+      prev = job.id;
+      auto prop = topology->comm_property(job.id, node);
+      append_i32(key.bytes, -3);  // tag: comm property record
+      append_i32(key.bytes, job.id);
+      for (std::int32_t c : prop) append_i32(key.bytes, c);
+    }
+  }
+  (void)last_parallel_job;
+  return key;
+}
+
+}  // namespace cosched

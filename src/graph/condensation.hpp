@@ -1,0 +1,42 @@
+// Communication-aware process condensation (paper Section III-E).
+//
+// Processes of the same parallel job are mutually interchangeable for
+// contention purposes (they run the same code on equal shards). Two nodes
+// of the same graph level are therefore equivalent — and only one needs to
+// be expanded — when they contain (1) the same serial processes, (2) the
+// same per-parallel-job member counts, and (3) identical communication
+// properties (c_x, c_y, c_z) for every PC job present. PE jobs always have
+// property (0,0,0), so for them condition (3) is vacuous, matching the
+// paper's remark that condensation also applies to PE jobs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "comm/comm_topology.hpp"
+#include "workload/job_batch.hpp"
+
+namespace cosched {
+
+/// Opaque equivalence key of a node. Two nodes of the same level with equal
+/// keys are interchangeable during expansion.
+struct CondensationKey {
+  std::string bytes;
+
+  bool operator==(const CondensationKey& o) const { return bytes == o.bytes; }
+};
+
+struct CondensationKeyHash {
+  std::size_t operator()(const CondensationKey& k) const {
+    return std::hash<std::string>{}(k.bytes);
+  }
+};
+
+/// Builds the key of `node` (sorted member ids). `topology` may be null
+/// (no PC jobs); parallel jobs then key on job identity and count only.
+CondensationKey condensation_key(std::span<const ProcessId> node,
+                                 const JobBatch& batch,
+                                 const CommTopology* topology);
+
+}  // namespace cosched

@@ -1,0 +1,147 @@
+#include "graph/level_stats.hpp"
+
+#include <algorithm>
+
+#include "util/combinatorics.hpp"
+
+namespace cosched {
+
+LevelStats LevelStats::build_exact(const NodeEvaluator& eval,
+                                   HWeightMode mode,
+                                   std::uint64_t max_nodes) {
+  const Problem& problem = eval.problem();
+  const std::int32_t n = problem.n();
+  const std::int32_t u = problem.u();
+  const std::uint64_t total =
+      binomial(static_cast<std::uint64_t>(n), static_cast<std::uint64_t>(u));
+  COSCHED_EXPECTS(total <= max_nodes);
+
+  LevelStats stats;
+  stats.exact_ = true;
+  stats.n_ = n;
+  stats.u_ = u;
+  stats.total_nodes_ = total;
+  stats.min_level_weight_.assign(static_cast<std::size_t>(n), kInfinity);
+  stats.sorted_nodes_.reserve(static_cast<std::size_t>(total));
+
+  std::vector<ProcessId> node(static_cast<std::size_t>(u));
+  // Levels exist for lead in [0, n-u].
+  for (ProcessId lead = 0; lead + u <= n; ++lead) {
+    std::vector<std::int32_t> pool;
+    pool.reserve(static_cast<std::size_t>(n - lead - 1));
+    for (ProcessId p = lead + 1; p < n; ++p) pool.push_back(p);
+    for_each_combination(
+        pool, static_cast<std::size_t>(u - 1),
+        [&](const std::vector<std::int32_t>& comb) {
+          node[0] = lead;
+          for (std::size_t j = 0; j < comb.size(); ++j) node[j + 1] = comb[j];
+          Real w = eval.h_weight(node, mode);
+          auto& mw = stats.min_level_weight_[static_cast<std::size_t>(lead)];
+          if (w < mw) mw = w;
+          stats.sorted_nodes_.emplace_back(static_cast<float>(w), lead);
+          return true;
+        });
+  }
+  std::sort(stats.sorted_nodes_.begin(), stats.sorted_nodes_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return stats;
+}
+
+LevelStats LevelStats::build_approx(const NodeEvaluator& eval,
+                                    HWeightMode mode) {
+  const Problem& problem = eval.problem();
+  const DegradationModel& model = eval.model();
+  const std::int32_t n = problem.n();
+  const std::int32_t u = problem.u();
+
+  LevelStats stats;
+  stats.exact_ = false;
+  stats.n_ = n;
+  stats.u_ = u;
+  stats.total_nodes_ =
+      binomial(static_cast<std::uint64_t>(n), static_cast<std::uint64_t>(u));
+  stats.min_level_weight_.assign(static_cast<std::size_t>(n), kInfinity);
+
+  // Estimate each level's on-path node weight with *typical* (median-
+  // pressure) co-runners rather than the globally cheapest ones: the
+  // cheapest co-runners can each be used by only one level of a real path,
+  // so a per-level "true minimum" underestimates the remaining cost so
+  // badly that the search degenerates toward Dijkstra. A typical-co-runner
+  // estimate keeps h near the real per-level cost; HA* (the only consumer
+  // of approximate stats) does not require admissibility.
+  std::vector<ProcessId> by_pressure(static_cast<std::size_t>(n));
+  for (std::int32_t p = 0; p < n; ++p)
+    by_pressure[static_cast<std::size_t>(p)] = p;
+  std::sort(by_pressure.begin(), by_pressure.end(),
+            [&](ProcessId a, ProcessId b) {
+              return model.pressure(a) < model.pressure(b);
+            });
+
+  std::vector<ProcessId> node;
+  for (ProcessId lead = 0; lead + u <= n; ++lead) {
+    node.clear();
+    node.push_back(lead);
+    // Walk outward from the pressure median so the chosen co-runners are
+    // representative of an average machine's load.
+    std::size_t mid = by_pressure.size() / 2;
+    for (std::size_t offset = 0;
+         offset < by_pressure.size() &&
+         static_cast<std::int32_t>(node.size()) < u;
+         ++offset) {
+      std::size_t idx =
+          (offset % 2 == 0) ? mid + offset / 2
+                            : mid - 1 - offset / 2 + (mid == 0 ? 1 : 0);
+      if (idx >= by_pressure.size()) continue;
+      ProcessId cand = by_pressure[idx];
+      if (cand == lead) continue;
+      node.push_back(cand);
+    }
+    COSCHED_ENSURES(static_cast<std::int32_t>(node.size()) == u);
+    std::sort(node.begin(), node.end());
+    stats.min_level_weight_[static_cast<std::size_t>(lead)] =
+        eval.h_weight(node, mode);
+  }
+  return stats;
+}
+
+Real LevelStats::min_level_weight(ProcessId lead) const {
+  COSCHED_EXPECTS(lead >= 0 && lead < n_);
+  return min_level_weight_[static_cast<std::size_t>(lead)];
+}
+
+Real LevelStats::strategy2_h(const std::vector<ProcessId>& unscheduled,
+                             std::int32_t k) const {
+  if (k <= 0) return 0.0;
+  thread_local std::vector<Real> weights;
+  weights.clear();
+  for (ProcessId p : unscheduled) {
+    if (p + u_ > n_) continue;  // cannot lead a level
+    Real w = min_level_weight_[static_cast<std::size_t>(p)];
+    if (w < kInfinity) weights.push_back(w);
+  }
+  // Fewer candidate levels than remaining machines can only happen near the
+  // end of the graph; the missing terms lower-bound to 0.
+  std::int32_t take = std::min<std::int32_t>(
+      k, static_cast<std::int32_t>(weights.size()));
+  if (take <= 0) return 0.0;
+  std::nth_element(weights.begin(), weights.begin() + (take - 1),
+                   weights.end());
+  Real h = 0.0;
+  for (std::int32_t i = 0; i < take; ++i) h += weights[static_cast<std::size_t>(i)];
+  return h;
+}
+
+Real LevelStats::strategy1_h(ProcessId level_gt, std::int32_t k) const {
+  COSCHED_EXPECTS(exact_);
+  if (k <= 0) return 0.0;
+  Real h = 0.0;
+  std::int32_t taken = 0;
+  for (const auto& [w, level] : sorted_nodes_) {
+    if (level <= level_gt) continue;
+    h += static_cast<Real>(w);
+    if (++taken == k) break;
+  }
+  return h;
+}
+
+}  // namespace cosched

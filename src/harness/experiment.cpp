@@ -1,0 +1,77 @@
+#include "harness/experiment.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+namespace cosched {
+
+ArgParser::ArgParser(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    std::string name = arg.substr(2);
+    std::string value;
+    auto eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+    }
+    args_.emplace_back(std::move(name), std::move(value));
+  }
+}
+
+bool ArgParser::has(const std::string& name) const {
+  for (const auto& [k, v] : args_)
+    if (k == name) return true;
+  return false;
+}
+
+std::string ArgParser::get_string(const std::string& name,
+                                  const std::string& fallback) const {
+  for (const auto& [k, v] : args_)
+    if (k == name) return v;
+  return fallback;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name,
+                                std::int64_t fallback) const {
+  for (const auto& [k, v] : args_)
+    if (k == name && !v.empty()) return std::stoll(v);
+  return fallback;
+}
+
+Real ArgParser::get_real(const std::string& name, Real fallback) const {
+  for (const auto& [k, v] : args_)
+    if (k == name && !v.empty()) return std::stod(v);
+  return fallback;
+}
+
+void print_experiment_header(const std::string& artefact,
+                             const std::string& description) {
+  std::cout << "==============================================================\n"
+            << " Reproducing: " << artefact << "\n"
+            << " " << description << "\n"
+            << "==============================================================\n";
+}
+
+std::string write_csv(const std::string& out_dir, const std::string& name,
+                      const TextTable& table) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(out_dir, ec);
+  std::string path = out_dir + "/" + name + ".csv";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: cannot write " << path << "\n";
+    return {};
+  }
+  out << table.render_csv();
+  std::cout << "[csv] " << path << "\n";
+  return path;
+}
+
+}  // namespace cosched

@@ -1,0 +1,186 @@
+#include "ip/branch_and_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/timer.hpp"
+
+namespace cosched {
+namespace {
+
+struct Node {
+  Real bound;  ///< parent LP objective (root: -inf)
+  /// (variable, value) fixings along the path from the root.
+  std::vector<std::pair<std::int32_t, std::int8_t>> fixings;
+};
+
+struct BestBoundCmp {
+  bool operator()(const Node& a, const Node& b) const {
+    return a.bound > b.bound;
+  }
+};
+
+class BnB {
+ public:
+  BnB(const CoschedIpModel& model, const BnBOptions& opt)
+      : model_(model), opt_(opt), lp_(model.lp) {
+    // process → columns containing it (for conflict propagation on fix-1).
+    std::int32_t max_pid = 0;
+    for (const auto& col : model_.columns)
+      for (ProcessId p : col) max_pid = std::max(max_pid, p);
+    member_cols_.resize(static_cast<std::size_t>(max_pid) + 1);
+    for (std::int32_t v = 0; v < model_.num_y; ++v)
+      for (ProcessId p : model_.columns[static_cast<std::size_t>(v)])
+        member_cols_[static_cast<std::size_t>(p)].push_back(v);
+  }
+
+  BnBResult run() {
+    WallTimer timer;
+    BnBResult result;
+    incumbent_ = opt_.warm_start_bound;
+
+    std::priority_queue<Node, std::vector<Node>, BestBoundCmp> best_queue;
+    std::vector<Node> dfs_stack;
+    auto push_node = [&](Node node) {
+      if (opt_.node_order == BnBOptions::NodeOrder::BestBound)
+        best_queue.push(std::move(node));
+      else
+        dfs_stack.push_back(std::move(node));
+    };
+    auto pop_node = [&]() -> Node {
+      if (opt_.node_order == BnBOptions::NodeOrder::BestBound) {
+        Node node = best_queue.top();
+        best_queue.pop();
+        return node;
+      }
+      Node node = std::move(dfs_stack.back());
+      dfs_stack.pop_back();
+      return node;
+    };
+    auto queue_empty = [&]() {
+      return best_queue.empty() && dfs_stack.empty();
+    };
+
+    push_node(Node{-kInfinity, {}});
+    bool exhausted = false;
+
+    while (!queue_empty()) {
+      if (opt_.time_limit_seconds > 0.0 &&
+          timer.seconds() > opt_.time_limit_seconds) {
+        result.timed_out = true;
+        break;
+      }
+      if (opt_.max_nodes > 0 && result.nodes_explored >= opt_.max_nodes) {
+        result.timed_out = true;
+        break;
+      }
+      Node node = pop_node();
+      if (node.bound >= incumbent_ - opt_.bound_tol) continue;  // pruned
+      ++result.nodes_explored;
+
+      std::vector<std::int32_t> touched = apply_fixings(node.fixings);
+      SimplexSolver solver(opt_.lp_options);
+      LpSolution lp_sol = solver.solve(lp_);
+      result.lp_iterations += lp_sol.iterations;
+      revert_fixings(touched);
+
+      if (lp_sol.status == LpStatus::Infeasible) continue;
+      if (lp_sol.status != LpStatus::Optimal) {
+        // Iteration-limited LP: treat conservatively as unexplored bound.
+        result.timed_out = true;
+        continue;
+      }
+      if (lp_sol.objective >= incumbent_ - opt_.bound_tol) continue;
+
+      std::int32_t frac = pick_branch_var(lp_sol.x);
+      if (frac < 0) {
+        // Integral: new incumbent.
+        incumbent_ = lp_sol.objective;
+        result.feasible = true;
+        result.objective = lp_sol.objective;
+        result.solution = model_.decode(lp_sol.x, opt_.integrality_tol * 10);
+        continue;
+      }
+      Node child0{lp_sol.objective, node.fixings};
+      child0.fixings.push_back({frac, 0});
+      Node child1{lp_sol.objective, node.fixings};
+      child1.fixings.push_back({frac, 1});
+      // DFS dives on the 1-branch first (pushed last).
+      push_node(std::move(child0));
+      push_node(std::move(child1));
+    }
+    exhausted = queue_empty() && !result.timed_out;
+
+    result.optimal = result.feasible && exhausted;
+    // A warm-start bound that was never beaten is not "our" solution.
+    if (!result.feasible) result.objective = kInfinity;
+    result.seconds = timer.seconds();
+    return result;
+  }
+
+ private:
+  /// Applies fixings (and fix-1 conflict propagation); returns the touched
+  /// variable list for revert.
+  std::vector<std::int32_t> apply_fixings(
+      const std::vector<std::pair<std::int32_t, std::int8_t>>& fixings) {
+    std::vector<std::int32_t> touched;
+    auto fix_zero = [&](std::int32_t v) {
+      if (lp_.upper(v) == 0.0) return;
+      touched.push_back(v);
+      lp_.set_bounds(v, 0.0, 0.0);
+    };
+    for (const auto& [v, val] : fixings) {
+      if (val == 1) {
+        touched.push_back(v);
+        lp_.set_bounds(v, 1.0, 1.0);
+        // Columns overlapping v's subset cannot also be chosen.
+        for (ProcessId p : model_.columns[static_cast<std::size_t>(v)])
+          for (std::int32_t other :
+               member_cols_[static_cast<std::size_t>(p)])
+            if (other != v) fix_zero(other);
+      } else {
+        fix_zero(v);
+      }
+    }
+    return touched;
+  }
+
+  void revert_fixings(const std::vector<std::int32_t>& touched) {
+    for (std::int32_t v : touched) lp_.set_bounds(v, 0.0, 1.0);
+  }
+
+  /// Most/first fractional y variable, or -1 if integral.
+  std::int32_t pick_branch_var(const std::vector<Real>& x) const {
+    std::int32_t best = -1;
+    Real best_score = -1.0;
+    for (std::int32_t v = 0; v < model_.num_y; ++v) {
+      Real val = x[static_cast<std::size_t>(v)];
+      Real dist = std::min(val, 1.0 - val);
+      if (dist <= opt_.integrality_tol) continue;
+      if (opt_.branch_rule == BnBOptions::BranchRule::FirstFractional)
+        return v;
+      if (dist > best_score) {
+        best_score = dist;
+        best = v;
+      }
+    }
+    return best;
+  }
+
+  const CoschedIpModel& model_;
+  const BnBOptions& opt_;
+  LinearProgram lp_;  ///< working copy; bounds mutate per node
+  std::vector<std::vector<std::int32_t>> member_cols_;
+  Real incumbent_ = kInfinity;
+};
+
+}  // namespace
+
+BnBResult solve_branch_and_bound(const CoschedIpModel& model,
+                                 const BnBOptions& options) {
+  BnB solver(model, options);
+  return solver.run();
+}
+
+}  // namespace cosched

@@ -1,0 +1,100 @@
+#include "ip/ip_model.hpp"
+
+#include "core/node_eval.hpp"
+#include "util/combinatorics.hpp"
+
+namespace cosched {
+
+Solution CoschedIpModel::decode(const std::vector<Real>& x, Real tol) const {
+  Solution s;
+  for (std::int32_t v = 0; v < num_y; ++v) {
+    Real val = x[static_cast<std::size_t>(v)];
+    if (val > 1.0 - tol) {
+      s.machines.push_back(columns[static_cast<std::size_t>(v)]);
+    } else {
+      COSCHED_EXPECTS(val < tol);  // must be integral
+    }
+  }
+  s.canonicalize();
+  return s;
+}
+
+CoschedIpModel build_ip_model(const Problem& problem,
+                              const DegradationModel& model,
+                              Aggregation aggregation) {
+  problem.check();
+  const std::int32_t n = problem.n();
+  const std::int32_t u = problem.u();
+  const JobBatch& batch = problem.batch;
+  NodeEvaluator eval(problem, model);
+
+  CoschedIpModel ip;
+  ip.num_z = aggregation == Aggregation::MaxPerParallelJob
+                 ? batch.parallel_job_count()
+                 : 0;
+
+  // Enumerate all u-subsets; one y column each.
+  std::vector<std::int32_t> pool(static_cast<std::size_t>(n));
+  for (std::int32_t p = 0; p < n; ++p) pool[static_cast<std::size_t>(p)] = p;
+
+  // Per-process membership lists for the partition rows, and per-parallel-
+  // process (column, d) lists for the z-link rows.
+  std::vector<std::vector<std::pair<std::int32_t, Real>>> member_cols(
+      static_cast<std::size_t>(n));
+  std::vector<Real> d_scratch;
+
+  for_each_combination(
+      pool, static_cast<std::size_t>(u),
+      [&](const std::vector<std::int32_t>& comb) {
+        std::vector<ProcessId> node(comb.begin(), comb.end());
+        eval.weight(node, d_scratch);
+        Real serial_cost = 0.0;
+        for (std::size_t k = 0; k < node.size(); ++k) {
+          bool counts_as_serial =
+              aggregation == Aggregation::SumAllProcesses ||
+              !batch.is_parallel_process(node[k]);
+          if (counts_as_serial) serial_cost += d_scratch[k];
+        }
+        std::int32_t col = ip.lp.add_variable(serial_cost, 0.0, 1.0);
+        for (std::size_t k = 0; k < node.size(); ++k)
+          member_cols[static_cast<std::size_t>(node[k])].push_back(
+              {col, d_scratch[k]});
+        ip.columns.push_back(std::move(node));
+        return true;
+      });
+  ip.num_y = static_cast<std::int32_t>(ip.columns.size());
+
+  // z variables (cost 1 each — they stand for the job's max directly).
+  std::vector<std::int32_t> z_var(
+      static_cast<std::size_t>(std::max<std::int32_t>(ip.num_z, 1)), -1);
+  for (std::int32_t pj = 0; pj < ip.num_z; ++pj)
+    z_var[static_cast<std::size_t>(pj)] =
+        ip.lp.add_variable(1.0, 0.0, kInfinity);
+
+  // Partition rows: Σ_{T∋i} y_T = 1.
+  for (std::int32_t i = 0; i < n; ++i) {
+    std::vector<std::pair<std::int32_t, Real>> coeffs;
+    coeffs.reserve(member_cols[static_cast<std::size_t>(i)].size());
+    for (const auto& [col, d] : member_cols[static_cast<std::size_t>(i)]) {
+      coeffs.push_back({col, 1.0});
+      (void)d;
+    }
+    ip.lp.add_row(std::move(coeffs), LinearProgram::RowType::EQ, 1.0);
+  }
+
+  // z-link rows: Σ_{T∋i} d(i,T\{i})·y_T − z_j ≤ 0 for parallel i ∈ job j.
+  if (ip.num_z > 0) {
+    for (std::int32_t i = 0; i < n; ++i) {
+      std::int32_t pj = batch.parallel_index_of(static_cast<ProcessId>(i));
+      if (pj < 0) continue;
+      std::vector<std::pair<std::int32_t, Real>> coeffs;
+      for (const auto& [col, d] : member_cols[static_cast<std::size_t>(i)])
+        if (d != 0.0) coeffs.push_back({col, d});
+      coeffs.push_back({z_var[static_cast<std::size_t>(pj)], -1.0});
+      ip.lp.add_row(std::move(coeffs), LinearProgram::RowType::LE, 0.0);
+    }
+  }
+  return ip;
+}
+
+}  // namespace cosched

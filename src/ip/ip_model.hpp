@@ -1,0 +1,47 @@
+// Integer-programming model of the co-scheduling problem (paper Section II).
+//
+// The paper's Eq. 2-8 formulation has one decision variable per (process,
+// co-runner set) pair; the standard equivalent — and what a practitioner
+// would feed a solver — is the set-partitioning form over machine loads:
+//
+//   variables  y_T ∈ {0,1}     for every u-subset T of processes
+//              z_j ≥ 0         for every parallel job j (the Eq. 7 auxiliary
+//                              that linearizes the max)
+//   minimize   Σ_T s(T)·y_T + Σ_j z_j
+//     where s(T) = Σ_{i∈T serial} d(i, T\{i})
+//   s.t.       Σ_{T∋i} y_T = 1                          ∀ processes i
+//              Σ_{T∋i} d(i,T\{i})·y_T ≤ z_j             ∀ parallel i ∈ job j
+//
+// Because each process belongs to exactly one chosen T, the z-link rows
+// enforce z_j ≥ max over job j's processes — Eq. 7 exactly. With
+// Aggregation::SumAllProcesses the z variables disappear and s(T) counts
+// every member: Eq. 2.
+#pragma once
+
+#include <vector>
+
+#include "core/objective.hpp"
+#include "core/problem.hpp"
+#include "ip/simplex.hpp"
+
+namespace cosched {
+
+struct CoschedIpModel {
+  LinearProgram lp;
+  /// columns[v] = the u-subset that variable v selects (v < num_y).
+  std::vector<std::vector<ProcessId>> columns;
+  std::int32_t num_y = 0;  ///< y variables occupy indices [0, num_y)
+  std::int32_t num_z = 0;  ///< z_j at index num_y + parallel_index(j)
+
+  /// Decodes an integral y-vector into machines. `x` must be integral
+  /// within `tol`.
+  Solution decode(const std::vector<Real>& x, Real tol = 1e-6) const;
+};
+
+/// Builds the model. `model` supplies d(i,S); aggregation picks Eq. 2
+/// versus Eq. 6/13 semantics.
+CoschedIpModel build_ip_model(const Problem& problem,
+                              const DegradationModel& model,
+                              Aggregation aggregation);
+
+}  // namespace cosched

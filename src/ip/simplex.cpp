@@ -1,0 +1,398 @@
+#include "ip/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cosched {
+
+// ------------------------------------------------------------ LinearProgram
+
+std::int32_t LinearProgram::add_variable(Real cost, Real lb, Real ub) {
+  COSCHED_EXPECTS(lb <= ub);
+  cost_.push_back(cost);
+  lb_.push_back(lb);
+  ub_.push_back(ub);
+  return num_vars() - 1;
+}
+
+void LinearProgram::add_row(
+    std::vector<std::pair<std::int32_t, Real>> coeffs, RowType type,
+    Real rhs) {
+  for (const auto& [j, c] : coeffs) {
+    COSCHED_EXPECTS(j >= 0 && j < num_vars());
+    (void)c;
+  }
+  rows_.push_back(Row{std::move(coeffs), type, rhs});
+}
+
+void LinearProgram::set_bounds(std::int32_t j, Real lb, Real ub) {
+  COSCHED_EXPECTS(j >= 0 && j < num_vars());
+  COSCHED_EXPECTS(lb <= ub);
+  lb_[static_cast<std::size_t>(j)] = lb;
+  ub_[static_cast<std::size_t>(j)] = ub;
+}
+
+// ------------------------------------------------------------------ solver
+
+namespace {
+
+/// Standardized problem: equality rows over structural + slack + artificial
+/// columns, bounded variables, explicit basis inverse (dense; the
+/// co-scheduling LPs have few rows and many columns).
+class SimplexCore {
+ public:
+  SimplexCore(const LinearProgram& lp, const SimplexSolver::Options& opt)
+      : lp_(lp), opt_(opt), m_(lp.num_rows()) {
+    build();
+  }
+
+  LpSolution run() {
+    LpSolution sol;
+    if (num_art_ > 0) {
+      phase1_ = true;
+      LpStatus st = iterate();
+      if (st == LpStatus::Unbounded) st = LpStatus::Infeasible;  // cannot be
+      if (st != LpStatus::Optimal) {
+        sol.status = st;
+        sol.iterations = iters_;
+        return sol;
+      }
+      if (artificial_value() > 1e-7) {
+        sol.status = LpStatus::Infeasible;
+        sol.iterations = iters_;
+        return sol;
+      }
+      freeze_artificials();
+    }
+    phase1_ = false;
+    LpStatus st = iterate();
+    sol.status = st;
+    sol.iterations = iters_;
+    if (st == LpStatus::Optimal) {
+      sol.x.assign(static_cast<std::size_t>(lp_.num_vars()), 0.0);
+      Real obj = 0.0;
+      for (std::int32_t j = 0; j < lp_.num_vars(); ++j) {
+        sol.x[static_cast<std::size_t>(j)] =
+            value_[static_cast<std::size_t>(j)];
+        obj += lp_.cost(j) * sol.x[static_cast<std::size_t>(j)];
+      }
+      sol.objective = obj;
+    }
+    return sol;
+  }
+
+ private:
+  void build() {
+    const std::int32_t nstruct = lp_.num_vars();
+    cols_.assign(static_cast<std::size_t>(nstruct),
+                 std::vector<Real>(static_cast<std::size_t>(m_), 0.0));
+    for (std::int32_t i = 0; i < m_; ++i)
+      for (const auto& [j, c] : lp_.row(i).coeffs)
+        cols_[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] += c;
+    for (std::int32_t j = 0; j < nstruct; ++j) {
+      lb_.push_back(lp_.lower(j));
+      ub_.push_back(lp_.upper(j));
+      cost2_.push_back(lp_.cost(j));
+    }
+    b_.resize(static_cast<std::size_t>(m_));
+    // Slacks: LE → +s with s ≥ 0; GE → −s with s ≥ 0.
+    slack_of_row_.assign(static_cast<std::size_t>(m_), -1);
+    for (std::int32_t i = 0; i < m_; ++i) {
+      const auto& row = lp_.row(i);
+      b_[static_cast<std::size_t>(i)] = row.rhs;
+      if (row.type == LinearProgram::RowType::EQ) continue;
+      std::vector<Real> col(static_cast<std::size_t>(m_), 0.0);
+      col[static_cast<std::size_t>(i)] =
+          row.type == LinearProgram::RowType::LE ? 1.0 : -1.0;
+      cols_.push_back(std::move(col));
+      lb_.push_back(0.0);
+      ub_.push_back(kInfinity);
+      cost2_.push_back(0.0);
+      slack_of_row_[static_cast<std::size_t>(i)] =
+          static_cast<std::int32_t>(cols_.size()) - 1;
+    }
+    const std::int32_t ntotal_pre_art =
+        static_cast<std::int32_t>(cols_.size());
+
+    // Nonbasic start: every variable at its finite bound nearest zero.
+    value_.assign(static_cast<std::size_t>(ntotal_pre_art), 0.0);
+    at_upper_.assign(static_cast<std::size_t>(ntotal_pre_art), false);
+    for (std::int32_t j = 0; j < ntotal_pre_art; ++j) {
+      std::size_t sj = static_cast<std::size_t>(j);
+      if (lb_[sj] > -kInfinity) {
+        value_[sj] = lb_[sj];
+      } else if (ub_[sj] < kInfinity) {
+        value_[sj] = ub_[sj];
+        at_upper_[sj] = true;
+      }
+    }
+
+    // Starting basis: slack absorbs the row residual when its sign allows;
+    // otherwise an artificial is created.
+    std::vector<Real> resid(static_cast<std::size_t>(m_));
+    for (std::int32_t i = 0; i < m_; ++i) {
+      Real ax = 0.0;
+      for (std::int32_t j = 0; j < ntotal_pre_art; ++j)
+        ax += cols_[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] *
+              value_[static_cast<std::size_t>(j)];
+      resid[static_cast<std::size_t>(i)] =
+          b_[static_cast<std::size_t>(i)] - ax;
+    }
+    basis_.assign(static_cast<std::size_t>(m_), -1);
+    in_basis_.assign(static_cast<std::size_t>(ntotal_pre_art), false);
+    for (std::int32_t i = 0; i < m_; ++i) {
+      std::size_t si = static_cast<std::size_t>(i);
+      std::int32_t s = slack_of_row_[si];
+      if (s >= 0) {
+        Real coeff = cols_[static_cast<std::size_t>(s)][si];  // ±1
+        Real sval = resid[si] / coeff;
+        if (sval >= -opt_.tol) {
+          basis_[si] = s;
+          in_basis_[static_cast<std::size_t>(s)] = true;
+          value_[static_cast<std::size_t>(s)] = std::max<Real>(sval, 0.0);
+          continue;
+        }
+      }
+      std::vector<Real> col(static_cast<std::size_t>(m_), 0.0);
+      col[si] = resid[si] >= 0.0 ? 1.0 : -1.0;
+      cols_.push_back(std::move(col));
+      lb_.push_back(0.0);
+      ub_.push_back(kInfinity);
+      cost2_.push_back(0.0);
+      value_.push_back(std::abs(resid[si]));
+      at_upper_.push_back(false);
+      in_basis_.push_back(true);
+      basis_[si] = static_cast<std::int32_t>(cols_.size()) - 1;
+      ++num_art_;
+    }
+    first_art_ = static_cast<std::int32_t>(cols_.size()) - num_art_;
+    ntotal_ = static_cast<std::int32_t>(cols_.size());
+
+    // Initial basis is diagonal (±1 slack/artificial columns).
+    binv_.assign(static_cast<std::size_t>(m_),
+                 std::vector<Real>(static_cast<std::size_t>(m_), 0.0));
+    for (std::int32_t i = 0; i < m_; ++i) {
+      std::size_t si = static_cast<std::size_t>(i);
+      binv_[si][si] = 1.0 / cols_[static_cast<std::size_t>(basis_[si])][si];
+    }
+  }
+
+  bool is_artificial(std::int32_t j) const { return j >= first_art_; }
+
+  Real cost_of(std::int32_t j) const {
+    if (phase1_) return is_artificial(j) ? 1.0 : 0.0;
+    return cost2_[static_cast<std::size_t>(j)];
+  }
+
+  Real artificial_value() const {
+    Real s = 0.0;
+    for (std::int32_t j = first_art_; j < ntotal_; ++j)
+      s += value_[static_cast<std::size_t>(j)];
+    return s;
+  }
+
+  std::vector<Real> ftran(std::int32_t col) const {
+    std::vector<Real> w(static_cast<std::size_t>(m_), 0.0);
+    const auto& a = cols_[static_cast<std::size_t>(col)];
+    for (std::int32_t i = 0; i < m_; ++i) {
+      Real s = 0.0;
+      for (std::int32_t t = 0; t < m_; ++t) {
+        Real at = a[static_cast<std::size_t>(t)];
+        if (at != 0.0)
+          s += binv_[static_cast<std::size_t>(i)][static_cast<std::size_t>(t)] *
+               at;
+      }
+      w[static_cast<std::size_t>(i)] = s;
+    }
+    return w;
+  }
+
+  void update_binv(const std::vector<Real>& w, std::int32_t r) {
+    std::size_t sr = static_cast<std::size_t>(r);
+    Real piv = w[sr];
+    COSCHED_ENSURES(std::abs(piv) > 1e-12);
+    for (std::int32_t t = 0; t < m_; ++t)
+      binv_[sr][static_cast<std::size_t>(t)] /= piv;
+    for (std::int32_t i = 0; i < m_; ++i) {
+      if (i == r) continue;
+      Real f = w[static_cast<std::size_t>(i)];
+      if (std::abs(f) < 1e-14) continue;
+      for (std::int32_t t = 0; t < m_; ++t)
+        binv_[static_cast<std::size_t>(i)][static_cast<std::size_t>(t)] -=
+            f * binv_[sr][static_cast<std::size_t>(t)];
+    }
+  }
+
+  /// Pins artificials to zero after phase 1 and pivots basic ones out where
+  /// a non-artificial replacement exists (rows without one are redundant:
+  /// the artificial stays basic, fixed at 0).
+  void freeze_artificials() {
+    for (std::int32_t j = first_art_; j < ntotal_; ++j) {
+      lb_[static_cast<std::size_t>(j)] = 0.0;
+      ub_[static_cast<std::size_t>(j)] = 0.0;
+    }
+    for (std::int32_t i = 0; i < m_; ++i) {
+      std::size_t si = static_cast<std::size_t>(i);
+      if (!is_artificial(basis_[si])) continue;
+      for (std::int32_t j = 0; j < first_art_; ++j) {
+        std::size_t sj = static_cast<std::size_t>(j);
+        if (in_basis_[sj]) continue;
+        std::vector<Real> w = ftran(j);
+        if (std::abs(w[si]) > 1e-7) {
+          std::int32_t leaving = basis_[si];
+          update_binv(w, i);
+          in_basis_[static_cast<std::size_t>(leaving)] = false;
+          value_[static_cast<std::size_t>(leaving)] = 0.0;
+          basis_[si] = j;
+          in_basis_[sj] = true;
+          // Degenerate swap: the entering variable keeps its bound value
+          // (the artificial it replaces was at 0, so xB is unchanged).
+          break;
+        }
+      }
+    }
+  }
+
+  LpStatus iterate() {
+    std::int64_t degenerate_run = 0;
+    while (true) {
+      if (iters_++ > opt_.max_iterations) return LpStatus::IterationLimit;
+      bool bland = degenerate_run > opt_.bland_threshold;
+
+      // Pricing: y = Binvᵀ c_B; d_j = c_j − y·A_j.
+      std::vector<Real> y(static_cast<std::size_t>(m_), 0.0);
+      for (std::int32_t i = 0; i < m_; ++i) {
+        Real cb = cost_of(basis_[static_cast<std::size_t>(i)]);
+        if (cb == 0.0) continue;
+        for (std::int32_t t = 0; t < m_; ++t)
+          y[static_cast<std::size_t>(t)] +=
+              cb *
+              binv_[static_cast<std::size_t>(i)][static_cast<std::size_t>(t)];
+      }
+      std::int32_t enter = -1;
+      int enter_dir = +1;
+      Real best = 0.0;
+      for (std::int32_t j = 0; j < ntotal_; ++j) {
+        std::size_t sj = static_cast<std::size_t>(j);
+        if (in_basis_[sj]) continue;
+        if (!phase1_ && is_artificial(j)) continue;
+        if (lb_[sj] == ub_[sj]) continue;
+        Real d = cost_of(j);
+        const auto& a = cols_[sj];
+        for (std::int32_t t = 0; t < m_; ++t) {
+          Real at = a[static_cast<std::size_t>(t)];
+          if (at != 0.0) d -= y[static_cast<std::size_t>(t)] * at;
+        }
+        int dir = 0;
+        Real viol = 0.0;
+        if (!at_upper_[sj] && d < -opt_.tol) {
+          dir = +1;
+          viol = -d;
+        } else if (at_upper_[sj] && d > opt_.tol) {
+          dir = -1;
+          viol = d;
+        }
+        if (dir == 0) continue;
+        if (bland) {
+          enter = j;
+          enter_dir = dir;
+          break;
+        }
+        if (viol > best) {
+          best = viol;
+          enter = j;
+          enter_dir = dir;
+        }
+      }
+      if (enter < 0) return LpStatus::Optimal;
+      std::size_t se = static_cast<std::size_t>(enter);
+
+      std::vector<Real> w = ftran(enter);
+
+      // Ratio test: entering moves t ≥ 0 along enter_dir; basic variable i
+      // changes by −enter_dir·w_i·t.
+      Real limit = ub_[se] - lb_[se];  // bound-flip distance (may be inf)
+      std::int32_t leave_row = -1;
+      Real leave_bound = 0.0;
+      for (std::int32_t i = 0; i < m_; ++i) {
+        std::size_t si = static_cast<std::size_t>(i);
+        Real delta = -static_cast<Real>(enter_dir) * w[si];
+        if (std::abs(delta) < 1e-11) continue;
+        std::size_t sbj = static_cast<std::size_t>(basis_[si]);
+        Real xv = value_[sbj];
+        Real t, bound;
+        if (delta > 0) {
+          if (ub_[sbj] >= kInfinity) continue;
+          t = (ub_[sbj] - xv) / delta;
+          bound = ub_[sbj];
+        } else {
+          if (lb_[sbj] <= -kInfinity) continue;
+          t = (lb_[sbj] - xv) / delta;
+          bound = lb_[sbj];
+        }
+        if (t < 0.0) t = 0.0;
+        bool better = t < limit - 1e-12;
+        bool tie = !better && leave_row >= 0 && t <= limit + 1e-12;
+        if (better || (tie && bland &&
+                       basis_[si] <
+                           basis_[static_cast<std::size_t>(leave_row)])) {
+          limit = std::min(limit, t);
+          leave_row = i;
+          leave_bound = bound;
+        }
+      }
+
+      if (limit >= kInfinity) return LpStatus::Unbounded;
+      degenerate_run = limit < 1e-10 ? degenerate_run + 1 : 0;
+
+      for (std::int32_t i = 0; i < m_; ++i) {
+        std::size_t si = static_cast<std::size_t>(i);
+        value_[static_cast<std::size_t>(basis_[si])] -=
+            static_cast<Real>(enter_dir) * w[si] * limit;
+      }
+      Real new_enter_val =
+          value_[se] + static_cast<Real>(enter_dir) * limit;
+      if (leave_row < 0) {
+        value_[se] = new_enter_val;  // bound flip
+        at_upper_[se] = !at_upper_[se];
+        continue;
+      }
+      std::size_t slr = static_cast<std::size_t>(leave_row);
+      std::size_t slv = static_cast<std::size_t>(basis_[slr]);
+      value_[slv] = leave_bound;
+      at_upper_[slv] =
+          ub_[slv] < kInfinity && std::abs(leave_bound - ub_[slv]) < 1e-9;
+      in_basis_[slv] = false;
+      update_binv(w, leave_row);
+      basis_[slr] = enter;
+      in_basis_[se] = true;
+      value_[se] = new_enter_val;
+    }
+  }
+
+  const LinearProgram& lp_;
+  SimplexSolver::Options opt_;
+  const std::int32_t m_;
+
+  std::vector<std::vector<Real>> cols_;  ///< dense, column-major
+  std::vector<Real> lb_, ub_, cost2_, b_, value_;
+  std::vector<bool> at_upper_, in_basis_;
+  std::vector<std::int32_t> basis_, slack_of_row_;
+  std::vector<std::vector<Real>> binv_;
+  std::int32_t num_art_ = 0;
+  std::int32_t first_art_ = 0;
+  std::int32_t ntotal_ = 0;
+  bool phase1_ = false;
+  std::int64_t iters_ = 0;
+};
+
+}  // namespace
+
+LpSolution SimplexSolver::solve(const LinearProgram& lp) const {
+  COSCHED_EXPECTS(lp.num_rows() >= 1);
+  COSCHED_EXPECTS(lp.num_vars() >= 1);
+  SimplexCore core(lp, options_);
+  return core.run();
+}
+
+}  // namespace cosched

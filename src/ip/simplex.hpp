@@ -1,0 +1,83 @@
+// A from-scratch LP solver: bounded-variable two-phase primal simplex with
+// an explicitly maintained basis inverse.
+//
+// This is the substrate that replaces the commercial/OSS MILP solvers
+// (CPLEX/CBC/SCIP/GLPK) the paper benchmarks against in Table III. The
+// co-scheduling LPs are small-row/many-column (set partitioning over
+// C(n,u) columns), which dense column storage and O(m²) pivots handle
+// comfortably at the paper's scales.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace cosched {
+
+/// min cᵀx  s.t.  row constraints, lb ≤ x ≤ ub (ub may be +infinity).
+class LinearProgram {
+ public:
+  enum class RowType { LE, GE, EQ };
+
+  /// Adds a variable; returns its index.
+  std::int32_t add_variable(Real cost, Real lb, Real ub);
+
+  /// Adds a row Σ coeff·x {≤,≥,=} rhs. Variable indices must exist.
+  void add_row(std::vector<std::pair<std::int32_t, Real>> coeffs,
+               RowType type, Real rhs);
+
+  std::int32_t num_vars() const {
+    return static_cast<std::int32_t>(cost_.size());
+  }
+  std::int32_t num_rows() const {
+    return static_cast<std::int32_t>(rows_.size());
+  }
+
+  Real cost(std::int32_t j) const { return cost_[static_cast<std::size_t>(j)]; }
+  Real lower(std::int32_t j) const { return lb_[static_cast<std::size_t>(j)]; }
+  Real upper(std::int32_t j) const { return ub_[static_cast<std::size_t>(j)]; }
+  void set_bounds(std::int32_t j, Real lb, Real ub);
+
+  struct Row {
+    std::vector<std::pair<std::int32_t, Real>> coeffs;
+    RowType type;
+    Real rhs;
+  };
+  const Row& row(std::int32_t i) const {
+    return rows_[static_cast<std::size_t>(i)];
+  }
+
+ private:
+  std::vector<Real> cost_, lb_, ub_;
+  std::vector<Row> rows_;
+};
+
+enum class LpStatus { Optimal, Infeasible, Unbounded, IterationLimit };
+
+struct LpSolution {
+  LpStatus status = LpStatus::IterationLimit;
+  Real objective = kInfinity;
+  std::vector<Real> x;       ///< structural variable values
+  std::int64_t iterations = 0;
+};
+
+class SimplexSolver {
+ public:
+  struct Options {
+    Real tol = 1e-9;
+    std::int64_t max_iterations = 200000;
+    /// Consecutive degenerate pivots before switching to Bland's rule.
+    std::int64_t bland_threshold = 500;
+  };
+
+  SimplexSolver() = default;
+  explicit SimplexSolver(Options options) : options_(options) {}
+
+  LpSolution solve(const LinearProgram& lp) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace cosched

@@ -1,0 +1,44 @@
+// Combinatorial helpers: binomials, combination enumeration/ranking.
+//
+// The co-scheduling graph has C(n,u) nodes; level i holds C(n-i-1, u-1) of
+// them (all u-subsets whose smallest member is i). These helpers enumerate
+// and rank such subsets without materializing the graph.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace cosched {
+
+/// Binomial coefficient C(n, k) as a saturating 64-bit value.
+/// Returns UINT64_MAX on overflow (callers treat that as "too many to count").
+std::uint64_t binomial(std::uint64_t n, std::uint64_t k);
+
+/// Enumerates all k-combinations of the values in `pool` (pool need not be
+/// contiguous), invoking `fn` with each combination in lexicographic order of
+/// pool positions. `fn` returns false to stop early.
+///
+/// The combination buffer handed to `fn` is reused between calls.
+void for_each_combination(
+    const std::vector<std::int32_t>& pool, std::size_t k,
+    const std::function<bool(const std::vector<std::int32_t>&)>& fn);
+
+/// In-place advance of `comb` (positions into a pool of size `pool_size`)
+/// to the lexicographically next k-combination. Returns false when `comb`
+/// was the last combination.
+bool next_combination_indices(std::vector<std::size_t>& comb,
+                              std::size_t pool_size);
+
+/// Lexicographic rank of a sorted k-subset of {0..n-1}. Inverse of
+/// unrank_combination. Saturates like binomial().
+std::uint64_t rank_combination(const std::vector<std::int32_t>& comb,
+                               std::int32_t n);
+
+/// The `rank`-th (0-based, lexicographic) k-subset of {0..n-1}.
+std::vector<std::int32_t> unrank_combination(std::uint64_t rank,
+                                             std::int32_t n, std::size_t k);
+
+}  // namespace cosched

@@ -1,0 +1,75 @@
+// Common definitions shared by every cosched module.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace cosched {
+
+/// Floating-point type used for degradations, times and objective values.
+using Real = double;
+
+/// Identifier of a process (0-based). A serial job owns exactly one process;
+/// a parallel job owns several consecutive ones.
+using ProcessId = std::int32_t;
+
+/// Identifier of a job (0-based), serial or parallel.
+using JobId = std::int32_t;
+
+inline constexpr ProcessId kInvalidProcess = -1;
+inline constexpr JobId kInvalidJob = -1;
+inline constexpr Real kInfinity = std::numeric_limits<Real>::infinity();
+
+/// Thrown when an API precondition is violated by the caller.
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* what, const char* expr,
+                                       std::source_location loc) {
+  std::string msg = std::string(what) + ": `" + expr + "` at " +
+                    loc.file_name() + ":" + std::to_string(loc.line()) + " (" +
+                    loc.function_name() + ")";
+  throw ContractViolation(msg);
+}
+}  // namespace detail
+
+/// Precondition check. Always on (the costs are negligible next to search);
+/// throws ContractViolation so tests can assert on misuse.
+#define COSCHED_EXPECTS(cond)                                       \
+  do {                                                              \
+    if (!(cond))                                                    \
+      ::cosched::detail::contract_fail("precondition failed", #cond, \
+                                       std::source_location::current()); \
+  } while (0)
+
+/// Internal invariant check.
+#define COSCHED_ENSURES(cond)                                      \
+  do {                                                             \
+    if (!(cond))                                                   \
+      ::cosched::detail::contract_fail("invariant failed", #cond,  \
+                                       std::source_location::current()); \
+  } while (0)
+
+/// Approximate floating-point comparison tolerance used across the library
+/// when comparing objective values produced along different code paths.
+inline constexpr Real kObjectiveEps = 1e-9;
+
+inline bool approx_equal(Real a, Real b, Real eps = 1e-9) {
+  Real diff = a > b ? a - b : b - a;
+  Real scale = 1.0;
+  Real aa = a < 0 ? -a : a;
+  Real bb = b < 0 ? -b : b;
+  if (aa > scale) scale = aa;
+  if (bb > scale) scale = bb;
+  return diff <= eps * scale;
+}
+
+}  // namespace cosched

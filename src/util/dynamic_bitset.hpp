@@ -1,0 +1,108 @@
+// A compact dynamically-sized bitset used to represent process sets.
+//
+// The OA* search keeps one open-list entry per *set of scheduled processes*
+// (see DESIGN.md, "OA* state"), so this type is on the hottest path of the
+// whole library: it must hash fast, compare fast, and iterate set bits fast.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace cosched {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+
+  /// Creates a bitset of `size` bits, all cleared.
+  explicit DynamicBitset(std::size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool test(std::size_t pos) const {
+    COSCHED_EXPECTS(pos < size_);
+    return (words_[pos >> 6] >> (pos & 63)) & 1ULL;
+  }
+
+  void set(std::size_t pos) {
+    COSCHED_EXPECTS(pos < size_);
+    words_[pos >> 6] |= (1ULL << (pos & 63));
+  }
+
+  void reset(std::size_t pos) {
+    COSCHED_EXPECTS(pos < size_);
+    words_[pos >> 6] &= ~(1ULL << (pos & 63));
+  }
+
+  void clear_all() {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// Number of set bits.
+  std::size_t count() const {
+    std::size_t c = 0;
+    for (auto w : words_) c += static_cast<std::size_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+  bool any() const {
+    for (auto w : words_)
+      if (w) return true;
+    return false;
+  }
+
+  bool none() const { return !any(); }
+
+  /// Index of the lowest clear bit, or size() if all bits are set.
+  /// This is the "valid level" lookup in the co-scheduling graph: the next
+  /// level to expand is the smallest unscheduled process id.
+  std::size_t find_first_clear() const;
+
+  /// Index of the lowest set bit >= from, or size() if none.
+  std::size_t find_next_set(std::size_t from) const;
+
+  /// Index of the lowest clear bit >= from, or size() if none.
+  std::size_t find_next_clear(std::size_t from) const;
+
+  /// Appends the indices of all set bits to `out`.
+  void collect_set(std::vector<std::int32_t>& out) const;
+
+  /// Appends the indices of all clear bits to `out`.
+  void collect_clear(std::vector<std::int32_t>& out) const;
+
+  /// True if every set bit of `other` is also set in *this.
+  bool contains_all(const DynamicBitset& other) const;
+
+  /// True if *this and `other` share no set bits.
+  bool disjoint_with(const DynamicBitset& other) const;
+
+  DynamicBitset& operator|=(const DynamicBitset& other);
+  DynamicBitset& operator&=(const DynamicBitset& other);
+
+  bool operator==(const DynamicBitset& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+  /// 64-bit hash of the contents (FNV-1a over words, size-mixed).
+  std::uint64_t hash() const;
+
+  /// "{0,3,7}"-style rendering for diagnostics.
+  std::string to_string() const;
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+struct DynamicBitsetHash {
+  std::size_t operator()(const DynamicBitset& b) const {
+    return static_cast<std::size_t>(b.hash());
+  }
+};
+
+}  // namespace cosched

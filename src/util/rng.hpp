@@ -1,0 +1,130 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// All experiments in this repository are seed-reproducible: the same seed
+// yields the same synthetic workload, the same co-scheduling graph and the
+// same results, on any platform. We therefore avoid std::mt19937's
+// distribution non-portability by implementing the distributions we need on
+// top of xoshiro256** (public-domain algorithm by Blackman & Vigna).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/common.hpp"
+
+namespace cosched {
+
+/// SplitMix64 — used to seed xoshiro and as a cheap standalone mixer.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — the library's workhorse generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5EEDC05CEDULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound) {
+    COSCHED_EXPECTS(bound > 0);
+    // Lemire's nearly-divisionless method, with rejection for exactness.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    COSCHED_EXPECTS(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    uniform(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform real in [0, 1).
+  Real uniform01() {
+    return static_cast<Real>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform real in [lo, hi).
+  Real uniform_real(Real lo, Real hi) {
+    COSCHED_EXPECTS(lo <= hi);
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Standard normal via Box-Muller (single value; we do not cache the pair
+  /// to keep the generator state a pure function of the call count).
+  Real normal(Real mean = 0.0, Real stddev = 1.0);
+
+  /// Fisher-Yates shuffle of a random-access container.
+  template <typename Container>
+  void shuffle(Container& c) {
+    const std::size_t n = c.size();
+    for (std::size_t i = n; i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform(i));
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+inline Real Rng::normal(Real mean, Real stddev) {
+  // Box-Muller; u1 in (0,1] to avoid log(0).
+  Real u1 = 1.0 - uniform01();
+  Real u2 = uniform01();
+  constexpr Real kTwoPi = 6.283185307179586476925286766559;
+  Real mag = stddev * __builtin_sqrt(-2.0 * __builtin_log(u1));
+  return mean + mag * __builtin_cos(kTwoPi * u2);
+}
+
+}  // namespace cosched

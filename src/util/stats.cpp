@@ -1,0 +1,59 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cosched {
+
+Real mean(const std::vector<Real>& xs) {
+  if (xs.empty()) return 0.0;
+  Real s = 0.0;
+  for (Real x : xs) s += x;
+  return s / static_cast<Real>(xs.size());
+}
+
+Real stddev(const std::vector<Real>& xs) {
+  if (xs.size() < 2) return 0.0;
+  Real m = mean(xs);
+  Real s = 0.0;
+  for (Real x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<Real>(xs.size() - 1));
+}
+
+Real percentile(std::vector<Real> xs, Real p) {
+  COSCHED_EXPECTS(!xs.empty());
+  COSCHED_EXPECTS(p >= 0.0 && p <= 1.0);
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  Real idx = p * static_cast<Real>(xs.size() - 1);
+  auto lo = static_cast<std::size_t>(idx);
+  std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  Real frac = idx - static_cast<Real>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+std::vector<CdfPoint> empirical_cdf(const std::vector<Real>& samples,
+                                    const std::vector<Real>& thresholds) {
+  std::vector<Real> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<CdfPoint> out;
+  out.reserve(thresholds.size());
+  for (Real t : thresholds) {
+    auto it = std::upper_bound(sorted.begin(), sorted.end(), t);
+    Real frac = sorted.empty()
+                    ? 0.0
+                    : static_cast<Real>(it - sorted.begin()) /
+                          static_cast<Real>(sorted.size());
+    out.push_back({t, frac});
+  }
+  return out;
+}
+
+std::vector<CdfPoint> empirical_cdf(const std::vector<Real>& samples) {
+  std::vector<Real> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  return empirical_cdf(samples, sorted);
+}
+
+}  // namespace cosched

@@ -1,0 +1,31 @@
+// Small statistics helpers for the benchmark harness (means, percentiles,
+// empirical CDFs for the Fig. 5 MER study).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace cosched {
+
+Real mean(const std::vector<Real>& xs);
+Real stddev(const std::vector<Real>& xs);
+
+/// p in [0,1]; linear interpolation between order statistics.
+Real percentile(std::vector<Real> xs, Real p);
+
+/// Empirical CDF evaluated at integer thresholds: for each t in `thresholds`,
+/// the fraction of samples <= t.
+struct CdfPoint {
+  Real threshold;
+  Real fraction;  // in [0,1]
+};
+
+std::vector<CdfPoint> empirical_cdf(const std::vector<Real>& samples,
+                                    const std::vector<Real>& thresholds);
+
+/// Full empirical CDF over the distinct sample values (sorted ascending).
+std::vector<CdfPoint> empirical_cdf(const std::vector<Real>& samples);
+
+}  // namespace cosched

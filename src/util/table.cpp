@@ -1,0 +1,86 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace cosched {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  COSCHED_EXPECTS(!headers_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  COSCHED_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::fmt(Real value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TextTable::fmt_int(std::int64_t value) {
+  return std::to_string(value);
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "| " << row[c];
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) os << ' ';
+      os << ' ';
+    }
+    os << "|\n";
+  };
+  emit_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << "|";
+    for (std::size_t i = 0; i < widths[c] + 2; ++i) os << '-';
+  }
+  os << "|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string TextTable::render_csv() const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string q = "\"";
+    for (char ch : s) {
+      if (ch == '"') q += "\"\"";
+      else q += ch;
+    }
+    q += '"';
+    return q;
+  };
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << ',';
+    os << quote(headers_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << quote(row[c]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const { os << render(); }
+
+}  // namespace cosched

@@ -1,0 +1,41 @@
+// Text-table and CSV rendering for the experiment harness.
+//
+// Every bench binary prints (a) an aligned human-readable table mirroring the
+// paper's table/figure and (b) optionally the same data as CSV for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace cosched {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats Real cells with `precision` significant decimals.
+  static std::string fmt(Real value, int precision = 4);
+  static std::string fmt_int(std::int64_t value);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with column alignment and a header separator.
+  std::string render() const;
+
+  /// Renders as RFC-4180-ish CSV (cells containing commas/quotes get quoted).
+  std::string render_csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cosched

@@ -1,0 +1,83 @@
+#include "vm/hungarian.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace cosched {
+
+// The classic O(n³) potentials formulation (Jonker-style row-by-row
+// shortest augmenting paths with dual updates).
+std::vector<std::int32_t> solve_assignment_min(
+    const std::vector<std::vector<Real>>& cost) {
+  const std::size_t n = cost.size();
+  COSCHED_EXPECTS(n >= 1);
+  for (const auto& row : cost) COSCHED_EXPECTS(row.size() == n);
+
+  // 1-based sentinel arrays, standard formulation.
+  std::vector<Real> u(n + 1, 0.0), v(n + 1, 0.0);
+  std::vector<std::size_t> p(n + 1, 0);   // p[j] = row matched to column j
+  std::vector<std::size_t> way(n + 1, 0);
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    std::size_t j0 = 0;
+    std::vector<Real> minv(n + 1, kInfinity);
+    std::vector<bool> used(n + 1, false);
+    do {
+      used[j0] = true;
+      std::size_t i0 = p[j0];
+      std::size_t j1 = 0;
+      Real delta = kInfinity;
+      for (std::size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        Real cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    // Augment along the path.
+    do {
+      std::size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<std::int32_t> assignment(n, -1);
+  for (std::size_t j = 1; j <= n; ++j)
+    if (p[j] >= 1)
+      assignment[p[j] - 1] = static_cast<std::int32_t>(j - 1);
+  return assignment;
+}
+
+std::vector<std::int32_t> solve_assignment_max(
+    const std::vector<std::vector<Real>>& weight) {
+  const std::size_t n = weight.size();
+  COSCHED_EXPECTS(n >= 1);
+  Real max_w = 0.0;
+  for (const auto& row : weight) {
+    COSCHED_EXPECTS(row.size() == n);
+    for (Real w : row) max_w = std::max(max_w, w);
+  }
+  std::vector<std::vector<Real>> cost(n, std::vector<Real>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) cost[i][j] = max_w - weight[i][j];
+  return solve_assignment_min(cost);
+}
+
+}  // namespace cosched

@@ -1,0 +1,26 @@
+// Hungarian (Kuhn-Munkres) algorithm for the assignment problem.
+//
+// Substrate for the migration extension (the paper's stated future work:
+// optimal VM-to-physical-machine mapping with migrations): matching new
+// schedule groups to old machines so as to maximize kept processes is a
+// max-weight bipartite assignment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace cosched {
+
+/// Solves min-cost assignment on a square cost matrix (row-major,
+/// cost[i][j] = cost of assigning row i to column j). Returns the column
+/// assigned to each row. O(n³).
+std::vector<std::int32_t> solve_assignment_min(
+    const std::vector<std::vector<Real>>& cost);
+
+/// Max-weight variant: maximizes Σ weight[i][assignment[i]].
+std::vector<std::int32_t> solve_assignment_max(
+    const std::vector<std::vector<Real>>& weight);
+
+}  // namespace cosched

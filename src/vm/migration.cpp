@@ -1,0 +1,122 @@
+#include "vm/migration.hpp"
+
+#include <algorithm>
+
+#include "astar/search.hpp"
+#include "vm/hungarian.hpp"
+
+namespace cosched {
+namespace {
+
+/// weight[old][new] = |old machine ∩ new machine|.
+std::vector<std::vector<Real>> overlap_matrix(const Solution& old_placement,
+                                              const Solution& fresh) {
+  const std::size_t m = old_placement.machines.size();
+  COSCHED_EXPECTS(fresh.machines.size() == m);
+  std::vector<std::vector<Real>> w(m, std::vector<Real>(m, 0.0));
+  for (std::size_t a = 0; a < m; ++a) {
+    for (std::size_t b = 0; b < m; ++b) {
+      for (ProcessId p : old_placement.machines[a])
+        for (ProcessId q : fresh.machines[b])
+          if (p == q) w[a][b] += 1.0;
+    }
+  }
+  return w;
+}
+
+std::int32_t total_processes(const Solution& s) {
+  std::int32_t n = 0;
+  for (const auto& m : s.machines)
+    n += static_cast<std::int32_t>(m.size());
+  return n;
+}
+
+}  // namespace
+
+Solution align_to_placement(const Solution& old_placement, Solution fresh) {
+  auto w = overlap_matrix(old_placement, fresh);
+  // assignment[a] = index of the fresh group that old machine a keeps.
+  auto assignment = solve_assignment_max(w);
+  Solution aligned;
+  aligned.machines.resize(old_placement.machines.size());
+  for (std::size_t a = 0; a < assignment.size(); ++a)
+    aligned.machines[a] =
+        std::move(fresh.machines[static_cast<std::size_t>(assignment[a])]);
+  for (auto& m : aligned.machines) std::sort(m.begin(), m.end());
+  return aligned;
+}
+
+std::int32_t min_migrations(const Solution& old_placement,
+                            const Solution& fresh) {
+  auto w = overlap_matrix(old_placement, fresh);
+  auto assignment = solve_assignment_max(w);
+  Real kept = 0.0;
+  for (std::size_t a = 0; a < assignment.size(); ++a)
+    kept += w[a][static_cast<std::size_t>(assignment[a])];
+  return total_processes(old_placement) - static_cast<std::int32_t>(kept);
+}
+
+ReplanResult replan_with_migrations(const Problem& problem,
+                                    const Solution& current,
+                                    const ReplanOptions& options) {
+  problem.check();
+  validate_solution(problem, current);
+  COSCHED_EXPECTS(options.migration_cost >= 0.0);
+
+  auto combined_of = [&](const Solution& aligned) {
+    ReplanResult r;
+    r.placement = aligned;
+    r.degradation = evaluate_solution(problem, aligned).total;
+    r.migrations = min_migrations(current, aligned);
+    r.combined = r.degradation + options.migration_cost *
+                                     static_cast<Real>(r.migrations);
+    return r;
+  };
+
+  // Candidate 1: stay put.
+  ReplanResult best = combined_of(current);
+
+  // Candidate 2: a fresh HA* schedule, machine-aligned to the old
+  // placement so its migration count is minimal.
+  auto fresh = solve_hastar(problem);
+  if (fresh.found) {
+    ReplanResult cand =
+        combined_of(align_to_placement(current, fresh.solution));
+    if (cand.combined < best.combined) best = cand;
+  }
+
+  // Candidate 3: migration-aware local search from the best so far —
+  // first-improvement swaps under the combined objective. Machine identity
+  // is positional here, so migration deltas are exact per swap.
+  Solution work = best.placement;
+  const std::size_t m = work.machines.size();
+  const std::size_t u = static_cast<std::size_t>(problem.u());
+  Real work_combined = best.combined;
+  for (std::uint64_t pass = 0; pass < options.max_passes; ++pass) {
+    bool improved = false;
+    for (std::size_t a = 0; a < m; ++a) {
+      for (std::size_t b = a + 1; b < m; ++b) {
+        for (std::size_t i = 0; i < u; ++i) {
+          for (std::size_t j = 0; j < u; ++j) {
+            std::swap(work.machines[a][i], work.machines[b][j]);
+            ReplanResult cand = combined_of(work);
+            if (cand.combined < work_combined - kObjectiveEps) {
+              work_combined = cand.combined;
+              improved = true;
+            } else {
+              std::swap(work.machines[a][i], work.machines[b][j]);
+            }
+          }
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  {
+    ReplanResult cand = combined_of(work);
+    if (cand.combined < best.combined) best = cand;
+  }
+  return best;
+}
+
+}  // namespace cosched

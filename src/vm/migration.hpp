@@ -1,0 +1,54 @@
+// Migration-aware rescheduling — the paper's stated future work ("extend
+// our co-scheduling methods to solve the optimal mapping of virtual
+// machines on physical machines... allow the VM migrations between
+// physical machines").
+//
+// A running placement identifies machines; a fresh co-schedule is only a
+// partition. The bridge is an assignment problem: map new groups onto old
+// machines so as many processes as possible stay put (max-weight matching
+// on group overlap; Hungarian). Replanning then trades contention
+// degradation against the number of migrations.
+#pragma once
+
+#include <cstdint>
+
+#include "core/objective.hpp"
+#include "core/problem.hpp"
+
+namespace cosched {
+
+/// Relabels `fresh.machines` so that machine k inherits the identity of the
+/// old machine it overlaps most (max-weight assignment). Both solutions
+/// must partition the same process set into the same number of machines.
+Solution align_to_placement(const Solution& old_placement, Solution fresh);
+
+/// Minimum number of processes that must move to turn `old_placement` into
+/// (a machine-relabeling of) `fresh`.
+std::int32_t min_migrations(const Solution& old_placement,
+                            const Solution& fresh);
+
+struct ReplanOptions {
+  /// Cost (in degradation units) charged per migrated process. 0 replans
+  /// freely; large values pin the current placement.
+  Real migration_cost = 0.05;
+  /// Swap-improvement passes for the migration-aware local search.
+  std::uint64_t max_passes = 30;
+};
+
+struct ReplanResult {
+  Solution placement;          ///< machine-aligned to the old placement
+  Real degradation = 0.0;      ///< Eq. 13 objective of the placement
+  std::int32_t migrations = 0; ///< processes that moved
+  Real combined = 0.0;         ///< degradation + migration_cost * migrations
+};
+
+/// Replans an existing placement: starts from `current`, applies a local
+/// search over process swaps under the combined objective, compares against
+/// a migration-aligned fresh HA* schedule, and returns the better of the
+/// two. Never returns anything worse (combined-objective-wise) than
+/// keeping `current`.
+ReplanResult replan_with_migrations(const Problem& problem,
+                                    const Solution& current,
+                                    const ReplanOptions& options = {});
+
+}  // namespace cosched

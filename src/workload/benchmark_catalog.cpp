@@ -1,0 +1,148 @@
+#include "workload/benchmark_catalog.hpp"
+
+#include <algorithm>
+
+#include "cache/lru_cache_sim.hpp"
+
+namespace cosched {
+namespace {
+
+// Hash a program name into a stable per-program trace seed component.
+std::uint64_t name_seed(const std::string& name) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::vector<CatalogEntry> build_catalog() {
+  using R = CatalogEntry::RegionSpec;
+  std::vector<CatalogEntry> cat;
+
+  // --- NPB3.3-SER stand-ins (problem size C flavour) -----------------------
+  // Mix of a hot small region and a cold large region; compute intensity and
+  // large-region size tuned so miss rates span cache-friendly to thrashing.
+  cat.push_back({"BT", {R{0.05, 3.0}, R{0.60, 1.0}}, 0.00, 72.0});
+  cat.push_back({"CG", {R{0.02, 1.0}, R{1.50, 2.0, 1, 0.50}}, 0.00, 24.0});
+  cat.push_back({"EP", {R{0.002, 1.0}}, 0.00, 160.0});
+  cat.push_back({"FT", {R{2.00, 1.0}, R{0.10, 1.0}}, 0.05, 40.0});
+  cat.push_back({"IS", {R{1.20, 1.0, 1, 0.90}, R{0.05, 1.0}}, 0.00, 20.0});
+  cat.push_back({"LU", {R{0.25, 2.0}, R{0.90, 1.0}}, 0.00, 56.0});
+  cat.push_back({"MG", {R{1.80, 1.0, 2}, R{0.08, 1.0}}, 0.00, 32.0});
+  cat.push_back({"SP", {R{0.30, 2.0}, R{0.80, 1.0}}, 0.00, 60.0});
+  cat.push_back({"UA", {R{0.50, 1.0, 1, 0.30}, R{0.05, 2.0}}, 0.00, 48.0});
+  cat.push_back({"DC", {R{1.00, 1.0, 1, 0.60}}, 0.25, 24.0});
+
+  // --- SPEC CPU 2000 stand-ins ---------------------------------------------
+  cat.push_back({"applu", {R{0.35, 2.0}, R{1.00, 1.0}}, 0.00, 52.0});
+  cat.push_back({"art", {R{1.30, 3.0}, R{0.01, 1.0}}, 0.00, 16.0});
+  cat.push_back({"ammp", {R{0.40, 1.0, 1, 0.20}, R{0.08, 2.0}}, 0.00, 48.0});
+  cat.push_back({"equake", {R{1.10, 2.0}, R{0.05, 1.0}}, 0.00, 28.0});
+  cat.push_back({"galgel", {R{0.15, 3.0}, R{0.50, 1.0}}, 0.00, 64.0});
+  cat.push_back({"vpr", {R{0.45, 2.0, 1, 0.40}, R{0.03, 1.0}}, 0.00, 40.0});
+
+  // --- Embarrassingly parallel (PE) programs -------------------------------
+  // PI and MMS are compute-intensive (paper Section V); RA is the HPCC
+  // RandomAccess kernel, the canonical memory-intensive antagonist.
+  cat.push_back({"PI", {R{0.001, 1.0}}, 0.00, 200.0});
+  cat.push_back({"MMS", {R{0.004, 1.0}}, 0.00, 180.0});
+  cat.push_back({"RA", {R{4.00, 1.0, 1, 1.00}}, 0.00, 12.0});
+  cat.push_back({"MCM", {R{0.01, 1.0}}, 0.00, 140.0});
+  cat.push_back({"EP-Par", {R{0.002, 1.0}}, 0.00, 160.0});
+
+  // --- NPB3.3-MPI (PC) stand-ins — per-process working sets ----------------
+  cat.push_back({"BT-Par", {R{0.08, 3.0}, R{0.50, 1.0}}, 0.00, 64.0});
+  cat.push_back({"CG-Par", {R{0.03, 1.0}, R{1.20, 2.0, 1, 0.50}}, 0.00, 24.0});
+  cat.push_back({"LU-Par", {R{0.20, 2.0}, R{0.80, 1.0}}, 0.00, 52.0});
+  cat.push_back({"MG-Par", {R{1.50, 1.0, 2}, R{0.06, 1.0}}, 0.00, 32.0});
+
+  return cat;
+}
+
+}  // namespace
+
+const std::vector<CatalogEntry>& benchmark_catalog() {
+  static const std::vector<CatalogEntry> catalog = build_catalog();
+  return catalog;
+}
+
+bool has_catalog_entry(const std::string& name) {
+  const auto& cat = benchmark_catalog();
+  return std::any_of(cat.begin(), cat.end(),
+                     [&](const CatalogEntry& e) { return e.name == name; });
+}
+
+const CatalogEntry& catalog_entry(const std::string& name) {
+  for (const auto& e : benchmark_catalog())
+    if (e.name == name) return e;
+  throw ContractViolation("unknown catalog program: " + name);
+}
+
+std::vector<std::string> npb_serial_names() {
+  return {"BT", "CG", "EP", "FT", "IS", "LU", "MG", "SP", "UA", "DC"};
+}
+std::vector<std::string> spec_serial_names() {
+  return {"applu", "art", "ammp", "equake", "galgel", "vpr"};
+}
+std::vector<std::string> pe_program_names() {
+  return {"PI", "MMS", "RA", "MCM", "EP-Par"};
+}
+std::vector<std::string> pc_program_names() {
+  return {"BT-Par", "CG-Par", "LU-Par", "MG-Par"};
+}
+
+ProgramCharacterizer::ProgramCharacterizer(MachineConfig machine,
+                                           std::size_t trace_length,
+                                           std::uint64_t seed,
+                                           std::uint32_t cache_scale)
+    : machine_(std::move(machine)), trace_length_(trace_length), seed_(seed) {
+  COSCHED_EXPECTS(trace_length_ >= 1000);
+  COSCHED_EXPECTS(cache_scale >= 1);
+  sim_cache_ = machine_.shared_cache;
+  sim_cache_.num_sets = std::max<std::uint32_t>(
+      16, machine_.shared_cache.num_sets / cache_scale);
+}
+
+const CharacterizedProgram& ProgramCharacterizer::characterize(
+    const std::string& name) {
+  auto it = cache_.find(name);
+  if (it != cache_.end()) return *it->second;
+
+  const CatalogEntry& entry = catalog_entry(name);
+  // Build the absolute locality spec against the set-sampled cache (the
+  // catalog sizes regions as cache fractions, so scaling is automatic).
+  LocalitySpec spec;
+  spec.streaming_prob = entry.streaming_prob;
+  const Real cache_lines = static_cast<Real>(sim_cache_.size_lines());
+  for (const auto& r : entry.regions) {
+    LocalityRegion region;
+    region.size_lines = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(r.size_frac * cache_lines));
+    region.weight = r.weight;
+    region.stride_lines = r.stride;
+    region.jump_prob = r.jump_prob;
+    spec.regions.push_back(region);
+  }
+
+  TraceGenerator gen(spec, seed_ ^ name_seed(name));
+  std::vector<std::uint64_t> trace = gen.generate(trace_length_);
+  CacheSimResult sim = LruCacheSim::simulate(sim_cache_, trace);
+
+  auto prog = std::make_unique<CharacterizedProgram>();
+  prog->name = name;
+  prog->sdp = sim.sdp;
+  prog->timing.base_cycles =
+      static_cast<Real>(trace_length_) * entry.compute_cycles_per_access;
+  prog->timing.solo_misses = static_cast<Real>(sim.misses);
+  prog->solo_time_seconds =
+      cpu_time_seconds(prog->timing, prog->timing.solo_misses, machine_);
+  prog->solo_miss_rate = sim.miss_rate();
+
+  auto [pos, inserted] = cache_.emplace(name, std::move(prog));
+  COSCHED_ENSURES(inserted);
+  return *pos->second;
+}
+
+}  // namespace cosched

@@ -1,0 +1,96 @@
+// The benchmark catalog: parametric stand-ins for the programs the paper
+// evaluates with (NPB3.3-SER, SPEC CPU 2000, NPB3.3-MPI and five
+// embarrassingly-parallel codes).
+//
+// Each entry is a locality mixture (region sizes expressed as fractions of
+// the shared cache so the same program exhibits different miss rates on the
+// 4MB/8MB/20MB machines, as real programs do) plus a compute intensity.
+// Characterization = generate the program's synthetic trace, run it through
+// the machine's shared cache (LruCacheSim) to get its solo SDP/miss count,
+// and derive the Eq. 14 timing. This mirrors the paper's measurement
+// pipeline with the hardware replaced by simulation (DESIGN.md
+// "Substitutions").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cpu_time_model.hpp"
+#include "cache/machine_config.hpp"
+#include "cache/stack_distance.hpp"
+#include "cache/trace_gen.hpp"
+
+namespace cosched {
+
+struct CatalogEntry {
+  struct RegionSpec {
+    Real size_frac;   ///< region size as a fraction of shared-cache lines
+    Real weight;      ///< mixture weight
+    std::uint64_t stride = 1;
+    Real jump_prob = 0.0;
+  };
+
+  std::string name;
+  std::vector<RegionSpec> regions;
+  Real streaming_prob = 0.0;
+  /// Non-stall (compute) cycles per memory access; high = compute-bound.
+  Real compute_cycles_per_access = 10.0;
+};
+
+/// All programs: NPB-SER (BT..DC), SPEC (applu..vpr), PE programs
+/// (PI, MMS, RA, MCM, EP-Par) and PC MPI programs (BT-Par, CG-Par, LU-Par,
+/// MG-Par).
+const std::vector<CatalogEntry>& benchmark_catalog();
+
+bool has_catalog_entry(const std::string& name);
+const CatalogEntry& catalog_entry(const std::string& name);
+
+/// Names of the serial programs used in the paper's experiments.
+std::vector<std::string> npb_serial_names();   // 10 programs
+std::vector<std::string> spec_serial_names();  // 6 programs
+std::vector<std::string> pe_program_names();   // 5 programs
+std::vector<std::string> pc_program_names();   // 4 programs
+
+/// A program characterized on a concrete machine.
+struct CharacterizedProgram {
+  std::string name;
+  StackDistanceProfile sdp;   ///< solo SDP on the machine's shared cache
+  ProgramTiming timing;       ///< base cycles + solo misses
+  Real solo_time_seconds = 0; ///< Eq. 14 with solo misses
+  Real solo_miss_rate = 0;
+};
+
+/// Characterizes catalog programs on one machine, memoizing results.
+/// Deterministic for a fixed (machine, trace_length, seed).
+///
+/// Simulation uses *set sampling*: the shared cache is simulated with
+/// num_sets/cache_scale sets (associativity unchanged) and the catalog's
+/// cache-relative region sizes shrink proportionally, so a short trace
+/// still cycles each working set many times. This preserves the SDP shape
+/// (which is all the SDC model consumes) while keeping characterization
+/// milliseconds instead of minutes.
+class ProgramCharacterizer {
+ public:
+  explicit ProgramCharacterizer(MachineConfig machine,
+                                std::size_t trace_length = 200000,
+                                std::uint64_t seed = 42,
+                                std::uint32_t cache_scale = 64);
+
+  const MachineConfig& machine() const { return machine_; }
+
+  /// Characterizes `name` (must exist in the catalog).
+  const CharacterizedProgram& characterize(const std::string& name);
+
+ private:
+  MachineConfig machine_;
+  std::size_t trace_length_;
+  std::uint64_t seed_;
+  CacheConfig sim_cache_;  ///< set-sampled shared cache
+  std::unordered_map<std::string, std::unique_ptr<CharacterizedProgram>>
+      cache_;
+};
+
+}  // namespace cosched

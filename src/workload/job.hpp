@@ -1,0 +1,43 @@
+// Jobs and processes.
+//
+// The unit of placement is the *process*: a serial job owns one process, a
+// parallel job owns several. Parallel jobs come in two flavours (paper
+// Section II-B): PE (embarrassingly parallel, no communication) and PC
+// (parallel with communications). Imaginary processes pad the batch to a
+// multiple of the core count u; they neither suffer nor cause degradation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace cosched {
+
+enum class JobKind {
+  Serial,           ///< one process, degradation summed (Eq. 2)
+  ParallelNoComm,   ///< PE job: max over processes (Eq. 5-6)
+  ParallelComm,     ///< PC job: max over comm-combined degradation (Eq. 9)
+  Imaginary,        ///< padding; zero degradation both ways
+};
+
+inline bool is_parallel_kind(JobKind k) {
+  return k == JobKind::ParallelNoComm || k == JobKind::ParallelComm;
+}
+
+const char* to_string(JobKind k);
+
+struct Job {
+  JobId id = kInvalidJob;
+  std::string name;
+  JobKind kind = JobKind::Serial;
+  /// Consecutive process ids owned by this job (exactly 1 for serial jobs).
+  std::vector<ProcessId> processes;
+  /// Index among parallel jobs (0..P-1) for per-job max bookkeeping in the
+  /// search state; -1 for serial/imaginary jobs.
+  std::int32_t parallel_index = -1;
+
+  bool is_parallel() const { return is_parallel_kind(kind); }
+};
+
+}  // namespace cosched

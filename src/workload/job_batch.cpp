@@ -1,0 +1,58 @@
+#include "workload/job_batch.hpp"
+
+namespace cosched {
+
+const char* to_string(JobKind k) {
+  switch (k) {
+    case JobKind::Serial: return "serial";
+    case JobKind::ParallelNoComm: return "PE";
+    case JobKind::ParallelComm: return "PC";
+    case JobKind::Imaginary: return "imaginary";
+  }
+  return "?";
+}
+
+JobId JobBatch::add_job(std::string name, JobKind kind,
+                        std::int32_t process_count) {
+  COSCHED_EXPECTS(process_count >= 1);
+  if (kind == JobKind::Serial || kind == JobKind::Imaginary)
+    COSCHED_EXPECTS(process_count == 1);
+  // Imaginary padding must come last so real process ids stay contiguous.
+  if (!jobs_.empty() && kind != JobKind::Imaginary)
+    COSCHED_EXPECTS(jobs_.back().kind != JobKind::Imaginary);
+
+  Job job;
+  job.id = job_count();
+  job.name = std::move(name);
+  job.kind = kind;
+  if (is_parallel_kind(kind)) job.parallel_index = parallel_job_count_++;
+  for (std::int32_t r = 0; r < process_count; ++r) {
+    ProcessId pid = this->process_count();
+    job.processes.push_back(pid);
+    process_job_.push_back(job.id);
+  }
+  if (kind != JobKind::Imaginary) real_process_count_ += process_count;
+  jobs_.push_back(std::move(job));
+  return jobs_.back().id;
+}
+
+std::int32_t JobBatch::pad_to_multiple(std::int32_t u) {
+  COSCHED_EXPECTS(u >= 1);
+  std::int32_t added = 0;
+  while (process_count() % u != 0) {
+    add_job("imaginary" + std::to_string(added), JobKind::Imaginary, 1);
+    ++added;
+  }
+  return added;
+}
+
+std::string JobBatch::process_label(ProcessId p) const {
+  const Job& j = job_of_process(p);
+  if (j.processes.size() == 1) return j.name;
+  for (std::size_t r = 0; r < j.processes.size(); ++r)
+    if (j.processes[r] == p)
+      return j.name + "[" + std::to_string(r) + "]";
+  return j.name + "[?]";
+}
+
+}  // namespace cosched

@@ -1,0 +1,69 @@
+// JobBatch: the set of jobs (and their processes) to be co-scheduled.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "workload/job.hpp"
+
+namespace cosched {
+
+class JobBatch {
+ public:
+  JobBatch() = default;
+
+  /// Appends a job with `process_count` freshly numbered processes.
+  /// Serial and imaginary jobs must have exactly one process.
+  JobId add_job(std::string name, JobKind kind, std::int32_t process_count);
+
+  /// Appends imaginary single-process jobs until process_count() is a
+  /// multiple of u (paper Section II-A). Returns how many were added.
+  std::int32_t pad_to_multiple(std::int32_t u);
+
+  std::int32_t job_count() const {
+    return static_cast<std::int32_t>(jobs_.size());
+  }
+  std::int32_t process_count() const {
+    return static_cast<std::int32_t>(process_job_.size());
+  }
+  /// Processes excluding imaginary padding.
+  std::int32_t real_process_count() const { return real_process_count_; }
+  /// Number of parallel (PE or PC) jobs.
+  std::int32_t parallel_job_count() const { return parallel_job_count_; }
+
+  const Job& job(JobId id) const {
+    COSCHED_EXPECTS(id >= 0 && id < job_count());
+    return jobs_[static_cast<std::size_t>(id)];
+  }
+  const std::vector<Job>& jobs() const { return jobs_; }
+
+  JobId job_of(ProcessId p) const {
+    COSCHED_EXPECTS(p >= 0 && p < process_count());
+    return process_job_[static_cast<std::size_t>(p)];
+  }
+  const Job& job_of_process(ProcessId p) const { return job(job_of(p)); }
+
+  JobKind kind_of(ProcessId p) const { return job_of_process(p).kind; }
+  bool is_imaginary(ProcessId p) const {
+    return kind_of(p) == JobKind::Imaginary;
+  }
+  bool is_parallel_process(ProcessId p) const {
+    return job_of_process(p).is_parallel();
+  }
+  /// Parallel index (0..P-1) of the process's job, or -1.
+  std::int32_t parallel_index_of(ProcessId p) const {
+    return job_of_process(p).parallel_index;
+  }
+
+  /// Human-readable "name[rank]" label of a process.
+  std::string process_label(ProcessId p) const;
+
+ private:
+  std::vector<Job> jobs_;
+  std::vector<JobId> process_job_;
+  std::int32_t real_process_count_ = 0;
+  std::int32_t parallel_job_count_ = 0;
+};
+
+}  // namespace cosched

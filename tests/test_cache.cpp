@@ -1,0 +1,247 @@
+// Unit tests for src/cache: LRU simulator, stack distance profiles, trace
+// generation, the SDC competition, and the Eq. 14-15 CPU-time model.
+#include <gtest/gtest.h>
+
+#include "cache/cpu_time_model.hpp"
+#include "cache/lru_cache_sim.hpp"
+#include "cache/machine_config.hpp"
+#include "cache/sdc_model.hpp"
+#include "cache/stack_distance.hpp"
+#include "cache/trace_gen.hpp"
+
+namespace cosched {
+namespace {
+
+// ----------------------------------------------------- StackDistanceProfile
+
+TEST(StackDistanceProfile, CountsHitsAndMisses) {
+  StackDistanceProfile sdp(4);
+  sdp.record_hit(1);
+  sdp.record_hit(1);
+  sdp.record_hit(4);
+  sdp.record_miss();
+  EXPECT_DOUBLE_EQ(sdp.total_hits(), 3.0);
+  EXPECT_DOUBLE_EQ(sdp.misses(), 1.0);
+  EXPECT_DOUBLE_EQ(sdp.total_accesses(), 4.0);
+  EXPECT_DOUBLE_EQ(sdp.miss_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(sdp.hits_at(1), 2.0);
+  EXPECT_DOUBLE_EQ(sdp.hits_at(4), 1.0);
+}
+
+TEST(StackDistanceProfile, HitsBeyondReallocationRule) {
+  StackDistanceProfile sdp({10, 5, 2, 1}, 3);
+  EXPECT_DOUBLE_EQ(sdp.hits_beyond(4), 0.0);
+  EXPECT_DOUBLE_EQ(sdp.hits_beyond(2), 3.0);   // distances 3,4
+  EXPECT_DOUBLE_EQ(sdp.hits_beyond(0), 18.0);  // everything
+}
+
+TEST(StackDistanceProfile, ScaledMultipliesAllCounters) {
+  StackDistanceProfile sdp({4, 2}, 2);
+  auto half = sdp.scaled(0.5);
+  EXPECT_DOUBLE_EQ(half.hits_at(1), 2.0);
+  EXPECT_DOUBLE_EQ(half.misses(), 1.0);
+  EXPECT_DOUBLE_EQ(half.miss_rate(), sdp.miss_rate());
+}
+
+TEST(StackDistanceProfile, RejectsInvalidInput) {
+  EXPECT_THROW(StackDistanceProfile({1.0, -2.0}, 0.0), ContractViolation);
+  StackDistanceProfile sdp(2);
+  EXPECT_THROW(sdp.record_hit(0), ContractViolation);
+  EXPECT_THROW(sdp.record_hit(3), ContractViolation);
+}
+
+// ---------------------------------------------------------------- LRU cache
+
+TEST(LruCacheSim, HitAfterInstall) {
+  LruCacheSim sim(CacheConfig{64, 4, 16});
+  EXPECT_EQ(sim.access(100), 0u);  // cold miss
+  EXPECT_EQ(sim.access(100), 1u);  // MRU hit
+}
+
+TEST(LruCacheSim, StackDistanceTracksLruDepth) {
+  LruCacheSim sim(CacheConfig{64, 4, 1});  // single set, 4 ways
+  sim.access(0);
+  sim.access(1);
+  sim.access(2);
+  sim.access(3);
+  // LRU order now: 3,2,1,0. Accessing 0 hits at depth 4.
+  EXPECT_EQ(sim.access(0), 4u);
+  // Now: 0,3,2,1. Accessing 3 hits at depth 2.
+  EXPECT_EQ(sim.access(3), 2u);
+}
+
+TEST(LruCacheSim, EvictsLeastRecentlyUsed) {
+  LruCacheSim sim(CacheConfig{64, 2, 1});  // 2 ways, 1 set
+  sim.access(10);
+  sim.access(20);
+  sim.access(30);                // evicts 10
+  EXPECT_EQ(sim.access(10), 0u); // 10 is gone -> miss
+  EXPECT_EQ(sim.access(30), 2u); // still resident
+}
+
+TEST(LruCacheSim, SetsAreIndependent) {
+  LruCacheSim sim(CacheConfig{64, 1, 4});  // direct-mapped, 4 sets
+  sim.access(0);   // set 0
+  sim.access(1);   // set 1
+  sim.access(4);   // set 0 -> evicts line 0
+  EXPECT_EQ(sim.access(1), 1u);  // set 1 untouched
+  EXPECT_EQ(sim.access(0), 0u);  // evicted
+}
+
+TEST(LruCacheSim, SimulateCollectsSdp) {
+  // Working set of 8 lines inside an 16-line fully-assoc-ish cache: after
+  // the cold pass everything hits.
+  std::vector<std::uint64_t> trace;
+  for (int rep = 0; rep < 10; ++rep)
+    for (std::uint64_t line = 0; line < 8; ++line) trace.push_back(line);
+  auto res = LruCacheSim::simulate(CacheConfig{64, 16, 1}, trace);
+  EXPECT_EQ(res.misses, 8u);  // compulsory only
+  EXPECT_EQ(res.hits, 72u);
+  EXPECT_DOUBLE_EQ(res.sdp.misses(), 8.0);
+  // Cyclic access over 8 lines in a 16-way set: every hit at distance 8.
+  EXPECT_DOUBLE_EQ(res.sdp.hits_at(8), 72.0);
+}
+
+TEST(LruCacheSim, ThrashingWorkingSetMissesAlways) {
+  std::vector<std::uint64_t> trace;
+  for (int rep = 0; rep < 5; ++rep)
+    for (std::uint64_t line = 0; line < 8; ++line) trace.push_back(line);
+  // 4-way single set, cyclic sequence of 8 lines: classic LRU thrash.
+  auto res = LruCacheSim::simulate(CacheConfig{64, 4, 1}, trace);
+  EXPECT_EQ(res.hits, 0u);
+  EXPECT_EQ(res.misses, trace.size());
+}
+
+// ---------------------------------------------------------------- trace gen
+
+TEST(TraceGenerator, DeterministicForSeed) {
+  LocalitySpec spec;
+  spec.regions.push_back({128, 1.0, 1, 0.1});
+  TraceGenerator a(spec, 42), b(spec, 42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_line(), b.next_line());
+}
+
+TEST(TraceGenerator, RegionsAreDisjoint) {
+  LocalitySpec spec;
+  spec.regions.push_back({100, 1.0, 1, 0.0});
+  spec.regions.push_back({100, 1.0, 1, 0.0});
+  TraceGenerator gen(spec, 1);
+  auto trace = gen.generate(10000);
+  // Region 0 occupies [0,100), region 1 [164, 264) (64-line guard gap).
+  for (auto line : trace) {
+    EXPECT_TRUE(line < 100 || (line >= 164 && line < 264))
+        << "address " << line << " outside any region";
+  }
+}
+
+TEST(TraceGenerator, StreamingProducesFreshLines) {
+  LocalitySpec spec;
+  spec.regions.push_back({4, 1.0, 1, 0.0});
+  spec.streaming_prob = 1.0;  // always stream
+  TraceGenerator gen(spec, 3);
+  auto trace = gen.generate(100);
+  std::set<std::uint64_t> distinct(trace.begin(), trace.end());
+  EXPECT_EQ(distinct.size(), trace.size());  // never reused
+}
+
+TEST(TraceGenerator, SmallRegionYieldsLowMissRate) {
+  LocalitySpec spec;
+  spec.regions.push_back({16, 1.0, 1, 0.0});
+  TraceGenerator gen(spec, 9);
+  auto res = LruCacheSim::simulate(CacheConfig{64, 16, 64}, gen.generate(20000));
+  EXPECT_LT(res.miss_rate(), 0.01);
+}
+
+// ---------------------------------------------------------------------- SDC
+
+TEST(SdcModel, WaysSumToAssociativity) {
+  StackDistanceProfile a({10, 10, 10, 10}, 5);
+  StackDistanceProfile b({1, 1, 1, 1}, 5);
+  auto alloc = sdc_compete({&a, &b});
+  EXPECT_EQ(alloc.ways[0] + alloc.ways[1], 4u);
+}
+
+TEST(SdcModel, HeavyReuserWinsMoreWays) {
+  StackDistanceProfile heavy({100, 100, 100, 100}, 0);
+  StackDistanceProfile light({1, 1, 1, 1}, 0);
+  auto alloc = sdc_compete({&heavy, &light});
+  EXPECT_GT(alloc.ways[0], alloc.ways[1]);
+}
+
+TEST(SdcModel, SoloProcessKeepsWholeCache) {
+  StackDistanceProfile p({5, 4, 3, 2}, 1);
+  auto alloc = sdc_compete({&p});
+  EXPECT_EQ(alloc.ways[0], 4u);
+  EXPECT_DOUBLE_EQ(sdc_corun_misses(p, alloc.ways[0]), p.misses());
+}
+
+TEST(SdcModel, CorunMissesNeverBelowSolo) {
+  StackDistanceProfile a({10, 8, 6, 4}, 3);
+  StackDistanceProfile b({9, 7, 5, 3}, 2);
+  StackDistanceProfile c({1, 1, 1, 1}, 10);
+  auto misses = sdc_predict_misses({&a, &b, &c});
+  EXPECT_GE(misses[0], a.misses());
+  EXPECT_GE(misses[1], b.misses());
+  EXPECT_GE(misses[2], c.misses());
+}
+
+TEST(SdcModel, IdenticalProfilesSplitEvenly) {
+  StackDistanceProfile a({10, 10, 10, 10}, 0);
+  StackDistanceProfile b = a;
+  auto alloc = sdc_compete({&a, &b});
+  EXPECT_EQ(alloc.ways[0], 2u);
+  EXPECT_EQ(alloc.ways[1], 2u);
+}
+
+TEST(SdcModel, MismatchedAssociativityRejected) {
+  StackDistanceProfile a({1, 1}, 0);
+  StackDistanceProfile b({1, 1, 1}, 0);
+  EXPECT_THROW(sdc_compete({&a, &b}), ContractViolation);
+}
+
+// --------------------------------------------------------------- CPU timing
+
+TEST(CpuTimeModel, Equation14) {
+  MachineConfig m = quad_core_machine();
+  ProgramTiming t{1000.0, 10.0};
+  // (base + misses*penalty) * cct
+  Real expected = (1000.0 + 50.0 * m.miss_penalty_cycles) *
+                  m.clock_cycle_seconds();
+  EXPECT_DOUBLE_EQ(cpu_time_seconds(t, 50.0, m), expected);
+}
+
+TEST(CpuTimeModel, DegradationZeroWhenMissesUnchanged) {
+  MachineConfig m = quad_core_machine();
+  ProgramTiming t{1000.0, 10.0};
+  EXPECT_DOUBLE_EQ(degradation_from_misses(t, 10.0, m), 0.0);
+}
+
+TEST(CpuTimeModel, DegradationMatchesEq1) {
+  MachineConfig m = quad_core_machine();
+  ProgramTiming t{1000.0, 10.0};
+  Real solo = cpu_time_seconds(t, 10.0, m);
+  Real corun = cpu_time_seconds(t, 25.0, m);
+  EXPECT_NEAR(degradation_from_misses(t, 25.0, m), (corun - solo) / solo,
+              1e-12);
+}
+
+TEST(CpuTimeModel, NegativeDeltaClampsToZero) {
+  MachineConfig m = quad_core_machine();
+  ProgramTiming t{1000.0, 10.0};
+  EXPECT_DOUBLE_EQ(degradation_from_misses(t, 5.0, m), 0.0);
+}
+
+// ------------------------------------------------------------ machine presets
+
+TEST(MachineConfig, PresetGeometry) {
+  EXPECT_EQ(dual_core_machine().shared_cache.size_bytes(), 4u << 20);
+  EXPECT_EQ(quad_core_machine().shared_cache.size_bytes(), 8u << 20);
+  EXPECT_EQ(eight_core_machine().shared_cache.size_bytes(), 20u << 20);
+  EXPECT_EQ(machine_by_cores(2).cores, 2u);
+  EXPECT_EQ(machine_by_cores(4).cores, 4u);
+  EXPECT_EQ(machine_by_cores(8).cores, 8u);
+  EXPECT_EQ(machine_by_cores(6).cores, 6u);  // generic fallback
+}
+
+}  // namespace
+}  // namespace cosched

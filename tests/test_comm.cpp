@@ -1,0 +1,151 @@
+// Unit tests for src/comm: decompositions, Eq. 10-11 communication time,
+// communication properties.
+#include <gtest/gtest.h>
+
+#include "comm/comm_topology.hpp"
+#include "comm/decomposition.hpp"
+
+namespace cosched {
+namespace {
+
+TEST(Decomposition, Chain1D) {
+  auto p = make_1d_pattern(4, 100.0);
+  EXPECT_EQ(p.dims, 1);
+  EXPECT_EQ(p.neighbors[0].size(), 1u);  // rank 0: right only
+  EXPECT_EQ(p.neighbors[1].size(), 2u);
+  EXPECT_EQ(p.neighbors[3].size(), 1u);
+  EXPECT_EQ(p.neighbors[1][0].peer_rank, 0);
+  EXPECT_EQ(p.neighbors[1][1].peer_rank, 2);
+  for (const auto& nb : p.neighbors)
+    for (const auto& e : nb) {
+      EXPECT_DOUBLE_EQ(e.bytes, 100.0);
+      EXPECT_EQ(e.dir, Direction::X);
+    }
+}
+
+TEST(Decomposition, Grid2DNeighborCounts) {
+  auto p = make_2d_pattern(3, 3, 10.0, 20.0);
+  EXPECT_EQ(p.num_procs, 9);
+  // Corner (rank 0): 2 neighbors; edge (rank 1): 3; center (rank 4): 4.
+  EXPECT_EQ(p.neighbors[0].size(), 2u);
+  EXPECT_EQ(p.neighbors[1].size(), 3u);
+  EXPECT_EQ(p.neighbors[4].size(), 4u);
+}
+
+TEST(Decomposition, Grid2DSymmetry) {
+  auto p = make_2d_pattern(3, 2, 7.0, 9.0);
+  // Every edge appears in both directions with equal volume.
+  for (std::int32_t r = 0; r < p.num_procs; ++r) {
+    for (const auto& e : p.neighbors[static_cast<std::size_t>(r)]) {
+      bool reciprocal = false;
+      for (const auto& back :
+           p.neighbors[static_cast<std::size_t>(e.peer_rank)]) {
+        if (back.peer_rank == r && back.bytes == e.bytes &&
+            back.dir == e.dir) {
+          reciprocal = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(reciprocal) << "edge " << r << "->" << e.peer_rank;
+    }
+  }
+}
+
+TEST(Decomposition, Grid3DCenterHasSixNeighbors) {
+  auto p = make_3d_pattern(3, 3, 3, 1.0, 2.0, 3.0);
+  EXPECT_EQ(p.num_procs, 27);
+  EXPECT_EQ(p.neighbors[13].size(), 6u);  // center of 3x3x3
+}
+
+TEST(Decomposition, BalancedGridFactorization) {
+  auto p12 = make_grid_pattern(12, 2, 1.0);
+  EXPECT_EQ(p12.grid[0] * p12.grid[1], 12);
+  EXPECT_LE(std::abs(p12.grid[0] - p12.grid[1]), 2);
+  auto p8 = make_grid_pattern(8, 3, 1.0);
+  EXPECT_EQ(p8.grid[0] * p8.grid[1] * p8.grid[2], 8);
+  EXPECT_EQ(p8.grid[0], 2);
+  EXPECT_EQ(p8.grid[1], 2);
+  EXPECT_EQ(p8.grid[2], 2);
+}
+
+TEST(Decomposition, DefaultPatternDims) {
+  EXPECT_EQ(default_pattern_for("CG-Par", 6, 1.0).dims, 1);
+  EXPECT_EQ(default_pattern_for("BT-Par", 6, 1.0).dims, 2);
+  EXPECT_EQ(default_pattern_for("MG-Par", 8, 1.0).dims, 3);
+}
+
+// ----------------------------------------------------------- CommTopology
+
+/// Paper Fig. 2: a 3x3 2D job (processes p1..p9 = global 0..8) plus a serial
+/// job p10 (global 9), scheduled on 2-core machines.
+class Fig2Topology : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    pattern_ = make_2d_pattern(3, 3, 100.0, 100.0);
+    topo_.attach(/*job=*/0, /*first_process=*/0, pattern_);
+  }
+  JobCommPattern pattern_;
+  CommTopology topo_;
+};
+
+TEST_F(Fig2Topology, ExternalBytesCountsOnlyRemoteNeighbors) {
+  // p5 (global 4, the grid center) co-located with p6 (global 5):
+  // neighbors are p2(1), p4(3), p6(5), p8(7); only p6 is local.
+  ProcessId co[1] = {5};
+  EXPECT_DOUBLE_EQ(topo_.external_bytes(4, co), 300.0);
+  // Co-located with a non-neighbor: all four links are external.
+  ProcessId co2[1] = {8};
+  EXPECT_DOUBLE_EQ(topo_.external_bytes(4, co2), 400.0);
+}
+
+TEST_F(Fig2Topology, CommTimeDividesByBandwidth) {
+  ProcessId co[1] = {5};
+  EXPECT_DOUBLE_EQ(topo_.comm_time(4, co, 100.0), 3.0);
+}
+
+TEST_F(Fig2Topology, ProcessWithoutPatternCommunicatesNothing) {
+  ProcessId co[1] = {4};
+  EXPECT_DOUBLE_EQ(topo_.external_bytes(9, co), 0.0);
+}
+
+TEST_F(Fig2Topology, CommPropertyMatchesPaperExample) {
+  // Node <p1,p2> (globals {0,1}): the paper derives property (1,2):
+  // one x-communication (p2-p3) — p1-p2 is internal — and two
+  // y-communications (p1-p4, p2-p5).
+  std::vector<ProcessId> node{0, 1};
+  auto prop = topo_.comm_property(0, node);
+  EXPECT_EQ(prop[0], 1);
+  EXPECT_EQ(prop[1], 2);
+  EXPECT_EQ(prop[2], 0);
+}
+
+TEST_F(Fig2Topology, CondensableNodesShareProperty) {
+  // The paper condenses <1,3>, <1,7>, <1,9> (globals {0,2},{0,6},{0,8}):
+  // each pairs two corners, property (2,2).
+  for (ProcessId other : {2, 6, 8}) {
+    std::vector<ProcessId> node{0, other};
+    auto prop = topo_.comm_property(0, node);
+    EXPECT_EQ(prop[0], 2) << "peer " << other;
+    EXPECT_EQ(prop[1], 2) << "peer " << other;
+  }
+  // But <1,2> (globals {0,1}) differs: (1,2).
+  std::vector<ProcessId> adjacent{0, 1};
+  auto prop = topo_.comm_property(0, adjacent);
+  EXPECT_NE(std::make_pair(prop[0], prop[1]), std::make_pair(2, 2));
+}
+
+TEST_F(Fig2Topology, PropertyOfForeignJobIsZero) {
+  std::vector<ProcessId> node{0, 1};
+  auto prop = topo_.comm_property(77, node);  // unknown job
+  EXPECT_EQ(prop[0] + prop[1] + prop[2], 0);
+}
+
+TEST(CommTopology, DoubleAttachRejected) {
+  CommTopology topo;
+  auto p = make_1d_pattern(2, 1.0);
+  topo.attach(0, 0, p);
+  EXPECT_THROW(topo.attach(0, 2, p), ContractViolation);
+}
+
+}  // namespace
+}  // namespace cosched

@@ -1,0 +1,134 @@
+// Tests for communication-aware process condensation (paper Section III-E).
+#include <gtest/gtest.h>
+
+#include "astar/search.hpp"
+#include "comm/decomposition.hpp"
+#include "graph/condensation.hpp"
+#include "test_helpers.hpp"
+
+namespace cosched {
+namespace {
+
+using testhelpers::random_pc_problem;
+using testhelpers::random_pe_problem;
+
+// ---------------------------------------------------------------- the key
+
+class Fig2Keys : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Paper Fig. 2 / Fig. 4: 9-process 2D PC job + 1 serial job, dual-core.
+    batch_.add_job("par", JobKind::ParallelComm, 9);
+    batch_.add_job("ser", JobKind::Serial, 1);
+    topo_ = std::make_shared<CommTopology>();
+    topo_->attach(0, 0, make_2d_pattern(3, 3, 100.0, 100.0));
+  }
+  JobBatch batch_;
+  std::shared_ptr<CommTopology> topo_;
+};
+
+TEST_F(Fig2Keys, CondensableNodesOfFig4ShareKeys) {
+  // Fig. 4 condenses <1,7> and <1,9> with <1,3> (globals {0,2},{0,6},{0,8}).
+  std::vector<ProcessId> n13{0, 2}, n17{0, 6}, n19{0, 8};
+  auto k13 = condensation_key(n13, batch_, topo_.get());
+  auto k17 = condensation_key(n17, batch_, topo_.get());
+  auto k19 = condensation_key(n19, batch_, topo_.get());
+  EXPECT_EQ(k13, k17);
+  EXPECT_EQ(k13, k19);
+}
+
+TEST_F(Fig2Keys, DistinctPropertiesYieldDistinctKeys) {
+  // <1,2> has property (1,2); <1,5> (center pairing) has (2,3): different.
+  std::vector<ProcessId> n12{0, 1}, n15{0, 4};
+  EXPECT_NE(condensation_key(n12, batch_, topo_.get()),
+            condensation_key(n15, batch_, topo_.get()));
+}
+
+TEST_F(Fig2Keys, SerialProcessesAreNeverInterchangeable) {
+  // {parallel0, serial} vs {parallel0, parallel1}: different member kinds.
+  std::vector<ProcessId> with_serial{0, 9}, all_parallel{0, 1};
+  EXPECT_NE(condensation_key(with_serial, batch_, topo_.get()),
+            condensation_key(all_parallel, batch_, topo_.get()));
+}
+
+TEST(CondensationKey, PeProcessesOfSameJobInterchange) {
+  JobBatch batch;
+  batch.add_job("pe", JobKind::ParallelNoComm, 4);
+  batch.add_job("s", JobKind::Serial, 1);
+  std::vector<ProcessId> a{0, 4}, b{1, 4}, c{2, 4};
+  EXPECT_EQ(condensation_key(a, batch, nullptr),
+            condensation_key(b, batch, nullptr));
+  EXPECT_EQ(condensation_key(a, batch, nullptr),
+            condensation_key(c, batch, nullptr));
+}
+
+TEST(CondensationKey, DifferentParallelJobsDiffer) {
+  JobBatch batch;
+  batch.add_job("pe1", JobKind::ParallelNoComm, 2);
+  batch.add_job("pe2", JobKind::ParallelNoComm, 2);
+  std::vector<ProcessId> a{0, 1}, b{2, 3}, mixed{0, 2};
+  EXPECT_NE(condensation_key(a, batch, nullptr),
+            condensation_key(b, batch, nullptr));
+  EXPECT_NE(condensation_key(a, batch, nullptr),
+            condensation_key(mixed, batch, nullptr));
+}
+
+// -------------------------------------------- condensation inside the search
+
+TEST(CondensationSearch, PreservesTheOptimumOnPeMixes) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    Problem p = random_pe_problem(4, {4}, 2, seed);
+    SearchOptions with_c;
+    with_c.condense = true;
+    with_c.dismiss = DismissPolicy::ParetoDominance;
+    SearchOptions without_c;
+    without_c.condense = false;
+    without_c.dismiss = DismissPolicy::ParetoDominance;
+    auto r1 = solve_oastar(p, with_c);
+    auto r2 = solve_oastar(p, without_c);
+    ASSERT_TRUE(r1.found && r2.found);
+    EXPECT_NEAR(r1.objective, r2.objective, 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(CondensationSearch, PreservesTheOptimumOnPcMixes) {
+  for (std::uint64_t seed : {4u, 5u}) {
+    Problem p = random_pc_problem(2, {4}, 2, seed);
+    SearchOptions with_c;
+    with_c.condense = true;
+    with_c.dismiss = DismissPolicy::ParetoDominance;
+    SearchOptions without_c;
+    without_c.condense = false;
+    without_c.dismiss = DismissPolicy::ParetoDominance;
+    auto r1 = solve_oastar(p, with_c);
+    auto r2 = solve_oastar(p, without_c);
+    ASSERT_TRUE(r1.found && r2.found);
+    EXPECT_NEAR(r1.objective, r2.objective, 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(CondensationSearch, ReducesGeneratedPaths) {
+  // A PE job with many symmetric processes: condensation must prune.
+  Problem p = random_pe_problem(2, {6}, 2, 6);
+  SearchOptions with_c;
+  with_c.condense = true;
+  SearchOptions without_c;
+  without_c.condense = false;
+  auto r1 = solve_oastar(p, with_c);
+  auto r2 = solve_oastar(p, without_c);
+  ASSERT_TRUE(r1.found && r2.found);
+  EXPECT_GT(r1.stats.condensed_skips, 0u);
+  EXPECT_LT(r1.stats.generated, r2.stats.generated);
+}
+
+TEST(CondensationSearch, NoOpForSerialOnlyBatches) {
+  Problem p = testhelpers::random_serial_problem(8, 2, 7);
+  SearchOptions opt;
+  opt.condense = true;
+  auto r = solve_oastar(p, opt);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.stats.condensed_skips, 0u);
+}
+
+}  // namespace
+}  // namespace cosched

@@ -1,0 +1,46 @@
+// Shared factories for search/IP/baseline tests.
+#pragma once
+
+#include "core/builders.hpp"
+#include "core/degradation_models.hpp"
+#include "core/problem.hpp"
+
+namespace cosched::testhelpers {
+
+/// Random serial-only synthetic problem.
+inline Problem random_serial_problem(std::int32_t jobs, std::uint32_t cores,
+                                     std::uint64_t seed) {
+  SyntheticProblemSpec spec;
+  spec.cores = cores;
+  spec.serial_jobs = jobs;
+  spec.seed = seed;
+  return build_synthetic_problem(spec);
+}
+
+/// Random mix of serial and PE jobs.
+inline Problem random_pe_problem(std::int32_t serial,
+                                 std::vector<std::int32_t> parallel_sizes,
+                                 std::uint32_t cores, std::uint64_t seed) {
+  SyntheticProblemSpec spec;
+  spec.cores = cores;
+  spec.serial_jobs = serial;
+  spec.parallel_job_sizes = std::move(parallel_sizes);
+  spec.seed = seed;
+  return build_synthetic_problem(spec);
+}
+
+/// Random mix with PC jobs (2D decomposition, comm volumes sized so the
+/// comm term is of the same order as contention).
+inline Problem random_pc_problem(std::int32_t serial,
+                                 std::vector<std::int32_t> parallel_sizes,
+                                 std::uint32_t cores, std::uint64_t seed) {
+  SyntheticProblemSpec spec;
+  spec.cores = cores;
+  spec.serial_jobs = serial;
+  spec.parallel_job_sizes = std::move(parallel_sizes);
+  spec.parallel_with_comm = true;
+  spec.seed = seed;
+  return build_synthetic_problem(spec);
+}
+
+}  // namespace cosched::testhelpers

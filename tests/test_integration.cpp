@@ -1,0 +1,125 @@
+// Integration tests: the full pipeline over the benchmark catalog (SDC
+// model + comm model + all solvers agreeing), mirroring the paper's
+// experimental setup end to end at reduced scale.
+#include <gtest/gtest.h>
+
+#include "astar/search.hpp"
+#include "baseline/brute_force.hpp"
+#include "baseline/pg_greedy.hpp"
+#include "core/builders.hpp"
+#include "ip/branch_and_bound.hpp"
+#include "ip/ip_model.hpp"
+
+namespace cosched {
+namespace {
+
+CatalogProblemSpec small_serial_spec(std::uint32_t cores) {
+  CatalogProblemSpec spec;
+  spec.cores = cores;
+  spec.serial_programs = {"BT", "CG", "EP", "FT", "IS", "LU", "MG", "SP"};
+  spec.trace_length = 20000;
+  return spec;
+}
+
+TEST(Integration, CatalogSerialAllSolversAgree) {
+  for (std::uint32_t cores : {2u, 4u}) {
+    Problem p = build_catalog_problem(small_serial_spec(cores));
+    auto brute = solve_brute_force(p);
+    auto oastar = solve_oastar(p);
+    auto model = build_ip_model(p, *p.full_model,
+                                Aggregation::MaxPerParallelJob);
+    auto ip = solve_branch_and_bound(model);
+    ASSERT_TRUE(oastar.found);
+    ASSERT_TRUE(ip.optimal);
+    EXPECT_NEAR(oastar.objective, brute.objective, 1e-9) << cores << " cores";
+    EXPECT_NEAR(ip.objective, brute.objective, 1e-6) << cores << " cores";
+  }
+}
+
+TEST(Integration, CatalogMixedSerialParallelAgree) {
+  // Table II shape: serial programs + 2 small MPI jobs.
+  CatalogProblemSpec spec;
+  spec.cores = 2;
+  spec.serial_programs = {"applu", "art", "equake", "vpr"};
+  spec.parallel_jobs.push_back({"MG-Par", 2, true, 1e5});
+  spec.parallel_jobs.push_back({"LU-Par", 2, true, 1e5});
+  spec.trace_length = 20000;
+  Problem p = build_catalog_problem(spec);
+
+  auto brute = solve_brute_force(p);
+  SearchOptions opt;
+  opt.dismiss = DismissPolicy::ParetoDominance;
+  auto oastar = solve_oastar(p, opt);
+  auto model = build_ip_model(p, *p.full_model,
+                              Aggregation::MaxPerParallelJob);
+  auto ip = solve_branch_and_bound(model);
+
+  ASSERT_TRUE(oastar.found);
+  ASSERT_TRUE(ip.optimal);
+  EXPECT_NEAR(oastar.objective, brute.objective, 1e-9);
+  EXPECT_NEAR(ip.objective, brute.objective, 1e-6);
+}
+
+TEST(Integration, DegradationsAreInPlausibleRange) {
+  Problem p = build_catalog_problem(small_serial_spec(4));
+  auto r = solve_oastar(p);
+  ASSERT_TRUE(r.found);
+  auto ev = evaluate_solution(p, r.solution);
+  // Catalog degradations are fractions (paper reports up to ~30%).
+  for (Real d : ev.per_process) {
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 2.0);
+  }
+  EXPECT_GT(ev.total, 0.0);
+}
+
+TEST(Integration, OptimalBeatsGreedyBeatsNothing) {
+  Problem p = build_catalog_problem(small_serial_spec(4));
+  auto opt = solve_oastar(p);
+  auto ha = solve_hastar(p);
+  Real pg = evaluate_solution(p, solve_pg_greedy(p)).total;
+  ASSERT_TRUE(opt.found && ha.found);
+  Real opt_obj = evaluate_solution(p, opt.solution).total;
+  Real ha_obj = evaluate_solution(p, ha.solution).total;
+  EXPECT_LE(opt_obj, ha_obj + 1e-9);
+  EXPECT_LE(opt_obj, pg + 1e-9);
+}
+
+TEST(Integration, CommVolumeShiftsTheOptimum) {
+  // With huge halo volumes, the PC job's processes must be packed together;
+  // verify the optimizer responds to the comm model at all.
+  CatalogProblemSpec heavy;
+  heavy.cores = 2;
+  heavy.serial_programs = {"EP", "PI"};
+  heavy.parallel_jobs.push_back({"CG-Par", 2, true, 5e6});  // heavy halo
+  heavy.trace_length = 20000;
+  Problem p = build_catalog_problem(heavy);
+  SearchOptions opt;
+  opt.dismiss = DismissPolicy::ParetoDominance;
+  auto r = solve_oastar(p, opt);
+  ASSERT_TRUE(r.found);
+  // The two CG-Par processes (global ids 2,3) must share a machine.
+  auto m_of = [&](ProcessId q) { return r.solution.machine_of(q); };
+  EXPECT_EQ(m_of(2), m_of(3));
+}
+
+TEST(Integration, EightCoreBatchRunsEndToEnd) {
+  CatalogProblemSpec spec;
+  spec.cores = 8;
+  spec.serial_programs = {"BT", "CG", "EP", "FT", "IS", "LU", "MG", "SP",
+                          "UA", "DC", "art", "ammp", "applu", "equake",
+                          "galgel", "vpr"};
+  spec.trace_length = 20000;
+  Problem p = build_catalog_problem(spec);
+  EXPECT_EQ(p.n(), 16);
+  auto ha = solve_hastar(p);
+  ASSERT_TRUE(ha.found);
+  validate_solution(p, ha.solution);
+  Real pg = evaluate_solution(p, solve_pg_greedy(p)).total;
+  Real ha_obj = evaluate_solution(p, ha.solution).total;
+  // HA* should not lose to PG (it searches a superset of PG-like choices).
+  EXPECT_LE(ha_obj, pg * 1.2);
+}
+
+}  // namespace
+}  // namespace cosched

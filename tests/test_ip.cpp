@@ -1,0 +1,154 @@
+// Tests for the IP model and branch & bound: optimality vs brute force and
+// OA*, warm starts, solver configurations.
+#include <gtest/gtest.h>
+
+#include "astar/search.hpp"
+#include "baseline/brute_force.hpp"
+#include "ip/branch_and_bound.hpp"
+#include "ip/ip_model.hpp"
+#include "test_helpers.hpp"
+
+namespace cosched {
+namespace {
+
+using testhelpers::random_pc_problem;
+using testhelpers::random_pe_problem;
+using testhelpers::random_serial_problem;
+
+TEST(IpModel, ColumnCountIsBinomial) {
+  Problem p = random_serial_problem(8, 4, 1);
+  auto model = build_ip_model(p, *p.full_model,
+                              Aggregation::MaxPerParallelJob);
+  EXPECT_EQ(model.num_y, 70);  // C(8,4)
+  EXPECT_EQ(model.num_z, 0);   // no parallel jobs
+  EXPECT_EQ(model.lp.num_rows(), 8);
+  EXPECT_EQ(model.lp.num_vars(), 70);
+}
+
+TEST(IpModel, ParallelJobsAddAuxVariablesAndLinkRows) {
+  Problem p = random_pe_problem(2, {2}, 2, 2);  // 4 processes, 1 parallel job
+  auto model = build_ip_model(p, *p.full_model,
+                              Aggregation::MaxPerParallelJob);
+  EXPECT_EQ(model.num_y, 6);  // C(4,2)
+  EXPECT_EQ(model.num_z, 1);
+  // 4 partition rows + 2 z-link rows (one per parallel process).
+  EXPECT_EQ(model.lp.num_rows(), 6);
+}
+
+TEST(IpModel, DecodeRejectsFractional) {
+  Problem p = random_serial_problem(4, 2, 3);
+  auto model = build_ip_model(p, *p.full_model,
+                              Aggregation::MaxPerParallelJob);
+  std::vector<Real> x(static_cast<std::size_t>(model.lp.num_vars()), 0.0);
+  x[0] = 0.5;
+  EXPECT_THROW(model.decode(x), ContractViolation);
+}
+
+class IpOptimality : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(IpOptimality, BnBMatchesBruteForceSerial) {
+  auto [jobs, cores] = GetParam();
+  Problem p = random_serial_problem(jobs, static_cast<std::uint32_t>(cores),
+                                    static_cast<std::uint64_t>(jobs * 7 + cores));
+  auto brute = solve_brute_force(p);
+  auto model = build_ip_model(p, *p.full_model,
+                              Aggregation::MaxPerParallelJob);
+  auto result = solve_branch_and_bound(model);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(result.optimal);
+  EXPECT_NEAR(result.objective, brute.objective, 1e-6);
+  validate_solution(p, result.solution);
+  auto ev = evaluate_solution(p, result.solution);
+  EXPECT_NEAR(ev.total, result.objective, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IpOptimality,
+                         ::testing::Values(std::tuple{4, 2}, std::tuple{6, 2},
+                                           std::tuple{8, 2}, std::tuple{8, 4},
+                                           std::tuple{12, 4},
+                                           std::tuple{10, 2}));
+
+TEST(IpOptimality, MatchesBruteForceWithParallelJobs) {
+  for (std::uint64_t seed : {5u, 6u}) {
+    Problem p = random_pe_problem(4, {2, 2}, 2, seed);
+    auto brute = solve_brute_force(p);
+    auto model = build_ip_model(p, *p.full_model,
+                                Aggregation::MaxPerParallelJob);
+    auto result = solve_branch_and_bound(model);
+    ASSERT_TRUE(result.optimal) << "seed " << seed;
+    EXPECT_NEAR(result.objective, brute.objective, 1e-6) << "seed " << seed;
+  }
+}
+
+TEST(IpOptimality, MatchesBruteForceWithPcJobs) {
+  Problem p = random_pc_problem(2, {4}, 2, 17);
+  auto brute = solve_brute_force(p);
+  auto model = build_ip_model(p, *p.full_model,
+                              Aggregation::MaxPerParallelJob);
+  auto result = solve_branch_and_bound(model);
+  ASSERT_TRUE(result.optimal);
+  EXPECT_NEAR(result.objective, brute.objective, 1e-6);
+}
+
+TEST(IpOptimality, AgreesWithOaStarAcrossConfigs) {
+  // Table I/II's claim: IP and OA* find the same optimum.
+  Problem p = random_serial_problem(12, 4, 77);
+  auto oastar = solve_oastar(p);
+  auto model = build_ip_model(p, *p.full_model,
+                              Aggregation::MaxPerParallelJob);
+
+  for (auto order : {BnBOptions::NodeOrder::BestBound,
+                     BnBOptions::NodeOrder::DepthFirst}) {
+    for (auto rule : {BnBOptions::BranchRule::MostFractional,
+                      BnBOptions::BranchRule::FirstFractional}) {
+      BnBOptions opt;
+      opt.node_order = order;
+      opt.branch_rule = rule;
+      auto result = solve_branch_and_bound(model, opt);
+      ASSERT_TRUE(result.optimal);
+      EXPECT_NEAR(result.objective, oastar.objective, 1e-6);
+    }
+  }
+}
+
+TEST(BranchAndBound, WarmStartBoundPrunesButKeepsOptimum) {
+  Problem p = random_serial_problem(8, 4, 88);
+  auto model = build_ip_model(p, *p.full_model,
+                              Aggregation::MaxPerParallelJob);
+  auto cold = solve_branch_and_bound(model);
+  ASSERT_TRUE(cold.optimal);
+
+  BnBOptions warm;
+  warm.warm_start_bound = cold.objective + 1e-6;
+  auto warm_result = solve_branch_and_bound(model, warm);
+  // The warm bound is the optimum itself: B&B must still find a solution
+  // matching it (strictly better is impossible).
+  ASSERT_TRUE(warm_result.feasible);
+  EXPECT_NEAR(warm_result.objective, cold.objective, 1e-6);
+  EXPECT_LE(warm_result.nodes_explored, cold.nodes_explored);
+}
+
+TEST(BranchAndBound, UnbeatableWarmStartYieldsNoSolution) {
+  Problem p = random_serial_problem(6, 2, 89);
+  auto model = build_ip_model(p, *p.full_model,
+                              Aggregation::MaxPerParallelJob);
+  BnBOptions opt;
+  opt.warm_start_bound = 0.0;  // nothing beats zero total degradation
+  auto result = solve_branch_and_bound(model, opt);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_EQ(result.objective, kInfinity);
+}
+
+TEST(BranchAndBound, NodeLimitReportsTimeout) {
+  Problem p = random_serial_problem(12, 4, 90);
+  auto model = build_ip_model(p, *p.full_model,
+                              Aggregation::MaxPerParallelJob);
+  BnBOptions opt;
+  opt.max_nodes = 1;
+  auto result = solve_branch_and_bound(model, opt);
+  // Either the root LP was already integral (lucky) or we timed out.
+  EXPECT_TRUE(result.optimal || result.timed_out);
+}
+
+}  // namespace
+}  // namespace cosched

@@ -1,0 +1,97 @@
+// Tests for the MER (maximum effective rank) instrumentation.
+#include <gtest/gtest.h>
+
+#include "astar/mer.hpp"
+#include "astar/search.hpp"
+#include "test_helpers.hpp"
+
+namespace cosched {
+namespace {
+
+using testhelpers::random_serial_problem;
+
+TEST(Mer, RanksAreAtLeastOne) {
+  Problem p = random_serial_problem(12, 4, 1);
+  auto r = solve_oastar(p);
+  ASSERT_TRUE(r.found);
+  NodeEvaluator eval(p, *p.full_model);
+  auto mer = compute_mer(eval, r.solution);
+  ASSERT_EQ(mer.effective_ranks.size(), r.solution.machines.size());
+  for (std::size_t k = 0; k < mer.ranks.size(); ++k) {
+    EXPECT_GE(mer.ranks[k], 1);
+    EXPECT_GE(mer.effective_ranks[k], 1);
+    EXPECT_LE(mer.effective_ranks[k], mer.ranks[k]);
+  }
+  EXPECT_GE(mer.mer, 1);
+}
+
+TEST(Mer, LastLevelHasEffectiveRankOne) {
+  // The final path node is the only valid node of its level once everything
+  // else is scheduled, so its effective rank is 1.
+  Problem p = random_serial_problem(8, 2, 2);
+  auto r = solve_oastar(p);
+  ASSERT_TRUE(r.found);
+  NodeEvaluator eval(p, *p.full_model);
+  auto mer = compute_mer(eval, r.solution);
+  EXPECT_EQ(mer.effective_ranks.back(), 1);
+}
+
+TEST(Mer, GreedySchedulePathHasEffectiveRankOneEverywhere) {
+  // A schedule built by always taking the cheapest valid node has effective
+  // rank exactly 1 at every level — by construction.
+  Problem p = random_serial_problem(12, 4, 3);
+  SearchOptions opt;
+  opt.mer_cap = 1;  // pure greedy HA*
+  auto r = solve_hastar(p, opt);
+  ASSERT_TRUE(r.found);
+  NodeEvaluator eval(p, *p.full_model);
+  auto mer = compute_mer(eval, r.solution);
+  for (std::int32_t e : mer.effective_ranks) EXPECT_EQ(e, 1);
+  EXPECT_EQ(mer.mer, 1);
+}
+
+TEST(Mer, MerIsASmallFractionOfTheLevelSize) {
+  // Fig. 5 claims MER <= n/u for ~98% of the paper's random graphs. Under
+  // our degradation models the optimal path's first node routinely ranks
+  // much deeper (a documented reproduction finding, see EXPERIMENTS.md and
+  // the fig5 bench, which reports the measured CDF): threshold-shaped
+  // degradations discriminate strongly between co-runner sets, so the
+  // globally balanced optimum does not hug each level's cheap end. What
+  // remains robust — and what this test locks in — is that the optimum
+  // sits in the cheaper half of the weight-sorted level on average (a
+  // uniformly random node would average 50%), and that effective ranks
+  // collapse toward 1 in later levels as invalid nodes accumulate.
+  const int trials = 6;
+  Real total_frac = 0.0;
+  for (std::uint64_t seed = 0; seed < trials; ++seed) {
+    Problem p = random_serial_problem(16, 4, 100 + seed);
+    auto r = solve_oastar(p);
+    ASSERT_TRUE(r.found);
+    NodeEvaluator eval(p, *p.full_model);
+    auto mer = compute_mer(eval, r.solution);
+    // Level 1 holds C(15,3) = 455 nodes.
+    total_frac += static_cast<Real>(mer.mer) / 455.0;
+    EXPECT_EQ(mer.effective_ranks.back(), 1) << "seed " << seed;
+  }
+  EXPECT_LT(total_frac / trials, 0.50);
+}
+
+TEST(Mer, HaStarWithMerCapOfComputedMerReproducesOptimum) {
+  // The paper's Section IV insight: had we known MER = k in advance,
+  // attempting only the first k valid nodes per level still finds the
+  // shortest path.
+  Problem p = random_serial_problem(12, 4, 42);
+  auto opt = solve_oastar(p);
+  ASSERT_TRUE(opt.found);
+  NodeEvaluator eval(p, *p.full_model);
+  auto mer = compute_mer(eval, opt.solution);
+
+  SearchOptions ha_opt;
+  ha_opt.mer_cap = mer.mer;
+  auto ha = solve_hastar(p, ha_opt);
+  ASSERT_TRUE(ha.found);
+  EXPECT_NEAR(ha.objective, opt.objective, 1e-9);
+}
+
+}  // namespace
+}  // namespace cosched

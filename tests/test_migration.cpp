@@ -1,0 +1,175 @@
+// Tests for the migration extension (the paper's future-work direction):
+// Hungarian assignment, minimum-migration alignment, replanning.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "astar/search.hpp"
+#include "baseline/random_schedule.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+#include "vm/hungarian.hpp"
+#include "vm/migration.hpp"
+
+namespace cosched {
+namespace {
+
+using testhelpers::random_serial_problem;
+
+// -------------------------------------------------------------- Hungarian
+
+Real assignment_cost(const std::vector<std::vector<Real>>& cost,
+                     const std::vector<std::int32_t>& a) {
+  Real total = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    total += cost[i][static_cast<std::size_t>(a[i])];
+  return total;
+}
+
+TEST(Hungarian, SolvesHandComputedInstance) {
+  // Classic 3x3: optimum assigns 0->1, 1->0, 2->2 with cost 1+2+3 = 6.
+  std::vector<std::vector<Real>> cost{{4, 1, 3}, {2, 0, 5}, {3, 2, 2}};
+  auto a = solve_assignment_min(cost);
+  EXPECT_NEAR(assignment_cost(cost, a), 5.0, 1e-12);  // 1 + 2 + 2
+}
+
+TEST(Hungarian, AssignmentIsAPermutation) {
+  Rng rng(17);
+  std::vector<std::vector<Real>> cost(6, std::vector<Real>(6));
+  for (auto& row : cost)
+    for (auto& c : row) c = rng.uniform_real(0.0, 10.0);
+  auto a = solve_assignment_min(cost);
+  std::vector<std::int32_t> sorted = a;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::int32_t j = 0; j < 6; ++j) EXPECT_EQ(sorted[j], j);
+}
+
+TEST(Hungarian, MatchesBruteForceOnRandomMatrices) {
+  Rng rng(23);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + rng.uniform(4);  // 2..5
+    std::vector<std::vector<Real>> cost(n, std::vector<Real>(n));
+    for (auto& row : cost)
+      for (auto& c : row) c = rng.uniform_real(-5.0, 5.0);
+    auto a = solve_assignment_min(cost);
+    // Brute force over permutations.
+    std::vector<std::int32_t> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    Real best = kInfinity;
+    do {
+      best = std::min(best, assignment_cost(cost, perm));
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_NEAR(assignment_cost(cost, a), best, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(Hungarian, MaxVariantMaximizes) {
+  std::vector<std::vector<Real>> weight{{1, 9}, {8, 2}};
+  auto a = solve_assignment_max(weight);
+  EXPECT_EQ(a[0], 1);
+  EXPECT_EQ(a[1], 0);
+}
+
+// -------------------------------------------------------- min migrations
+
+TEST(Migration, IdenticalPlacementNeedsNoMoves) {
+  Solution s;
+  s.machines = {{0, 1}, {2, 3}, {4, 5}};
+  EXPECT_EQ(min_migrations(s, s), 0);
+}
+
+TEST(Migration, MachineRelabelingIsFree) {
+  Solution old_p, fresh;
+  old_p.machines = {{0, 1}, {2, 3}, {4, 5}};
+  fresh.machines = {{4, 5}, {0, 1}, {2, 3}};  // same groups, shuffled
+  EXPECT_EQ(min_migrations(old_p, fresh), 0);
+  Solution aligned = align_to_placement(old_p, fresh);
+  EXPECT_EQ(aligned.machines, old_p.machines);
+}
+
+TEST(Migration, SingleSwapCostsTwoMoves) {
+  Solution old_p, fresh;
+  old_p.machines = {{0, 1}, {2, 3}};
+  fresh.machines = {{0, 3}, {2, 1}};
+  EXPECT_EQ(min_migrations(old_p, fresh), 2);
+}
+
+TEST(Migration, AlignmentPicksMaxOverlap) {
+  Solution old_p, fresh;
+  old_p.machines = {{0, 1, 2, 3}, {4, 5, 6, 7}};
+  fresh.machines = {{4, 5, 6, 0}, {1, 2, 3, 7}};
+  // Group {1,2,3,7} overlaps old machine 0 by 3; {4,5,6,0} overlaps old
+  // machine 1 by 3 -> 2 moves (0 and 7 swap homes).
+  EXPECT_EQ(min_migrations(old_p, fresh), 2);
+  Solution aligned = align_to_placement(old_p, fresh);
+  EXPECT_EQ(aligned.machines[0], (std::vector<ProcessId>{1, 2, 3, 7}));
+  EXPECT_EQ(aligned.machines[1], (std::vector<ProcessId>{0, 4, 5, 6}));
+}
+
+// --------------------------------------------------------------- replan
+
+TEST(Replan, HugeMigrationCostPinsThePlacement) {
+  Problem p = random_serial_problem(12, 4, 61);
+  Rng rng(4);
+  Solution current = solve_random(p, rng);
+  ReplanOptions opt;
+  opt.migration_cost = 1e6;
+  auto r = replan_with_migrations(p, current, opt);
+  EXPECT_EQ(r.migrations, 0);
+  validate_solution(p, r.placement);
+  EXPECT_NEAR(r.degradation, evaluate_solution(p, current).total, 1e-9);
+}
+
+TEST(Replan, ZeroMigrationCostReachesSchedulerQuality) {
+  Problem p = random_serial_problem(16, 4, 62);
+  Rng rng(5);
+  Solution current = solve_random(p, rng);
+  ReplanOptions opt;
+  opt.migration_cost = 0.0;
+  auto r = replan_with_migrations(p, current, opt);
+  validate_solution(p, r.placement);
+  auto ha = solve_hastar(p);
+  ASSERT_TRUE(ha.found);
+  Real ha_obj = evaluate_solution(p, ha.solution).total;
+  EXPECT_LE(r.degradation, ha_obj + 1e-9);  // at least as good as fresh HA*
+}
+
+TEST(Replan, NeverWorseThanStaying) {
+  for (std::uint64_t seed : {63u, 64u, 65u}) {
+    Problem p = random_serial_problem(12, 4, seed);
+    Rng rng(seed);
+    Solution current = solve_random(p, rng);
+    Real stay = evaluate_solution(p, current).total;
+    ReplanOptions opt;
+    opt.migration_cost = 0.02;
+    auto r = replan_with_migrations(p, current, opt);
+    validate_solution(p, r.placement);
+    EXPECT_LE(r.combined, stay + 1e-9) << "seed " << seed;
+    EXPECT_NEAR(r.combined,
+                r.degradation + opt.migration_cost * r.migrations, 1e-12);
+  }
+}
+
+TEST(Replan, MigrationCountShrinksAsCostGrows) {
+  Problem p = random_serial_problem(16, 4, 66);
+  Rng rng(7);
+  Solution current = solve_random(p, rng);
+  std::int32_t prev_migrations = p.n() + 1;
+  Real prev_degradation = -1.0;
+  for (Real cost : {0.0, 0.02, 0.2, 5.0}) {
+    ReplanOptions opt;
+    opt.migration_cost = cost;
+    auto r = replan_with_migrations(p, current, opt);
+    // Monotone trade-off: pricier moves -> fewer (or equal) migrations and
+    // no better degradation.
+    EXPECT_LE(r.migrations, prev_migrations) << "cost " << cost;
+    if (prev_degradation >= 0.0)
+      EXPECT_GE(r.degradation + 1e-9, prev_degradation) << "cost " << cost;
+    prev_migrations = r.migrations;
+    prev_degradation = r.degradation;
+  }
+}
+
+}  // namespace
+}  // namespace cosched

@@ -1,0 +1,167 @@
+// Additional property tests: reference-model checks for the bitset, cache
+// monotonicity, simplex degenerate systems, IP/objective consistency on
+// mixes, comm model in 3D.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/lru_cache_sim.hpp"
+#include "cache/trace_gen.hpp"
+#include "comm/comm_topology.hpp"
+#include "comm/decomposition.hpp"
+#include "ip/branch_and_bound.hpp"
+#include "ip/ip_model.hpp"
+#include "ip/simplex.hpp"
+#include "test_helpers.hpp"
+#include "util/dynamic_bitset.hpp"
+#include "util/rng.hpp"
+
+namespace cosched {
+namespace {
+
+// ------------------------------ bitset vs std::vector<bool> reference model
+
+TEST(DynamicBitsetModel, RandomOpsMatchReference) {
+  Rng rng(31);
+  const std::size_t n = 203;  // deliberately not a multiple of 64
+  DynamicBitset bits(n);
+  std::vector<bool> ref(n, false);
+  for (int step = 0; step < 5000; ++step) {
+    std::size_t pos = rng.uniform(n);
+    switch (rng.uniform(3)) {
+      case 0:
+        bits.set(pos);
+        ref[pos] = true;
+        break;
+      case 1:
+        bits.reset(pos);
+        ref[pos] = false;
+        break;
+      default:
+        ASSERT_EQ(bits.test(pos), ref[pos]) << "step " << step;
+    }
+    if (step % 257 == 0) {
+      std::size_t ref_count = 0;
+      for (bool b : ref) ref_count += b;
+      ASSERT_EQ(bits.count(), ref_count) << "step " << step;
+      // find_first_clear agrees with the reference.
+      std::size_t expect = n;
+      for (std::size_t i = 0; i < n; ++i)
+        if (!ref[i]) {
+          expect = i;
+          break;
+        }
+      ASSERT_EQ(bits.find_first_clear(), expect) << "step " << step;
+    }
+  }
+}
+
+// ----------------------------------------------- cache miss monotonicity
+
+TEST(CacheProperties, MissRateGrowsWithWorkingSet) {
+  CacheConfig cache{64, 16, 64};  // 1024 lines
+  Real prev_rate = -1.0;
+  for (std::uint64_t lines : {256u, 1024u, 4096u, 16384u}) {
+    LocalitySpec spec;
+    spec.regions.push_back({lines, 1.0, 1, 0.0});
+    TraceGenerator gen(spec, 5);
+    auto res = LruCacheSim::simulate(cache, gen.generate(60000));
+    EXPECT_GE(res.miss_rate(), prev_rate - 1e-9)
+        << "working set " << lines;
+    prev_rate = res.miss_rate();
+  }
+  EXPECT_GT(prev_rate, 0.9);  // 16x-cache-size stream thrashes completely
+}
+
+TEST(CacheProperties, AssociativityNeverHurtsUnderLru) {
+  // With the same sets*ways capacity split differently, higher
+  // associativity cannot increase misses for a cyclic working set that
+  // fits the cache (LRU inclusion property applies per set; the cyclic
+  // walk is the adversarial case for low associativity).
+  LocalitySpec spec;
+  spec.regions.push_back({512, 1.0, 1, 0.0});
+  TraceGenerator gen_a(spec, 9);
+  auto trace = gen_a.generate(40000);
+  auto low = LruCacheSim::simulate(CacheConfig{64, 2, 512}, trace);
+  auto high = LruCacheSim::simulate(CacheConfig{64, 16, 64}, trace);
+  EXPECT_LE(high.misses, low.misses + 600u);  // equal capacity, small slack
+}
+
+// -------------------------------------------------- simplex degeneracy
+
+TEST(SimplexEdge, RedundantEqualityRowsStaySolvable) {
+  // x + y = 2 stated twice plus a consistent scaled copy.
+  LinearProgram lp;
+  auto x = lp.add_variable(1.0, 0.0, 5.0);
+  auto y = lp.add_variable(2.0, 0.0, 5.0);
+  lp.add_row({{x, 1.0}, {y, 1.0}}, LinearProgram::RowType::EQ, 2.0);
+  lp.add_row({{x, 1.0}, {y, 1.0}}, LinearProgram::RowType::EQ, 2.0);
+  lp.add_row({{x, 2.0}, {y, 2.0}}, LinearProgram::RowType::EQ, 4.0);
+  auto sol = SimplexSolver().solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_NEAR(sol.objective, 2.0, 1e-9);  // x=2, y=0
+}
+
+TEST(SimplexEdge, ConflictingEqualitiesAreInfeasible) {
+  LinearProgram lp;
+  auto x = lp.add_variable(1.0, 0.0, 5.0);
+  lp.add_row({{x, 1.0}}, LinearProgram::RowType::EQ, 2.0);
+  lp.add_row({{x, 1.0}}, LinearProgram::RowType::EQ, 3.0);
+  auto sol = SimplexSolver().solve(lp);
+  EXPECT_EQ(sol.status, LpStatus::Infeasible);
+}
+
+TEST(SimplexEdge, AllVariablesFixed) {
+  LinearProgram lp;
+  auto x = lp.add_variable(3.0, 1.0, 1.0);
+  auto y = lp.add_variable(-1.0, 2.0, 2.0);
+  lp.add_row({{x, 1.0}, {y, 1.0}}, LinearProgram::RowType::LE, 10.0);
+  auto sol = SimplexSolver().solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_NEAR(sol.objective, 1.0, 1e-9);  // 3*1 - 1*2
+}
+
+// -------------------------------------- IP objective == evaluated decode
+
+TEST(IpConsistency, ObjectiveMatchesEvaluatedSolutionOnMixes) {
+  for (std::uint64_t seed : {71u, 72u, 73u}) {
+    Problem p = testhelpers::random_pe_problem(4, {3}, 2, seed);
+    auto model = build_ip_model(p, *p.full_model,
+                                Aggregation::MaxPerParallelJob);
+    auto result = solve_branch_and_bound(model);
+    ASSERT_TRUE(result.optimal) << "seed " << seed;
+    auto ev = evaluate_solution(p, result.solution);
+    EXPECT_NEAR(ev.total, result.objective, 1e-6) << "seed " << seed;
+  }
+}
+
+// ----------------------------------------------------- comm model in 3D
+
+TEST(CommProperties, ExternalBytesShrinkAsCoRunnersJoin) {
+  CommTopology topo;
+  topo.attach(0, 0, make_3d_pattern(2, 2, 2, 10.0, 20.0, 40.0));
+  // Rank 0's neighbours: +x (rank 1, 10B), +y (rank 2, 20B), +z (rank 4, 40B).
+  std::vector<ProcessId> none;
+  EXPECT_DOUBLE_EQ(topo.external_bytes(0, none), 70.0);
+  ProcessId one[1] = {1};
+  EXPECT_DOUBLE_EQ(topo.external_bytes(0, one), 60.0);
+  ProcessId two[2] = {1, 4};
+  EXPECT_DOUBLE_EQ(topo.external_bytes(0, two), 20.0);
+  ProcessId all3[3] = {1, 2, 4};
+  EXPECT_DOUBLE_EQ(topo.external_bytes(0, all3), 0.0);
+}
+
+TEST(CommProperties, PropertyCountsPerDirectionIn3d) {
+  CommTopology topo;
+  topo.attach(0, 0, make_3d_pattern(2, 2, 2, 1.0, 1.0, 1.0));
+  // Node {0, 1}: x-edge internal; each member has 1 y- and 1 z-neighbour
+  // outside -> (0, 2, 2).
+  std::vector<ProcessId> node{0, 1};
+  auto prop = topo.comm_property(0, node);
+  EXPECT_EQ(prop[0], 0);
+  EXPECT_EQ(prop[1], 2);
+  EXPECT_EQ(prop[2], 2);
+}
+
+}  // namespace
+}  // namespace cosched

@@ -1,0 +1,208 @@
+// Unit tests for the bounded-variable two-phase simplex.
+#include <gtest/gtest.h>
+
+#include "ip/simplex.hpp"
+#include "util/rng.hpp"
+
+namespace cosched {
+namespace {
+
+TEST(Simplex, TrivialTwoVarLp) {
+  // min -x - 2y  s.t. x + y <= 4, x in [0,3], y in [0,2]. Optimum x=2,y=2.
+  LinearProgram lp;
+  auto x = lp.add_variable(-1.0, 0.0, 3.0);
+  auto y = lp.add_variable(-2.0, 0.0, 2.0);
+  lp.add_row({{x, 1.0}, {y, 1.0}}, LinearProgram::RowType::LE, 4.0);
+  auto sol = SimplexSolver().solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_NEAR(sol.objective, -6.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 2.0, 1e-9);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  LinearProgram lp;
+  auto x = lp.add_variable(1.0, 0.0, 10.0);
+  auto y = lp.add_variable(1.0, 0.0, 10.0);
+  lp.add_row({{x, 1.0}, {y, 1.0}}, LinearProgram::RowType::EQ, 5.0);
+  auto sol = SimplexSolver().solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_NEAR(sol.objective, 5.0, 1e-9);
+  EXPECT_NEAR(sol.x[0] + sol.x[1], 5.0, 1e-9);
+}
+
+TEST(Simplex, GreaterEqualConstraint) {
+  // min 2x + 3y  s.t. x + y >= 4. Optimum x=4, y=0.
+  LinearProgram lp;
+  auto x = lp.add_variable(2.0, 0.0, kInfinity);
+  auto y = lp.add_variable(3.0, 0.0, kInfinity);
+  lp.add_row({{x, 1.0}, {y, 1.0}}, LinearProgram::RowType::GE, 4.0);
+  auto sol = SimplexSolver().solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_NEAR(sol.objective, 8.0, 1e-9);
+  EXPECT_NEAR(sol.x[0], 4.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  LinearProgram lp;
+  auto x = lp.add_variable(1.0, 0.0, kInfinity);
+  lp.add_row({{x, 1.0}}, LinearProgram::RowType::LE, 1.0);
+  lp.add_row({{x, 1.0}}, LinearProgram::RowType::GE, 3.0);
+  auto sol = SimplexSolver().solve(lp);
+  EXPECT_EQ(sol.status, LpStatus::Infeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  LinearProgram lp;
+  auto x = lp.add_variable(-1.0, 0.0, kInfinity);
+  auto y = lp.add_variable(0.0, 0.0, 1.0);
+  lp.add_row({{y, 1.0}}, LinearProgram::RowType::LE, 1.0);
+  auto sol = SimplexSolver().solve(lp);
+  EXPECT_EQ(sol.status, LpStatus::Unbounded);
+  (void)x;
+}
+
+TEST(Simplex, RespectsVariableUpperBounds) {
+  LinearProgram lp;
+  auto x = lp.add_variable(-1.0, 0.0, 7.0);
+  lp.add_row({{x, 1.0}}, LinearProgram::RowType::LE, 100.0);
+  auto sol = SimplexSolver().solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_NEAR(sol.x[0], 7.0, 1e-9);
+}
+
+TEST(Simplex, NegativeLowerBounds) {
+  // min x  s.t. x + y >= -2, x in [-5,5], y in [0,1]. Optimum x=-3 (y=1).
+  LinearProgram lp;
+  auto x = lp.add_variable(1.0, -5.0, 5.0);
+  auto y = lp.add_variable(0.0, 0.0, 1.0);
+  lp.add_row({{x, 1.0}, {y, 1.0}}, LinearProgram::RowType::GE, -2.0);
+  auto sol = SimplexSolver().solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_NEAR(sol.objective, -3.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateLpTerminates) {
+  LinearProgram lp;
+  auto x = lp.add_variable(-1.0, 0.0, kInfinity);
+  auto y = lp.add_variable(-1.0, 0.0, kInfinity);
+  lp.add_row({{x, 1.0}}, LinearProgram::RowType::LE, 2.0);
+  lp.add_row({{x, 1.0}, {y, 0.0}}, LinearProgram::RowType::LE, 2.0);
+  lp.add_row({{x, 1.0}, {y, 1.0}}, LinearProgram::RowType::LE, 4.0);
+  lp.add_row({{y, 1.0}}, LinearProgram::RowType::LE, 2.0);
+  auto sol = SimplexSolver().solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_NEAR(sol.objective, -4.0, 1e-9);
+}
+
+TEST(Simplex, TransportationProblem) {
+  // 2 suppliers {20,30}, 3 consumers {10,25,15}, costs {2,4,6;5,1,3}.
+  // Optimum 120: x00=10, x02=10, x11=25, x12=5.
+  LinearProgram lp;
+  std::int32_t v[2][3];
+  Real cost[2][3] = {{2, 4, 6}, {5, 1, 3}};
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 3; ++j)
+      v[i][j] = lp.add_variable(cost[i][j], 0.0, kInfinity);
+  lp.add_row({{v[0][0], 1.0}, {v[0][1], 1.0}, {v[0][2], 1.0}},
+             LinearProgram::RowType::LE, 20.0);
+  lp.add_row({{v[1][0], 1.0}, {v[1][1], 1.0}, {v[1][2], 1.0}},
+             LinearProgram::RowType::LE, 30.0);
+  lp.add_row({{v[0][0], 1.0}, {v[1][0], 1.0}}, LinearProgram::RowType::GE,
+             10.0);
+  lp.add_row({{v[0][1], 1.0}, {v[1][1], 1.0}}, LinearProgram::RowType::GE,
+             25.0);
+  lp.add_row({{v[0][2], 1.0}, {v[1][2], 1.0}}, LinearProgram::RowType::GE,
+             15.0);
+  auto sol = SimplexSolver().solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_NEAR(sol.objective, 120.0, 1e-7);
+}
+
+TEST(Simplex, SetPartitioningRelaxationIsTight) {
+  // Partition {0,1,2,3} into pairs; costs make ({0,1},{2,3}) optimal at 3.
+  LinearProgram lp;
+  struct Col {
+    int a, b;
+    Real c;
+  };
+  std::vector<Col> cols{{0, 1, 1}, {0, 2, 5}, {0, 3, 5},
+                        {1, 2, 5}, {1, 3, 5}, {2, 3, 2}};
+  std::vector<std::int32_t> vars;
+  for (const auto& c : cols) vars.push_back(lp.add_variable(c.c, 0.0, 1.0));
+  for (int item = 0; item < 4; ++item) {
+    std::vector<std::pair<std::int32_t, Real>> coeffs;
+    for (std::size_t k = 0; k < cols.size(); ++k)
+      if (cols[k].a == item || cols[k].b == item)
+        coeffs.push_back({vars[k], 1.0});
+    lp.add_row(std::move(coeffs), LinearProgram::RowType::EQ, 1.0);
+  }
+  auto sol = SimplexSolver().solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_NEAR(sol.objective, 3.0, 1e-9);
+  EXPECT_NEAR(sol.x[0], 1.0, 1e-9);
+  EXPECT_NEAR(sol.x[5], 1.0, 1e-9);
+}
+
+TEST(Simplex, FixedVariableStaysFixed) {
+  LinearProgram lp;
+  auto x = lp.add_variable(-10.0, 0.5, 0.5);
+  auto y = lp.add_variable(-1.0, 0.0, 2.0);
+  lp.add_row({{x, 1.0}, {y, 1.0}}, LinearProgram::RowType::LE, 2.0);
+  auto sol = SimplexSolver().solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_NEAR(sol.x[0], 0.5, 1e-9);
+  EXPECT_NEAR(sol.x[1], 1.5, 1e-9);
+}
+
+TEST(Simplex, RandomLpsAreFeasibleAndNoWorseThanReference) {
+  // Random LE-form LPs built around a known feasible reference point: the
+  // solver must return a feasible point at least as good.
+  Rng rng(2024);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int nv = 3 + static_cast<int>(rng.uniform(5));
+    const int nr = 2 + static_cast<int>(rng.uniform(3));
+    LinearProgram lp;
+    std::vector<Real> ref;
+    for (int j = 0; j < nv; ++j) {
+      Real ub = 1.0 + rng.uniform01() * 3.0;
+      lp.add_variable(rng.uniform_real(-2.0, 2.0), 0.0, ub);
+      ref.push_back(rng.uniform_real(0.0, ub));
+    }
+    std::vector<std::vector<Real>> dense_rows;
+    for (int i = 0; i < nr; ++i) {
+      std::vector<std::pair<std::int32_t, Real>> coeffs;
+      std::vector<Real> dense(static_cast<std::size_t>(nv), 0.0);
+      Real lhs_at_ref = 0.0;
+      for (int j = 0; j < nv; ++j) {
+        Real a = rng.uniform_real(-1.0, 1.0);
+        dense[static_cast<std::size_t>(j)] = a;
+        coeffs.push_back({j, a});
+        lhs_at_ref += a * ref[static_cast<std::size_t>(j)];
+      }
+      lp.add_row(std::move(coeffs), LinearProgram::RowType::LE,
+                 lhs_at_ref + 0.5);
+      dense_rows.push_back(std::move(dense));
+    }
+    auto sol = SimplexSolver().solve(lp);
+    ASSERT_EQ(sol.status, LpStatus::Optimal) << "trial " << trial;
+    for (int i = 0; i < nr; ++i) {
+      Real lhs = 0.0;
+      for (int j = 0; j < nv; ++j)
+        lhs += dense_rows[static_cast<std::size_t>(i)]
+                         [static_cast<std::size_t>(j)] *
+               sol.x[static_cast<std::size_t>(j)];
+      EXPECT_LE(lhs, lp.row(i).rhs + 1e-7) << "trial " << trial;
+    }
+    for (int j = 0; j < nv; ++j) {
+      EXPECT_GE(sol.x[static_cast<std::size_t>(j)], lp.lower(j) - 1e-7);
+      EXPECT_LE(sol.x[static_cast<std::size_t>(j)], lp.upper(j) + 1e-7);
+    }
+    Real ref_obj = 0.0;
+    for (int j = 0; j < nv; ++j)
+      ref_obj += lp.cost(j) * ref[static_cast<std::size_t>(j)];
+    EXPECT_LE(sol.objective, ref_obj + 1e-7) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace cosched
