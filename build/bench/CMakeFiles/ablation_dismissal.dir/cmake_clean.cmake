@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dismissal.dir/ablation_dismissal.cpp.o"
+  "CMakeFiles/ablation_dismissal.dir/ablation_dismissal.cpp.o.d"
+  "ablation_dismissal"
+  "ablation_dismissal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dismissal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

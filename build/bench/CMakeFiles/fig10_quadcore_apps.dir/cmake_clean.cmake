@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_quadcore_apps.dir/fig10_quadcore_apps.cpp.o"
+  "CMakeFiles/fig10_quadcore_apps.dir/fig10_quadcore_apps.cpp.o.d"
+  "fig10_quadcore_apps"
+  "fig10_quadcore_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_quadcore_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

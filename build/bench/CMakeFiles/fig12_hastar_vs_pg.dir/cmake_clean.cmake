@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_hastar_vs_pg.dir/fig12_hastar_vs_pg.cpp.o"
+  "CMakeFiles/fig12_hastar_vs_pg.dir/fig12_hastar_vs_pg.cpp.o.d"
+  "fig12_hastar_vs_pg"
+  "fig12_hastar_vs_pg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_hastar_vs_pg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_pe_vs_se.dir/fig6_pe_vs_se.cpp.o"
+  "CMakeFiles/fig6_pe_vs_se.dir/fig6_pe_vs_se.cpp.o.d"
+  "fig6_pe_vs_se"
+  "fig6_pe_vs_se.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_pe_vs_se.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_pe_vs_se.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_pc_vs_pe.dir/fig7_pc_vs_pe.cpp.o"
+  "CMakeFiles/fig7_pc_vs_pe.dir/fig7_pc_vs_pe.cpp.o.d"
+  "fig7_pc_vs_pe"
+  "fig7_pc_vs_pe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_pc_vs_pe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

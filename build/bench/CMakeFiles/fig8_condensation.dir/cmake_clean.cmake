@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_condensation.dir/fig8_condensation.cpp.o"
+  "CMakeFiles/fig8_condensation.dir/fig8_condensation.cpp.o.d"
+  "fig8_condensation"
+  "fig8_condensation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_condensation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

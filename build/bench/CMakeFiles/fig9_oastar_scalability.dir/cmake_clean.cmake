@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_oastar_scalability.dir/fig9_oastar_scalability.cpp.o"
+  "CMakeFiles/fig9_oastar_scalability.dir/fig9_oastar_scalability.cpp.o.d"
+  "fig9_oastar_scalability"
+  "fig9_oastar_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_oastar_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_serial_optimality.dir/table1_serial_optimality.cpp.o"
+  "CMakeFiles/table1_serial_optimality.dir/table1_serial_optimality.cpp.o.d"
+  "table1_serial_optimality"
+  "table1_serial_optimality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_serial_optimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_mix_optimality.dir/table2_mix_optimality.cpp.o"
+  "CMakeFiles/table2_mix_optimality.dir/table2_mix_optimality.cpp.o.d"
+  "table2_mix_optimality"
+  "table2_mix_optimality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_mix_optimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_efficiency.dir/table3_efficiency.cpp.o"
+  "CMakeFiles/table3_efficiency.dir/table3_efficiency.cpp.o.d"
+  "table3_efficiency"
+  "table3_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

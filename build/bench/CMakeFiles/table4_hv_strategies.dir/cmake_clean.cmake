@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_hv_strategies.dir/table4_hv_strategies.cpp.o"
+  "CMakeFiles/table4_hv_strategies.dir/table4_hv_strategies.cpp.o.d"
+  "table4_hv_strategies"
+  "table4_hv_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_hv_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

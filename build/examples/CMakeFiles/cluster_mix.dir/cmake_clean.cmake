@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_mix.dir/cluster_mix.cpp.o"
+  "CMakeFiles/cluster_mix.dir/cluster_mix.cpp.o.d"
+  "cluster_mix"
+  "cluster_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_sweep.dir/datacenter_sweep.cpp.o"
+  "CMakeFiles/datacenter_sweep.dir/datacenter_sweep.cpp.o.d"
+  "datacenter_sweep"
+  "datacenter_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

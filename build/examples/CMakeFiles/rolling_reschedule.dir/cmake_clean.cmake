@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rolling_reschedule.dir/rolling_reschedule.cpp.o"
+  "CMakeFiles/rolling_reschedule.dir/rolling_reschedule.cpp.o.d"
+  "rolling_reschedule"
+  "rolling_reschedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rolling_reschedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/astar/mer.cpp" "src/CMakeFiles/cosched.dir/astar/mer.cpp.o" "gcc" "src/CMakeFiles/cosched.dir/astar/mer.cpp.o.d"
+  "/root/repo/src/astar/search.cpp" "src/CMakeFiles/cosched.dir/astar/search.cpp.o" "gcc" "src/CMakeFiles/cosched.dir/astar/search.cpp.o.d"
+  "/root/repo/src/baseline/brute_force.cpp" "src/CMakeFiles/cosched.dir/baseline/brute_force.cpp.o" "gcc" "src/CMakeFiles/cosched.dir/baseline/brute_force.cpp.o.d"
+  "/root/repo/src/baseline/local_search.cpp" "src/CMakeFiles/cosched.dir/baseline/local_search.cpp.o" "gcc" "src/CMakeFiles/cosched.dir/baseline/local_search.cpp.o.d"
+  "/root/repo/src/baseline/pg_greedy.cpp" "src/CMakeFiles/cosched.dir/baseline/pg_greedy.cpp.o" "gcc" "src/CMakeFiles/cosched.dir/baseline/pg_greedy.cpp.o.d"
+  "/root/repo/src/baseline/random_schedule.cpp" "src/CMakeFiles/cosched.dir/baseline/random_schedule.cpp.o" "gcc" "src/CMakeFiles/cosched.dir/baseline/random_schedule.cpp.o.d"
+  "/root/repo/src/cache/cpu_time_model.cpp" "src/CMakeFiles/cosched.dir/cache/cpu_time_model.cpp.o" "gcc" "src/CMakeFiles/cosched.dir/cache/cpu_time_model.cpp.o.d"
+  "/root/repo/src/cache/lru_cache_sim.cpp" "src/CMakeFiles/cosched.dir/cache/lru_cache_sim.cpp.o" "gcc" "src/CMakeFiles/cosched.dir/cache/lru_cache_sim.cpp.o.d"
+  "/root/repo/src/cache/machine_config.cpp" "src/CMakeFiles/cosched.dir/cache/machine_config.cpp.o" "gcc" "src/CMakeFiles/cosched.dir/cache/machine_config.cpp.o.d"
+  "/root/repo/src/cache/sdc_model.cpp" "src/CMakeFiles/cosched.dir/cache/sdc_model.cpp.o" "gcc" "src/CMakeFiles/cosched.dir/cache/sdc_model.cpp.o.d"
+  "/root/repo/src/cache/stack_distance.cpp" "src/CMakeFiles/cosched.dir/cache/stack_distance.cpp.o" "gcc" "src/CMakeFiles/cosched.dir/cache/stack_distance.cpp.o.d"
+  "/root/repo/src/cache/trace_gen.cpp" "src/CMakeFiles/cosched.dir/cache/trace_gen.cpp.o" "gcc" "src/CMakeFiles/cosched.dir/cache/trace_gen.cpp.o.d"
+  "/root/repo/src/comm/comm_topology.cpp" "src/CMakeFiles/cosched.dir/comm/comm_topology.cpp.o" "gcc" "src/CMakeFiles/cosched.dir/comm/comm_topology.cpp.o.d"
+  "/root/repo/src/comm/decomposition.cpp" "src/CMakeFiles/cosched.dir/comm/decomposition.cpp.o" "gcc" "src/CMakeFiles/cosched.dir/comm/decomposition.cpp.o.d"
+  "/root/repo/src/core/builders.cpp" "src/CMakeFiles/cosched.dir/core/builders.cpp.o" "gcc" "src/CMakeFiles/cosched.dir/core/builders.cpp.o.d"
+  "/root/repo/src/core/degradation_models.cpp" "src/CMakeFiles/cosched.dir/core/degradation_models.cpp.o" "gcc" "src/CMakeFiles/cosched.dir/core/degradation_models.cpp.o.d"
+  "/root/repo/src/core/node_eval.cpp" "src/CMakeFiles/cosched.dir/core/node_eval.cpp.o" "gcc" "src/CMakeFiles/cosched.dir/core/node_eval.cpp.o.d"
+  "/root/repo/src/core/objective.cpp" "src/CMakeFiles/cosched.dir/core/objective.cpp.o" "gcc" "src/CMakeFiles/cosched.dir/core/objective.cpp.o.d"
+  "/root/repo/src/graph/condensation.cpp" "src/CMakeFiles/cosched.dir/graph/condensation.cpp.o" "gcc" "src/CMakeFiles/cosched.dir/graph/condensation.cpp.o.d"
+  "/root/repo/src/graph/level_stats.cpp" "src/CMakeFiles/cosched.dir/graph/level_stats.cpp.o" "gcc" "src/CMakeFiles/cosched.dir/graph/level_stats.cpp.o.d"
+  "/root/repo/src/graph/node_enumerator.cpp" "src/CMakeFiles/cosched.dir/graph/node_enumerator.cpp.o" "gcc" "src/CMakeFiles/cosched.dir/graph/node_enumerator.cpp.o.d"
+  "/root/repo/src/harness/experiment.cpp" "src/CMakeFiles/cosched.dir/harness/experiment.cpp.o" "gcc" "src/CMakeFiles/cosched.dir/harness/experiment.cpp.o.d"
+  "/root/repo/src/ip/branch_and_bound.cpp" "src/CMakeFiles/cosched.dir/ip/branch_and_bound.cpp.o" "gcc" "src/CMakeFiles/cosched.dir/ip/branch_and_bound.cpp.o.d"
+  "/root/repo/src/ip/ip_model.cpp" "src/CMakeFiles/cosched.dir/ip/ip_model.cpp.o" "gcc" "src/CMakeFiles/cosched.dir/ip/ip_model.cpp.o.d"
+  "/root/repo/src/ip/simplex.cpp" "src/CMakeFiles/cosched.dir/ip/simplex.cpp.o" "gcc" "src/CMakeFiles/cosched.dir/ip/simplex.cpp.o.d"
+  "/root/repo/src/util/combinatorics.cpp" "src/CMakeFiles/cosched.dir/util/combinatorics.cpp.o" "gcc" "src/CMakeFiles/cosched.dir/util/combinatorics.cpp.o.d"
+  "/root/repo/src/util/dynamic_bitset.cpp" "src/CMakeFiles/cosched.dir/util/dynamic_bitset.cpp.o" "gcc" "src/CMakeFiles/cosched.dir/util/dynamic_bitset.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/cosched.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/cosched.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/cosched.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/cosched.dir/util/table.cpp.o.d"
+  "/root/repo/src/vm/hungarian.cpp" "src/CMakeFiles/cosched.dir/vm/hungarian.cpp.o" "gcc" "src/CMakeFiles/cosched.dir/vm/hungarian.cpp.o.d"
+  "/root/repo/src/vm/migration.cpp" "src/CMakeFiles/cosched.dir/vm/migration.cpp.o" "gcc" "src/CMakeFiles/cosched.dir/vm/migration.cpp.o.d"
+  "/root/repo/src/workload/benchmark_catalog.cpp" "src/CMakeFiles/cosched.dir/workload/benchmark_catalog.cpp.o" "gcc" "src/CMakeFiles/cosched.dir/workload/benchmark_catalog.cpp.o.d"
+  "/root/repo/src/workload/job_batch.cpp" "src/CMakeFiles/cosched.dir/workload/job_batch.cpp.o" "gcc" "src/CMakeFiles/cosched.dir/workload/job_batch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

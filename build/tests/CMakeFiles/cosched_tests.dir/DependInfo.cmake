@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baseline.cpp" "tests/CMakeFiles/cosched_tests.dir/test_baseline.cpp.o" "gcc" "tests/CMakeFiles/cosched_tests.dir/test_baseline.cpp.o.d"
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/cosched_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/cosched_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_comm.cpp" "tests/CMakeFiles/cosched_tests.dir/test_comm.cpp.o" "gcc" "tests/CMakeFiles/cosched_tests.dir/test_comm.cpp.o.d"
+  "/root/repo/tests/test_condensation.cpp" "tests/CMakeFiles/cosched_tests.dir/test_condensation.cpp.o" "gcc" "tests/CMakeFiles/cosched_tests.dir/test_condensation.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/cosched_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/cosched_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_harness.cpp" "tests/CMakeFiles/cosched_tests.dir/test_harness.cpp.o" "gcc" "tests/CMakeFiles/cosched_tests.dir/test_harness.cpp.o.d"
+  "/root/repo/tests/test_hastar.cpp" "tests/CMakeFiles/cosched_tests.dir/test_hastar.cpp.o" "gcc" "tests/CMakeFiles/cosched_tests.dir/test_hastar.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/cosched_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/cosched_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_ip.cpp" "tests/CMakeFiles/cosched_tests.dir/test_ip.cpp.o" "gcc" "tests/CMakeFiles/cosched_tests.dir/test_ip.cpp.o.d"
+  "/root/repo/tests/test_mer.cpp" "tests/CMakeFiles/cosched_tests.dir/test_mer.cpp.o" "gcc" "tests/CMakeFiles/cosched_tests.dir/test_mer.cpp.o.d"
+  "/root/repo/tests/test_migration.cpp" "tests/CMakeFiles/cosched_tests.dir/test_migration.cpp.o" "gcc" "tests/CMakeFiles/cosched_tests.dir/test_migration.cpp.o.d"
+  "/root/repo/tests/test_more_properties.cpp" "tests/CMakeFiles/cosched_tests.dir/test_more_properties.cpp.o" "gcc" "tests/CMakeFiles/cosched_tests.dir/test_more_properties.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/cosched_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/cosched_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_search.cpp" "tests/CMakeFiles/cosched_tests.dir/test_search.cpp.o" "gcc" "tests/CMakeFiles/cosched_tests.dir/test_search.cpp.o.d"
+  "/root/repo/tests/test_simplex.cpp" "tests/CMakeFiles/cosched_tests.dir/test_simplex.cpp.o" "gcc" "tests/CMakeFiles/cosched_tests.dir/test_simplex.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/cosched_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/cosched_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/cosched_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/cosched_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cosched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
