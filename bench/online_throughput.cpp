@@ -1,0 +1,176 @@
+// online_throughput: head-to-head comparison of online co-scheduling
+// policies on one arrival trace — solver (HA* / PG / random) × replan
+// trigger (every-k / degradation-threshold / periodic), plus the
+// degradation-vs-migration-cost frontier.
+//
+// Emits two CSVs:
+//   online_throughput.csv — per policy: sustained jobs/sec (virtual),
+//     mean degradation, mean queue wait, migrations per replan, replans,
+//     wall-clock solve time.
+//   online_frontier.csv   — HA* vs random across migration costs: how much
+//     degradation each solver buys per unit of migration budget.
+//
+// Exit code is nonzero if an HA*-backed policy fails to dominate the
+// random baseline on degradation at the same migration budget.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "online/scheduler.hpp"
+#include "util/timer.hpp"
+
+using namespace cosched;
+
+namespace {
+
+struct PolicyResult {
+  std::string label;
+  Real virtual_jobs_per_sec = 0.0;
+  Real mean_degradation = 0.0;
+  Real mean_queue_wait = 0.0;
+  Real migrations_per_replan = 0.0;
+  std::uint64_t replans = 0;
+  double solve_wall_seconds = 0.0;
+};
+
+PolicyResult run_policy(const WorkloadTrace& trace,
+                        const OnlineSchedulerOptions& options,
+                        std::string label) {
+  OnlineScheduler service(options);
+  service.run(trace);
+  const SchedulerMetrics& m = service.metrics();
+  PolicyResult r;
+  r.label = std::move(label);
+  r.virtual_jobs_per_sec =
+      service.now() > 0.0
+          ? static_cast<Real>(m.completions()) / service.now()
+          : 0.0;
+  r.mean_degradation = m.running_mean_degradation();
+  r.mean_queue_wait = m.queue_wait().mean();
+  r.migrations_per_replan = m.mean_migrations_per_replan();
+  r.replans = m.replans();
+  r.solve_wall_seconds = m.total_solve_wall_seconds();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const std::int64_t scale = args.get_int("scale", 1);
+  const std::int64_t jobs = args.get_int("jobs", 80 * scale);
+  const std::int64_t machines = args.get_int("machines", 5);
+  const std::int64_t cores = args.get_int("cores", 4);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 7));
+  const std::string out_dir = args.get_string("out-dir", "results");
+
+  print_experiment_header(
+      "online service throughput (extension; Aupy et al. online regime)",
+      "solver x replan-trigger head-to-head on one arrival trace, plus the "
+      "degradation-vs-migration-cost frontier");
+
+  TraceSpec trace_spec;
+  trace_spec.job_count = static_cast<std::int32_t>(jobs);
+  trace_spec.mean_interarrival = 2.0;
+  trace_spec.work_lo = 8.0;
+  trace_spec.work_hi = 40.0;
+  trace_spec.parallel_fraction = 0.15;
+  trace_spec.seed = seed;
+  WorkloadTrace trace = generate_trace(trace_spec);
+
+  OnlineSchedulerOptions base;
+  base.cores = static_cast<std::uint32_t>(cores);
+  base.machines = static_cast<std::int32_t>(machines);
+  base.migration_cost = 0.05;
+  // One polish pass, shared by every policy: enough local search to make
+  // migration costs bite, little enough that the fresh solver's placement
+  // quality still shows through in the comparison.
+  base.replan_passes = 1;
+  base.log_process_finish = false;
+
+  std::cout << "trace: " << trace.job_count() << " jobs ("
+            << trace.process_count() << " processes), fleet " << machines
+            << " x " << cores << " cores\n\n";
+
+  // ---- policy table ----------------------------------------------------
+  struct Config {
+    OnlineSolverKind solver;
+    ReplanTrigger trigger;
+  };
+  const std::vector<Config> configs = {
+      {OnlineSolverKind::HAStar, ReplanTrigger::EveryKArrivals},
+      {OnlineSolverKind::HAStar, ReplanTrigger::DegradationThreshold},
+      {OnlineSolverKind::HAStar, ReplanTrigger::Periodic},
+      {OnlineSolverKind::PgGreedy, ReplanTrigger::EveryKArrivals},
+      {OnlineSolverKind::Random, ReplanTrigger::EveryKArrivals},
+  };
+
+  TextTable policy_table({"policy", "solver", "trigger", "jobs/sec",
+                          "mean degradation", "mean queue wait",
+                          "migrations/replan", "replans", "solve seconds"});
+  Real hastar_everyk_degradation = -1.0;
+  Real random_everyk_degradation = -1.0;
+  WallTimer total;
+  for (const Config& c : configs) {
+    OnlineSchedulerOptions options = base;
+    options.solver = c.solver;
+    options.admission.trigger = c.trigger;
+    std::string label =
+        std::string(to_string(c.solver)) + "+" + to_string(c.trigger);
+    PolicyResult r = run_policy(trace, options, label);
+    policy_table.add_row(
+        {r.label, to_string(c.solver), to_string(c.trigger),
+         TextTable::fmt(r.virtual_jobs_per_sec),
+         TextTable::fmt(r.mean_degradation),
+         TextTable::fmt(r.mean_queue_wait),
+         TextTable::fmt(r.migrations_per_replan),
+         TextTable::fmt_int(static_cast<std::int64_t>(r.replans)),
+         TextTable::fmt(r.solve_wall_seconds, 3)});
+    if (c.trigger == ReplanTrigger::EveryKArrivals) {
+      if (c.solver == OnlineSolverKind::HAStar)
+        hastar_everyk_degradation = r.mean_degradation;
+      if (c.solver == OnlineSolverKind::Random)
+        random_everyk_degradation = r.mean_degradation;
+    }
+  }
+  std::cout << policy_table.render() << "\n";
+  write_csv(out_dir, "online_throughput", policy_table);
+
+  // ---- degradation-vs-migration-cost frontier --------------------------
+  TextTable frontier({"solver", "migration cost", "mean degradation",
+                      "migrations/replan"});
+  for (OnlineSolverKind solver :
+       {OnlineSolverKind::HAStar, OnlineSolverKind::Random}) {
+    for (Real cost : {0.01, 0.05, 0.2}) {
+      OnlineSchedulerOptions options = base;
+      options.solver = solver;
+      options.admission.trigger = ReplanTrigger::EveryKArrivals;
+      options.migration_cost = cost;
+      PolicyResult r = run_policy(trace, options, "frontier");
+      frontier.add_row({to_string(solver), TextTable::fmt(cost, 2),
+                        TextTable::fmt(r.mean_degradation),
+                        TextTable::fmt(r.migrations_per_replan)});
+    }
+  }
+  std::cout << frontier.render() << "\n";
+  write_csv(out_dir, "online_frontier", frontier);
+
+  std::cout << "total bench wall time: " << TextTable::fmt(total.seconds(), 1)
+            << " s\n";
+
+  if (hastar_everyk_degradation < 0.0 || random_everyk_degradation < 0.0 ||
+      hastar_everyk_degradation > random_everyk_degradation + 1e-9) {
+    std::cerr << "FAIL: HA*-backed policy does not dominate random on "
+                 "degradation at equal migration budget ("
+              << hastar_everyk_degradation << " vs "
+              << random_everyk_degradation << ")\n";
+    return 1;
+  }
+  std::cout << "check: hastar mean degradation "
+            << TextTable::fmt(hastar_everyk_degradation)
+            << " <= random " << TextTable::fmt(random_everyk_degradation)
+            << " at equal migration budget -- OK\n";
+  return 0;
+}

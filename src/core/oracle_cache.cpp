@@ -1,0 +1,125 @@
+#include "core/oracle_cache.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+
+namespace cosched {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t x) {
+  std::size_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+DegradationCache::DegradationCache(std::size_t shard_count) {
+  std::size_t n = round_up_pow2(std::max<std::size_t>(shard_count, 1));
+  shards_.reserve(n);
+  for (std::size_t s = 0; s < n; ++s)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+DegradationCache::Shard& DegradationCache::shard_for(const std::string& key) {
+  std::size_t h = std::hash<std::string>{}(key);
+  return *shards_[h & (shards_.size() - 1)];
+}
+
+const DegradationCache::Shard& DegradationCache::shard_for(
+    const std::string& key) const {
+  std::size_t h = std::hash<std::string>{}(key);
+  return *shards_[h & (shards_.size() - 1)];
+}
+
+bool DegradationCache::lookup(const std::string& key, Real& out) const {
+  const Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  out = it->second;
+  return true;
+}
+
+void DegradationCache::insert(const std::string& key, Real value) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.map.emplace(key, value);
+}
+
+void DegradationCache::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->map.clear();
+  }
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+DegradationCache::Stats DegradationCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    s.entries += shard->map.size();
+  }
+  return s;
+}
+
+std::string DegradationCache::make_key(ProcessId stable_i,
+                                       std::vector<ProcessId> co_stable) {
+  co_stable.erase(
+      std::remove_if(co_stable.begin(), co_stable.end(),
+                     [](ProcessId p) { return p < 0; }),
+      co_stable.end());
+  std::sort(co_stable.begin(), co_stable.end());
+  std::string key;
+  key.resize((co_stable.size() + 1) * sizeof(ProcessId));
+  std::memcpy(key.data(), &stable_i, sizeof(ProcessId));
+  if (!co_stable.empty())
+    std::memcpy(key.data() + sizeof(ProcessId), co_stable.data(),
+                co_stable.size() * sizeof(ProcessId));
+  return key;
+}
+
+CachingDegradationModel::CachingDegradationModel(
+    DegradationModelPtr base, DegradationCachePtr cache,
+    std::vector<ProcessId> stable_ids, BaseModelConcurrency concurrency)
+    : base_(std::move(base)),
+      cache_(std::move(cache)),
+      stable_ids_(std::move(stable_ids)),
+      concurrency_(concurrency) {
+  COSCHED_EXPECTS(base_ != nullptr);
+  COSCHED_EXPECTS(cache_ != nullptr);
+}
+
+Real CachingDegradationModel::degradation(
+    ProcessId i, std::span<const ProcessId> co) const {
+  ProcessId stable_i = stable_of(i);
+  if (stable_i < 0) return base_->degradation(i, co);  // inert padding
+
+  std::vector<ProcessId> co_stable;
+  co_stable.reserve(co.size());
+  for (ProcessId p : co) co_stable.push_back(stable_of(p));
+  std::string key = DegradationCache::make_key(stable_i, std::move(co_stable));
+
+  Real value = 0.0;
+  if (cache_->lookup(key, value)) return value;
+  if (concurrency_ == BaseModelConcurrency::Serialized) {
+    std::lock_guard<std::mutex> lock(base_mutex_);
+    value = base_->degradation(i, co);
+  } else {
+    value = base_->degradation(i, co);
+  }
+  cache_->insert(key, value);
+  return value;
+}
+
+}  // namespace cosched

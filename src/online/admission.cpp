@@ -1,0 +1,61 @@
+#include "online/admission.hpp"
+
+namespace cosched {
+
+const char* to_string(ReplanTrigger trigger) {
+  switch (trigger) {
+    case ReplanTrigger::EveryKArrivals: return "every-k";
+    case ReplanTrigger::DegradationThreshold: return "threshold";
+    case ReplanTrigger::Periodic: return "periodic";
+  }
+  return "?";
+}
+
+AdmissionPolicy::AdmissionPolicy(AdmissionOptions options)
+    : options_(options) {
+  COSCHED_EXPECTS(options_.every_k >= 1);
+  COSCHED_EXPECTS(options_.degradation_threshold >= 0.0);
+  COSCHED_EXPECTS(options_.min_replan_interval >= 0.0);
+  COSCHED_EXPECTS(options_.period > 0.0);
+  COSCHED_EXPECTS(options_.max_wait > 0.0);
+}
+
+bool AdmissionPolicy::should_replan(const AdmissionState& state) const {
+  // An idle fleet with pending work always replans: there is nothing to
+  // disturb and no later event would wake the service up.
+  if (state.pending_jobs > 0 && state.running_processes == 0) return true;
+
+  switch (options_.trigger) {
+    case ReplanTrigger::EveryKArrivals:
+      return state.pending_jobs >= options_.every_k;
+    case ReplanTrigger::DegradationThreshold: {
+      if (state.running_mean_degradation <= options_.degradation_threshold)
+        return false;
+      if (state.pending_jobs == 0 && state.running_processes == 0)
+        return false;
+      // Cooldown: a placement the replanner already failed to fix would
+      // otherwise re-fire on every event.
+      return state.now - state.last_replan_time >=
+             options_.min_replan_interval;
+    }
+    case ReplanTrigger::Periodic:
+      return false;  // fired via ReplanTick events, not event-driven checks
+  }
+  return false;
+}
+
+std::int32_t AdmissionPolicy::admit_fifo(
+    std::span<const std::int32_t> pending_sizes, std::int32_t free_slots) {
+  COSCHED_EXPECTS(free_slots >= 0);
+  std::int32_t admitted = 0;
+  std::int32_t used = 0;
+  for (std::int32_t size : pending_sizes) {
+    COSCHED_EXPECTS(size >= 1);
+    if (used + size > free_slots) break;
+    used += size;
+    ++admitted;
+  }
+  return admitted;
+}
+
+}  // namespace cosched

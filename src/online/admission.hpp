@@ -1,0 +1,87 @@
+// AdmissionPolicy — when the online service replans and which pending jobs
+// a replan admits.
+//
+// Arrivals are batched: jobs queue until a trigger fires, then a replan
+// admits as many as the fixed fleet has free cores for (FIFO, whole jobs),
+// padding leftover cores with idle (imaginary) processes so the solvers see
+// the usual multiple-of-u batch. Three trigger families, compared head to
+// head by bench/online_throughput:
+//
+//  * EveryKArrivals       — replan once k jobs are pending (arrival-driven
+//                           batching; small k = low latency, large k = big
+//                           well-packed batches).
+//  * DegradationThreshold — replan when the running placement's mean
+//                           per-process degradation exceeds a bound (also
+//                           fires with an empty pending queue, to rebalance
+//                           after completions), rate-limited by a cooldown.
+//  * Periodic             — replan on a fixed virtual-time period when work
+//                           is pending.
+//
+// Every policy shares a max-wait backstop: a pending job replans the
+// service when it has waited `max_wait`, so no trigger can starve the
+// queue.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/common.hpp"
+
+namespace cosched {
+
+enum class ReplanTrigger {
+  EveryKArrivals,
+  DegradationThreshold,
+  Periodic,
+};
+
+const char* to_string(ReplanTrigger trigger);
+
+struct AdmissionOptions {
+  ReplanTrigger trigger = ReplanTrigger::EveryKArrivals;
+  /// EveryKArrivals: pending-queue depth that fires a replan.
+  std::int32_t every_k = 4;
+  /// DegradationThreshold: mean live degradation that fires a replan.
+  Real degradation_threshold = 0.35;
+  /// DegradationThreshold: minimum virtual time between threshold-fired
+  /// replans (prevents thrashing when the bound is unattainable).
+  Real min_replan_interval = 1.0;
+  /// Periodic: replan period in virtual seconds.
+  Real period = 8.0;
+  /// All policies: a job pending this long forces a replan.
+  Real max_wait = 25.0;
+};
+
+/// Snapshot of the service state a trigger decision looks at.
+struct AdmissionState {
+  Real now = 0.0;
+  std::int32_t pending_jobs = 0;
+  std::int32_t running_processes = 0;
+  std::int32_t free_slots = 0;
+  Real running_mean_degradation = 0.0;
+  Real last_replan_time = -kInfinity;
+};
+
+class AdmissionPolicy {
+ public:
+  explicit AdmissionPolicy(AdmissionOptions options);
+
+  const AdmissionOptions& options() const { return options_; }
+
+  /// Event-driven check, consulted after every arrival and completion.
+  /// Periodic firing is not decided here — the service schedules
+  /// ReplanTick events at `options().period` instead.
+  bool should_replan(const AdmissionState& state) const;
+
+  /// FIFO admission under a slot budget: how many of the leading
+  /// `pending_sizes` jobs fit into `free_slots` cores. A parallel job is
+  /// admitted whole or not at all, and admission stops at the first job
+  /// that does not fit (strict FIFO — no skipping ahead).
+  static std::int32_t admit_fifo(std::span<const std::int32_t> pending_sizes,
+                                 std::int32_t free_slots);
+
+ private:
+  AdmissionOptions options_;
+};
+
+}  // namespace cosched

@@ -1,0 +1,45 @@
+#include "online/event.hpp"
+
+namespace cosched {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::JobArrival: return "arrival";
+    case EventKind::JobAdmission: return "admission";
+    case EventKind::JobCompletion: return "completion";
+    case EventKind::ProcessFinish: return "proc-finish";
+    case EventKind::Replan: return "replan";
+    case EventKind::ReplanTick: return "tick";
+    case EventKind::AdmissionDeadline: return "deadline";
+  }
+  return "?";
+}
+
+void EventQueue::push(Real time, EventKind kind, std::int64_t payload) {
+  Event e;
+  e.time = time;
+  e.kind = kind;
+  e.payload = payload;
+  e.sequence = next_sequence_++;
+  heap_.push(e);
+}
+
+Event EventQueue::pop() {
+  COSCHED_EXPECTS(!heap_.empty());
+  Event e = heap_.top();
+  heap_.pop();
+  return e;
+}
+
+void EventLog::record(Real time, EventKind kind, std::string detail) {
+  entries_.push_back(Entry{time, kind, std::move(detail)});
+}
+
+TextTable EventLog::to_table() const {
+  TextTable table({"time", "event", "detail"});
+  for (const Entry& e : entries_)
+    table.add_row({TextTable::fmt(e.time, 3), to_string(e.kind), e.detail});
+  return table;
+}
+
+}  // namespace cosched

@@ -1,0 +1,120 @@
+#include "online/metrics.hpp"
+
+#include <sstream>
+
+namespace cosched {
+
+Histogram::Histogram(std::vector<Real> upper_edges)
+    : edges_(std::move(upper_edges)), counts_(edges_.size() + 1, 0) {
+  for (std::size_t i = 1; i < edges_.size(); ++i)
+    COSCHED_EXPECTS(edges_[i - 1] < edges_[i]);
+}
+
+void Histogram::add(Real x) {
+  std::size_t bucket = edges_.size();
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (x <= edges_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++counts_[bucket];
+  ++count_;
+  sum_ += x;
+  if (count_ == 1 || x > max_) max_ = x;
+}
+
+std::string Histogram::summary() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (i > 0) out << ' ';
+    out << "<=" << TextTable::fmt(edges_[i], 2) << ':' << counts_[i];
+  }
+  if (!edges_.empty()) out << ' ';
+  out << '>'
+      << (edges_.empty() ? std::string("0") : TextTable::fmt(edges_.back(), 2))
+      << ':' << counts_.back();
+  return out.str();
+}
+
+SchedulerMetrics::SchedulerMetrics()
+    : queue_wait_({0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0}),
+      slowdown_({1.1, 1.25, 1.5, 2.0, 3.0, 5.0}),
+      migrations_per_replan_({0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {}
+
+void SchedulerMetrics::on_replan(ReplanRecord record) {
+  ++replans_;
+  migrations_ += static_cast<std::uint64_t>(record.migrations);
+  migrations_per_replan_.add(static_cast<Real>(record.migrations));
+  solve_wall_seconds_ += record.solve_wall_seconds;
+  replans_log_.push_back(std::move(record));
+}
+
+void SchedulerMetrics::on_advance(Real dt, std::int32_t live,
+                                  Real total_degradation) {
+  COSCHED_EXPECTS(dt >= 0.0);
+  degradation_time_ += total_degradation * dt;
+  live_time_ += static_cast<Real>(live) * dt;
+}
+
+TextTable SchedulerMetrics::summary_table() const {
+  TextTable table({"metric", "value"});
+  auto row = [&](const char* name, std::string value) {
+    table.add_row({name, std::move(value)});
+  };
+  row("arrivals", TextTable::fmt_int(static_cast<std::int64_t>(arrivals_)));
+  row("admissions",
+      TextTable::fmt_int(static_cast<std::int64_t>(admissions_)));
+  row("completions",
+      TextTable::fmt_int(static_cast<std::int64_t>(completions_)));
+  row("replans", TextTable::fmt_int(static_cast<std::int64_t>(replans_)));
+  row("migrations",
+      TextTable::fmt_int(static_cast<std::int64_t>(migrations_)));
+  row("mean queue wait", TextTable::fmt(queue_wait_.mean()));
+  row("max queue wait", TextTable::fmt(queue_wait_.max()));
+  row("mean slowdown", TextTable::fmt(slowdown_.mean()));
+  row("mean migrations/replan",
+      TextTable::fmt(mean_migrations_per_replan()));
+  row("running mean degradation",
+      TextTable::fmt(running_mean_degradation()));
+  return table;
+}
+
+TextTable SchedulerMetrics::histogram_table() const {
+  TextTable table({"metric", "count", "mean", "max", "buckets"});
+  auto row = [&](const char* name, const Histogram& h) {
+    table.add_row({name,
+                   TextTable::fmt_int(static_cast<std::int64_t>(h.count())),
+                   TextTable::fmt(h.mean()), TextTable::fmt(h.max()),
+                   h.summary()});
+  };
+  row("queue wait", queue_wait_);
+  row("slowdown", slowdown_);
+  row("migrations/replan", migrations_per_replan_);
+  return table;
+}
+
+TextTable SchedulerMetrics::replans_table(bool include_wall_times) const {
+  std::vector<std::string> headers{"time",     "solver",      "admitted",
+                                   "migrations", "stay combined", "combined",
+                                   "degradation"};
+  if (include_wall_times) headers.push_back("solve seconds");
+  TextTable table(std::move(headers));
+  for (const ReplanRecord& r : replans_log_) {
+    std::vector<std::string> row{
+        TextTable::fmt(r.time, 3), r.solver, TextTable::fmt_int(r.admitted),
+        TextTable::fmt_int(r.migrations), TextTable::fmt(r.stay_combined),
+        TextTable::fmt(r.combined), TextTable::fmt(r.degradation)};
+    if (include_wall_times)
+      row.push_back(TextTable::fmt(r.solve_wall_seconds, 5));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+std::string SchedulerMetrics::render_deterministic_csv() const {
+  return summary_table().render_csv() + histogram_table().render_csv() +
+         replans_table(false).render_csv();
+}
+
+}  // namespace cosched

@@ -1,0 +1,128 @@
+// SchedulerMetrics — counters and histograms of the online service.
+//
+// Everything here is derived from virtual time and solver outputs, so the
+// tables are byte-identical across runs with the same seed (the
+// deterministic-replay acceptance test). The one wall-clock quantity —
+// per-replan solve time — is kept separate and only appears in tables that
+// opt in via `include_wall_times`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+#include "util/table.hpp"
+
+namespace cosched {
+
+/// Fixed-bucket histogram (upper-edge buckets plus an overflow bucket).
+class Histogram {
+ public:
+  /// `upper_edges` must be strictly increasing; sample x lands in the first
+  /// bucket with x <= edge, or the overflow bucket.
+  explicit Histogram(std::vector<Real> upper_edges);
+
+  void add(Real x);
+  std::uint64_t count() const { return count_; }
+  Real mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<Real>(count_); }
+  Real max() const { return count_ == 0 ? 0.0 : max_; }
+  const std::vector<Real>& edges() const { return edges_; }
+  /// edges().size() + 1 entries; the last is the overflow bucket.
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+
+  /// "<=0.5:3 <=1:7 ... >50:0" — compact, deterministic.
+  std::string summary() const;
+
+ private:
+  std::vector<Real> edges_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  Real sum_ = 0.0;
+  Real max_ = 0.0;
+};
+
+/// One replan, as the service saw it.
+struct ReplanRecord {
+  Real time = 0.0;
+  std::string solver;          ///< solver that produced the fresh candidate
+  std::int32_t admitted = 0;   ///< jobs placed by this replan
+  std::int32_t migrations = 0; ///< previously running processes that moved
+  Real stay_combined = 0.0;    ///< combined objective of not replanning
+  Real combined = 0.0;         ///< combined objective of the chosen placement
+  Real degradation = 0.0;      ///< Eq. 13 part of `combined`
+  double solve_wall_seconds = 0.0;  ///< wall clock; excluded from
+                                    ///< deterministic tables
+};
+
+class SchedulerMetrics {
+ public:
+  SchedulerMetrics();
+
+  // ---- ingestion (called by OnlineScheduler) ---------------------------
+  void on_arrival() { ++arrivals_; }
+  void on_admission(Real queue_wait) {
+    ++admissions_;
+    queue_wait_.add(queue_wait);
+  }
+  /// `slowdown` = (completion - admission) / solo work, >= 1 without
+  /// contention delays.
+  void on_completion(Real slowdown) {
+    ++completions_;
+    slowdown_.add(slowdown);
+  }
+  void on_replan(ReplanRecord record);
+  /// Time-weighted degradation accounting: `live` real processes carried a
+  /// summed degradation of `total_degradation` for `dt` virtual seconds.
+  void on_advance(Real dt, std::int32_t live, Real total_degradation);
+
+  // ---- results ---------------------------------------------------------
+  std::uint64_t arrivals() const { return arrivals_; }
+  std::uint64_t admissions() const { return admissions_; }
+  std::uint64_t completions() const { return completions_; }
+  std::uint64_t replans() const { return replans_; }
+  std::uint64_t migrations() const { return migrations_; }
+  const Histogram& queue_wait() const { return queue_wait_; }
+  const Histogram& slowdown() const { return slowdown_; }
+  const Histogram& migrations_per_replan() const {
+    return migrations_per_replan_;
+  }
+  const std::vector<ReplanRecord>& replan_records() const { return replans_log_; }
+
+  /// Time-weighted mean degradation per live process over the whole run.
+  Real running_mean_degradation() const {
+    return live_time_ == 0.0 ? 0.0 : degradation_time_ / live_time_;
+  }
+  Real mean_migrations_per_replan() const {
+    return migrations_per_replan_.mean();
+  }
+  double total_solve_wall_seconds() const { return solve_wall_seconds_; }
+
+  // ---- tables ----------------------------------------------------------
+  /// One metric per row (metric, value). Deterministic.
+  TextTable summary_table() const;
+  /// One histogram per row (metric, count, mean, max, buckets).
+  /// Deterministic.
+  TextTable histogram_table() const;
+  /// One replan per row. Deterministic unless `include_wall_times`.
+  TextTable replans_table(bool include_wall_times = false) const;
+
+  /// summary + histogram + replans CSVs concatenated, wall times excluded —
+  /// the byte-comparable artifact of the determinism tests.
+  std::string render_deterministic_csv() const;
+
+ private:
+  std::uint64_t arrivals_ = 0;
+  std::uint64_t admissions_ = 0;
+  std::uint64_t completions_ = 0;
+  std::uint64_t replans_ = 0;
+  std::uint64_t migrations_ = 0;
+  Histogram queue_wait_;
+  Histogram slowdown_;
+  Histogram migrations_per_replan_;
+  std::vector<ReplanRecord> replans_log_;
+  Real degradation_time_ = 0.0;  ///< ∫ Σ_live d_i dt
+  Real live_time_ = 0.0;         ///< ∫ |live| dt
+  double solve_wall_seconds_ = 0.0;
+};
+
+}  // namespace cosched

@@ -1,0 +1,425 @@
+#include "online/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "astar/search.hpp"
+#include "baseline/pg_greedy.hpp"
+#include "baseline/random_schedule.hpp"
+#include "cache/machine_config.hpp"
+#include "core/degradation_models.hpp"
+#include "util/timer.hpp"
+#include "vm/migration.hpp"
+
+namespace cosched {
+
+const char* to_string(OnlineSolverKind kind) {
+  switch (kind) {
+    case OnlineSolverKind::HAStar: return "hastar";
+    case OnlineSolverKind::PgGreedy: return "pg";
+    case OnlineSolverKind::Random: return "random";
+  }
+  return "?";
+}
+
+struct OnlineScheduler::JobState {
+  TraceJob spec;
+  Real admit_time = -1.0;               ///< < 0 while pending
+  std::vector<std::int64_t> procs;      ///< global process ids
+  std::int32_t unfinished = 0;
+};
+
+struct OnlineScheduler::ProcState {
+  std::int64_t job = -1;
+  Real remaining = 0.0;      ///< solo-seconds of work left
+  Real degradation = 0.0;    ///< d_i under the current co-runner set
+  std::int32_t machine = -1;
+  std::int32_t local_id = -1;  ///< id in the current Problem
+  bool live = false;
+};
+
+OnlineScheduler::OnlineScheduler(OnlineSchedulerOptions options)
+    : options_(options),
+      policy_(options.admission),
+      rng_(options.seed),
+      cache_(std::make_shared<DegradationCache>()) {
+  COSCHED_EXPECTS(options_.machines >= 1);
+  COSCHED_EXPECTS(options_.migration_cost >= 0.0);
+  machine_by_cores(options_.cores);  // validates the core count
+  machines_.assign(static_cast<std::size_t>(options_.machines), {});
+}
+
+OnlineScheduler::~OnlineScheduler() = default;
+
+std::vector<std::vector<std::int64_t>> OnlineScheduler::placement() const {
+  return machines_;
+}
+
+std::int32_t OnlineScheduler::live_process_count() const {
+  std::int32_t n = 0;
+  for (const auto& m : machines_) n += static_cast<std::int32_t>(m.size());
+  return n;
+}
+
+std::int32_t OnlineScheduler::free_slot_count() const {
+  return total_cores() - live_process_count();
+}
+
+Real OnlineScheduler::live_degradation_sum() const {
+  Real sum = 0.0;
+  for (const auto& m : machines_)
+    for (std::int64_t gid : m)
+      sum += procs_[static_cast<std::size_t>(gid)].degradation;
+  return sum;
+}
+
+Real OnlineScheduler::mean_live_degradation() const {
+  std::int32_t live = live_process_count();
+  return live == 0 ? 0.0 : live_degradation_sum() / static_cast<Real>(live);
+}
+
+bool OnlineScheduler::outstanding_work() const {
+  return live_process_count() > 0 || !pending_.empty() ||
+         remaining_arrivals_ > 0;
+}
+
+void OnlineScheduler::advance_to(Real t) {
+  Real dt = t - clock_.now();
+  COSCHED_EXPECTS(dt >= -kObjectiveEps);
+  if (dt > 0.0) {
+    metrics_.on_advance(dt, live_process_count(), live_degradation_sum());
+    for (auto& machine : machines_) {
+      for (std::int64_t gid : machine) {
+        ProcState& p = procs_[static_cast<std::size_t>(gid)];
+        p.remaining =
+            std::max(0.0, p.remaining - dt / (1.0 + p.degradation));
+      }
+    }
+    clock_.advance_to(t);
+  }
+}
+
+void OnlineScheduler::refresh_degradations() {
+  COSCHED_EXPECTS(problem_ != nullptr);
+  std::vector<ProcessId> co;
+  for (const auto& machine : machines_) {
+    for (std::int64_t gid : machine) {
+      ProcState& p = procs_[static_cast<std::size_t>(gid)];
+      COSCHED_EXPECTS(p.local_id >= 0);
+      co.clear();
+      for (std::int64_t other : machine) {
+        if (other == gid) continue;
+        co.push_back(procs_[static_cast<std::size_t>(other)].local_id);
+      }
+      p.degradation = problem_->full_model->degradation(p.local_id, co);
+    }
+  }
+}
+
+void OnlineScheduler::run(const WorkloadTrace& trace) {
+  // Fresh state; the degradation cache intentionally survives runs.
+  clock_ = VirtualClock();
+  queue_ = EventQueue();
+  log_ = EventLog();
+  metrics_ = SchedulerMetrics();
+  jobs_.clear();
+  procs_.clear();
+  pending_.clear();
+  machines_.assign(static_cast<std::size_t>(options_.machines), {});
+  problem_.reset();
+  local_to_gid_.clear();
+  last_replan_time_ = -kInfinity;
+
+  jobs_.reserve(trace.jobs.size());
+  for (const TraceJob& j : trace.jobs) {
+    COSCHED_EXPECTS(j.processes <= total_cores());
+    JobState state;
+    state.spec = j;
+    jobs_.push_back(std::move(state));
+  }
+  remaining_arrivals_ = static_cast<std::int64_t>(trace.jobs.size());
+  for (std::size_t id = 0; id < trace.jobs.size(); ++id)
+    queue_.push(trace.jobs[id].arrival_time, EventKind::JobArrival,
+                static_cast<std::int64_t>(id));
+  if (options_.admission.trigger == ReplanTrigger::Periodic)
+    queue_.push(options_.admission.period, EventKind::ReplanTick, 0);
+
+  while (true) {
+    // Next process completion, if any: min over live processes of
+    // now + remaining * (1 + d); ties broken by the smaller global id.
+    Real next_finish = kInfinity;
+    std::int64_t finish_gid = -1;
+    for (const auto& machine : machines_) {
+      for (std::int64_t gid : machine) {
+        const ProcState& p = procs_[static_cast<std::size_t>(gid)];
+        Real finish = clock_.now() + p.remaining * (1.0 + p.degradation);
+        if (finish < next_finish ||
+            (finish == next_finish && gid < finish_gid)) {
+          next_finish = finish;
+          finish_gid = gid;
+        }
+      }
+    }
+
+    if (finish_gid >= 0 &&
+        (queue_.empty() || next_finish < queue_.top().time)) {
+      advance_to(next_finish);
+      handle_process_finish(finish_gid);
+      continue;
+    }
+    if (queue_.empty()) break;
+    Event e = queue_.pop();
+    advance_to(e.time);
+    switch (e.kind) {
+      case EventKind::JobArrival: handle_arrival(e.payload); break;
+      case EventKind::ReplanTick: handle_tick(); break;
+      case EventKind::AdmissionDeadline: handle_deadline(e.payload); break;
+      default: COSCHED_ENSURES(false);
+    }
+  }
+  COSCHED_ENSURES(pending_.empty());
+  COSCHED_ENSURES(live_process_count() == 0);
+}
+
+void OnlineScheduler::handle_arrival(std::int64_t job_id) {
+  JobState& job = jobs_[static_cast<std::size_t>(job_id)];
+  pending_.push_back(job_id);
+  --remaining_arrivals_;
+  metrics_.on_arrival();
+  log_.record(clock_.now(), EventKind::JobArrival,
+              job.spec.name + " procs=" +
+                  TextTable::fmt_int(job.spec.processes));
+  queue_.push(clock_.now() + options_.admission.max_wait,
+              EventKind::AdmissionDeadline, job_id);
+  maybe_replan();
+}
+
+void OnlineScheduler::handle_process_finish(std::int64_t proc_gid) {
+  ProcState& p = procs_[static_cast<std::size_t>(proc_gid)];
+  COSCHED_EXPECTS(p.live && p.machine >= 0);
+  p.remaining = 0.0;
+  p.live = false;
+  auto& machine = machines_[static_cast<std::size_t>(p.machine)];
+  machine.erase(std::find(machine.begin(), machine.end(), proc_gid));
+  p.machine = -1;
+
+  JobState& job = jobs_[static_cast<std::size_t>(p.job)];
+  if (options_.log_process_finish)
+    log_.record(clock_.now(), EventKind::ProcessFinish,
+                job.spec.name + "/p" + TextTable::fmt_int(proc_gid));
+  COSCHED_EXPECTS(job.unfinished > 0);
+  if (--job.unfinished == 0) {
+    Real slowdown = (clock_.now() - job.admit_time) / job.spec.work;
+    metrics_.on_completion(slowdown);
+    log_.record(clock_.now(), EventKind::JobCompletion,
+                job.spec.name + " slowdown=" + TextTable::fmt(slowdown));
+  }
+  refresh_degradations();
+  maybe_replan();
+}
+
+void OnlineScheduler::handle_tick() {
+  if (outstanding_work())
+    queue_.push(clock_.now() + options_.admission.period,
+                EventKind::ReplanTick, 0);
+  if (!pending_.empty()) replan("tick", false);
+}
+
+void OnlineScheduler::handle_deadline(std::int64_t job_id) {
+  const JobState& job = jobs_[static_cast<std::size_t>(job_id)];
+  if (job.admit_time >= 0.0) return;  // admitted long ago
+  log_.record(clock_.now(), EventKind::AdmissionDeadline, job.spec.name);
+  replan("deadline", false);
+  if (jobs_[static_cast<std::size_t>(job_id)].admit_time < 0.0)
+    queue_.push(clock_.now() + options_.admission.max_wait,
+                EventKind::AdmissionDeadline, job_id);
+}
+
+void OnlineScheduler::maybe_replan() {
+  AdmissionState state;
+  state.now = clock_.now();
+  state.pending_jobs = static_cast<std::int32_t>(pending_.size());
+  state.running_processes = live_process_count();
+  state.free_slots = free_slot_count();
+  state.running_mean_degradation = mean_live_degradation();
+  state.last_replan_time = last_replan_time_;
+  if (policy_.should_replan(state)) replan("policy", true);
+}
+
+void OnlineScheduler::replan(const char* reason, bool allow_pure_rebalance) {
+  // ---- admission batch -------------------------------------------------
+  std::vector<std::int32_t> pending_sizes;
+  pending_sizes.reserve(pending_.size());
+  for (std::int64_t id : pending_)
+    pending_sizes.push_back(jobs_[static_cast<std::size_t>(id)].spec.processes);
+  std::int32_t admit =
+      AdmissionPolicy::admit_fifo(pending_sizes, free_slot_count());
+  // A replan that admits nothing is only worth its solver cost for the
+  // threshold trigger (rebalancing a degraded placement, cooldown-limited).
+  bool pure_rebalance =
+      allow_pure_rebalance &&
+      options_.admission.trigger == ReplanTrigger::DegradationThreshold &&
+      live_process_count() > 0;
+  if (admit == 0 && !pure_rebalance) return;
+
+  WallTimer timer;
+  std::vector<std::int64_t> admitted_gids;
+  for (std::int32_t k = 0; k < admit; ++k) {
+    std::int64_t job_id = pending_[static_cast<std::size_t>(k)];
+    JobState& job = jobs_[static_cast<std::size_t>(job_id)];
+    job.admit_time = clock_.now();
+    job.unfinished = job.spec.processes;
+    for (std::int32_t r = 0; r < job.spec.processes; ++r) {
+      std::int64_t gid = static_cast<std::int64_t>(procs_.size());
+      ProcState p;
+      p.job = job_id;
+      p.remaining = job.spec.work;
+      p.live = true;
+      procs_.push_back(p);
+      job.procs.push_back(gid);
+      admitted_gids.push_back(gid);
+    }
+    Real wait = clock_.now() - job.spec.arrival_time;
+    metrics_.on_admission(wait);
+    log_.record(clock_.now(), EventKind::JobAdmission,
+                job.spec.name + " wait=" + TextTable::fmt(wait));
+  }
+  pending_.erase(pending_.begin(), pending_.begin() + admit);
+
+  // ---- build the replan Problem over all live processes ---------------
+  Problem problem;
+  problem.machine = machine_by_cores(options_.cores);
+  std::vector<Real> rates;
+  std::vector<Real> sens;
+  local_to_gid_.clear();
+  for (std::size_t job_id = 0; job_id < jobs_.size(); ++job_id) {
+    JobState& job = jobs_[job_id];
+    if (job.admit_time < 0.0 || job.unfinished == 0) continue;
+    std::int32_t live_procs = 0;
+    for (std::int64_t gid : job.procs)
+      if (procs_[static_cast<std::size_t>(gid)].live) ++live_procs;
+    COSCHED_ENSURES(live_procs == job.unfinished);
+    problem.batch.add_job(job.spec.name, job.spec.kind, live_procs);
+    for (std::int64_t gid : job.procs) {
+      ProcState& p = procs_[static_cast<std::size_t>(gid)];
+      if (!p.live) continue;
+      p.local_id = static_cast<std::int32_t>(local_to_gid_.size());
+      local_to_gid_.push_back(gid);
+      rates.push_back(job.spec.miss_rate);
+      sens.push_back(job.spec.sensitivity);
+    }
+  }
+  std::int32_t idle = 0;
+  while (static_cast<std::int32_t>(local_to_gid_.size()) < total_cores()) {
+    problem.batch.add_job("idle" + std::to_string(idle++),
+                          JobKind::Imaginary, 1);
+    local_to_gid_.push_back(-1);
+    rates.push_back(0.0);
+    sens.push_back(0.0);
+  }
+
+  Real capacity = options_.synthetic_capacity > 0.0
+                      ? options_.synthetic_capacity
+                      : 0.45 * static_cast<Real>(options_.cores - 1);
+  auto base = std::make_shared<SyntheticDegradationModel>(
+      std::move(rates), std::move(sens), capacity,
+      SyntheticLandscape::Threshold);
+  std::vector<ProcessId> stable_ids;
+  stable_ids.reserve(local_to_gid_.size());
+  for (std::int64_t gid : local_to_gid_)
+    stable_ids.push_back(static_cast<ProcessId>(gid));
+  auto cached = std::make_shared<CachingDegradationModel>(
+      base, cache_, std::move(stable_ids),
+      BaseModelConcurrency::ConcurrentSafe);
+  problem.contention_model = cached;
+  problem.full_model = cached;
+  problem.check();
+
+  // ---- incumbent: running processes stay, everyone else fills slots ---
+  const std::size_t u = options_.cores;
+  Solution incumbent;
+  incumbent.machines.resize(machines_.size());
+  for (std::size_t m = 0; m < machines_.size(); ++m)
+    for (std::int64_t gid : machines_[m])
+      incumbent.machines[m].push_back(
+          procs_[static_cast<std::size_t>(gid)].local_id);
+  std::vector<ProcessId> fill;
+  std::vector<Real> move_weight(local_to_gid_.size(), 0.0);
+  for (std::size_t local = 0; local < local_to_gid_.size(); ++local) {
+    std::int64_t gid = local_to_gid_[local];
+    if (gid >= 0 && procs_[static_cast<std::size_t>(gid)].machine >= 0) {
+      move_weight[local] = 1.0;  // previously running: moving it costs
+    } else {
+      fill.push_back(static_cast<ProcessId>(local));
+    }
+  }
+  std::size_t next_fill = 0;
+  for (auto& machine : incumbent.machines)
+    while (machine.size() < u) machine.push_back(fill[next_fill++]);
+  COSCHED_ENSURES(next_fill == fill.size());
+
+  Real stay_combined = evaluate_solution(problem, incumbent).total;
+
+  // ---- fresh candidate from the pluggable solver -----------------------
+  Solution fresh;
+  bool have_fresh = false;
+  switch (options_.solver) {
+    case OnlineSolverKind::HAStar: {
+      SearchResult res = solve_hastar(problem);
+      if (res.found) {
+        fresh = std::move(res.solution);
+        have_fresh = true;
+      }
+      break;
+    }
+    case OnlineSolverKind::PgGreedy:
+      fresh = solve_pg_greedy(problem);
+      have_fresh = true;
+      break;
+    case OnlineSolverKind::Random:
+      fresh = solve_random(problem, rng_);
+      have_fresh = true;
+      break;
+  }
+
+  ReplanOptions replan_options;
+  replan_options.migration_cost = options_.migration_cost;
+  replan_options.max_passes = options_.replan_passes;
+  replan_options.move_weight = std::move(move_weight);
+  ReplanResult result = replan_with_migrations(
+      problem, incumbent, have_fresh ? &fresh : nullptr, replan_options);
+
+  // ---- apply the placement --------------------------------------------
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    machines_[m].clear();
+    for (ProcessId local : result.placement.machines[m]) {
+      std::int64_t gid = local_to_gid_[static_cast<std::size_t>(local)];
+      if (gid < 0) continue;  // idle slot
+      procs_[static_cast<std::size_t>(gid)].machine =
+          static_cast<std::int32_t>(m);
+      machines_[m].push_back(gid);
+    }
+    std::sort(machines_[m].begin(), machines_[m].end());
+  }
+  problem_ = std::make_unique<Problem>(std::move(problem));
+  refresh_degradations();
+  last_replan_time_ = clock_.now();
+
+  ReplanRecord record;
+  record.time = clock_.now();
+  record.solver = to_string(options_.solver);
+  record.admitted = admit;
+  record.migrations = result.migrations;
+  record.stay_combined = stay_combined;
+  record.combined = result.combined;
+  record.degradation = result.degradation;
+  record.solve_wall_seconds = timer.seconds();
+  metrics_.on_replan(std::move(record));
+  log_.record(clock_.now(), EventKind::Replan,
+              std::string(reason) + " solver=" + to_string(options_.solver) +
+                  " admitted=" + TextTable::fmt_int(admit) +
+                  " migrations=" + TextTable::fmt_int(result.migrations) +
+                  " combined=" + TextTable::fmt(result.combined));
+}
+
+}  // namespace cosched

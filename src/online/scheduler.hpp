@@ -1,0 +1,128 @@
+// OnlineScheduler — the event-driven co-scheduling service.
+//
+// A fixed fleet of M identical u-core machines serves a stream of arriving
+// jobs (WorkloadTrace). The service owns a virtual clock, a pending-job
+// queue and the current placement, and turns the repo's one-shot solvers
+// into an online scheduler:
+//
+//  * arrivals queue until the AdmissionPolicy fires; a replan admits
+//    pending jobs FIFO into free cores and pads the rest with idle
+//    processes, so every solve sees a standard multiple-of-u Problem;
+//  * each replan composes a pluggable fresh-schedule solver (HA* — beam
+//    mode at scale —, PG greedy, or random) with replan_with_migrations,
+//    trading Eq. 13 degradation against the cost of moving already-running
+//    processes (newly admitted jobs and idle slots move free, via the
+//    weighted move_weight extension);
+//  * degradation queries go through a CachingDegradationModel keyed by
+//    *global* process ids, so repeated replans over overlapping live sets
+//    and concurrent evaluation reuse predictions instead of recomputing;
+//  * progress is simulated with per-process rates: a process with current
+//    degradation d advances its solo work at 1/(1+d), re-evaluated whenever
+//    a machine's co-runner set changes. Completions free cores mid-epoch.
+//
+// Everything observable — the event log and SchedulerMetrics — is a pure
+// function of (trace, options), byte-identical across runs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/oracle_cache.hpp"
+#include "core/problem.hpp"
+#include "online/admission.hpp"
+#include "online/event.hpp"
+#include "online/metrics.hpp"
+#include "online/trace.hpp"
+#include "util/rng.hpp"
+
+namespace cosched {
+
+/// Which solver produces the fresh candidate schedule at each replan.
+enum class OnlineSolverKind { HAStar, PgGreedy, Random };
+
+const char* to_string(OnlineSolverKind kind);
+
+struct OnlineSchedulerOptions {
+  std::uint32_t cores = 4;     ///< u of every machine (2, 4 or 8)
+  std::int32_t machines = 8;   ///< fixed fleet size M
+  OnlineSolverKind solver = OnlineSolverKind::HAStar;
+  AdmissionOptions admission;
+  /// Degradation-units charged per moved running process (Eq. 13 vs
+  /// migration trade-off of each replan).
+  Real migration_cost = 0.05;
+  /// Swap-improvement passes of the migration-aware local search per
+  /// replan. Small on purpose: the online loop replans often.
+  std::uint64_t replan_passes = 3;
+  /// S-curve capacity of the synthetic contention model; 0 = the builders'
+  /// convention 0.45 * (u - 1).
+  Real synthetic_capacity = 0.0;
+  std::uint64_t seed = 0xC05EDULL;  ///< Random-solver draws
+  bool log_process_finish = true;   ///< event-log verbosity
+};
+
+class OnlineScheduler {
+ public:
+  explicit OnlineScheduler(OnlineSchedulerOptions options);
+  ~OnlineScheduler();
+
+  /// Feeds the whole trace and simulates to completion of every job.
+  void run(const WorkloadTrace& trace);
+
+  // ---- introspection ---------------------------------------------------
+  const OnlineSchedulerOptions& options() const { return options_; }
+  Real now() const { return clock_.now(); }
+  const SchedulerMetrics& metrics() const { return metrics_; }
+  const EventLog& log() const { return log_; }
+  /// Shared degradation cache (hit statistics, entry count).
+  const DegradationCache& oracle_cache() const { return *cache_; }
+  std::int32_t machine_count() const { return options_.machines; }
+  std::int32_t total_cores() const {
+    return options_.machines * static_cast<std::int32_t>(options_.cores);
+  }
+  /// machine -> global ids of the live processes it hosts.
+  std::vector<std::vector<std::int64_t>> placement() const;
+
+ private:
+  struct JobState;
+  struct ProcState;
+
+  // Simulation steps (see scheduler.cpp).
+  void advance_to(Real t);
+  void handle_arrival(std::int64_t job_id);
+  void handle_process_finish(std::int64_t proc_gid);
+  void handle_tick();
+  void handle_deadline(std::int64_t job_id);
+  void maybe_replan();
+  void replan(const char* reason, bool allow_pure_rebalance);
+  void refresh_degradations();
+  bool outstanding_work() const;
+  std::int32_t live_process_count() const;
+  std::int32_t free_slot_count() const;
+  Real live_degradation_sum() const;
+  Real mean_live_degradation() const;
+
+  OnlineSchedulerOptions options_;
+  AdmissionPolicy policy_;
+  Rng rng_;
+
+  VirtualClock clock_;
+  EventQueue queue_;
+  EventLog log_;
+  SchedulerMetrics metrics_;
+  DegradationCachePtr cache_;
+
+  std::vector<JobState> jobs_;           ///< indexed by global job id
+  std::vector<ProcState> procs_;         ///< indexed by global process id
+  std::vector<std::int64_t> pending_;    ///< FIFO of pending job ids
+  std::vector<std::vector<std::int64_t>> machines_;  ///< live proc gids
+  std::int64_t remaining_arrivals_ = 0;
+  Real last_replan_time_ = -kInfinity;
+
+  // Current problem context (rebuilt at each replan): local <-> global maps
+  // and the cached model used for rate re-evaluation between replans.
+  std::unique_ptr<Problem> problem_;
+  std::vector<std::int64_t> local_to_gid_;  ///< -1 for idle padding
+};
+
+}  // namespace cosched

@@ -8,17 +8,38 @@
 namespace cosched {
 namespace {
 
-/// weight[old][new] = |old machine ∩ new machine|.
-std::vector<std::vector<Real>> overlap_matrix(const Solution& old_placement,
-                                              const Solution& fresh) {
+Real weight_of(std::span<const Real> weights, ProcessId p) {
+  if (weights.empty()) return 1.0;
+  COSCHED_EXPECTS(p >= 0 && static_cast<std::size_t>(p) < weights.size());
+  return weights[static_cast<std::size_t>(p)];
+}
+
+/// machine index hosting each process (dense; ids must be < n).
+std::vector<std::int32_t> machine_index(const Solution& s) {
+  std::int32_t n = 0;
+  for (const auto& m : s.machines) n += static_cast<std::int32_t>(m.size());
+  std::vector<std::int32_t> idx(static_cast<std::size_t>(n), -1);
+  for (std::size_t m = 0; m < s.machines.size(); ++m)
+    for (ProcessId p : s.machines[m]) {
+      COSCHED_EXPECTS(p >= 0 && p < n);
+      idx[static_cast<std::size_t>(p)] = static_cast<std::int32_t>(m);
+    }
+  return idx;
+}
+
+/// weight[old][new] = summed move weight of processes in both machines.
+std::vector<std::vector<Real>> overlap_matrix(
+    const Solution& old_placement, const Solution& fresh,
+    std::span<const Real> weights) {
   const std::size_t m = old_placement.machines.size();
   COSCHED_EXPECTS(fresh.machines.size() == m);
+  auto fresh_machine = machine_index(fresh);
   std::vector<std::vector<Real>> w(m, std::vector<Real>(m, 0.0));
   for (std::size_t a = 0; a < m; ++a) {
-    for (std::size_t b = 0; b < m; ++b) {
-      for (ProcessId p : old_placement.machines[a])
-        for (ProcessId q : fresh.machines[b])
-          if (p == q) w[a][b] += 1.0;
+    for (ProcessId p : old_placement.machines[a]) {
+      std::int32_t b = fresh_machine[static_cast<std::size_t>(p)];
+      COSCHED_EXPECTS(b >= 0);
+      w[a][static_cast<std::size_t>(b)] += weight_of(weights, p);
     }
   }
   return w;
@@ -31,10 +52,42 @@ std::int32_t total_processes(const Solution& s) {
   return n;
 }
 
+struct MoveStats {
+  std::int32_t moved = 0;     ///< moved processes with weight > 0
+  Real moved_weight = 0.0;    ///< summed weight of moved processes
+};
+
+/// Migration statistics under the best (weighted-overlap) machine
+/// relabeling of `fresh` onto `old_placement`.
+MoveStats move_stats(const Solution& old_placement, const Solution& fresh,
+                     std::span<const Real> weights) {
+  auto w = overlap_matrix(old_placement, fresh, weights);
+  auto assignment = solve_assignment_max(w);
+  auto fresh_machine = machine_index(fresh);
+  MoveStats stats;
+  for (std::size_t a = 0; a < old_placement.machines.size(); ++a) {
+    auto kept_group = assignment[a];
+    for (ProcessId p : old_placement.machines[a]) {
+      if (fresh_machine[static_cast<std::size_t>(p)] == kept_group) continue;
+      Real wp = weight_of(weights, p);
+      if (wp > 0.0) {
+        ++stats.moved;
+        stats.moved_weight += wp;
+      }
+    }
+  }
+  return stats;
+}
+
 }  // namespace
 
 Solution align_to_placement(const Solution& old_placement, Solution fresh) {
-  auto w = overlap_matrix(old_placement, fresh);
+  return align_to_placement(old_placement, std::move(fresh), {});
+}
+
+Solution align_to_placement(const Solution& old_placement, Solution fresh,
+                            std::span<const Real> move_weight) {
+  auto w = overlap_matrix(old_placement, fresh, move_weight);
   // assignment[a] = index of the fresh group that old machine a keeps.
   auto assignment = solve_assignment_max(w);
   Solution aligned;
@@ -48,7 +101,7 @@ Solution align_to_placement(const Solution& old_placement, Solution fresh) {
 
 std::int32_t min_migrations(const Solution& old_placement,
                             const Solution& fresh) {
-  auto w = overlap_matrix(old_placement, fresh);
+  auto w = overlap_matrix(old_placement, fresh, {});
   auto assignment = solve_assignment_max(w);
   Real kept = 0.0;
   for (std::size_t a = 0; a < assignment.size(); ++a)
@@ -56,32 +109,52 @@ std::int32_t min_migrations(const Solution& old_placement,
   return total_processes(old_placement) - static_cast<std::int32_t>(kept);
 }
 
+Real weighted_migrations(const Solution& old_placement, const Solution& fresh,
+                         std::span<const Real> move_weight) {
+  return move_stats(old_placement, fresh, move_weight).moved_weight;
+}
+
 ReplanResult replan_with_migrations(const Problem& problem,
                                     const Solution& current,
+                                    const ReplanOptions& options) {
+  auto fresh = solve_hastar(problem);
+  return replan_with_migrations(problem, current,
+                                fresh.found ? &fresh.solution : nullptr,
+                                options);
+}
+
+ReplanResult replan_with_migrations(const Problem& problem,
+                                    const Solution& current,
+                                    const Solution* fresh,
                                     const ReplanOptions& options) {
   problem.check();
   validate_solution(problem, current);
   COSCHED_EXPECTS(options.migration_cost >= 0.0);
+  std::span<const Real> weights(options.move_weight);
+  if (!weights.empty())
+    COSCHED_EXPECTS(weights.size() ==
+                    static_cast<std::size_t>(problem.n()));
 
   auto combined_of = [&](const Solution& aligned) {
     ReplanResult r;
     r.placement = aligned;
     r.degradation = evaluate_solution(problem, aligned).total;
-    r.migrations = min_migrations(current, aligned);
-    r.combined = r.degradation + options.migration_cost *
-                                     static_cast<Real>(r.migrations);
+    MoveStats moves = move_stats(current, aligned, weights);
+    r.migrations = moves.moved;
+    r.migration_charge = options.migration_cost * moves.moved_weight;
+    r.combined = r.degradation + r.migration_charge;
     return r;
   };
 
   // Candidate 1: stay put.
   ReplanResult best = combined_of(current);
 
-  // Candidate 2: a fresh HA* schedule, machine-aligned to the old
-  // placement so its migration count is minimal.
-  auto fresh = solve_hastar(problem);
-  if (fresh.found) {
+  // Candidate 2: the fresh schedule (HA* unless the caller plugged in
+  // another solver), machine-aligned to the old placement so its migration
+  // charge is minimal.
+  if (fresh != nullptr) {
     ReplanResult cand =
-        combined_of(align_to_placement(current, fresh.solution));
+        combined_of(align_to_placement(current, *fresh, weights));
     if (cand.combined < best.combined) best = cand;
   }
 

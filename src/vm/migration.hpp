@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "core/objective.hpp"
 #include "core/problem.hpp"
@@ -20,12 +21,22 @@ namespace cosched {
 /// Relabels `fresh.machines` so that machine k inherits the identity of the
 /// old machine it overlaps most (max-weight assignment). Both solutions
 /// must partition the same process set into the same number of machines.
+/// The weighted overload maximizes the summed `move_weight` of processes
+/// that stay put — weight-0 processes (e.g. newly admitted jobs with no
+/// current home, or idle padding) do not influence the alignment.
 Solution align_to_placement(const Solution& old_placement, Solution fresh);
+Solution align_to_placement(const Solution& old_placement, Solution fresh,
+                            std::span<const Real> move_weight);
 
 /// Minimum number of processes that must move to turn `old_placement` into
 /// (a machine-relabeling of) `fresh`.
 std::int32_t min_migrations(const Solution& old_placement,
                             const Solution& fresh);
+
+/// Minimum total `move_weight` of processes that must move (weighted
+/// generalization; min_migrations is the all-ones special case).
+Real weighted_migrations(const Solution& old_placement, const Solution& fresh,
+                         std::span<const Real> move_weight);
 
 struct ReplanOptions {
   /// Cost (in degradation units) charged per migrated process. 0 replans
@@ -33,22 +44,34 @@ struct ReplanOptions {
   Real migration_cost = 0.05;
   /// Swap-improvement passes for the migration-aware local search.
   std::uint64_t max_passes = 30;
+  /// Per-process move weight (indexed by ProcessId; empty = all ones).
+  /// The combined objective charges migration_cost × weight per move, so
+  /// weight-0 processes relocate freely — how the online service marks
+  /// newly admitted jobs and idle padding slots.
+  std::vector<Real> move_weight;
 };
 
 struct ReplanResult {
   Solution placement;          ///< machine-aligned to the old placement
   Real degradation = 0.0;      ///< Eq. 13 objective of the placement
-  std::int32_t migrations = 0; ///< processes that moved
-  Real combined = 0.0;         ///< degradation + migration_cost * migrations
+  std::int32_t migrations = 0; ///< processes with weight > 0 that moved
+  Real migration_charge = 0.0; ///< migration_cost × total moved weight
+  Real combined = 0.0;         ///< degradation + migration_charge
 };
 
 /// Replans an existing placement: starts from `current`, applies a local
 /// search over process swaps under the combined objective, compares against
-/// a migration-aligned fresh HA* schedule, and returns the better of the
-/// two. Never returns anything worse (combined-objective-wise) than
-/// keeping `current`.
+/// a migration-aligned fresh schedule, and returns the better of the two.
+/// Never returns anything worse (combined-objective-wise) than keeping
+/// `current`. The fresh candidate is solved with HA* internally; the
+/// `fresh` overload takes a precomputed candidate instead (nullptr = none),
+/// which is how the online service plugs in alternative solvers.
 ReplanResult replan_with_migrations(const Problem& problem,
                                     const Solution& current,
+                                    const ReplanOptions& options = {});
+ReplanResult replan_with_migrations(const Problem& problem,
+                                    const Solution& current,
+                                    const Solution* fresh,
                                     const ReplanOptions& options = {});
 
 }  // namespace cosched

@@ -107,6 +107,80 @@ TEST(Migration, AlignmentPicksMaxOverlap) {
   EXPECT_EQ(aligned.machines[1], (std::vector<ProcessId>{0, 4, 5, 6}));
 }
 
+// ---------------------------------------------------- weighted migrations
+
+TEST(WeightedMigration, AllOnesMatchesUnweightedCount) {
+  Solution old_p, fresh;
+  old_p.machines = {{0, 1, 2, 3}, {4, 5, 6, 7}};
+  fresh.machines = {{4, 5, 6, 0}, {1, 2, 3, 7}};
+  std::vector<Real> ones(8, 1.0);
+  EXPECT_NEAR(weighted_migrations(old_p, fresh, ones),
+              static_cast<Real>(min_migrations(old_p, fresh)), 1e-12);
+}
+
+TEST(WeightedMigration, ZeroWeightProcessesMoveFree) {
+  Solution old_p, fresh;
+  old_p.machines = {{0, 1}, {2, 3}};
+  fresh.machines = {{0, 3}, {2, 1}};  // swaps 1 and 3
+  std::vector<Real> w{1.0, 0.0, 1.0, 0.0};
+  // Only processes 1 and 3 move, and both are free.
+  EXPECT_NEAR(weighted_migrations(old_p, fresh, w), 0.0, 1e-12);
+  EXPECT_EQ(min_migrations(old_p, fresh), 2);
+}
+
+TEST(WeightedMigration, AlignmentFollowsTheWeightedOverlap) {
+  Solution old_p, fresh;
+  old_p.machines = {{0, 1}, {2, 3}};
+  // Each fresh group has one process from each old machine: the unweighted
+  // overlap is a tie, so the weights decide which group inherits which
+  // machine identity.
+  fresh.machines = {{1, 2}, {0, 3}};
+  std::vector<Real> w{0.0, 0.0, 5.0, 0.0};
+  Solution aligned = align_to_placement(old_p, fresh, w);
+  // Process 2 (the only weighty one) must stay on old machine 1.
+  EXPECT_EQ(aligned.machines[1], (std::vector<ProcessId>{1, 2}));
+  EXPECT_EQ(aligned.machines[0], (std::vector<ProcessId>{0, 3}));
+}
+
+TEST(WeightedMigration, ReplanChargesOnlyWeightedMoves) {
+  Problem p = random_serial_problem(12, 4, 71);
+  Rng rng(9);
+  Solution current = solve_random(p, rng);
+  ReplanOptions opt;
+  opt.migration_cost = 0.1;
+  // Half the processes relocate free, as a replan treats newly admitted
+  // jobs in the online service.
+  opt.move_weight.assign(static_cast<std::size_t>(p.n()), 1.0);
+  for (std::int32_t i = 0; i < p.n(); i += 2)
+    opt.move_weight[static_cast<std::size_t>(i)] = 0.0;
+  auto r = replan_with_migrations(p, current, opt);
+  validate_solution(p, r.placement);
+  EXPECT_NEAR(r.combined, r.degradation + r.migration_charge, 1e-12);
+  // The charge counts only weight-1 movers; `migrations` counts the same
+  // processes, so charge = cost * migrations here.
+  EXPECT_NEAR(r.migration_charge, opt.migration_cost * r.migrations, 1e-9);
+  Real stay = evaluate_solution(p, current).total;
+  EXPECT_LE(r.combined, stay + 1e-9);
+}
+
+TEST(WeightedMigration, PrecomputedFreshCandidateIsUsed) {
+  Problem p = random_serial_problem(12, 4, 72);
+  Rng rng(11);
+  Solution current = solve_random(p, rng);
+  auto ha = solve_hastar(p);
+  ASSERT_TRUE(ha.found);
+  ReplanOptions opt;
+  opt.migration_cost = 0.0;
+  opt.max_passes = 0;  // no local search: the fresh candidate must carry
+  auto with_fresh = replan_with_migrations(p, current, &ha.solution, opt);
+  Real ha_obj = evaluate_solution(p, ha.solution).total;
+  EXPECT_NEAR(with_fresh.degradation, ha_obj, 1e-9);
+  // Without a candidate and without passes, the best available is staying.
+  auto without = replan_with_migrations(p, current, nullptr, opt);
+  EXPECT_NEAR(without.degradation, evaluate_solution(p, current).total, 1e-9);
+  EXPECT_EQ(without.migrations, 0);
+}
+
 // --------------------------------------------------------------- replan
 
 TEST(Replan, HugeMigrationCostPinsThePlacement) {
