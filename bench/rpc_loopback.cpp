@@ -1,0 +1,165 @@
+// rpc_loopback: latency/throughput of the RPC front-end over loopback.
+//
+// Starts a CoschedServer on an ephemeral port, drives it with one or more
+// client threads submitting a seeded job mix, and reports per-request
+// latency percentiles plus aggregate request throughput. Virtual-time mode
+// is used so the numbers measure the transport + scheduler-thread handoff,
+// not simulated job durations.
+//
+//   ./rpc_loopback --jobs 200 --clients 4 --scale 1
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "rpc/client.hpp"
+#include "rpc/server.hpp"
+
+namespace {
+
+using namespace cosched;
+
+struct ClientLoad {
+  std::vector<double> latencies_ms;
+  std::uint64_t errors = 0;
+};
+
+void drive_client(std::uint16_t port, const WorkloadTrace& trace,
+                  ClientLoad& load) {
+  ClientOptions options;
+  options.port = port;
+  CoschedClient client(options);
+  load.latencies_ms.reserve(trace.jobs.size());
+  // Arrival times are kept from the generated trace: flooding everything at
+  // t=0 would saturate the fleet and every replan would be a dense 32-slot
+  // solve — that benchmarks HA*, not the transport.
+  for (const TraceJob& job : trace.jobs) {
+    auto begin = std::chrono::steady_clock::now();
+    SubmitJobResponse reply;
+    RpcError error = client.submit_job(job, reply);
+    auto end = std::chrono::steady_clock::now();
+    if (!error.ok()) {
+      ++load.errors;
+      continue;
+    }
+    load.latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(end - begin).count());
+  }
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  std::size_t index = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) / 100.0 + 0.5);
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  std::int64_t scale = args.get_int("scale", 1);
+  std::int64_t jobs_per_client = args.get_int("jobs", 100) * scale;
+  std::int64_t client_count = args.get_int("clients", 2);
+
+  print_experiment_header(
+      "rpc_loopback",
+      "RPC front-end loopback latency/throughput (transport + scheduler "
+      "thread handoff, virtual-time mode)");
+
+  ServerOptions server_options;
+  server_options.port = 0;  // ephemeral
+  server_options.worker_threads =
+      static_cast<std::size_t>(std::max<std::int64_t>(client_count, 1));
+  server_options.service.wall_clock = false;
+  server_options.service.scheduler.cores = 4;
+  server_options.service.scheduler.machines = 8;
+  server_options.service.scheduler.admission.every_k = 4;
+  server_options.service.scheduler.cache_compaction_jobs = 16;
+  server_options.service.scheduler.log_process_finish = false;
+
+  CoschedServer server(server_options);
+  std::string error;
+  if (!server.start(error)) {
+    std::cerr << "rpc_loopback: " << error << "\n";
+    return 1;
+  }
+
+  std::vector<WorkloadTrace> traces(static_cast<std::size_t>(client_count));
+  for (std::size_t c = 0; c < traces.size(); ++c) {
+    TraceSpec spec;
+    spec.job_count = static_cast<std::int32_t>(jobs_per_client);
+    spec.parallel_fraction = 0.2;
+    // Spread arrivals so the aggregate offered load stays around half the
+    // fleet regardless of the client count.
+    spec.mean_interarrival = 2.0 * static_cast<Real>(client_count);
+    spec.seed = 1000 + c;
+    traces[c] = generate_trace(spec);
+  }
+
+  std::vector<ClientLoad> loads(traces.size());
+  auto begin = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < traces.size(); ++c)
+    clients.emplace_back(drive_client, server.port(), std::cref(traces[c]),
+                         std::ref(loads[c]));
+  for (std::thread& t : clients) t.join();
+  auto end = std::chrono::steady_clock::now();
+
+  DrainResponse drained;
+  {
+    ClientOptions options;
+    options.port = server.port();
+    CoschedClient client(options);
+    RpcError drain_error = client.drain(drained);
+    if (!drain_error.ok()) {
+      std::cerr << "rpc_loopback: drain: " << drain_error.describe() << "\n";
+      return 1;
+    }
+  }
+  ServerStats stats = server.stats();
+  server.stop();
+
+  std::vector<double> all;
+  std::uint64_t errors = 0;
+  for (const ClientLoad& load : loads) {
+    all.insert(all.end(), load.latencies_ms.begin(), load.latencies_ms.end());
+    errors += load.errors;
+  }
+  std::sort(all.begin(), all.end());
+  double wall_seconds = std::chrono::duration<double>(end - begin).count();
+  double sum = 0.0;
+  for (double v : all) sum += v;
+
+  TextTable table({"metric", "value"});
+  table.add_row({"clients", TextTable::fmt_int(client_count)});
+  table.add_row({"requests ok",
+                 TextTable::fmt_int(static_cast<std::int64_t>(all.size()))});
+  table.add_row(
+      {"requests failed", TextTable::fmt_int(static_cast<std::int64_t>(errors))});
+  table.add_row({"wall seconds", TextTable::fmt(wall_seconds, 3)});
+  table.add_row(
+      {"throughput req/s",
+       TextTable::fmt(wall_seconds > 0.0
+                          ? static_cast<double>(all.size()) / wall_seconds
+                          : 0.0,
+                      1)});
+  table.add_row({"latency mean ms",
+                 TextTable::fmt(all.empty() ? 0.0 : sum / all.size(), 3)});
+  table.add_row({"latency p50 ms", TextTable::fmt(percentile(all, 50), 3)});
+  table.add_row({"latency p95 ms", TextTable::fmt(percentile(all, 95), 3)});
+  table.add_row({"latency p99 ms", TextTable::fmt(percentile(all, 99), 3)});
+  table.add_row({"jobs completed",
+                 TextTable::fmt_int(static_cast<std::int64_t>(
+                     drained.completions))});
+  table.add_row({"server frames rejected",
+                 TextTable::fmt_int(static_cast<std::int64_t>(
+                     stats.malformed_frames))});
+  std::cout << table.render() << "\n";
+  write_csv(args.get_string("out", "results"), "rpc_loopback", table);
+
+  std::uint64_t expected = static_cast<std::uint64_t>(all.size());
+  return drained.completions == expected && errors == 0 ? 0 : 1;
+}

@@ -1,0 +1,132 @@
+// rpc_client: drive a running rpc_server from the command line.
+//
+//   ./rpc_client --port 7717 --jobs 20          # submit a generated mix
+//   ./rpc_client --port 7717 --status 3         # query one job
+//   ./rpc_client --port 7717 --snapshot 1       # fleet placement view
+//   ./rpc_client --port 7717 --metrics 1        # scheduler counters
+//   ./rpc_client --port 7717 --drain 1          # stop admissions, finish all
+//   ./rpc_client --port 7717 --shutdown 1       # stop the server
+//
+// Submissions use the same seeded generator as the benchmarks (--seed), so
+// a job mix is reproducible; each submission prints the placement and the
+// predicted Eq. 1/9 degradation the scheduler answered with.
+#include <iostream>
+
+#include "harness/experiment.hpp"
+#include "rpc/client.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cosched;
+  ArgParser args(argc, argv);
+
+  ClientOptions options;
+  options.host = args.get_string("host", "127.0.0.1");
+  options.port = static_cast<std::uint16_t>(args.get_int("port", 7717));
+  options.request_timeout_seconds = args.get_real("timeout", 5.0);
+  options.max_attempts = static_cast<int>(args.get_int("attempts", 3));
+  CoschedClient client(options);
+
+  auto fail = [](const char* what, const RpcError& error) {
+    std::cerr << "rpc_client: " << what << ": " << error.describe() << "\n";
+    return 1;
+  };
+
+  if (args.has("status")) {
+    std::int64_t id = args.get_int("status", 0);
+    JobStatusResponse reply;
+    RpcError error = client.query_job_status(id, reply);
+    if (!error.ok()) return fail("status", error);
+    const JobStatusView& s = reply.status;
+    std::cout << "job " << s.id << " (" << s.name << "): " << to_string(s.phase)
+              << ", arrived " << TextTable::fmt(s.arrival_time, 2);
+    if (s.admit_time >= 0.0)
+      std::cout << ", admitted " << TextTable::fmt(s.admit_time, 2);
+    if (s.finish_time >= 0.0)
+      std::cout << ", finished " << TextTable::fmt(s.finish_time, 2);
+    std::cout << "\n";
+    for (const JobProcView& p : s.procs)
+      std::cout << "  proc " << p.gid << " on machine " << p.machine
+                << ", degradation " << TextTable::fmt(p.degradation, 3)
+                << ", remaining " << TextTable::fmt(p.remaining_work, 2)
+                << "\n";
+    return 0;
+  }
+
+  if (args.has("snapshot")) {
+    ServiceSnapshot snap;
+    RpcError error = client.query_snapshot(snap);
+    if (!error.ok()) return fail("snapshot", error);
+    std::cout << "t=" << TextTable::fmt(snap.now, 2) << ": "
+              << snap.pending_jobs << " pending, " << snap.free_slots
+              << " free slots, " << snap.completions
+              << " completed, mean live degradation "
+              << TextTable::fmt(snap.mean_live_degradation, 3) << "\n";
+    for (std::size_t m = 0; m < snap.machines.size(); ++m) {
+      std::cout << "  machine " << m << ":";
+      for (const auto& proc : snap.machines[m])
+        std::cout << " j" << proc.job << "/p" << proc.gid << "(d="
+                  << TextTable::fmt(proc.degradation, 2) << ")";
+      std::cout << "\n";
+    }
+    return 0;
+  }
+
+  if (args.has("metrics")) {
+    MetricsResponse reply;
+    RpcError error = client.get_metrics(reply);
+    if (!error.ok()) return fail("metrics", error);
+    std::cout << "t=" << TextTable::fmt(reply.virtual_now, 2) << ": "
+              << reply.arrivals << " arrivals, " << reply.admissions
+              << " admissions, " << reply.completions << " completions, "
+              << reply.replans << " replans, " << reply.migrations
+              << " migrations\n"
+              << "oracle cache: " << reply.cache.entries << " entries, "
+              << reply.cache.evictions << " evicted, "
+              << TextTable::fmt(100.0 * reply.cache.hit_rate(), 1)
+              << "% hit rate\n";
+    return 0;
+  }
+
+  if (args.has("drain")) {
+    DrainResponse reply;
+    RpcError error = client.drain(reply);
+    if (!error.ok()) return fail("drain", error);
+    std::cout << "drained: " << reply.completions
+              << " jobs completed, virtual time "
+              << TextTable::fmt(reply.virtual_now, 2) << "\n";
+    return 0;
+  }
+
+  if (args.has("shutdown")) {
+    ShutdownResponse reply;
+    RpcError error = client.shutdown_server(reply);
+    if (!error.ok()) return fail("shutdown", error);
+    std::cout << "server shutting down at virtual time "
+              << TextTable::fmt(reply.virtual_now, 2) << "\n";
+    return 0;
+  }
+
+  // Default: submit a generated mix.
+  TraceSpec spec;
+  spec.job_count = static_cast<std::int32_t>(args.get_int("jobs", 10));
+  spec.parallel_fraction = args.get_real("parallel", 0.2);
+  spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  WorkloadTrace trace = generate_trace(spec);
+
+  for (const TraceJob& job : trace.jobs) {
+    SubmitJobResponse reply;
+    RpcError error = client.submit_job(job, reply);
+    if (!error.ok()) return fail("submit", error);
+    std::cout << "job " << reply.job_id << " (" << job.name << ", "
+              << job.processes << " proc): " << to_string(reply.status.phase);
+    if (!reply.status.procs.empty()) {
+      std::cout << " on";
+      for (const JobProcView& p : reply.status.procs)
+        std::cout << " m" << p.machine << "(d="
+                  << TextTable::fmt(p.degradation, 2) << ")";
+    }
+    std::cout << " at t=" << TextTable::fmt(reply.virtual_now, 2) << "\n";
+  }
+  std::cout << "submitted " << trace.job_count() << " jobs\n";
+  return 0;
+}

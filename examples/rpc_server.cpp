@@ -1,0 +1,77 @@
+// rpc_server: stand up the co-scheduling service behind its TCP front-end.
+//
+//   ./rpc_server --port 7717 --machines 6 --cores 4 --wall-scale 4
+//
+// Runs until an RPC Shutdown arrives (see rpc_client). In wall-clock mode
+// (the default here) arrivals are stamped from real elapsed time, so jobs
+// submitted from another terminal land "now" on the virtual clock; pass
+// --virtual 1 to drive the clock purely from submitted arrival times
+// (deterministic replay mode). On exit the scheduler metrics are written as
+// CSVs under --out (directory is created if missing).
+#include <iostream>
+
+#include "harness/experiment.hpp"
+#include "rpc/server.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cosched;
+  ArgParser args(argc, argv);
+
+  ServerOptions options;
+  options.host = args.get_string("host", "127.0.0.1");
+  options.port = static_cast<std::uint16_t>(args.get_int("port", 7717));
+  options.worker_threads =
+      static_cast<std::size_t>(args.get_int("workers", 2));
+  options.max_connections =
+      static_cast<std::size_t>(args.get_int("max-connections", 32));
+  options.request_deadline_seconds = args.get_real("deadline", 10.0);
+
+  options.service.wall_clock = args.get_int("virtual", 0) == 0;
+  options.service.wall_time_scale = args.get_real("wall-scale", 4.0);
+  options.service.scheduler.cores =
+      static_cast<std::uint32_t>(args.get_int("cores", 4));
+  options.service.scheduler.machines =
+      static_cast<std::int32_t>(args.get_int("machines", 6));
+  options.service.scheduler.admission.trigger = ReplanTrigger::EveryKArrivals;
+  options.service.scheduler.admission.every_k =
+      static_cast<std::int32_t>(args.get_int("every-k", 2));
+  options.service.scheduler.admission.max_wait = args.get_real("max-wait", 8.0);
+  options.service.scheduler.cache_compaction_jobs =
+      static_cast<std::uint32_t>(args.get_int("compact-jobs", 16));
+  options.service.scheduler.log_process_finish = false;
+
+  CoschedServer server(options);
+  std::string error;
+  if (!server.start(error)) {
+    std::cerr << "rpc_server: " << error << "\n";
+    return 1;
+  }
+
+  std::cout << "cosched rpc_server listening on " << options.host << ":"
+            << server.port() << "\n"
+            << "  fleet: " << options.service.scheduler.machines
+            << " machines x " << options.service.scheduler.cores << " cores, "
+            << (options.service.wall_clock ? "wall-clock" : "virtual-time")
+            << " mode\n"
+            << "  submit jobs with: ./rpc_client --port " << server.port()
+            << " --jobs 20\n"
+            << "  stop with:        ./rpc_client --port " << server.port()
+            << " --shutdown 1\n";
+
+  server.wait();
+
+  MetricsOutcome metrics;
+  bool have_metrics = server.service().metrics(metrics, 5.0);
+  server.stop();
+
+  if (have_metrics) {
+    std::cout << "\nfinal state: " << metrics.completions << " jobs completed, "
+              << metrics.replans << " replans, virtual time "
+              << TextTable::fmt(metrics.virtual_now, 2) << "\n";
+  }
+  std::string out_dir = args.get_string("out", "results/rpc_server");
+  for (const std::string& path :
+       server.service().write_metrics_csvs(out_dir, "service"))
+    std::cout << "wrote " << path << "\n";
+  return 0;
+}

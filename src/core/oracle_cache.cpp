@@ -62,10 +62,52 @@ void DegradationCache::clear() {
   misses_.store(0, std::memory_order_relaxed);
 }
 
+std::size_t DegradationCache::evict_dead(std::span<const ProcessId> live_ids) {
+  // The key is the raw little-pattern memcpy of (subject id, sorted co
+  // ids): decode each id and erase the entry on the first dead one.
+  std::vector<bool> alive;
+  for (ProcessId id : live_ids) {
+    if (id < 0) continue;
+    std::size_t idx = static_cast<std::size_t>(id);
+    if (idx >= alive.size()) alive.resize(idx + 1, false);
+    alive[idx] = true;
+  }
+  auto is_live = [&](ProcessId id) {
+    return id >= 0 && static_cast<std::size_t>(id) < alive.size() &&
+           alive[static_cast<std::size_t>(id)];
+  };
+  std::size_t evicted = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (auto it = shard->map.begin(); it != shard->map.end();) {
+      const std::string& key = it->first;
+      bool dead = false;
+      for (std::size_t off = 0; off + sizeof(ProcessId) <= key.size();
+           off += sizeof(ProcessId)) {
+        ProcessId id;
+        std::memcpy(&id, key.data() + off, sizeof(ProcessId));
+        if (!is_live(id)) {
+          dead = true;
+          break;
+        }
+      }
+      if (dead) {
+        it = shard->map.erase(it);
+        ++evicted;
+      } else {
+        ++it;
+      }
+    }
+  }
+  evictions_.fetch_add(evicted, std::memory_order_relaxed);
+  return evicted;
+}
+
 DegradationCache::Stats DegradationCache::stats() const {
   Stats s;
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
     s.entries += shard->map.size();

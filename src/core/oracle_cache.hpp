@@ -12,12 +12,17 @@
 //  * the table is striped into mutex-guarded shards, so concurrent replan
 //    evaluation scales instead of serializing on one lock;
 //  * CachingDegradationModel is a drop-in DegradationModel decorator: wrap
-//    any base model, hand several wrappers the same DegradationCache.
+//    any base model, hand several wrappers the same DegradationCache;
+//  * stable ids are only ever retired, never reused, across a service
+//    lifetime — so evict_dead() can drop every entry that mentions a
+//    finished process id and keep a long-lived server's cache bounded by
+//    the live set instead of by everything that ever ran.
 #pragma once
 
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -38,6 +43,7 @@ class DegradationCache {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t entries = 0;
+    std::uint64_t evictions = 0;  ///< entries dropped by evict_dead()
     Real hit_rate() const {
       std::uint64_t total = hits + misses;
       return total == 0 ? 0.0 : static_cast<Real>(hits) /
@@ -52,6 +58,14 @@ class DegradationCache {
   /// Inserts (idempotent: the first value stored for a key wins).
   void insert(const std::string& key, Real value);
   void clear();
+
+  /// Epoch compaction: erases every entry whose key mentions a stable id
+  /// NOT in `live_ids` (subject or co-runner). Callers hand in the ids of
+  /// the processes still running; everything about finished processes —
+  /// including live-process entries keyed against finished co-runners — is
+  /// dead weight, because retired stable ids never come back. Safe against
+  /// concurrent lookup/insert. Returns the number of entries evicted.
+  std::size_t evict_dead(std::span<const ProcessId> live_ids);
 
   /// Packs (stable id, stable co ids) into a map key. `co_stable` need not
   /// be sorted; negative ids (inert padding) are dropped — the
@@ -70,6 +84,7 @@ class DegradationCache {
   std::vector<std::unique_ptr<Shard>> shards_;
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
 };
 
 using DegradationCachePtr = std::shared_ptr<DegradationCache>;

@@ -1,0 +1,39 @@
+#include "core/snapshot.hpp"
+
+namespace cosched {
+
+ScheduleSnapshot snapshot_schedule(const Problem& problem,
+                                   const Solution& solution) {
+  Evaluation eval = evaluate_solution(problem, solution);
+
+  ScheduleSnapshot snap;
+  snap.per_process = std::move(eval.per_process);
+  snap.objective = eval.total;
+  snap.machines.reserve(solution.machines.size());
+  for (const auto& machine : solution.machines) {
+    MachineSnapshot m;
+    m.processes = machine;
+    m.degradation.reserve(machine.size());
+    for (ProcessId p : machine) {
+      Real d = snap.per_process[static_cast<std::size_t>(p)];
+      m.degradation.push_back(d);
+      m.degradation_sum += d;
+    }
+    snap.machines.push_back(std::move(m));
+  }
+
+  Real sum = 0.0;
+  std::int64_t real_count = 0;
+  for (const Job& job : problem.batch.jobs()) {
+    if (job.kind == JobKind::Imaginary) continue;
+    for (ProcessId p : job.processes) {
+      sum += snap.per_process[static_cast<std::size_t>(p)];
+      ++real_count;
+    }
+  }
+  snap.mean_real_degradation =
+      real_count == 0 ? 0.0 : sum / static_cast<Real>(real_count);
+  return snap;
+}
+
+}  // namespace cosched

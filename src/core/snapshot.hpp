@@ -1,0 +1,39 @@
+// Snapshot accessors: per-machine / per-process views of an evaluated
+// placement.
+//
+// The solvers and the online service both end up needing the same readout —
+// "given this Problem and this Solution, what does every process suffer and
+// what does the placement cost" — in a shape that can be rendered, compared
+// or serialized over the RPC front-end. snapshot_schedule() computes it
+// once via evaluate_solution (Eq. 6/13), so callers stop re-deriving
+// per-process degradations with hand-rolled co-runner loops.
+#pragma once
+
+#include <vector>
+
+#include "core/objective.hpp"
+#include "core/problem.hpp"
+
+namespace cosched {
+
+struct MachineSnapshot {
+  std::vector<ProcessId> processes;  ///< local process ids, placement order
+  std::vector<Real> degradation;     ///< d_i of each, same order
+  Real degradation_sum = 0.0;        ///< Σ over the machine's processes
+};
+
+struct ScheduleSnapshot {
+  std::vector<MachineSnapshot> machines;
+  std::vector<Real> per_process;  ///< d_i indexed by local process id
+  Real objective = 0.0;           ///< Eq. 6/13 total of the placement
+  /// Mean d_i over *real* (non-imaginary) processes.
+  Real mean_real_degradation = 0.0;
+};
+
+/// Evaluates `solution` under the problem's full model (Eq. 6/13) and
+/// breaks the result out per machine and per process. `solution` must be a
+/// valid partition (throws ContractViolation otherwise).
+ScheduleSnapshot snapshot_schedule(const Problem& problem,
+                                   const Solution& solution);
+
+}  // namespace cosched

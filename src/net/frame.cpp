@@ -1,0 +1,90 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+namespace cosched {
+
+namespace {
+
+void put_u32_be(std::uint8_t* out, std::uint32_t v) {
+  out[0] = static_cast<std::uint8_t>(v >> 24);
+  out[1] = static_cast<std::uint8_t>(v >> 16);
+  out[2] = static_cast<std::uint8_t>(v >> 8);
+  out[3] = static_cast<std::uint8_t>(v);
+}
+
+std::uint32_t get_u32_be(const std::uint8_t* in) {
+  return (static_cast<std::uint32_t>(in[0]) << 24) |
+         (static_cast<std::uint32_t>(in[1]) << 16) |
+         (static_cast<std::uint32_t>(in[2]) << 8) |
+         static_cast<std::uint32_t>(in[3]);
+}
+
+FrameStatus from_net(NetStatus st, FrameStatus on_closed) {
+  switch (st) {
+    case NetStatus::Ok: return FrameStatus::Ok;
+    case NetStatus::Timeout: return FrameStatus::Timeout;
+    case NetStatus::Closed: return on_closed;
+    case NetStatus::Refused:
+    case NetStatus::Error: return FrameStatus::Error;
+  }
+  return FrameStatus::Error;
+}
+
+}  // namespace
+
+const char* to_string(FrameStatus status) {
+  switch (status) {
+    case FrameStatus::Ok: return "ok";
+    case FrameStatus::Closed: return "closed";
+    case FrameStatus::Truncated: return "truncated";
+    case FrameStatus::Timeout: return "timeout";
+    case FrameStatus::BadMagic: return "bad-magic";
+    case FrameStatus::Oversized: return "oversized";
+    case FrameStatus::Error: return "error";
+  }
+  return "?";
+}
+
+FrameStatus write_frame(Socket& socket, const std::uint8_t* payload,
+                        std::size_t len, const Deadline& deadline) {
+  std::uint8_t header[8];
+  put_u32_be(header, kFrameMagic);
+  put_u32_be(header + 4, static_cast<std::uint32_t>(len));
+  // One buffered send: header and payload in a single syscall when small.
+  std::vector<std::uint8_t> wire(sizeof(header) + len);
+  std::memcpy(wire.data(), header, sizeof(header));
+  if (len > 0) std::memcpy(wire.data() + sizeof(header), payload, len);
+  NetStatus st = socket.send_all(wire.data(), wire.size(), deadline);
+  return from_net(st, FrameStatus::Truncated);
+}
+
+FrameStatus write_frame(Socket& socket,
+                        const std::vector<std::uint8_t>& payload,
+                        const Deadline& deadline) {
+  return write_frame(socket, payload.data(), payload.size(), deadline);
+}
+
+FrameStatus read_frame(Socket& socket, std::vector<std::uint8_t>& payload,
+                       const Deadline& deadline, std::size_t max_payload) {
+  std::uint8_t header[8];
+  // The first header byte decides Closed vs Truncated: recv_all reports
+  // Closed on EOF wherever it happens, so read byte 0 separately.
+  NetStatus st = socket.recv_all(header, 1, deadline);
+  if (st != NetStatus::Ok) return from_net(st, FrameStatus::Closed);
+  st = socket.recv_all(header + 1, sizeof(header) - 1, deadline);
+  if (st != NetStatus::Ok) return from_net(st, FrameStatus::Truncated);
+
+  if (get_u32_be(header) != kFrameMagic) return FrameStatus::BadMagic;
+  std::uint32_t len = get_u32_be(header + 4);
+  if (len > max_payload) return FrameStatus::Oversized;
+
+  payload.assign(len, 0);
+  if (len > 0) {
+    st = socket.recv_all(payload.data(), len, deadline);
+    if (st != NetStatus::Ok) return from_net(st, FrameStatus::Truncated);
+  }
+  return FrameStatus::Ok;
+}
+
+}  // namespace cosched

@@ -1,0 +1,56 @@
+// Length-prefixed binary framing over a Socket.
+//
+// Every message on the wire is one frame:
+//
+//     0        4        8                8+len
+//     +--------+--------+----------------+
+//     | magic  | length |    payload     |
+//     | u32 BE | u32 BE |   `length` B   |
+//     +--------+--------+----------------+
+//
+// The magic word ("CSC1") rejects garbage and cross-protocol traffic at the
+// first read; the length prefix is validated against a caller-supplied
+// maximum before any payload allocation, so an adversarial or corrupted
+// header cannot balloon memory. A peer that disappears mid-frame surfaces
+// as FrameStatus::Truncated — distinct from a clean between-frames EOF
+// (Closed), which is how connections are expected to end.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace cosched {
+
+/// "CSC1" — cosched protocol, framing revision 1.
+inline constexpr std::uint32_t kFrameMagic = 0x43534331u;
+/// Default ceiling on a frame payload (1 MiB); both ends enforce it.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 1u << 20;
+
+enum class FrameStatus {
+  Ok,
+  Closed,     ///< clean EOF before any header byte (normal disconnect)
+  Truncated,  ///< EOF or reset in the middle of a frame
+  Timeout,
+  BadMagic,   ///< header does not start with kFrameMagic
+  Oversized,  ///< declared length exceeds the maximum
+  Error,
+};
+
+const char* to_string(FrameStatus status);
+
+/// Writes one frame (header + payload).
+FrameStatus write_frame(Socket& socket, const std::uint8_t* payload,
+                        std::size_t len, const Deadline& deadline);
+FrameStatus write_frame(Socket& socket, const std::vector<std::uint8_t>& payload,
+                        const Deadline& deadline);
+
+/// Reads one frame into `payload` (replaced, not appended). On BadMagic /
+/// Oversized the connection is in an undefined mid-stream state and must be
+/// closed by the caller.
+FrameStatus read_frame(Socket& socket, std::vector<std::uint8_t>& payload,
+                       const Deadline& deadline,
+                       std::size_t max_payload = kDefaultMaxFrameBytes);
+
+}  // namespace cosched

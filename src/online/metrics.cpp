@@ -1,5 +1,8 @@
 #include "online/metrics.hpp"
 
+#include <filesystem>
+#include <fstream>
+#include <iostream>
 #include <sstream>
 
 namespace cosched {
@@ -115,6 +118,35 @@ TextTable SchedulerMetrics::replans_table(bool include_wall_times) const {
 std::string SchedulerMetrics::render_deterministic_csv() const {
   return summary_table().render_csv() + histogram_table().render_csv() +
          replans_table(false).render_csv();
+}
+
+std::vector<std::string> SchedulerMetrics::write_csvs(
+    const std::string& dir, const std::string& prefix) const {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    std::cerr << "warning: cannot create metrics directory " << dir << ": "
+              << ec.message() << "\n";
+    return {};
+  }
+  const std::pair<const char*, TextTable> tables[] = {
+      {"summary", summary_table()},
+      {"histograms", histogram_table()},
+      {"replans", replans_table(false)},
+  };
+  std::vector<std::string> paths;
+  for (const auto& [suffix, table] : tables) {
+    std::string path = dir + "/" + prefix + "_" + suffix + ".csv";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "warning: cannot write " << path << "\n";
+      return {};
+    }
+    out << table.render_csv();
+    paths.push_back(std::move(path));
+  }
+  return paths;
 }
 
 }  // namespace cosched

@@ -110,6 +110,14 @@ class SchedulerMetrics {
   /// the byte-comparable artifact of the determinism tests.
   std::string render_deterministic_csv() const;
 
+  /// Writes <dir>/<prefix>_summary.csv, _histograms.csv and _replans.csv,
+  /// creating `dir` (and parents) if missing — a fresh clone has no
+  /// results/ directory, and the writers must not fail silently because of
+  /// that. Returns the paths written; on any failure warns on stderr and
+  /// returns an empty vector.
+  std::vector<std::string> write_csvs(const std::string& dir,
+                                      const std::string& prefix) const;
+
  private:
   std::uint64_t arrivals_ = 0;
   std::uint64_t admissions_ = 0;

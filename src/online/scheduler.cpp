@@ -8,6 +8,7 @@
 #include "baseline/random_schedule.hpp"
 #include "cache/machine_config.hpp"
 #include "core/degradation_models.hpp"
+#include "core/snapshot.hpp"
 #include "util/timer.hpp"
 #include "vm/migration.hpp"
 
@@ -22,9 +23,19 @@ const char* to_string(OnlineSolverKind kind) {
   return "?";
 }
 
+const char* to_string(JobPhase phase) {
+  switch (phase) {
+    case JobPhase::Pending: return "pending";
+    case JobPhase::Running: return "running";
+    case JobPhase::Finished: return "finished";
+  }
+  return "?";
+}
+
 struct OnlineScheduler::JobState {
   TraceJob spec;
   Real admit_time = -1.0;               ///< < 0 while pending
+  Real finish_time = -1.0;              ///< < 0 until completion
   std::vector<std::int64_t> procs;      ///< global process ids
   std::int32_t unfinished = 0;
 };
@@ -53,6 +64,57 @@ OnlineScheduler::~OnlineScheduler() = default;
 
 std::vector<std::vector<std::int64_t>> OnlineScheduler::placement() const {
   return machines_;
+}
+
+std::int64_t OnlineScheduler::job_count() const {
+  return static_cast<std::int64_t>(jobs_.size());
+}
+
+JobStatusView OnlineScheduler::job_status(std::int64_t job_id) const {
+  COSCHED_EXPECTS(job_id >= 0 && job_id < job_count());
+  const JobState& job = jobs_[static_cast<std::size_t>(job_id)];
+  JobStatusView view;
+  view.id = job_id;
+  view.name = job.spec.name;
+  view.arrival_time = job.spec.arrival_time;
+  view.admit_time = job.admit_time;
+  view.finish_time = job.finish_time;
+  view.work = job.spec.work;
+  if (job.admit_time < 0.0) {
+    view.phase = JobPhase::Pending;
+  } else {
+    view.phase = job.unfinished > 0 ? JobPhase::Running : JobPhase::Finished;
+    view.procs.reserve(job.procs.size());
+    for (std::int64_t gid : job.procs) {
+      const ProcState& p = procs_[static_cast<std::size_t>(gid)];
+      JobProcView pv;
+      pv.gid = gid;
+      pv.machine = p.machine;
+      pv.degradation = p.live ? p.degradation : 0.0;
+      pv.remaining_work = p.remaining;
+      view.procs.push_back(pv);
+    }
+  }
+  return view;
+}
+
+ServiceSnapshot OnlineScheduler::service_snapshot() const {
+  ServiceSnapshot snap;
+  snap.now = clock_.now();
+  snap.pending_jobs = static_cast<std::int64_t>(pending_.size());
+  snap.free_slots = free_slot_count();
+  snap.completions = metrics_.completions();
+  snap.live_degradation_sum = live_degradation_sum();
+  snap.mean_live_degradation = mean_live_degradation();
+  snap.machines.resize(machines_.size());
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    snap.machines[m].reserve(machines_[m].size());
+    for (std::int64_t gid : machines_[m]) {
+      const ProcState& p = procs_[static_cast<std::size_t>(gid)];
+      snap.machines[m].push_back({gid, p.job, p.degradation});
+    }
+  }
+  return snap;
 }
 
 std::int32_t OnlineScheduler::live_process_count() const {
@@ -116,7 +178,7 @@ void OnlineScheduler::refresh_degradations() {
   }
 }
 
-void OnlineScheduler::run(const WorkloadTrace& trace) {
+void OnlineScheduler::begin() {
   // Fresh state; the degradation cache intentionally survives runs.
   clock_ = VirtualClock();
   queue_ = EventQueue();
@@ -128,57 +190,102 @@ void OnlineScheduler::run(const WorkloadTrace& trace) {
   machines_.assign(static_cast<std::size_t>(options_.machines), {});
   problem_.reset();
   local_to_gid_.clear();
+  remaining_arrivals_ = 0;
   last_replan_time_ = -kInfinity;
+  tick_armed_ = false;
+  finished_since_compaction_ = 0;
+}
 
-  jobs_.reserve(trace.jobs.size());
-  for (const TraceJob& j : trace.jobs) {
-    COSCHED_EXPECTS(j.processes <= total_cores());
-    JobState state;
-    state.spec = j;
-    jobs_.push_back(std::move(state));
-  }
-  remaining_arrivals_ = static_cast<std::int64_t>(trace.jobs.size());
-  for (std::size_t id = 0; id < trace.jobs.size(); ++id)
-    queue_.push(trace.jobs[id].arrival_time, EventKind::JobArrival,
-                static_cast<std::int64_t>(id));
-  if (options_.admission.trigger == ReplanTrigger::Periodic)
-    queue_.push(options_.admission.period, EventKind::ReplanTick, 0);
+std::int64_t OnlineScheduler::submit(const TraceJob& spec) {
+  COSCHED_EXPECTS(spec.processes >= 1 && spec.processes <= total_cores());
+  JobState state;
+  state.spec = spec;
+  // Arrivals cannot be in the past: a live submission that raced the clock
+  // is stamped "now". Batch replay never triggers this (arrivals are
+  // sorted and nothing is pumped between submissions).
+  if (state.spec.arrival_time < clock_.now())
+    state.spec.arrival_time = clock_.now();
+  std::int64_t id = static_cast<std::int64_t>(jobs_.size());
+  jobs_.push_back(std::move(state));
+  ++remaining_arrivals_;
+  queue_.push(jobs_.back().spec.arrival_time, EventKind::JobArrival, id);
+  arm_tick();
+  return id;
+}
 
-  while (true) {
-    // Next process completion, if any: min over live processes of
-    // now + remaining * (1 + d); ties broken by the smaller global id.
-    Real next_finish = kInfinity;
-    std::int64_t finish_gid = -1;
-    for (const auto& machine : machines_) {
-      for (std::int64_t gid : machine) {
-        const ProcState& p = procs_[static_cast<std::size_t>(gid)];
-        Real finish = clock_.now() + p.remaining * (1.0 + p.degradation);
-        if (finish < next_finish ||
-            (finish == next_finish && gid < finish_gid)) {
-          next_finish = finish;
-          finish_gid = gid;
-        }
+void OnlineScheduler::arm_tick() {
+  if (options_.admission.trigger != ReplanTrigger::Periodic || tick_armed_)
+    return;
+  queue_.push(clock_.now() + options_.admission.period, EventKind::ReplanTick,
+              0);
+  tick_armed_ = true;
+}
+
+bool OnlineScheduler::step_one(Real limit) {
+  // Next process completion, if any: min over live processes of
+  // now + remaining * (1 + d); ties broken by the smaller global id.
+  Real next_finish = kInfinity;
+  std::int64_t finish_gid = -1;
+  for (const auto& machine : machines_) {
+    for (std::int64_t gid : machine) {
+      const ProcState& p = procs_[static_cast<std::size_t>(gid)];
+      Real finish = clock_.now() + p.remaining * (1.0 + p.degradation);
+      if (finish < next_finish ||
+          (finish == next_finish && gid < finish_gid)) {
+        next_finish = finish;
+        finish_gid = gid;
       }
     }
+  }
 
-    if (finish_gid >= 0 &&
-        (queue_.empty() || next_finish < queue_.top().time)) {
-      advance_to(next_finish);
-      handle_process_finish(finish_gid);
-      continue;
-    }
-    if (queue_.empty()) break;
-    Event e = queue_.pop();
-    advance_to(e.time);
-    switch (e.kind) {
-      case EventKind::JobArrival: handle_arrival(e.payload); break;
-      case EventKind::ReplanTick: handle_tick(); break;
-      case EventKind::AdmissionDeadline: handle_deadline(e.payload); break;
-      default: COSCHED_ENSURES(false);
+  if (finish_gid >= 0 &&
+      (queue_.empty() || next_finish < queue_.top().time)) {
+    if (next_finish > limit) return false;
+    advance_to(next_finish);
+    handle_process_finish(finish_gid);
+    return true;
+  }
+  if (queue_.empty() || queue_.top().time > limit) return false;
+  Event e = queue_.pop();
+  advance_to(e.time);
+  switch (e.kind) {
+    case EventKind::JobArrival: handle_arrival(e.payload); break;
+    case EventKind::ReplanTick: handle_tick(); break;
+    case EventKind::AdmissionDeadline: handle_deadline(e.payload); break;
+    default: COSCHED_ENSURES(false);
+  }
+  return true;
+}
+
+void OnlineScheduler::pump(Real limit) {
+  while (step_one(limit)) {
+  }
+}
+
+Real OnlineScheduler::next_occurrence_time() const {
+  Real next = queue_.empty() ? kInfinity : queue_.top().time;
+  for (const auto& machine : machines_) {
+    for (std::int64_t gid : machine) {
+      const ProcState& p = procs_[static_cast<std::size_t>(gid)];
+      next = std::min(next,
+                      clock_.now() + p.remaining * (1.0 + p.degradation));
     }
   }
+  return next;
+}
+
+void OnlineScheduler::finish() {
+  pump(kInfinity);
   COSCHED_ENSURES(pending_.empty());
   COSCHED_ENSURES(live_process_count() == 0);
+  COSCHED_ENSURES(remaining_arrivals_ == 0);
+}
+
+void OnlineScheduler::run(const WorkloadTrace& trace) {
+  begin();
+  jobs_.reserve(trace.jobs.size());
+  for (const TraceJob& j : trace.jobs) submit(j);
+  finish();
 }
 
 void OnlineScheduler::handle_arrival(std::int64_t job_id) {
@@ -209,19 +316,36 @@ void OnlineScheduler::handle_process_finish(std::int64_t proc_gid) {
                 job.spec.name + "/p" + TextTable::fmt_int(proc_gid));
   COSCHED_EXPECTS(job.unfinished > 0);
   if (--job.unfinished == 0) {
+    job.finish_time = clock_.now();
     Real slowdown = (clock_.now() - job.admit_time) / job.spec.work;
     metrics_.on_completion(slowdown);
     log_.record(clock_.now(), EventKind::JobCompletion,
                 job.spec.name + " slowdown=" + TextTable::fmt(slowdown));
+    ++finished_since_compaction_;
+    maybe_compact_cache();
   }
   refresh_degradations();
   maybe_replan();
+}
+
+void OnlineScheduler::maybe_compact_cache() {
+  if (options_.cache_compaction_jobs == 0 ||
+      finished_since_compaction_ < options_.cache_compaction_jobs)
+    return;
+  finished_since_compaction_ = 0;
+  std::vector<ProcessId> live;
+  for (const auto& machine : machines_)
+    for (std::int64_t gid : machine)
+      live.push_back(static_cast<ProcessId>(gid));
+  cache_->evict_dead(live);
 }
 
 void OnlineScheduler::handle_tick() {
   if (outstanding_work())
     queue_.push(clock_.now() + options_.admission.period,
                 EventKind::ReplanTick, 0);
+  else
+    tick_armed_ = false;
   if (!pending_.empty()) replan("tick", false);
 }
 
@@ -390,19 +514,24 @@ void OnlineScheduler::replan(const char* reason, bool allow_pure_rebalance) {
       problem, incumbent, have_fresh ? &fresh : nullptr, replan_options);
 
   // ---- apply the placement --------------------------------------------
+  // The adopted placement is a complete padded Solution, so the per-process
+  // degradations come straight off the core snapshot accessor instead of a
+  // per-machine re-query loop.
+  ScheduleSnapshot adopted = snapshot_schedule(problem, result.placement);
   for (std::size_t m = 0; m < machines_.size(); ++m) {
     machines_[m].clear();
     for (ProcessId local : result.placement.machines[m]) {
       std::int64_t gid = local_to_gid_[static_cast<std::size_t>(local)];
       if (gid < 0) continue;  // idle slot
-      procs_[static_cast<std::size_t>(gid)].machine =
-          static_cast<std::int32_t>(m);
+      ProcState& p = procs_[static_cast<std::size_t>(gid)];
+      p.machine = static_cast<std::int32_t>(m);
+      p.degradation =
+          adopted.per_process[static_cast<std::size_t>(local)];
       machines_[m].push_back(gid);
     }
     std::sort(machines_[m].begin(), machines_[m].end());
   }
   problem_ = std::make_unique<Problem>(std::move(problem));
-  refresh_degradations();
   last_replan_time_ = clock_.now();
 
   ReplanRecord record;

@@ -16,12 +16,20 @@
 //  * degradation queries go through a CachingDegradationModel keyed by
 //    *global* process ids, so repeated replans over overlapping live sets
 //    and concurrent evaluation reuse predictions instead of recomputing;
+//    finished jobs' entries are evicted in epochs (cache_compaction_jobs)
+//    so a long-lived service's cache stays bounded;
 //  * progress is simulated with per-process rates: a process with current
 //    degradation d advances its solo work at 1/(1+d), re-evaluated whenever
 //    a machine's co-runner set changes. Completions free cores mid-epoch.
 //
+// The service runs open-world: begin() resets it, submit() feeds one job,
+// pump(t) processes everything up to virtual time t, finish() drains. The
+// batch entry point run(trace) is exactly begin + submit* + finish, so a
+// job mix driven through the RPC front-end (src/rpc) in virtual-time mode
+// replays byte-identically to the same mix fed as a trace.
+//
 // Everything observable — the event log and SchedulerMetrics — is a pure
-// function of (trace, options), byte-identical across runs.
+// function of (submission sequence, options), byte-identical across runs.
 #pragma once
 
 #include <memory>
@@ -57,8 +65,55 @@ struct OnlineSchedulerOptions {
   /// S-curve capacity of the synthetic contention model; 0 = the builders'
   /// convention 0.45 * (u - 1).
   Real synthetic_capacity = 0.0;
+  /// Oracle-cache compaction epoch: after this many job completions, evict
+  /// cache entries that mention a process id no longer live. 0 disables
+  /// compaction (the offline-benchmark default); the RPC server enables it
+  /// so a long-lived service's cache plateaus instead of growing with every
+  /// job that ever ran.
+  std::uint32_t cache_compaction_jobs = 0;
   std::uint64_t seed = 0xC05EDULL;  ///< Random-solver draws
   bool log_process_finish = true;   ///< event-log verbosity
+};
+
+/// Lifecycle of a submitted job as seen by status queries.
+enum class JobPhase { Pending, Running, Finished };
+
+const char* to_string(JobPhase phase);
+
+/// Per-process placement + prediction of one job (Eq. 1/9 degradation under
+/// the current co-runner set).
+struct JobProcView {
+  std::int64_t gid = -1;
+  std::int32_t machine = -1;  ///< -1 while pending / after finish
+  Real degradation = 0.0;
+  Real remaining_work = 0.0;  ///< solo-seconds left
+};
+
+struct JobStatusView {
+  std::int64_t id = -1;
+  std::string name;
+  JobPhase phase = JobPhase::Pending;
+  Real arrival_time = 0.0;
+  Real admit_time = -1.0;   ///< < 0 while pending
+  Real finish_time = -1.0;  ///< < 0 until the last process completes
+  Real work = 0.0;
+  std::vector<JobProcView> procs;  ///< empty while pending
+};
+
+/// Point-in-time view of the whole fleet.
+struct ServiceSnapshot {
+  Real now = 0.0;
+  std::int64_t pending_jobs = 0;
+  std::int32_t free_slots = 0;
+  std::uint64_t completions = 0;
+  Real live_degradation_sum = 0.0;   ///< Σ d_i over live processes
+  Real mean_live_degradation = 0.0;
+  struct Proc {
+    std::int64_t gid = -1;
+    std::int64_t job = -1;
+    Real degradation = 0.0;
+  };
+  std::vector<std::vector<Proc>> machines;
 };
 
 class OnlineScheduler {
@@ -67,7 +122,29 @@ class OnlineScheduler {
   ~OnlineScheduler();
 
   /// Feeds the whole trace and simulates to completion of every job.
+  /// Exactly begin() + submit(job)* + finish().
   void run(const WorkloadTrace& trace);
+
+  // ---- open-world (live) interface -------------------------------------
+  /// Resets clock, queues, placement and metrics. The degradation cache
+  /// intentionally survives (warm restarts of the same workload).
+  void begin();
+  /// Registers one job; its arrival event fires at spec.arrival_time
+  /// (clamped up to the current virtual time — arrivals cannot be in the
+  /// past). Returns the job id used by job_status(). Events at or before
+  /// the arrival are NOT processed; call pump().
+  std::int64_t submit(const TraceJob& spec);
+  /// Processes every due occurrence (process completions and queued
+  /// events) with virtual time <= limit, in deterministic order. The clock
+  /// only moves when an occurrence is processed, so pump(t) followed by
+  /// pump(t') is byte-identical to pump(t').
+  void pump(Real limit);
+  /// Drains: processes everything until no work is outstanding.
+  void finish();
+  /// Virtual time of the next due occurrence (process completion or queued
+  /// event); kInfinity when nothing is scheduled. Lets a wall-clock bridge
+  /// sleep until something actually happens instead of polling.
+  Real next_occurrence_time() const;
 
   // ---- introspection ---------------------------------------------------
   const OnlineSchedulerOptions& options() const { return options_; }
@@ -82,12 +159,18 @@ class OnlineScheduler {
   }
   /// machine -> global ids of the live processes it hosts.
   std::vector<std::vector<std::int64_t>> placement() const;
+  std::int64_t job_count() const;
+  /// Status + placement + predicted degradation of one submitted job.
+  JobStatusView job_status(std::int64_t job_id) const;
+  /// Fleet-wide placement/degradation snapshot at the current clock.
+  ServiceSnapshot service_snapshot() const;
 
  private:
   struct JobState;
   struct ProcState;
 
   // Simulation steps (see scheduler.cpp).
+  bool step_one(Real limit);
   void advance_to(Real t);
   void handle_arrival(std::int64_t job_id);
   void handle_process_finish(std::int64_t proc_gid);
@@ -96,6 +179,8 @@ class OnlineScheduler {
   void maybe_replan();
   void replan(const char* reason, bool allow_pure_rebalance);
   void refresh_degradations();
+  void maybe_compact_cache();
+  void arm_tick();
   bool outstanding_work() const;
   std::int32_t live_process_count() const;
   std::int32_t free_slot_count() const;
@@ -118,6 +203,8 @@ class OnlineScheduler {
   std::vector<std::vector<std::int64_t>> machines_;  ///< live proc gids
   std::int64_t remaining_arrivals_ = 0;
   Real last_replan_time_ = -kInfinity;
+  bool tick_armed_ = false;
+  std::uint32_t finished_since_compaction_ = 0;
 
   // Current problem context (rebuilt at each replan): local <-> global maps
   // and the cached model used for rate re-evaluation between replans.

@@ -1,0 +1,228 @@
+#include "rpc/client.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace cosched {
+
+const char* to_string(RpcErrorKind kind) {
+  switch (kind) {
+    case RpcErrorKind::None: return "none";
+    case RpcErrorKind::Transport: return "transport";
+    case RpcErrorKind::Protocol: return "protocol";
+    case RpcErrorKind::Application: return "application";
+  }
+  return "?";
+}
+
+std::string RpcError::describe() const {
+  if (ok()) return "ok";
+  std::string out = to_string(kind);
+  out += " error";
+  if (kind == RpcErrorKind::Application) {
+    out += " (";
+    out += to_string(app);
+    out += ")";
+  }
+  if (!message.empty()) {
+    out += ": ";
+    out += message;
+  }
+  out += " [attempts=" + std::to_string(attempts) + "]";
+  return out;
+}
+
+CoschedClient::CoschedClient(ClientOptions options)
+    : options_(std::move(options)), jitter_(options_.jitter_seed) {
+  COSCHED_EXPECTS(options_.max_attempts >= 1);
+}
+
+double CoschedClient::backoff_seconds(int attempt) {
+  double exp = options_.backoff_base_seconds *
+               static_cast<double>(1u << std::min(attempt, 20));
+  double capped = std::min(exp, options_.backoff_max_seconds);
+  // Jitter in [0.5, 1.0] de-synchronizes clients hammering one server.
+  return capped * (0.5 + 0.5 * jitter_.uniform01());
+}
+
+RpcError CoschedClient::attempt(MessageType type,
+                                const std::vector<std::uint8_t>& body,
+                                ResponseEnvelope& out, bool& sent) {
+  RpcError error;
+  sent = false;
+
+  if (!socket_.valid()) {
+    NetStatus status = NetStatus::Ok;
+    socket_ = Socket::connect_to(
+        options_.host, options_.port,
+        Deadline::after(options_.connect_timeout_seconds), status);
+    if (status != NetStatus::Ok) {
+      error.kind = RpcErrorKind::Transport;
+      error.net = status;
+      error.message = std::string("connect to ") + options_.host + ":" +
+                      std::to_string(options_.port) + " failed (" +
+                      to_string(status) + ")";
+      return error;
+    }
+  }
+
+  RequestEnvelope request;
+  request.type = type;
+  request.request_id = next_request_id_++;
+  request.body = body;
+  std::vector<std::uint8_t> payload = encode_request(request);
+
+  Deadline deadline = Deadline::after(options_.request_timeout_seconds);
+  sent = true;  // from here on, bytes may have reached the server
+  FrameStatus frame_status = write_frame(socket_, payload, deadline);
+  if (frame_status != FrameStatus::Ok) {
+    socket_.close();
+    error.kind = RpcErrorKind::Transport;
+    error.frame = frame_status;
+    error.message =
+        std::string("sending request failed (") + to_string(frame_status) + ")";
+    return error;
+  }
+
+  std::vector<std::uint8_t> reply;
+  frame_status = read_frame(socket_, reply, deadline, options_.max_frame_bytes);
+  if (frame_status != FrameStatus::Ok) {
+    socket_.close();
+    // Undecodable framing is a protocol bug, not a flaky wire.
+    bool is_protocol = frame_status == FrameStatus::BadMagic ||
+                       frame_status == FrameStatus::Oversized;
+    error.kind = is_protocol ? RpcErrorKind::Protocol : RpcErrorKind::Transport;
+    error.frame = frame_status;
+    error.message = std::string("reading response failed (") +
+                    to_string(frame_status) + ")";
+    return error;
+  }
+
+  if (!decode_response(reply, out)) {
+    socket_.close();
+    error.kind = RpcErrorKind::Protocol;
+    error.message = "undecodable response envelope";
+    return error;
+  }
+  if (out.version != kProtocolVersion) {
+    socket_.close();
+    error.kind = RpcErrorKind::Protocol;
+    error.message = "server protocol version " + std::to_string(out.version) +
+                    " != " + std::to_string(kProtocolVersion);
+    return error;
+  }
+  if (out.request_id != request.request_id || out.type != type) {
+    socket_.close();
+    error.kind = RpcErrorKind::Protocol;
+    error.message = "response does not match request (stream desync)";
+    return error;
+  }
+  if (out.status != RpcStatus::Ok) {
+    error.kind = RpcErrorKind::Application;
+    error.app = out.status;
+    error.message = out.error;
+    return error;
+  }
+  return error;  // ok
+}
+
+RpcError CoschedClient::call(MessageType type,
+                             const std::vector<std::uint8_t>& body,
+                             bool idempotent, ResponseEnvelope& out) {
+  RpcError error;
+  for (int tried = 0; tried < options_.max_attempts; ++tried) {
+    bool sent = false;
+    error = attempt(type, body, out, sent);
+    error.attempts = tried + 1;
+    if (error.ok()) return error;
+    if (error.kind != RpcErrorKind::Transport) return error;
+    if (sent && !idempotent) return error;  // may already be applied
+    if (tried + 1 >= options_.max_attempts) return error;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(backoff_seconds(tried)));
+  }
+  return error;
+}
+
+RpcError CoschedClient::submit_job(const TraceJob& job,
+                                   SubmitJobResponse& out) {
+  WireWriter w;
+  encode_trace_job(w, job);
+  ResponseEnvelope envelope;
+  RpcError error = call(MessageType::SubmitJob, w.bytes(), false, envelope);
+  if (!error.ok()) return error;
+  WireReader r(envelope.body);
+  if (!decode_submit_response(r, out) || !r.complete()) {
+    error.kind = RpcErrorKind::Protocol;
+    error.message = "undecodable SubmitJob response body";
+  }
+  return error;
+}
+
+RpcError CoschedClient::query_job_status(std::int64_t job_id,
+                                         JobStatusResponse& out) {
+  WireWriter w;
+  w.i64(job_id);
+  ResponseEnvelope envelope;
+  RpcError error = call(MessageType::QueryJobStatus, w.bytes(), true, envelope);
+  if (!error.ok()) return error;
+  WireReader r(envelope.body);
+  if (!decode_status_response(r, out) || !r.complete()) {
+    error.kind = RpcErrorKind::Protocol;
+    error.message = "undecodable QueryJobStatus response body";
+  }
+  return error;
+}
+
+RpcError CoschedClient::query_snapshot(ServiceSnapshot& out) {
+  ResponseEnvelope envelope;
+  RpcError error = call(MessageType::QueryScheduleSnapshot, {}, true, envelope);
+  if (!error.ok()) return error;
+  WireReader r(envelope.body);
+  if (!decode_service_snapshot(r, out) || !r.complete()) {
+    error.kind = RpcErrorKind::Protocol;
+    error.message = "undecodable QueryScheduleSnapshot response body";
+  }
+  return error;
+}
+
+RpcError CoschedClient::get_metrics(MetricsResponse& out) {
+  ResponseEnvelope envelope;
+  RpcError error = call(MessageType::GetMetrics, {}, true, envelope);
+  if (!error.ok()) return error;
+  WireReader r(envelope.body);
+  if (!decode_metrics_response(r, out) || !r.complete()) {
+    error.kind = RpcErrorKind::Protocol;
+    error.message = "undecodable GetMetrics response body";
+  }
+  return error;
+}
+
+RpcError CoschedClient::drain(DrainResponse& out) {
+  // Drain is idempotent: repeating it cannot admit or lose work.
+  ResponseEnvelope envelope;
+  RpcError error = call(MessageType::Drain, {}, true, envelope);
+  if (!error.ok()) return error;
+  WireReader r(envelope.body);
+  if (!decode_drain_response(r, out) || !r.complete()) {
+    error.kind = RpcErrorKind::Protocol;
+    error.message = "undecodable Drain response body";
+  }
+  return error;
+}
+
+RpcError CoschedClient::shutdown_server(ShutdownResponse& out) {
+  ResponseEnvelope envelope;
+  RpcError error = call(MessageType::Shutdown, {}, false, envelope);
+  if (!error.ok()) return error;
+  WireReader r(envelope.body);
+  out.virtual_now = r.real();
+  if (!r.complete()) {
+    error.kind = RpcErrorKind::Protocol;
+    error.message = "undecodable Shutdown response body";
+  }
+  return error;
+}
+
+}  // namespace cosched

@@ -1,0 +1,268 @@
+#include "rpc/protocol.hpp"
+
+namespace cosched {
+
+const char* to_string(MessageType type) {
+  switch (type) {
+    case MessageType::SubmitJob: return "SubmitJob";
+    case MessageType::QueryJobStatus: return "QueryJobStatus";
+    case MessageType::QueryScheduleSnapshot: return "QueryScheduleSnapshot";
+    case MessageType::GetMetrics: return "GetMetrics";
+    case MessageType::Drain: return "Drain";
+    case MessageType::Shutdown: return "Shutdown";
+  }
+  return "?";
+}
+
+bool valid_message_type(std::uint8_t raw) {
+  return raw >= static_cast<std::uint8_t>(MessageType::SubmitJob) &&
+         raw <= static_cast<std::uint8_t>(MessageType::Shutdown);
+}
+
+const char* to_string(RpcStatus status) {
+  switch (status) {
+    case RpcStatus::Ok: return "ok";
+    case RpcStatus::VersionMismatch: return "version mismatch";
+    case RpcStatus::BadRequest: return "bad request";
+    case RpcStatus::Draining: return "draining";
+    case RpcStatus::InvalidJob: return "invalid job";
+    case RpcStatus::UnknownJob: return "unknown job";
+    case RpcStatus::DeadlineExpired: return "deadline expired";
+    case RpcStatus::ServerError: return "server error";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> encode_request(const RequestEnvelope& request) {
+  WireWriter w;
+  w.u16(request.version);
+  w.u8(static_cast<std::uint8_t>(request.type));
+  w.u64(request.request_id);
+  w.bytes_raw(request.body);
+  return w.take();
+}
+
+bool decode_request(const std::vector<std::uint8_t>& bytes,
+                    RequestEnvelope& request) {
+  WireReader r(bytes);
+  request.version = r.u16();
+  std::uint8_t raw_type = r.u8();
+  request.request_id = r.u64();
+  if (!r.ok() || !valid_message_type(raw_type)) return false;
+  request.type = static_cast<MessageType>(raw_type);
+  request.body.assign(bytes.begin() + static_cast<std::ptrdiff_t>(
+                                          bytes.size() - r.remaining()),
+                      bytes.end());
+  return true;
+}
+
+std::vector<std::uint8_t> encode_response(const ResponseEnvelope& response) {
+  WireWriter w;
+  w.u16(response.version);
+  w.u8(static_cast<std::uint8_t>(response.type));
+  w.u64(response.request_id);
+  w.u8(static_cast<std::uint8_t>(response.status));
+  w.str(response.error);
+  w.bytes_raw(response.body);
+  return w.take();
+}
+
+bool decode_response(const std::vector<std::uint8_t>& bytes,
+                     ResponseEnvelope& response) {
+  WireReader r(bytes);
+  response.version = r.u16();
+  std::uint8_t raw_type = r.u8();
+  response.request_id = r.u64();
+  std::uint8_t raw_status = r.u8();
+  response.error = r.str();
+  if (!r.ok() || !valid_message_type(raw_type) ||
+      raw_status > static_cast<std::uint8_t>(RpcStatus::ServerError))
+    return false;
+  response.type = static_cast<MessageType>(raw_type);
+  response.status = static_cast<RpcStatus>(raw_status);
+  response.body.assign(bytes.begin() + static_cast<std::ptrdiff_t>(
+                                           bytes.size() - r.remaining()),
+                       bytes.end());
+  return true;
+}
+
+// ---- message bodies ------------------------------------------------------
+
+void encode_trace_job(WireWriter& w, const TraceJob& job) {
+  w.real(job.arrival_time);
+  w.str(job.name);
+  w.u8(static_cast<std::uint8_t>(job.kind));
+  w.i32(job.processes);
+  w.real(job.work);
+  w.real(job.miss_rate);
+  w.real(job.sensitivity);
+}
+
+bool decode_trace_job(WireReader& r, TraceJob& job) {
+  job.arrival_time = r.real();
+  job.name = r.str();
+  std::uint8_t kind = r.u8();
+  job.processes = r.i32();
+  job.work = r.real();
+  job.miss_rate = r.real();
+  job.sensitivity = r.real();
+  if (!r.ok() || kind > static_cast<std::uint8_t>(JobKind::Imaginary))
+    return false;
+  job.kind = static_cast<JobKind>(kind);
+  return true;
+}
+
+void encode_job_status_view(WireWriter& w, const JobStatusView& view) {
+  w.i64(view.id);
+  w.str(view.name);
+  w.u8(static_cast<std::uint8_t>(view.phase));
+  w.real(view.arrival_time);
+  w.real(view.admit_time);
+  w.real(view.finish_time);
+  w.real(view.work);
+  w.u32(static_cast<std::uint32_t>(view.procs.size()));
+  for (const JobProcView& proc : view.procs) {
+    w.i64(proc.gid);
+    w.i32(proc.machine);
+    w.real(proc.degradation);
+    w.real(proc.remaining_work);
+  }
+}
+
+bool decode_job_status_view(WireReader& r, JobStatusView& view) {
+  view.id = r.i64();
+  view.name = r.str();
+  std::uint8_t phase = r.u8();
+  view.arrival_time = r.real();
+  view.admit_time = r.real();
+  view.finish_time = r.real();
+  view.work = r.real();
+  std::uint32_t n = r.u32();
+  if (!r.ok() || phase > static_cast<std::uint8_t>(JobPhase::Finished) ||
+      n > r.remaining())
+    return false;
+  view.phase = static_cast<JobPhase>(phase);
+  view.procs.clear();
+  view.procs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    JobProcView proc;
+    proc.gid = r.i64();
+    proc.machine = r.i32();
+    proc.degradation = r.real();
+    proc.remaining_work = r.real();
+    view.procs.push_back(proc);
+  }
+  return r.ok();
+}
+
+void encode_service_snapshot(WireWriter& w, const ServiceSnapshot& snapshot) {
+  w.real(snapshot.now);
+  w.i64(snapshot.pending_jobs);
+  w.i32(snapshot.free_slots);
+  w.u64(snapshot.completions);
+  w.real(snapshot.live_degradation_sum);
+  w.real(snapshot.mean_live_degradation);
+  w.u32(static_cast<std::uint32_t>(snapshot.machines.size()));
+  for (const auto& machine : snapshot.machines) {
+    w.u32(static_cast<std::uint32_t>(machine.size()));
+    for (const ServiceSnapshot::Proc& proc : machine) {
+      w.i64(proc.gid);
+      w.i64(proc.job);
+      w.real(proc.degradation);
+    }
+  }
+}
+
+bool decode_service_snapshot(WireReader& r, ServiceSnapshot& snapshot) {
+  snapshot.now = r.real();
+  snapshot.pending_jobs = r.i64();
+  snapshot.free_slots = r.i32();
+  snapshot.completions = r.u64();
+  snapshot.live_degradation_sum = r.real();
+  snapshot.mean_live_degradation = r.real();
+  std::uint32_t machines = r.u32();
+  if (!r.ok() || machines > r.remaining()) return false;
+  snapshot.machines.clear();
+  snapshot.machines.resize(machines);
+  for (std::uint32_t m = 0; m < machines; ++m) {
+    std::uint32_t procs = r.u32();
+    if (!r.ok() || procs > r.remaining()) return false;
+    snapshot.machines[m].reserve(procs);
+    for (std::uint32_t i = 0; i < procs; ++i) {
+      ServiceSnapshot::Proc proc;
+      proc.gid = r.i64();
+      proc.job = r.i64();
+      proc.degradation = r.real();
+      snapshot.machines[m].push_back(proc);
+    }
+  }
+  return r.ok();
+}
+
+void encode_submit_response(WireWriter& w, const SubmitJobResponse& response) {
+  w.i64(response.job_id);
+  w.real(response.virtual_now);
+  encode_job_status_view(w, response.status);
+}
+
+bool decode_submit_response(WireReader& r, SubmitJobResponse& response) {
+  response.job_id = r.i64();
+  response.virtual_now = r.real();
+  return decode_job_status_view(r, response.status);
+}
+
+void encode_status_response(WireWriter& w, const JobStatusResponse& response) {
+  w.boolean(response.found);
+  w.real(response.virtual_now);
+  encode_job_status_view(w, response.status);
+}
+
+bool decode_status_response(WireReader& r, JobStatusResponse& response) {
+  response.found = r.boolean();
+  response.virtual_now = r.real();
+  return decode_job_status_view(r, response.status);
+}
+
+void encode_metrics_response(WireWriter& w, const MetricsResponse& response) {
+  w.real(response.virtual_now);
+  w.u64(response.arrivals);
+  w.u64(response.admissions);
+  w.u64(response.completions);
+  w.u64(response.replans);
+  w.u64(response.migrations);
+  w.real(response.running_mean_degradation);
+  w.u64(response.cache.hits);
+  w.u64(response.cache.misses);
+  w.u64(response.cache.entries);
+  w.u64(response.cache.evictions);
+  w.str(response.deterministic_csv);
+}
+
+bool decode_metrics_response(WireReader& r, MetricsResponse& response) {
+  response.virtual_now = r.real();
+  response.arrivals = r.u64();
+  response.admissions = r.u64();
+  response.completions = r.u64();
+  response.replans = r.u64();
+  response.migrations = r.u64();
+  response.running_mean_degradation = r.real();
+  response.cache.hits = r.u64();
+  response.cache.misses = r.u64();
+  response.cache.entries = r.u64();
+  response.cache.evictions = r.u64();
+  response.deterministic_csv = r.str();
+  return r.ok();
+}
+
+void encode_drain_response(WireWriter& w, const DrainResponse& response) {
+  w.u64(response.completions);
+  w.real(response.virtual_now);
+}
+
+bool decode_drain_response(WireReader& r, DrainResponse& response) {
+  response.completions = r.u64();
+  response.virtual_now = r.real();
+  return r.ok();
+}
+
+}  // namespace cosched

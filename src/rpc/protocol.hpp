@@ -1,0 +1,140 @@
+// Versioned request/response protocol of the co-scheduling service.
+//
+// Every frame payload (see net/frame.hpp) is one envelope:
+//
+//   request:   version u16 | type u8 | request_id u64 | body ...
+//   response:  version u16 | type u8 | request_id u64 | status u8 |
+//              error str   | body ... (present only when status == Ok)
+//
+// The version is checked before anything else; a mismatched peer gets a
+// VersionMismatch response carrying the server's version, never a silent
+// misparse. The request_id is echoed verbatim so clients can detect
+// desynchronized streams. Bodies reuse the bounds-checked big-endian wire
+// encoding (net/wire.hpp); Reals travel as IEEE-754 bit patterns, which is
+// what makes the RPC submission path byte-identical to trace replay.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "online/live_service.hpp"
+#include "online/scheduler.hpp"
+#include "online/trace.hpp"
+
+namespace cosched {
+
+inline constexpr std::uint16_t kProtocolVersion = 1;
+
+enum class MessageType : std::uint8_t {
+  SubmitJob = 1,
+  QueryJobStatus = 2,
+  QueryScheduleSnapshot = 3,
+  GetMetrics = 4,
+  Drain = 5,
+  Shutdown = 6,
+};
+
+const char* to_string(MessageType type);
+bool valid_message_type(std::uint8_t raw);
+
+/// Application-level outcome carried in every response envelope.
+enum class RpcStatus : std::uint8_t {
+  Ok = 0,
+  VersionMismatch = 1,  ///< peer speaks a different kProtocolVersion
+  BadRequest = 2,       ///< envelope or body failed to decode
+  Draining = 3,         ///< drain mode: no further admissions
+  InvalidJob = 4,       ///< job shape rejected (size, non-positive work)
+  UnknownJob = 5,       ///< job id out of range
+  DeadlineExpired = 6,  ///< server-side per-request deadline ran out
+  ServerError = 7,      ///< internal failure (message has details)
+};
+
+const char* to_string(RpcStatus status);
+
+struct RequestEnvelope {
+  std::uint16_t version = kProtocolVersion;
+  MessageType type = MessageType::GetMetrics;
+  std::uint64_t request_id = 0;
+  std::vector<std::uint8_t> body;
+};
+
+struct ResponseEnvelope {
+  std::uint16_t version = kProtocolVersion;
+  MessageType type = MessageType::GetMetrics;
+  std::uint64_t request_id = 0;
+  RpcStatus status = RpcStatus::Ok;
+  std::string error;  ///< human-readable detail for non-Ok statuses
+  std::vector<std::uint8_t> body;
+};
+
+std::vector<std::uint8_t> encode_request(const RequestEnvelope& request);
+/// False when the bytes are not a structurally valid request (bad version
+/// is still *valid* here — the server answers VersionMismatch).
+bool decode_request(const std::vector<std::uint8_t>& bytes,
+                    RequestEnvelope& request);
+
+std::vector<std::uint8_t> encode_response(const ResponseEnvelope& response);
+bool decode_response(const std::vector<std::uint8_t>& bytes,
+                     ResponseEnvelope& response);
+
+// ---- message bodies ------------------------------------------------------
+
+struct SubmitJobResponse {
+  std::int64_t job_id = -1;
+  Real virtual_now = 0.0;
+  JobStatusView status;
+};
+
+struct JobStatusResponse {
+  bool found = false;
+  Real virtual_now = 0.0;
+  JobStatusView status;
+};
+
+struct MetricsResponse {
+  Real virtual_now = 0.0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t admissions = 0;
+  std::uint64_t completions = 0;
+  std::uint64_t replans = 0;
+  std::uint64_t migrations = 0;
+  Real running_mean_degradation = 0.0;
+  DegradationCache::Stats cache;
+  std::string deterministic_csv;
+};
+
+struct DrainResponse {
+  std::uint64_t completions = 0;
+  Real virtual_now = 0.0;
+};
+
+struct ShutdownResponse {
+  Real virtual_now = 0.0;
+};
+
+// Field-level encoders shared by client and server. Decoders return false
+// on malformed input and leave the output in an unspecified state.
+void encode_trace_job(WireWriter& w, const TraceJob& job);
+bool decode_trace_job(WireReader& r, TraceJob& job);
+
+void encode_job_status_view(WireWriter& w, const JobStatusView& view);
+bool decode_job_status_view(WireReader& r, JobStatusView& view);
+
+void encode_service_snapshot(WireWriter& w, const ServiceSnapshot& snapshot);
+bool decode_service_snapshot(WireReader& r, ServiceSnapshot& snapshot);
+
+void encode_submit_response(WireWriter& w, const SubmitJobResponse& response);
+bool decode_submit_response(WireReader& r, SubmitJobResponse& response);
+
+void encode_status_response(WireWriter& w, const JobStatusResponse& response);
+bool decode_status_response(WireReader& r, JobStatusResponse& response);
+
+void encode_metrics_response(WireWriter& w, const MetricsResponse& response);
+bool decode_metrics_response(WireReader& r, MetricsResponse& response);
+
+void encode_drain_response(WireWriter& w, const DrainResponse& response);
+bool decode_drain_response(WireReader& r, DrainResponse& response);
+
+}  // namespace cosched

@@ -1,0 +1,340 @@
+#include "rpc/server.hpp"
+
+#include <utility>
+
+namespace cosched {
+
+CoschedServer::CoschedServer(ServerOptions options)
+    : options_(std::move(options)) {
+  COSCHED_EXPECTS(options_.worker_threads >= 1);
+  COSCHED_EXPECTS(options_.max_connections >= 1);
+  service_ = std::make_unique<LiveSchedulerService>(options_.service);
+}
+
+CoschedServer::~CoschedServer() { stop(); }
+
+bool CoschedServer::start(std::string& error) {
+  NetStatus status = NetStatus::Ok;
+  listener_ = Socket::listen_on(options_.host, options_.port,
+                                options_.backlog, status);
+  if (status != NetStatus::Ok) {
+    error = std::string("cannot listen on ") + options_.host + ": " +
+            to_string(status);
+    return false;
+  }
+  port_ = listener_.local_port();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    started_ = true;
+    stopping_ = false;
+  }
+  accept_thread_ = std::thread(&CoschedServer::accept_main, this);
+  workers_.reserve(options_.worker_threads);
+  for (std::size_t i = 0; i < options_.worker_threads; ++i)
+    workers_.emplace_back(&CoschedServer::worker_main, this);
+  return true;
+}
+
+void CoschedServer::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  finished_.wait(lock, [&] {
+    return stopping_ || shutdown_requested_.load(std::memory_order_acquire);
+  });
+}
+
+void CoschedServer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!started_) return;
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  finished_.notify_all();
+  // The accept loop and the sessions poll with idle_poll_seconds slices and
+  // re-check the stop flag, so joining here is bounded; the listener is only
+  // closed once no thread can be inside poll() on it.
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& worker : workers_)
+    if (worker.joinable()) worker.join();
+  workers_.clear();
+  listener_.close();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_.clear();
+    started_ = false;
+  }
+  service_->stop();
+}
+
+ServerStats CoschedServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void CoschedServer::accept_main() {
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) return;
+    }
+    NetStatus status = NetStatus::Ok;
+    Socket conn = listener_.accept_connection(
+        Deadline::after(options_.idle_poll_seconds), status);
+    if (status == NetStatus::Timeout) continue;
+    if (status != NetStatus::Ok) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) return;  // listener closed by stop()
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    if (pending_.size() + active_sessions_ >= options_.max_connections) {
+      // At the cap: refuse by closing. The client sees a clean EOF before
+      // any response and reports a transport error it may retry later.
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.rejected_connections;
+      continue;  // `conn` closes as it goes out of scope
+    }
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.accepted_connections;
+    }
+    pending_.push_back(std::move(conn));
+    wake_.notify_one();
+  }
+}
+
+void CoschedServer::worker_main() {
+  while (true) {
+    Socket conn;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stopping_ || !pending_.empty(); });
+      if (stopping_) return;
+      conn = std::move(pending_.front());
+      pending_.pop_front();
+      ++active_sessions_;
+    }
+    serve_connection(std::move(conn));
+    std::lock_guard<std::mutex> lock(mutex_);
+    --active_sessions_;
+  }
+}
+
+void CoschedServer::serve_connection(Socket socket) {
+  std::vector<std::uint8_t> payload;
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) return;
+    }
+    FrameStatus frame_status =
+        read_frame(socket, payload, Deadline::after(options_.idle_poll_seconds),
+                   options_.max_frame_bytes);
+    if (frame_status == FrameStatus::Timeout) continue;  // idle connection
+    if (frame_status == FrameStatus::Closed) return;     // clean disconnect
+    if (frame_status != FrameStatus::Ok) {
+      // Truncated / BadMagic / Oversized: the stream is unusable; count it
+      // and drop the connection.
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.malformed_frames;
+      return;
+    }
+
+    RequestEnvelope request;
+    ResponseEnvelope response;
+    if (!decode_request(payload, request)) {
+      response.status = RpcStatus::BadRequest;
+      response.error = "malformed request envelope";
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.malformed_frames;
+    } else {
+      response = handle_request(request);
+    }
+
+    std::vector<std::uint8_t> bytes = encode_response(response);
+    FrameStatus write_status = write_frame(
+        socket, bytes, Deadline::after(options_.request_deadline_seconds +
+                                       options_.idle_poll_seconds));
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      if (response.status == RpcStatus::Ok)
+        ++stats_.requests_ok;
+      else
+        ++stats_.requests_failed;
+    }
+    if (write_status != FrameStatus::Ok) return;  // peer went away mid-reply
+    if (response.status == RpcStatus::Ok &&
+        response.type == MessageType::Shutdown) {
+      // Acknowledged; trip the latch after the reply is on the wire.
+      shutdown_requested_.store(true, std::memory_order_release);
+      finished_.notify_all();
+      return;
+    }
+  }
+}
+
+ResponseEnvelope CoschedServer::handle_request(const RequestEnvelope& request) {
+  ResponseEnvelope response;
+  response.type = request.type;
+  response.request_id = request.request_id;
+  if (request.version != kProtocolVersion) {
+    response.status = RpcStatus::VersionMismatch;
+    response.error = "server speaks protocol version " +
+                     std::to_string(kProtocolVersion);
+    return response;
+  }
+
+  // Per-request server-side budget. The same budget bounds the wait on the
+  // scheduler thread; an expired deadline is reported, not worked through.
+  Deadline deadline = Deadline::after(options_.request_deadline_seconds);
+  auto remaining_seconds = [&]() -> double {
+    int ms = deadline.remaining_ms();
+    return ms < 0 ? -1.0 : static_cast<double>(ms) / 1000.0;
+  };
+  if (deadline.expired()) {
+    response.status = RpcStatus::DeadlineExpired;
+    response.error = "request budget exhausted before dispatch";
+    return response;
+  }
+
+  WireWriter body;
+  WireReader reader(request.body);
+  switch (request.type) {
+    case MessageType::SubmitJob: {
+      TraceJob job;
+      if (!decode_trace_job(reader, job) || !reader.complete()) {
+        response.status = RpcStatus::BadRequest;
+        response.error = "malformed SubmitJob body";
+        return response;
+      }
+      SubmitOutcome outcome;
+      if (!service_->submit(job, outcome, remaining_seconds())) {
+        response.status = RpcStatus::DeadlineExpired;
+        response.error = "scheduler did not answer within the budget";
+        return response;
+      }
+      if (outcome.error == SubmitError::Draining) {
+        response.status = RpcStatus::Draining;
+        response.error = "service is draining; admissions stopped";
+        return response;
+      }
+      if (outcome.error == SubmitError::Invalid) {
+        response.status = RpcStatus::InvalidJob;
+        response.error = "job shape rejected (processes in [1, " +
+                         std::to_string(service_->total_cores()) +
+                         "], work > 0)";
+        return response;
+      }
+      SubmitJobResponse reply;
+      reply.job_id = outcome.job_id;
+      reply.virtual_now = outcome.virtual_now;
+      reply.status = outcome.status;
+      encode_submit_response(body, reply);
+      break;
+    }
+    case MessageType::QueryJobStatus: {
+      std::int64_t job_id = reader.i64();
+      if (!reader.complete()) {
+        response.status = RpcStatus::BadRequest;
+        response.error = "malformed QueryJobStatus body";
+        return response;
+      }
+      StatusOutcome outcome;
+      if (!service_->job_status(job_id, outcome, remaining_seconds())) {
+        response.status = RpcStatus::DeadlineExpired;
+        response.error = "scheduler did not answer within the budget";
+        return response;
+      }
+      if (!outcome.found) {
+        response.status = RpcStatus::UnknownJob;
+        response.error = "no job with id " + std::to_string(job_id);
+        return response;
+      }
+      JobStatusResponse reply;
+      reply.found = true;
+      reply.virtual_now = outcome.virtual_now;
+      reply.status = outcome.status;
+      encode_status_response(body, reply);
+      break;
+    }
+    case MessageType::QueryScheduleSnapshot: {
+      if (!reader.complete()) {
+        response.status = RpcStatus::BadRequest;
+        response.error = "unexpected QueryScheduleSnapshot body";
+        return response;
+      }
+      ServiceSnapshot snapshot;
+      if (!service_->snapshot(snapshot, remaining_seconds())) {
+        response.status = RpcStatus::DeadlineExpired;
+        response.error = "scheduler did not answer within the budget";
+        return response;
+      }
+      encode_service_snapshot(body, snapshot);
+      break;
+    }
+    case MessageType::GetMetrics: {
+      if (!reader.complete()) {
+        response.status = RpcStatus::BadRequest;
+        response.error = "unexpected GetMetrics body";
+        return response;
+      }
+      MetricsOutcome outcome;
+      if (!service_->metrics(outcome, remaining_seconds())) {
+        response.status = RpcStatus::DeadlineExpired;
+        response.error = "scheduler did not answer within the budget";
+        return response;
+      }
+      MetricsResponse reply;
+      reply.virtual_now = outcome.virtual_now;
+      reply.arrivals = outcome.arrivals;
+      reply.admissions = outcome.admissions;
+      reply.completions = outcome.completions;
+      reply.replans = outcome.replans;
+      reply.migrations = outcome.migrations;
+      reply.running_mean_degradation = outcome.running_mean_degradation;
+      reply.cache = outcome.cache;
+      reply.deterministic_csv = outcome.deterministic_csv;
+      encode_metrics_response(body, reply);
+      break;
+    }
+    case MessageType::Drain: {
+      if (!reader.complete()) {
+        response.status = RpcStatus::BadRequest;
+        response.error = "unexpected Drain body";
+        return response;
+      }
+      DrainOutcome outcome;
+      if (!service_->drain(outcome, remaining_seconds())) {
+        response.status = RpcStatus::DeadlineExpired;
+        response.error = "drain did not finish within the budget";
+        return response;
+      }
+      DrainResponse reply;
+      reply.completions = outcome.completions;
+      reply.virtual_now = outcome.virtual_now;
+      encode_drain_response(body, reply);
+      break;
+    }
+    case MessageType::Shutdown: {
+      if (!reader.complete()) {
+        response.status = RpcStatus::BadRequest;
+        response.error = "unexpected Shutdown body";
+        return response;
+      }
+      body.real(0.0);  // virtual_now placeholder when metrics unavailable
+      MetricsOutcome outcome;
+      if (service_->metrics(outcome, remaining_seconds())) {
+        WireWriter fresh;
+        fresh.real(outcome.virtual_now);
+        body = std::move(fresh);
+      }
+      break;
+    }
+  }
+  response.status = RpcStatus::Ok;
+  response.body = body.take();
+  return response;
+}
+
+}  // namespace cosched

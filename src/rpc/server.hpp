@@ -1,0 +1,124 @@
+// CoschedServer — TCP front door of the online co-scheduling service.
+//
+// Threading model (see DESIGN.md §net/rpc):
+//
+//   accept thread ──> connection queue ──> N session workers
+//                                             │  (frame <-> envelope)
+//                                             v
+//                                     LiveSchedulerService
+//                                     (1 scheduler thread, FIFO commands)
+//
+// The accept loop is non-blocking and enforces the connection cap: when
+// `max_connections` sessions are active, new connections are closed
+// immediately (counted in stats().rejected_connections) instead of queueing
+// unbounded work. Each worker owns one connection at a time and serves its
+// requests sequentially; every request gets a fresh server-side deadline
+// (`request_deadline_seconds`), checked before dispatch and used as the
+// timeout of the scheduler-thread command — an expired budget turns into an
+// RpcStatus::DeadlineExpired response, never a stuck worker.
+//
+// Shutdown paths: an RPC Shutdown request acknowledges, then trips the same
+// latch as stop(); wait() blocks until either fires. Drain is forwarded to
+// the service — admissions stop, queued jobs finish, the fleet empties.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "online/live_service.hpp"
+#include "rpc/protocol.hpp"
+
+namespace cosched {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; read back with port()
+  int backlog = 16;
+  std::size_t worker_threads = 2;
+  /// Connection cap: sessions beyond this are refused at accept time.
+  std::size_t max_connections = 32;
+  /// Server-side budget per request, seconds. <= 0 expires immediately
+  /// (useful only for testing the DeadlineExpired path).
+  double request_deadline_seconds = 10.0;
+  /// How long a worker blocks waiting for the next frame before re-checking
+  /// the stop flag. Purely a responsiveness knob.
+  double idle_poll_seconds = 0.2;
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  LiveServiceOptions service;
+};
+
+struct ServerStats {
+  std::uint64_t accepted_connections = 0;
+  std::uint64_t rejected_connections = 0;  ///< closed at the cap
+  std::uint64_t requests_ok = 0;
+  std::uint64_t requests_failed = 0;  ///< non-Ok responses sent
+  std::uint64_t malformed_frames = 0;  ///< bad magic / oversized / truncated
+};
+
+class CoschedServer {
+ public:
+  explicit CoschedServer(ServerOptions options);
+  ~CoschedServer();
+
+  CoschedServer(const CoschedServer&) = delete;
+  CoschedServer& operator=(const CoschedServer&) = delete;
+
+  /// Binds the listener and launches the accept loop + workers. False (with
+  /// `error` filled) when the address cannot be bound.
+  bool start(std::string& error);
+
+  /// Port actually bound (after start()).
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks until stop() is called or an RPC Shutdown arrives.
+  void wait();
+
+  /// True once a Shutdown request has been received.
+  bool shutdown_requested() const {
+    return shutdown_requested_.load(std::memory_order_acquire);
+  }
+
+  /// Stops accepting, unblocks workers, joins all threads. Idempotent.
+  void stop();
+
+  LiveSchedulerService& service() { return *service_; }
+  ServerStats stats() const;
+
+ private:
+  void accept_main();
+  void worker_main();
+  void serve_connection(Socket socket);
+  /// Decodes, dispatches and encodes one request.
+  ResponseEnvelope handle_request(const RequestEnvelope& request);
+
+  ServerOptions options_;
+  std::unique_ptr<LiveSchedulerService> service_;
+  Socket listener_;
+  std::uint16_t port_ = 0;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;      ///< workers: connection queue
+  std::condition_variable finished_;  ///< wait(): shutdown latch
+  std::deque<Socket> pending_;
+  std::size_t active_sessions_ = 0;
+  bool stopping_ = false;
+  bool started_ = false;
+  std::atomic<bool> shutdown_requested_{false};
+
+  mutable std::mutex stats_mutex_;
+  ServerStats stats_;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cosched

@@ -4,7 +4,12 @@
 // replan property (never worse than staying put).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -428,6 +433,171 @@ TEST(OnlineService, SharedOracleCacheGetsReuse) {
   auto s = service.oracle_cache().stats();
   EXPECT_GT(s.entries, 0u);
   EXPECT_GT(s.hits, s.misses);  // replans re-query overlapping live sets
+}
+
+// ------------------------------------------------- open-world interface
+
+// run(trace) is documented as exactly begin + submit* + finish; driving the
+// incremental interface by hand — with arbitrary extra pump() calls thrown
+// in — must leave byte-identical observables. This is what makes the RPC
+// submission path equivalent to trace replay.
+TEST(OnlineService, IncrementalInterfaceMatchesRunByteForByte) {
+  WorkloadTrace trace = small_trace(9);
+  OnlineSchedulerOptions options = small_service_options();
+
+  OnlineScheduler batch(options);
+  batch.run(trace);
+
+  OnlineScheduler incremental(options);
+  incremental.begin();
+  std::size_t i = 0;
+  for (const TraceJob& job : trace.jobs) {
+    std::int64_t id = incremental.submit(job);
+    EXPECT_EQ(id, static_cast<std::int64_t>(i++));
+    // Redundant pumps at and before the arrival must be invisible.
+    incremental.pump(job.arrival_time);
+    incremental.pump(job.arrival_time * 0.5);
+  }
+  incremental.finish();
+
+  EXPECT_EQ(batch.log().render_csv(), incremental.log().render_csv());
+  EXPECT_EQ(batch.metrics().render_deterministic_csv(),
+            incremental.metrics().render_deterministic_csv());
+}
+
+TEST(OnlineService, JobStatusTracksLifecycle) {
+  OnlineScheduler service(small_service_options());
+  service.begin();
+  TraceJob job;
+  job.name = "tracked";
+  job.arrival_time = 1.0;
+  job.work = 4.0;
+  std::int64_t id = service.submit(job);
+  EXPECT_EQ(service.job_status(id).phase, JobPhase::Pending);
+  service.pump(1.0);  // arrival: idle fleet admits immediately
+  JobStatusView running = service.job_status(id);
+  EXPECT_EQ(running.phase, JobPhase::Running);
+  ASSERT_EQ(running.procs.size(), 1u);
+  EXPECT_GE(running.procs[0].machine, 0);
+  EXPECT_EQ(running.procs[0].remaining_work, 4.0);
+  service.finish();
+  JobStatusView done = service.job_status(id);
+  EXPECT_EQ(done.phase, JobPhase::Finished);
+  EXPECT_GE(done.finish_time, done.admit_time);
+  ServiceSnapshot snapshot = service.service_snapshot();
+  EXPECT_EQ(snapshot.completions, 1u);
+  EXPECT_EQ(snapshot.free_slots, service.total_cores());
+}
+
+// The admission max-wait backstop in plain trace replay: with a trigger
+// that never fires on its own, a waiting job is force-admitted exactly
+// max_wait after arrival.
+TEST(OnlineService, MaxWaitBackstopFiresInTraceReplay) {
+  OnlineSchedulerOptions options = small_service_options();
+  options.admission.every_k = 100;  // the batch trigger never fills
+  options.admission.max_wait = 5.0;
+
+  WorkloadTrace trace;
+  TraceJob hog;  // idle-fleet rule admits it instantly, then occupies a core
+  hog.name = "hog";
+  hog.arrival_time = 0.0;
+  hog.work = 100.0;
+  trace.jobs.push_back(hog);
+  TraceJob waiter;  // nothing admits it but the backstop
+  waiter.name = "waiter";
+  waiter.arrival_time = 1.0;
+  waiter.work = 2.0;
+  trace.jobs.push_back(waiter);
+
+  OnlineScheduler service(options);
+  service.run(trace);
+  JobStatusView status = service.job_status(1);
+  EXPECT_EQ(status.phase, JobPhase::Finished);
+  EXPECT_EQ(status.admit_time,
+            waiter.arrival_time + options.admission.max_wait);
+  EXPECT_EQ(service.metrics().completions(), 2u);
+}
+
+// ------------------------------------------------- cache compaction
+
+// Epoch-based eviction keeps a long-lived service's cache bounded: over
+// many completion epochs the resident entry count plateaus instead of
+// growing with every job that ever ran.
+TEST(OracleCache, CompactionPlateausResidentEntries) {
+  OnlineSchedulerOptions options = small_service_options();
+  options.cache_compaction_jobs = 4;
+  OnlineScheduler service(options);
+  service.begin();
+
+  WorkloadTrace stream = small_trace(10, 64);
+  std::size_t peak_early = 0;
+  std::size_t last_wave = 0;
+  std::size_t wave = 0;
+  for (std::size_t start = 0; start < stream.jobs.size(); start += 8, ++wave) {
+    Real horizon = 0.0;
+    for (std::size_t j = start;
+         j < std::min(start + 8, stream.jobs.size()); ++j) {
+      service.submit(stream.jobs[j]);
+      horizon = stream.jobs[j].arrival_time;
+    }
+    service.pump(horizon + 1000.0);  // complete the whole wave
+    std::size_t entries =
+        static_cast<std::size_t>(service.oracle_cache().stats().entries);
+    if (wave < 3) peak_early = std::max(peak_early, entries);
+    last_wave = entries;
+  }
+  service.finish();
+
+  EXPECT_GT(service.oracle_cache().stats().evictions, 0u);
+  // Plateau: after 8 waves the cache is no bigger than its early peak.
+  EXPECT_LE(last_wave, peak_early);
+  EXPECT_EQ(service.metrics().completions(), 64u);
+}
+
+TEST(OracleCache, EvictDeadDropsOnlyDeadEntries) {
+  DegradationCachePtr cache = std::make_shared<DegradationCache>();
+  // Entries over ids {1,2}, {2,3}, {7}: killing 3 must only drop {2,3}.
+  cache->insert(DegradationCache::make_key(1, {2}), 0.25);
+  cache->insert(DegradationCache::make_key(2, {3}), 0.5);
+  cache->insert(DegradationCache::make_key(7, {}), 0.75);
+  ASSERT_EQ(cache->stats().entries, 3u);
+
+  std::vector<ProcessId> live = {1, 2, 7};
+  EXPECT_EQ(cache->evict_dead(live), 1u);
+  EXPECT_EQ(cache->stats().entries, 2u);
+  EXPECT_EQ(cache->stats().evictions, 1u);
+  Real value = 0.0;
+  EXPECT_TRUE(cache->lookup(DegradationCache::make_key(1, {2}), value));
+  EXPECT_EQ(value, 0.25);
+  EXPECT_FALSE(cache->lookup(DegradationCache::make_key(2, {3}), value));
+  EXPECT_TRUE(cache->lookup(DegradationCache::make_key(7, {}), value));
+}
+
+// ------------------------------------------------- metrics CSV writer
+
+TEST(Metrics, WriteCsvsCreatesMissingDirectories) {
+  WorkloadTrace trace = small_trace(11, 6);
+  OnlineScheduler service(small_service_options());
+  service.run(trace);
+
+  namespace fs = std::filesystem;
+  fs::path root = fs::temp_directory_path() /
+                  ("cosched_metrics_test_" + std::to_string(::getpid()));
+  fs::path dir = root / "deep" / "nested";
+  fs::remove_all(root);
+  ASSERT_FALSE(fs::exists(dir));
+
+  std::vector<std::string> paths =
+      service.metrics().write_csvs(dir.string(), "svc");
+  ASSERT_EQ(paths.size(), 3u);  // summary, histograms, replans
+  for (const std::string& path : paths) {
+    EXPECT_TRUE(fs::exists(path)) << path;
+    std::ifstream in(path);
+    std::string first_line;
+    ASSERT_TRUE(std::getline(in, first_line)) << path;
+    EXPECT_NE(first_line.find(','), std::string::npos);
+  }
+  fs::remove_all(root);
 }
 
 }  // namespace
