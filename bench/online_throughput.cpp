@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "obs/trace.hpp"
 #include "online/scheduler.hpp"
 #include "util/timer.hpp"
 
@@ -65,6 +66,11 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       static_cast<std::uint64_t>(args.get_int("seed", 7));
   const std::string out_dir = args.get_string("out-dir", "results");
+  // Tracing stays runtime-off by default (the overhead smoke compares
+  // against exactly this configuration); --trace-out opts in and writes a
+  // Chrome trace-event JSON loadable in Perfetto.
+  const std::string trace_out = args.get_string("trace-out", "");
+  if (!trace_out.empty()) Tracer::global().set_enabled(true);
 
   print_experiment_header(
       "online service throughput (extension; Aupy et al. online regime)",
@@ -159,6 +165,11 @@ int main(int argc, char** argv) {
 
   std::cout << "total bench wall time: " << TextTable::fmt(total.seconds(), 1)
             << " s\n";
+
+  if (!trace_out.empty()) {
+    if (Tracer::global().write_chrome_json(trace_out))
+      std::cout << "wrote " << trace_out << "\n";
+  }
 
   if (hastar_everyk_degradation < 0.0 || random_everyk_degradation < 0.0 ||
       hastar_everyk_degradation > random_everyk_degradation + 1e-9) {

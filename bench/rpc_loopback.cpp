@@ -6,14 +6,24 @@
 // is used so the numbers measure the transport + scheduler-thread handoff,
 // not simulated job durations.
 //
+// Latencies are accumulated in the shared fixed-bucket Histogram (one per
+// client, merged at the end), so the p50/p95/p99 reported here are the same
+// bucket-interpolated quantiles the /metrics exposition serves — not a
+// second, subtly different sort-based estimator.
+//
 //   ./rpc_loopback --jobs 200 --clients 4 --scale 1
-#include <algorithm>
+//   ./rpc_loopback --trace-out traces/loopback.json \
+//                  --metrics-out traces/loopback_metrics.txt
 #include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <thread>
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "obs/histogram.hpp"
+#include "obs/trace.hpp"
 #include "rpc/client.hpp"
 #include "rpc/server.hpp"
 
@@ -21,8 +31,16 @@ namespace {
 
 using namespace cosched;
 
+// Bucket edges in milliseconds; the overflow bucket catches outliers and
+// quantile() clamps into it using the observed max.
+std::vector<Real> latency_edges_ms() {
+  return {0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+          250.0, 500.0, 1000.0};
+}
+
 struct ClientLoad {
-  std::vector<double> latencies_ms;
+  Histogram latency_ms{latency_edges_ms()};
+  std::uint64_t requests = 0;
   std::uint64_t errors = 0;
 };
 
@@ -31,7 +49,6 @@ void drive_client(std::uint16_t port, const WorkloadTrace& trace,
   ClientOptions options;
   options.port = port;
   CoschedClient client(options);
-  load.latencies_ms.reserve(trace.jobs.size());
   // Arrival times are kept from the generated trace: flooding everything at
   // t=0 would saturate the fleet and every replan would be a dense 32-slot
   // solve — that benchmarks HA*, not the transport.
@@ -44,16 +61,52 @@ void drive_client(std::uint16_t port, const WorkloadTrace& trace,
       ++load.errors;
       continue;
     }
-    load.latencies_ms.push_back(
+    ++load.requests;
+    load.latency_ms.add(
         std::chrono::duration<double, std::milli>(end - begin).count());
   }
 }
 
-double percentile(std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  std::size_t index = static_cast<std::size_t>(
-      p * static_cast<double>(sorted.size() - 1) / 100.0 + 0.5);
-  return sorted[std::min(index, sorted.size() - 1)];
+/// One-shot HTTP/1.0 GET against the server's observability port; returns
+/// the response body (headers stripped) or empty on any failure.
+std::string http_get(const std::string& host, std::uint16_t port,
+                     const std::string& path) {
+  NetStatus status = NetStatus::Ok;
+  Deadline deadline = Deadline::after(5.0);
+  Socket socket = Socket::connect_to(host, port, deadline, status);
+  if (status != NetStatus::Ok) return {};
+  std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  if (socket.send_all(request.data(), request.size(), deadline) !=
+      NetStatus::Ok)
+    return {};
+  socket.shutdown_send();
+  std::string response;
+  char chunk[4096];
+  while (true) {
+    std::size_t got = 0;
+    NetStatus recv_status =
+        socket.recv_some(chunk, sizeof(chunk), got, deadline);
+    if (recv_status == NetStatus::Closed) break;
+    if (recv_status != NetStatus::Ok) return {};
+    response.append(chunk, got);
+  }
+  std::size_t body_at = response.find("\r\n\r\n");
+  if (body_at == std::string::npos) return {};
+  if (response.rfind("HTTP/1.0 200", 0) != 0 &&
+      response.rfind("HTTP/1.1 200", 0) != 0)
+    return {};
+  return response.substr(body_at + 4);
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::path parent = fs::path(path).parent_path();
+  if (!parent.empty()) fs::create_directories(parent, ec);
+  std::ofstream out(path);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
 }
 
 }  // namespace
@@ -63,6 +116,10 @@ int main(int argc, char** argv) {
   std::int64_t scale = args.get_int("scale", 1);
   std::int64_t jobs_per_client = args.get_int("jobs", 100) * scale;
   std::int64_t client_count = args.get_int("clients", 2);
+  std::string trace_out = args.get_string("trace-out", "");
+  std::string metrics_out = args.get_string("metrics-out", "");
+
+  if (!trace_out.empty()) Tracer::global().set_enabled(true);
 
   print_experiment_header(
       "rpc_loopback",
@@ -119,38 +176,47 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+
+  if (!metrics_out.empty()) {
+    std::string exposition =
+        http_get(server_options.host, server.http_port(), "/metrics");
+    if (exposition.empty())
+      std::cerr << "rpc_loopback: GET /metrics failed\n";
+    else if (write_text_file(metrics_out, exposition))
+      std::cout << "wrote " << metrics_out << "\n";
+  }
+
   ServerStats stats = server.stats();
   server.stop();
 
-  std::vector<double> all;
+  Histogram all(latency_edges_ms());
+  std::uint64_t requests = 0;
   std::uint64_t errors = 0;
   for (const ClientLoad& load : loads) {
-    all.insert(all.end(), load.latencies_ms.begin(), load.latencies_ms.end());
+    all.merge(load.latency_ms);
+    requests += load.requests;
     errors += load.errors;
   }
-  std::sort(all.begin(), all.end());
   double wall_seconds = std::chrono::duration<double>(end - begin).count();
-  double sum = 0.0;
-  for (double v : all) sum += v;
 
   TextTable table({"metric", "value"});
   table.add_row({"clients", TextTable::fmt_int(client_count)});
   table.add_row({"requests ok",
-                 TextTable::fmt_int(static_cast<std::int64_t>(all.size()))});
+                 TextTable::fmt_int(static_cast<std::int64_t>(requests))});
   table.add_row(
       {"requests failed", TextTable::fmt_int(static_cast<std::int64_t>(errors))});
   table.add_row({"wall seconds", TextTable::fmt(wall_seconds, 3)});
   table.add_row(
       {"throughput req/s",
        TextTable::fmt(wall_seconds > 0.0
-                          ? static_cast<double>(all.size()) / wall_seconds
+                          ? static_cast<double>(requests) / wall_seconds
                           : 0.0,
                       1)});
-  table.add_row({"latency mean ms",
-                 TextTable::fmt(all.empty() ? 0.0 : sum / all.size(), 3)});
-  table.add_row({"latency p50 ms", TextTable::fmt(percentile(all, 50), 3)});
-  table.add_row({"latency p95 ms", TextTable::fmt(percentile(all, 95), 3)});
-  table.add_row({"latency p99 ms", TextTable::fmt(percentile(all, 99), 3)});
+  table.add_row({"latency mean ms", TextTable::fmt(all.mean(), 3)});
+  table.add_row({"latency p50 ms", TextTable::fmt(all.quantile(0.5), 3)});
+  table.add_row({"latency p95 ms", TextTable::fmt(all.quantile(0.95), 3)});
+  table.add_row({"latency p99 ms", TextTable::fmt(all.quantile(0.99), 3)});
+  table.add_row({"latency max ms", TextTable::fmt(all.max(), 3)});
   table.add_row({"jobs completed",
                  TextTable::fmt_int(static_cast<std::int64_t>(
                      drained.completions))});
@@ -160,6 +226,10 @@ int main(int argc, char** argv) {
   std::cout << table.render() << "\n";
   write_csv(args.get_string("out", "results"), "rpc_loopback", table);
 
-  std::uint64_t expected = static_cast<std::uint64_t>(all.size());
-  return drained.completions == expected && errors == 0 ? 0 : 1;
+  if (!trace_out.empty()) {
+    if (Tracer::global().write_chrome_json(trace_out))
+      std::cout << "wrote " << trace_out << "\n";
+  }
+
+  return drained.completions == requests && errors == 0 ? 0 : 1;
 }

@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "harness/experiment.hpp"
+#include "obs/trace.hpp"
 #include "rpc/server.hpp"
 
 int main(int argc, char** argv) {
@@ -25,6 +26,13 @@ int main(int argc, char** argv) {
   options.max_connections =
       static_cast<std::size_t>(args.get_int("max-connections", 32));
   options.request_deadline_seconds = args.get_real("deadline", 10.0);
+  // Observability side door (GET /metrics, /healthz). 0 picks an ephemeral
+  // port; --metrics-port -1 disables the endpoint entirely.
+  std::int64_t metrics_port = args.get_int("metrics-port", 7718);
+  options.enable_http = metrics_port >= 0;
+  if (options.enable_http)
+    options.http_port = static_cast<std::uint16_t>(metrics_port);
+  if (args.get_int("trace", 0) != 0) Tracer::global().set_enabled(true);
 
   options.service.wall_clock = args.get_int("virtual", 0) == 0;
   options.service.wall_time_scale = args.get_real("wall-scale", 4.0);
@@ -48,8 +56,11 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "cosched rpc_server listening on " << options.host << ":"
-            << server.port() << "\n"
-            << "  fleet: " << options.service.scheduler.machines
+            << server.port() << "\n";
+  if (server.http_port() != 0)
+    std::cout << "  metrics: curl http://" << options.host << ":"
+              << server.http_port() << "/metrics\n";
+  std::cout << "  fleet: " << options.service.scheduler.machines
             << " machines x " << options.service.scheduler.cores << " cores, "
             << (options.service.wall_clock ? "wall-clock" : "virtual-time")
             << " mode\n"

@@ -7,6 +7,8 @@
 
 #include "graph/condensation.hpp"
 #include "graph/level_stats.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
 #include "util/combinatorics.hpp"
 #include "util/dynamic_bitset.hpp"
 #include "util/timer.hpp"
@@ -52,6 +54,9 @@ class Engine {
   SearchResult run() {
     SearchResult result;
     WallTimer total_timer;
+    COSCHED_TRACE_SPAN(search_span, "astar.search", -1.0,
+                       options_.heuristic_search ? "variant=HA*"
+                                                 : "variant=OA*");
 
     prepare_level_stats(result.stats);
     condense_ = options_.condense && num_parallel_ > 0;
@@ -79,6 +84,7 @@ class Engine {
       run_beam(result, search_timer);
       stats_.search_seconds = search_timer.seconds();
       result.stats = stats_;
+      flush_observability();
       return result;
     }
 
@@ -103,12 +109,43 @@ class Engine {
 
     stats_.search_seconds = search_timer.seconds();
     result.stats = stats_;
+    flush_observability();
     return result;
   }
 
  private:
+  /// One batched registry/trace update per solve: a map lookup and a few
+  /// relaxed adds, instead of contended increments inside the expansion
+  /// loop (the "tracing compiled in but off costs nothing" budget).
+  void flush_observability() {
+    MetricsRegistry& reg = MetricsRegistry::global();
+    reg.counter("cosched_astar_searches_total", "graph searches run")
+        .inc();
+    reg.counter("cosched_astar_expansions_total", "subpaths expanded")
+        .inc(stats_.expanded);
+    reg.counter("cosched_astar_generated_total",
+                "successor subpaths evaluated")
+        .inc(stats_.generated);
+    reg.counter("cosched_astar_dismissed_total",
+                "successors pruned by dismissal")
+        .inc(stats_.dismissed);
+    reg.counter("cosched_astar_beam_pruned_total",
+                "live candidates cut at beam depth synchronization")
+        .inc(stats_.beam_pruned);
+    reg.counter("cosched_astar_heuristic_evals_total", "h(v) evaluations")
+        .inc(stats_.heuristic_evals);
+    COSCHED_TRACE_COUNTER("astar.expansions",
+                          static_cast<double>(stats_.expanded));
+    COSCHED_TRACE_COUNTER("astar.heuristic_evals",
+                          static_cast<double>(stats_.heuristic_evals));
+    if (beam_mode_)
+      COSCHED_TRACE_COUNTER("astar.beam_pruned",
+                            static_cast<double>(stats_.beam_pruned));
+  }
+
   void prepare_level_stats(SearchStats& out) {
     if (options_.heuristic == HeuristicKind::None) return;
+    COSCHED_TRACE_SPAN(precompute_span, "astar.precompute");
     WallTimer timer;
     std::uint64_t total = binomial(static_cast<std::uint64_t>(n_),
                                    static_cast<std::uint64_t>(u_));
@@ -188,6 +225,13 @@ class Engine {
         if (static_cast<std::int32_t>(frontier.size()) >= beam_width_)
           break;
       }
+      // Everything alive this depth that did not make the frontier is a
+      // beam prune (shortlist rejects and shortlist overflow alike).
+      std::uint64_t alive_candidates = 0;
+      for (const auto& [f, cand_idx] : beam_next_)
+        if (states_[static_cast<std::size_t>(cand_idx)].alive)
+          ++alive_candidates;
+      stats_.beam_pruned += alive_candidates - frontier.size();
       if (frontier.empty()) return;  // should not happen on valid inputs
     }
     // The frontier now holds complete schedules; pick the cheapest.
@@ -246,6 +290,7 @@ class Engine {
     std::int32_t remaining = n_ - rec.q;
     if (remaining == 0 || options_.heuristic == HeuristicKind::None)
       return 0.0;
+    ++stats_.heuristic_evals;
     std::int32_t k = remaining / u_;
     std::vector<ProcessId> unscheduled;
     rec.scheduled.collect_clear(unscheduled);
@@ -363,6 +408,7 @@ class Engine {
 
     auto successor_h = [&](std::span<const ProcessId> node) -> Real {
       if (remaining_after == 0) return 0.0;
+      ++stats_.heuristic_evals;
       if (beam_mode_) return beam_h(node);
       switch (options_.heuristic) {
         case HeuristicKind::None: return 0.0;

@@ -70,6 +70,9 @@ struct SearchStats {
                                       ///< list (the Table IV metric)
   std::uint64_t dismissed = 0;        ///< successors pruned by the dismissal
   std::uint64_t condensed_skips = 0;  ///< successors pruned by condensation
+  std::uint64_t beam_pruned = 0;      ///< live candidates cut at beam depth
+                                      ///< synchronization
+  std::uint64_t heuristic_evals = 0;  ///< h(v) evaluations (root + successor)
   double precompute_seconds = 0.0;    ///< level statistics construction
   double search_seconds = 0.0;
   double total_seconds() const { return precompute_seconds + search_seconds; }

@@ -100,6 +100,7 @@ std::size_t DegradationCache::evict_dead(std::span<const ProcessId> live_ids) {
     }
   }
   evictions_.fetch_add(evicted, std::memory_order_relaxed);
+  compactions_.fetch_add(1, std::memory_order_relaxed);
   return evicted;
 }
 
@@ -108,6 +109,7 @@ DegradationCache::Stats DegradationCache::stats() const {
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.compactions = compactions_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
     s.entries += shard->map.size();

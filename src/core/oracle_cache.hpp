@@ -43,7 +43,8 @@ class DegradationCache {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t entries = 0;
-    std::uint64_t evictions = 0;  ///< entries dropped by evict_dead()
+    std::uint64_t evictions = 0;    ///< entries dropped by evict_dead()
+    std::uint64_t compactions = 0;  ///< evict_dead() passes run
     Real hit_rate() const {
       std::uint64_t total = hits + misses;
       return total == 0 ? 0.0 : static_cast<Real>(hits) /
@@ -85,6 +86,7 @@ class DegradationCache {
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> compactions_{0};
 };
 
 using DegradationCachePtr = std::shared_ptr<DegradationCache>;

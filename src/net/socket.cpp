@@ -256,6 +256,29 @@ NetStatus Socket::recv_all(void* data, std::size_t len,
   return NetStatus::Ok;
 }
 
+NetStatus Socket::recv_some(void* data, std::size_t max_len,
+                            std::size_t& received, const Deadline& deadline) {
+  received = 0;
+  if (!valid()) return NetStatus::Closed;
+  while (true) {
+    if (deadline.expired()) return NetStatus::Timeout;
+    ssize_t n = ::recv(fd_, data, max_len, MSG_DONTWAIT);
+    if (n > 0) {
+      received = static_cast<std::size_t>(n);
+      return NetStatus::Ok;
+    }
+    if (n == 0) return NetStatus::Closed;  // peer EOF
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      NetStatus st = poll_fd(fd_, POLLIN, deadline);
+      if (st != NetStatus::Ok) return st;
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == ECONNRESET) return NetStatus::Closed;
+    return NetStatus::Error;
+  }
+}
+
 NetStatus Socket::wait_readable(const Deadline& deadline) {
   if (!valid()) return NetStatus::Closed;
   return poll_fd(fd_, POLLIN, deadline);

@@ -86,6 +86,13 @@ class Socket {
   /// the two by how much it had already read).
   NetStatus recv_all(void* data, std::size_t len, const Deadline& deadline);
 
+  /// Receives at most `max_len` bytes — whatever one recv() returns once
+  /// the socket is readable. For self-delimiting text protocols (the
+  /// /metrics HTTP endpoint) where the total length is unknown up front.
+  /// `received` is 0 on any non-Ok status; Closed = clean peer EOF.
+  NetStatus recv_some(void* data, std::size_t max_len, std::size_t& received,
+                      const Deadline& deadline);
+
   /// Waits until the socket is readable. NetStatus::Ok means "poll says
   /// readable" — a subsequent recv may still return 0 (peer closed).
   NetStatus wait_readable(const Deadline& deadline);

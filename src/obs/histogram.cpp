@@ -1,0 +1,80 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace cosched {
+
+Histogram::Histogram(std::vector<Real> upper_edges)
+    : edges_(std::move(upper_edges)), counts_(edges_.size() + 1, 0) {
+  for (std::size_t i = 1; i < edges_.size(); ++i)
+    COSCHED_EXPECTS(edges_[i - 1] < edges_[i]);
+}
+
+void Histogram::add(Real x) {
+  if (std::isnan(x) || x < 0.0) {
+    ++invalid_;
+    return;
+  }
+  std::size_t bucket = edges_.size();
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (x <= edges_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++counts_[bucket];
+  ++count_;
+  sum_ += x;
+  if (count_ == 1 || x > max_) max_ = x;
+}
+
+Real Histogram::quantile(Real q) const {
+  COSCHED_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) return 0.0;
+  Real target = q * static_cast<Real>(count_);
+  Real cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    Real here = static_cast<Real>(counts_[i]);
+    if (here == 0.0) continue;
+    if (cum + here >= target) {
+      if (i == edges_.size()) return max_;  // overflow bucket
+      Real lo = i == 0 ? 0.0 : edges_[i - 1];
+      Real hi = std::min(edges_[i], max_);
+      if (hi < lo) hi = lo;
+      Real fraction = std::clamp((target - cum) / here, 0.0, 1.0);
+      return lo + fraction * (hi - lo);
+    }
+    cum += here;
+  }
+  return max_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  COSCHED_EXPECTS(edges_ == other.edges_);
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+  if (other.count_ > 0 && (count_ == 0 || other.max_ > max_)) max_ = other.max_;
+  count_ += other.count_;
+  invalid_ += other.invalid_;
+  sum_ += other.sum_;
+}
+
+std::string Histogram::summary() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (i > 0) out << ' ';
+    out << "<=" << TextTable::fmt(edges_[i], 2) << ':' << counts_[i];
+  }
+  if (!edges_.empty()) out << ' ';
+  out << '>'
+      << (edges_.empty() ? std::string("0") : TextTable::fmt(edges_.back(), 2))
+      << ':' << counts_.back();
+  if (invalid_ > 0) out << " invalid:" << invalid_;
+  return out.str();
+}
+
+}  // namespace cosched

@@ -1,0 +1,59 @@
+// Fixed-bucket histogram shared by the online metrics, the RPC bench and
+// the Prometheus exposition (src/obs/metrics_registry).
+//
+// Relocated from src/online/metrics so every consumer — SchedulerMetrics'
+// deterministic CSVs, the loopback bench's latency percentiles and the
+// /metrics endpoint — aggregates through one code path. Samples that are
+// NaN or negative are *dropped and counted* (`invalid()`), never folded
+// into sum/max where they would silently skew the means.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace cosched {
+
+/// Fixed-bucket histogram (upper-edge buckets plus an overflow bucket).
+class Histogram {
+ public:
+  /// `upper_edges` must be strictly increasing; sample x lands in the first
+  /// bucket with x <= edge, or the overflow bucket.
+  explicit Histogram(std::vector<Real> upper_edges);
+
+  void add(Real x);
+  std::uint64_t count() const { return count_; }
+  /// NaN / negative samples rejected by add(). Not part of count().
+  std::uint64_t invalid() const { return invalid_; }
+  Real sum() const { return sum_; }
+  Real mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<Real>(count_); }
+  Real max() const { return count_ == 0 ? 0.0 : max_; }
+  const std::vector<Real>& edges() const { return edges_; }
+  /// edges().size() + 1 entries; the last is the overflow bucket.
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+
+  /// Estimated q-quantile (q in [0, 1]) by linear interpolation inside the
+  /// bucket holding the target rank; samples in the overflow bucket are
+  /// credited at max(). 0 when empty.
+  Real quantile(Real q) const;
+
+  /// Folds `other` (same edges) into this histogram. The loopback bench
+  /// merges per-client histograms into one before reporting percentiles.
+  void merge(const Histogram& other);
+
+  /// "<=0.5:3 <=1:7 ... >50:0" — compact, deterministic. Rejected samples
+  /// append " invalid:N" only when any were seen.
+  std::string summary() const;
+
+ private:
+  std::vector<Real> edges_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  std::uint64_t invalid_ = 0;
+  Real sum_ = 0.0;
+  Real max_ = 0.0;
+};
+
+}  // namespace cosched

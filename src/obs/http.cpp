@@ -1,0 +1,132 @@
+#include "obs/http.hpp"
+
+#include <utility>
+
+#include "util/common.hpp"
+
+namespace cosched {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 8 * 1024;
+
+std::string status_line(int code) {
+  switch (code) {
+    case 200: return "HTTP/1.0 200 OK\r\n";
+    case 400: return "HTTP/1.0 400 Bad Request\r\n";
+    case 404: return "HTTP/1.0 404 Not Found\r\n";
+    default: return "HTTP/1.0 500 Internal Server Error\r\n";
+  }
+}
+
+void send_response(Socket& socket, int code, const std::string& body,
+                   const std::string& content_type,
+                   const Deadline& deadline) {
+  std::string response = status_line(code);
+  response += "Content-Type: " + content_type + "\r\n";
+  response += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  response += "Connection: close\r\n\r\n";
+  response += body;
+  socket.send_all(response.data(), response.size(), deadline);
+  socket.shutdown_send();
+}
+
+}  // namespace
+
+HttpEndpoint::HttpEndpoint(HttpOptions options)
+    : options_(std::move(options)) {}
+
+HttpEndpoint::~HttpEndpoint() { stop(); }
+
+void HttpEndpoint::handle(std::string path, HttpHandler handler) {
+  COSCHED_EXPECTS(!thread_.joinable());  // routes are fixed once started
+  COSCHED_EXPECTS(handler != nullptr);
+  routes_.emplace_back(std::move(path), std::move(handler));
+}
+
+bool HttpEndpoint::start(std::string& error) {
+  NetStatus status = NetStatus::Ok;
+  listener_ = Socket::listen_on(options_.host, options_.port,
+                                options_.backlog, status);
+  if (status != NetStatus::Ok) {
+    error = std::string("cannot listen on ") + options_.host + ": " +
+            to_string(status);
+    return false;
+  }
+  port_ = listener_.local_port();
+  stopping_.store(false, std::memory_order_release);
+  thread_ = std::thread(&HttpEndpoint::serve_main, this);
+  return true;
+}
+
+void HttpEndpoint::stop() {
+  stopping_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  listener_.close();
+}
+
+void HttpEndpoint::serve_main() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    NetStatus status = NetStatus::Ok;
+    Socket conn = listener_.accept_connection(
+        Deadline::after(options_.idle_poll_seconds), status);
+    if (status == NetStatus::Timeout) continue;
+    if (status != NetStatus::Ok) {
+      if (stopping_.load(std::memory_order_acquire)) return;
+      continue;
+    }
+    serve_connection(std::move(conn));
+  }
+}
+
+void HttpEndpoint::serve_connection(Socket socket) {
+  Deadline deadline = Deadline::after(options_.request_timeout_seconds);
+  // Read until the end of the request head (or the cap, or the budget).
+  std::string request;
+  char chunk[1024];
+  while (request.find("\r\n\r\n") == std::string::npos) {
+    if (request.size() >= kMaxRequestBytes) return;  // oversized: drop
+    std::size_t got = 0;
+    NetStatus status =
+        socket.recv_some(chunk, sizeof(chunk), got, deadline);
+    if (status != NetStatus::Ok) {
+      // A newline-terminated request line is enough for HTTP/1.0 clients
+      // that close their send side right after the request.
+      if (status == NetStatus::Closed &&
+          request.find("\r\n") != std::string::npos)
+        break;
+      return;
+    }
+    request.append(chunk, got);
+  }
+
+  std::size_t line_end = request.find("\r\n");
+  if (line_end == std::string::npos) line_end = request.size();
+  const std::string line = request.substr(0, line_end);
+  // "GET <path> HTTP/1.x"
+  if (line.rfind("GET ", 0) != 0) {
+    send_response(socket, 400, "only GET is supported\n", "text/plain",
+                  deadline);
+    return;
+  }
+  std::size_t path_end = line.find(' ', 4);
+  if (path_end == std::string::npos) {
+    send_response(socket, 400, "malformed request line\n", "text/plain",
+                  deadline);
+    return;
+  }
+  std::string path = line.substr(4, path_end - 4);
+
+  for (const auto& [route, handler] : routes_) {
+    if (route != path) continue;
+    std::string body;
+    std::string content_type = "text/plain; charset=utf-8";
+    if (!handler(path, body, content_type)) break;
+    send_response(socket, 200, body, content_type, deadline);
+    return;
+  }
+  send_response(socket, 404, "no such path: " + path + "\n", "text/plain",
+                deadline);
+}
+
+}  // namespace cosched

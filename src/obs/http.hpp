@@ -1,0 +1,73 @@
+// Minimal HTTP/1.0 GET endpoint on top of the src/net Socket layer.
+//
+// Just enough HTTP for `curl`, Prometheus scrapers and health probes:
+// one accept+serve thread, GET only, `Connection: close` on every reply.
+// Handlers run on the serving thread and must be fast and thread-safe
+// against the rest of the process (the /metrics handler renders a registry;
+// the /healthz handler returns a constant). Anything that is not a
+// well-formed GET gets 400; a path no handler claims gets 404.
+//
+// This is deliberately NOT a general web server: no keep-alive, no request
+// bodies, no chunking, 8 KiB request cap. The RPC protocol stays on the
+// framed binary port; this side door exists so a human with curl — or a
+// Prometheus scraper — can watch a live CoschedServer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace cosched {
+
+struct HttpOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; read back with port()
+  int backlog = 8;
+  /// Accept-loop poll slice; responsiveness of stop(), nothing else.
+  double idle_poll_seconds = 0.2;
+  /// Per-connection budget for reading the request and writing the reply.
+  double request_timeout_seconds = 5.0;
+};
+
+/// Return the response body for `path` (no query parsing — exact match is
+/// the handler's business). `content_type` defaults to text/plain.
+/// Returning false means "not mine" and the dispatcher tries no further —
+/// register one handler per path.
+using HttpHandler =
+    std::function<bool(const std::string& path, std::string& body,
+                       std::string& content_type)>;
+
+class HttpEndpoint {
+ public:
+  explicit HttpEndpoint(HttpOptions options);
+  ~HttpEndpoint();
+
+  HttpEndpoint(const HttpEndpoint&) = delete;
+  HttpEndpoint& operator=(const HttpEndpoint&) = delete;
+
+  /// Exact-path route. Register every route before start().
+  void handle(std::string path, HttpHandler handler);
+
+  bool start(std::string& error);
+  std::uint16_t port() const { return port_; }
+  void stop();  ///< joins the serving thread; idempotent
+
+ private:
+  void serve_main();
+  void serve_connection(Socket socket);
+
+  HttpOptions options_;
+  std::vector<std::pair<std::string, HttpHandler>> routes_;
+  Socket listener_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+}  // namespace cosched

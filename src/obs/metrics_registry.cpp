@@ -1,0 +1,183 @@
+#include "obs/metrics_registry.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace cosched {
+
+namespace {
+
+/// Shortest decimal form that round-trips a double (Prometheus values).
+/// Integral values print as plain integers — callbacks sampling counters
+/// should read `cosched_cache_evictions_total 21790`, not `2.179e+04`.
+std::string fmt_value(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char whole[32];
+    std::snprintf(whole, sizeof(whole), "%.0f", v);
+    return whole;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double parsed = 0.0;
+  std::sscanf(buf, "%lf", &parsed);
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[64];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, v);
+    std::sscanf(shorter, "%lf", &parsed);
+    if (parsed == v) return shorter;
+  }
+  return buf;
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+bool MetricsRegistry::valid_name(const std::string& name) {
+  if (name.rfind("cosched_", 0) != 0) return false;
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  COSCHED_EXPECTS(valid_name(name));
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[name];
+  if (!entry.counter) {
+    COSCHED_EXPECTS(!entry.gauge && !entry.histogram && !entry.sample);
+    entry.help = help;
+    entry.counter = std::make_unique<Counter>();
+  }
+  return *entry.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help) {
+  COSCHED_EXPECTS(valid_name(name));
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[name];
+  if (!entry.gauge) {
+    COSCHED_EXPECTS(!entry.counter && !entry.histogram && !entry.sample);
+    entry.help = help;
+    entry.gauge = std::make_unique<Gauge>();
+  }
+  return *entry.gauge;
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name,
+                                            const std::string& help,
+                                            std::vector<Real> upper_edges) {
+  COSCHED_EXPECTS(valid_name(name));
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[name];
+  if (!entry.histogram) {
+    COSCHED_EXPECTS(!entry.counter && !entry.gauge && !entry.sample);
+    entry.help = help;
+    entry.histogram =
+        std::make_unique<HistogramMetric>(std::move(upper_edges));
+  }
+  return *entry.histogram;
+}
+
+void MetricsRegistry::callback(const std::string& name,
+                               const std::string& help,
+                               const std::string& type,
+                               std::function<double()> sample) {
+  COSCHED_EXPECTS(valid_name(name));
+  COSCHED_EXPECTS(type == "counter" || type == "gauge");
+  COSCHED_EXPECTS(sample != nullptr);
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[name];
+  COSCHED_EXPECTS(!entry.counter && !entry.gauge && !entry.histogram);
+  entry.help = help;
+  entry.sample = std::move(sample);
+  entry.sample_type = type;
+}
+
+void MetricsRegistry::unregister_callback(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it != entries_.end() && it->second.sample) entries_.erase(it);
+}
+
+std::string MetricsRegistry::render_prometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  for (const auto& [name, entry] : entries_) {
+    out << "# HELP " << name << " " << entry.help << "\n";
+    if (entry.counter) {
+      out << "# TYPE " << name << " counter\n";
+      out << name << " " << entry.counter->value() << "\n";
+    } else if (entry.gauge) {
+      out << "# TYPE " << name << " gauge\n";
+      out << name << " " << fmt_value(entry.gauge->value()) << "\n";
+    } else if (entry.sample) {
+      out << "# TYPE " << name << " " << entry.sample_type << "\n";
+      out << name << " " << fmt_value(entry.sample()) << "\n";
+    } else if (entry.histogram) {
+      out << "# TYPE " << name << " histogram\n";
+      Histogram h = entry.histogram->snapshot();
+      std::uint64_t cumulative = 0;
+      const auto& counts = h.bucket_counts();
+      for (std::size_t i = 0; i < h.edges().size(); ++i) {
+        cumulative += counts[i];
+        out << name << "_bucket{le=\"" << fmt_value(h.edges()[i]) << "\"} "
+            << cumulative << "\n";
+      }
+      out << name << "_bucket{le=\"+Inf\"} " << h.count() << "\n";
+      out << name << "_sum " << fmt_value(h.sum()) << "\n";
+      out << name << "_count " << h.count() << "\n";
+      if (h.invalid() > 0)
+        out << name << "_invalid_total " << h.invalid() << "\n";
+    }
+  }
+  return out.str();
+}
+
+bool parse_prometheus_text(const std::string& text,
+                           std::vector<PrometheusSample>& out) {
+  out.clear();
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    PrometheusSample sample;
+    std::size_t pos = 0;
+    while (pos < line.size() && line[pos] != '{' && line[pos] != ' ') ++pos;
+    if (pos == 0 || pos == line.size()) return false;
+    sample.name = line.substr(0, pos);
+    if (line[pos] == '{') {
+      std::size_t close = line.find('}', pos);
+      if (close == std::string::npos) return false;
+      sample.labels = line.substr(pos + 1, close - pos - 1);
+      pos = close + 1;
+    }
+    if (pos >= line.size() || line[pos] != ' ') return false;
+    const std::string value = line.substr(pos + 1);
+    if (value.empty()) return false;
+    if (value == "+Inf") {
+      sample.value = kInfinity;
+    } else if (value == "-Inf") {
+      sample.value = -kInfinity;
+    } else {
+      char trailing = 0;
+      if (std::sscanf(value.c_str(), "%lf%c", &sample.value, &trailing) != 1)
+        return false;
+    }
+    out.push_back(std::move(sample));
+  }
+  return true;
+}
+
+}  // namespace cosched

@@ -1,0 +1,302 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace cosched {
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+void append_json_escaped(std::string& out, const char* s) {
+  for (; *s; ++s) {
+    char c = *s;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {
+  static std::atomic<std::uint64_t> next_id{1};
+  id_ = next_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::reset() {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->events.clear();
+    buffer->depth = 0;
+  }
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  // One buffer per (thread, tracer). The shared_ptr keeps the buffer alive
+  // for exporters even after the thread exits; the id (not the address,
+  // which a stack-allocated tracer in a test could reuse) keys the cache.
+  thread_local std::shared_ptr<ThreadBuffer> buffer;
+  thread_local std::uint64_t owner = 0;
+  if (!buffer || owner != id_) {
+    buffer = std::make_shared<ThreadBuffer>();
+    owner = id_;
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    buffer->tid = static_cast<std::int32_t>(buffers_.size());
+    buffers_.push_back(buffer);
+  }
+  return *buffer;
+}
+
+void Tracer::record(ThreadBuffer& buffer, Event event) {
+  std::chrono::duration<double, std::micro> since =
+      std::chrono::steady_clock::now() - epoch_;
+  event.wall_us = since.count();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(std::move(event));
+}
+
+void Tracer::begin_span(const char* name, Real virtual_time,
+                        std::string args) {
+  if (!enabled()) return;
+  ThreadBuffer& buffer = local_buffer();
+  Event event;
+  event.name = name;
+  event.phase = Phase::Begin;
+  event.virtual_time = virtual_time;
+  event.depth = buffer.depth++;
+  event.args = std::move(args);
+  record(buffer, std::move(event));
+}
+
+void Tracer::end_span() {
+  // Intentionally no enabled() check: a span begun while enabled always
+  // closes (TraceSpan latches the decision at construction).
+  ThreadBuffer& buffer = local_buffer();
+  COSCHED_EXPECTS(buffer.depth > 0);
+  Event event;
+  event.phase = Phase::End;
+  event.depth = --buffer.depth;
+  record(buffer, std::move(event));
+}
+
+void Tracer::instant(const char* name, Real virtual_time, std::string args) {
+  if (!enabled()) return;
+  ThreadBuffer& buffer = local_buffer();
+  Event event;
+  event.name = name;
+  event.phase = Phase::Instant;
+  event.virtual_time = virtual_time;
+  event.depth = buffer.depth;
+  event.args = std::move(args);
+  record(buffer, std::move(event));
+}
+
+void Tracer::counter(const char* name, double value) {
+  if (!enabled()) return;
+  ThreadBuffer& buffer = local_buffer();
+  Event event;
+  event.name = name;
+  event.phase = Phase::Counter;
+  event.value = value;
+  event.depth = buffer.depth;
+  record(buffer, std::move(event));
+}
+
+std::vector<std::shared_ptr<Tracer::ThreadBuffer>> Tracer::buffers_snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  return buffers_;
+}
+
+std::uint64_t Tracer::event_count() const {
+  std::uint64_t total = 0;
+  for (const auto& buffer : buffers_snapshot()) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+std::string Tracer::dump_text() const {
+  std::ostringstream out;
+  for (const auto& buffer : buffers_snapshot()) {
+    std::vector<Event> events;
+    {
+      std::lock_guard<std::mutex> lock(buffer->mutex);
+      events = buffer->events;
+    }
+    if (events.empty()) continue;
+    out << "thread " << buffer->tid << "\n";
+    for (const Event& e : events) {
+      if (e.phase == Phase::End) continue;
+      for (std::int32_t d = 0; d < e.depth; ++d) out << "  ";
+      switch (e.phase) {
+        case Phase::Begin: out << "span " << e.name; break;
+        case Phase::Instant: out << "mark " << e.name; break;
+        case Phase::Counter:
+          out << "count " << e.name << " = " << fmt_double(e.value);
+          break;
+        case Phase::End: break;
+      }
+      if (e.virtual_time >= 0.0) out << " @vt=" << fmt_double(e.virtual_time);
+      if (!e.args.empty()) out << " [" << e.args << "]";
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string Tracer::export_chrome_json() const {
+  struct Record {
+    double ts = 0.0;
+    std::int32_t tid = 0;
+    std::size_t seq = 0;
+    std::string json;
+  };
+  std::vector<Record> records;
+
+  auto common_fields = [](std::string& json, const Event& e, char ph,
+                          std::int32_t tid) {
+    json += "{\"name\":\"";
+    append_json_escaped(json, e.name);
+    json += "\",\"cat\":\"cosched\",\"ph\":\"";
+    json += ph;
+    json += "\",\"ts\":" + fmt_double(e.wall_us);
+    json += ",\"pid\":1,\"tid\":" + std::to_string(tid);
+  };
+  auto args_fields = [](std::string& json, const Event& e) {
+    bool have_vt = e.virtual_time >= 0.0;
+    bool have_detail = !e.args.empty();
+    if (!have_vt && !have_detail) return;
+    json += ",\"args\":{";
+    if (have_vt) json += "\"virtual_time\":" + fmt_double(e.virtual_time);
+    if (have_detail) {
+      if (have_vt) json += ",";
+      json += "\"detail\":\"";
+      append_json_escaped(json, e.args.c_str());
+      json += "\"";
+    }
+    json += "}";
+  };
+
+  for (const auto& buffer : buffers_snapshot()) {
+    std::vector<Event> events;
+    {
+      std::lock_guard<std::mutex> lock(buffer->mutex);
+      events = buffer->events;
+    }
+    // Pair Begin/End into "X" complete events; unclosed spans stay "B".
+    std::vector<std::size_t> open;
+    std::vector<double> duration(events.size(), -1.0);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      if (events[i].phase == Phase::Begin) {
+        open.push_back(i);
+      } else if (events[i].phase == Phase::End) {
+        COSCHED_ENSURES(!open.empty());
+        std::size_t b = open.back();
+        open.pop_back();
+        duration[b] = events[i].wall_us - events[b].wall_us;
+      }
+    }
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const Event& e = events[i];
+      if (e.phase == Phase::End) continue;
+      Record record;
+      record.ts = e.wall_us;
+      record.tid = buffer->tid;
+      record.seq = i;
+      std::string& json = record.json;
+      switch (e.phase) {
+        case Phase::Begin:
+          common_fields(json, e, duration[i] >= 0.0 ? 'X' : 'B',
+                        buffer->tid);
+          if (duration[i] >= 0.0)
+            json += ",\"dur\":" + fmt_double(duration[i]);
+          args_fields(json, e);
+          break;
+        case Phase::Instant:
+          common_fields(json, e, 'i', buffer->tid);
+          json += ",\"s\":\"t\"";
+          args_fields(json, e);
+          break;
+        case Phase::Counter:
+          common_fields(json, e, 'C', buffer->tid);
+          json += ",\"args\":{\"value\":" + fmt_double(e.value) + "}";
+          break;
+        case Phase::End: break;
+      }
+      json += "}";
+      records.push_back(std::move(record));
+    }
+  }
+
+  std::sort(records.begin(), records.end(),
+            [](const Record& a, const Record& b) {
+              if (a.ts != b.ts) return a.ts < b.ts;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.seq < b.seq;
+            });
+  std::string out = "[";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (i > 0) out += ",\n";
+    out += records[i].json;
+  }
+  out += "]\n";
+  return out;
+}
+
+bool Tracer::write_chrome_json(const std::string& path) const {
+  namespace fs = std::filesystem;
+  fs::path target(path);
+  if (target.has_parent_path()) {
+    std::error_code ec;
+    fs::create_directories(target.parent_path(), ec);
+    if (ec) {
+      std::cerr << "warning: cannot create trace directory "
+                << target.parent_path().string() << ": " << ec.message()
+                << "\n";
+      return false;
+    }
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: cannot write trace file " << path << "\n";
+    return false;
+  }
+  out << export_chrome_json();
+  return true;
+}
+
+}  // namespace cosched

@@ -1,0 +1,161 @@
+// Structured tracing for the co-scheduling stack.
+//
+// A Tracer collects spans (begin/end pairs), instants and counter samples
+// into per-thread buffers; nothing is shared on the hot path beyond one
+// relaxed atomic load when tracing is runtime-disabled. Each event carries
+// a wall-clock stamp (microseconds since the tracer epoch, steady clock)
+// and, when the caller is inside the virtual-time simulation, a virtual
+// timestamp too — so a replan trace lines up both against real solver cost
+// and against the simulated fleet.
+//
+// Two exporters:
+//  * export_chrome_json() — Chrome trace-event JSON ("X" complete spans,
+//    "i" instants, "C" counters), loadable in chrome://tracing / Perfetto,
+//    sorted by (timestamp, tid, seq);
+//  * dump_text() — a wall-time-free indented dump, deterministic for a
+//    deterministic event sequence (threads in registration order, events in
+//    record order), which is what the tests byte-compare.
+//
+// Compile-time kill switch: defining COSCHED_TRACE_DISABLED in a TU turns
+// every COSCHED_TRACE_* macro in that TU into a no-op with zero residue
+// (no Tracer call, no guard object). Runtime switch: Tracer::set_enabled —
+// spans started while disabled record nothing, even if tracing is enabled
+// before they close.
+//
+// Span names must be string literals (or otherwise outlive the tracer):
+// events store the pointer, not a copy, to keep recording allocation-free
+// for the common no-args case.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace cosched {
+
+class Tracer {
+ public:
+  enum class Phase : std::uint8_t { Begin, End, Instant, Counter };
+
+  struct Event {
+    const char* name = "";   ///< static string; not owned
+    Phase phase = Phase::Instant;
+    double wall_us = 0.0;    ///< microseconds since the tracer epoch
+    Real virtual_time = -1.0;  ///< virtual seconds; < 0 = not stamped
+    double value = 0.0;      ///< Counter payload
+    std::int32_t depth = 0;  ///< span nesting depth at record time
+    std::string args;        ///< optional "k=v ..." detail, may be empty
+  };
+
+  Tracer();
+
+  /// Process-wide tracer used by the COSCHED_TRACE_* macros.
+  static Tracer& global();
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_release); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Drops every buffered event and re-stamps the epoch. Thread buffers
+  /// stay registered (their tids are stable for the tracer's lifetime).
+  void reset();
+
+  // ---- recording (the macros below are the intended entry points) -------
+  void begin_span(const char* name, Real virtual_time = -1.0,
+                  std::string args = {});
+  void end_span();
+  void instant(const char* name, Real virtual_time = -1.0,
+               std::string args = {});
+  void counter(const char* name, double value);
+
+  std::uint64_t event_count() const;
+
+  /// Deterministic indented text dump (no wall times). Thread sections are
+  /// ordered by tid — the registration order of the recording threads.
+  std::string dump_text() const;
+
+  /// Chrome trace-event JSON array, sorted by (wall ts, tid, seq).
+  std::string export_chrome_json() const;
+
+  /// Writes export_chrome_json() to `path`, creating missing parent
+  /// directories. False (with a stderr warning) on I/O failure.
+  bool write_chrome_json(const std::string& path) const;
+
+ private:
+  struct ThreadBuffer {
+    std::int32_t tid = 0;
+    std::int32_t depth = 0;        ///< touched only by the owning thread
+    mutable std::mutex mutex;      ///< guards `events` against exporters
+    std::vector<Event> events;
+  };
+
+  ThreadBuffer& local_buffer();
+  void record(ThreadBuffer& buffer, Event event);
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_snapshot() const;
+
+  std::atomic<bool> enabled_{false};
+  std::uint64_t id_ = 0;  ///< unique per Tracer: thread-local cache key
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex registry_mutex_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span guard. Records nothing when the tracer was runtime-disabled at
+/// construction (and never "half-records": begin and end are paired).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, Real virtual_time = -1.0,
+                     std::string args = {})
+      : active_(Tracer::global().enabled()) {
+    if (active_)
+      Tracer::global().begin_span(name, virtual_time, std::move(args));
+  }
+  ~TraceSpan() {
+    if (active_) Tracer::global().end_span();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  bool active_;
+};
+
+}  // namespace cosched
+
+// ---- macros ---------------------------------------------------------------
+// COSCHED_TRACE_SPAN(var, name[, virtual_time[, args]]) — RAII span bound to
+// the enclosing scope. COSCHED_TRACE_INSTANT / COSCHED_TRACE_COUNTER record
+// single events. All of them vanish entirely (no-ops, no tracer reference)
+// in TUs compiled with -DCOSCHED_TRACE_DISABLED.
+#ifdef COSCHED_TRACE_DISABLED
+
+#define COSCHED_TRACE_SPAN(var, ...) \
+  do {                               \
+  } while (0)
+#define COSCHED_TRACE_INSTANT(...) \
+  do {                             \
+  } while (0)
+#define COSCHED_TRACE_COUNTER(name, value) \
+  do {                                     \
+  } while (0)
+
+#else
+
+#define COSCHED_TRACE_SPAN(var, ...) ::cosched::TraceSpan var(__VA_ARGS__)
+#define COSCHED_TRACE_INSTANT(...)                        \
+  do {                                                    \
+    if (::cosched::Tracer::global().enabled())            \
+      ::cosched::Tracer::global().instant(__VA_ARGS__);   \
+  } while (0)
+#define COSCHED_TRACE_COUNTER(name, value)                      \
+  do {                                                          \
+    if (::cosched::Tracer::global().enabled())                  \
+      ::cosched::Tracer::global().counter((name), (value));     \
+  } while (0)
+
+#endif  // COSCHED_TRACE_DISABLED

@@ -112,6 +112,14 @@ class LiveSchedulerService {
   bool draining() const { return draining_.load(std::memory_order_acquire); }
   std::int32_t total_cores() const { return total_cores_; }
 
+  /// Shared degradation cache. The pointer is fixed for the scheduler's
+  /// lifetime and stats() reads atomics behind shard locks, so this is safe
+  /// from any thread — it is the bridge the /metrics callback samples
+  /// without a round-trip through the command queue.
+  const DegradationCache& oracle_cache() const {
+    return scheduler_.oracle_cache();
+  }
+
   /// Stops the scheduler thread without draining. Idempotent.
   void stop();
 

@@ -7,39 +7,6 @@
 
 namespace cosched {
 
-Histogram::Histogram(std::vector<Real> upper_edges)
-    : edges_(std::move(upper_edges)), counts_(edges_.size() + 1, 0) {
-  for (std::size_t i = 1; i < edges_.size(); ++i)
-    COSCHED_EXPECTS(edges_[i - 1] < edges_[i]);
-}
-
-void Histogram::add(Real x) {
-  std::size_t bucket = edges_.size();
-  for (std::size_t i = 0; i < edges_.size(); ++i) {
-    if (x <= edges_[i]) {
-      bucket = i;
-      break;
-    }
-  }
-  ++counts_[bucket];
-  ++count_;
-  sum_ += x;
-  if (count_ == 1 || x > max_) max_ = x;
-}
-
-std::string Histogram::summary() const {
-  std::ostringstream out;
-  for (std::size_t i = 0; i < edges_.size(); ++i) {
-    if (i > 0) out << ' ';
-    out << "<=" << TextTable::fmt(edges_[i], 2) << ':' << counts_[i];
-  }
-  if (!edges_.empty()) out << ' ';
-  out << '>'
-      << (edges_.empty() ? std::string("0") : TextTable::fmt(edges_.back(), 2))
-      << ':' << counts_.back();
-  return out.str();
-}
-
 SchedulerMetrics::SchedulerMetrics()
     : queue_wait_({0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0}),
       slowdown_({1.1, 1.25, 1.5, 2.0, 3.0, 5.0}),

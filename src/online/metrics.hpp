@@ -10,36 +10,11 @@
 #include <string>
 #include <vector>
 
+#include "obs/histogram.hpp"
 #include "util/common.hpp"
 #include "util/table.hpp"
 
 namespace cosched {
-
-/// Fixed-bucket histogram (upper-edge buckets plus an overflow bucket).
-class Histogram {
- public:
-  /// `upper_edges` must be strictly increasing; sample x lands in the first
-  /// bucket with x <= edge, or the overflow bucket.
-  explicit Histogram(std::vector<Real> upper_edges);
-
-  void add(Real x);
-  std::uint64_t count() const { return count_; }
-  Real mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<Real>(count_); }
-  Real max() const { return count_ == 0 ? 0.0 : max_; }
-  const std::vector<Real>& edges() const { return edges_; }
-  /// edges().size() + 1 entries; the last is the overflow bucket.
-  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
-
-  /// "<=0.5:3 <=1:7 ... >50:0" — compact, deterministic.
-  std::string summary() const;
-
- private:
-  std::vector<Real> edges_;
-  std::vector<std::uint64_t> counts_;
-  std::uint64_t count_ = 0;
-  Real sum_ = 0.0;
-  Real max_ = 0.0;
-};
 
 /// One replan, as the service saw it.
 struct ReplanRecord {

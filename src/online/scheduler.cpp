@@ -9,6 +9,7 @@
 #include "cache/machine_config.hpp"
 #include "core/degradation_models.hpp"
 #include "core/snapshot.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 #include "vm/migration.hpp"
 
@@ -387,136 +388,150 @@ void OnlineScheduler::replan(const char* reason, bool allow_pure_rebalance) {
   if (admit == 0 && !pure_rebalance) return;
 
   WallTimer timer;
-  std::vector<std::int64_t> admitted_gids;
-  for (std::int32_t k = 0; k < admit; ++k) {
-    std::int64_t job_id = pending_[static_cast<std::size_t>(k)];
-    JobState& job = jobs_[static_cast<std::size_t>(job_id)];
-    job.admit_time = clock_.now();
-    job.unfinished = job.spec.processes;
-    for (std::int32_t r = 0; r < job.spec.processes; ++r) {
-      std::int64_t gid = static_cast<std::int64_t>(procs_.size());
-      ProcState p;
-      p.job = job_id;
-      p.remaining = job.spec.work;
-      p.live = true;
-      procs_.push_back(p);
-      job.procs.push_back(gid);
-      admitted_gids.push_back(gid);
+  COSCHED_TRACE_SPAN(replan_span, "online.replan", clock_.now(),
+                     std::string("reason=") + reason +
+                         " solver=" + to_string(options_.solver));
+  {
+    COSCHED_TRACE_SPAN(admission_span, "replan.admission", clock_.now());
+    for (std::int32_t k = 0; k < admit; ++k) {
+      std::int64_t job_id = pending_[static_cast<std::size_t>(k)];
+      JobState& job = jobs_[static_cast<std::size_t>(job_id)];
+      job.admit_time = clock_.now();
+      job.unfinished = job.spec.processes;
+      for (std::int32_t r = 0; r < job.spec.processes; ++r) {
+        std::int64_t gid = static_cast<std::int64_t>(procs_.size());
+        ProcState p;
+        p.job = job_id;
+        p.remaining = job.spec.work;
+        p.live = true;
+        procs_.push_back(p);
+        job.procs.push_back(gid);
+      }
+      Real wait = clock_.now() - job.spec.arrival_time;
+      metrics_.on_admission(wait);
+      log_.record(clock_.now(), EventKind::JobAdmission,
+                  job.spec.name + " wait=" + TextTable::fmt(wait));
     }
-    Real wait = clock_.now() - job.spec.arrival_time;
-    metrics_.on_admission(wait);
-    log_.record(clock_.now(), EventKind::JobAdmission,
-                job.spec.name + " wait=" + TextTable::fmt(wait));
+    pending_.erase(pending_.begin(), pending_.begin() + admit);
   }
-  pending_.erase(pending_.begin(), pending_.begin() + admit);
 
-  // ---- build the replan Problem over all live processes ---------------
+  // ---- build the replan Problem over all live processes, then the fresh
+  // candidate from the pluggable solver ----------------------------------
   Problem problem;
-  problem.machine = machine_by_cores(options_.cores);
-  std::vector<Real> rates;
-  std::vector<Real> sens;
-  local_to_gid_.clear();
-  for (std::size_t job_id = 0; job_id < jobs_.size(); ++job_id) {
-    JobState& job = jobs_[job_id];
-    if (job.admit_time < 0.0 || job.unfinished == 0) continue;
-    std::int32_t live_procs = 0;
-    for (std::int64_t gid : job.procs)
-      if (procs_[static_cast<std::size_t>(gid)].live) ++live_procs;
-    COSCHED_ENSURES(live_procs == job.unfinished);
-    problem.batch.add_job(job.spec.name, job.spec.kind, live_procs);
-    for (std::int64_t gid : job.procs) {
-      ProcState& p = procs_[static_cast<std::size_t>(gid)];
-      if (!p.live) continue;
-      p.local_id = static_cast<std::int32_t>(local_to_gid_.size());
-      local_to_gid_.push_back(gid);
-      rates.push_back(job.spec.miss_rate);
-      sens.push_back(job.spec.sensitivity);
-    }
-  }
-  std::int32_t idle = 0;
-  while (static_cast<std::int32_t>(local_to_gid_.size()) < total_cores()) {
-    problem.batch.add_job("idle" + std::to_string(idle++),
-                          JobKind::Imaginary, 1);
-    local_to_gid_.push_back(-1);
-    rates.push_back(0.0);
-    sens.push_back(0.0);
-  }
-
-  Real capacity = options_.synthetic_capacity > 0.0
-                      ? options_.synthetic_capacity
-                      : 0.45 * static_cast<Real>(options_.cores - 1);
-  auto base = std::make_shared<SyntheticDegradationModel>(
-      std::move(rates), std::move(sens), capacity,
-      SyntheticLandscape::Threshold);
-  std::vector<ProcessId> stable_ids;
-  stable_ids.reserve(local_to_gid_.size());
-  for (std::int64_t gid : local_to_gid_)
-    stable_ids.push_back(static_cast<ProcessId>(gid));
-  auto cached = std::make_shared<CachingDegradationModel>(
-      base, cache_, std::move(stable_ids),
-      BaseModelConcurrency::ConcurrentSafe);
-  problem.contention_model = cached;
-  problem.full_model = cached;
-  problem.check();
-
-  // ---- incumbent: running processes stay, everyone else fills slots ---
-  const std::size_t u = options_.cores;
-  Solution incumbent;
-  incumbent.machines.resize(machines_.size());
-  for (std::size_t m = 0; m < machines_.size(); ++m)
-    for (std::int64_t gid : machines_[m])
-      incumbent.machines[m].push_back(
-          procs_[static_cast<std::size_t>(gid)].local_id);
-  std::vector<ProcessId> fill;
-  std::vector<Real> move_weight(local_to_gid_.size(), 0.0);
-  for (std::size_t local = 0; local < local_to_gid_.size(); ++local) {
-    std::int64_t gid = local_to_gid_[local];
-    if (gid >= 0 && procs_[static_cast<std::size_t>(gid)].machine >= 0) {
-      move_weight[local] = 1.0;  // previously running: moving it costs
-    } else {
-      fill.push_back(static_cast<ProcessId>(local));
-    }
-  }
-  std::size_t next_fill = 0;
-  for (auto& machine : incumbent.machines)
-    while (machine.size() < u) machine.push_back(fill[next_fill++]);
-  COSCHED_ENSURES(next_fill == fill.size());
-
-  Real stay_combined = evaluate_solution(problem, incumbent).total;
-
-  // ---- fresh candidate from the pluggable solver -----------------------
   Solution fresh;
   bool have_fresh = false;
-  switch (options_.solver) {
-    case OnlineSolverKind::HAStar: {
-      SearchResult res = solve_hastar(problem);
-      if (res.found) {
-        fresh = std::move(res.solution);
-        have_fresh = true;
+  {
+    COSCHED_TRACE_SPAN(solve_span, "replan.fresh_solve", clock_.now());
+    problem.machine = machine_by_cores(options_.cores);
+    std::vector<Real> rates;
+    std::vector<Real> sens;
+    local_to_gid_.clear();
+    for (std::size_t job_id = 0; job_id < jobs_.size(); ++job_id) {
+      JobState& job = jobs_[job_id];
+      if (job.admit_time < 0.0 || job.unfinished == 0) continue;
+      std::int32_t live_procs = 0;
+      for (std::int64_t gid : job.procs)
+        if (procs_[static_cast<std::size_t>(gid)].live) ++live_procs;
+      COSCHED_ENSURES(live_procs == job.unfinished);
+      problem.batch.add_job(job.spec.name, job.spec.kind, live_procs);
+      for (std::int64_t gid : job.procs) {
+        ProcState& p = procs_[static_cast<std::size_t>(gid)];
+        if (!p.live) continue;
+        p.local_id = static_cast<std::int32_t>(local_to_gid_.size());
+        local_to_gid_.push_back(gid);
+        rates.push_back(job.spec.miss_rate);
+        sens.push_back(job.spec.sensitivity);
       }
-      break;
     }
-    case OnlineSolverKind::PgGreedy:
-      fresh = solve_pg_greedy(problem);
-      have_fresh = true;
-      break;
-    case OnlineSolverKind::Random:
-      fresh = solve_random(problem, rng_);
-      have_fresh = true;
-      break;
+    std::int32_t idle = 0;
+    while (static_cast<std::int32_t>(local_to_gid_.size()) < total_cores()) {
+      problem.batch.add_job("idle" + std::to_string(idle++),
+                            JobKind::Imaginary, 1);
+      local_to_gid_.push_back(-1);
+      rates.push_back(0.0);
+      sens.push_back(0.0);
+    }
+
+    Real capacity = options_.synthetic_capacity > 0.0
+                        ? options_.synthetic_capacity
+                        : 0.45 * static_cast<Real>(options_.cores - 1);
+    auto base = std::make_shared<SyntheticDegradationModel>(
+        std::move(rates), std::move(sens), capacity,
+        SyntheticLandscape::Threshold);
+    std::vector<ProcessId> stable_ids;
+    stable_ids.reserve(local_to_gid_.size());
+    for (std::int64_t gid : local_to_gid_)
+      stable_ids.push_back(static_cast<ProcessId>(gid));
+    auto cached = std::make_shared<CachingDegradationModel>(
+        base, cache_, std::move(stable_ids),
+        BaseModelConcurrency::ConcurrentSafe);
+    problem.contention_model = cached;
+    problem.full_model = cached;
+    problem.check();
+
+    switch (options_.solver) {
+      case OnlineSolverKind::HAStar: {
+        SearchResult res = solve_hastar(problem);
+        if (res.found) {
+          fresh = std::move(res.solution);
+          have_fresh = true;
+        }
+        break;
+      }
+      case OnlineSolverKind::PgGreedy:
+        fresh = solve_pg_greedy(problem);
+        have_fresh = true;
+        break;
+      case OnlineSolverKind::Random:
+        fresh = solve_random(problem, rng_);
+        have_fresh = true;
+        break;
+    }
   }
 
-  ReplanOptions replan_options;
-  replan_options.migration_cost = options_.migration_cost;
-  replan_options.max_passes = options_.replan_passes;
-  replan_options.move_weight = std::move(move_weight);
-  ReplanResult result = replan_with_migrations(
-      problem, incumbent, have_fresh ? &fresh : nullptr, replan_options);
+  // ---- alignment: incumbent (running processes stay, everyone else
+  // fills slots) versus the fresh candidate, migration-cost-aware --------
+  Real stay_combined = 0.0;
+  ReplanResult result;
+  {
+    COSCHED_TRACE_SPAN(alignment_span, "replan.alignment", clock_.now());
+    const std::size_t u = options_.cores;
+    Solution incumbent;
+    incumbent.machines.resize(machines_.size());
+    for (std::size_t m = 0; m < machines_.size(); ++m)
+      for (std::int64_t gid : machines_[m])
+        incumbent.machines[m].push_back(
+            procs_[static_cast<std::size_t>(gid)].local_id);
+    std::vector<ProcessId> fill;
+    std::vector<Real> move_weight(local_to_gid_.size(), 0.0);
+    for (std::size_t local = 0; local < local_to_gid_.size(); ++local) {
+      std::int64_t gid = local_to_gid_[local];
+      if (gid >= 0 && procs_[static_cast<std::size_t>(gid)].machine >= 0) {
+        move_weight[local] = 1.0;  // previously running: moving it costs
+      } else {
+        fill.push_back(static_cast<ProcessId>(local));
+      }
+    }
+    std::size_t next_fill = 0;
+    for (auto& machine : incumbent.machines)
+      while (machine.size() < u) machine.push_back(fill[next_fill++]);
+    COSCHED_ENSURES(next_fill == fill.size());
 
-  // ---- apply the placement --------------------------------------------
+    stay_combined = evaluate_solution(problem, incumbent).total;
+
+    ReplanOptions replan_options;
+    replan_options.migration_cost = options_.migration_cost;
+    replan_options.max_passes = options_.replan_passes;
+    replan_options.move_weight = std::move(move_weight);
+    result = replan_with_migrations(
+        problem, incumbent, have_fresh ? &fresh : nullptr, replan_options);
+  }
+
+  // ---- commit the placement -------------------------------------------
   // The adopted placement is a complete padded Solution, so the per-process
   // degradations come straight off the core snapshot accessor instead of a
   // per-machine re-query loop.
+  COSCHED_TRACE_SPAN(commit_span, "replan.commit", clock_.now());
   ScheduleSnapshot adopted = snapshot_schedule(problem, result.placement);
   for (std::size_t m = 0; m < machines_.size(); ++m) {
     machines_[m].clear();

@@ -105,11 +105,12 @@ RpcError CoschedClient::attempt(MessageType type,
     error.message = "undecodable response envelope";
     return error;
   }
-  if (out.version != kProtocolVersion) {
+  if (out.version < kMinProtocolVersion || out.version > kProtocolVersion) {
     socket_.close();
     error.kind = RpcErrorKind::Protocol;
     error.message = "server protocol version " + std::to_string(out.version) +
-                    " != " + std::to_string(kProtocolVersion);
+                    " outside " + std::to_string(kMinProtocolVersion) + ".." +
+                    std::to_string(kProtocolVersion);
     return error;
   }
   if (out.request_id != request.request_id || out.type != type) {
@@ -195,6 +196,18 @@ RpcError CoschedClient::get_metrics(MetricsResponse& out) {
   if (!decode_metrics_response(r, out) || !r.complete()) {
     error.kind = RpcErrorKind::Protocol;
     error.message = "undecodable GetMetrics response body";
+  }
+  return error;
+}
+
+RpcError CoschedClient::trace_dump(TraceDumpResponse& out) {
+  ResponseEnvelope envelope;
+  RpcError error = call(MessageType::TraceDump, {}, true, envelope);
+  if (!error.ok()) return error;
+  WireReader r(envelope.body);
+  if (!decode_trace_dump_response(r, out) || !r.complete()) {
+    error.kind = RpcErrorKind::Protocol;
+    error.message = "undecodable TraceDump response body";
   }
   return error;
 }

@@ -74,6 +74,8 @@ class CoschedClient {
   RpcError query_job_status(std::int64_t job_id, JobStatusResponse& out);
   RpcError query_snapshot(ServiceSnapshot& out);
   RpcError get_metrics(MetricsResponse& out);
+  /// v2: the server's structured trace (text dump + Chrome JSON).
+  RpcError trace_dump(TraceDumpResponse& out);
   RpcError drain(DrainResponse& out);
   RpcError shutdown_server(ShutdownResponse& out);
 

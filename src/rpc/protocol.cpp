@@ -10,13 +10,14 @@ const char* to_string(MessageType type) {
     case MessageType::GetMetrics: return "GetMetrics";
     case MessageType::Drain: return "Drain";
     case MessageType::Shutdown: return "Shutdown";
+    case MessageType::TraceDump: return "TraceDump";
   }
   return "?";
 }
 
 bool valid_message_type(std::uint8_t raw) {
   return raw >= static_cast<std::uint8_t>(MessageType::SubmitJob) &&
-         raw <= static_cast<std::uint8_t>(MessageType::Shutdown);
+         raw <= static_cast<std::uint8_t>(MessageType::TraceDump);
 }
 
 const char* to_string(RpcStatus status) {
@@ -223,7 +224,8 @@ bool decode_status_response(WireReader& r, JobStatusResponse& response) {
   return decode_job_status_view(r, response.status);
 }
 
-void encode_metrics_response(WireWriter& w, const MetricsResponse& response) {
+void encode_metrics_response(WireWriter& w, const MetricsResponse& response,
+                             std::uint16_t version) {
   w.real(response.virtual_now);
   w.u64(response.arrivals);
   w.u64(response.admissions);
@@ -236,6 +238,16 @@ void encode_metrics_response(WireWriter& w, const MetricsResponse& response) {
   w.u64(response.cache.entries);
   w.u64(response.cache.evictions);
   w.str(response.deterministic_csv);
+  if (version < 2) return;  // v1 body ends here
+  w.u64(response.cache.compactions);
+  w.u64(response.astar_searches);
+  w.u64(response.astar_expansions);
+  w.u64(response.astar_heuristic_evals);
+  w.u64(response.rpc_requests_ok);
+  w.u64(response.rpc_requests_failed);
+  w.u64(response.rpc_request_count);
+  w.real(response.rpc_request_seconds_sum);
+  w.real(response.rpc_request_seconds_p99);
 }
 
 bool decode_metrics_response(WireReader& r, MetricsResponse& response) {
@@ -251,6 +263,45 @@ bool decode_metrics_response(WireReader& r, MetricsResponse& response) {
   response.cache.entries = r.u64();
   response.cache.evictions = r.u64();
   response.deterministic_csv = r.str();
+  if (!r.ok()) return false;
+  // v2 extensions: present iff the peer wrote them. A v1 body simply ends
+  // here and every extension field reads as its zero default — explicitly
+  // reset, so decoding into a reused response cannot leak stale values.
+  response.cache.compactions = 0;
+  response.astar_searches = 0;
+  response.astar_expansions = 0;
+  response.astar_heuristic_evals = 0;
+  response.rpc_requests_ok = 0;
+  response.rpc_requests_failed = 0;
+  response.rpc_request_count = 0;
+  response.rpc_request_seconds_sum = 0.0;
+  response.rpc_request_seconds_p99 = 0.0;
+  if (r.remaining() == 0) return true;
+  response.cache.compactions = r.u64();
+  response.astar_searches = r.u64();
+  response.astar_expansions = r.u64();
+  response.astar_heuristic_evals = r.u64();
+  response.rpc_requests_ok = r.u64();
+  response.rpc_requests_failed = r.u64();
+  response.rpc_request_count = r.u64();
+  response.rpc_request_seconds_sum = r.real();
+  response.rpc_request_seconds_p99 = r.real();
+  return r.ok();
+}
+
+void encode_trace_dump_response(WireWriter& w,
+                                const TraceDumpResponse& response) {
+  w.boolean(response.enabled);
+  w.u64(response.event_count);
+  w.str(response.text);
+  w.str(response.chrome_json);
+}
+
+bool decode_trace_dump_response(WireReader& r, TraceDumpResponse& response) {
+  response.enabled = r.boolean();
+  response.event_count = r.u64();
+  response.text = r.str();
+  response.chrome_json = r.str();
   return r.ok();
 }
 

@@ -25,7 +25,13 @@
 
 namespace cosched {
 
-inline constexpr std::uint16_t kProtocolVersion = 1;
+/// Version 2 adds the TraceDump message and appends observability fields to
+/// the GetMetrics response body. The server accepts every version in
+/// [kMinProtocolVersion, kProtocolVersion] and answers in the requester's
+/// version — a v1 peer gets exactly the v1 bytes (extension fields are
+/// appended after the v1 body and decoded only when present).
+inline constexpr std::uint16_t kProtocolVersion = 2;
+inline constexpr std::uint16_t kMinProtocolVersion = 1;
 
 enum class MessageType : std::uint8_t {
   SubmitJob = 1,
@@ -34,6 +40,7 @@ enum class MessageType : std::uint8_t {
   GetMetrics = 4,
   Drain = 5,
   Shutdown = 6,
+  TraceDump = 7,  ///< v2: the server's structured trace, text + Chrome JSON
 };
 
 const char* to_string(MessageType type);
@@ -101,8 +108,24 @@ struct MetricsResponse {
   std::uint64_t replans = 0;
   std::uint64_t migrations = 0;
   Real running_mean_degradation = 0.0;
-  DegradationCache::Stats cache;
+  DegradationCache::Stats cache;  ///< compactions travels only on v2 wires
   std::string deterministic_csv;
+  // ---- v2 extension fields (zero when a v1 peer answered) ----------------
+  std::uint64_t astar_searches = 0;
+  std::uint64_t astar_expansions = 0;
+  std::uint64_t astar_heuristic_evals = 0;
+  std::uint64_t rpc_requests_ok = 0;
+  std::uint64_t rpc_requests_failed = 0;
+  std::uint64_t rpc_request_count = 0;    ///< latency histogram count
+  Real rpc_request_seconds_sum = 0.0;     ///< latency histogram sum
+  Real rpc_request_seconds_p99 = 0.0;     ///< interpolated from buckets
+};
+
+struct TraceDumpResponse {
+  bool enabled = false;          ///< tracer runtime switch at dump time
+  std::uint64_t event_count = 0;
+  std::string text;              ///< deterministic indented dump
+  std::string chrome_json;       ///< Chrome trace-event JSON array
 };
 
 struct DrainResponse {
@@ -131,8 +154,16 @@ bool decode_submit_response(WireReader& r, SubmitJobResponse& response);
 void encode_status_response(WireWriter& w, const JobStatusResponse& response);
 bool decode_status_response(WireReader& r, JobStatusResponse& response);
 
-void encode_metrics_response(WireWriter& w, const MetricsResponse& response);
+/// `version` selects the wire layout: v1 stops after deterministic_csv, v2
+/// appends the extension fields. The decoder reads extensions only when
+/// bytes remain, so either end may be the older one.
+void encode_metrics_response(WireWriter& w, const MetricsResponse& response,
+                             std::uint16_t version = kProtocolVersion);
 bool decode_metrics_response(WireReader& r, MetricsResponse& response);
+
+void encode_trace_dump_response(WireWriter& w,
+                                const TraceDumpResponse& response);
+bool decode_trace_dump_response(WireReader& r, TraceDumpResponse& response);
 
 void encode_drain_response(WireWriter& w, const DrainResponse& response);
 bool decode_drain_response(WireReader& r, DrainResponse& response);

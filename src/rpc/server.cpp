@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "obs/trace.hpp"
+#include "util/timer.hpp"
+
 namespace cosched {
 
 CoschedServer::CoschedServer(ServerOptions options)
@@ -23,6 +26,31 @@ bool CoschedServer::start(std::string& error) {
     return false;
   }
   port_ = listener_.local_port();
+
+  if (options_.enable_http) {
+    HttpOptions http_options;
+    http_options.host = options_.host;
+    http_options.port = options_.http_port;
+    http_ = std::make_unique<HttpEndpoint>(http_options);
+    http_->handle("/metrics", [](const std::string&, std::string& body,
+                                 std::string& content_type) {
+      body = MetricsRegistry::global().render_prometheus();
+      content_type = "text/plain; version=0.0.4; charset=utf-8";
+      return true;
+    });
+    http_->handle("/healthz", [](const std::string&, std::string& body,
+                                 std::string&) {
+      body = "ok\n";
+      return true;
+    });
+    if (!http_->start(error)) {
+      http_.reset();
+      listener_.close();
+      return false;
+    }
+  }
+  register_observability();
+
   {
     std::lock_guard<std::mutex> lock(mutex_);
     started_ = true;
@@ -58,12 +86,77 @@ void CoschedServer::stop() {
     if (worker.joinable()) worker.join();
   workers_.clear();
   listener_.close();
+  if (http_) {
+    http_->stop();
+    http_.reset();
+  }
+  unregister_observability();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     pending_.clear();
     started_ = false;
   }
   service_->stop();
+}
+
+void CoschedServer::register_observability() {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  request_latency_ = &reg.histogram(
+      "cosched_rpc_request_seconds", "RPC request service time",
+      {0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+       1.0, 2.5});
+  auto cb = [&](const char* name, const char* help, const char* type,
+                std::function<double()> sample) {
+    reg.callback(name, help, type, std::move(sample));
+    callback_names_.push_back(name);
+  };
+  const DegradationCache& cache = service_->oracle_cache();
+  cb("cosched_cache_hits_total", "oracle cache hits", "counter",
+     [&cache] { return static_cast<double>(cache.stats().hits); });
+  cb("cosched_cache_misses_total", "oracle cache misses", "counter",
+     [&cache] { return static_cast<double>(cache.stats().misses); });
+  cb("cosched_cache_entries", "oracle cache live entries", "gauge",
+     [&cache] { return static_cast<double>(cache.stats().entries); });
+  cb("cosched_cache_evictions_total",
+     "oracle cache entries dropped by compaction", "counter",
+     [&cache] { return static_cast<double>(cache.stats().evictions); });
+  cb("cosched_cache_compactions_total", "oracle cache compaction passes",
+     "counter",
+     [&cache] { return static_cast<double>(cache.stats().compactions); });
+  cb("cosched_rpc_connections_active", "sessions currently being served",
+     "gauge", [this] {
+       std::lock_guard<std::mutex> lock(mutex_);
+       return static_cast<double>(active_sessions_);
+     });
+  cb("cosched_rpc_queue_depth", "accepted connections awaiting a worker",
+     "gauge", [this] {
+       std::lock_guard<std::mutex> lock(mutex_);
+       return static_cast<double>(pending_.size());
+     });
+  cb("cosched_rpc_connections_accepted_total", "connections accepted",
+     "counter", [this] {
+       return static_cast<double>(stats().accepted_connections);
+     });
+  cb("cosched_rpc_connections_rejected_total",
+     "connections refused at the cap", "counter", [this] {
+       return static_cast<double>(stats().rejected_connections);
+     });
+  cb("cosched_rpc_requests_ok_total", "requests answered Ok", "counter",
+     [this] { return static_cast<double>(stats().requests_ok); });
+  cb("cosched_rpc_requests_failed_total", "non-Ok responses sent", "counter",
+     [this] { return static_cast<double>(stats().requests_failed); });
+  cb("cosched_rpc_malformed_frames_total",
+     "frames dropped as structurally invalid", "counter",
+     [this] { return static_cast<double>(stats().malformed_frames); });
+}
+
+void CoschedServer::unregister_observability() {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  for (const std::string& name : callback_names_)
+    reg.unregister_callback(name);
+  callback_names_.clear();
+  // The latency histogram stays registered (its samples outlive the server;
+  // nothing it references dies with us).
 }
 
 ServerStats CoschedServer::stats() const {
@@ -141,6 +234,7 @@ void CoschedServer::serve_connection(Socket socket) {
       return;
     }
 
+    WallTimer request_timer;
     RequestEnvelope request;
     ResponseEnvelope response;
     if (!decode_request(payload, request)) {
@@ -149,6 +243,7 @@ void CoschedServer::serve_connection(Socket socket) {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.malformed_frames;
     } else {
+      COSCHED_TRACE_SPAN(request_span, "rpc.request");
       response = handle_request(request);
     }
 
@@ -156,6 +251,8 @@ void CoschedServer::serve_connection(Socket socket) {
     FrameStatus write_status = write_frame(
         socket, bytes, Deadline::after(options_.request_deadline_seconds +
                                        options_.idle_poll_seconds));
+    if (request_latency_)
+      request_latency_->observe(request_timer.seconds());
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       if (response.status == RpcStatus::Ok)
@@ -178,12 +275,16 @@ ResponseEnvelope CoschedServer::handle_request(const RequestEnvelope& request) {
   ResponseEnvelope response;
   response.type = request.type;
   response.request_id = request.request_id;
-  if (request.version != kProtocolVersion) {
+  if (request.version < kMinProtocolVersion ||
+      request.version > kProtocolVersion) {
     response.status = RpcStatus::VersionMismatch;
-    response.error = "server speaks protocol version " +
+    response.error = "server speaks protocol versions " +
+                     std::to_string(kMinProtocolVersion) + ".." +
                      std::to_string(kProtocolVersion);
     return response;
   }
+  // Answer in the requester's version: a v1 peer gets v1 bodies.
+  response.version = request.version;
 
   // Per-request server-side budget. The same budget bounds the wait on the
   // scheduler thread; an expired deadline is reported, not worked through.
@@ -295,7 +396,45 @@ ResponseEnvelope CoschedServer::handle_request(const RequestEnvelope& request) {
       reply.running_mean_degradation = outcome.running_mean_degradation;
       reply.cache = outcome.cache;
       reply.deterministic_csv = outcome.deterministic_csv;
-      encode_metrics_response(body, reply);
+      if (request.version >= 2) {
+        MetricsRegistry& reg = MetricsRegistry::global();
+        reply.astar_searches =
+            reg.counter("cosched_astar_searches_total", "graph searches run")
+                .value();
+        reply.astar_expansions =
+            reg.counter("cosched_astar_expansions_total",
+                        "subpaths expanded")
+                .value();
+        reply.astar_heuristic_evals =
+            reg.counter("cosched_astar_heuristic_evals_total",
+                        "h(v) evaluations")
+                .value();
+        ServerStats snapshot = stats();
+        reply.rpc_requests_ok = snapshot.requests_ok;
+        reply.rpc_requests_failed = snapshot.requests_failed;
+        if (request_latency_) {
+          Histogram latency = request_latency_->snapshot();
+          reply.rpc_request_count = latency.count();
+          reply.rpc_request_seconds_sum = latency.sum();
+          reply.rpc_request_seconds_p99 = latency.quantile(0.99);
+        }
+      }
+      encode_metrics_response(body, reply, request.version);
+      break;
+    }
+    case MessageType::TraceDump: {
+      if (!reader.complete()) {
+        response.status = RpcStatus::BadRequest;
+        response.error = "unexpected TraceDump body";
+        return response;
+      }
+      const Tracer& tracer = Tracer::global();
+      TraceDumpResponse reply;
+      reply.enabled = tracer.enabled();
+      reply.event_count = tracer.event_count();
+      reply.text = tracer.dump_text();
+      reply.chrome_json = tracer.export_chrome_json();
+      encode_trace_dump_response(body, reply);
       break;
     }
     case MessageType::Drain: {

@@ -34,6 +34,8 @@
 
 #include "net/frame.hpp"
 #include "net/socket.hpp"
+#include "obs/http.hpp"
+#include "obs/metrics_registry.hpp"
 #include "online/live_service.hpp"
 #include "rpc/protocol.hpp"
 
@@ -53,6 +55,10 @@ struct ServerOptions {
   /// the stop flag. Purely a responsiveness knob.
   double idle_poll_seconds = 0.2;
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Observability side door: a second listening port serving GET /metrics
+  /// (Prometheus text format) and GET /healthz over HTTP/1.0.
+  bool enable_http = true;
+  std::uint16_t http_port = 0;  ///< 0 = ephemeral; read back with http_port()
   LiveServiceOptions service;
 };
 
@@ -79,6 +85,10 @@ class CoschedServer {
   /// Port actually bound (after start()).
   std::uint16_t port() const { return port_; }
 
+  /// HTTP observability port actually bound (after start(); 0 when
+  /// enable_http is off).
+  std::uint16_t http_port() const { return http_ ? http_->port() : 0; }
+
   /// Blocks until stop() is called or an RPC Shutdown arrives.
   void wait();
 
@@ -99,11 +109,20 @@ class CoschedServer {
   void serve_connection(Socket socket);
   /// Decodes, dispatches and encodes one request.
   ResponseEnvelope handle_request(const RequestEnvelope& request);
+  /// Registers the callback metrics bridging server/cache state into the
+  /// process registry; unregister_observability() drops them (stop()).
+  void register_observability();
+  void unregister_observability();
 
   ServerOptions options_;
   std::unique_ptr<LiveSchedulerService> service_;
   Socket listener_;
   std::uint16_t port_ = 0;
+  std::unique_ptr<HttpEndpoint> http_;
+  /// Cached at start(): workers observe without touching the registry map
+  /// (whose mutex the /metrics render holds while sampling callbacks).
+  HistogramMetric* request_latency_ = nullptr;
+  std::vector<std::string> callback_names_;
 
   std::mutex mutex_;
   std::condition_variable wake_;      ///< workers: connection queue

@@ -1,0 +1,270 @@
+// Tests for the observability side door: the minimal HTTP/1.0 endpoint
+// (src/obs/http), the live CoschedServer's /metrics and /healthz routes —
+// the acceptance criterion that GET /metrics serves valid Prometheus text
+// including cosched_cache_hits_total and cosched_rpc_request_seconds —
+// the v2 TraceDump RPC, and backward compatibility with v1 peers.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "obs/http.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
+#include "online/trace.hpp"
+#include "rpc/client.hpp"
+#include "rpc/protocol.hpp"
+#include "rpc/server.hpp"
+
+namespace cosched {
+namespace {
+
+/// One-shot raw HTTP exchange; returns the full response (status line,
+/// headers and body) or empty on transport failure.
+std::string raw_http(std::uint16_t port, const std::string& request) {
+  NetStatus status = NetStatus::Ok;
+  Deadline deadline = Deadline::after(5.0);
+  Socket socket = Socket::connect_to("127.0.0.1", port, deadline, status);
+  if (status != NetStatus::Ok) return {};
+  if (socket.send_all(request.data(), request.size(), deadline) !=
+      NetStatus::Ok)
+    return {};
+  socket.shutdown_send();
+  std::string response;
+  char chunk[4096];
+  while (true) {
+    std::size_t got = 0;
+    NetStatus recv_status =
+        socket.recv_some(chunk, sizeof(chunk), got, deadline);
+    if (recv_status == NetStatus::Closed) break;
+    if (recv_status != NetStatus::Ok) return {};
+    response.append(chunk, got);
+  }
+  return response;
+}
+
+std::string http_body(const std::string& response) {
+  std::size_t at = response.find("\r\n\r\n");
+  return at == std::string::npos ? std::string() : response.substr(at + 4);
+}
+
+TEST(HttpEndpointTest, RoutesGetRequestsAndRejectsEverythingElse) {
+  HttpEndpoint endpoint(HttpOptions{});
+  endpoint.handle("/ping", [](const std::string&, std::string& body,
+                              std::string& content_type) {
+    body = "pong";
+    content_type = "text/plain";
+    return true;
+  });
+  std::string error;
+  ASSERT_TRUE(endpoint.start(error)) << error;
+  ASSERT_NE(endpoint.port(), 0);
+
+  std::string ok = raw_http(endpoint.port(), "GET /ping HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(ok.rfind("HTTP/1.0 200", 0), 0u) << ok;
+  EXPECT_NE(ok.find("Connection: close"), std::string::npos);
+  EXPECT_NE(ok.find("Content-Length: 4"), std::string::npos);
+  EXPECT_EQ(http_body(ok), "pong");
+
+  std::string missing =
+      raw_http(endpoint.port(), "GET /nope HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(missing.rfind("HTTP/1.0 404", 0), 0u) << missing;
+
+  std::string post = raw_http(endpoint.port(), "POST /ping HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(post.rfind("HTTP/1.0 400", 0), 0u) << post;
+
+  endpoint.stop();
+  endpoint.stop();  // idempotent
+}
+
+// ------------------------------------------------- live server routes
+
+ServerOptions observable_server_options() {
+  ServerOptions options;
+  options.host = "127.0.0.1";
+  options.port = 0;       // ephemeral RPC port
+  options.http_port = 0;  // ephemeral observability port
+  options.service.wall_clock = false;
+  options.service.scheduler.cores = 2;
+  options.service.scheduler.machines = 3;
+  options.service.scheduler.admission.every_k = 2;
+  options.service.scheduler.log_process_finish = false;
+  return options;
+}
+
+WorkloadTrace small_jobs(std::uint64_t seed, std::int32_t jobs = 8) {
+  TraceSpec spec;
+  spec.job_count = jobs;
+  spec.mean_interarrival = 2.0;
+  spec.work_lo = 4.0;
+  spec.work_hi = 12.0;
+  spec.parallel_fraction = 0.2;
+  spec.max_parallel_processes = 2;
+  spec.seed = seed;
+  return generate_trace(spec);
+}
+
+// THE /metrics acceptance criterion: the exposition parses as Prometheus
+// text and carries the cache and RPC-latency series.
+TEST(HttpMetrics, LiveServerServesParseablePrometheusText) {
+  CoschedServer server(observable_server_options());
+  std::string error;
+  ASSERT_TRUE(server.start(error)) << error;
+  ASSERT_NE(server.http_port(), 0);
+
+  // Put some traffic through so the latency histogram has samples.
+  ClientOptions client_options;
+  client_options.port = server.port();
+  CoschedClient client(client_options);
+  for (const TraceJob& job : small_jobs(31).jobs) {
+    SubmitJobResponse reply;
+    ASSERT_TRUE(client.submit_job(job, reply).ok());
+  }
+
+  std::string health =
+      raw_http(server.http_port(), "GET /healthz HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(health.rfind("HTTP/1.0 200", 0), 0u) << health;
+  EXPECT_EQ(http_body(health), "ok\n");
+
+  std::string response =
+      raw_http(server.http_port(), "GET /metrics HTTP/1.0\r\n\r\n");
+  ASSERT_EQ(response.rfind("HTTP/1.0 200", 0), 0u) << response;
+  std::string exposition = http_body(response);
+
+  std::vector<PrometheusSample> samples;
+  ASSERT_TRUE(parse_prometheus_text(exposition, samples)) << exposition;
+  bool saw_cache_hits = false;
+  bool saw_request_seconds = false;
+  double request_count = -1.0;
+  for (const PrometheusSample& s : samples) {
+    if (s.name == "cosched_cache_hits_total") saw_cache_hits = true;
+    if (s.name.rfind("cosched_rpc_request_seconds", 0) == 0)
+      saw_request_seconds = true;
+    if (s.name == "cosched_rpc_request_seconds_count")
+      request_count = s.value;
+  }
+  EXPECT_TRUE(saw_cache_hits);
+  EXPECT_TRUE(saw_request_seconds);
+  EXPECT_GE(request_count, 8.0);  // every submit was observed
+
+  server.stop();
+}
+
+TEST(HttpMetrics, EndpointCanBeDisabled) {
+  ServerOptions options = observable_server_options();
+  options.enable_http = false;
+  CoschedServer server(options);
+  std::string error;
+  ASSERT_TRUE(server.start(error)) << error;
+  EXPECT_EQ(server.http_port(), 0);
+  server.stop();
+}
+
+// --------------------------------------------------- TraceDump RPC (v2)
+
+TEST(TraceDumpRpc, ReturnsServerSideSpans) {
+  Tracer& tracer = Tracer::global();
+  tracer.set_enabled(false);
+  tracer.reset();
+  tracer.set_enabled(true);
+
+  CoschedServer server(observable_server_options());
+  std::string error;
+  ASSERT_TRUE(server.start(error)) << error;
+  ClientOptions client_options;
+  client_options.port = server.port();
+  CoschedClient client(client_options);
+  for (const TraceJob& job : small_jobs(32, 4).jobs) {
+    SubmitJobResponse reply;
+    ASSERT_TRUE(client.submit_job(job, reply).ok());
+  }
+
+  TraceDumpResponse dump;
+  RpcError rpc_error = client.trace_dump(dump);
+  ASSERT_TRUE(rpc_error.ok()) << rpc_error.describe();
+  EXPECT_TRUE(dump.enabled);
+  EXPECT_GT(dump.event_count, 0u);
+  EXPECT_NE(dump.text.find("rpc.request"), std::string::npos);
+  EXPECT_EQ(dump.chrome_json.front(), '[');
+  EXPECT_NE(dump.chrome_json.find("\"name\":\"rpc.request\""),
+            std::string::npos);
+
+  server.stop();
+  tracer.set_enabled(false);
+  tracer.reset();
+}
+
+// ------------------------------------------------------- v1 back-compat
+
+// A v1 peer sends version=1 and must get exactly the v1 bytes back: the
+// response envelope answers in version 1 and the metrics body ends after
+// the v1 fields, leaving every extension at its zero default.
+TEST(ProtocolCompat, V1PeerGetsV1MetricsBody) {
+  CoschedServer server(observable_server_options());
+  std::string error;
+  ASSERT_TRUE(server.start(error)) << error;
+
+  NetStatus net = NetStatus::Ok;
+  Socket raw = Socket::connect_to("127.0.0.1", server.port(),
+                                  Deadline::after(2.0), net);
+  ASSERT_EQ(net, NetStatus::Ok);
+
+  RequestEnvelope request;
+  request.version = 1;
+  request.type = MessageType::GetMetrics;
+  request.request_id = 77;
+  ASSERT_EQ(write_frame(raw, encode_request(request), Deadline::after(2.0)),
+            FrameStatus::Ok);
+  std::vector<std::uint8_t> payload;
+  ASSERT_EQ(read_frame(raw, payload, Deadline::after(5.0)), FrameStatus::Ok);
+
+  ResponseEnvelope response;
+  ASSERT_TRUE(decode_response(payload, response));
+  EXPECT_EQ(response.version, 1);  // server answers in the peer's version
+  EXPECT_EQ(response.request_id, 77u);
+  ASSERT_EQ(response.status, RpcStatus::Ok) << response.error;
+
+  WireReader r(response.body);
+  MetricsResponse metrics;
+  metrics.astar_expansions = 123;  // decoder must reset to the zero default
+  ASSERT_TRUE(decode_metrics_response(r, metrics));
+  EXPECT_EQ(r.remaining(), 0u);  // v1 body carries no extension bytes
+  EXPECT_EQ(metrics.astar_expansions, 0u);
+  EXPECT_EQ(metrics.rpc_request_count, 0u);
+  EXPECT_EQ(metrics.cache.compactions, 0u);
+
+  server.stop();
+}
+
+// A peer speaking a future version is refused with VersionMismatch, not
+// misparsed.
+TEST(ProtocolCompat, FutureVersionIsRefused) {
+  CoschedServer server(observable_server_options());
+  std::string error;
+  ASSERT_TRUE(server.start(error)) << error;
+
+  NetStatus net = NetStatus::Ok;
+  Socket raw = Socket::connect_to("127.0.0.1", server.port(),
+                                  Deadline::after(2.0), net);
+  ASSERT_EQ(net, NetStatus::Ok);
+
+  RequestEnvelope request;
+  request.version = kProtocolVersion + 1;
+  request.type = MessageType::GetMetrics;
+  request.request_id = 78;
+  ASSERT_EQ(write_frame(raw, encode_request(request), Deadline::after(2.0)),
+            FrameStatus::Ok);
+  std::vector<std::uint8_t> payload;
+  ASSERT_EQ(read_frame(raw, payload, Deadline::after(5.0)), FrameStatus::Ok);
+
+  ResponseEnvelope response;
+  ASSERT_TRUE(decode_response(payload, response));
+  EXPECT_EQ(response.status, RpcStatus::VersionMismatch);
+
+  server.stop();
+}
+
+}  // namespace
+}  // namespace cosched

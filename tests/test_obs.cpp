@@ -1,0 +1,363 @@
+// Tests for the observability layer (src/obs): the relocated Histogram's
+// invalid-sample accounting, quantiles and merging; Tracer span nesting,
+// thread-merge determinism and the Chrome trace-event exporter; the metrics
+// registry's Prometheus round-trip; cache counters against a hand-computed
+// sequence; and the acceptance criterion — an HA*-backed replan traced end
+// to end shows the admission -> fresh_solve -> alignment -> commit
+// hierarchy with non-zero expansion counters.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/oracle_cache.hpp"
+#include "obs/histogram.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
+#include "online/scheduler.hpp"
+
+namespace cosched {
+namespace {
+
+// ------------------------------------------------------------ histogram
+
+TEST(ObsHistogram, InvalidSamplesAreDroppedAndCounted) {
+  Histogram h({1.0, 2.0});
+  h.add(0.5);
+  h.add(std::numeric_limits<Real>::quiet_NaN());
+  h.add(-3.0);
+  h.add(1.5);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.invalid(), 2u);
+  EXPECT_NEAR(h.sum(), 2.0, 1e-12);  // rejected samples never touch sum
+  EXPECT_EQ(h.max(), 1.5);
+  EXPECT_NE(h.summary().find("invalid:2"), std::string::npos);
+
+  Histogram clean({1.0});
+  clean.add(0.5);
+  EXPECT_EQ(clean.summary().find("invalid"), std::string::npos);
+}
+
+TEST(ObsHistogram, QuantileInterpolatesWithinBuckets) {
+  Histogram empty({1.0});
+  EXPECT_EQ(empty.quantile(0.5), 0.0);
+
+  Histogram h({2.0, 4.0});
+  for (Real x : {1.0, 2.0, 3.0, 4.0}) h.add(x);
+  EXPECT_NEAR(h.quantile(0.25), 1.0, 1e-12);  // halfway into [0, 2]
+  EXPECT_NEAR(h.quantile(0.5), 2.0, 1e-12);
+  EXPECT_NEAR(h.quantile(1.0), 4.0, 1e-12);
+  // Monotone in q.
+  Real prev = 0.0;
+  for (Real q = 0.0; q <= 1.0; q += 0.05) {
+    Real v = h.quantile(q);
+    EXPECT_GE(v, prev - 1e-12);
+    prev = v;
+  }
+
+  // Overflow samples are credited at the observed max.
+  Histogram overflow({1.0});
+  overflow.add(10.0);
+  EXPECT_EQ(overflow.quantile(0.99), 10.0);
+}
+
+TEST(ObsHistogram, MergeFoldsBucketsSumsAndInvalids) {
+  Histogram a({1.0, 5.0});
+  a.add(0.5);
+  a.add(3.0);
+  a.add(-1.0);  // invalid
+  Histogram b({1.0, 5.0});
+  b.add(0.25);
+  b.add(100.0);  // overflow
+
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.invalid(), 1u);
+  EXPECT_EQ(a.bucket_counts(), (std::vector<std::uint64_t>{2, 1, 1}));
+  EXPECT_NEAR(a.sum(), 0.5 + 3.0 + 0.25 + 100.0, 1e-12);
+  EXPECT_EQ(a.max(), 100.0);
+
+  Histogram zero({1.0, 5.0});
+  a.merge(zero);  // merging an empty histogram is a no-op
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.max(), 100.0);
+}
+
+// --------------------------------------------------------------- tracer
+
+// Record one fixed sequence into `tracer`: a nested span pair with an
+// instant and a counter on the calling thread, then one span on a second
+// (joined) thread.
+void record_fixture(Tracer& tracer) {
+  tracer.set_enabled(true);
+  tracer.begin_span("outer", 1.5, "k=v");
+  tracer.instant("tick");
+  tracer.begin_span("inner");
+  tracer.counter("widgets", 3.0);
+  tracer.end_span();
+  tracer.end_span();
+  std::thread worker([&tracer] {
+    tracer.begin_span("worker");
+    tracer.end_span();
+  });
+  worker.join();
+  tracer.set_enabled(false);
+}
+
+TEST(ObsTracer, DumpTextShowsNestingAndMergedThreadsDeterministically) {
+  Tracer tracer;
+  record_fixture(tracer);
+  const std::string expected =
+      "thread 0\n"
+      "span outer @vt=1.500 [k=v]\n"
+      "  mark tick\n"
+      "  span inner\n"
+      "    count widgets = 3.000\n"
+      "thread 1\n"
+      "span worker\n";
+  EXPECT_EQ(tracer.dump_text(), expected);
+
+  // Same sequence, fresh tracer: byte-identical dump (wall times never
+  // appear in the text form).
+  Tracer again;
+  record_fixture(again);
+  EXPECT_EQ(again.dump_text(), expected);
+  EXPECT_EQ(again.event_count(), 8u);  // 3 begins + 3 ends + instant + counter
+
+  again.reset();
+  EXPECT_EQ(again.event_count(), 0u);
+  EXPECT_EQ(again.dump_text(), "");
+}
+
+TEST(ObsTracer, ChromeJsonIsStructuredAndTimeOrdered) {
+  Tracer tracer;
+  record_fixture(tracer);
+  std::string json = tracer.export_chrome_json();
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.substr(json.size() - 2), "]\n");
+  // Closed spans export as complete ("X") events with a duration.
+  EXPECT_NE(json.find("\"name\":\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"virtual_time\":1.500"), std::string::npos);
+  EXPECT_NE(json.find("\"detail\":\"k=v\""), std::string::npos);
+
+  // The exporter's contract: events sorted by timestamp.
+  std::vector<double> stamps;
+  for (std::size_t at = json.find("\"ts\":"); at != std::string::npos;
+       at = json.find("\"ts\":", at + 1))
+    stamps.push_back(std::strtod(json.c_str() + at + 5, nullptr));
+  ASSERT_GE(stamps.size(), 5u);
+  for (std::size_t i = 1; i < stamps.size(); ++i)
+    EXPECT_GE(stamps[i], stamps[i - 1]);
+}
+
+TEST(ObsTracer, SpansStartedWhileDisabledRecordNothing) {
+  Tracer& tracer = Tracer::global();
+  tracer.set_enabled(false);
+  tracer.reset();
+  {
+    TraceSpan latched("never");
+    // Enabling mid-span must not produce a dangling End event: TraceSpan
+    // latches the decision at construction.
+    tracer.set_enabled(true);
+    COSCHED_TRACE_INSTANT("visible");
+  }
+  tracer.set_enabled(false);
+  EXPECT_EQ(tracer.event_count(), 1u);
+  EXPECT_EQ(tracer.dump_text().find("never"), std::string::npos);
+  tracer.reset();
+}
+
+// ------------------------------------------------------------- registry
+
+TEST(ObsRegistry, ValidNameEnforcesConventionAndCharset) {
+  EXPECT_TRUE(MetricsRegistry::valid_name("cosched_cache_hits_total"));
+  EXPECT_TRUE(MetricsRegistry::valid_name("cosched_rpc_request_seconds"));
+  EXPECT_FALSE(MetricsRegistry::valid_name("cache_hits_total"));  // no prefix
+  EXPECT_FALSE(MetricsRegistry::valid_name("cosched_bad-dash"));
+  EXPECT_FALSE(MetricsRegistry::valid_name("cosched_bad space"));
+}
+
+TEST(ObsRegistry, RegistrationIsIdempotent) {
+  MetricsRegistry reg;
+  Counter& first = reg.counter("cosched_test_widgets_total", "widgets");
+  first.inc(2);
+  Counter& second = reg.counter("cosched_test_widgets_total", "widgets");
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(second.value(), 2u);
+}
+
+TEST(ObsRegistry, PrometheusRenderRoundTripsThroughTheParser) {
+  MetricsRegistry reg;
+  reg.counter("cosched_test_widgets_total", "widgets made").inc(42);
+  reg.gauge("cosched_test_depth", "queue depth").set(2.5);
+  HistogramMetric& latency =
+      reg.histogram("cosched_test_latency_seconds", "latency", {0.1, 1.0});
+  latency.observe(0.05);
+  latency.observe(0.5);
+  latency.observe(5.0);
+  reg.callback("cosched_test_sampled", "pulled at render time", "gauge",
+               [] { return 7.0; });
+
+  std::string text = reg.render_prometheus();
+  EXPECT_NE(text.find("# HELP cosched_test_widgets_total widgets made"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE cosched_test_latency_seconds histogram"),
+            std::string::npos);
+
+  std::vector<PrometheusSample> samples;
+  ASSERT_TRUE(parse_prometheus_text(text, samples));
+  std::map<std::string, double> by_key;
+  for (const PrometheusSample& s : samples)
+    by_key[s.name + (s.labels.empty() ? "" : "{" + s.labels + "}")] = s.value;
+
+  EXPECT_EQ(by_key.at("cosched_test_widgets_total"), 42.0);
+  EXPECT_EQ(by_key.at("cosched_test_depth"), 2.5);
+  EXPECT_EQ(by_key.at("cosched_test_sampled"), 7.0);
+  // Buckets are cumulative and end with le="+Inf" == _count.
+  EXPECT_EQ(by_key.at("cosched_test_latency_seconds_bucket{le=\"0.1\"}"), 1.0);
+  EXPECT_EQ(by_key.at("cosched_test_latency_seconds_bucket{le=\"1\"}"), 2.0);
+  EXPECT_EQ(by_key.at("cosched_test_latency_seconds_bucket{le=\"+Inf\"}"),
+            3.0);
+  EXPECT_EQ(by_key.at("cosched_test_latency_seconds_count"), 3.0);
+  EXPECT_NEAR(by_key.at("cosched_test_latency_seconds_sum"), 5.55, 1e-9);
+
+  // Exposition is sorted by metric name.
+  EXPECT_LT(text.find("cosched_test_depth"),
+            text.find("cosched_test_latency_seconds"));
+  EXPECT_LT(text.find("cosched_test_latency_seconds"),
+            text.find("cosched_test_sampled"));
+}
+
+TEST(ObsRegistry, ParserRejectsMalformedLines) {
+  std::vector<PrometheusSample> samples;
+  EXPECT_FALSE(parse_prometheus_text("cosched_x_total\n", samples));
+  EXPECT_FALSE(parse_prometheus_text("cosched_x_total notanumber\n", samples));
+  EXPECT_FALSE(parse_prometheus_text("cosched_x{le=\"1\" 3\n", samples));
+  EXPECT_TRUE(parse_prometheus_text("# just a comment\n\n", samples));
+  EXPECT_TRUE(samples.empty());
+}
+
+TEST(ObsRegistry, CallbacksCanBeReplacedAndUnregistered) {
+  MetricsRegistry reg;
+  reg.callback("cosched_test_live", "h", "gauge", [] { return 1.0; });
+  reg.callback("cosched_test_live", "h", "gauge", [] { return 2.0; });
+  std::vector<PrometheusSample> samples;
+  ASSERT_TRUE(parse_prometheus_text(reg.render_prometheus(), samples));
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].value, 2.0);  // re-registration replaced the closure
+
+  reg.unregister_callback("cosched_test_live");
+  EXPECT_EQ(reg.render_prometheus(), "");
+  reg.unregister_callback("cosched_test_live");  // idempotent
+}
+
+// -------------------------------------------------------- cache counters
+
+// Hit/miss/evict/compaction counters against a hand-computed sequence.
+TEST(ObsCacheCounters, MatchHandComputedSequence) {
+  DegradationCache cache(2);
+  Real out = 0.0;
+
+  std::string k_a = DegradationCache::make_key(0, {1});
+  std::string k_b = DegradationCache::make_key(1, {0});
+  std::string k_c = DegradationCache::make_key(2, {3});
+
+  EXPECT_FALSE(cache.lookup(k_a, out));  // miss 1
+  cache.insert(k_a, 0.1);
+  cache.insert(k_b, 0.2);
+  cache.insert(k_c, 0.3);
+  EXPECT_TRUE(cache.lookup(k_a, out));   // hit 1
+  EXPECT_TRUE(cache.lookup(k_b, out));   // hit 2
+  EXPECT_FALSE(cache.lookup(DegradationCache::make_key(9, {}), out));  // miss 2
+
+  // Processes 2 and 3 finished: k_c mentions a dead id and must go.
+  std::vector<ProcessId> live = {0, 1};
+  EXPECT_EQ(cache.evict_dead(live), 1u);
+  EXPECT_EQ(cache.evict_dead(live), 0u);  // second pass finds nothing
+
+  DegradationCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.compactions, 2u);  // both passes count, even the empty one
+  EXPECT_NEAR(s.hit_rate(), 0.5, 1e-12);
+}
+
+// ----------------------------------------- end-to-end replan trace (HA*)
+
+// THE observability acceptance criterion: tracing an HA*-backed online run
+// yields the admission -> fresh_solve -> alignment -> commit hierarchy
+// under online.replan, with astar spans inside the solve phase and
+// non-zero expansion counters in the global registry.
+TEST(ObsEndToEnd, ReplanTraceShowsPhaseHierarchyAndAstarCounters) {
+  Counter& expansions = MetricsRegistry::global().counter(
+      "cosched_astar_expansions_total", "HA*/OA* node expansions");
+  Counter& searches = MetricsRegistry::global().counter(
+      "cosched_astar_searches_total", "HA*/OA* searches run");
+  std::uint64_t expansions_before = expansions.value();
+  std::uint64_t searches_before = searches.value();
+
+  Tracer& tracer = Tracer::global();
+  tracer.set_enabled(false);
+  tracer.reset();
+  tracer.set_enabled(true);
+
+  TraceSpec spec;
+  spec.job_count = 12;
+  spec.mean_interarrival = 2.0;
+  spec.work_lo = 4.0;
+  spec.work_hi = 12.0;
+  spec.parallel_fraction = 0.2;
+  spec.max_parallel_processes = 2;
+  spec.seed = 11;
+  OnlineSchedulerOptions options;
+  options.cores = 2;
+  options.machines = 3;
+  options.admission.every_k = 2;
+  options.solver = OnlineSolverKind::HAStar;
+  options.log_process_finish = false;
+  OnlineScheduler service(options);
+  service.run(generate_trace(spec));
+
+  tracer.set_enabled(false);
+  std::string dump = tracer.dump_text();
+  std::string json = tracer.export_chrome_json();
+  tracer.reset();
+
+  // Phase hierarchy, with indentation proving the nesting.
+  EXPECT_NE(dump.find("span online.replan"), std::string::npos);
+  EXPECT_NE(dump.find("\n  span replan.admission"), std::string::npos);
+  EXPECT_NE(dump.find("\n  span replan.fresh_solve"), std::string::npos);
+  EXPECT_NE(dump.find("\n  span replan.alignment"), std::string::npos);
+  EXPECT_NE(dump.find("\n  span replan.commit"), std::string::npos);
+  // The solver's own span sits inside the fresh-solve phase (depth 2).
+  EXPECT_NE(dump.find("\n    span astar.search"), std::string::npos);
+  EXPECT_NE(dump.find("variant=HA*"), std::string::npos);
+
+  // Chrome export carries the same span names as complete events.
+  for (const char* name :
+       {"online.replan", "replan.admission", "replan.fresh_solve",
+        "replan.alignment", "replan.commit", "astar.search",
+        "astar.expansions"})
+    EXPECT_NE(json.find(std::string("\"name\":\"") + name + "\""),
+              std::string::npos)
+        << name;
+
+  // Non-zero HA* work was recorded in the registry.
+  EXPECT_GT(searches.value(), searches_before);
+  EXPECT_GT(expansions.value(), expansions_before);
+}
+
+}  // namespace
+}  // namespace cosched

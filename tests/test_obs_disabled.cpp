@@ -1,0 +1,46 @@
+// Compile-time kill switch: this TU is built with -DCOSCHED_TRACE_DISABLED
+// (see tests/CMakeLists.txt), so every COSCHED_TRACE_* macro must expand to
+// a no-op — no events recorded even with the tracer runtime-enabled. This
+// is the overhead story for builds that want tracing gone entirely.
+#include <gtest/gtest.h>
+
+#include "obs/trace.hpp"
+
+namespace cosched {
+namespace {
+
+#ifndef COSCHED_TRACE_DISABLED
+#error "this TU must be compiled with COSCHED_TRACE_DISABLED"
+#endif
+
+TEST(ObsTracingDisabled, MacrosAreNoOpsEvenWhenRuntimeEnabled) {
+  Tracer& tracer = Tracer::global();
+  tracer.set_enabled(false);
+  tracer.reset();
+  tracer.set_enabled(true);
+
+  {
+    COSCHED_TRACE_SPAN(span, "compiled.out", 1.0, "k=v");
+    COSCHED_TRACE_INSTANT("compiled.out.instant");
+    COSCHED_TRACE_COUNTER("compiled.out.counter", 42.0);
+  }
+
+  tracer.set_enabled(false);
+  EXPECT_EQ(tracer.event_count(), 0u);
+  EXPECT_EQ(tracer.dump_text(), "");
+  tracer.reset();
+}
+
+// The macros must also be valid statements in branch positions — the
+// do-while no-op form, not a bare expansion that breaks if/else.
+TEST(ObsTracingDisabled, MacrosParseInBranchPositions) {
+  bool flag = true;
+  if (flag)
+    COSCHED_TRACE_INSTANT("then-branch");
+  else
+    COSCHED_TRACE_COUNTER("else-branch", 1.0);
+  EXPECT_EQ(Tracer::global().event_count(), 0u);
+}
+
+}  // namespace
+}  // namespace cosched
