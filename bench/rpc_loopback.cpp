@@ -11,13 +11,19 @@
 // bucket-interpolated quantiles the /metrics exposition serves — not a
 // second, subtly different sort-based estimator.
 //
+// Besides the human-readable table (and CSV), the run always writes a
+// machine-readable summary (default BENCH_rpc_loopback.json, override with
+// --bench-out) so CI can diff throughput and p50/p95/p99 against the
+// checked-in baseline.
+//
 //   ./rpc_loopback --jobs 200 --clients 4 --scale 1
-//   ./rpc_loopback --trace-out traces/loopback.json \
-//                  --metrics-out traces/loopback_metrics.txt
+//   ./rpc_loopback --trace-out traces/loopback.json --metrics-out
+//                  traces/loopback_metrics.txt --bench-out bench.json
 #include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -118,6 +124,8 @@ int main(int argc, char** argv) {
   std::int64_t client_count = args.get_int("clients", 2);
   std::string trace_out = args.get_string("trace-out", "");
   std::string metrics_out = args.get_string("metrics-out", "");
+  std::string bench_out =
+      args.get_string("bench-out", "BENCH_rpc_loopback.json");
 
   if (!trace_out.empty()) Tracer::global().set_enabled(true);
 
@@ -229,6 +237,33 @@ int main(int argc, char** argv) {
   if (!trace_out.empty()) {
     if (Tracer::global().write_chrome_json(trace_out))
       std::cout << "wrote " << trace_out << "\n";
+  }
+
+  if (!bench_out.empty()) {
+    std::ostringstream json;
+    json.setf(std::ios::fixed);
+    json.precision(4);
+    json << "{\n"
+         << "  \"bench\": \"rpc_loopback\",\n"
+         << "  \"clients\": " << client_count << ",\n"
+         << "  \"jobs_per_client\": " << jobs_per_client << ",\n"
+         << "  \"requests_ok\": " << requests << ",\n"
+         << "  \"requests_failed\": " << errors << ",\n"
+         << "  \"wall_seconds\": " << wall_seconds << ",\n"
+         << "  \"throughput_rps\": "
+         << (wall_seconds > 0.0 ? static_cast<double>(requests) / wall_seconds
+                                : 0.0)
+         << ",\n"
+         << "  \"latency_ms\": {\n"
+         << "    \"mean\": " << all.mean() << ",\n"
+         << "    \"p50\": " << all.quantile(0.5) << ",\n"
+         << "    \"p95\": " << all.quantile(0.95) << ",\n"
+         << "    \"p99\": " << all.quantile(0.99) << ",\n"
+         << "    \"max\": " << all.max() << "\n"
+         << "  }\n"
+         << "}\n";
+    if (write_text_file(bench_out, json.str()))
+      std::cout << "wrote " << bench_out << "\n";
   }
 
   return drained.completions == requests && errors == 0 ? 0 : 1;

@@ -1,0 +1,327 @@
+// rpc_soak: sustained-load soak of the observability stack.
+//
+// Runs a CoschedServer under continuous loopback traffic with tracing
+// enabled the way a long-lived deployment would run it — a small
+// fixed-capacity ring per thread, 1-in-N head-based trace sampling and an
+// always-keep override for replan commits — plus one streaming-telemetry
+// subscriber writing every received frame to a capture file.
+//
+// The point is not a number but a set of invariants that must hold after
+// minutes of load (CI runs ~30 s, the default is 8 s):
+//   1. the tracer's buffered event count plateaus at the ring capacity
+//      instead of growing without bound;
+//   2. /metrics reports the overwritten events
+//      (cosched_tracer_dropped_events_total > 0) and sampling did shed
+//      traces (cosched_tracer_sampled_out_traces_total > 0);
+//   3. always-keep span categories (replan.commit) are still present in
+//      the buffers despite the sampling;
+//   4. the telemetry stream delivered frames throughout.
+// Any violated invariant makes the exit status nonzero.
+//
+//   ./rpc_soak --seconds 30 --ring 4096 --sample-every 8 \
+//              --capture traces/soak_telemetry.jsonl
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
+#include "rpc/client.hpp"
+#include "rpc/server.hpp"
+
+namespace {
+
+using namespace cosched;
+
+std::atomic<bool> g_stop{false};
+
+void drive_client(std::uint16_t port, std::uint64_t seed,
+                  std::uint64_t* requests) {
+  ClientOptions options;
+  options.port = port;
+  CoschedClient client(options);
+  std::uint64_t round = 0;
+  std::int64_t last_job = -1;
+  while (!g_stop.load(std::memory_order_acquire)) {
+    TraceSpec spec;
+    spec.job_count = 32;
+    spec.parallel_fraction = 0.2;
+    spec.mean_interarrival = 4.0;
+    spec.work_lo = 2.0;
+    spec.work_hi = 8.0;
+    spec.seed = seed + round;
+    // Arrival times must keep climbing across rounds: restarting at zero
+    // would pile every round's jobs onto "now", the fleet would never
+    // drain, and replans would grow until they throttle the soak.
+    const Real offset = static_cast<Real>(round) * 32.0 * 4.0;
+    ++round;
+    for (TraceJob job : generate_trace(spec).jobs) {
+      if (g_stop.load(std::memory_order_acquire)) return;
+      job.arrival_time += offset;
+      SubmitJobResponse reply;
+      if (client.submit_job(job, reply).ok()) {
+        ++*requests;
+        last_job = reply.job_id;
+      }
+      // Pace the submit stream: a closed-loop submitter would pin the
+      // scheduler thread in replans and starve every other request class
+      // of the FIFO command queue.
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+  }
+  (void)last_job;
+}
+
+/// Read-mostly load: hammers query_job_status as fast as the transport
+/// allows. Pollers are what actually fill the worker-thread rings — the
+/// submit path is solver-bound and tops out at tens of requests a second.
+void drive_poller(std::uint16_t port, std::uint64_t* requests) {
+  ClientOptions options;
+  options.port = port;
+  CoschedClient client(options);
+  while (!g_stop.load(std::memory_order_acquire)) {
+    JobStatusResponse status;
+    if (client.query_job_status(0, status).ok()) ++*requests;
+  }
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// Drains telemetry frames until the soak stops, appending one JSON line
+/// per frame to `capture` (CI uploads the file as an artifact).
+void drive_subscriber(std::uint16_t port, const std::string& capture,
+                      std::uint64_t* frames, std::uint64_t* spans) {
+  ClientOptions options;
+  options.port = port;
+  CoschedClient streamer(options);
+  TelemetrySubscribeRequest subscribe;
+  subscribe.interval_ms = 100;
+  subscribe.max_spans_per_frame = 512;
+  TelemetrySubscribeAck ack;
+  RpcError error = streamer.subscribe_telemetry(subscribe, ack);
+  if (!error.ok()) {
+    std::cerr << "rpc_soak: subscribe: " << error.describe() << "\n";
+    return;
+  }
+
+  std::ofstream out;
+  if (!capture.empty()) {
+    std::error_code ec;
+    std::filesystem::path parent = std::filesystem::path(capture).parent_path();
+    if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+    out.open(capture);
+  }
+
+  auto write_frame = [&](const TelemetryFrame& frame) {
+    ++*frames;
+    *spans += frame.spans.size();
+    if (!out) return;
+    out << "{\"frame_seq\":" << frame.frame_seq
+        << ",\"last\":" << (frame.last ? "true" : "false")
+        << ",\"dropped_spans\":" << frame.dropped_spans << ",\"metrics\":{";
+    for (std::size_t i = 0; i < frame.metrics.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "\"" << json_escape(frame.metrics[i].name)
+          << "\":" << frame.metrics[i].value;
+    }
+    out << "},\"spans\":[";
+    for (std::size_t i = 0; i < frame.spans.size(); ++i) {
+      const TelemetrySpanSample& s = frame.spans[i];
+      if (i > 0) out << ",";
+      out << "{\"name\":\"" << json_escape(s.name)
+          << "\",\"phase\":" << static_cast<int>(s.phase)
+          << ",\"trace_id\":" << s.trace_id << ",\"seq\":" << s.seq << "}";
+    }
+    out << "]}\n";
+  };
+
+  while (!g_stop.load(std::memory_order_acquire)) {
+    TelemetryFrame frame;
+    RpcError frame_error = streamer.read_telemetry_frame(frame, 1.0);
+    if (!frame_error.ok()) {
+      if (streamer.streaming()) continue;  // timeout slice, keep waiting
+      return;                              // stream is gone
+    }
+    write_frame(frame);
+    if (frame.last) return;
+  }
+
+  // Polite unsubscribe: ask for the final frame and drain until it lands.
+  if (streamer.stop_telemetry().ok()) {
+    for (int i = 0; i < 50; ++i) {
+      TelemetryFrame frame;
+      if (!streamer.read_telemetry_frame(frame, 1.0).ok()) break;
+      write_frame(frame);
+      if (frame.last) break;
+    }
+  }
+}
+
+std::string http_get_body(const std::string& host, std::uint16_t port,
+                          const std::string& path) {
+  NetStatus status = NetStatus::Ok;
+  Deadline deadline = Deadline::after(5.0);
+  Socket socket = Socket::connect_to(host, port, deadline, status);
+  if (status != NetStatus::Ok) return {};
+  std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  if (socket.send_all(request.data(), request.size(), deadline) !=
+      NetStatus::Ok)
+    return {};
+  socket.shutdown_send();
+  std::string response;
+  char chunk[4096];
+  while (true) {
+    std::size_t got = 0;
+    NetStatus recv_status =
+        socket.recv_some(chunk, sizeof(chunk), got, deadline);
+    if (recv_status == NetStatus::Closed) break;
+    if (recv_status != NetStatus::Ok) return {};
+    response.append(chunk, got);
+  }
+  std::size_t body_at = response.find("\r\n\r\n");
+  if (body_at == std::string::npos) return {};
+  if (response.rfind("HTTP/1.0 200", 0) != 0) return {};
+  return response.substr(body_at + 4);
+}
+
+bool check(bool ok, const std::string& what) {
+  std::cout << (ok ? "PASS  " : "FAIL  ") << what << "\n";
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  double seconds = static_cast<double>(args.get_int("seconds", 8));
+  std::int64_t ring = args.get_int("ring", 4096);
+  std::int64_t sample_every = args.get_int("sample-every", 8);
+  std::int64_t client_count = args.get_int("clients", 2);
+  std::int64_t poller_count = args.get_int("pollers", 3);
+  std::string capture =
+      args.get_string("capture", "traces/soak_telemetry.jsonl");
+
+  print_experiment_header(
+      "rpc_soak",
+      "long-lived observability soak: bounded tracer rings, head-based "
+      "sampling with always-keep, streaming telemetry under load");
+
+  Tracer& tracer = Tracer::global();
+  tracer.set_enabled(true);
+  tracer.set_max_events_per_thread(static_cast<std::size_t>(ring));
+  tracer.set_sample_every(static_cast<std::uint64_t>(sample_every));
+  tracer.set_always_keep({"replan.commit"});
+
+  ServerOptions server_options;
+  server_options.port = 0;
+  server_options.worker_threads =
+      static_cast<std::size_t>(client_count + poller_count) +
+      1;  // +1 for the subscriber
+  server_options.service.wall_clock = false;
+  server_options.service.scheduler.cores = 4;
+  server_options.service.scheduler.machines = 8;
+  // Replan every other admission: enough commit-span traffic for the
+  // always-keep override to matter without pinning the scheduler thread.
+  server_options.service.scheduler.admission.every_k = 2;
+  server_options.service.scheduler.cache_compaction_jobs = 16;
+  server_options.service.scheduler.log_process_finish = false;
+
+  CoschedServer server(server_options);
+  std::string error;
+  if (!server.start(error)) {
+    std::cerr << "rpc_soak: " << error << "\n";
+    return 1;
+  }
+
+  std::vector<std::uint64_t> requests(
+      static_cast<std::size_t>(client_count + poller_count), 0);
+  std::uint64_t frames = 0;
+  std::uint64_t streamed_spans = 0;
+  std::vector<std::thread> threads;
+  threads.emplace_back(drive_subscriber, server.port(), capture, &frames,
+                       &streamed_spans);
+  for (std::size_t c = 0; c < static_cast<std::size_t>(client_count); ++c)
+    threads.emplace_back(drive_client, server.port(), 9000 + 17 * c,
+                         &requests[c]);
+  for (std::size_t c = 0; c < static_cast<std::size_t>(poller_count); ++c)
+    threads.emplace_back(drive_poller, server.port(),
+                         &requests[static_cast<std::size_t>(client_count) + c]);
+
+  // Mid-soak and end-of-soak samples of the buffered event count: once
+  // every active ring is full the count must plateau.
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds * 0.6));
+  std::uint64_t events_mid = tracer.event_count();
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds * 0.4));
+  std::uint64_t events_end = tracer.event_count();
+
+  std::string exposition =
+      http_get_body(server_options.host, server.http_port(), "/metrics");
+
+  g_stop.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+  server.stop();
+
+  std::uint64_t total_requests = 0;
+  for (std::uint64_t r : requests) total_requests += r;
+
+  double dropped_metric = -1.0;
+  double sampled_out_metric = -1.0;
+  std::vector<PrometheusSample> samples;
+  if (parse_prometheus_text(exposition, samples)) {
+    for (const PrometheusSample& s : samples) {
+      if (s.name == "cosched_tracer_dropped_events_total")
+        dropped_metric = s.value;
+      if (s.name == "cosched_tracer_sampled_out_traces_total")
+        sampled_out_metric = s.value;
+    }
+  }
+
+  Tracer::TelemetryBatch commits = tracer.collect_since(0, "replan.commit", 0);
+
+  std::cout << "requests ok          " << total_requests << "\n"
+            << "telemetry frames     " << frames << "\n"
+            << "streamed spans       " << streamed_spans << "\n"
+            << "events mid/end       " << events_mid << " / " << events_end
+            << "\n"
+            << "dropped events       " << tracer.dropped_events() << "\n"
+            << "sampled-out traces   " << tracer.sampled_out_traces() << "\n"
+            << "capture file         " << capture << "\n\n";
+
+  // The ring bound: at most `ring` events per registered thread buffer.
+  // Threads here: main, accept, workers, scheduler, HTTP, clients — 16 is
+  // a generous process-wide ceiling.
+  const std::uint64_t hard_cap = static_cast<std::uint64_t>(ring) * 16;
+
+  bool ok = true;
+  ok &= check(total_requests > 0, "loopback traffic flowed");
+  ok &= check(events_end <= hard_cap,
+              "event count bounded by ring capacity x threads");
+  ok &= check(events_end <= events_mid + static_cast<std::uint64_t>(ring),
+              "event count plateaued (grew < one ring in the last 40%)");
+  ok &= check(tracer.dropped_events() > 0,
+              "ring overwrites happened under sustained load");
+  ok &= check(dropped_metric > 0.0,
+              "/metrics reports cosched_tracer_dropped_events_total > 0");
+  ok &= check(sampled_out_metric > 0.0,
+              "/metrics reports cosched_tracer_sampled_out_traces_total > 0");
+  ok &= check(!commits.events.empty(),
+              "always-keep replan.commit spans survived sampling");
+  ok &= check(frames > 0, "telemetry stream delivered frames");
+  ok &= check(streamed_spans > 0, "telemetry frames carried span samples");
+
+  tracer.set_enabled(false);
+  return ok ? 0 : 1;
+}

@@ -9,6 +9,8 @@
 // (deterministic replay mode). On exit the scheduler metrics are written as
 // CSVs under --out (directory is created if missing).
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "harness/experiment.hpp"
 #include "obs/trace.hpp"
@@ -32,7 +34,31 @@ int main(int argc, char** argv) {
   options.enable_http = metrics_port >= 0;
   if (options.enable_http)
     options.http_port = static_cast<std::uint16_t>(metrics_port);
+  // Tracer knobs mirror the acceptance configuration: --trace 1 enables
+  // recording, --trace-ring bounds each thread's ring, --trace-sample-every
+  // keeps 1-in-N traces head-based (deterministic under --trace-seed), and
+  // --trace-keep is a comma-separated list of span-name prefixes recorded
+  // even for sampled-out traces.
   if (args.get_int("trace", 0) != 0) Tracer::global().set_enabled(true);
+  Tracer::global().set_max_events_per_thread(
+      static_cast<std::size_t>(args.get_int("trace-ring", 4096)));
+  Tracer::global().set_sample_every(
+      static_cast<std::uint64_t>(args.get_int("trace-sample-every", 1)));
+  Tracer::global().set_sample_seed(
+      static_cast<std::uint64_t>(args.get_int("trace-seed", 0)));
+  {
+    std::string keep = args.get_string("trace-keep", "");
+    std::vector<std::string> prefixes;
+    std::size_t start = 0;
+    while (start < keep.size()) {
+      std::size_t comma = keep.find(',', start);
+      if (comma == std::string::npos) comma = keep.size();
+      if (comma > start) prefixes.push_back(keep.substr(start, comma - start));
+      start = comma + 1;
+    }
+    if (!prefixes.empty())
+      Tracer::global().set_always_keep(std::move(prefixes));
+  }
 
   options.service.wall_clock = args.get_int("virtual", 0) == 0;
   options.service.wall_time_scale = args.get_real("wall-scale", 4.0);

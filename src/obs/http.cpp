@@ -1,5 +1,6 @@
 #include "obs/http.hpp"
 
+#include <cctype>
 #include <utility>
 
 #include "util/common.hpp"
@@ -9,26 +10,47 @@ namespace cosched {
 namespace {
 
 constexpr std::size_t kMaxRequestBytes = 8 * 1024;
+constexpr std::size_t kMaxRequestLineBytes = 4 * 1024;
 
 std::string status_line(int code) {
   switch (code) {
     case 200: return "HTTP/1.0 200 OK\r\n";
     case 400: return "HTTP/1.0 400 Bad Request\r\n";
     case 404: return "HTTP/1.0 404 Not Found\r\n";
+    case 405: return "HTTP/1.0 405 Method Not Allowed\r\n";
     default: return "HTTP/1.0 500 Internal Server Error\r\n";
   }
 }
 
+/// `head_only` sends the full header block (including the Content-Length
+/// the body would have) but no body bytes — the HEAD contract.
 void send_response(Socket& socket, int code, const std::string& body,
-                   const std::string& content_type,
-                   const Deadline& deadline) {
+                   const std::string& content_type, const Deadline& deadline,
+                   bool head_only = false) {
   std::string response = status_line(code);
   response += "Content-Type: " + content_type + "\r\n";
   response += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  if (code == 405) response += "Allow: GET, HEAD\r\n";
   response += "Connection: close\r\n\r\n";
-  response += body;
+  if (!head_only) response += body;
   socket.send_all(response.data(), response.size(), deadline);
   socket.shutdown_send();
+}
+
+/// True iff the header block names a non-empty request body
+/// (Content-Length > 0 or any Transfer-Encoding). Case-insensitive.
+bool headers_announce_body(const std::string& headers) {
+  std::string lower;
+  lower.reserve(headers.size());
+  for (char c : headers)
+    lower += static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c)));
+  if (lower.find("transfer-encoding:") != std::string::npos) return true;
+  std::size_t at = lower.find("content-length:");
+  if (at == std::string::npos) return false;
+  std::size_t p = at + 15;
+  while (p < lower.size() && (lower[p] == ' ' || lower[p] == '\t')) ++p;
+  return p < lower.size() && lower[p] >= '1' && lower[p] <= '9';
 }
 
 }  // namespace
@@ -84,8 +106,23 @@ void HttpEndpoint::serve_connection(Socket socket) {
   // Read until the end of the request head (or the cap, or the budget).
   std::string request;
   char chunk[1024];
-  while (request.find("\r\n\r\n") == std::string::npos) {
-    if (request.size() >= kMaxRequestBytes) return;  // oversized: drop
+  std::size_t head_end = std::string::npos;
+  while ((head_end = request.find("\r\n\r\n")) == std::string::npos) {
+    if (request.size() >= kMaxRequestBytes ||
+        (request.find("\r\n") == std::string::npos &&
+         request.size() >= kMaxRequestLineBytes)) {
+      // Oversized head or runaway request line: answer before hanging up,
+      // so well-meaning-but-wrong clients see *why* instead of a reset.
+      send_response(socket, 400, "request too large\n", "text/plain",
+                    deadline);
+      // Drain whatever the peer is still sending — closing with unread
+      // bytes queued triggers a RST that can destroy the 400 in flight.
+      std::size_t drained = 0;
+      while (socket.recv_some(chunk, sizeof(chunk), drained, deadline) ==
+             NetStatus::Ok) {
+      }
+      return;
+    }
     std::size_t got = 0;
     NetStatus status =
         socket.recv_some(chunk, sizeof(chunk), got, deadline);
@@ -103,30 +140,67 @@ void HttpEndpoint::serve_connection(Socket socket) {
   std::size_t line_end = request.find("\r\n");
   if (line_end == std::string::npos) line_end = request.size();
   const std::string line = request.substr(0, line_end);
-  // "GET <path> HTTP/1.x"
-  if (line.rfind("GET ", 0) != 0) {
-    send_response(socket, 400, "only GET is supported\n", "text/plain",
+
+  // "<METHOD> <path> HTTP/1.x". A recognizable-but-unsupported method gets
+  // 405 + Allow (the observability door is read-only); anything that does
+  // not even parse as a method token gets 400.
+  std::size_t method_end = line.find(' ');
+  if (method_end == std::string::npos || method_end == 0) {
+    send_response(socket, 400, "malformed request line\n", "text/plain",
                   deadline);
     return;
   }
-  std::size_t path_end = line.find(' ', 4);
+  const std::string method = line.substr(0, method_end);
+  bool method_token = true;
+  for (char c : method)
+    if (!std::isupper(static_cast<unsigned char>(c))) method_token = false;
+  if (!method_token) {
+    send_response(socket, 400, "malformed request line\n", "text/plain",
+                  deadline);
+    return;
+  }
+  const bool head = method == "HEAD";
+  if (!head && method != "GET") {
+    send_response(socket, 405, "method not allowed: " + method + "\n",
+                  "text/plain", deadline);
+    return;
+  }
+
+  // This endpoint serves only bodyless reads: a request that announces a
+  // body (Content-Length/Transfer-Encoding) or ships bytes past the head
+  // terminator is rejected rather than half-parsed.
+  const std::string headers =
+      head_end == std::string::npos
+          ? (line_end + 2 <= request.size() ? request.substr(line_end + 2)
+                                            : std::string())
+          : request.substr(line_end + 2, head_end - line_end - 2);
+  const bool trailing_bytes =
+      head_end != std::string::npos && request.size() > head_end + 4;
+  if (trailing_bytes || headers_announce_body(headers)) {
+    send_response(socket, 400, "request bodies are not supported\n",
+                  "text/plain", deadline);
+    return;
+  }
+
+  std::size_t path_end = line.find(' ', method_end + 1);
   if (path_end == std::string::npos) {
     send_response(socket, 400, "malformed request line\n", "text/plain",
                   deadline);
     return;
   }
-  std::string path = line.substr(4, path_end - 4);
+  std::string path =
+      line.substr(method_end + 1, path_end - method_end - 1);
 
   for (const auto& [route, handler] : routes_) {
     if (route != path) continue;
     std::string body;
     std::string content_type = "text/plain; charset=utf-8";
     if (!handler(path, body, content_type)) break;
-    send_response(socket, 200, body, content_type, deadline);
+    send_response(socket, 200, body, content_type, deadline, head);
     return;
   }
   send_response(socket, 404, "no such path: " + path + "\n", "text/plain",
-                deadline);
+                deadline, head);
 }
 
 }  // namespace cosched

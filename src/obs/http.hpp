@@ -1,11 +1,15 @@
-// Minimal HTTP/1.0 GET endpoint on top of the src/net Socket layer.
+// Minimal HTTP/1.0 GET/HEAD endpoint on top of the src/net Socket layer.
 //
 // Just enough HTTP for `curl`, Prometheus scrapers and health probes:
-// one accept+serve thread, GET only, `Connection: close` on every reply.
-// Handlers run on the serving thread and must be fast and thread-safe
-// against the rest of the process (the /metrics handler renders a registry;
-// the /healthz handler returns a constant). Anything that is not a
-// well-formed GET gets 400; a path no handler claims gets 404.
+// one accept+serve thread, GET and HEAD only, `Connection: close` on every
+// reply. Handlers run on the serving thread and must be fast and
+// thread-safe against the rest of the process (the /metrics handler renders
+// a registry; the /healthz handler returns a constant). HEAD returns the
+// same headers a GET would (including Content-Length) without the body.
+// Recognizable-but-unsupported methods (POST, PUT, ...) get 405 with an
+// `Allow: GET, HEAD` header; malformed request lines, oversized heads and
+// requests that announce or ship a body get 400 — never a silent close.
+// A path no handler claims gets 404.
 //
 // This is deliberately NOT a general web server: no keep-alive, no request
 // bodies, no chunking, 8 KiB request cap. The RPC protocol stays on the

@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
+
+#include "util/rng.hpp"
 
 namespace cosched {
 
@@ -41,6 +45,14 @@ std::string fmt_double(double v) {
   return buf;
 }
 
+/// Thread-local current trace context. One slot per thread (not per
+/// tracer): contexts are installed around well-scoped request handling, so
+/// nesting different tracers' contexts on one thread does not arise.
+TraceContext& current_context_slot() {
+  thread_local TraceContext context;
+  return context;
+}
+
 }  // namespace
 
 Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {
@@ -58,9 +70,75 @@ void Tracer::reset() {
   for (auto& buffer : buffers_) {
     std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
     buffer->events.clear();
+    buffer->next = 0;
+    buffer->dropped = 0;
     buffer->depth = 0;
   }
+  sampled_out_traces_.store(0, std::memory_order_relaxed);
   epoch_ = std::chrono::steady_clock::now();
+}
+
+std::uint64_t Tracer::dropped_events() const {
+  std::uint64_t total = 0;
+  for (const auto& buffer : buffers_snapshot()) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    total += buffer->dropped;
+  }
+  return total;
+}
+
+void Tracer::set_always_keep(std::vector<std::string> prefixes) {
+  std::lock_guard<std::mutex> lock(always_keep_mutex_);
+  always_keep_ = std::move(prefixes);
+}
+
+std::vector<std::string> Tracer::always_keep() const {
+  std::lock_guard<std::mutex> lock(always_keep_mutex_);
+  return always_keep_;
+}
+
+std::uint64_t Tracer::sampled_out_traces() const {
+  return sampled_out_traces_.load(std::memory_order_relaxed);
+}
+
+TraceContext Tracer::make_context(std::uint64_t trace_id) {
+  TraceContext context;
+  context.trace_id = trace_id;
+  context.parent_span_id =
+      next_span_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::uint64_t n = sample_every_.load(std::memory_order_relaxed);
+  std::uint64_t seed = sample_seed_.load(std::memory_order_relaxed);
+  context.sampled =
+      trace_id == 0 || n <= 1 || SplitMix64(seed ^ trace_id).next() % n == 0;
+  if (!context.sampled)
+    sampled_out_traces_.fetch_add(1, std::memory_order_relaxed);
+  return context;
+}
+
+const TraceContext& Tracer::current_context() {
+  return current_context_slot();
+}
+
+void Tracer::set_current_context(const TraceContext& context) {
+  current_context_slot() = context;
+}
+
+void Tracer::clear_current_context() {
+  current_context_slot() = TraceContext{};
+}
+
+bool Tracer::matches_always_keep(const char* name) const {
+  std::lock_guard<std::mutex> lock(always_keep_mutex_);
+  for (const std::string& prefix : always_keep_) {
+    if (std::strncmp(name, prefix.c_str(), prefix.size()) == 0) return true;
+  }
+  return false;
+}
+
+bool Tracer::should_record(const char* name) const {
+  const TraceContext& context = current_context_slot();
+  if (context.trace_id == 0 || context.sampled) return true;
+  return matches_always_keep(name);
 }
 
 Tracer::ThreadBuffer& Tracer::local_buffer() {
@@ -83,8 +161,20 @@ void Tracer::record(ThreadBuffer& buffer, Event event) {
   std::chrono::duration<double, std::micro> since =
       std::chrono::steady_clock::now() - epoch_;
   event.wall_us = since.count();
+  event.trace_id = current_context_slot().trace_id;
+  event.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  std::size_t capacity = max_events_per_thread_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(buffer.mutex);
-  buffer.events.push_back(std::move(event));
+  if (buffer.events.size() < capacity) {
+    buffer.events.push_back(std::move(event));
+    return;
+  }
+  // Ring full: overwrite the oldest slot. If the capacity was shrunk below
+  // the current size, wrap within what is already stored.
+  if (buffer.next >= buffer.events.size()) buffer.next = 0;
+  buffer.events[buffer.next] = std::move(event);
+  buffer.next = (buffer.next + 1) % buffer.events.size();
+  ++buffer.dropped;
 }
 
 void Tracer::begin_span(const char* name, Real virtual_time,
@@ -112,7 +202,7 @@ void Tracer::end_span() {
 }
 
 void Tracer::instant(const char* name, Real virtual_time, std::string args) {
-  if (!enabled()) return;
+  if (!enabled() || !should_record(name)) return;
   ThreadBuffer& buffer = local_buffer();
   Event event;
   event.name = name;
@@ -124,7 +214,7 @@ void Tracer::instant(const char* name, Real virtual_time, std::string args) {
 }
 
 void Tracer::counter(const char* name, double value) {
-  if (!enabled()) return;
+  if (!enabled() || !should_record(name)) return;
   ThreadBuffer& buffer = local_buffer();
   Event event;
   event.name = name;
@@ -140,6 +230,22 @@ std::vector<std::shared_ptr<Tracer::ThreadBuffer>> Tracer::buffers_snapshot()
   return buffers_;
 }
 
+std::vector<Tracer::Event> Tracer::ordered_events(const ThreadBuffer& buffer) {
+  std::vector<Event> events;
+  events.reserve(buffer.events.size());
+  if (buffer.dropped > 0 && buffer.next < buffer.events.size()) {
+    events.insert(events.end(), buffer.events.begin() +
+                                    static_cast<std::ptrdiff_t>(buffer.next),
+                  buffer.events.end());
+    events.insert(events.end(), buffer.events.begin(),
+                  buffer.events.begin() +
+                      static_cast<std::ptrdiff_t>(buffer.next));
+  } else {
+    events = buffer.events;
+  }
+  return events;
+}
+
 std::uint64_t Tracer::event_count() const {
   std::uint64_t total = 0;
   for (const auto& buffer : buffers_snapshot()) {
@@ -149,13 +255,61 @@ std::uint64_t Tracer::event_count() const {
   return total;
 }
 
+Tracer::TelemetryBatch Tracer::collect_since(std::uint64_t min_seq,
+                                             const std::string& prefix,
+                                             std::size_t max_events) const {
+  TelemetryBatch batch;
+  batch.next_cursor = min_seq;
+  for (const auto& buffer : buffers_snapshot()) {
+    std::vector<Event> events;
+    std::int32_t tid = buffer->tid;
+    {
+      std::lock_guard<std::mutex> lock(buffer->mutex);
+      events = ordered_events(*buffer);
+    }
+    for (Event& e : events) {
+      if (e.seq < min_seq) continue;
+      if (!prefix.empty() &&
+          std::strncmp(e.name, prefix.c_str(), prefix.size()) != 0)
+        continue;
+      TelemetryEvent sample;
+      sample.name = e.name;
+      sample.phase = e.phase;
+      sample.wall_us = e.wall_us;
+      sample.virtual_time = e.virtual_time;
+      sample.value = e.value;
+      sample.tid = tid;
+      sample.depth = e.depth;
+      sample.trace_id = e.trace_id;
+      sample.seq = e.seq;
+      sample.args = std::move(e.args);
+      batch.events.push_back(std::move(sample));
+    }
+  }
+  std::sort(batch.events.begin(), batch.events.end(),
+            [](const TelemetryEvent& a, const TelemetryEvent& b) {
+              return a.seq < b.seq;
+            });
+  if (max_events > 0 && batch.events.size() > max_events) {
+    // Drop-oldest backpressure: a slow subscriber loses the oldest part of
+    // the backlog, never the freshest samples.
+    batch.dropped = batch.events.size() - max_events;
+    batch.events.erase(batch.events.begin(),
+                       batch.events.end() -
+                           static_cast<std::ptrdiff_t>(max_events));
+  }
+  if (!batch.events.empty())
+    batch.next_cursor = batch.events.back().seq + 1;
+  return batch;
+}
+
 std::string Tracer::dump_text() const {
   std::ostringstream out;
   for (const auto& buffer : buffers_snapshot()) {
     std::vector<Event> events;
     {
       std::lock_guard<std::mutex> lock(buffer->mutex);
-      events = buffer->events;
+      events = ordered_events(*buffer);
     }
     if (events.empty()) continue;
     out << "thread " << buffer->tid << "\n";
@@ -171,6 +325,7 @@ std::string Tracer::dump_text() const {
         case Phase::End: break;
       }
       if (e.virtual_time >= 0.0) out << " @vt=" << fmt_double(e.virtual_time);
+      if (e.trace_id != 0) out << " trace=" << e.trace_id;
       if (!e.args.empty()) out << " [" << e.args << "]";
       out << "\n";
     }
@@ -182,10 +337,19 @@ std::string Tracer::export_chrome_json() const {
   struct Record {
     double ts = 0.0;
     std::int32_t tid = 0;
-    std::size_t seq = 0;
+    std::uint64_t seq = 0;
     std::string json;
   };
   std::vector<Record> records;
+
+  // Span occurrences per trace_id, for flow-event emission.
+  struct FlowPoint {
+    double ts = 0.0;
+    std::int32_t tid = 0;
+    std::uint64_t seq = 0;
+    const char* name = "";
+  };
+  std::map<std::uint64_t, std::vector<FlowPoint>> flows;
 
   auto common_fields = [](std::string& json, const Event& e, char ph,
                           std::int32_t tid) {
@@ -198,12 +362,25 @@ std::string Tracer::export_chrome_json() const {
   };
   auto args_fields = [](std::string& json, const Event& e) {
     bool have_vt = e.virtual_time >= 0.0;
+    bool have_trace = e.trace_id != 0;
     bool have_detail = !e.args.empty();
-    if (!have_vt && !have_detail) return;
+    if (!have_vt && !have_trace && !have_detail) return;
     json += ",\"args\":{";
-    if (have_vt) json += "\"virtual_time\":" + fmt_double(e.virtual_time);
+    bool first = true;
+    auto sep = [&] {
+      if (!first) json += ",";
+      first = false;
+    };
+    if (have_vt) {
+      sep();
+      json += "\"virtual_time\":" + fmt_double(e.virtual_time);
+    }
+    if (have_trace) {
+      sep();
+      json += "\"trace_id\":" + std::to_string(e.trace_id);
+    }
     if (have_detail) {
-      if (have_vt) json += ",";
+      sep();
       json += "\"detail\":\"";
       append_json_escaped(json, e.args.c_str());
       json += "\"";
@@ -215,16 +392,18 @@ std::string Tracer::export_chrome_json() const {
     std::vector<Event> events;
     {
       std::lock_guard<std::mutex> lock(buffer->mutex);
-      events = buffer->events;
+      events = ordered_events(*buffer);
     }
     // Pair Begin/End into "X" complete events; unclosed spans stay "B".
+    // A ring overwrite can orphan an End whose Begin was evicted — such
+    // Ends are skipped (no partner to time against).
     std::vector<std::size_t> open;
     std::vector<double> duration(events.size(), -1.0);
     for (std::size_t i = 0; i < events.size(); ++i) {
       if (events[i].phase == Phase::Begin) {
         open.push_back(i);
       } else if (events[i].phase == Phase::End) {
-        COSCHED_ENSURES(!open.empty());
+        if (open.empty()) continue;  // orphaned by the ring
         std::size_t b = open.back();
         open.pop_back();
         duration[b] = events[i].wall_us - events[b].wall_us;
@@ -236,7 +415,7 @@ std::string Tracer::export_chrome_json() const {
       Record record;
       record.ts = e.wall_us;
       record.tid = buffer->tid;
-      record.seq = i;
+      record.seq = e.seq;
       std::string& json = record.json;
       switch (e.phase) {
         case Phase::Begin:
@@ -245,6 +424,9 @@ std::string Tracer::export_chrome_json() const {
           if (duration[i] >= 0.0)
             json += ",\"dur\":" + fmt_double(duration[i]);
           args_fields(json, e);
+          if (e.trace_id != 0)
+            flows[e.trace_id].push_back(
+                FlowPoint{e.wall_us, buffer->tid, e.seq, e.name});
           break;
         case Phase::Instant:
           common_fields(json, e, 'i', buffer->tid);
@@ -257,6 +439,35 @@ std::string Tracer::export_chrome_json() const {
           break;
         case Phase::End: break;
       }
+      json += "}";
+      records.push_back(std::move(record));
+    }
+  }
+
+  // Flow events: for each trace with spans on more than one point, link
+  // first -> ... -> last in seq order ("s" start, "t" steps, "f" finish).
+  // Perfetto then draws arrows from the rpc.request span to the replan and
+  // solver spans it caused, across threads.
+  for (auto& [trace_id, points] : flows) {
+    if (points.size() < 2) continue;
+    std::sort(points.begin(), points.end(),
+              [](const FlowPoint& a, const FlowPoint& b) {
+                return a.seq < b.seq;
+              });
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const FlowPoint& p = points[i];
+      char ph = i == 0 ? 's' : (i + 1 == points.size() ? 'f' : 't');
+      Record record;
+      record.ts = p.ts;
+      record.tid = p.tid;
+      record.seq = p.seq;
+      std::string& json = record.json;
+      json += "{\"name\":\"trace\",\"cat\":\"flow\",\"ph\":\"";
+      json += ph;
+      json += "\",\"id\":" + std::to_string(trace_id);
+      json += ",\"ts\":" + fmt_double(p.ts);
+      json += ",\"pid\":1,\"tid\":" + std::to_string(p.tid);
+      if (ph == 'f') json += ",\"bp\":\"e\"";
       json += "}";
       records.push_back(std::move(record));
     }

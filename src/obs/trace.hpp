@@ -8,10 +8,29 @@
 // timestamp too — so a replan trace lines up both against real solver cost
 // and against the simulated fleet.
 //
+// Long-lived-server safety: each thread buffer is a fixed-capacity ring
+// (set_max_events_per_thread); once full, the oldest event is overwritten
+// and a per-buffer dropped counter is bumped (surfaced via
+// dropped_events(), exported to /metrics by CoschedServer). On top of the
+// ring, head-based trace sampling keeps 1-in-N *traces*: make_context()
+// decides sampled-or-not once per trace_id with a seeded deterministic
+// hash, and every span/instant/counter recorded while that context is
+// current inherits the decision. Always-keep name prefixes
+// (set_always_keep) override sampling for critical categories such as
+// replan commits. The raw begin_span/end_span API bypasses sampling; only
+// the TraceSpan/macro layer and instant()/counter() consult it.
+//
+// Request correlation: a TraceContext{trace_id, parent_span_id, sampled}
+// is installed per thread (TraceContextScope); record() stamps the current
+// trace_id and a process-global sequence number onto every event. The
+// Chrome exporter emits flow events ("s"/"t"/"f") linking all spans of one
+// trace across threads, and collect_since() serves the streaming-telemetry
+// RPC with cursor-based, drop-oldest batches.
+//
 // Two exporters:
 //  * export_chrome_json() — Chrome trace-event JSON ("X" complete spans,
-//    "i" instants, "C" counters), loadable in chrome://tracing / Perfetto,
-//    sorted by (timestamp, tid, seq);
+//    "i" instants, "C" counters, flow events), loadable in chrome://tracing
+//    / Perfetto, sorted by (timestamp, tid, seq);
 //  * dump_text() — a wall-time-free indented dump, deterministic for a
 //    deterministic event sequence (threads in registration order, events in
 //    record order), which is what the tests byte-compare.
@@ -39,6 +58,16 @@
 
 namespace cosched {
 
+/// Per-request trace identity. trace_id == 0 means "no trace" (events are
+/// recorded unconditionally, stamped with trace_id 0). parent_span_id is a
+/// server-assigned id for the request's root span, carried so exporters and
+/// remote peers can attach children without inspecting buffers.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
+  bool sampled = true;  ///< head-based decision, latched at make_context()
+};
+
 class Tracer {
  public:
   enum class Phase : std::uint8_t { Begin, End, Instant, Counter };
@@ -50,7 +79,30 @@ class Tracer {
     Real virtual_time = -1.0;  ///< virtual seconds; < 0 = not stamped
     double value = 0.0;      ///< Counter payload
     std::int32_t depth = 0;  ///< span nesting depth at record time
+    std::uint64_t trace_id = 0;  ///< correlating request trace, 0 = none
+    std::uint64_t seq = 0;   ///< process-global record order (cursor key)
     std::string args;        ///< optional "k=v ..." detail, may be empty
+  };
+
+  /// One telemetry-ready event copy (name materialised into a string so the
+  /// sample outlives the tracer / crosses the wire).
+  struct TelemetryEvent {
+    std::string name;
+    Phase phase = Phase::Instant;
+    double wall_us = 0.0;
+    Real virtual_time = -1.0;
+    double value = 0.0;
+    std::int32_t tid = 0;
+    std::int32_t depth = 0;
+    std::uint64_t trace_id = 0;
+    std::uint64_t seq = 0;
+    std::string args;
+  };
+
+  struct TelemetryBatch {
+    std::vector<TelemetryEvent> events;  ///< ascending seq
+    std::uint64_t next_cursor = 0;  ///< pass back as min_seq next time
+    std::uint64_t dropped = 0;  ///< matching events shed by max_events
   };
 
   Tracer();
@@ -61,9 +113,60 @@ class Tracer {
   void set_enabled(bool on) { enabled_.store(on, std::memory_order_release); }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
-  /// Drops every buffered event and re-stamps the epoch. Thread buffers
-  /// stay registered (their tids are stable for the tracer's lifetime).
+  /// Drops every buffered event, zeroes the dropped/sampled-out counters and
+  /// re-stamps the epoch. Thread buffers stay registered (their tids are
+  /// stable for the tracer's lifetime); the global sequence counter keeps
+  /// climbing so telemetry cursors stay monotonic across resets.
   void reset();
+
+  // ---- bounding ---------------------------------------------------------
+  /// Ring capacity per thread buffer. Takes effect for new events; shrinking
+  /// below a buffer's current size keeps existing events until reset().
+  void set_max_events_per_thread(std::size_t n) {
+    max_events_per_thread_.store(n == 0 ? 1 : n, std::memory_order_relaxed);
+  }
+  std::size_t max_events_per_thread() const {
+    return max_events_per_thread_.load(std::memory_order_relaxed);
+  }
+  /// Events overwritten by the ring, summed across threads (monotonic until
+  /// reset()).
+  std::uint64_t dropped_events() const;
+
+  // ---- head-based trace sampling ---------------------------------------
+  /// Keep 1-in-`n` traces (n <= 1 keeps everything). Runtime-adjustable;
+  /// applies to contexts created by subsequent make_context() calls.
+  void set_sample_every(std::uint64_t n) {
+    sample_every_.store(n == 0 ? 1 : n, std::memory_order_relaxed);
+  }
+  std::uint64_t sample_every() const {
+    return sample_every_.load(std::memory_order_relaxed);
+  }
+  /// Seed for the deterministic trace_id -> keep/drop hash.
+  void set_sample_seed(std::uint64_t seed) {
+    sample_seed_.store(seed, std::memory_order_relaxed);
+  }
+  /// Span-name prefixes recorded even inside sampled-out traces (e.g.
+  /// "online.replan" keeps replan commit evidence under heavy sampling).
+  void set_always_keep(std::vector<std::string> prefixes);
+  std::vector<std::string> always_keep() const;
+  /// Traces whose events were suppressed by sampling (monotonic until
+  /// reset()).
+  std::uint64_t sampled_out_traces() const;
+
+  /// Builds the context for a new trace: assigns a root span id and latches
+  /// the head-based sampling decision for `trace_id`. Deterministic for a
+  /// fixed (seed, rate, trace_id).
+  TraceContext make_context(std::uint64_t trace_id);
+
+  // ---- per-thread current context --------------------------------------
+  static const TraceContext& current_context();
+  static void set_current_context(const TraceContext& context);
+  static void clear_current_context();
+
+  /// False iff the current thread's context is sampled-out and `name` does
+  /// not match an always-keep prefix. The macro layer checks this so whole
+  /// spans vanish for dropped traces.
+  bool should_record(const char* name) const;
 
   // ---- recording (the macros below are the intended entry points) -------
   void begin_span(const char* name, Real virtual_time = -1.0,
@@ -75,11 +178,27 @@ class Tracer {
 
   std::uint64_t event_count() const;
 
+  /// Next global sequence number: the starting cursor for a telemetry
+  /// subscriber that only wants events recorded from "now" on.
+  std::uint64_t current_seq() const {
+    return next_seq_.load(std::memory_order_relaxed);
+  }
+
+  /// Copies events with seq >= min_seq whose name starts with `prefix`
+  /// (empty prefix matches all), ascending by seq, at most `max_events`
+  /// newest ones (older matches beyond the cap are counted in `dropped` —
+  /// drop-oldest backpressure for slow subscribers).
+  TelemetryBatch collect_since(std::uint64_t min_seq,
+                               const std::string& prefix,
+                               std::size_t max_events) const;
+
   /// Deterministic indented text dump (no wall times). Thread sections are
   /// ordered by tid — the registration order of the recording threads.
   std::string dump_text() const;
 
-  /// Chrome trace-event JSON array, sorted by (wall ts, tid, seq).
+  /// Chrome trace-event JSON array, sorted by (wall ts, tid, seq). Spans of
+  /// a shared trace_id additionally emit flow events so Perfetto draws the
+  /// request -> solver arrows.
   std::string export_chrome_json() const;
 
   /// Writes export_chrome_json() to `path`, creating missing parent
@@ -90,28 +209,61 @@ class Tracer {
   struct ThreadBuffer {
     std::int32_t tid = 0;
     std::int32_t depth = 0;        ///< touched only by the owning thread
-    mutable std::mutex mutex;      ///< guards `events` against exporters
-    std::vector<Event> events;
+    mutable std::mutex mutex;      ///< guards ring state against exporters
+    std::vector<Event> events;     ///< ring storage, capped at capacity
+    std::size_t next = 0;          ///< overwrite position once full
+    std::uint64_t dropped = 0;     ///< events overwritten by the ring
   };
 
   ThreadBuffer& local_buffer();
   void record(ThreadBuffer& buffer, Event event);
   std::vector<std::shared_ptr<ThreadBuffer>> buffers_snapshot() const;
+  /// Ring contents oldest-first. Caller must hold `buffer.mutex`.
+  static std::vector<Event> ordered_events(const ThreadBuffer& buffer);
+  bool matches_always_keep(const char* name) const;
 
   std::atomic<bool> enabled_{false};
   std::uint64_t id_ = 0;  ///< unique per Tracer: thread-local cache key
   std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::size_t> max_events_per_thread_{65536};
+  std::atomic<std::uint64_t> sample_every_{1};
+  std::atomic<std::uint64_t> sample_seed_{0x5eed0c05c4ed0001ULL};
+  std::atomic<std::uint64_t> next_seq_{0};
+  std::atomic<std::uint64_t> next_span_id_{0};
+  std::atomic<std::uint64_t> sampled_out_traces_{0};
+  mutable std::mutex always_keep_mutex_;
+  std::vector<std::string> always_keep_;
   mutable std::mutex registry_mutex_;
   std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
 };
 
+/// Installs `context` as the calling thread's current trace context for the
+/// scope's lifetime, restoring the previous one on exit. Used by the RPC
+/// server around request handling and by LiveSchedulerService when replaying
+/// a command's captured context on the scheduler thread.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(const TraceContext& context)
+      : previous_(Tracer::current_context()) {
+    Tracer::set_current_context(context);
+  }
+  ~TraceContextScope() { Tracer::set_current_context(previous_); }
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext previous_;
+};
+
 /// RAII span guard. Records nothing when the tracer was runtime-disabled at
-/// construction (and never "half-records": begin and end are paired).
+/// construction or the current trace is sampled out (and never
+/// "half-records": begin and end are paired).
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name, Real virtual_time = -1.0,
                      std::string args = {})
-      : active_(Tracer::global().enabled()) {
+      : active_(Tracer::global().enabled() &&
+                Tracer::global().should_record(name)) {
     if (active_)
       Tracer::global().begin_span(name, virtual_time, std::move(args));
   }

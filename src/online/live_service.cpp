@@ -51,6 +51,7 @@ Real LiveSchedulerService::wall_virtual_now() const {
 
 std::future<LiveSchedulerService::CommandResult> LiveSchedulerService::enqueue(
     Command command) {
+  command.trace = Tracer::current_context();
   std::future<CommandResult> future = command.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -173,6 +174,7 @@ void LiveSchedulerService::thread_main() {
 }
 
 void LiveSchedulerService::execute(Command& command) {
+  TraceContextScope trace_scope(command.trace);
   CommandResult result;
   switch (command.kind) {
     case CommandKind::Submit: {

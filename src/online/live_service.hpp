@@ -33,6 +33,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "online/scheduler.hpp"
 
 namespace cosched {
@@ -145,6 +146,10 @@ class LiveSchedulerService {
     CommandKind kind = CommandKind::Snapshot;
     TraceJob job;
     std::int64_t job_id = -1;
+    /// Caller's trace context, captured at enqueue() and re-installed on
+    /// the scheduler thread — replan/solver spans triggered by this
+    /// command inherit the originating request's trace_id.
+    TraceContext trace;
     std::promise<CommandResult> promise;
   };
 

@@ -7,8 +7,15 @@
 
 namespace cosched {
 
+std::vector<Real> queue_wait_metric_edges() {
+  return {0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0};
+}
+
 SchedulerMetrics::SchedulerMetrics()
-    : queue_wait_({0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0}),
+    : queue_wait_(queue_wait_metric_edges()),
+      registry_queue_wait_(&MetricsRegistry::global().histogram(
+          kQueueWaitMetricName, kQueueWaitMetricHelp,
+          queue_wait_metric_edges())),
       slowdown_({1.1, 1.25, 1.5, 2.0, 3.0, 5.0}),
       migrations_per_replan_({0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {}
 

@@ -11,10 +11,21 @@
 #include <vector>
 
 #include "obs/histogram.hpp"
+#include "obs/metrics_registry.hpp"
 #include "util/common.hpp"
 #include "util/table.hpp"
 
 namespace cosched {
+
+/// /metrics name of the admission queue-wait histogram (virtual seconds a
+/// job waited between arrival and admission). Written by every
+/// SchedulerMetrics instance, read by CoschedServer for the extended
+/// GetMetrics response — both must agree on the bucket layout.
+inline constexpr const char* kQueueWaitMetricName =
+    "cosched_replan_queue_wait_seconds";
+inline constexpr const char* kQueueWaitMetricHelp =
+    "Virtual seconds jobs waited from arrival to admission";
+std::vector<Real> queue_wait_metric_edges();
 
 /// One replan, as the service saw it.
 struct ReplanRecord {
@@ -38,6 +49,7 @@ class SchedulerMetrics {
   void on_admission(Real queue_wait) {
     ++admissions_;
     queue_wait_.add(queue_wait);
+    registry_queue_wait_->observe(queue_wait);
   }
   /// `slowdown` = (completion - admission) / solo work, >= 1 without
   /// contention delays.
@@ -100,6 +112,9 @@ class SchedulerMetrics {
   std::uint64_t replans_ = 0;
   std::uint64_t migrations_ = 0;
   Histogram queue_wait_;
+  /// Same samples, mirrored into the process-wide /metrics registry (the
+  /// pointer is grabbed once at construction; registration is idempotent).
+  HistogramMetric* registry_queue_wait_ = nullptr;
   Histogram slowdown_;
   Histogram migrations_per_replan_;
   std::vector<ReplanRecord> replans_log_;

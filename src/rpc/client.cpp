@@ -46,30 +46,43 @@ double CoschedClient::backoff_seconds(int attempt) {
   return capped * (0.5 + 0.5 * jitter_.uniform01());
 }
 
+bool CoschedClient::ensure_connected(RpcError& error) {
+  if (socket_.valid()) return true;
+  NetStatus status = NetStatus::Ok;
+  socket_ = Socket::connect_to(
+      options_.host, options_.port,
+      Deadline::after(options_.connect_timeout_seconds), status);
+  if (status != NetStatus::Ok) {
+    error.kind = RpcErrorKind::Transport;
+    error.net = status;
+    error.message = std::string("connect to ") + options_.host + ":" +
+                    std::to_string(options_.port) + " failed (" +
+                    to_string(status) + ")";
+    return false;
+  }
+  return true;
+}
+
 RpcError CoschedClient::attempt(MessageType type,
                                 const std::vector<std::uint8_t>& body,
                                 ResponseEnvelope& out, bool& sent) {
   RpcError error;
   sent = false;
 
-  if (!socket_.valid()) {
-    NetStatus status = NetStatus::Ok;
-    socket_ = Socket::connect_to(
-        options_.host, options_.port,
-        Deadline::after(options_.connect_timeout_seconds), status);
-    if (status != NetStatus::Ok) {
-      error.kind = RpcErrorKind::Transport;
-      error.net = status;
-      error.message = std::string("connect to ") + options_.host + ":" +
-                      std::to_string(options_.port) + " failed (" +
-                      to_string(status) + ")";
-      return error;
-    }
-  }
+  // A live telemetry stream owns the connection; a unary call tears it
+  // down and reconnects so the framing cannot desynchronize.
+  if (streaming_) disconnect();
+  if (!ensure_connected(error)) return error;
 
   RequestEnvelope request;
   request.type = type;
   request.request_id = next_request_id_++;
+  // Deterministic per-request trace id unless the caller pinned one; | 1
+  // keeps it nonzero (0 would ask the server to mint its own).
+  request.trace_id =
+      trace_id_ != 0
+          ? trace_id_
+          : SplitMix64(options_.jitter_seed ^ request.request_id).next() | 1;
   request.body = body;
   std::vector<std::uint8_t> payload = encode_request(request);
 
@@ -119,6 +132,16 @@ RpcError CoschedClient::attempt(MessageType type,
     error.message = "response does not match request (stream desync)";
     return error;
   }
+  // A v3 server echoes the effective trace id; for a request that carried
+  // one, anything else is a desynchronized stream.
+  if (out.version >= 3 && out.status == RpcStatus::Ok &&
+      out.trace_id != request.trace_id) {
+    socket_.close();
+    error.kind = RpcErrorKind::Protocol;
+    error.message = "response trace_id does not echo the request";
+    return error;
+  }
+  last_trace_id_ = out.version >= 3 ? out.trace_id : request.trace_id;
   if (out.status != RpcStatus::Ok) {
     error.kind = RpcErrorKind::Application;
     error.app = out.status;
@@ -221,6 +244,144 @@ RpcError CoschedClient::drain(DrainResponse& out) {
   if (!decode_drain_response(r, out) || !r.complete()) {
     error.kind = RpcErrorKind::Protocol;
     error.message = "undecodable Drain response body";
+  }
+  return error;
+}
+
+RpcError CoschedClient::subscribe_telemetry(
+    const TelemetrySubscribeRequest& request, TelemetrySubscribeAck& ack) {
+  RpcError error;
+  if (streaming_) disconnect();  // one stream per connection
+  if (!ensure_connected(error)) return error;
+
+  RequestEnvelope envelope;
+  envelope.type = MessageType::SubscribeTelemetry;
+  envelope.request_id = next_request_id_++;
+  envelope.trace_id =
+      trace_id_ != 0
+          ? trace_id_
+          : SplitMix64(options_.jitter_seed ^ envelope.request_id).next() | 1;
+  WireWriter w;
+  encode_telemetry_subscribe_request(w, request);
+  envelope.body = w.take();
+
+  Deadline deadline = Deadline::after(options_.request_timeout_seconds);
+  FrameStatus frame_status =
+      write_frame(socket_, encode_request(envelope), deadline);
+  if (frame_status != FrameStatus::Ok) {
+    disconnect();
+    error.kind = RpcErrorKind::Transport;
+    error.frame = frame_status;
+    error.message = std::string("sending subscription failed (") +
+                    to_string(frame_status) + ")";
+    return error;
+  }
+
+  std::vector<std::uint8_t> reply;
+  frame_status =
+      read_frame(socket_, reply, deadline, options_.max_frame_bytes);
+  if (frame_status != FrameStatus::Ok) {
+    disconnect();
+    error.kind = frame_status == FrameStatus::BadMagic ||
+                         frame_status == FrameStatus::Oversized
+                     ? RpcErrorKind::Protocol
+                     : RpcErrorKind::Transport;
+    error.frame = frame_status;
+    error.message = std::string("reading subscription ack failed (") +
+                    to_string(frame_status) + ")";
+    return error;
+  }
+
+  ResponseEnvelope response;
+  if (!decode_response(reply, response) ||
+      response.type != MessageType::SubscribeTelemetry ||
+      response.request_id != envelope.request_id) {
+    disconnect();
+    error.kind = RpcErrorKind::Protocol;
+    error.message = "undecodable subscription ack";
+    return error;
+  }
+  if (response.status != RpcStatus::Ok) {
+    error.kind = RpcErrorKind::Application;
+    error.app = response.status;
+    error.message = response.error;
+    return error;
+  }
+  WireReader r(response.body);
+  if (!decode_telemetry_subscribe_ack(r, ack) || !r.complete()) {
+    disconnect();
+    error.kind = RpcErrorKind::Protocol;
+    error.message = "undecodable subscription ack body";
+    return error;
+  }
+  last_trace_id_ = response.trace_id;
+  streaming_ = true;
+  stream_request_id_ = envelope.request_id;
+  return error;
+}
+
+RpcError CoschedClient::read_telemetry_frame(TelemetryFrame& out,
+                                             double timeout_seconds) {
+  RpcError error;
+  if (!streaming_) {
+    error.kind = RpcErrorKind::Protocol;
+    error.message = "no telemetry stream on this connection";
+    return error;
+  }
+  std::vector<std::uint8_t> payload;
+  FrameStatus frame_status =
+      read_frame(socket_, payload, Deadline::after(timeout_seconds),
+                 options_.max_frame_bytes);
+  if (frame_status != FrameStatus::Ok) {
+    if (frame_status != FrameStatus::Timeout) disconnect();
+    error.kind = frame_status == FrameStatus::Timeout ||
+                         frame_status == FrameStatus::Closed
+                     ? RpcErrorKind::Transport
+                     : RpcErrorKind::Protocol;
+    error.frame = frame_status;
+    error.message = std::string("reading telemetry frame failed (") +
+                    to_string(frame_status) + ")";
+    return error;
+  }
+  ResponseEnvelope envelope;
+  if (!decode_response(payload, envelope) ||
+      envelope.type != MessageType::SubscribeTelemetry ||
+      envelope.request_id != stream_request_id_ ||
+      envelope.status != RpcStatus::Ok) {
+    disconnect();
+    error.kind = RpcErrorKind::Protocol;
+    error.message = "telemetry stream desynchronized";
+    return error;
+  }
+  WireReader r(envelope.body);
+  if (!decode_telemetry_frame(r, out) || !r.complete()) {
+    disconnect();
+    error.kind = RpcErrorKind::Protocol;
+    error.message = "undecodable telemetry frame";
+    return error;
+  }
+  if (out.last) disconnect();  // server ends the stream after this frame
+  return error;
+}
+
+RpcError CoschedClient::stop_telemetry() {
+  RpcError error;
+  if (!streaming_) {
+    error.kind = RpcErrorKind::Protocol;
+    error.message = "no telemetry stream on this connection";
+    return error;
+  }
+  // Any client frame asks the server to finish; an empty payload is the
+  // conventional "unsubscribe".
+  FrameStatus frame_status =
+      write_frame(socket_, {},
+                  Deadline::after(options_.request_timeout_seconds));
+  if (frame_status != FrameStatus::Ok) {
+    disconnect();
+    error.kind = RpcErrorKind::Transport;
+    error.frame = frame_status;
+    error.message = std::string("sending unsubscribe failed (") +
+                    to_string(frame_status) + ")";
   }
   return error;
 }

@@ -79,8 +79,35 @@ class CoschedClient {
   RpcError drain(DrainResponse& out);
   RpcError shutdown_server(ShutdownResponse& out);
 
+  // ---- end-to-end trace correlation (v3) -------------------------------
+  /// Trace id stamped on subsequent requests. 0 (the default) lets the
+  /// client derive a deterministic per-request id from the jitter seed; a
+  /// nonzero id is used as-is, so a caller can follow its own request
+  /// through the server's spans and telemetry stream.
+  void set_trace_id(std::uint64_t trace_id) { trace_id_ = trace_id; }
+  /// Effective trace id of the last completed call, as echoed by a v3
+  /// server (client-side value when the server spoke v1/v2).
+  std::uint64_t last_trace_id() const { return last_trace_id_; }
+
+  // ---- streaming telemetry (v3) ----------------------------------------
+  /// Starts a SubscribeTelemetry stream on this connection. After an Ok
+  /// return the connection is dedicated to the stream: drain frames with
+  /// read_telemetry_frame(); any unary call tears the stream down first.
+  RpcError subscribe_telemetry(const TelemetrySubscribeRequest& request,
+                               TelemetrySubscribeAck& ack);
+  /// Blocks for the next pushed frame. When `out.last` is true the server
+  /// has ended the stream and the connection is closed.
+  RpcError read_telemetry_frame(TelemetryFrame& out, double timeout_seconds);
+  /// Polite unsubscribe: asks the server for one final frame (marked
+  /// `last`). Keep reading until it arrives.
+  RpcError stop_telemetry();
+
   bool connected() const { return socket_.valid(); }
-  void disconnect() { socket_.close(); }
+  bool streaming() const { return streaming_; }
+  void disconnect() {
+    socket_.close();
+    streaming_ = false;
+  }
 
  private:
   /// One full call: connect if needed, send, receive, validate envelope.
@@ -93,10 +120,17 @@ class CoschedClient {
                    ResponseEnvelope& out, bool& sent);
   double backoff_seconds(int attempt);
 
+  /// Connects socket_ if needed. Fills `error` and returns false on failure.
+  bool ensure_connected(RpcError& error);
+
   ClientOptions options_;
   Socket socket_;
   Rng jitter_;
   std::uint64_t next_request_id_ = 1;
+  std::uint64_t trace_id_ = 0;       ///< explicit id; 0 = derive per call
+  std::uint64_t last_trace_id_ = 0;  ///< effective id of the last call
+  bool streaming_ = false;
+  std::uint64_t stream_request_id_ = 0;  ///< envelope echo check for frames
 };
 
 }  // namespace cosched

@@ -1,5 +1,7 @@
 #include "rpc/protocol.hpp"
 
+#include "obs/trace.hpp"
+
 namespace cosched {
 
 const char* to_string(MessageType type) {
@@ -11,13 +13,14 @@ const char* to_string(MessageType type) {
     case MessageType::Drain: return "Drain";
     case MessageType::Shutdown: return "Shutdown";
     case MessageType::TraceDump: return "TraceDump";
+    case MessageType::SubscribeTelemetry: return "SubscribeTelemetry";
   }
   return "?";
 }
 
 bool valid_message_type(std::uint8_t raw) {
   return raw >= static_cast<std::uint8_t>(MessageType::SubmitJob) &&
-         raw <= static_cast<std::uint8_t>(MessageType::TraceDump);
+         raw <= static_cast<std::uint8_t>(MessageType::SubscribeTelemetry);
 }
 
 const char* to_string(RpcStatus status) {
@@ -39,6 +42,7 @@ std::vector<std::uint8_t> encode_request(const RequestEnvelope& request) {
   w.u16(request.version);
   w.u8(static_cast<std::uint8_t>(request.type));
   w.u64(request.request_id);
+  if (request.version >= 3) w.u64(request.trace_id);
   w.bytes_raw(request.body);
   return w.take();
 }
@@ -49,6 +53,10 @@ bool decode_request(const std::vector<std::uint8_t>& bytes,
   request.version = r.u16();
   std::uint8_t raw_type = r.u8();
   request.request_id = r.u64();
+  // trace_id travels only on wires we actually know (== 3, not >= 3): an
+  // unknown future version must still decode structurally so the server
+  // can answer VersionMismatch instead of BadRequest.
+  request.trace_id = request.version == 3 ? r.u64() : 0;
   if (!r.ok() || !valid_message_type(raw_type)) return false;
   request.type = static_cast<MessageType>(raw_type);
   request.body.assign(bytes.begin() + static_cast<std::ptrdiff_t>(
@@ -62,6 +70,7 @@ std::vector<std::uint8_t> encode_response(const ResponseEnvelope& response) {
   w.u16(response.version);
   w.u8(static_cast<std::uint8_t>(response.type));
   w.u64(response.request_id);
+  if (response.version >= 3) w.u64(response.trace_id);
   w.u8(static_cast<std::uint8_t>(response.status));
   w.str(response.error);
   w.bytes_raw(response.body);
@@ -74,6 +83,7 @@ bool decode_response(const std::vector<std::uint8_t>& bytes,
   response.version = r.u16();
   std::uint8_t raw_type = r.u8();
   response.request_id = r.u64();
+  response.trace_id = response.version == 3 ? r.u64() : 0;
   std::uint8_t raw_status = r.u8();
   response.error = r.str();
   if (!r.ok() || !valid_message_type(raw_type) ||
@@ -248,6 +258,11 @@ void encode_metrics_response(WireWriter& w, const MetricsResponse& response,
   w.u64(response.rpc_request_count);
   w.real(response.rpc_request_seconds_sum);
   w.real(response.rpc_request_seconds_p99);
+  if (version < 3) return;  // v2 body ends here
+  w.u64(response.queue_wait_count);
+  w.real(response.queue_wait_seconds_sum);
+  w.real(response.queue_wait_seconds_p99);
+  w.u64(response.tracer_dropped_events);
 }
 
 bool decode_metrics_response(WireReader& r, MetricsResponse& response) {
@@ -276,6 +291,10 @@ bool decode_metrics_response(WireReader& r, MetricsResponse& response) {
   response.rpc_request_count = 0;
   response.rpc_request_seconds_sum = 0.0;
   response.rpc_request_seconds_p99 = 0.0;
+  response.queue_wait_count = 0;
+  response.queue_wait_seconds_sum = 0.0;
+  response.queue_wait_seconds_p99 = 0.0;
+  response.tracer_dropped_events = 0;
   if (r.remaining() == 0) return true;
   response.cache.compactions = r.u64();
   response.astar_searches = r.u64();
@@ -286,6 +305,13 @@ bool decode_metrics_response(WireReader& r, MetricsResponse& response) {
   response.rpc_request_count = r.u64();
   response.rpc_request_seconds_sum = r.real();
   response.rpc_request_seconds_p99 = r.real();
+  if (!r.ok()) return false;
+  // v3 extensions: a v2 body ends here.
+  if (r.remaining() == 0) return true;
+  response.queue_wait_count = r.u64();
+  response.queue_wait_seconds_sum = r.real();
+  response.queue_wait_seconds_p99 = r.real();
+  response.tracer_dropped_events = r.u64();
   return r.ok();
 }
 
@@ -313,6 +339,100 @@ void encode_drain_response(WireWriter& w, const DrainResponse& response) {
 bool decode_drain_response(WireReader& r, DrainResponse& response) {
   response.completions = r.u64();
   response.virtual_now = r.real();
+  return r.ok();
+}
+
+// ---- streaming telemetry (v3) --------------------------------------------
+
+void encode_telemetry_subscribe_request(
+    WireWriter& w, const TelemetrySubscribeRequest& request) {
+  w.u32(request.interval_ms);
+  w.u32(request.max_frames);
+  w.u32(request.max_spans_per_frame);
+  w.str(request.prefix);
+}
+
+bool decode_telemetry_subscribe_request(WireReader& r,
+                                        TelemetrySubscribeRequest& request) {
+  request.interval_ms = r.u32();
+  request.max_frames = r.u32();
+  request.max_spans_per_frame = r.u32();
+  request.prefix = r.str();
+  return r.ok();
+}
+
+void encode_telemetry_subscribe_ack(WireWriter& w,
+                                    const TelemetrySubscribeAck& ack) {
+  w.u32(ack.interval_ms);
+  w.u32(ack.max_spans_per_frame);
+}
+
+bool decode_telemetry_subscribe_ack(WireReader& r,
+                                    TelemetrySubscribeAck& ack) {
+  ack.interval_ms = r.u32();
+  ack.max_spans_per_frame = r.u32();
+  return r.ok();
+}
+
+void encode_telemetry_frame(WireWriter& w, const TelemetryFrame& frame) {
+  w.u64(frame.frame_seq);
+  w.boolean(frame.last);
+  w.u64(frame.dropped_spans);
+  w.u32(static_cast<std::uint32_t>(frame.metrics.size()));
+  for (const TelemetryMetricSample& m : frame.metrics) {
+    w.str(m.name);
+    w.real(m.value);
+  }
+  w.u32(static_cast<std::uint32_t>(frame.spans.size()));
+  for (const TelemetrySpanSample& s : frame.spans) {
+    w.str(s.name);
+    w.u8(s.phase);
+    w.u64(s.trace_id);
+    w.u64(s.seq);
+    w.i32(s.tid);
+    w.i32(s.depth);
+    w.real(s.wall_us);
+    w.real(s.virtual_time);
+    w.real(s.value);
+    w.str(s.args);
+  }
+}
+
+bool decode_telemetry_frame(WireReader& r, TelemetryFrame& frame) {
+  frame.frame_seq = r.u64();
+  frame.last = r.boolean();
+  frame.dropped_spans = r.u64();
+  std::uint32_t metrics = r.u32();
+  if (!r.ok() || metrics > r.remaining()) return false;
+  frame.metrics.clear();
+  frame.metrics.reserve(metrics);
+  for (std::uint32_t i = 0; i < metrics; ++i) {
+    TelemetryMetricSample m;
+    m.name = r.str();
+    m.value = r.real();
+    frame.metrics.push_back(std::move(m));
+  }
+  std::uint32_t spans = r.u32();
+  if (!r.ok() || spans > r.remaining()) return false;
+  frame.spans.clear();
+  frame.spans.reserve(spans);
+  for (std::uint32_t i = 0; i < spans; ++i) {
+    TelemetrySpanSample s;
+    s.name = r.str();
+    s.phase = r.u8();
+    s.trace_id = r.u64();
+    s.seq = r.u64();
+    s.tid = r.i32();
+    s.depth = r.i32();
+    s.wall_us = r.real();
+    s.virtual_time = r.real();
+    s.value = r.real();
+    s.args = r.str();
+    if (!r.ok() ||
+        s.phase > static_cast<std::uint8_t>(Tracer::Phase::Counter))
+      return false;
+    frame.spans.push_back(std::move(s));
+  }
   return r.ok();
 }
 

@@ -2,8 +2,10 @@
 //
 // Every frame payload (see net/frame.hpp) is one envelope:
 //
-//   request:   version u16 | type u8 | request_id u64 | body ...
-//   response:  version u16 | type u8 | request_id u64 | status u8 |
+//   request:   version u16 | type u8 | request_id u64 |
+//              [v3+: trace_id u64] | body ...
+//   response:  version u16 | type u8 | request_id u64 |
+//              [v3+: trace_id u64] | status u8 |
 //              error str   | body ... (present only when status == Ok)
 //
 // The version is checked before anything else; a mismatched peer gets a
@@ -26,11 +28,16 @@
 namespace cosched {
 
 /// Version 2 adds the TraceDump message and appends observability fields to
-/// the GetMetrics response body. The server accepts every version in
-/// [kMinProtocolVersion, kProtocolVersion] and answers in the requester's
-/// version — a v1 peer gets exactly the v1 bytes (extension fields are
-/// appended after the v1 body and decoded only when present).
-inline constexpr std::uint16_t kProtocolVersion = 2;
+/// the GetMetrics response body. Version 3 adds an end-to-end trace_id to
+/// both envelopes (client may supply one; the server echoes the effective
+/// id), the SubscribeTelemetry streaming message and further GetMetrics
+/// extension fields (queue-wait histogram, tracer drop counter). The server
+/// accepts every version in [kMinProtocolVersion, kProtocolVersion] and
+/// answers in the requester's version — a v1/v2 peer gets exactly the bytes
+/// it always got (extension fields are appended after the older body and
+/// decoded only when present; the envelope trace_id travels on v3 wires
+/// only).
+inline constexpr std::uint16_t kProtocolVersion = 3;
 inline constexpr std::uint16_t kMinProtocolVersion = 1;
 
 enum class MessageType : std::uint8_t {
@@ -41,6 +48,7 @@ enum class MessageType : std::uint8_t {
   Drain = 5,
   Shutdown = 6,
   TraceDump = 7,  ///< v2: the server's structured trace, text + Chrome JSON
+  SubscribeTelemetry = 8,  ///< v3: server-push metrics + span stream
 };
 
 const char* to_string(MessageType type);
@@ -64,6 +72,7 @@ struct RequestEnvelope {
   std::uint16_t version = kProtocolVersion;
   MessageType type = MessageType::GetMetrics;
   std::uint64_t request_id = 0;
+  std::uint64_t trace_id = 0;  ///< v3+: 0 = let the server assign one
   std::vector<std::uint8_t> body;
 };
 
@@ -71,6 +80,7 @@ struct ResponseEnvelope {
   std::uint16_t version = kProtocolVersion;
   MessageType type = MessageType::GetMetrics;
   std::uint64_t request_id = 0;
+  std::uint64_t trace_id = 0;  ///< v3+: effective trace id, echoed
   RpcStatus status = RpcStatus::Ok;
   std::string error;  ///< human-readable detail for non-Ok statuses
   std::vector<std::uint8_t> body;
@@ -119,6 +129,11 @@ struct MetricsResponse {
   std::uint64_t rpc_request_count = 0;    ///< latency histogram count
   Real rpc_request_seconds_sum = 0.0;     ///< latency histogram sum
   Real rpc_request_seconds_p99 = 0.0;     ///< interpolated from buckets
+  // ---- v3 extension fields (zero when a v1/v2 peer answered) -------------
+  std::uint64_t queue_wait_count = 0;     ///< admission queue-wait samples
+  Real queue_wait_seconds_sum = 0.0;      ///< virtual seconds waited, total
+  Real queue_wait_seconds_p99 = 0.0;      ///< interpolated from buckets
+  std::uint64_t tracer_dropped_events = 0;  ///< ring overwrites since reset
 };
 
 struct TraceDumpResponse {
@@ -131,6 +146,54 @@ struct TraceDumpResponse {
 struct DrainResponse {
   std::uint64_t completions = 0;
   Real virtual_now = 0.0;
+};
+
+// ---- streaming telemetry (v3) --------------------------------------------
+// SubscribeTelemetry turns the connection into a server-push stream: the
+// server acks with a TelemetrySubscribeAck body, then sends one Ok response
+// envelope per TelemetryFrame every interval until the subscriber
+// disconnects, sends any frame back (polite unsubscribe — the server
+// answers with one final frame marked `last`), max_frames is reached, or
+// the server stops.
+
+struct TelemetrySubscribeRequest {
+  std::uint32_t interval_ms = 500;  ///< frame cadence; clamped to >= 10
+  std::uint32_t max_frames = 0;     ///< 0 = stream until disconnect
+  std::uint32_t max_spans_per_frame = 0;  ///< 0 = server default (512)
+  std::string prefix;  ///< span/metric name prefix filter; empty = all
+};
+
+struct TelemetrySubscribeAck {
+  std::uint32_t interval_ms = 0;          ///< effective, after clamping
+  std::uint32_t max_spans_per_frame = 0;  ///< effective per-frame cap
+};
+
+/// One sampled span/instant/counter event, name materialised.
+struct TelemetrySpanSample {
+  std::string name;
+  std::uint8_t phase = 0;  ///< Tracer::Phase raw value
+  std::uint64_t trace_id = 0;
+  std::uint64_t seq = 0;
+  std::int32_t tid = 0;
+  std::int32_t depth = 0;
+  Real wall_us = 0.0;
+  Real virtual_time = -1.0;
+  Real value = 0.0;
+  std::string args;
+};
+
+/// One metric sample from the Prometheus exposition ("name{labels}").
+struct TelemetryMetricSample {
+  std::string name;
+  Real value = 0.0;
+};
+
+struct TelemetryFrame {
+  std::uint64_t frame_seq = 0;
+  bool last = false;  ///< final frame of a clean unsubscribe / shutdown
+  std::uint64_t dropped_spans = 0;  ///< shed by per-subscriber backpressure
+  std::vector<TelemetryMetricSample> metrics;
+  std::vector<TelemetrySpanSample> spans;
 };
 
 struct ShutdownResponse {
@@ -155,8 +218,9 @@ void encode_status_response(WireWriter& w, const JobStatusResponse& response);
 bool decode_status_response(WireReader& r, JobStatusResponse& response);
 
 /// `version` selects the wire layout: v1 stops after deterministic_csv, v2
-/// appends the extension fields. The decoder reads extensions only when
-/// bytes remain, so either end may be the older one.
+/// appends the first extension block, v3 appends the queue-wait/tracer
+/// block. The decoder reads each extension block only when bytes remain,
+/// so either end may be the older one.
 void encode_metrics_response(WireWriter& w, const MetricsResponse& response,
                              std::uint16_t version = kProtocolVersion);
 bool decode_metrics_response(WireReader& r, MetricsResponse& response);
@@ -167,5 +231,17 @@ bool decode_trace_dump_response(WireReader& r, TraceDumpResponse& response);
 
 void encode_drain_response(WireWriter& w, const DrainResponse& response);
 bool decode_drain_response(WireReader& r, DrainResponse& response);
+
+void encode_telemetry_subscribe_request(
+    WireWriter& w, const TelemetrySubscribeRequest& request);
+bool decode_telemetry_subscribe_request(WireReader& r,
+                                        TelemetrySubscribeRequest& request);
+
+void encode_telemetry_subscribe_ack(WireWriter& w,
+                                    const TelemetrySubscribeAck& ack);
+bool decode_telemetry_subscribe_ack(WireReader& r, TelemetrySubscribeAck& ack);
+
+void encode_telemetry_frame(WireWriter& w, const TelemetryFrame& frame);
+bool decode_telemetry_frame(WireReader& r, TelemetryFrame& frame);
 
 }  // namespace cosched

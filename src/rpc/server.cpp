@@ -1,8 +1,11 @@
 #include "rpc/server.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "obs/trace.hpp"
+#include "online/metrics.hpp"
+#include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace cosched {
@@ -105,6 +108,9 @@ void CoschedServer::register_observability() {
       "cosched_rpc_request_seconds", "RPC request service time",
       {0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
        1.0, 2.5});
+  queue_wait_metric_ = &reg.histogram(kQueueWaitMetricName,
+                                      kQueueWaitMetricHelp,
+                                      queue_wait_metric_edges());
   auto cb = [&](const char* name, const char* help, const char* type,
                 std::function<double()> sample) {
     reg.callback(name, help, type, std::move(sample));
@@ -148,6 +154,27 @@ void CoschedServer::register_observability() {
   cb("cosched_rpc_malformed_frames_total",
      "frames dropped as structurally invalid", "counter",
      [this] { return static_cast<double>(stats().malformed_frames); });
+  cb("cosched_tracer_dropped_events_total",
+     "trace events overwritten by the per-thread rings", "counter",
+     [] { return static_cast<double>(Tracer::global().dropped_events()); });
+  cb("cosched_tracer_sampled_out_traces_total",
+     "traces suppressed by head-based sampling", "counter", [] {
+       return static_cast<double>(Tracer::global().sampled_out_traces());
+     });
+  cb("cosched_tracer_buffered_events",
+     "trace events currently resident across thread rings", "gauge",
+     [] { return static_cast<double>(Tracer::global().event_count()); });
+  cb("cosched_telemetry_subscribers", "live SubscribeTelemetry streams",
+     "gauge", [this] {
+       return static_cast<double>(
+           telemetry_subscribers_.load(std::memory_order_relaxed));
+     });
+  cb("cosched_telemetry_frames_total", "telemetry frames pushed", "counter",
+     [this] { return static_cast<double>(stats().telemetry_frames); });
+  cb("cosched_telemetry_dropped_spans_total",
+     "span samples shed by per-subscriber backpressure", "counter", [this] {
+       return static_cast<double>(stats().telemetry_dropped_spans);
+     });
 }
 
 void CoschedServer::unregister_observability() {
@@ -242,9 +269,25 @@ void CoschedServer::serve_connection(Socket socket) {
       response.error = "malformed request envelope";
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.malformed_frames;
+    } else if (request.type == MessageType::SubscribeTelemetry) {
+      // The connection becomes a server-push stream; serve_telemetry owns
+      // it (including the ack and all stats) until the subscriber leaves.
+      serve_telemetry(socket, request);
+      return;
     } else {
-      COSCHED_TRACE_SPAN(request_span, "rpc.request");
+      // Correlation: adopt the client's trace_id (v3) or mint one, latch
+      // the head-based sampling decision, and keep the context installed
+      // for the whole dispatch — the scheduler command queue re-installs
+      // it on the scheduler thread, so replan and solver spans inherit it.
+      std::uint64_t trace_id = request.trace_id != 0
+                                   ? request.trace_id
+                                   : next_server_trace_id();
+      TraceContext context = Tracer::global().make_context(trace_id);
+      TraceContextScope trace_scope(context);
+      COSCHED_TRACE_SPAN(request_span, "rpc.request", -1.0,
+                         std::string("type=") + to_string(request.type));
       response = handle_request(request);
+      response.trace_id = trace_id;  // echoed on v3 wires only
     }
 
     std::vector<std::uint8_t> bytes = encode_response(response);
@@ -269,6 +312,175 @@ void CoschedServer::serve_connection(Socket socket) {
       return;
     }
   }
+}
+
+std::uint64_t CoschedServer::next_server_trace_id() {
+  // Deterministic per-server sequence, mixed so server-minted ids do not
+  // collide with the small integers clients tend to pick; | 1 keeps them
+  // nonzero (0 means "no trace" everywhere).
+  std::uint64_t n = trace_id_counter_.fetch_add(1, std::memory_order_relaxed);
+  return SplitMix64(0xC05C4EDB00C5ULL + n).next() | 1;
+}
+
+void CoschedServer::serve_telemetry(Socket& socket,
+                                    const RequestEnvelope& request) {
+  ResponseEnvelope ack;
+  ack.type = request.type;
+  ack.request_id = request.request_id;
+  ack.version = request.version;
+
+  auto fail = [&](RpcStatus status, const char* error) {
+    ack.status = status;
+    ack.error = error;
+    write_frame(socket, encode_response(ack),
+                Deadline::after(options_.idle_poll_seconds));
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.requests_failed;
+  };
+
+  if (request.version < 3) {
+    fail(RpcStatus::BadRequest, "SubscribeTelemetry requires protocol v3");
+    return;
+  }
+  TelemetrySubscribeRequest sub;
+  WireReader reader(request.body);
+  if (!decode_telemetry_subscribe_request(reader, sub) ||
+      !reader.complete()) {
+    fail(RpcStatus::BadRequest, "malformed SubscribeTelemetry body");
+    return;
+  }
+
+  const double interval_seconds =
+      static_cast<double>(std::max<std::uint32_t>(sub.interval_ms, 10)) /
+      1000.0;
+  const std::size_t max_spans =
+      sub.max_spans_per_frame == 0 ? 512 : sub.max_spans_per_frame;
+  std::uint64_t trace_id =
+      request.trace_id != 0 ? request.trace_id : next_server_trace_id();
+
+  TelemetrySubscribeAck ack_body;
+  ack_body.interval_ms =
+      static_cast<std::uint32_t>(interval_seconds * 1000.0);
+  ack_body.max_spans_per_frame = static_cast<std::uint32_t>(max_spans);
+  WireWriter ack_writer;
+  encode_telemetry_subscribe_ack(ack_writer, ack_body);
+  ack.trace_id = trace_id;
+  ack.status = RpcStatus::Ok;
+  ack.body = ack_writer.take();
+  if (write_frame(socket, encode_response(ack),
+                  Deadline::after(options_.request_deadline_seconds)) !=
+      FrameStatus::Ok)
+    return;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.requests_ok;
+  }
+
+  telemetry_subscribers_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t cursor = Tracer::global().current_seq();
+  std::uint64_t frame_seq = 0;
+  std::vector<std::uint8_t> inbound;
+
+  auto send_frame = [&](bool last) -> bool {
+    TelemetryFrame frame;
+    frame.frame_seq = frame_seq++;
+    frame.last = last;
+    std::vector<PrometheusSample> samples;
+    if (parse_prometheus_text(MetricsRegistry::global().render_prometheus(),
+                              samples)) {
+      frame.metrics.reserve(samples.size());
+      for (PrometheusSample& s : samples) {
+        TelemetryMetricSample m;
+        m.name = s.labels.empty() ? std::move(s.name)
+                                  : s.name + "{" + s.labels + "}";
+        m.value = s.value;
+        frame.metrics.push_back(std::move(m));
+      }
+    }
+    Tracer::TelemetryBatch batch =
+        Tracer::global().collect_since(cursor, sub.prefix, max_spans);
+    cursor = batch.next_cursor;
+    frame.dropped_spans = batch.dropped;
+    frame.spans.reserve(batch.events.size());
+    for (Tracer::TelemetryEvent& e : batch.events) {
+      TelemetrySpanSample s;
+      s.name = std::move(e.name);
+      s.phase = static_cast<std::uint8_t>(e.phase);
+      s.trace_id = e.trace_id;
+      s.seq = e.seq;
+      s.tid = e.tid;
+      s.depth = e.depth;
+      s.wall_us = e.wall_us;
+      s.virtual_time = e.virtual_time;
+      s.value = e.value;
+      s.args = std::move(e.args);
+      frame.spans.push_back(std::move(s));
+    }
+    ResponseEnvelope push;
+    push.version = request.version;
+    push.type = request.type;
+    push.request_id = request.request_id;
+    push.trace_id = trace_id;
+    push.status = RpcStatus::Ok;
+    WireWriter body;
+    encode_telemetry_frame(body, frame);
+    push.body = body.take();
+    // A subscriber that cannot drain a frame within one interval (plus the
+    // poll slack) is dropped — per-subscriber buffering stays bounded at
+    // one in-flight frame.
+    bool ok = write_frame(socket, encode_response(push),
+                          Deadline::after(interval_seconds +
+                                          options_.idle_poll_seconds)) ==
+              FrameStatus::Ok;
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (ok) ++stats_.telemetry_frames;
+    stats_.telemetry_dropped_spans += batch.dropped;
+    return ok;
+  };
+
+  bool running = true;
+  while (running) {
+    // Pace one interval, watching the stop flag and the subscriber socket
+    // (a frame from the client = polite unsubscribe; EOF/garbage = gone).
+    Deadline tick = Deadline::after(interval_seconds);
+    bool unsubscribe = false;
+    bool disconnected = false;
+    while (!tick.expired()) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_) {
+          unsubscribe = true;
+          break;
+        }
+      }
+      double slice =
+          std::min(options_.idle_poll_seconds,
+                   static_cast<double>(tick.remaining_ms()) / 1000.0);
+      if (socket.wait_readable(Deadline::after(slice)) != NetStatus::Ok)
+        continue;  // timeout: keep pacing
+      FrameStatus in = read_frame(socket, inbound,
+                                  Deadline::after(options_.idle_poll_seconds),
+                                  options_.max_frame_bytes);
+      if (in == FrameStatus::Ok) {
+        unsubscribe = true;  // any client frame ends the stream cleanly
+      } else {
+        disconnected = true;  // EOF or a broken stream
+        if (in != FrameStatus::Closed) {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.malformed_frames;
+        }
+      }
+      break;
+    }
+    if (disconnected) break;
+    if (unsubscribe) {
+      send_frame(true);  // best-effort final frame
+      break;
+    }
+    bool last = sub.max_frames != 0 && frame_seq + 1 >= sub.max_frames;
+    if (!send_frame(last) || last) running = false;
+  }
+  telemetry_subscribers_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 ResponseEnvelope CoschedServer::handle_request(const RequestEnvelope& request) {
@@ -419,6 +631,15 @@ ResponseEnvelope CoschedServer::handle_request(const RequestEnvelope& request) {
           reply.rpc_request_seconds_p99 = latency.quantile(0.99);
         }
       }
+      if (request.version >= 3) {
+        if (queue_wait_metric_) {
+          Histogram queue_wait = queue_wait_metric_->snapshot();
+          reply.queue_wait_count = queue_wait.count();
+          reply.queue_wait_seconds_sum = queue_wait.sum();
+          reply.queue_wait_seconds_p99 = queue_wait.quantile(0.99);
+        }
+        reply.tracer_dropped_events = Tracer::global().dropped_events();
+      }
       encode_metrics_response(body, reply, request.version);
       break;
     }
@@ -469,6 +690,13 @@ ResponseEnvelope CoschedServer::handle_request(const RequestEnvelope& request) {
         body = std::move(fresh);
       }
       break;
+    }
+    case MessageType::SubscribeTelemetry: {
+      // Streamed on the connection level (serve_telemetry); reaching the
+      // unary dispatcher means the caller misrouted it.
+      response.status = RpcStatus::BadRequest;
+      response.error = "SubscribeTelemetry is a streaming request";
+      return response;
     }
   }
   response.status = RpcStatus::Ok;

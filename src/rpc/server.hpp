@@ -68,6 +68,8 @@ struct ServerStats {
   std::uint64_t requests_ok = 0;
   std::uint64_t requests_failed = 0;  ///< non-Ok responses sent
   std::uint64_t malformed_frames = 0;  ///< bad magic / oversized / truncated
+  std::uint64_t telemetry_frames = 0;  ///< SubscribeTelemetry frames pushed
+  std::uint64_t telemetry_dropped_spans = 0;  ///< shed by backpressure
 };
 
 class CoschedServer {
@@ -109,6 +111,12 @@ class CoschedServer {
   void serve_connection(Socket socket);
   /// Decodes, dispatches and encodes one request.
   ResponseEnvelope handle_request(const RequestEnvelope& request);
+  /// Turns the connection into a server-push telemetry stream (v3
+  /// SubscribeTelemetry); returns when the subscriber leaves, max_frames is
+  /// reached or the server stops.
+  void serve_telemetry(Socket& socket, const RequestEnvelope& request);
+  /// Deterministic nonzero trace id for requests that did not bring one.
+  std::uint64_t next_server_trace_id();
   /// Registers the callback metrics bridging server/cache state into the
   /// process registry; unregister_observability() drops them (stop()).
   void register_observability();
@@ -122,6 +130,7 @@ class CoschedServer {
   /// Cached at start(): workers observe without touching the registry map
   /// (whose mutex the /metrics render holds while sampling callbacks).
   HistogramMetric* request_latency_ = nullptr;
+  HistogramMetric* queue_wait_metric_ = nullptr;
   std::vector<std::string> callback_names_;
 
   std::mutex mutex_;
@@ -132,6 +141,8 @@ class CoschedServer {
   bool stopping_ = false;
   bool started_ = false;
   std::atomic<bool> shutdown_requested_{false};
+  std::atomic<std::uint64_t> trace_id_counter_{0};
+  std::atomic<std::int64_t> telemetry_subscribers_{0};
 
   mutable std::mutex stats_mutex_;
   ServerStats stats_;

@@ -72,11 +72,104 @@ TEST(HttpEndpointTest, RoutesGetRequestsAndRejectsEverythingElse) {
       raw_http(endpoint.port(), "GET /nope HTTP/1.0\r\n\r\n");
   EXPECT_EQ(missing.rfind("HTTP/1.0 404", 0), 0u) << missing;
 
+  // Recognizable-but-unsupported method: 405 + Allow, not a silent close.
   std::string post = raw_http(endpoint.port(), "POST /ping HTTP/1.0\r\n\r\n");
-  EXPECT_EQ(post.rfind("HTTP/1.0 400", 0), 0u) << post;
+  EXPECT_EQ(post.rfind("HTTP/1.0 405", 0), 0u) << post;
+  EXPECT_NE(post.find("Allow: GET, HEAD"), std::string::npos) << post;
+
+  // Garbage that is not even a method token: 400.
+  std::string garbage = raw_http(endpoint.port(), "get /ping HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(garbage.rfind("HTTP/1.0 400", 0), 0u) << garbage;
 
   endpoint.stop();
   endpoint.stop();  // idempotent
+}
+
+TEST(HttpEndpointTest, HeadReturnsHeadersWithoutBody) {
+  HttpEndpoint endpoint(HttpOptions{});
+  endpoint.handle("/ping", [](const std::string&, std::string& body,
+                              std::string& content_type) {
+    body = "pong";
+    content_type = "text/plain";
+    return true;
+  });
+  std::string error;
+  ASSERT_TRUE(endpoint.start(error)) << error;
+
+  std::string head = raw_http(endpoint.port(), "HEAD /ping HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(head.rfind("HTTP/1.0 200", 0), 0u) << head;
+  // The headers advertise the length a GET would carry...
+  EXPECT_NE(head.find("Content-Length: 4"), std::string::npos) << head;
+  // ...but the body itself is omitted.
+  EXPECT_EQ(http_body(head), "");
+
+  std::string missing =
+      raw_http(endpoint.port(), "HEAD /nope HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(missing.rfind("HTTP/1.0 404", 0), 0u) << missing;
+  EXPECT_EQ(http_body(missing), "");
+
+  endpoint.stop();
+}
+
+TEST(HttpEndpointTest, RejectsRequestBodies) {
+  HttpEndpoint endpoint(HttpOptions{});
+  endpoint.handle("/ping", [](const std::string&, std::string& body,
+                              std::string&) {
+    body = "pong";
+    return true;
+  });
+  std::string error;
+  ASSERT_TRUE(endpoint.start(error)) << error;
+
+  // Announced body (Content-Length > 0), even on a GET.
+  std::string announced = raw_http(
+      endpoint.port(), "GET /ping HTTP/1.0\r\nContent-Length: 3\r\n\r\n");
+  EXPECT_EQ(announced.rfind("HTTP/1.0 400", 0), 0u) << announced;
+
+  // Bytes shipped past the head terminator.
+  std::string shipped =
+      raw_http(endpoint.port(), "GET /ping HTTP/1.0\r\n\r\nxyz");
+  EXPECT_EQ(shipped.rfind("HTTP/1.0 400", 0), 0u) << shipped;
+
+  // Chunked uploads are equally unwelcome.
+  std::string chunked = raw_http(
+      endpoint.port(),
+      "GET /ping HTTP/1.0\r\nTransfer-Encoding: chunked\r\n\r\n");
+  EXPECT_EQ(chunked.rfind("HTTP/1.0 400", 0), 0u) << chunked;
+
+  // Content-Length: 0 announces no body and stays acceptable.
+  std::string empty = raw_http(
+      endpoint.port(), "GET /ping HTTP/1.0\r\nContent-Length: 0\r\n\r\n");
+  EXPECT_EQ(empty.rfind("HTTP/1.0 200", 0), 0u) << empty;
+
+  endpoint.stop();
+}
+
+TEST(HttpEndpointTest, OversizedRequestsGetAnAnswerNotAReset) {
+  HttpEndpoint endpoint(HttpOptions{});
+  endpoint.handle("/ping", [](const std::string&, std::string& body,
+                              std::string&) {
+    body = "pong";
+    return true;
+  });
+  std::string error;
+  ASSERT_TRUE(endpoint.start(error)) << error;
+
+  // A runaway request line (no CRLF in sight) is answered early with 400
+  // instead of silently dropping the connection.
+  std::string runaway_line(6 * 1024, 'a');
+  std::string runaway = raw_http(endpoint.port(), "GET /" + runaway_line);
+  EXPECT_EQ(runaway.rfind("HTTP/1.0 400", 0), 0u) << runaway.substr(0, 64);
+
+  // An oversized header block likewise.
+  std::string huge_header =
+      "GET /ping HTTP/1.0\r\nX-Padding: " + std::string(9 * 1024, 'b') +
+      "\r\n\r\n";
+  std::string oversized = raw_http(endpoint.port(), huge_header);
+  EXPECT_EQ(oversized.rfind("HTTP/1.0 400", 0), 0u)
+      << oversized.substr(0, 64);
+
+  endpoint.stop();
 }
 
 // ------------------------------------------------- live server routes
@@ -234,6 +327,59 @@ TEST(ProtocolCompat, V1PeerGetsV1MetricsBody) {
   EXPECT_EQ(metrics.astar_expansions, 0u);
   EXPECT_EQ(metrics.rpc_request_count, 0u);
   EXPECT_EQ(metrics.cache.compactions, 0u);
+
+  server.stop();
+}
+
+// A v2 peer (pre-v3: no envelope trace_id, no queue-wait/tracer metrics
+// extension) must get exactly the v2 bytes back: the envelope answers in
+// version 2 with no trace id and the metrics body ends after the v2 block.
+TEST(ProtocolCompat, V2PeerGetsV2MetricsBody) {
+  CoschedServer server(observable_server_options());
+  std::string error;
+  ASSERT_TRUE(server.start(error)) << error;
+
+  // Traffic through the v3 client, so the v3-only series would be nonzero
+  // if the server leaked them into a v2 reply.
+  ClientOptions client_options;
+  client_options.port = server.port();
+  CoschedClient client(client_options);
+  for (const TraceJob& job : small_jobs(33, 4).jobs) {
+    SubmitJobResponse reply;
+    ASSERT_TRUE(client.submit_job(job, reply).ok());
+  }
+
+  NetStatus net = NetStatus::Ok;
+  Socket raw = Socket::connect_to("127.0.0.1", server.port(),
+                                  Deadline::after(2.0), net);
+  ASSERT_EQ(net, NetStatus::Ok);
+
+  RequestEnvelope request;
+  request.version = 2;
+  request.type = MessageType::GetMetrics;
+  request.request_id = 79;
+  ASSERT_EQ(write_frame(raw, encode_request(request), Deadline::after(2.0)),
+            FrameStatus::Ok);
+  std::vector<std::uint8_t> payload;
+  ASSERT_EQ(read_frame(raw, payload, Deadline::after(5.0)), FrameStatus::Ok);
+
+  ResponseEnvelope response;
+  ASSERT_TRUE(decode_response(payload, response));
+  EXPECT_EQ(response.version, 2);
+  EXPECT_EQ(response.request_id, 79u);
+  EXPECT_EQ(response.trace_id, 0u);  // the v3 envelope field never leaks
+  ASSERT_EQ(response.status, RpcStatus::Ok) << response.error;
+
+  WireReader r(response.body);
+  MetricsResponse metrics;
+  metrics.queue_wait_count = 123;  // decoder must reset to the zero default
+  metrics.tracer_dropped_events = 456;
+  ASSERT_TRUE(decode_metrics_response(r, metrics));
+  EXPECT_EQ(r.remaining(), 0u);  // v2 body ends after the v2 block
+  EXPECT_GT(metrics.rpc_request_count, 0u);  // v2 fields are populated...
+  EXPECT_EQ(metrics.queue_wait_count, 0u);   // ...v3 fields are absent
+  EXPECT_EQ(metrics.queue_wait_seconds_sum, 0.0);
+  EXPECT_EQ(metrics.tracer_dropped_events, 0u);
 
   server.stop();
 }

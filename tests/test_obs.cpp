@@ -88,6 +88,48 @@ TEST(ObsHistogram, MergeFoldsBucketsSumsAndInvalids) {
   EXPECT_EQ(a.max(), 100.0);
 }
 
+TEST(ObsHistogram, MergeEdgeCases) {
+  // Empty into empty: still empty, still sane.
+  Histogram a({1.0, 2.0});
+  Histogram b({1.0, 2.0});
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.invalid(), 0u);
+  EXPECT_EQ(a.sum(), 0.0);
+  EXPECT_EQ(a.max(), 0.0);
+  EXPECT_EQ(a.quantile(0.5), 0.0);
+
+  // Empty into populated and populated into empty both keep max() correct.
+  Histogram filled({1.0, 2.0});
+  filled.add(1.5);
+  filled.merge(a);
+  EXPECT_EQ(filled.count(), 1u);
+  EXPECT_EQ(filled.max(), 1.5);
+  a.merge(filled);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.max(), 1.5);
+
+  // Mismatched bucket layouts are a contract violation, not a silent
+  // misfold: differing edge values and differing edge counts both throw.
+  Histogram other_edges({1.0, 3.0});
+  EXPECT_THROW(a.merge(other_edges), ContractViolation);
+  Histogram more_edges({1.0, 2.0, 3.0});
+  EXPECT_THROW(a.merge(more_edges), ContractViolation);
+
+  // Invalid-sample counters accumulate across merges without ever
+  // touching count/sum.
+  Histogram left({1.0});
+  left.add(std::numeric_limits<Real>::quiet_NaN());
+  left.add(0.5);
+  Histogram right({1.0});
+  right.add(-1.0);
+  right.add(-2.0);
+  left.merge(right);
+  EXPECT_EQ(left.count(), 1u);
+  EXPECT_EQ(left.invalid(), 3u);
+  EXPECT_NEAR(left.sum(), 0.5, 1e-12);
+}
+
 // --------------------------------------------------------------- tracer
 
 // Record one fixed sequence into `tracer`: a nested span pair with an
@@ -245,6 +287,42 @@ TEST(ObsRegistry, ParserRejectsMalformedLines) {
   EXPECT_FALSE(parse_prometheus_text("cosched_x{le=\"1\" 3\n", samples));
   EXPECT_TRUE(parse_prometheus_text("# just a comment\n\n", samples));
   EXPECT_TRUE(samples.empty());
+}
+
+// Callback metrics — the mechanism the server uses to expose tracer drops,
+// cache hit ratios and subscriber counts — must survive a full exposition
+// round-trip: render -> parse -> same names, types and values.
+TEST(ObsRegistry, CallbackMetricsRoundTripThroughExposition) {
+  MetricsRegistry reg;
+  double live = 3.0;
+  reg.callback("cosched_test_dropped_total", "events dropped", "counter",
+               [] { return 12345.0; });
+  reg.callback("cosched_test_buffered", "events buffered", "gauge",
+               [&live] { return live; });
+
+  std::string text = reg.render_prometheus();
+  EXPECT_NE(text.find("# TYPE cosched_test_dropped_total counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE cosched_test_buffered gauge"),
+            std::string::npos)
+      << text;
+
+  std::vector<PrometheusSample> samples;
+  ASSERT_TRUE(parse_prometheus_text(text, samples)) << text;
+  std::map<std::string, double> by_name;
+  for (const PrometheusSample& s : samples) by_name[s.name] = s.value;
+  EXPECT_EQ(by_name.at("cosched_test_dropped_total"), 12345.0);
+  EXPECT_EQ(by_name.at("cosched_test_buffered"), 3.0);
+
+  // Callbacks are pulled at render time: a state change shows up in the
+  // next exposition without any re-registration.
+  live = 9.0;
+  samples.clear();
+  ASSERT_TRUE(parse_prometheus_text(reg.render_prometheus(), samples));
+  by_name.clear();
+  for (const PrometheusSample& s : samples) by_name[s.name] = s.value;
+  EXPECT_EQ(by_name.at("cosched_test_buffered"), 9.0);
 }
 
 TEST(ObsRegistry, CallbacksCanBeReplacedAndUnregistered) {
