@@ -15,13 +15,22 @@
 //      traces (cosched_tracer_sampled_out_traces_total > 0);
 //   3. always-keep span categories (replan.commit) are still present in
 //      the buffers despite the sampling;
-//   4. the telemetry stream delivered frames throughout.
+//   4. the telemetry stream delivered frames throughout;
+//   5. tail sampling: after a warmup measuring the replan-duration p95, a
+//      "keep replans slower than p95" tail policy is armed on top of the
+//      1-in-N head sampler. Every above-threshold replan must be retained
+//      (over_threshold_seen == over_threshold_kept), the pending window
+//      must stay bounded, the drop counters must be monotone across
+//      samples, and /metrics must expose at least one replan-duration
+//      exemplar whose trace_id belongs to a tail-retained trace;
+//   6. the OTLP JSON export (traces + metrics) is written and non-empty.
 // Any violated invariant makes the exit status nonzero.
 //
-//   ./rpc_soak --seconds 30 --ring 4096 --sample-every 8 \
-//              --capture traces/soak_telemetry.jsonl
+//   ./rpc_soak --seconds 30 --ring 4096 --sample-every 64
+//              --capture traces/soak_telemetry.jsonl --otlp-out traces/otlp
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -31,7 +40,10 @@
 
 #include "harness/experiment.hpp"
 #include "obs/metrics_registry.hpp"
+#include "obs/otlp.hpp"
+#include "obs/tail_sampler.hpp"
 #include "obs/trace.hpp"
+#include "online/metrics.hpp"
 #include "rpc/client.hpp"
 #include "rpc/server.hpp"
 
@@ -207,17 +219,22 @@ bool check(bool ok, const std::string& what) {
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
   double seconds = static_cast<double>(args.get_int("seconds", 8));
-  std::int64_t ring = args.get_int("ring", 4096);
-  std::int64_t sample_every = args.get_int("sample-every", 8);
+  // Ring sized to still overflow under 1-in-64 head sampling: the point of
+  // the soak is overwrite pressure, not headroom.
+  std::int64_t ring = args.get_int("ring", 384);
+  std::int64_t sample_every = args.get_int("sample-every", 64);
   std::int64_t client_count = args.get_int("clients", 2);
   std::int64_t poller_count = args.get_int("pollers", 3);
+  std::int64_t tail_window = args.get_int("tail-window", 64);
   std::string capture =
       args.get_string("capture", "traces/soak_telemetry.jsonl");
+  std::string otlp_out = args.get_string("otlp-out", "traces/otlp");
 
   print_experiment_header(
       "rpc_soak",
-      "long-lived observability soak: bounded tracer rings, head-based "
-      "sampling with always-keep, streaming telemetry under load");
+      "long-lived observability soak: bounded tracer rings, head sampling "
+      "with a p95-latency tail policy on top, streaming telemetry, OTLP "
+      "export");
 
   Tracer& tracer = Tracer::global();
   tracer.set_enabled(true);
@@ -260,12 +277,51 @@ int main(int argc, char** argv) {
     threads.emplace_back(drive_poller, server.port(),
                          &requests[static_cast<std::size_t>(client_count) + c]);
 
+  // ---- warmup: measure the replan-duration p95, then arm the tail ------
+  // The tail policy is configured *from measured data* — "keep every replan
+  // slower than the warmup p95" — which is how a deployment would pick the
+  // threshold. Arming after warmup also means the survival invariant below
+  // only covers spans the policy actually saw.
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds * 0.3));
+  Histogram warmup_replans =
+      MetricsRegistry::global()
+          .histogram(kReplanDurationMetricName, kReplanDurationMetricHelp,
+                     replan_duration_metric_edges())
+          .snapshot();
+  Real p95_seconds = warmup_replans.quantile(0.95);
+  // No replans yet (cold warmup) degrades to a 1 us threshold: every replan
+  // is "slow", which keeps the survival invariant meaningful either way.
+  Real threshold_us = p95_seconds > 0.0 ? p95_seconds * 1e6 : 1.0;
+  {
+    TailPolicy slow_replans;
+    slow_replans.name = "slow-replans";
+    slow_replans.span_prefix = "online.replan";
+    slow_replans.min_duration_us = threshold_us;
+    // A top-K policy on the request firehose exercises the pending window
+    // (latency keeps are immediate and never park spans): requests queue up
+    // to one window and get their verdict at the window boundary.
+    TailPolicy top_requests;
+    top_requests.name = "top-requests";
+    top_requests.span_prefix = "rpc.request";
+    top_requests.top_k = 4;
+    TailSamplerOptions tail_options;
+    tail_options.window_spans = static_cast<std::size_t>(tail_window);
+    TailSampler::global().configure(
+        {std::move(slow_replans), std::move(top_requests)}, tail_options);
+  }
+
   // Mid-soak and end-of-soak samples of the buffered event count: once
-  // every active ring is full the count must plateau.
-  std::this_thread::sleep_for(std::chrono::duration<double>(seconds * 0.6));
+  // every active ring is full the count must plateau. The tail-sampler
+  // stats are sampled at the same two points for the monotonicity and
+  // bounded-pending invariants.
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds * 0.3));
   std::uint64_t events_mid = tracer.event_count();
+  TailSamplerStats tail_mid = TailSampler::global().stats();
+  std::size_t tail_pending_mid = TailSampler::global().pending();
   std::this_thread::sleep_for(std::chrono::duration<double>(seconds * 0.4));
   std::uint64_t events_end = tracer.event_count();
+  TailSamplerStats tail_end = TailSampler::global().stats();
+  std::size_t tail_pending_end = TailSampler::global().pending();
 
   std::string exposition =
       http_get_body(server_options.host, server.http_port(), "/metrics");
@@ -291,6 +347,39 @@ int main(int argc, char** argv) {
 
   Tracer::TelemetryBatch commits = tracer.collect_since(0, "replan.commit", 0);
 
+  // Tail-sampler verdicts: the per-policy accounting for the survival
+  // invariant, and the /metrics exemplars cross-checked against the set of
+  // retained traces.
+  TailSampler& tail = TailSampler::global();
+  tail.flush();  // park nothing: give window-parked spans their verdict
+  TailPolicyStats slow_replans_stats;
+  for (const TailPolicyStats& p : tail.policy_stats())
+    if (p.policy == "slow-replans") slow_replans_stats = p;
+
+  std::uint64_t replan_exemplars = 0;
+  std::uint64_t retained_exemplars = 0;
+  for (const PrometheusSample& s : samples) {
+    if (s.name != "cosched_replan_duration_seconds_bucket" || !s.has_exemplar)
+      continue;
+    ++replan_exemplars;
+    // exemplar_labels is `trace_id="<16 hex>"`; recover the id and ask
+    // the tail sampler whether that trace was retained.
+    std::size_t open = s.exemplar_labels.find('"');
+    std::size_t close = s.exemplar_labels.rfind('"');
+    if (open == std::string::npos || close <= open) continue;
+    std::uint64_t id = std::strtoull(
+        s.exemplar_labels.substr(open + 1, close - open - 1).c_str(), nullptr,
+        16);
+    if (tail.trace_retained(id)) ++retained_exemplars;
+  }
+
+  // OTLP export: the CI artifact and the collector-compatibility check.
+  std::vector<std::string> otlp_written;
+  bool otlp_ok = false;
+  if (!otlp_out.empty())
+    otlp_ok = otlp_write_files(otlp_out, tracer, MetricsRegistry::global(),
+                               &tail, {}, &otlp_written);
+
   std::cout << "requests ok          " << total_requests << "\n"
             << "telemetry frames     " << frames << "\n"
             << "streamed spans       " << streamed_spans << "\n"
@@ -298,7 +387,20 @@ int main(int argc, char** argv) {
             << "\n"
             << "dropped events       " << tracer.dropped_events() << "\n"
             << "sampled-out traces   " << tracer.sampled_out_traces() << "\n"
-            << "capture file         " << capture << "\n\n";
+            << "replan p95 (warmup)  " << TextTable::fmt(p95_seconds * 1e6)
+            << " us\n"
+            << "tail considered      " << tail_end.considered << "\n"
+            << "tail kept/dropped    " << tail_end.kept() << " / "
+            << tail_end.dropped << "\n"
+            << "tail slow replans    " << slow_replans_stats.over_threshold_kept
+            << " kept of " << slow_replans_stats.over_threshold_seen
+            << " over threshold\n"
+            << "replan exemplars     " << replan_exemplars << " ("
+            << retained_exemplars << " tail-retained)\n"
+            << "capture file         " << capture << "\n";
+  for (const std::string& path : otlp_written)
+    std::cout << "otlp export          " << path << "\n";
+  std::cout << "\n";
 
   // The ring bound: at most `ring` events per registered thread buffer.
   // Threads here: main, accept, workers, scheduler, HTTP, clients — 16 is
@@ -322,6 +424,38 @@ int main(int argc, char** argv) {
   ok &= check(frames > 0, "telemetry stream delivered frames");
   ok &= check(streamed_spans > 0, "telemetry frames carried span samples");
 
+  // ---- tail-sampling invariants ----------------------------------------
+  ok &= check(tail_end.considered > 0, "tail sampler saw completed spans");
+  ok &= check(slow_replans_stats.over_threshold_seen > 0,
+              "replans slower than the warmup p95 occurred");
+  ok &= check(slow_replans_stats.over_threshold_kept ==
+                  slow_replans_stats.over_threshold_seen,
+              "every above-threshold replan trace was retained (100% "
+              "slow-span survival)");
+  ok &= check(tail_pending_mid <= static_cast<std::size_t>(tail_window) &&
+                  tail_pending_end <= static_cast<std::size_t>(tail_window),
+              "tail pending window stayed bounded (<= window size)");
+  ok &= check(tail.retained() <= TailSamplerOptions{}.max_retained_spans,
+              "tail retained ring stayed bounded");
+  ok &= check(tail_end.considered >= tail_mid.considered &&
+                  tail_end.dropped >= tail_mid.dropped &&
+                  tail_end.kept() >= tail_mid.kept(),
+              "tail considered/kept/dropped counters are monotone");
+  ok &= check(replan_exemplars > 0,
+              "/metrics exposes replan-duration exemplars");
+  ok &= check(retained_exemplars > 0,
+              "at least one exemplar trace_id matches a tail-retained trace");
+  if (!otlp_out.empty()) {
+    ok &= check(otlp_ok && otlp_written.size() == 2,
+                "OTLP trace + metric JSON export written");
+    for (const std::string& path : otlp_written) {
+      std::error_code ec;
+      std::uintmax_t size = std::filesystem::file_size(path, ec);
+      ok &= check(!ec && size > 2, "OTLP export non-empty: " + path);
+    }
+  }
+
+  TailSampler::global().configure({}, {});  // deactivate
   tracer.set_enabled(false);
   return ok ? 0 : 1;
 }

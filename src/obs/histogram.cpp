@@ -9,12 +9,14 @@
 namespace cosched {
 
 Histogram::Histogram(std::vector<Real> upper_edges)
-    : edges_(std::move(upper_edges)), counts_(edges_.size() + 1, 0) {
+    : edges_(std::move(upper_edges)),
+      counts_(edges_.size() + 1, 0),
+      exemplars_(edges_.size() + 1) {
   for (std::size_t i = 1; i < edges_.size(); ++i)
     COSCHED_EXPECTS(edges_[i - 1] < edges_[i]);
 }
 
-void Histogram::add(Real x) {
+void Histogram::add(Real x, std::uint64_t trace_id) {
   if (std::isnan(x) || x < 0.0) {
     ++invalid_;
     return;
@@ -30,6 +32,13 @@ void Histogram::add(Real x) {
   ++count_;
   sum_ += x;
   if (count_ == 1 || x > max_) max_ = x;
+  if (trace_id != 0) {
+    Exemplar& slot = exemplars_[bucket];
+    slot.valid = true;
+    slot.value = x;
+    slot.trace_id = trace_id;
+    slot.seq = ++exemplar_seq_;
+  }
 }
 
 Real Histogram::quantile(Real q) const {
@@ -57,6 +66,12 @@ void Histogram::merge(const Histogram& other) {
   COSCHED_EXPECTS(edges_ == other.edges_);
   for (std::size_t i = 0; i < counts_.size(); ++i)
     counts_[i] += other.counts_[i];
+  for (std::size_t i = 0; i < exemplars_.size(); ++i) {
+    if (!exemplars_[i].valid && other.exemplars_[i].valid) {
+      exemplars_[i] = other.exemplars_[i];
+      exemplars_[i].seq = ++exemplar_seq_;
+    }
+  }
   if (other.count_ > 0 && (count_ == 0 || other.max_ > max_)) max_ = other.max_;
   count_ += other.count_;
   invalid_ += other.invalid_;

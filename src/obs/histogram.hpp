@@ -16,6 +16,18 @@
 
 namespace cosched {
 
+/// Per-bucket exemplar: one recent representative observation linked to the
+/// trace that produced it (OpenMetrics `# {trace_id="..."} value` syntax in
+/// the exposition). `seq` is a per-histogram monotone stamp — newest wins on
+/// replacement, which makes eviction deterministic for a deterministic
+/// sample sequence.
+struct Exemplar {
+  bool valid = false;
+  Real value = 0.0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t seq = 0;
+};
+
 /// Fixed-bucket histogram (upper-edge buckets plus an overflow bucket).
 class Histogram {
  public:
@@ -23,7 +35,11 @@ class Histogram {
   /// bucket with x <= edge, or the overflow bucket.
   explicit Histogram(std::vector<Real> upper_edges);
 
-  void add(Real x);
+  void add(Real x) { add(x, 0); }
+  /// Like add(); additionally records (x, trace_id) as the bucket's
+  /// exemplar when trace_id != 0 (newest observation replaces the previous
+  /// one). Invalid samples never become exemplars.
+  void add(Real x, std::uint64_t trace_id);
   std::uint64_t count() const { return count_; }
   /// NaN / negative samples rejected by add(). Not part of count().
   std::uint64_t invalid() const { return invalid_; }
@@ -33,6 +49,9 @@ class Histogram {
   const std::vector<Real>& edges() const { return edges_; }
   /// edges().size() + 1 entries; the last is the overflow bucket.
   const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+  /// edges().size() + 1 entries, parallel to bucket_counts(); entries with
+  /// valid == false belong to buckets that never saw a traced sample.
+  const std::vector<Exemplar>& exemplars() const { return exemplars_; }
 
   /// Estimated q-quantile (q in [0, 1]) by linear interpolation inside the
   /// bucket holding the target rank; samples in the overflow bucket are
@@ -41,6 +60,10 @@ class Histogram {
 
   /// Folds `other` (same edges) into this histogram. The loopback bench
   /// merges per-client histograms into one before reporting percentiles.
+  /// Exemplars: this histogram's exemplar wins per bucket unless absent
+  /// (seq stamps are per-instance, so cross-histogram recency cannot be
+  /// compared — self-wins keeps the merge deterministic and associative
+  /// for a fixed merge order).
   void merge(const Histogram& other);
 
   /// "<=0.5:3 <=1:7 ... >50:0" — compact, deterministic. Rejected samples
@@ -50,8 +73,10 @@ class Histogram {
  private:
   std::vector<Real> edges_;
   std::vector<std::uint64_t> counts_;
+  std::vector<Exemplar> exemplars_;
   std::uint64_t count_ = 0;
   std::uint64_t invalid_ = 0;
+  std::uint64_t exemplar_seq_ = 0;
   Real sum_ = 0.0;
   Real max_ = 0.0;
 };

@@ -111,7 +111,14 @@ void MetricsRegistry::unregister_callback(const std::string& name) {
   if (it != entries_.end() && it->second.sample) entries_.erase(it);
 }
 
-std::string MetricsRegistry::render_prometheus() const {
+std::string trace_id_hex(std::uint64_t trace_id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(trace_id));
+  return buf;
+}
+
+std::string MetricsRegistry::render_prometheus(bool with_exemplars) const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream out;
   for (const auto& [name, entry] : entries_) {
@@ -130,12 +137,22 @@ std::string MetricsRegistry::render_prometheus() const {
       Histogram h = entry.histogram->snapshot();
       std::uint64_t cumulative = 0;
       const auto& counts = h.bucket_counts();
+      const auto& exemplars = h.exemplars();
+      auto exemplar_suffix = [&](std::size_t bucket) {
+        if (!with_exemplars || !exemplars[bucket].valid) return;
+        out << " # {trace_id=\"" << trace_id_hex(exemplars[bucket].trace_id)
+            << "\"} " << fmt_value(exemplars[bucket].value);
+      };
       for (std::size_t i = 0; i < h.edges().size(); ++i) {
         cumulative += counts[i];
         out << name << "_bucket{le=\"" << fmt_value(h.edges()[i]) << "\"} "
-            << cumulative << "\n";
+            << cumulative;
+        exemplar_suffix(i);
+        out << "\n";
       }
-      out << name << "_bucket{le=\"+Inf\"} " << h.count() << "\n";
+      out << name << "_bucket{le=\"+Inf\"} " << h.count();
+      exemplar_suffix(h.edges().size());
+      out << "\n";
       out << name << "_sum " << fmt_value(h.sum()) << "\n";
       out << name << "_count " << h.count() << "\n";
       if (h.invalid() > 0)
@@ -164,7 +181,25 @@ bool parse_prometheus_text(const std::string& text,
       pos = close + 1;
     }
     if (pos >= line.size() || line[pos] != ' ') return false;
-    const std::string value = line.substr(pos + 1);
+    std::string value = line.substr(pos + 1);
+    // OpenMetrics exemplar suffix: "<value> # {<labels>} <exemplar_value>".
+    std::size_t hash = value.find(" # ");
+    if (hash != std::string::npos) {
+      const std::string exemplar = value.substr(hash + 3);
+      value.resize(hash);
+      if (exemplar.size() < 2 || exemplar[0] != '{') return false;
+      std::size_t close = exemplar.find('}');
+      if (close == std::string::npos || close + 1 >= exemplar.size() ||
+          exemplar[close + 1] != ' ')
+        return false;
+      sample.exemplar_labels = exemplar.substr(1, close - 1);
+      const std::string exemplar_value = exemplar.substr(close + 2);
+      char trailing = 0;
+      if (std::sscanf(exemplar_value.c_str(), "%lf%c",
+                      &sample.exemplar_value, &trailing) != 1)
+        return false;
+      sample.has_exemplar = true;
+    }
     if (value.empty()) return false;
     if (value == "+Inf") {
       sample.value = kInfinity;

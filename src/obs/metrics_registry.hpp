@@ -68,9 +68,11 @@ class HistogramMetric {
   explicit HistogramMetric(std::vector<Real> upper_edges)
       : histogram_(std::move(upper_edges)) {}
 
-  void observe(Real x) {
+  /// `trace_id` != 0 additionally records the sample as its bucket's
+  /// exemplar (see Histogram::add), linking the exposition to a trace.
+  void observe(Real x, std::uint64_t trace_id = 0) {
     std::lock_guard<std::mutex> lock(mutex_);
-    histogram_.add(x);
+    histogram_.add(x, trace_id);
   }
   Histogram snapshot() const {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -107,8 +109,11 @@ class MetricsRegistry {
 
   /// Prometheus text exposition, metrics sorted by name. Histogram
   /// bucket counts are cumulative and end with le="+Inf", as the format
-  /// requires.
-  std::string render_prometheus() const;
+  /// requires. With `with_exemplars`, bucket lines whose bucket holds an
+  /// exemplar gain the OpenMetrics ` # {trace_id="<16-hex>"} <value>`
+  /// suffix (the default stays off so pre-exemplar consumers — including
+  /// the byte-pinned telemetry frames — see unchanged bytes).
+  std::string render_prometheus(bool with_exemplars = false) const;
 
   /// True iff `name` satisfies the exposition charset and the repo's
   /// `cosched_` prefix convention.
@@ -135,12 +140,21 @@ struct PrometheusSample {
   std::string name;    ///< includes _bucket/_sum/_count suffixes
   std::string labels;  ///< raw label block without braces, may be empty
   double value = 0.0;
+  // OpenMetrics exemplar suffix (` # {labels} value`), when present.
+  bool has_exemplar = false;
+  std::string exemplar_labels;  ///< raw label block, e.g. trace_id="..."
+  double exemplar_value = 0.0;
 };
 
 /// Parses the sample lines of a text exposition (comments skipped).
 /// Returns false on any malformed line. The round-trip property — render,
-/// parse, compare — is what the tests assert.
+/// parse, compare — is what the tests assert. OpenMetrics exemplar
+/// suffixes are parsed into the exemplar fields.
 bool parse_prometheus_text(const std::string& text,
                            std::vector<PrometheusSample>& out);
+
+/// 16-digit lowercase hex form of a trace id — the exemplar label value and
+/// (zero-padded to 32 digits) the OTLP traceId encoding.
+std::string trace_id_hex(std::uint64_t trace_id);
 
 }  // namespace cosched

@@ -1,0 +1,471 @@
+#include "obs/otlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "net/socket.hpp"
+
+namespace cosched {
+
+namespace {
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Shortest decimal form that round-trips (same policy as the Prometheus
+/// exposition): OTLP JSON numbers should not read as 2.5000000000000001.
+std::string fmt_number(double v) {
+  if (std::isnan(v) || std::isinf(v)) return "0";  // JSON has no Inf/NaN
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char whole[32];
+    std::snprintf(whole, sizeof(whole), "%.0f", v);
+    return whole;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double parsed = 0.0;
+  std::sscanf(buf, "%lf", &parsed);
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[64];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, v);
+    std::sscanf(shorter, "%lf", &parsed);
+    if (parsed == v) return shorter;
+  }
+  return buf;
+}
+
+/// protojson encodes 64-bit integers as JSON strings.
+std::string fmt_u64_string(std::uint64_t v) {
+  return "\"" + std::to_string(v) + "\"";
+}
+
+/// 32-hex-digit OTLP traceId (64-bit tracer id, zero-padded).
+std::string otlp_trace_id(std::uint64_t trace_id) {
+  return "0000000000000000" + trace_id_hex(trace_id);
+}
+
+/// 16-hex-digit OTLP spanId.
+std::string otlp_span_id(std::uint64_t span_id) {
+  return trace_id_hex(span_id);
+}
+
+std::string resource_json(const OtlpExportOptions& options) {
+  std::string out =
+      "\"resource\":{\"attributes\":[{\"key\":\"service.name\","
+      "\"value\":{\"stringValue\":\"";
+  append_json_escaped(out, options.service_name);
+  out += "\"}}]}";
+  return out;
+}
+
+}  // namespace
+
+std::string otlp_traces_json(const Tracer& tracer, TailSampler* tail,
+                             const OtlpExportOptions& options) {
+  // Everything buffered, ascending seq; 0 = no cap, no prefix filter.
+  Tracer::TelemetryBatch batch = tracer.collect_since(0, "", 0);
+  const bool filter = tail != nullptr && tail->active();
+  if (filter) tail->flush();  // parked spans get their top-K verdict first
+
+  struct Span {
+    std::string name;
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;
+    std::uint64_t parent_span_id = 0;
+    double start_us = 0.0;
+    double end_us = 0.0;
+    Real virtual_time = -1.0;
+    std::int32_t tid = 0;
+    std::string args;
+  };
+  std::vector<Span> spans;
+
+  // Pair Begin/End per thread (events stay seq-ordered within a thread).
+  // Unclosed Begins and ring-orphaned Ends are skipped: OTLP spans need
+  // both timestamps.
+  std::map<std::int32_t, std::vector<std::size_t>> open_by_tid;
+  std::vector<Span> open_spans;  // indexed by open_by_tid entries
+  for (const Tracer::TelemetryEvent& e : batch.events) {
+    if (e.phase == Tracer::Phase::Begin) {
+      Span span;
+      span.name = e.name;
+      span.trace_id = e.trace_id;
+      span.span_id = e.seq + 1;  // nonzero, unique: derived from the seq
+      std::vector<std::size_t>& stack = open_by_tid[e.tid];
+      if (!stack.empty())
+        span.parent_span_id = open_spans[stack.back()].span_id;
+      span.start_us = e.wall_us;
+      span.virtual_time = e.virtual_time;
+      span.tid = e.tid;
+      span.args = e.args;
+      stack.push_back(open_spans.size());
+      open_spans.push_back(std::move(span));
+    } else if (e.phase == Tracer::Phase::End) {
+      std::vector<std::size_t>& stack = open_by_tid[e.tid];
+      if (stack.empty()) continue;  // Begin evicted by the ring
+      Span span = std::move(open_spans[stack.back()]);
+      stack.pop_back();
+      span.end_us = e.wall_us;
+      if (filter &&
+          (span.trace_id == 0 || !tail->trace_retained(span.trace_id)))
+        continue;
+      spans.push_back(std::move(span));
+    }
+  }
+
+  std::string out = "{\"resourceSpans\":[{";
+  out += resource_json(options);
+  out += ",\"scopeSpans\":[{\"scope\":{\"name\":\"cosched.tracer\"},"
+         "\"spans\":[";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const Span& span = spans[i];
+    if (i > 0) out += ",\n";
+    // Untraced spans get a synthetic trace id derived from the span id —
+    // OTLP requires nonzero ids; the 0x0c05c4ed prefix marks them apart
+    // from real request traces.
+    std::uint64_t trace_id = span.trace_id != 0
+                                 ? span.trace_id
+                                 : (0x0c05c4ed00000000ULL | span.span_id);
+    out += "{\"traceId\":\"" + otlp_trace_id(trace_id) + "\"";
+    out += ",\"spanId\":\"" + otlp_span_id(span.span_id) + "\"";
+    if (span.parent_span_id != 0)
+      out += ",\"parentSpanId\":\"" + otlp_span_id(span.parent_span_id) +
+             "\"";
+    out += ",\"name\":\"";
+    append_json_escaped(out, span.name);
+    out += "\",\"kind\":1";  // SPAN_KIND_INTERNAL
+    std::uint64_t start_ns =
+        options.base_unix_nanos +
+        static_cast<std::uint64_t>(span.start_us * 1000.0);
+    std::uint64_t end_ns = options.base_unix_nanos +
+                           static_cast<std::uint64_t>(span.end_us * 1000.0);
+    out += ",\"startTimeUnixNano\":" + fmt_u64_string(start_ns);
+    out += ",\"endTimeUnixNano\":" + fmt_u64_string(end_ns);
+    out += ",\"attributes\":[{\"key\":\"thread.id\",\"value\":{"
+           "\"intValue\":\"" +
+           std::to_string(span.tid) + "\"}}";
+    if (span.virtual_time >= 0.0)
+      out += ",{\"key\":\"cosched.virtual_time\",\"value\":{"
+             "\"doubleValue\":" +
+             fmt_number(span.virtual_time) + "}}";
+    if (!span.args.empty()) {
+      out += ",{\"key\":\"cosched.detail\",\"value\":{\"stringValue\":\"";
+      append_json_escaped(out, span.args);
+      out += "\"}}";
+    }
+    out += "]}";
+  }
+  out += "]}]}]}\n";
+  return out;
+}
+
+std::string otlp_metrics_json(const MetricsRegistry& registry,
+                              const OtlpExportOptions& options) {
+  const std::string text = registry.render_prometheus(true);
+
+  // The parser skips comments, so recover each metric's declared type from
+  // the `# TYPE` lines directly.
+  std::map<std::string, std::string> types;
+  {
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.rfind("# TYPE ", 0) != 0) continue;
+      std::istringstream fields(line.substr(7));
+      std::string name, type;
+      fields >> name >> type;
+      if (!name.empty() && !type.empty()) types[name] = type;
+    }
+  }
+  std::vector<PrometheusSample> samples;
+  if (!parse_prometheus_text(text, samples)) return "{}";
+
+  struct HistogramData {
+    std::vector<double> bounds;            ///< explicit bounds, no +Inf
+    std::vector<std::uint64_t> cumulative;  ///< per rendered bucket line
+    std::vector<std::string> exemplars;     ///< rendered JSON, may be empty
+    double sum = 0.0;
+    std::uint64_t count = 0;
+  };
+
+  auto exemplar_json = [&](const PrometheusSample& s) -> std::string {
+    // exemplar_labels is trace_id="<16 hex>"; re-encode as OTLP traceId.
+    std::string hex;
+    std::size_t at = s.exemplar_labels.find("trace_id=\"");
+    if (at != std::string::npos) {
+      std::size_t start = at + 10;
+      std::size_t end = s.exemplar_labels.find('"', start);
+      if (end != std::string::npos)
+        hex = s.exemplar_labels.substr(start, end - start);
+    }
+    std::string out = "{\"asDouble\":" + fmt_number(s.exemplar_value);
+    if (!hex.empty()) {
+      out += ",\"traceId\":\"";
+      out += std::string(32 - std::min<std::size_t>(32, hex.size()), '0');
+      out += hex;
+      out += "\"";
+    }
+    out += ",\"timeUnixNano\":" + fmt_u64_string(options.base_unix_nanos);
+    out += "}";
+    return out;
+  };
+
+  // One pass, keeping first-seen order: scalar metrics render immediately,
+  // histogram parts accumulate per base name.
+  std::vector<std::string> rendered;
+  std::map<std::string, std::size_t> histogram_slot;
+  std::vector<std::pair<std::string, HistogramData>> histograms;
+  std::vector<std::pair<std::string, std::size_t>> order;  // name, slot/kind
+
+  auto histogram_base = [&](const std::string& name,
+                            std::string& base) -> bool {
+    static const char* suffixes[] = {"_bucket", "_sum", "_count",
+                                     "_invalid_total"};
+    for (const char* suffix : suffixes) {
+      std::size_t len = std::string(suffix).size();
+      if (name.size() > len &&
+          name.compare(name.size() - len, len, suffix) == 0) {
+        std::string candidate = name.substr(0, name.size() - len);
+        auto it = types.find(candidate);
+        if (it != types.end() && it->second == "histogram") {
+          base = candidate;
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+
+  const std::string time_field =
+      ",\"timeUnixNano\":" + fmt_u64_string(options.base_unix_nanos);
+
+  for (const PrometheusSample& s : samples) {
+    std::string base;
+    if (histogram_base(s.name, base)) {
+      auto slot = histogram_slot.find(base);
+      if (slot == histogram_slot.end()) {
+        slot = histogram_slot.emplace(base, histograms.size()).first;
+        histograms.emplace_back(base, HistogramData{});
+        order.emplace_back(base, histograms.size() - 1);
+      }
+      HistogramData& h = histograms[slot->second].second;
+      if (s.name == base + "_bucket") {
+        // le label value; "+Inf" closes the bucket list.
+        std::size_t at = s.labels.find("le=\"");
+        if (at == std::string::npos) continue;
+        std::size_t start = at + 4;
+        std::size_t end = s.labels.find('"', start);
+        if (end == std::string::npos) continue;
+        std::string le = s.labels.substr(start, end - start);
+        if (le != "+Inf") {
+          double bound = 0.0;
+          std::sscanf(le.c_str(), "%lf", &bound);
+          h.bounds.push_back(bound);
+        }
+        h.cumulative.push_back(static_cast<std::uint64_t>(s.value));
+        h.exemplars.push_back(s.has_exemplar ? exemplar_json(s) : "");
+      } else if (s.name == base + "_sum") {
+        h.sum = s.value;
+      } else if (s.name == base + "_count") {
+        h.count = static_cast<std::uint64_t>(s.value);
+      } else {
+        // _invalid_total: a monotone side counter; export it standalone.
+        std::string json = "{\"name\":\"" + s.name +
+                           "\",\"sum\":{\"aggregationTemporality\":2,"
+                           "\"isMonotonic\":true,\"dataPoints\":[{"
+                           "\"asDouble\":" +
+                           fmt_number(s.value) + time_field + "}]}}";
+        order.emplace_back("", rendered.size());
+        rendered.push_back(std::move(json));
+      }
+      continue;
+    }
+    auto type = types.find(s.name);
+    const bool monotonic =
+        type != types.end() && type->second == "counter";
+    std::string json = "{\"name\":\"" + s.name + "\",";
+    if (monotonic)
+      json += "\"sum\":{\"aggregationTemporality\":2,\"isMonotonic\":true,";
+    else
+      json += "\"gauge\":{";
+    json += "\"dataPoints\":[{\"asDouble\":" + fmt_number(s.value) +
+            time_field + "}]}}";
+    order.emplace_back("", rendered.size());
+    rendered.push_back(std::move(json));
+  }
+
+  std::string out = "{\"resourceMetrics\":[{";
+  out += resource_json(options);
+  out += ",\"scopeMetrics\":[{\"scope\":{\"name\":\"cosched.metrics\"},"
+         "\"metrics\":[";
+  bool first = true;
+  for (const auto& [histogram_name, index] : order) {
+    if (!first) out += ",\n";
+    first = false;
+    if (histogram_name.empty()) {
+      out += rendered[index];
+      continue;
+    }
+    const HistogramData& h = histograms[index].second;
+    out += "{\"name\":\"" + histogram_name +
+           "\",\"histogram\":{\"aggregationTemporality\":2,"
+           "\"dataPoints\":[{";
+    out += "\"count\":" + fmt_u64_string(h.count);
+    out += ",\"sum\":" + fmt_number(h.sum);
+    out += time_field;
+    out += ",\"explicitBounds\":[";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) out += ",";
+      out += fmt_number(h.bounds[i]);
+    }
+    out += "],\"bucketCounts\":[";
+    std::uint64_t previous = 0;
+    for (std::size_t i = 0; i < h.cumulative.size(); ++i) {
+      if (i > 0) out += ",";
+      std::uint64_t in_bucket =
+          h.cumulative[i] >= previous ? h.cumulative[i] - previous : 0;
+      previous = h.cumulative[i];
+      out += fmt_u64_string(in_bucket);
+    }
+    out += "]";
+    std::string exemplars;
+    for (const std::string& e : h.exemplars) {
+      if (e.empty()) continue;
+      if (!exemplars.empty()) exemplars += ",";
+      exemplars += e;
+    }
+    if (!exemplars.empty()) out += ",\"exemplars\":[" + exemplars + "]";
+    out += "}]}}";
+  }
+  out += "]}]}]}\n";
+  return out;
+}
+
+bool otlp_write_files(const std::string& dir, const Tracer& tracer,
+                      const MetricsRegistry& registry, TailSampler* tail,
+                      const OtlpExportOptions& options,
+                      std::vector<std::string>* written) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    std::cerr << "warning: cannot create OTLP export directory " << dir
+              << ": " << ec.message() << "\n";
+    return false;
+  }
+  auto write_one = [&](const char* file, const std::string& body) {
+    fs::path path = fs::path(dir) / file;
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "warning: cannot write " << path.string() << "\n";
+      return false;
+    }
+    out << body;
+    if (written) written->push_back(path.string());
+    return true;
+  };
+  bool ok = write_one("otlp_traces.json",
+                      otlp_traces_json(tracer, tail, options));
+  ok = write_one("otlp_metrics.json", otlp_metrics_json(registry, options)) &&
+       ok;
+  return ok;
+}
+
+bool parse_otlp_endpoint(const std::string& spec, OtlpEndpoint& endpoint,
+                         std::string& error) {
+  if (spec.empty()) {
+    error = "empty OTLP endpoint";
+    return false;
+  }
+  std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos) {
+    endpoint.host = spec;
+    endpoint.port = 4318;
+    return true;
+  }
+  endpoint.host = spec.substr(0, colon);
+  const std::string port = spec.substr(colon + 1);
+  char trailing = 0;
+  unsigned parsed = 0;
+  if (endpoint.host.empty() ||
+      std::sscanf(port.c_str(), "%u%c", &parsed, &trailing) != 1 ||
+      parsed == 0 || parsed > 65535) {
+    error = "malformed OTLP endpoint '" + spec + "' (want host:port)";
+    return false;
+  }
+  endpoint.port = static_cast<std::uint16_t>(parsed);
+  return true;
+}
+
+bool otlp_post(const OtlpEndpoint& endpoint, const std::string& path,
+               const std::string& json, std::string& error,
+               double timeout_seconds) {
+  NetStatus status = NetStatus::Ok;
+  Deadline deadline = Deadline::after(timeout_seconds);
+  Socket socket =
+      Socket::connect_to(endpoint.host, endpoint.port, deadline, status);
+  if (status != NetStatus::Ok) {
+    error = "connect to " + endpoint.host + ":" +
+            std::to_string(endpoint.port) + ": " + to_string(status);
+    return false;
+  }
+  std::string request = "POST " + path + " HTTP/1.0\r\n";
+  request += "Host: " + endpoint.host + "\r\n";
+  request += "Content-Type: application/json\r\n";
+  request += "Content-Length: " + std::to_string(json.size()) + "\r\n\r\n";
+  request += json;
+  if (socket.send_all(request.data(), request.size(), deadline) !=
+      NetStatus::Ok) {
+    error = "send failed";
+    return false;
+  }
+  socket.shutdown_send();
+  std::string response;
+  char chunk[4096];
+  while (true) {
+    std::size_t got = 0;
+    NetStatus recv_status =
+        socket.recv_some(chunk, sizeof(chunk), got, deadline);
+    if (recv_status == NetStatus::Closed) break;
+    if (recv_status != NetStatus::Ok) {
+      error = "recv failed: " + std::string(to_string(recv_status));
+      return false;
+    }
+    response.append(chunk, got);
+    if (response.size() > 1 << 20) break;  // status line is all we need
+  }
+  // "HTTP/1.x 2xx ..." — anything else is a collector-side refusal.
+  if (response.rfind("HTTP/1.", 0) != 0 || response.size() < 12 ||
+      response[9] != '2') {
+    error = "collector answered: " +
+            response.substr(0, std::min<std::size_t>(response.size(), 64));
+    return false;
+  }
+  return true;
+}
+
+}  // namespace cosched

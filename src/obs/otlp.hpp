@@ -1,0 +1,85 @@
+// OTLP/HTTP JSON export for traces and metrics.
+//
+// Alongside the Chrome trace-event exporter (perfetto-friendly, see
+// trace.hpp) this emits the OpenTelemetry protocol's JSON encoding —
+// the lingua franca of collector pipelines — so a cosched server plugs
+// into an OTLP collector without a sidecar translator:
+//
+//   * otlp_traces_json()  — resourceSpans → scopeSpans → spans, built by
+//     pairing the tracer's Begin/End events per thread. When a TailSampler
+//     is supplied, only spans of *retained* traces are exported (the
+//     pending window is flushed first so parked spans get their top-K
+//     verdict) — the tail-sampling decision is what reaches the collector.
+//   * otlp_metrics_json() — resourceMetrics → scopeMetrics → metrics,
+//     re-built from the registry's own exposition (render → parse), so
+//     counters/gauges/histograms — including bucket exemplars with their
+//     trace ids — export through the same code path the tests pin.
+//
+// Two sinks: otlp_write_files() drops `otlp_traces.json` +
+// `otlp_metrics.json` into a directory (the CI artifact path), and
+// otlp_post() POSTs one JSON body to a collector's /v1/traces or
+// /v1/metrics over plain HTTP/1.0 using the repo's own Socket — no
+// external dependencies, matching the rest of `src/net`.
+//
+// Encoding notes (OTLP JSON / protojson mapping): 64-bit integers are JSON
+// strings, trace ids are 32 lowercase hex digits (the tracer's 64-bit ids
+// zero-padded), span ids 16 hex digits, timestamps unix nanoseconds.
+// Timestamps are `base_unix_nanos + wall_us * 1000`; with the default
+// base of 0 they are relative to the tracer epoch, which every OTLP
+// consumer accepts structurally (pass a real base for absolute time).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics_registry.hpp"
+#include "obs/tail_sampler.hpp"
+#include "obs/trace.hpp"
+
+namespace cosched {
+
+struct OtlpExportOptions {
+  std::string service_name = "cosched";  ///< resource attribute service.name
+  std::uint64_t base_unix_nanos = 0;     ///< added to tracer wall offsets
+};
+
+/// OTLP JSON trace export. `tail` != nullptr filters to retained traces
+/// (after flushing the pending window); untraced spans (trace_id 0) are
+/// excluded under a tail filter and exported with a synthetic per-span
+/// trace id otherwise (OTLP requires nonzero trace ids).
+std::string otlp_traces_json(const Tracer& tracer, TailSampler* tail = nullptr,
+                             const OtlpExportOptions& options = {});
+
+/// OTLP JSON metric export of every registered metric, histogram bucket
+/// exemplars included.
+std::string otlp_metrics_json(const MetricsRegistry& registry,
+                              const OtlpExportOptions& options = {});
+
+/// Writes otlp_traces.json and otlp_metrics.json under `dir` (created if
+/// missing). Appends the paths written to `written`; false (with a stderr
+/// warning) on any I/O failure.
+bool otlp_write_files(const std::string& dir, const Tracer& tracer,
+                      const MetricsRegistry& registry,
+                      TailSampler* tail = nullptr,
+                      const OtlpExportOptions& options = {},
+                      std::vector<std::string>* written = nullptr);
+
+/// "host:port" collector address for otlp_post().
+struct OtlpEndpoint {
+  std::string host;
+  std::uint16_t port = 4318;  ///< the OTLP/HTTP default
+};
+
+/// Parses "host:port" (port optional, default 4318). False + `error` on a
+/// malformed spec.
+bool parse_otlp_endpoint(const std::string& spec, OtlpEndpoint& endpoint,
+                         std::string& error);
+
+/// POSTs `json` to http://endpoint/<path> (path e.g. "/v1/traces") with
+/// Content-Type application/json over HTTP/1.0. True on a 2xx response.
+bool otlp_post(const OtlpEndpoint& endpoint, const std::string& path,
+               const std::string& json, std::string& error,
+               double timeout_seconds = 5.0);
+
+}  // namespace cosched

@@ -1,0 +1,262 @@
+#include "obs/tail_sampler.hpp"
+
+#include <algorithm>
+
+namespace cosched {
+
+const char* to_string(TailKeepReason reason) {
+  switch (reason) {
+    case TailKeepReason::Latency: return "latency";
+    case TailKeepReason::TopK: return "topk";
+    case TailKeepReason::Error: return "error";
+    case TailKeepReason::Always: return "always";
+  }
+  return "?";
+}
+
+TailSampler& TailSampler::global() {
+  static TailSampler sampler;
+  return sampler;
+}
+
+void TailSampler::configure(std::vector<TailPolicy> policies,
+                            TailSamplerOptions options) {
+  COSCHED_EXPECTS(options.window_spans >= 1);
+  COSCHED_EXPECTS(options.max_retained_spans >= 1);
+  COSCHED_EXPECTS(options.max_retained_traces >= 1);
+  std::lock_guard<std::mutex> lock(mutex_);
+  policies_ = std::move(policies);
+  policy_stats_.clear();
+  policy_stats_.reserve(policies_.size());
+  for (const TailPolicy& policy : policies_) {
+    TailPolicyStats stats;
+    stats.policy = policy.name;
+    policy_stats_.push_back(std::move(stats));
+  }
+  options_ = options;
+  stats_ = TailSamplerStats{};
+  next_order_ = 0;
+  pending_.clear();
+  retained_.clear();
+  retained_traces_.clear();
+  retained_trace_order_.clear();
+  active_.store(!policies_.empty(), std::memory_order_release);
+}
+
+bool TailSampler::matches_locked(const TailPolicy& policy,
+                                 const std::string& name) const {
+  return policy.span_prefix.empty() ||
+         name.compare(0, policy.span_prefix.size(), policy.span_prefix) == 0;
+}
+
+bool TailSampler::observe(CompletedSpan span) {
+  if (!active()) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.considered;
+  std::uint64_t order = next_order_++;
+
+  // Immediate keeps, strongest criterion first; the first deciding policy
+  // (in configuration order) is credited. over_threshold accounting runs
+  // over *every* matching policy so the survival invariant holds per
+  // policy, not just for the decider.
+  const TailPolicy* decider = nullptr;
+  TailKeepReason reason = TailKeepReason::Latency;
+  bool wants_window = false;
+  for (std::size_t i = 0; i < policies_.size(); ++i) {
+    const TailPolicy& policy = policies_[i];
+    if (!matches_locked(policy, span.name)) continue;
+    ++policy_stats_[i].matched;
+    bool over = policy.min_duration_us > 0.0 &&
+                span.duration_us >= policy.min_duration_us;
+    if (over) ++policy_stats_[i].over_threshold_seen;
+    if (!decider) {
+      if (policy.always_keep) {
+        decider = &policy;
+        reason = TailKeepReason::Always;
+      } else if (policy.keep_errors && span.error) {
+        decider = &policy;
+        reason = TailKeepReason::Error;
+      } else if (over) {
+        decider = &policy;
+        reason = TailKeepReason::Latency;
+      }
+    }
+    if (policy.top_k > 0) wants_window = true;
+  }
+
+  if (decider) {
+    // Credit the keep on every matching policy whose threshold the span
+    // met, then on the decider.
+    for (std::size_t i = 0; i < policies_.size(); ++i) {
+      const TailPolicy& policy = policies_[i];
+      if (!matches_locked(policy, span.name)) continue;
+      if (policy.min_duration_us > 0.0 &&
+          span.duration_us >= policy.min_duration_us) {
+        ++policy_stats_[i].over_threshold_kept;
+        ++policy_stats_[i].kept;
+      } else if (&policy == decider) {
+        ++policy_stats_[i].kept;
+      }
+    }
+    switch (reason) {
+      case TailKeepReason::Latency: ++stats_.kept_latency; break;
+      case TailKeepReason::Error: ++stats_.kept_error; break;
+      case TailKeepReason::Always: ++stats_.kept_always; break;
+      case TailKeepReason::TopK: break;  // never an immediate reason
+    }
+    keep_locked(std::move(span), reason, decider->name, order);
+    return true;
+  }
+
+  if (wants_window) {
+    pending_.push_back(PendingSpan{std::move(span), order});
+    if (pending_.size() >= options_.window_spans) evaluate_window_locked();
+    return false;
+  }
+
+  ++stats_.dropped;
+  return false;
+}
+
+void TailSampler::evaluate_window_locked() {
+  if (pending_.empty()) return;
+  ++stats_.windows_evaluated;
+  // For each top-K policy, mark the K slowest matching spans. Ties break on
+  // observation order (earlier wins) — the verdict is a pure function of
+  // the observe() sequence.
+  std::vector<bool> keep(pending_.size(), false);
+  std::vector<std::size_t> deciding_policy(pending_.size(), 0);
+  for (std::size_t p = 0; p < policies_.size(); ++p) {
+    const TailPolicy& policy = policies_[p];
+    if (policy.top_k == 0) continue;
+    std::vector<std::size_t> matching;
+    for (std::size_t i = 0; i < pending_.size(); ++i)
+      if (matches_locked(policy, pending_[i].span.name)) matching.push_back(i);
+    std::sort(matching.begin(), matching.end(),
+              [&](std::size_t a, std::size_t b) {
+                if (pending_[a].span.duration_us !=
+                    pending_[b].span.duration_us)
+                  return pending_[a].span.duration_us >
+                         pending_[b].span.duration_us;
+                return pending_[a].order < pending_[b].order;
+              });
+    std::size_t take = std::min(policy.top_k, matching.size());
+    for (std::size_t i = 0; i < take; ++i) {
+      std::size_t idx = matching[i];
+      if (!keep[idx]) {
+        keep[idx] = true;
+        deciding_policy[idx] = p;
+      }
+      ++policy_stats_[p].kept;
+    }
+  }
+  std::vector<PendingSpan> window = std::move(pending_);
+  pending_.clear();
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    if (keep[i]) {
+      ++stats_.kept_topk;
+      keep_locked(std::move(window[i].span), TailKeepReason::TopK,
+                  policies_[deciding_policy[i]].name, window[i].order);
+    } else {
+      ++stats_.dropped;
+    }
+  }
+}
+
+void TailSampler::keep_locked(CompletedSpan span, TailKeepReason reason,
+                              const std::string& policy,
+                              std::uint64_t order) {
+  if (span.trace_id != 0 &&
+      retained_traces_.insert(span.trace_id).second) {
+    retained_trace_order_.push_back(span.trace_id);
+    while (retained_trace_order_.size() > options_.max_retained_traces) {
+      retained_traces_.erase(retained_trace_order_.front());
+      retained_trace_order_.pop_front();
+    }
+  }
+  RetainedSpan retained;
+  retained.span = std::move(span);
+  retained.reason = reason;
+  retained.policy = policy;
+  retained.order = order;
+  retained_.push_back(std::move(retained));
+  while (retained_.size() > options_.max_retained_spans) {
+    retained_.pop_front();
+    ++stats_.retained_evicted;
+  }
+}
+
+void TailSampler::flush() {
+  if (!active()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  evaluate_window_locked();
+}
+
+std::size_t TailSampler::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+std::size_t TailSampler::retained() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return retained_.size();
+}
+
+bool TailSampler::trace_retained(std::uint64_t trace_id) const {
+  if (trace_id == 0) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return retained_traces_.count(trace_id) != 0;
+}
+
+std::vector<RetainedSpan> TailSampler::retained_snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {retained_.begin(), retained_.end()};
+}
+
+TailSamplerStats TailSampler::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::vector<TailPolicyStats> TailSampler::policy_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return policy_stats_;
+}
+
+std::vector<std::string> TailSampler::policy_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(policies_.size());
+  for (const TailPolicy& policy : policies_) names.push_back(policy.name);
+  return names;
+}
+
+std::string TailSampler::mode_label() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (policies_.empty()) return "";
+  std::string label = "tail(";
+  for (std::size_t i = 0; i < policies_.size(); ++i) {
+    if (i > 0) label += ',';
+    label += policies_[i].name;
+  }
+  label += ')';
+  return label;
+}
+
+void TailSampler::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = TailSamplerStats{};
+  for (TailPolicyStats& stats : policy_stats_) {
+    stats.matched = 0;
+    stats.kept = 0;
+    stats.over_threshold_seen = 0;
+    stats.over_threshold_kept = 0;
+  }
+  next_order_ = 0;
+  pending_.clear();
+  retained_.clear();
+  retained_traces_.clear();
+  retained_trace_order_.clear();
+}
+
+}  // namespace cosched

@@ -11,11 +11,18 @@ std::vector<Real> queue_wait_metric_edges() {
   return {0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0};
 }
 
+std::vector<Real> replan_duration_metric_edges() {
+  return {0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0};
+}
+
 SchedulerMetrics::SchedulerMetrics()
     : queue_wait_(queue_wait_metric_edges()),
       registry_queue_wait_(&MetricsRegistry::global().histogram(
           kQueueWaitMetricName, kQueueWaitMetricHelp,
           queue_wait_metric_edges())),
+      registry_replan_duration_(&MetricsRegistry::global().histogram(
+          kReplanDurationMetricName, kReplanDurationMetricHelp,
+          replan_duration_metric_edges())),
       slowdown_({1.1, 1.25, 1.5, 2.0, 3.0, 5.0}),
       migrations_per_replan_({0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {}
 
@@ -24,6 +31,8 @@ void SchedulerMetrics::on_replan(ReplanRecord record) {
   migrations_ += static_cast<std::uint64_t>(record.migrations);
   migrations_per_replan_.add(static_cast<Real>(record.migrations));
   solve_wall_seconds_ += record.solve_wall_seconds;
+  registry_replan_duration_->observe(
+      static_cast<Real>(record.solve_wall_seconds), record.trace_id);
   replans_log_.push_back(std::move(record));
 }
 

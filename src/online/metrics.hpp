@@ -27,6 +27,15 @@ inline constexpr const char* kQueueWaitMetricHelp =
     "Virtual seconds jobs waited from arrival to admission";
 std::vector<Real> queue_wait_metric_edges();
 
+/// /metrics name of the wall-clock replan duration histogram. Observations
+/// carry the trace_id of the request that triggered the replan, so exemplar
+/// rendering and the tail sampler's latency policies see the same spans.
+inline constexpr const char* kReplanDurationMetricName =
+    "cosched_replan_duration_seconds";
+inline constexpr const char* kReplanDurationMetricHelp =
+    "Wall-clock seconds spent per replan (admission through commit)";
+std::vector<Real> replan_duration_metric_edges();
+
 /// One replan, as the service saw it.
 struct ReplanRecord {
   Real time = 0.0;
@@ -38,6 +47,8 @@ struct ReplanRecord {
   Real degradation = 0.0;      ///< Eq. 13 part of `combined`
   double solve_wall_seconds = 0.0;  ///< wall clock; excluded from
                                     ///< deterministic tables
+  std::uint64_t trace_id = 0;  ///< trace behind the triggering request;
+                               ///< 0 = untraced (excluded from tables)
 };
 
 class SchedulerMetrics {
@@ -115,6 +126,9 @@ class SchedulerMetrics {
   /// Same samples, mirrored into the process-wide /metrics registry (the
   /// pointer is grabbed once at construction; registration is idempotent).
   HistogramMetric* registry_queue_wait_ = nullptr;
+  /// Wall-clock replan duration, registry-only (wall time stays out of the
+  /// deterministic histograms above). Observations carry the trace_id.
+  HistogramMetric* registry_replan_duration_ = nullptr;
   Histogram slowdown_;
   Histogram migrations_per_replan_;
   std::vector<ReplanRecord> replans_log_;

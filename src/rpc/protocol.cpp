@@ -53,10 +53,14 @@ bool decode_request(const std::vector<std::uint8_t>& bytes,
   request.version = r.u16();
   std::uint8_t raw_type = r.u8();
   request.request_id = r.u64();
-  // trace_id travels only on wires we actually know (== 3, not >= 3): an
-  // unknown future version must still decode structurally so the server
-  // can answer VersionMismatch instead of BadRequest.
-  request.trace_id = request.version == 3 ? r.u64() : 0;
+  // trace_id travels only on wires we actually know (<= kProtocolVersion,
+  // not every >= 3): an unknown future version must still decode
+  // structurally so the server can answer VersionMismatch instead of
+  // BadRequest.
+  request.trace_id = request.version >= 3 &&
+                             request.version <= kProtocolVersion
+                         ? r.u64()
+                         : 0;
   if (!r.ok() || !valid_message_type(raw_type)) return false;
   request.type = static_cast<MessageType>(raw_type);
   request.body.assign(bytes.begin() + static_cast<std::ptrdiff_t>(
@@ -83,7 +87,10 @@ bool decode_response(const std::vector<std::uint8_t>& bytes,
   response.version = r.u16();
   std::uint8_t raw_type = r.u8();
   response.request_id = r.u64();
-  response.trace_id = response.version == 3 ? r.u64() : 0;
+  response.trace_id = response.version >= 3 &&
+                              response.version <= kProtocolVersion
+                          ? r.u64()
+                          : 0;
   std::uint8_t raw_status = r.u8();
   response.error = r.str();
   if (!r.ok() || !valid_message_type(raw_type) ||
@@ -263,6 +270,14 @@ void encode_metrics_response(WireWriter& w, const MetricsResponse& response,
   w.real(response.queue_wait_seconds_sum);
   w.real(response.queue_wait_seconds_p99);
   w.u64(response.tracer_dropped_events);
+  if (version < 4) return;  // v3 body ends here
+  w.u64(response.tail_considered);
+  w.u64(response.tail_kept);
+  w.u64(response.tail_dropped);
+  w.u64(response.tail_pending);
+  w.u64(response.tail_retained_spans);
+  w.u64(response.latency_exemplar_trace_id);
+  w.real(response.latency_exemplar_seconds);
 }
 
 bool decode_metrics_response(WireReader& r, MetricsResponse& response) {
@@ -295,6 +310,13 @@ bool decode_metrics_response(WireReader& r, MetricsResponse& response) {
   response.queue_wait_seconds_sum = 0.0;
   response.queue_wait_seconds_p99 = 0.0;
   response.tracer_dropped_events = 0;
+  response.tail_considered = 0;
+  response.tail_kept = 0;
+  response.tail_dropped = 0;
+  response.tail_pending = 0;
+  response.tail_retained_spans = 0;
+  response.latency_exemplar_trace_id = 0;
+  response.latency_exemplar_seconds = 0.0;
   if (r.remaining() == 0) return true;
   response.cache.compactions = r.u64();
   response.astar_searches = r.u64();
@@ -312,6 +334,16 @@ bool decode_metrics_response(WireReader& r, MetricsResponse& response) {
   response.queue_wait_seconds_sum = r.real();
   response.queue_wait_seconds_p99 = r.real();
   response.tracer_dropped_events = r.u64();
+  if (!r.ok()) return false;
+  // v4 extensions: a v3 body ends here.
+  if (r.remaining() == 0) return true;
+  response.tail_considered = r.u64();
+  response.tail_kept = r.u64();
+  response.tail_dropped = r.u64();
+  response.tail_pending = r.u64();
+  response.tail_retained_spans = r.u64();
+  response.latency_exemplar_trace_id = r.u64();
+  response.latency_exemplar_seconds = r.real();
   return r.ok();
 }
 
@@ -374,7 +406,8 @@ bool decode_telemetry_subscribe_ack(WireReader& r,
   return r.ok();
 }
 
-void encode_telemetry_frame(WireWriter& w, const TelemetryFrame& frame) {
+void encode_telemetry_frame(WireWriter& w, const TelemetryFrame& frame,
+                            std::uint16_t version) {
   w.u64(frame.frame_seq);
   w.boolean(frame.last);
   w.u64(frame.dropped_spans);
@@ -396,6 +429,9 @@ void encode_telemetry_frame(WireWriter& w, const TelemetryFrame& frame) {
     w.real(s.value);
     w.str(s.args);
   }
+  // v4 frame extension; appended last so a v3 subscriber's decoder stops
+  // cleanly at the end of the span list.
+  if (version >= 4) w.str(frame.sampling_mode);
 }
 
 bool decode_telemetry_frame(WireReader& r, TelemetryFrame& frame) {
@@ -433,6 +469,10 @@ bool decode_telemetry_frame(WireReader& r, TelemetryFrame& frame) {
       return false;
     frame.spans.push_back(std::move(s));
   }
+  // v4 extension: present iff the sender wrote it (a v3 frame ends here).
+  frame.sampling_mode.clear();
+  if (r.remaining() == 0) return r.ok();
+  frame.sampling_mode = r.str();
   return r.ok();
 }
 

@@ -31,13 +31,15 @@ namespace cosched {
 /// the GetMetrics response body. Version 3 adds an end-to-end trace_id to
 /// both envelopes (client may supply one; the server echoes the effective
 /// id), the SubscribeTelemetry streaming message and further GetMetrics
-/// extension fields (queue-wait histogram, tracer drop counter). The server
-/// accepts every version in [kMinProtocolVersion, kProtocolVersion] and
-/// answers in the requester's version — a v1/v2 peer gets exactly the bytes
-/// it always got (extension fields are appended after the older body and
-/// decoded only when present; the envelope trace_id travels on v3 wires
-/// only).
-inline constexpr std::uint16_t kProtocolVersion = 3;
+/// extension fields (queue-wait histogram, tracer drop counter). Version 4
+/// appends tail-sampler accounting plus a request-latency exemplar to
+/// GetMetrics and a frame-level sampling_mode label to telemetry frames.
+/// The server accepts every version in [kMinProtocolVersion,
+/// kProtocolVersion] and answers in the requester's version — a v1/v2/v3
+/// peer gets exactly the bytes it always got (extension fields are appended
+/// after the older body and decoded only when present; the envelope
+/// trace_id travels on v3+ wires only).
+inline constexpr std::uint16_t kProtocolVersion = 4;
 inline constexpr std::uint16_t kMinProtocolVersion = 1;
 
 enum class MessageType : std::uint8_t {
@@ -134,6 +136,16 @@ struct MetricsResponse {
   Real queue_wait_seconds_sum = 0.0;      ///< virtual seconds waited, total
   Real queue_wait_seconds_p99 = 0.0;      ///< interpolated from buckets
   std::uint64_t tracer_dropped_events = 0;  ///< ring overwrites since reset
+  // ---- v4 extension fields (zero when a v1/v2/v3 peer answered) -----------
+  std::uint64_t tail_considered = 0;   ///< root spans observed by the sampler
+  std::uint64_t tail_kept = 0;         ///< spans retained (all reasons)
+  std::uint64_t tail_dropped = 0;      ///< spans rejected by every policy
+  std::uint64_t tail_pending = 0;      ///< spans parked awaiting a verdict
+  std::uint64_t tail_retained_spans = 0;  ///< retained ring residency
+  /// Newest request-latency exemplar: the trace behind a recent
+  /// cosched_rpc_request_seconds observation (0 = none yet).
+  std::uint64_t latency_exemplar_trace_id = 0;
+  Real latency_exemplar_seconds = 0.0;
 };
 
 struct TraceDumpResponse {
@@ -194,6 +206,11 @@ struct TelemetryFrame {
   std::uint64_t dropped_spans = 0;  ///< shed by per-subscriber backpressure
   std::vector<TelemetryMetricSample> metrics;
   std::vector<TelemetrySpanSample> spans;
+  /// v4: which sampling configuration produced the spans in this frame, so
+  /// consumers can interpret gaps — e.g. "head:1-in-64" or
+  /// "head:1-in-64,tail(slow-replans)". Empty when a v3 peer subscribed
+  /// (the field is appended to the frame only on v4 wires).
+  std::string sampling_mode;
 };
 
 struct ShutdownResponse {
@@ -219,8 +236,9 @@ bool decode_status_response(WireReader& r, JobStatusResponse& response);
 
 /// `version` selects the wire layout: v1 stops after deterministic_csv, v2
 /// appends the first extension block, v3 appends the queue-wait/tracer
-/// block. The decoder reads each extension block only when bytes remain,
-/// so either end may be the older one.
+/// block, v4 appends the tail-sampler/exemplar block. The decoder reads
+/// each extension block only when bytes remain, so either end may be the
+/// older one.
 void encode_metrics_response(WireWriter& w, const MetricsResponse& response,
                              std::uint16_t version = kProtocolVersion);
 bool decode_metrics_response(WireReader& r, MetricsResponse& response);
@@ -241,7 +259,11 @@ void encode_telemetry_subscribe_ack(WireWriter& w,
                                     const TelemetrySubscribeAck& ack);
 bool decode_telemetry_subscribe_ack(WireReader& r, TelemetrySubscribeAck& ack);
 
-void encode_telemetry_frame(WireWriter& w, const TelemetryFrame& frame);
+/// `version` gates the trailing sampling_mode field (v4+); the decoder
+/// reads it only when bytes remain, so a v3 subscriber decodes v3 frames
+/// unchanged and a v4 subscriber tolerates a v3 server.
+void encode_telemetry_frame(WireWriter& w, const TelemetryFrame& frame,
+                            std::uint16_t version = kProtocolVersion);
 bool decode_telemetry_frame(WireReader& r, TelemetryFrame& frame);
 
 }  // namespace cosched

@@ -3,12 +3,29 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/tail_sampler.hpp"
 #include "obs/trace.hpp"
 #include "online/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace cosched {
+
+namespace {
+
+/// Frame-level sampling-mode label advertised to telemetry subscribers:
+/// the head-based rate plus the tail policies, e.g.
+/// "head:1-in-64,tail(slow-replans)".
+std::string sampling_mode_label() {
+  std::uint64_t every = Tracer::global().sample_every();
+  std::string label =
+      every <= 1 ? "head:all" : "head:1-in-" + std::to_string(every);
+  std::string tail = TailSampler::global().mode_label();
+  if (!tail.empty()) label += "," + tail;
+  return label;
+}
+
+}  // namespace
 
 CoschedServer::CoschedServer(ServerOptions options)
     : options_(std::move(options)) {
@@ -37,7 +54,9 @@ bool CoschedServer::start(std::string& error) {
     http_ = std::make_unique<HttpEndpoint>(http_options);
     http_->handle("/metrics", [](const std::string&, std::string& body,
                                  std::string& content_type) {
-      body = MetricsRegistry::global().render_prometheus();
+      // Exemplars ride on the side door: a Grafana heatmap cell links
+      // straight to the trace behind it.
+      body = MetricsRegistry::global().render_prometheus(true);
       content_type = "text/plain; version=0.0.4; charset=utf-8";
       return true;
     });
@@ -164,6 +183,24 @@ void CoschedServer::register_observability() {
   cb("cosched_tracer_buffered_events",
      "trace events currently resident across thread rings", "gauge",
      [] { return static_cast<double>(Tracer::global().event_count()); });
+  cb("cosched_tail_considered_spans_total",
+     "root spans observed by the tail sampler", "counter", [] {
+       return static_cast<double>(TailSampler::global().stats().considered);
+     });
+  cb("cosched_tail_kept_spans_total",
+     "root spans retained by the tail sampler (all keep reasons)",
+     "counter",
+     [] { return static_cast<double>(TailSampler::global().stats().kept()); });
+  cb("cosched_tail_dropped_spans_total",
+     "root spans rejected by every tail policy", "counter", [] {
+       return static_cast<double>(TailSampler::global().stats().dropped);
+     });
+  cb("cosched_tail_pending_spans",
+     "spans parked in the tail sampler's bounded pending window", "gauge",
+     [] { return static_cast<double>(TailSampler::global().pending()); });
+  cb("cosched_tail_retained_spans",
+     "spans resident in the tail sampler's bounded retained ring", "gauge",
+     [] { return static_cast<double>(TailSampler::global().retained()); });
   cb("cosched_telemetry_subscribers", "live SubscribeTelemetry streams",
      "gauge", [this] {
        return static_cast<double>(
@@ -264,6 +301,7 @@ void CoschedServer::serve_connection(Socket socket) {
     WallTimer request_timer;
     RequestEnvelope request;
     ResponseEnvelope response;
+    std::uint64_t trace_id = 0;
     if (!decode_request(payload, request)) {
       response.status = RpcStatus::BadRequest;
       response.error = "malformed request envelope";
@@ -275,27 +313,40 @@ void CoschedServer::serve_connection(Socket socket) {
       serve_telemetry(socket, request);
       return;
     } else {
-      // Correlation: adopt the client's trace_id (v3) or mint one, latch
+      // Correlation: adopt the client's trace_id (v3+) or mint one, latch
       // the head-based sampling decision, and keep the context installed
       // for the whole dispatch — the scheduler command queue re-installs
       // it on the scheduler thread, so replan and solver spans inherit it.
-      std::uint64_t trace_id = request.trace_id != 0
-                                   ? request.trace_id
-                                   : next_server_trace_id();
+      trace_id = request.trace_id != 0 ? request.trace_id
+                                       : next_server_trace_id();
       TraceContext context = Tracer::global().make_context(trace_id);
       TraceContextScope trace_scope(context);
       COSCHED_TRACE_SPAN(request_span, "rpc.request", -1.0,
                          std::string("type=") + to_string(request.type));
       response = handle_request(request);
-      response.trace_id = trace_id;  // echoed on v3 wires only
+      response.trace_id = trace_id;  // echoed on v3+ wires only
     }
 
     std::vector<std::uint8_t> bytes = encode_response(response);
     FrameStatus write_status = write_frame(
         socket, bytes, Deadline::after(options_.request_deadline_seconds +
                                        options_.idle_poll_seconds));
+    // The trace context is gone by now (trace_scope closed with its
+    // branch), so the exemplar trace id is passed explicitly.
     if (request_latency_)
-      request_latency_->observe(request_timer.seconds());
+      request_latency_->observe(request_timer.seconds(), trace_id);
+    if (TailSampler::global().active()) {
+      // Tail end-hook: report the finished root span with its measured
+      // duration — the keep/drop decision happens *now*, when slowness is
+      // known, independent of the head sampler's recording decision.
+      CompletedSpan root;
+      root.name = "rpc.request";
+      root.trace_id = trace_id;
+      root.duration_us = request_timer.seconds() * 1e6;
+      root.error = response.status != RpcStatus::Ok;
+      root.args = std::string("type=") + to_string(response.type);
+      TailSampler::global().observe(std::move(root));
+    }
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       if (response.status == RpcStatus::Ok)
@@ -385,6 +436,9 @@ void CoschedServer::serve_telemetry(Socket& socket,
     TelemetryFrame frame;
     frame.frame_seq = frame_seq++;
     frame.last = last;
+    // v4 subscribers learn which sampling configuration produced the span
+    // stream (the label travels per frame: knobs can change mid-stream).
+    if (request.version >= 4) frame.sampling_mode = sampling_mode_label();
     std::vector<PrometheusSample> samples;
     if (parse_prometheus_text(MetricsRegistry::global().render_prometheus(),
                               samples)) {
@@ -423,7 +477,7 @@ void CoschedServer::serve_telemetry(Socket& socket,
     push.trace_id = trace_id;
     push.status = RpcStatus::Ok;
     WireWriter body;
-    encode_telemetry_frame(body, frame);
+    encode_telemetry_frame(body, frame, request.version);
     push.body = body.take();
     // A subscriber that cannot drain a frame within one interval (plus the
     // poll slack) is dropped — per-subscriber buffering stays bounded at
@@ -639,6 +693,26 @@ ResponseEnvelope CoschedServer::handle_request(const RequestEnvelope& request) {
           reply.queue_wait_seconds_p99 = queue_wait.quantile(0.99);
         }
         reply.tracer_dropped_events = Tracer::global().dropped_events();
+      }
+      if (request.version >= 4) {
+        TailSampler& tail = TailSampler::global();
+        TailSamplerStats tail_stats = tail.stats();
+        reply.tail_considered = tail_stats.considered;
+        reply.tail_kept = tail_stats.kept();
+        reply.tail_dropped = tail_stats.dropped;
+        reply.tail_pending = tail.pending();
+        reply.tail_retained_spans = tail.retained();
+        if (request_latency_) {
+          Histogram latency = request_latency_->snapshot();
+          const Exemplar* newest = nullptr;
+          for (const Exemplar& exemplar : latency.exemplars())
+            if (exemplar.valid && (!newest || exemplar.seq > newest->seq))
+              newest = &exemplar;
+          if (newest) {
+            reply.latency_exemplar_trace_id = newest->trace_id;
+            reply.latency_exemplar_seconds = newest->value;
+          }
+        }
       }
       encode_metrics_response(body, reply, request.version);
       break;

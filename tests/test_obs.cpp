@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <limits>
 #include <map>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -323,6 +324,120 @@ TEST(ObsRegistry, CallbackMetricsRoundTripThroughExposition) {
   by_name.clear();
   for (const PrometheusSample& s : samples) by_name[s.name] = s.value;
   EXPECT_EQ(by_name.at("cosched_test_buffered"), 9.0);
+}
+
+// ---------------------------------------------------------- exemplars
+
+// Each histogram bucket remembers one recent traced observation; newest
+// wins on replacement, untraced (trace_id 0) and invalid samples never
+// become exemplars. Determinism: a fixed add() sequence yields a fixed
+// exemplar set.
+TEST(ObsExemplars, NewestTracedObservationWinsPerBucket) {
+  Histogram h({1.0, 10.0});
+  h.add(0.5);              // untraced: bucket 0 stays exemplar-free
+  h.add(5.0, 0xabc);       // bucket 1
+  h.add(6.0, 0xdef);       // bucket 1 again: newest replaces
+  h.add(-1.0, 0x999);      // invalid: dropped, never an exemplar
+  h.add(100.0, 0x123);     // overflow bucket
+
+  const std::vector<Exemplar>& ex = h.exemplars();
+  ASSERT_EQ(ex.size(), 3u);  // edges + overflow, parallel to bucket_counts
+  EXPECT_FALSE(ex[0].valid);
+  ASSERT_TRUE(ex[1].valid);
+  EXPECT_EQ(ex[1].trace_id, 0xdefu);
+  EXPECT_EQ(ex[1].value, 6.0);
+  ASSERT_TRUE(ex[2].valid);
+  EXPECT_EQ(ex[2].trace_id, 0x123u);
+
+  // Replacement is deterministic: replaying the sequence reproduces it.
+  Histogram replay({1.0, 10.0});
+  replay.add(0.5);
+  replay.add(5.0, 0xabc);
+  replay.add(6.0, 0xdef);
+  replay.add(-1.0, 0x999);
+  replay.add(100.0, 0x123);
+  for (std::size_t i = 0; i < ex.size(); ++i) {
+    EXPECT_EQ(ex[i].valid, replay.exemplars()[i].valid);
+    EXPECT_EQ(ex[i].trace_id, replay.exemplars()[i].trace_id);
+    EXPECT_EQ(ex[i].value, replay.exemplars()[i].value);
+  }
+}
+
+TEST(ObsExemplars, MergeKeepsSelfExemplarsAndAdoptsMissingOnes) {
+  Histogram a({1.0});
+  Histogram b({1.0});
+  a.add(0.3, 0xa);   // both have a bucket-0 exemplar: self wins
+  b.add(0.7, 0xb);
+  b.add(9.0, 0xbb);  // only b has an overflow exemplar: adopted
+
+  a.merge(b);
+  ASSERT_TRUE(a.exemplars()[0].valid);
+  EXPECT_EQ(a.exemplars()[0].trace_id, 0xau);  // self won
+  ASSERT_TRUE(a.exemplars()[1].valid);
+  EXPECT_EQ(a.exemplars()[1].trace_id, 0xbbu);  // absent slot adopted
+}
+
+// The OpenMetrics round-trip: render with exemplars, parse, recover the
+// trace ids — and the default render stays byte-identical to pre-exemplar
+// output so v1..v3 consumers (and the telemetry frames) see no change.
+TEST(ObsExemplars, OpenMetricsRenderRoundTripsThroughTheParser) {
+  MetricsRegistry reg;
+  HistogramMetric& latency =
+      reg.histogram("cosched_test_latency_seconds", "latency", {0.1, 1.0});
+  latency.observe(0.05, 0xdeadbeefull);
+  latency.observe(0.5);          // untraced: bucket 1 has no exemplar
+  latency.observe(5.0, 0x1234ull);
+
+  std::string plain = reg.render_prometheus();
+  EXPECT_EQ(plain.find(" # {"), std::string::npos);
+
+  std::string with = reg.render_prometheus(true);
+  EXPECT_NE(with.find("le=\"0.1\"} 1 # {trace_id=\"00000000deadbeef\"} 0.05"),
+            std::string::npos)
+      << with;
+  EXPECT_NE(with.find("le=\"+Inf\"} 3 # {trace_id=\"0000000000001234\"} 5"),
+            std::string::npos)
+      << with;
+
+  // Stripping the exemplar suffixes must reproduce the plain exposition
+  // byte for byte — the suffix is the only difference.
+  std::string stripped;
+  std::istringstream lines(with);
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::size_t at = line.find(" # {");
+    stripped += at == std::string::npos ? line : line.substr(0, at);
+    stripped += '\n';
+  }
+  EXPECT_EQ(stripped, plain);
+
+  std::vector<PrometheusSample> samples;
+  ASSERT_TRUE(parse_prometheus_text(with, samples)) << with;
+  int exemplars = 0;
+  for (const PrometheusSample& s : samples) {
+    if (!s.has_exemplar) continue;
+    ++exemplars;
+    EXPECT_EQ(s.name, "cosched_test_latency_seconds_bucket");
+    EXPECT_EQ(s.exemplar_labels.find("trace_id=\""), 0u);
+    if (s.labels.find("+Inf") != std::string::npos) {
+      EXPECT_EQ(s.exemplar_labels, "trace_id=\"0000000000001234\"");
+      EXPECT_EQ(s.exemplar_value, 5.0);
+    }
+  }
+  EXPECT_EQ(exemplars, 2);  // untraced middle bucket exports none
+
+  // A malformed exemplar suffix is a parse error, not a silent skip.
+  std::vector<PrometheusSample> bad;
+  EXPECT_FALSE(parse_prometheus_text(
+      "cosched_x_bucket{le=\"1\"} 2 # {trace_id=\"1\"\n", bad));
+  EXPECT_FALSE(parse_prometheus_text(
+      "cosched_x_bucket{le=\"1\"} 2 # {trace_id=\"1\"} nan-ish x\n", bad));
+}
+
+TEST(ObsExemplars, TraceIdHexIsZeroPadded16) {
+  EXPECT_EQ(trace_id_hex(0x1234), "0000000000001234");
+  EXPECT_EQ(trace_id_hex(0), "0000000000000000");
+  EXPECT_EQ(trace_id_hex(0xffffffffffffffffull), "ffffffffffffffff");
 }
 
 TEST(ObsRegistry, CallbacksCanBeReplacedAndUnregistered) {

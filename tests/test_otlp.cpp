@@ -1,0 +1,174 @@
+// OTLP/HTTP JSON export: span pairing and id padding, tail-filtered trace
+// export, metric kinds with histogram exemplars, endpoint parsing and the
+// file sink.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/otlp.hpp"
+#include "obs/tail_sampler.hpp"
+#include "obs/trace.hpp"
+
+namespace cosched {
+namespace {
+
+void record_trace(Tracer& tracer, std::uint64_t trace_id, const char* root) {
+  TraceContext context = tracer.make_context(trace_id);
+  TraceContextScope scope(context);
+  tracer.begin_span(root, 2.5, "reason=policy");
+  tracer.begin_span("replan.fresh_solve");
+  tracer.end_span();
+  tracer.end_span();
+}
+
+TEST(Otlp, TracesJsonPairsSpansAndZeroPadsIds) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  record_trace(tracer, 0xabc, "online.replan");
+  tracer.set_enabled(false);
+
+  std::string json = otlp_traces_json(tracer);
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"resourceSpans\""), std::string::npos);
+  EXPECT_NE(json.find("\"scopeSpans\""), std::string::npos);
+  EXPECT_NE(json.find("\"service.name\""), std::string::npos);
+  // The tracer's 64-bit id, zero-padded to the 32-hex OTLP traceId.
+  EXPECT_NE(json.find("\"traceId\":\"00000000000000000000000000000abc\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"name\":\"online.replan\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"replan.fresh_solve\""), std::string::npos);
+  // The nested span carries its parent's span id.
+  EXPECT_NE(json.find("\"parentSpanId\""), std::string::npos);
+  EXPECT_NE(json.find("\"startTimeUnixNano\""), std::string::npos);
+  EXPECT_NE(json.find("\"endTimeUnixNano\""), std::string::npos);
+  EXPECT_NE(json.find("cosched.virtual_time"), std::string::npos);
+  EXPECT_NE(json.find("\"cosched.detail\""), std::string::npos);
+}
+
+TEST(Otlp, UntracedSpansGetSyntheticNonzeroTraceIds) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.begin_span("solo");  // no context: trace_id 0
+  tracer.end_span();
+  tracer.set_enabled(false);
+
+  std::string json = otlp_traces_json(tracer);
+  EXPECT_NE(json.find("\"name\":\"solo\""), std::string::npos);
+  // OTLP requires nonzero trace ids; the all-zero id must not appear.
+  EXPECT_EQ(json.find("\"traceId\":\"00000000000000000000000000000000\""),
+            std::string::npos)
+      << json;
+}
+
+TEST(Otlp, TailFilterExportsOnlyRetainedTraces) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  record_trace(tracer, 0xaaa, "online.replan");
+  record_trace(tracer, 0xbbb, "rpc.request");
+  tracer.set_enabled(false);
+
+  TailSampler tail;
+  TailPolicy slow;
+  slow.name = "slow";
+  slow.span_prefix = "online.replan";
+  slow.min_duration_us = 10.0;
+  tail.configure({slow});
+  CompletedSpan done;
+  done.name = "online.replan";
+  done.trace_id = 0xaaa;
+  done.duration_us = 50.0;
+  ASSERT_TRUE(tail.observe(done));
+
+  std::string json = otlp_traces_json(tracer, &tail);
+  EXPECT_NE(json.find("00000000000000000000000000000aaa"), std::string::npos)
+      << json;
+  // The unretained trace (and untraced spans) stay out of the export.
+  EXPECT_EQ(json.find("00000000000000000000000000000bbb"), std::string::npos)
+      << json;
+  EXPECT_EQ(json.find("rpc.request"), std::string::npos);
+}
+
+TEST(Otlp, MetricsJsonCarriesKindsAndHistogramExemplars) {
+  MetricsRegistry reg;
+  reg.counter("cosched_test_widgets_total", "widgets").inc(42);
+  reg.gauge("cosched_test_depth", "depth").set(2.5);
+  HistogramMetric& latency =
+      reg.histogram("cosched_test_latency_seconds", "latency", {0.1, 1.0});
+  latency.observe(0.05, 0xfeed);
+  latency.observe(0.5);
+  latency.observe(5.0);
+
+  std::string json = otlp_metrics_json(reg);
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"resourceMetrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"scopeMetrics\""), std::string::npos);
+  // Counter: monotonic cumulative sum. Gauge: gauge. Histogram: bounds,
+  // per-bucket (non-cumulative) counts and the bucket-0 exemplar.
+  EXPECT_NE(json.find("\"name\":\"cosched_test_widgets_total\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"isMonotonic\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"aggregationTemporality\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"explicitBounds\":[0.1,1]"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"bucketCounts\":[\"1\",\"1\",\"1\"]"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"exemplars\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceId\":\"0000000000000000000000000000feed\""),
+            std::string::npos)
+      << json;
+}
+
+TEST(Otlp, EndpointSpecParsing) {
+  OtlpEndpoint endpoint;
+  std::string error;
+  ASSERT_TRUE(parse_otlp_endpoint("collector.local", endpoint, error));
+  EXPECT_EQ(endpoint.host, "collector.local");
+  EXPECT_EQ(endpoint.port, 4318);  // OTLP/HTTP default
+
+  ASSERT_TRUE(parse_otlp_endpoint("127.0.0.1:9999", endpoint, error));
+  EXPECT_EQ(endpoint.host, "127.0.0.1");
+  EXPECT_EQ(endpoint.port, 9999);
+
+  EXPECT_FALSE(parse_otlp_endpoint("", endpoint, error));
+  EXPECT_FALSE(parse_otlp_endpoint(":1234", endpoint, error));
+  EXPECT_FALSE(parse_otlp_endpoint("host:", endpoint, error));
+  EXPECT_FALSE(parse_otlp_endpoint("host:notaport", endpoint, error));
+  EXPECT_FALSE(parse_otlp_endpoint("host:70000", endpoint, error));
+}
+
+TEST(Otlp, WriteFilesDropsBothJsonDocuments) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  record_trace(tracer, 0x77, "online.replan");
+  tracer.set_enabled(false);
+  MetricsRegistry reg;
+  reg.counter("cosched_test_total", "t").inc(1);
+
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "cosched_otlp_test";
+  std::filesystem::remove_all(dir);
+  std::vector<std::string> written;
+  ASSERT_TRUE(otlp_write_files(dir.string(), tracer, reg, nullptr, {},
+                               &written));
+  ASSERT_EQ(written.size(), 2u);
+  for (const std::string& path : written) {
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    std::string first_char;
+    in >> first_char;
+    EXPECT_EQ(first_char[0], '{') << path;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace cosched

@@ -1,0 +1,259 @@
+// TailSampler: policy decisions, window eviction, determinism, accounting.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/tail_sampler.hpp"
+
+namespace cosched {
+namespace {
+
+CompletedSpan span_of(const std::string& name, std::uint64_t trace_id,
+                      double duration_us, bool error = false) {
+  CompletedSpan s;
+  s.name = name;
+  s.trace_id = trace_id;
+  s.duration_us = duration_us;
+  s.error = error;
+  return s;
+}
+
+TailPolicy latency_policy(const std::string& name, const std::string& prefix,
+                          double min_us) {
+  TailPolicy p;
+  p.name = name;
+  p.span_prefix = prefix;
+  p.min_duration_us = min_us;
+  return p;
+}
+
+TEST(TailSampler, InactiveUntilConfiguredAndDeactivatedByEmptyPolicies) {
+  TailSampler sampler;
+  EXPECT_FALSE(sampler.active());
+  EXPECT_EQ(sampler.mode_label(), "");
+
+  sampler.configure({latency_policy("slow", "", 100.0)});
+  EXPECT_TRUE(sampler.active());
+  EXPECT_EQ(sampler.mode_label(), "tail(slow)");
+
+  sampler.configure({});
+  EXPECT_FALSE(sampler.active());
+  EXPECT_EQ(sampler.mode_label(), "");
+}
+
+TEST(TailSampler, LatencyThresholdKeepsImmediatelyAndSeenEqualsKept) {
+  TailSampler sampler;
+  sampler.configure({latency_policy("slow-replans", "online.replan", 500.0)});
+
+  EXPECT_TRUE(sampler.observe(span_of("online.replan", 1, 750.0)));
+  EXPECT_TRUE(sampler.observe(span_of("online.replan", 2, 500.0)));  // at ==
+  EXPECT_FALSE(sampler.observe(span_of("online.replan", 3, 499.9)));
+  EXPECT_FALSE(sampler.observe(span_of("rpc.request", 4, 9999.0)));  // prefix
+
+  TailSamplerStats stats = sampler.stats();
+  EXPECT_EQ(stats.considered, 4u);
+  EXPECT_EQ(stats.kept_latency, 2u);
+  EXPECT_EQ(stats.dropped, 2u);
+  EXPECT_EQ(stats.kept() + stats.dropped, stats.considered);
+
+  std::vector<TailPolicyStats> per_policy = sampler.policy_stats();
+  ASSERT_EQ(per_policy.size(), 1u);
+  EXPECT_EQ(per_policy[0].matched, 3u);
+  EXPECT_EQ(per_policy[0].over_threshold_seen, 2u);
+  // Structural invariant: threshold keeps are immediate, so every
+  // above-threshold span is retained — the soak's 100%-survival check.
+  EXPECT_EQ(per_policy[0].over_threshold_kept,
+            per_policy[0].over_threshold_seen);
+
+  EXPECT_TRUE(sampler.trace_retained(1));
+  EXPECT_TRUE(sampler.trace_retained(2));
+  EXPECT_FALSE(sampler.trace_retained(3));
+  EXPECT_FALSE(sampler.trace_retained(0));
+}
+
+TEST(TailSampler, TopKWindowKeepsKSlowestWithArrivalOrderTiebreak) {
+  TailSampler sampler;
+  TailPolicy top;
+  top.name = "top2";
+  top.span_prefix = "rpc.";
+  top.top_k = 2;
+  TailSamplerOptions options;
+  options.window_spans = 4;
+  sampler.configure({top}, options);
+
+  // Window of 4: durations 10, 40, 40, 20 — top-2 slowest are the two 40s;
+  // the tie resolves by arrival order (both kept here, deterministically).
+  EXPECT_FALSE(sampler.observe(span_of("rpc.request", 11, 10.0)));
+  EXPECT_FALSE(sampler.observe(span_of("rpc.request", 12, 40.0)));
+  EXPECT_FALSE(sampler.observe(span_of("rpc.request", 13, 40.0)));
+  EXPECT_EQ(sampler.pending(), 3u);
+  EXPECT_FALSE(sampler.observe(span_of("rpc.request", 14, 20.0)));
+
+  // The fourth observe filled the window: evaluated and cleared.
+  EXPECT_EQ(sampler.pending(), 0u);
+  TailSamplerStats stats = sampler.stats();
+  EXPECT_EQ(stats.windows_evaluated, 1u);
+  EXPECT_EQ(stats.kept_topk, 2u);
+  EXPECT_EQ(stats.dropped, 2u);
+  EXPECT_TRUE(sampler.trace_retained(12));
+  EXPECT_TRUE(sampler.trace_retained(13));
+  EXPECT_FALSE(sampler.trace_retained(11));
+  EXPECT_FALSE(sampler.trace_retained(14));
+
+  // Determinism: an identical observe() sequence on a fresh sampler makes
+  // identical keep/drop decisions (no clock reads, no randomness).
+  TailSampler replay;
+  replay.configure({top}, options);
+  for (std::uint64_t id : {11, 12, 13, 14})
+    replay.observe(span_of("rpc.request", id,
+                           id == 12 || id == 13 ? 40.0
+                           : id == 11           ? 10.0
+                                                : 20.0));
+  std::vector<RetainedSpan> a = sampler.retained_snapshot();
+  std::vector<RetainedSpan> b = replay.retained_snapshot();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].span.trace_id, b[i].span.trace_id);
+    EXPECT_EQ(a[i].reason, b[i].reason);
+    EXPECT_EQ(a[i].order, b[i].order);
+  }
+}
+
+TEST(TailSampler, FlushResolvesAPartialWindow) {
+  TailSampler sampler;
+  TailPolicy top;
+  top.name = "top1";
+  top.top_k = 1;
+  TailSamplerOptions options;
+  options.window_spans = 64;
+  sampler.configure({top}, options);
+
+  sampler.observe(span_of("a", 1, 5.0));
+  sampler.observe(span_of("b", 2, 50.0));
+  sampler.observe(span_of("c", 3, 15.0));
+  EXPECT_EQ(sampler.pending(), 3u);
+
+  sampler.flush();
+  EXPECT_EQ(sampler.pending(), 0u);
+  EXPECT_TRUE(sampler.trace_retained(2));
+  EXPECT_FALSE(sampler.trace_retained(1));
+  EXPECT_EQ(sampler.stats().kept_topk, 1u);
+  EXPECT_EQ(sampler.stats().dropped, 2u);
+}
+
+TEST(TailSampler, ErrorAndAlwaysKeepPrecedence) {
+  TailSampler sampler;
+  TailPolicy errors;
+  errors.name = "errors";
+  errors.keep_errors = true;
+  TailPolicy everything;
+  everything.name = "all-replans";
+  everything.span_prefix = "online.replan";
+  everything.always_keep = true;
+  sampler.configure({errors, everything});
+
+  EXPECT_TRUE(sampler.observe(span_of("rpc.request", 1, 1.0, true)));
+  EXPECT_TRUE(sampler.observe(span_of("online.replan", 2, 1.0)));
+  EXPECT_FALSE(sampler.observe(span_of("rpc.request", 3, 1.0)));
+
+  TailSamplerStats stats = sampler.stats();
+  EXPECT_EQ(stats.kept_error, 1u);
+  EXPECT_EQ(stats.kept_always, 1u);
+  EXPECT_EQ(stats.dropped, 1u);
+
+  std::vector<RetainedSpan> kept = sampler.retained_snapshot();
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].reason, TailKeepReason::Error);
+  EXPECT_EQ(kept[0].policy, "errors");
+  EXPECT_EQ(kept[1].reason, TailKeepReason::Always);
+  EXPECT_EQ(kept[1].policy, "all-replans");
+}
+
+TEST(TailSampler, RetainedRingEvictsOldestWithAccounting) {
+  TailSampler sampler;
+  TailPolicy all;
+  all.name = "all";
+  all.always_keep = true;
+  TailSamplerOptions options;
+  options.max_retained_spans = 3;
+  options.max_retained_traces = 3;
+  sampler.configure({all}, options);
+
+  for (std::uint64_t id = 1; id <= 5; ++id)
+    EXPECT_TRUE(sampler.observe(span_of("x", id, 1.0)));
+
+  EXPECT_EQ(sampler.retained(), 3u);
+  EXPECT_EQ(sampler.stats().retained_evicted, 2u);
+  std::vector<RetainedSpan> kept = sampler.retained_snapshot();
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_EQ(kept.front().span.trace_id, 3u);  // oldest two evicted
+  EXPECT_EQ(kept.back().span.trace_id, 5u);
+  // The bounded trace-id set follows the same FIFO.
+  EXPECT_FALSE(sampler.trace_retained(1));
+  EXPECT_TRUE(sampler.trace_retained(5));
+}
+
+TEST(TailSampler, PendingWindowNeverExceedsItsCapacity) {
+  TailSampler sampler;
+  TailPolicy top;
+  top.name = "top1";
+  top.top_k = 1;
+  TailSamplerOptions options;
+  options.window_spans = 8;
+  sampler.configure({top}, options);
+
+  for (std::uint64_t id = 1; id <= 100; ++id) {
+    sampler.observe(span_of("x", id, static_cast<double>(id)));
+    EXPECT_LE(sampler.pending(), options.window_spans);
+  }
+  // 100 spans = 12 full windows evaluated, 4 still parked.
+  EXPECT_EQ(sampler.stats().windows_evaluated, 12u);
+  EXPECT_EQ(sampler.pending(), 4u);
+  TailSamplerStats stats = sampler.stats();
+  EXPECT_EQ(stats.considered,
+            stats.kept() + stats.dropped + sampler.pending());
+}
+
+TEST(TailSampler, FirstMatchingPolicyDecidesAndLabelListsAll) {
+  TailSampler sampler;
+  sampler.configure({latency_policy("fast-bar", "bar", 10.0),
+                     latency_policy("slow-all", "", 100.0)});
+  EXPECT_EQ(sampler.mode_label(), "tail(fast-bar,slow-all)");
+  std::vector<std::string> names = sampler.policy_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "fast-bar");
+  EXPECT_EQ(names[1], "slow-all");
+
+  // 50 us "bar" span: over fast-bar's threshold, under slow-all's — kept,
+  // credited to the deciding policy only.
+  EXPECT_TRUE(sampler.observe(span_of("bar.baz", 7, 50.0)));
+  std::vector<TailPolicyStats> per_policy = sampler.policy_stats();
+  ASSERT_EQ(per_policy.size(), 2u);
+  EXPECT_EQ(per_policy[0].kept, 1u);
+  EXPECT_EQ(per_policy[0].over_threshold_kept, 1u);
+  EXPECT_EQ(per_policy[1].matched, 1u);
+  EXPECT_EQ(per_policy[1].over_threshold_seen, 0u);
+
+  std::vector<RetainedSpan> kept = sampler.retained_snapshot();
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].policy, "fast-bar");
+  EXPECT_EQ(kept[0].reason, TailKeepReason::Latency);
+}
+
+TEST(TailSampler, ResetClearsStateButKeepsPolicies) {
+  TailSampler sampler;
+  sampler.configure({latency_policy("slow", "", 1.0)});
+  sampler.observe(span_of("x", 9, 10.0));
+  ASSERT_TRUE(sampler.trace_retained(9));
+
+  sampler.reset();
+  EXPECT_TRUE(sampler.active());
+  EXPECT_FALSE(sampler.trace_retained(9));
+  EXPECT_EQ(sampler.retained(), 0u);
+  EXPECT_EQ(sampler.stats().considered, 0u);
+  EXPECT_TRUE(sampler.observe(span_of("x", 10, 10.0)));  // still armed
+}
+
+}  // namespace
+}  // namespace cosched

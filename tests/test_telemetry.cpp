@@ -267,6 +267,41 @@ TEST(TelemetryWire, SubscribeCodecsRoundTrip) {
   }
 }
 
+// v4 appends the frame-level sampling-mode label; a v3 frame simply lacks
+// the trailing bytes and decodes to an empty label — either end may be the
+// older one.
+TEST(TelemetryWire, FrameSamplingModeTravelsOnlyOnV4) {
+  TelemetryFrame frame;
+  frame.frame_seq = 9;
+  frame.sampling_mode = "head:1-in-64,tail(slow-replans)";
+
+  // Default (v4) encode carries the label.
+  WireWriter v4_writer;
+  encode_telemetry_frame(v4_writer, frame);
+  std::vector<std::uint8_t> bytes = v4_writer.take();
+  TelemetryFrame out;
+  out.sampling_mode = "stale";  // decoder must reset the field
+  {
+    WireReader r(bytes);
+    ASSERT_TRUE(decode_telemetry_frame(r, out));
+    EXPECT_EQ(r.remaining(), 0u);
+  }
+  EXPECT_EQ(out.sampling_mode, "head:1-in-64,tail(slow-replans)");
+
+  // A v3 encode omits the field entirely; the decoder yields "".
+  WireWriter v3_writer;
+  encode_telemetry_frame(v3_writer, frame, 3);
+  std::vector<std::uint8_t> v3_bytes = v3_writer.take();
+  EXPECT_LT(v3_bytes.size(), bytes.size());
+  out.sampling_mode = "stale";
+  {
+    WireReader r(v3_bytes);
+    ASSERT_TRUE(decode_telemetry_frame(r, out));
+    EXPECT_EQ(r.remaining(), 0u);
+  }
+  EXPECT_EQ(out.sampling_mode, "");
+}
+
 // ----------------------------------------------- end-to-end correlation
 
 ServerOptions telemetry_server_options() {
@@ -357,6 +392,7 @@ TEST(TelemetryEndToEnd, ClientTraceIdReachesReplanSolverAndStream) {
   // with the client's trace id.
   bool saw_trace_span = false;
   bool saw_metric = false;
+  bool saw_mode = false;
   for (int i = 0; i < 80 && !(saw_trace_span && saw_metric); ++i) {
     TelemetryFrame frame;
     RpcError frame_error = streamer.read_telemetry_frame(frame, 2.0);
@@ -365,10 +401,13 @@ TEST(TelemetryEndToEnd, ClientTraceIdReachesReplanSolverAndStream) {
       if (m.name.rfind("cosched_", 0) == 0) saw_metric = true;
     for (const TelemetrySpanSample& s : frame.spans)
       if (s.trace_id == kTraceId) saw_trace_span = true;
+    // v4 frames advertise the active sampling regime alongside the data.
+    if (frame.sampling_mode.rfind("head:", 0) == 0) saw_mode = true;
     ASSERT_FALSE(frame.last);
   }
   EXPECT_TRUE(saw_metric);
   EXPECT_TRUE(saw_trace_span);
+  EXPECT_TRUE(saw_mode);
 
   // Polite unsubscribe: the server answers with one final frame marked
   // `last`, then the stream is down.
