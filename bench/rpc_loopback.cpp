@@ -32,6 +32,8 @@
 #include "obs/trace.hpp"
 #include "rpc/client.hpp"
 #include "rpc/server.hpp"
+#include "shard/router.hpp"
+#include "shard/router_server.hpp"
 
 namespace {
 
@@ -115,6 +117,258 @@ bool write_text_file(const std::string& path, const std::string& content) {
   return static_cast<bool>(out);
 }
 
+// ---- --router mode ---------------------------------------------------------
+//
+// Same workload, two deployments: the 8-machine fleet as ONE scheduler versus
+// the same 8 machines split across N shards behind a ShardRouter. The win is
+// not parallelism (CI runs single-core): HA* solve cost grows super-linearly
+// in fleet size, so N small solves are cheaper than one big one even run
+// back-to-back. The run doubles as the fan-in smoke: it fetches GetMetrics
+// through the router and fails (nonzero exit) unless every fleet total equals
+// the sum of its per-shard entries.
+
+constexpr std::int64_t kTotalMachines = 8;
+constexpr int kTenants = 32;
+
+/// Prefix every job name with a stable tenant key ("t7/...") so the router's
+/// consistent hash has something to spread. Tenant assignment is a function
+/// of (client, job index) only — identical across shard counts, so the two
+/// configurations see byte-identical workloads.
+void tenantize(std::vector<WorkloadTrace>& traces) {
+  int k = 0;
+  for (WorkloadTrace& trace : traces)
+    for (TraceJob& job : trace.jobs)
+      job.name = "t" + std::to_string(k++ % kTenants) + "/" + job.name;
+}
+
+struct RouterRunResult {
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t completions = 0;
+  double wall_seconds = 0.0;
+  Histogram latency_ms{latency_edges_ms()};
+  bool fan_in_ok = false;
+  std::uint64_t spillovers = 0;
+  std::vector<std::uint64_t> shard_requests;
+
+  double throughput_rps() const {
+    return wall_seconds > 0.0 ? static_cast<double>(requests) / wall_seconds
+                              : 0.0;
+  }
+};
+
+/// One full run against a ShardRouter fronting `shard_count` local shards.
+/// Returns false only on infrastructure failure (bind, drain, metrics RPC);
+/// fan-in and completion checks land in `result` for the caller to judge.
+bool run_router_config(std::int64_t shard_count,
+                       const std::vector<WorkloadTrace>& traces,
+                       const std::string& metrics_out,
+                       RouterRunResult& result) {
+  ShardRouter router{RouterOptions{}};
+  for (std::int64_t s = 0; s < shard_count; ++s) {
+    LiveServiceOptions service;
+    service.wall_clock = false;
+    service.scheduler.cores = 4;
+    service.scheduler.machines = static_cast<std::int32_t>(
+        std::max<std::int64_t>(1, kTotalMachines / shard_count));
+    service.scheduler.admission.every_k = 4;
+    service.scheduler.cache_compaction_jobs = 16;
+    service.scheduler.log_process_finish = false;
+    router.add_local_shard(service);
+  }
+
+  RouterServerOptions server_options;
+  server_options.port = 0;
+  server_options.worker_threads = std::max<std::size_t>(traces.size(), 1);
+  RouterServer server(router, server_options);
+  std::string error;
+  if (!server.start(error)) {
+    std::cerr << "rpc_loopback: router start: " << error << "\n";
+    return false;
+  }
+
+  std::vector<ClientLoad> loads(traces.size());
+  auto begin = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < traces.size(); ++c)
+    clients.emplace_back(drive_client, server.port(), std::cref(traces[c]),
+                         std::ref(loads[c]));
+  for (std::thread& t : clients) t.join();
+  auto end = std::chrono::steady_clock::now();
+  result.wall_seconds = std::chrono::duration<double>(end - begin).count();
+  for (const ClientLoad& load : loads) {
+    result.latency_ms.merge(load.latency_ms);
+    result.requests += load.requests;
+    result.errors += load.errors;
+  }
+
+  ClientOptions client_options;
+  client_options.port = server.port();
+  CoschedClient client(client_options);
+  DrainResponse drained;
+  RpcError drain_error = client.drain(drained);
+  if (!drain_error.ok()) {
+    std::cerr << "rpc_loopback: router drain: " << drain_error.describe()
+              << "\n";
+    server.stop();
+    return false;
+  }
+  result.completions = drained.completions;
+
+  MetricsResponse metrics;
+  RpcError metrics_error = client.get_metrics(metrics);
+  if (!metrics_error.ok()) {
+    std::cerr << "rpc_loopback: router metrics: " << metrics_error.describe()
+              << "\n";
+    server.stop();
+    return false;
+  }
+
+  // The Σ invariant the router promises: each fan-in total is exactly the
+  // sum of the shard entries it ships alongside, and routed requests add up
+  // to what the clients sent.
+  std::uint64_t sum_requests = 0, sum_arrivals = 0, sum_admissions = 0;
+  std::uint64_t sum_completions = 0, sum_replans = 0, sum_migrations = 0;
+  for (const ShardMetricsEntry& entry : metrics.shards) {
+    sum_requests += entry.requests;
+    sum_arrivals += entry.arrivals;
+    sum_admissions += entry.admissions;
+    sum_completions += entry.completions;
+    sum_replans += entry.replans;
+    sum_migrations += entry.migrations;
+    result.shard_requests.push_back(entry.requests);
+  }
+  result.fan_in_ok =
+      metrics.shards.size() == static_cast<std::size_t>(shard_count) &&
+      metrics.arrivals == sum_arrivals &&
+      metrics.admissions == sum_admissions &&
+      metrics.completions == sum_completions &&
+      metrics.replans == sum_replans && metrics.migrations == sum_migrations &&
+      sum_requests == result.requests &&
+      metrics.completions == result.completions;
+  result.spillovers = metrics.router_spillovers;
+
+  if (!metrics_out.empty()) {
+    std::string exposition =
+        http_get(server_options.host, server.http_port(), "/metrics");
+    if (exposition.empty())
+      std::cerr << "rpc_loopback: GET /metrics (router) failed\n";
+    else if (write_text_file(metrics_out, exposition))
+      std::cout << "wrote " << metrics_out << "\n";
+  }
+
+  server.stop();
+  return true;
+}
+
+void print_router_table(const std::string& title, const RouterRunResult& r) {
+  TextTable table({"metric", title});
+  table.add_row({"requests ok",
+                 TextTable::fmt_int(static_cast<std::int64_t>(r.requests))});
+  table.add_row({"requests failed",
+                 TextTable::fmt_int(static_cast<std::int64_t>(r.errors))});
+  table.add_row({"wall seconds", TextTable::fmt(r.wall_seconds, 3)});
+  table.add_row({"throughput req/s", TextTable::fmt(r.throughput_rps(), 1)});
+  table.add_row({"latency p50 ms", TextTable::fmt(r.latency_ms.quantile(0.5), 3)});
+  table.add_row({"latency p95 ms", TextTable::fmt(r.latency_ms.quantile(0.95), 3)});
+  table.add_row({"latency p99 ms", TextTable::fmt(r.latency_ms.quantile(0.99), 3)});
+  table.add_row({"jobs completed",
+                 TextTable::fmt_int(static_cast<std::int64_t>(r.completions))});
+  table.add_row({"spillovers",
+                 TextTable::fmt_int(static_cast<std::int64_t>(r.spillovers))});
+  table.add_row({"fan-in invariant", r.fan_in_ok ? "ok" : "VIOLATED"});
+  std::cout << table.render() << "\n";
+}
+
+void append_router_json(std::ostringstream& json, const std::string& key,
+                        std::int64_t shards, const RouterRunResult& r) {
+  json << "  \"" << key << "\": {\n"
+       << "    \"shards\": " << shards << ",\n"
+       << "    \"requests_ok\": " << r.requests << ",\n"
+       << "    \"requests_failed\": " << r.errors << ",\n"
+       << "    \"wall_seconds\": " << r.wall_seconds << ",\n"
+       << "    \"throughput_rps\": " << r.throughput_rps() << ",\n"
+       << "    \"spillovers\": " << r.spillovers << ",\n"
+       << "    \"shard_requests\": [";
+  for (std::size_t i = 0; i < r.shard_requests.size(); ++i)
+    json << (i ? ", " : "") << r.shard_requests[i];
+  json << "],\n"
+       << "    \"latency_ms\": {\n"
+       << "      \"mean\": " << r.latency_ms.mean() << ",\n"
+       << "      \"p50\": " << r.latency_ms.quantile(0.5) << ",\n"
+       << "      \"p95\": " << r.latency_ms.quantile(0.95) << ",\n"
+       << "      \"p99\": " << r.latency_ms.quantile(0.99) << ",\n"
+       << "      \"max\": " << r.latency_ms.max() << "\n"
+       << "    }\n"
+       << "  }";
+}
+
+/// --router entry point: 1-shard baseline then the N-shard fleet over the
+/// same tenantized workload; writes the comparison to `bench_out`.
+int run_router_mode(std::int64_t shard_count, std::int64_t jobs_per_client,
+                    std::int64_t client_count, const std::string& metrics_out,
+                    const std::string& bench_out) {
+  print_experiment_header(
+      "rpc_sharded",
+      "ShardRouter loopback: one scheduler vs " +
+          std::to_string(shard_count) +
+          " consistent-hash shards over the same " +
+          std::to_string(kTotalMachines) + "-machine fleet");
+
+  std::vector<WorkloadTrace> traces(static_cast<std::size_t>(client_count));
+  for (std::size_t c = 0; c < traces.size(); ++c) {
+    TraceSpec spec;
+    spec.job_count = static_cast<std::int32_t>(jobs_per_client);
+    spec.parallel_fraction = 0.2;
+    spec.mean_interarrival = 2.0 * static_cast<Real>(client_count);
+    spec.seed = 1000 + c;
+    traces[c] = generate_trace(spec);
+  }
+  tenantize(traces);
+
+  RouterRunResult single;
+  RouterRunResult sharded;
+  if (!run_router_config(1, traces, "", single)) return 1;
+  if (!run_router_config(shard_count, traces, metrics_out, sharded)) return 1;
+
+  print_router_table("1 shard", single);
+  print_router_table(std::to_string(shard_count) + " shards", sharded);
+
+  double speedup = single.throughput_rps() > 0.0
+                       ? sharded.throughput_rps() / single.throughput_rps()
+                       : 0.0;
+  std::cout << "sharded speedup vs single shard: "
+            << TextTable::fmt(speedup, 2) << "x\n";
+
+  if (!bench_out.empty()) {
+    std::ostringstream json;
+    json.setf(std::ios::fixed);
+    json.precision(4);
+    json << "{\n"
+         << "  \"bench\": \"rpc_sharded\",\n"
+         << "  \"clients\": " << client_count << ",\n"
+         << "  \"jobs_per_client\": " << jobs_per_client << ",\n"
+         << "  \"tenants\": " << kTenants << ",\n"
+         << "  \"total_machines\": " << kTotalMachines << ",\n";
+    append_router_json(json, "single_shard", 1, single);
+    json << ",\n";
+    append_router_json(json, "sharded", shard_count, sharded);
+    json << ",\n"
+         << "  \"speedup_vs_single_shard\": " << speedup << ",\n"
+         << "  \"fan_in_invariant_ok\": "
+         << (single.fan_in_ok && sharded.fan_in_ok ? "true" : "false") << "\n"
+         << "}\n";
+    if (write_text_file(bench_out, json.str()))
+      std::cout << "wrote " << bench_out << "\n";
+  }
+
+  bool clean = single.fan_in_ok && sharded.fan_in_ok &&
+               single.errors == 0 && sharded.errors == 0 &&
+               single.completions == single.requests &&
+               sharded.completions == sharded.requests;
+  return clean ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -124,6 +378,16 @@ int main(int argc, char** argv) {
   std::int64_t client_count = args.get_int("clients", 2);
   std::string trace_out = args.get_string("trace-out", "");
   std::string metrics_out = args.get_string("metrics-out", "");
+
+  if (args.has("router")) {
+    // Sharded comparison mode: separate default bench-out so the single-
+    // scheduler baseline JSON is never clobbered by a router run.
+    return run_router_mode(args.get_int("shards", 4), jobs_per_client,
+                           client_count, metrics_out,
+                           args.get_string("bench-out",
+                                           "BENCH_rpc_sharded.json"));
+  }
+
   std::string bench_out =
       args.get_string("bench-out", "BENCH_rpc_loopback.json");
 

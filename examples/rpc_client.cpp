@@ -106,12 +106,17 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  // Default: submit a generated mix.
+  // Default: submit a generated mix. --name-prefix tags every job name —
+  // against a shard_router, "tenantA/" makes the whole batch one tenant key
+  // so the router keeps it on one shard.
   TraceSpec spec;
   spec.job_count = static_cast<std::int32_t>(args.get_int("jobs", 10));
   spec.parallel_fraction = args.get_real("parallel", 0.2);
   spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
   WorkloadTrace trace = generate_trace(spec);
+  std::string name_prefix = args.get_string("name-prefix", "");
+  if (!name_prefix.empty())
+    for (TraceJob& job : trace.jobs) job.name = name_prefix + job.name;
 
   for (const TraceJob& job : trace.jobs) {
     SubmitJobResponse reply;

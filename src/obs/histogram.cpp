@@ -67,9 +67,16 @@ void Histogram::merge(const Histogram& other) {
   for (std::size_t i = 0; i < counts_.size(); ++i)
     counts_[i] += other.counts_[i];
   for (std::size_t i = 0; i < exemplars_.size(); ++i) {
-    if (!exemplars_[i].valid && other.exemplars_[i].valid) {
-      exemplars_[i] = other.exemplars_[i];
-      exemplars_[i].seq = ++exemplar_seq_;
+    const Exemplar& theirs = other.exemplars_[i];
+    if (!theirs.valid) continue;
+    Exemplar& ours = exemplars_[i];
+    // Max-by-value (ties: max trace id) is order-independent, so a fan-in
+    // over N shards lands on the same exemplar whatever the merge order.
+    bool adopt = !ours.valid || theirs.value > ours.value ||
+                 (theirs.value == ours.value && theirs.trace_id > ours.trace_id);
+    if (adopt) {
+      ours = theirs;
+      ours.seq = ++exemplar_seq_;
     }
   }
   if (other.count_ > 0 && (count_ == 0 || other.max_ > max_)) max_ = other.max_;

@@ -59,11 +59,15 @@ class Histogram {
   Real quantile(Real q) const;
 
   /// Folds `other` (same edges) into this histogram. The loopback bench
-  /// merges per-client histograms into one before reporting percentiles.
-  /// Exemplars: this histogram's exemplar wins per bucket unless absent
-  /// (seq stamps are per-instance, so cross-histogram recency cannot be
-  /// compared — self-wins keeps the merge deterministic and associative
-  /// for a fixed merge order).
+  /// merges per-client histograms into one before reporting percentiles,
+  /// and the shard router's metrics fan-in merges per-shard histograms
+  /// into the combined /metrics page.
+  /// Exemplars survive the merge: per bucket the larger-valued exemplar
+  /// wins (ties broken by the larger trace id). Seq stamps are
+  /// per-instance and cannot be compared across histograms, so recency is
+  /// not a usable criterion; max-by-value is deterministic, associative
+  /// AND commutative — any fan-in order yields the same exemplar, and a
+  /// latency bucket keeps its slowest (most diagnostic) trace.
   void merge(const Histogram& other);
 
   /// "<=0.5:3 <=1:7 ... >50:0" — compact, deterministic. Rejected samples

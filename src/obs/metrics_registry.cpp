@@ -34,6 +34,35 @@ std::string fmt_value(double v) {
 
 }  // namespace
 
+std::string format_prometheus_value(double v) { return fmt_value(v); }
+
+void render_prometheus_histogram(std::ostream& out, const std::string& name,
+                                 const Histogram& h, bool with_exemplars) {
+  out << "# TYPE " << name << " histogram\n";
+  std::uint64_t cumulative = 0;
+  const auto& counts = h.bucket_counts();
+  const auto& exemplars = h.exemplars();
+  auto exemplar_suffix = [&](std::size_t bucket) {
+    if (!with_exemplars || !exemplars[bucket].valid) return;
+    out << " # {trace_id=\"" << trace_id_hex(exemplars[bucket].trace_id)
+        << "\"} " << fmt_value(exemplars[bucket].value);
+  };
+  for (std::size_t i = 0; i < h.edges().size(); ++i) {
+    cumulative += counts[i];
+    out << name << "_bucket{le=\"" << fmt_value(h.edges()[i]) << "\"} "
+        << cumulative;
+    exemplar_suffix(i);
+    out << "\n";
+  }
+  out << name << "_bucket{le=\"+Inf\"} " << h.count();
+  exemplar_suffix(h.edges().size());
+  out << "\n";
+  out << name << "_sum " << fmt_value(h.sum()) << "\n";
+  out << name << "_count " << h.count() << "\n";
+  if (h.invalid() > 0)
+    out << name << "_invalid_total " << h.invalid() << "\n";
+}
+
 MetricsRegistry& MetricsRegistry::global() {
   static MetricsRegistry registry;
   return registry;
@@ -133,30 +162,8 @@ std::string MetricsRegistry::render_prometheus(bool with_exemplars) const {
       out << "# TYPE " << name << " " << entry.sample_type << "\n";
       out << name << " " << fmt_value(entry.sample()) << "\n";
     } else if (entry.histogram) {
-      out << "# TYPE " << name << " histogram\n";
-      Histogram h = entry.histogram->snapshot();
-      std::uint64_t cumulative = 0;
-      const auto& counts = h.bucket_counts();
-      const auto& exemplars = h.exemplars();
-      auto exemplar_suffix = [&](std::size_t bucket) {
-        if (!with_exemplars || !exemplars[bucket].valid) return;
-        out << " # {trace_id=\"" << trace_id_hex(exemplars[bucket].trace_id)
-            << "\"} " << fmt_value(exemplars[bucket].value);
-      };
-      for (std::size_t i = 0; i < h.edges().size(); ++i) {
-        cumulative += counts[i];
-        out << name << "_bucket{le=\"" << fmt_value(h.edges()[i]) << "\"} "
-            << cumulative;
-        exemplar_suffix(i);
-        out << "\n";
-      }
-      out << name << "_bucket{le=\"+Inf\"} " << h.count();
-      exemplar_suffix(h.edges().size());
-      out << "\n";
-      out << name << "_sum " << fmt_value(h.sum()) << "\n";
-      out << name << "_count " << h.count() << "\n";
-      if (h.invalid() > 0)
-        out << name << "_invalid_total " << h.invalid() << "\n";
+      render_prometheus_histogram(out, name, entry.histogram->snapshot(),
+                                  with_exemplars);
     }
   }
   return out.str();

@@ -157,4 +157,22 @@ bool parse_prometheus_text(const std::string& text,
 /// (zero-padded to 32 digits) the OTLP traceId encoding.
 std::string trace_id_hex(std::uint64_t trace_id);
 
+/// Shortest decimal form that round-trips a double, integral values as
+/// plain integers — the exposition's value formatting, shared with the
+/// shard router's fleet page so merged and single-instance renders agree
+/// byte for byte.
+std::string format_prometheus_value(double v);
+
+/// Renders one histogram as Prometheus text samples (TYPE comment,
+/// cumulative buckets ending at le="+Inf", _sum, _count, and
+/// `<name>_invalid_total` when any sample was rejected). With
+/// `with_exemplars`, bucket lines whose bucket holds an exemplar gain the
+/// OpenMetrics ` # {trace_id="<16-hex>"} <value>` suffix. This is the one
+/// code path behind both MetricsRegistry::render_prometheus and the shard
+/// router's fan-in /metrics page (which renders merged histograms that
+/// live in no registry).
+void render_prometheus_histogram(std::ostream& out, const std::string& name,
+                                 const Histogram& histogram,
+                                 bool with_exemplars);
+
 }  // namespace cosched

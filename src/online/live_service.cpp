@@ -19,7 +19,8 @@ LiveSchedulerService::LiveSchedulerService(LiveServiceOptions options)
       total_cores_(options.scheduler.machines *
                    static_cast<std::int32_t>(options.scheduler.cores)),
       scheduler_(options.scheduler),
-      start_(std::chrono::steady_clock::now()) {
+      start_(std::chrono::steady_clock::now()),
+      probe_replan_wall_(replan_duration_metric_edges()) {
   COSCHED_EXPECTS(options_.wall_time_scale > 0.0);
   scheduler_.begin();
   thread_ = std::thread(&LiveSchedulerService::thread_main, this);
@@ -41,6 +42,38 @@ std::vector<std::string> LiveSchedulerService::write_metrics_csvs(
     const std::string& dir, const std::string& prefix) {
   COSCHED_EXPECTS(!thread_.joinable());  // stop() first
   return scheduler_.metrics().write_csvs(dir, prefix);
+}
+
+std::size_t LiveSchedulerService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return commands_.size();
+}
+
+LoadProbe LiveSchedulerService::load() const {
+  LoadProbe probe;
+  probe.queue_depth = queue_depth();
+  probe.arrivals = probe_arrivals_.load(std::memory_order_relaxed);
+  probe.completions = probe_completions_.load(std::memory_order_relaxed);
+  probe.virtual_now = probe_virtual_now_.load(std::memory_order_relaxed);
+  probe.replan_p95_seconds =
+      probe_replan_p95_.load(std::memory_order_relaxed);
+  return probe;
+}
+
+void LiveSchedulerService::refresh_load_probe() {
+  const SchedulerMetrics& m = scheduler_.metrics();
+  probe_arrivals_.store(m.arrivals(), std::memory_order_relaxed);
+  probe_completions_.store(m.completions(), std::memory_order_relaxed);
+  probe_virtual_now_.store(scheduler_.now(), std::memory_order_relaxed);
+  const std::vector<ReplanRecord>& records = m.replan_records();
+  if (records.size() > replan_records_seen_) {
+    std::lock_guard<std::mutex> lock(probe_mutex_);
+    for (std::size_t i = replan_records_seen_; i < records.size(); ++i)
+      probe_replan_wall_.add(records[i].solve_wall_seconds);
+    replan_records_seen_ = records.size();
+    probe_replan_p95_.store(probe_replan_wall_.quantile(0.95),
+                            std::memory_order_relaxed);
+  }
 }
 
 Real LiveSchedulerService::wall_virtual_now() const {
@@ -143,6 +176,7 @@ void LiveSchedulerService::thread_main() {
       commands_.pop_front();
       lock.unlock();
       execute(command);
+      refresh_load_probe();
       lock.lock();
       continue;
     }
@@ -157,6 +191,7 @@ void LiveSchedulerService::thread_main() {
     lock.unlock();
     Real target = wall_virtual_now();
     scheduler_.pump(target);
+    refresh_load_probe();
     Real next = scheduler_.next_occurrence_time();
     lock.lock();
     if (stop_requested_ || !commands_.empty()) continue;

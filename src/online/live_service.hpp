@@ -24,6 +24,7 @@
 // every queued job and replan before reporting back.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -90,6 +91,28 @@ struct DrainOutcome {
   Real virtual_now = 0.0;
 };
 
+/// Cheap, lock-light load snapshot of one service instance — the signal the
+/// shard router's spillover policy reads on every admission, so it must not
+/// round-trip through the command queue. queue_depth is exact (one mutex
+/// peek); the rest are atomics refreshed by the scheduler thread after each
+/// executed command, i.e. at-most-one-command stale.
+struct LoadProbe {
+  /// Commands enqueued and not yet executed by the scheduler thread — how
+  /// far behind the instance is.
+  std::size_t queue_depth = 0;
+  std::uint64_t arrivals = 0;     ///< jobs accepted so far
+  std::uint64_t completions = 0;  ///< jobs fully finished
+  Real virtual_now = 0.0;         ///< shard-local virtual clock
+  /// p95 of wall-clock replan duration (seconds), interpolated from the
+  /// same bucket layout /metrics exports. 0 until the first replan.
+  Real replan_p95_seconds = 0.0;
+  /// Jobs admitted but not yet finished plus jobs accepted and still
+  /// pending — the in-flight population this shard is carrying.
+  std::uint64_t in_flight() const {
+    return arrivals > completions ? arrivals - completions : 0;
+  }
+};
+
 class LiveSchedulerService {
  public:
   explicit LiveSchedulerService(LiveServiceOptions options);
@@ -112,6 +135,12 @@ class LiveSchedulerService {
 
   bool draining() const { return draining_.load(std::memory_order_acquire); }
   std::int32_t total_cores() const { return total_cores_; }
+
+  /// Commands awaiting the scheduler thread right now. Thread-safe.
+  std::size_t queue_depth() const;
+  /// Load snapshot for routing/spillover decisions. Thread-safe; never
+  /// blocks on the scheduler thread (see LoadProbe).
+  LoadProbe load() const;
 
   /// Shared degradation cache. The pointer is fixed for the scheduler's
   /// lifetime and stats() reads atomics behind shard locks, so this is safe
@@ -158,6 +187,9 @@ class LiveSchedulerService {
                     double timeout_seconds);
   void thread_main();
   void execute(Command& command);
+  /// Refreshes the LoadProbe atomics from the scheduler's metrics. Runs on
+  /// the scheduler thread only, after each executed command.
+  void refresh_load_probe();
   Real wall_virtual_now() const;
 
   LiveServiceOptions options_;
@@ -170,6 +202,19 @@ class LiveSchedulerService {
   bool stop_requested_ = false;
   std::atomic<bool> draining_{false};
   std::chrono::steady_clock::time_point start_;
+
+  // Load-probe mirror, written by the scheduler thread, read by load().
+  std::atomic<std::uint64_t> probe_arrivals_{0};
+  std::atomic<std::uint64_t> probe_completions_{0};
+  std::atomic<double> probe_virtual_now_{0.0};
+  std::atomic<double> probe_replan_p95_{0.0};
+  /// Wall-clock replan durations folded incrementally from the scheduler's
+  /// replan records (replan_records_seen_ marks the fold frontier). Only
+  /// quantile() runs off-thread, under this mutex.
+  mutable std::mutex probe_mutex_;
+  Histogram probe_replan_wall_;
+  std::size_t replan_records_seen_ = 0;
+
   std::thread thread_;
 };
 

@@ -217,16 +217,26 @@ bool decode_service_snapshot(WireReader& r, ServiceSnapshot& snapshot) {
   return r.ok();
 }
 
-void encode_submit_response(WireWriter& w, const SubmitJobResponse& response) {
+void encode_submit_response(WireWriter& w, const SubmitJobResponse& response,
+                            std::uint16_t version) {
   w.i64(response.job_id);
   w.real(response.virtual_now);
   encode_job_status_view(w, response.status);
+  if (version < 5) return;  // v1..v4 ack ends here
+  w.i32(response.shard_id);
 }
 
 bool decode_submit_response(WireReader& r, SubmitJobResponse& response) {
   response.job_id = r.i64();
   response.virtual_now = r.real();
-  return decode_job_status_view(r, response.status);
+  if (!decode_job_status_view(r, response.status)) return false;
+  // v5 extension: present iff the peer wrote it. A v1..v4 ack ends here and
+  // shard_id reads as its no-shard default — explicitly reset, so decoding
+  // into a reused response cannot leak a stale shard.
+  response.shard_id = -1;
+  if (r.remaining() == 0) return true;
+  response.shard_id = r.i32();
+  return r.ok();
 }
 
 void encode_status_response(WireWriter& w, const JobStatusResponse& response) {
@@ -278,6 +288,25 @@ void encode_metrics_response(WireWriter& w, const MetricsResponse& response,
   w.u64(response.tail_retained_spans);
   w.u64(response.latency_exemplar_trace_id);
   w.real(response.latency_exemplar_seconds);
+  if (version < 5) return;  // v4 body ends here
+  w.i32(response.shard_id);
+  w.u64(response.command_queue_depth);
+  w.real(response.replan_p95_seconds);
+  w.u64(response.router_spillovers);
+  w.u64(response.router_remapped_keys);
+  w.u32(static_cast<std::uint32_t>(response.shards.size()));
+  for (const ShardMetricsEntry& shard : response.shards) {
+    w.i32(shard.shard_id);
+    w.u64(shard.requests);
+    w.u64(shard.arrivals);
+    w.u64(shard.admissions);
+    w.u64(shard.completions);
+    w.u64(shard.replans);
+    w.u64(shard.migrations);
+    w.real(shard.virtual_now);
+    w.u64(shard.queue_depth);
+    w.real(shard.replan_p95_seconds);
+  }
 }
 
 bool decode_metrics_response(WireReader& r, MetricsResponse& response) {
@@ -317,6 +346,12 @@ bool decode_metrics_response(WireReader& r, MetricsResponse& response) {
   response.tail_retained_spans = 0;
   response.latency_exemplar_trace_id = 0;
   response.latency_exemplar_seconds = 0.0;
+  response.shard_id = -1;
+  response.command_queue_depth = 0;
+  response.replan_p95_seconds = 0.0;
+  response.router_spillovers = 0;
+  response.router_remapped_keys = 0;
+  response.shards.clear();
   if (r.remaining() == 0) return true;
   response.cache.compactions = r.u64();
   response.astar_searches = r.u64();
@@ -344,6 +379,31 @@ bool decode_metrics_response(WireReader& r, MetricsResponse& response) {
   response.tail_retained_spans = r.u64();
   response.latency_exemplar_trace_id = r.u64();
   response.latency_exemplar_seconds = r.real();
+  if (!r.ok()) return false;
+  // v5 extensions: a v4 body ends here.
+  if (r.remaining() == 0) return true;
+  response.shard_id = r.i32();
+  response.command_queue_depth = r.u64();
+  response.replan_p95_seconds = r.real();
+  response.router_spillovers = r.u64();
+  response.router_remapped_keys = r.u64();
+  std::uint32_t shard_count = r.u32();
+  if (!r.ok() || shard_count > r.remaining()) return false;
+  response.shards.reserve(shard_count);
+  for (std::uint32_t i = 0; i < shard_count; ++i) {
+    ShardMetricsEntry shard;
+    shard.shard_id = r.i32();
+    shard.requests = r.u64();
+    shard.arrivals = r.u64();
+    shard.admissions = r.u64();
+    shard.completions = r.u64();
+    shard.replans = r.u64();
+    shard.migrations = r.u64();
+    shard.virtual_now = r.real();
+    shard.queue_depth = r.u64();
+    shard.replan_p95_seconds = r.real();
+    response.shards.push_back(shard);
+  }
   return r.ok();
 }
 

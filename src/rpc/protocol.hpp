@@ -34,12 +34,18 @@ namespace cosched {
 /// extension fields (queue-wait histogram, tracer drop counter). Version 4
 /// appends tail-sampler accounting plus a request-latency exemplar to
 /// GetMetrics and a frame-level sampling_mode label to telemetry frames.
+/// Version 5 makes the protocol shard-aware: the SubmitJob ack carries the
+/// id of the shard that admitted the job, and GetMetrics gains a fan-in
+/// block — the answering instance's shard id, command-queue depth and
+/// replan p95 (the spillover signals), the router's spillover/remap
+/// accounting, and one summary entry per fronted shard (empty when a
+/// single CoschedServer answers).
 /// The server accepts every version in [kMinProtocolVersion,
-/// kProtocolVersion] and answers in the requester's version — a v1/v2/v3
+/// kProtocolVersion] and answers in the requester's version — a v1..v4
 /// peer gets exactly the bytes it always got (extension fields are appended
 /// after the older body and decoded only when present; the envelope
 /// trace_id travels on v3+ wires only).
-inline constexpr std::uint16_t kProtocolVersion = 4;
+inline constexpr std::uint16_t kProtocolVersion = 5;
 inline constexpr std::uint16_t kMinProtocolVersion = 1;
 
 enum class MessageType : std::uint8_t {
@@ -104,12 +110,34 @@ struct SubmitJobResponse {
   std::int64_t job_id = -1;
   Real virtual_now = 0.0;
   JobStatusView status;
+  // ---- v5 extension field (-1 when a v1..v4 peer answered) ---------------
+  /// Shard that admitted the job: the router stamps the routed shard, a
+  /// shard-deployed CoschedServer its configured id, a standalone server -1.
+  std::int32_t shard_id = -1;
 };
 
 struct JobStatusResponse {
   bool found = false;
   Real virtual_now = 0.0;
   JobStatusView status;
+};
+
+/// Per-shard summary carried in the v5 GetMetrics fan-in block. The
+/// scheduler counters are the shard's own (its virtual clock advances
+/// independently); `requests` counts what the router routed to it, so the
+/// fleet invariant Σ shards[i].requests == router requests_ok is checkable
+/// from one response.
+struct ShardMetricsEntry {
+  std::int32_t shard_id = -1;
+  std::uint64_t requests = 0;  ///< router-routed requests (0 via fan-in RPC)
+  std::uint64_t arrivals = 0;
+  std::uint64_t admissions = 0;
+  std::uint64_t completions = 0;
+  std::uint64_t replans = 0;
+  std::uint64_t migrations = 0;
+  Real virtual_now = 0.0;      ///< shard-local virtual clock
+  std::uint64_t queue_depth = 0;
+  Real replan_p95_seconds = 0.0;
 };
 
 struct MetricsResponse {
@@ -146,6 +174,20 @@ struct MetricsResponse {
   /// cosched_rpc_request_seconds observation (0 = none yet).
   std::uint64_t latency_exemplar_trace_id = 0;
   Real latency_exemplar_seconds = 0.0;
+  // ---- v5 extension fields (defaults when a v1..v4 peer answered) ---------
+  std::int32_t shard_id = -1;  ///< answering instance's shard id (-1 = none)
+  /// Commands enqueued and not yet executed by the scheduler thread — the
+  /// router's primary spillover signal.
+  std::uint64_t command_queue_depth = 0;
+  Real replan_p95_seconds = 0.0;  ///< wall-clock replan duration p95
+  /// Router accounting (zero when a plain CoschedServer answers): keys
+  /// routed off their ring shard by the load-aware spillover policy, and
+  /// keys currently carrying a recorded remap.
+  std::uint64_t router_spillovers = 0;
+  std::uint64_t router_remapped_keys = 0;
+  /// One entry per fronted shard — the fan-in block a router answers with.
+  /// Empty for a single CoschedServer.
+  std::vector<ShardMetricsEntry> shards;
 };
 
 struct TraceDumpResponse {
@@ -228,7 +270,10 @@ bool decode_job_status_view(WireReader& r, JobStatusView& view);
 void encode_service_snapshot(WireWriter& w, const ServiceSnapshot& snapshot);
 bool decode_service_snapshot(WireReader& r, ServiceSnapshot& snapshot);
 
-void encode_submit_response(WireWriter& w, const SubmitJobResponse& response);
+/// `version` gates the trailing shard_id field (v5+); the decoder reads it
+/// only when bytes remain, so a v4 peer's ack bytes are untouched.
+void encode_submit_response(WireWriter& w, const SubmitJobResponse& response,
+                            std::uint16_t version = kProtocolVersion);
 bool decode_submit_response(WireReader& r, SubmitJobResponse& response);
 
 void encode_status_response(WireWriter& w, const JobStatusResponse& response);
@@ -236,9 +281,9 @@ bool decode_status_response(WireReader& r, JobStatusResponse& response);
 
 /// `version` selects the wire layout: v1 stops after deterministic_csv, v2
 /// appends the first extension block, v3 appends the queue-wait/tracer
-/// block, v4 appends the tail-sampler/exemplar block. The decoder reads
-/// each extension block only when bytes remain, so either end may be the
-/// older one.
+/// block, v4 appends the tail-sampler/exemplar block, v5 appends the
+/// shard/fan-in block. The decoder reads each extension block only when
+/// bytes remain, so either end may be the older one.
 void encode_metrics_response(WireWriter& w, const MetricsResponse& response,
                              std::uint16_t version = kProtocolVersion);
 bool decode_metrics_response(WireReader& r, MetricsResponse& response);

@@ -597,7 +597,8 @@ ResponseEnvelope CoschedServer::handle_request(const RequestEnvelope& request) {
       reply.job_id = outcome.job_id;
       reply.virtual_now = outcome.virtual_now;
       reply.status = outcome.status;
-      encode_submit_response(body, reply);
+      reply.shard_id = options_.shard_id;
+      encode_submit_response(body, reply, request.version);
       break;
     }
     case MessageType::QueryJobStatus: {
@@ -713,6 +714,15 @@ ResponseEnvelope CoschedServer::handle_request(const RequestEnvelope& request) {
             reply.latency_exemplar_seconds = newest->value;
           }
         }
+      }
+      if (request.version >= 5) {
+        // Shard/fan-in block of a single instance: its identity and its
+        // spillover signals. A standalone server fronts no shards, so the
+        // per-shard list stays empty and the router accounting zero.
+        reply.shard_id = options_.shard_id;
+        LoadProbe probe = service_->load();
+        reply.command_queue_depth = probe.queue_depth;
+        reply.replan_p95_seconds = probe.replan_p95_seconds;
       }
       encode_metrics_response(body, reply, request.version);
       break;

@@ -59,6 +59,11 @@ struct ServerOptions {
   /// (Prometheus text format) and GET /healthz over HTTP/1.0.
   bool enable_http = true;
   std::uint16_t http_port = 0;  ///< 0 = ephemeral; read back with http_port()
+  /// Shard identity advertised on v5 wires (SubmitJob acks and the
+  /// GetMetrics shard block). -1 = standalone server; a shard router's
+  /// RPC-addressable backend is a plain CoschedServer started with its
+  /// shard id set.
+  std::int32_t shard_id = -1;
   LiveServiceOptions service;
 };
 

@@ -1,0 +1,123 @@
+// ShardBackend — the router's uniform view of one scheduler shard.
+//
+// A shard is one LiveSchedulerService with its own scheduler thread, its
+// own virtual clock and its own metrics; the router only needs five verbs
+// (submit / job_status / snapshot / metrics / drain) plus a cheap load
+// probe for the spillover policy. Two deployments hide behind the
+// interface:
+//
+//  * LocalShard — owns the service in-process. This is the default and the
+//    deterministic one: no sockets, results are a pure function of the
+//    routed submission sequence.
+//  * RemoteShard — speaks protocol v5 to a CoschedServer started elsewhere
+//    with ServerOptions::shard_id set (the RPC-addressable deployment).
+//    Calls are serialized on one connection; the load probe is the cached
+//    fan-in block of the last GetMetrics, refreshed by refresh_load().
+//
+// Every verb reports an RpcStatus so the router front door can forward
+// shard verdicts (Draining, InvalidJob, UnknownJob, ...) unchanged; local
+// command-queue timeouts and remote transport failures both surface as
+// DeadlineExpired/ServerError rather than hanging the router worker.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "online/live_service.hpp"
+#include "rpc/client.hpp"
+#include "rpc/protocol.hpp"
+
+namespace cosched {
+
+class ShardBackend {
+ public:
+  virtual ~ShardBackend() = default;
+
+  virtual std::int32_t shard_id() const = 0;
+  virtual bool is_local() const = 0;
+  virtual std::int32_t total_cores() const = 0;
+
+  /// `job_id`s below are shard-local; the router owns the global encoding.
+  virtual RpcStatus submit(const TraceJob& job, SubmitJobResponse& out,
+                           std::string& error) = 0;
+  virtual RpcStatus job_status(std::int64_t job_id, JobStatusResponse& out,
+                               std::string& error) = 0;
+  virtual RpcStatus snapshot(ServiceSnapshot& out, std::string& error) = 0;
+  /// Fills the shard's own counters plus the v5 load fields (queue depth,
+  /// replan p95). The fan-in `shards` vector stays empty — nesting routers
+  /// is not a thing.
+  virtual RpcStatus metrics(MetricsResponse& out, std::string& error) = 0;
+  virtual RpcStatus drain(DrainResponse& out, std::string& error) = 0;
+
+  /// Spillover signal. Local shards answer live (lock-light atomics);
+  /// remote shards answer from the snapshot cached by the last metrics()/
+  /// refresh_load() round-trip.
+  virtual LoadProbe load() = 0;
+  /// Forces a probe refresh. No-op for local shards (always live); one
+  /// GetMetrics round-trip for remote ones.
+  virtual void refresh_load() {}
+};
+
+/// In-process shard: owns the service and its scheduler thread.
+class LocalShard : public ShardBackend {
+ public:
+  LocalShard(std::int32_t shard_id, LiveServiceOptions options,
+             double command_timeout_seconds = 30.0);
+
+  std::int32_t shard_id() const override { return shard_id_; }
+  bool is_local() const override { return true; }
+  std::int32_t total_cores() const override { return service_.total_cores(); }
+
+  RpcStatus submit(const TraceJob& job, SubmitJobResponse& out,
+                   std::string& error) override;
+  RpcStatus job_status(std::int64_t job_id, JobStatusResponse& out,
+                       std::string& error) override;
+  RpcStatus snapshot(ServiceSnapshot& out, std::string& error) override;
+  RpcStatus metrics(MetricsResponse& out, std::string& error) override;
+  RpcStatus drain(DrainResponse& out, std::string& error) override;
+  LoadProbe load() override { return service_.load(); }
+
+  LiveSchedulerService& service() { return service_; }
+
+ private:
+  std::int32_t shard_id_;
+  double timeout_;
+  LiveSchedulerService service_;
+};
+
+/// RPC-addressable shard: a v5 CoschedServer somewhere else.
+class RemoteShard : public ShardBackend {
+ public:
+  RemoteShard(std::int32_t shard_id, ClientOptions options,
+              std::int32_t total_cores);
+
+  std::int32_t shard_id() const override { return shard_id_; }
+  bool is_local() const override { return false; }
+  std::int32_t total_cores() const override { return total_cores_; }
+
+  RpcStatus submit(const TraceJob& job, SubmitJobResponse& out,
+                   std::string& error) override;
+  RpcStatus job_status(std::int64_t job_id, JobStatusResponse& out,
+                       std::string& error) override;
+  RpcStatus snapshot(ServiceSnapshot& out, std::string& error) override;
+  RpcStatus metrics(MetricsResponse& out, std::string& error) override;
+  RpcStatus drain(DrainResponse& out, std::string& error) override;
+  LoadProbe load() override;
+  void refresh_load() override;
+
+ private:
+  /// Folds an RpcError into (status, error); transport/protocol failures
+  /// become ServerError so the router can answer something structured.
+  static RpcStatus fold(const RpcError& rpc, RpcStatus app_status,
+                        std::string& error);
+
+  std::int32_t shard_id_;
+  std::int32_t total_cores_;
+  std::mutex mutex_;  ///< one connection, one outstanding request
+  CoschedClient client_;
+  LoadProbe cached_load_;  ///< guarded by mutex_
+};
+
+}  // namespace cosched

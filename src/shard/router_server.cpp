@@ -1,0 +1,324 @@
+#include "shard/router_server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/trace.hpp"
+#include "util/rng.hpp"
+
+namespace cosched {
+
+RouterServer::RouterServer(ShardRouter& router, RouterServerOptions options)
+    : router_(router), options_(std::move(options)) {
+  COSCHED_EXPECTS(options_.worker_threads >= 1);
+  COSCHED_EXPECTS(options_.max_connections >= 1);
+}
+
+RouterServer::~RouterServer() { stop(); }
+
+bool RouterServer::start(std::string& error) {
+  NetStatus status = NetStatus::Ok;
+  listener_ = Socket::listen_on(options_.host, options_.port,
+                                options_.backlog, status);
+  if (status != NetStatus::Ok) {
+    error = std::string("cannot listen on ") + options_.host + ": " +
+            to_string(status);
+    return false;
+  }
+  port_ = listener_.local_port();
+
+  if (options_.enable_http) {
+    HttpOptions http_options;
+    http_options.host = options_.host;
+    http_options.port = options_.http_port;
+    http_ = std::make_unique<HttpEndpoint>(http_options);
+    ShardRouter* router = &router_;
+    http_->handle("/metrics", [router](const std::string&, std::string& body,
+                                       std::string& content_type) {
+      body = router->render_prometheus();
+      content_type = "text/plain; version=0.0.4; charset=utf-8";
+      return true;
+    });
+    http_->handle("/healthz", [](const std::string&, std::string& body,
+                                 std::string&) {
+      body = "ok\n";
+      return true;
+    });
+    if (!http_->start(error)) {
+      http_.reset();
+      listener_.close();
+      return false;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    started_ = true;
+    stopping_ = false;
+  }
+  accept_thread_ = std::thread(&RouterServer::accept_main, this);
+  workers_.reserve(options_.worker_threads);
+  for (std::size_t i = 0; i < options_.worker_threads; ++i)
+    workers_.emplace_back(&RouterServer::worker_main, this);
+  return true;
+}
+
+void RouterServer::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  finished_.wait(lock, [&] {
+    return stopping_ || shutdown_requested_.load(std::memory_order_acquire);
+  });
+}
+
+void RouterServer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!started_) return;
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  finished_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& worker : workers_)
+    if (worker.joinable()) worker.join();
+  workers_.clear();
+  listener_.close();
+  if (http_) {
+    http_->stop();
+    http_.reset();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending_.clear();
+  started_ = false;
+  // Shards are the caller's: the router (and its scheduler threads) outlive
+  // this front door by design.
+}
+
+RouterServerStats RouterServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void RouterServer::accept_main() {
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) return;
+    }
+    NetStatus status = NetStatus::Ok;
+    Socket conn = listener_.accept_connection(
+        Deadline::after(options_.idle_poll_seconds), status);
+    if (status == NetStatus::Timeout) continue;
+    if (status != NetStatus::Ok) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) return;
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    if (pending_.size() + active_sessions_ >= options_.max_connections) {
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.rejected_connections;
+      continue;  // `conn` closes as it goes out of scope
+    }
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.accepted_connections;
+    }
+    pending_.push_back(std::move(conn));
+    wake_.notify_one();
+  }
+}
+
+void RouterServer::worker_main() {
+  while (true) {
+    Socket conn;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stopping_ || !pending_.empty(); });
+      if (stopping_) return;
+      conn = std::move(pending_.front());
+      pending_.pop_front();
+      ++active_sessions_;
+    }
+    serve_connection(std::move(conn));
+    std::lock_guard<std::mutex> lock(mutex_);
+    --active_sessions_;
+  }
+}
+
+std::uint64_t RouterServer::next_server_trace_id() {
+  // Distinct mix constant from CoschedServer's so router-minted ids do not
+  // collide with shard-minted ones in a shared tracer.
+  std::uint64_t n = trace_id_counter_.fetch_add(1, std::memory_order_relaxed);
+  return SplitMix64(0x40D7E45EEDULL + n).next() | 1;
+}
+
+void RouterServer::serve_connection(Socket socket) {
+  std::vector<std::uint8_t> payload;
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) return;
+    }
+    FrameStatus frame_status =
+        read_frame(socket, payload, Deadline::after(options_.idle_poll_seconds),
+                   options_.max_frame_bytes);
+    if (frame_status == FrameStatus::Timeout) continue;
+    if (frame_status == FrameStatus::Closed) return;
+    if (frame_status != FrameStatus::Ok) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.malformed_frames;
+      return;
+    }
+
+    RequestEnvelope request;
+    ResponseEnvelope response;
+    if (!decode_request(payload, request)) {
+      response.status = RpcStatus::BadRequest;
+      response.error = "malformed request envelope";
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.malformed_frames;
+    } else {
+      std::uint64_t trace_id =
+          request.trace_id != 0 ? request.trace_id : next_server_trace_id();
+      TraceContext context = Tracer::global().make_context(trace_id);
+      TraceContextScope trace_scope(context);
+      COSCHED_TRACE_SPAN(request_span, "router.request", -1.0,
+                         std::string("type=") + to_string(request.type));
+      response = handle_request(request, trace_id);
+      response.trace_id = trace_id;
+    }
+
+    std::vector<std::uint8_t> bytes = encode_response(response);
+    FrameStatus write_status = write_frame(
+        socket, bytes, Deadline::after(options_.request_deadline_seconds +
+                                       options_.idle_poll_seconds));
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      if (response.status == RpcStatus::Ok)
+        ++stats_.requests_ok;
+      else
+        ++stats_.requests_failed;
+    }
+    if (write_status != FrameStatus::Ok) return;
+    if (response.status == RpcStatus::Ok &&
+        response.type == MessageType::Shutdown) {
+      shutdown_requested_.store(true, std::memory_order_release);
+      finished_.notify_all();
+      return;
+    }
+  }
+}
+
+ResponseEnvelope RouterServer::handle_request(const RequestEnvelope& request,
+                                              std::uint64_t trace_id) {
+  ResponseEnvelope response;
+  response.type = request.type;
+  response.request_id = request.request_id;
+  if (request.version < kMinProtocolVersion ||
+      request.version > kProtocolVersion) {
+    response.status = RpcStatus::VersionMismatch;
+    response.error = "server speaks protocol versions " +
+                     std::to_string(kMinProtocolVersion) + ".." +
+                     std::to_string(kProtocolVersion);
+    return response;
+  }
+  response.version = request.version;
+
+  WireWriter body;
+  WireReader reader(request.body);
+  std::string error;
+  auto fail = [&](RpcStatus status, std::string message) {
+    response.status = status;
+    response.error = std::move(message);
+    return response;
+  };
+
+  switch (request.type) {
+    case MessageType::SubmitJob: {
+      TraceJob job;
+      if (!decode_trace_job(reader, job) || !reader.complete())
+        return fail(RpcStatus::BadRequest, "malformed SubmitJob body");
+      SubmitJobResponse reply;
+      RpcStatus status = router_.submit(job, reply, error, trace_id);
+      if (status != RpcStatus::Ok) return fail(status, error);
+      encode_submit_response(body, reply, request.version);
+      break;
+    }
+    case MessageType::QueryJobStatus: {
+      std::int64_t job_id = reader.i64();
+      if (!reader.complete())
+        return fail(RpcStatus::BadRequest, "malformed QueryJobStatus body");
+      JobStatusResponse reply;
+      RpcStatus status = router_.job_status(job_id, reply, error);
+      if (status != RpcStatus::Ok) {
+        return fail(status, error.empty()
+                                ? "no job with id " + std::to_string(job_id)
+                                : error);
+      }
+      encode_status_response(body, reply);
+      break;
+    }
+    case MessageType::QueryScheduleSnapshot: {
+      if (!reader.complete())
+        return fail(RpcStatus::BadRequest,
+                    "unexpected QueryScheduleSnapshot body");
+      ServiceSnapshot snapshot;
+      RpcStatus status = router_.snapshot(snapshot, error);
+      if (status != RpcStatus::Ok) return fail(status, error);
+      encode_service_snapshot(body, snapshot);
+      break;
+    }
+    case MessageType::GetMetrics: {
+      if (!reader.complete())
+        return fail(RpcStatus::BadRequest, "unexpected GetMetrics body");
+      MetricsResponse reply;
+      RpcStatus status = router_.metrics(reply, error);
+      if (status != RpcStatus::Ok) return fail(status, error);
+      encode_metrics_response(body, reply, request.version);
+      break;
+    }
+    case MessageType::TraceDump: {
+      if (!reader.complete())
+        return fail(RpcStatus::BadRequest, "unexpected TraceDump body");
+      const Tracer& tracer = Tracer::global();
+      TraceDumpResponse reply;
+      reply.enabled = tracer.enabled();
+      reply.event_count = tracer.event_count();
+      reply.text = tracer.dump_text();
+      reply.chrome_json = tracer.export_chrome_json();
+      encode_trace_dump_response(body, reply);
+      break;
+    }
+    case MessageType::Drain: {
+      if (!reader.complete())
+        return fail(RpcStatus::BadRequest, "unexpected Drain body");
+      DrainResponse reply;
+      RpcStatus status = router_.drain(reply, error);
+      if (status != RpcStatus::Ok) return fail(status, error);
+      encode_drain_response(body, reply);
+      break;
+    }
+    case MessageType::Shutdown: {
+      if (!reader.complete())
+        return fail(RpcStatus::BadRequest, "unexpected Shutdown body");
+      MetricsResponse fleet;
+      body.real(router_.metrics(fleet, error) == RpcStatus::Ok
+                    ? fleet.virtual_now
+                    : 0.0);
+      break;
+    }
+    case MessageType::SubscribeTelemetry: {
+      // Streaming is a per-shard concern: in an RPC-addressable deployment
+      // subscribe to the shard servers directly.
+      return fail(RpcStatus::BadRequest,
+                  "SubscribeTelemetry is not served by the router");
+    }
+  }
+  response.status = RpcStatus::Ok;
+  response.body = body.take();
+  return response;
+}
+
+}  // namespace cosched

@@ -363,18 +363,78 @@ TEST(ObsExemplars, NewestTracedObservationWinsPerBucket) {
   }
 }
 
-TEST(ObsExemplars, MergeKeepsSelfExemplarsAndAdoptsMissingOnes) {
+// Merge carries exemplars: absent slots are adopted, contested slots go to
+// the larger value (ties to the larger trace id) — an order-independent
+// rule, so a metrics fan-in yields the same exemplar no matter which shard
+// merges first.
+TEST(ObsExemplars, MergeCarriesExemplarsOrderIndependently) {
   Histogram a({1.0});
   Histogram b({1.0});
-  a.add(0.3, 0xa);   // both have a bucket-0 exemplar: self wins
+  a.add(0.3, 0xa);   // both have a bucket-0 exemplar: larger value wins
   b.add(0.7, 0xb);
   b.add(9.0, 0xbb);  // only b has an overflow exemplar: adopted
 
   a.merge(b);
   ASSERT_TRUE(a.exemplars()[0].valid);
-  EXPECT_EQ(a.exemplars()[0].trace_id, 0xau);  // self won
+  EXPECT_EQ(a.exemplars()[0].trace_id, 0xbu);  // 0.7 beats 0.3
+  EXPECT_EQ(a.exemplars()[0].value, 0.7);
   ASSERT_TRUE(a.exemplars()[1].valid);
   EXPECT_EQ(a.exemplars()[1].trace_id, 0xbbu);  // absent slot adopted
+
+  // Commutativity: merging the other way lands on the same exemplars.
+  Histogram a2({1.0});
+  Histogram b2({1.0});
+  a2.add(0.3, 0xa);
+  b2.add(0.7, 0xb);
+  b2.add(9.0, 0xbb);
+  b2.merge(a2);
+  for (std::size_t i = 0; i < a.exemplars().size(); ++i) {
+    EXPECT_EQ(a.exemplars()[i].valid, b2.exemplars()[i].valid);
+    EXPECT_EQ(a.exemplars()[i].trace_id, b2.exemplars()[i].trace_id);
+    EXPECT_EQ(a.exemplars()[i].value, b2.exemplars()[i].value);
+  }
+
+  // Value ties resolve to the larger trace id — still order-independent.
+  Histogram t1({1.0});
+  Histogram t2({1.0});
+  t1.add(0.5, 0x111);
+  t2.add(0.5, 0x222);
+  t1.merge(t2);
+  EXPECT_EQ(t1.exemplars()[0].trace_id, 0x222u);
+  Histogram t3({1.0});
+  Histogram t4({1.0});
+  t3.add(0.5, 0x111);
+  t4.add(0.5, 0x222);
+  t4.merge(t3);
+  EXPECT_EQ(t4.exemplars()[0].trace_id, 0x222u);
+}
+
+// Byte-pin of the merged exposition: the fan-in path (per-shard histograms
+// -> Histogram::merge -> render_prometheus_histogram) must render exactly
+// these bytes, exemplars included. Any drift in the merge rule or the
+// OpenMetrics syntax fails this string compare.
+TEST(ObsExemplars, MergedHistogramRenderIsBytePinned) {
+  Histogram shard0({0.1, 1.0});
+  Histogram shard1({0.1, 1.0});
+  shard0.add(0.05, 0xaaa);  // bucket 0, loses to shard1's 0.08
+  shard0.add(0.5, 0xccc);   // bucket 1, uncontested
+  shard1.add(0.08, 0xbbb);
+  shard1.add(7.0, 0xddd);   // overflow bucket
+  shard0.merge(shard1);
+
+  std::ostringstream out;
+  render_prometheus_histogram(out, "cosched_router_request_seconds", shard0,
+                              /*with_exemplars=*/true);
+  EXPECT_EQ(out.str(),
+            "# TYPE cosched_router_request_seconds histogram\n"
+            "cosched_router_request_seconds_bucket{le=\"0.1\"} 2"
+            " # {trace_id=\"0000000000000bbb\"} 0.08\n"
+            "cosched_router_request_seconds_bucket{le=\"1\"} 3"
+            " # {trace_id=\"0000000000000ccc\"} 0.5\n"
+            "cosched_router_request_seconds_bucket{le=\"+Inf\"} 4"
+            " # {trace_id=\"0000000000000ddd\"} 7\n"
+            "cosched_router_request_seconds_sum 7.63\n"
+            "cosched_router_request_seconds_count 4\n");
 }
 
 // The OpenMetrics round-trip: render with exemplars, parse, recover the

@@ -512,5 +512,178 @@ TEST(RpcFaults, ConnectionCapRefusesTheOverflow) {
   server.stop();
 }
 
+// ------------------------------------------- v5 shard-aware wire compat
+
+/// One raw request/response exchange at an explicit protocol version —
+/// exactly the bytes a version-N peer would produce.
+ResponseEnvelope raw_exchange(std::uint16_t port, std::uint16_t version,
+                              MessageType type, std::uint64_t request_id,
+                              std::vector<std::uint8_t> body) {
+  NetStatus net = NetStatus::Ok;
+  Socket raw = Socket::connect_to("127.0.0.1", port, Deadline::after(2.0),
+                                  net);
+  EXPECT_EQ(net, NetStatus::Ok);
+  RequestEnvelope request;
+  request.version = version;
+  request.type = type;
+  request.request_id = request_id;
+  request.body = std::move(body);
+  EXPECT_EQ(write_frame(raw, encode_request(request), Deadline::after(2.0)),
+            FrameStatus::Ok);
+  std::vector<std::uint8_t> payload;
+  EXPECT_EQ(read_frame(raw, payload, Deadline::after(5.0)), FrameStatus::Ok);
+  ResponseEnvelope response;
+  EXPECT_TRUE(decode_response(payload, response));
+  return response;
+}
+
+// Every pre-v5 peer must get a SubmitJob ack that ends exactly where it
+// always did — the shard id travels on v5 wires only, even when the server
+// is deployed as a shard (shard_id set).
+TEST(ShardCompat, V1ToV4PeersGetShardFreeSubmitAcks) {
+  ServerOptions options = loopback_options();
+  options.shard_id = 3;  // a sharded deployment's backend server
+  CoschedServer server(options);
+  std::string error;
+  ASSERT_TRUE(server.start(error)) << error;
+
+  for (std::uint16_t version = 1; version <= 4; ++version) {
+    TraceJob job;
+    job.name = "compat-v" + std::to_string(version);
+    job.work = 4.0;
+    job.arrival_time = static_cast<Real>(version);
+    WireWriter body;
+    encode_trace_job(body, job);
+    ResponseEnvelope response =
+        raw_exchange(server.port(), version, MessageType::SubmitJob, version,
+                     body.take());
+    EXPECT_EQ(response.version, version);
+    ASSERT_EQ(response.status, RpcStatus::Ok) << response.error;
+
+    WireReader r(response.body);
+    SubmitJobResponse ack;
+    ack.shard_id = 99;  // decoder must reset to the -1 default
+    ASSERT_TRUE(decode_submit_response(r, ack));
+    EXPECT_EQ(r.remaining(), 0u) << "v" << version
+                                 << " ack carries trailing bytes";
+    EXPECT_EQ(ack.shard_id, -1);
+    EXPECT_GE(ack.job_id, 0);
+  }
+  server.stop();
+}
+
+// Same pin for GetMetrics: a v4 peer's body ends after the v4 block; the
+// v5 shard/fan-in fields never leak backwards.
+TEST(ShardCompat, V4PeerGetsNoShardBlock) {
+  ServerOptions options = loopback_options();
+  options.shard_id = 2;
+  CoschedServer server(options);
+  std::string error;
+  ASSERT_TRUE(server.start(error)) << error;
+
+  ResponseEnvelope response = raw_exchange(
+      server.port(), 4, MessageType::GetMetrics, 91, {});
+  EXPECT_EQ(response.version, 4);
+  ASSERT_EQ(response.status, RpcStatus::Ok) << response.error;
+
+  WireReader r(response.body);
+  MetricsResponse metrics;
+  metrics.shard_id = 77;  // decoder must reset every v5 default
+  metrics.command_queue_depth = 123;
+  metrics.replan_p95_seconds = 1.5;
+  metrics.router_spillovers = 9;
+  metrics.router_remapped_keys = 9;
+  metrics.shards.push_back({});
+  ASSERT_TRUE(decode_metrics_response(r, metrics));
+  EXPECT_EQ(r.remaining(), 0u);  // v4 body ends after the v4 block
+  EXPECT_EQ(metrics.shard_id, -1);
+  EXPECT_EQ(metrics.command_queue_depth, 0u);
+  EXPECT_EQ(metrics.replan_p95_seconds, 0.0);
+  EXPECT_EQ(metrics.router_spillovers, 0u);
+  EXPECT_EQ(metrics.router_remapped_keys, 0u);
+  EXPECT_TRUE(metrics.shards.empty());
+  server.stop();
+}
+
+// A v5 peer against a shard-deployed server sees the shard identity in
+// both the SubmitJob ack and the GetMetrics shard block (fan-in list empty:
+// a single server fronts no shards).
+TEST(ShardCompat, V5PeerSeesShardIdentity) {
+  ServerOptions options = loopback_options();
+  options.shard_id = 5;
+  CoschedServer server(options);
+  std::string error;
+  ASSERT_TRUE(server.start(error)) << error;
+  CoschedClient client(client_for(server));
+
+  TraceJob job;
+  job.name = "shard-aware";
+  job.work = 4.0;
+  SubmitJobResponse ack;
+  ASSERT_TRUE(client.submit_job(job, ack).ok());
+  EXPECT_EQ(ack.shard_id, 5);
+
+  MetricsResponse metrics;
+  ASSERT_TRUE(client.get_metrics(metrics).ok());
+  EXPECT_EQ(metrics.shard_id, 5);
+  EXPECT_TRUE(metrics.shards.empty());
+  EXPECT_EQ(metrics.router_spillovers, 0u);
+  server.stop();
+}
+
+// Round-trip of the v5 fan-in block itself, shard entries included — the
+// encoder/decoder pair a router and a v5 client exercise.
+TEST(ShardCompat, MetricsFanInBlockRoundTrips) {
+  MetricsResponse response;
+  response.virtual_now = 12.5;
+  response.arrivals = 30;
+  response.completions = 28;
+  response.shard_id = -1;
+  response.command_queue_depth = 7;
+  response.replan_p95_seconds = 0.25;
+  response.router_spillovers = 3;
+  response.router_remapped_keys = 2;
+  ShardMetricsEntry a;
+  a.shard_id = 0;
+  a.requests = 18;
+  a.arrivals = 18;
+  a.completions = 17;
+  a.replans = 9;
+  a.virtual_now = 12.5;
+  a.queue_depth = 4;
+  a.replan_p95_seconds = 0.25;
+  ShardMetricsEntry b;
+  b.shard_id = 1;
+  b.requests = 12;
+  b.arrivals = 12;
+  b.completions = 11;
+  b.virtual_now = 11.0;
+  response.shards = {a, b};
+
+  WireWriter w;
+  encode_metrics_response(w, response, 5);
+  WireReader r(w.bytes());
+  MetricsResponse got;
+  ASSERT_TRUE(decode_metrics_response(r, got));
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_EQ(got.command_queue_depth, 7u);
+  EXPECT_EQ(got.replan_p95_seconds, 0.25);
+  EXPECT_EQ(got.router_spillovers, 3u);
+  EXPECT_EQ(got.router_remapped_keys, 2u);
+  ASSERT_EQ(got.shards.size(), 2u);
+  EXPECT_EQ(got.shards[0].requests, 18u);
+  EXPECT_EQ(got.shards[0].queue_depth, 4u);
+  EXPECT_EQ(got.shards[1].shard_id, 1);
+  EXPECT_EQ(got.shards[1].virtual_now, 11.0);
+
+  // A truncated shard list (count promising more entries than bytes) is
+  // rejected, not misread.
+  std::vector<std::uint8_t> bytes = w.bytes();
+  bytes.resize(bytes.size() - 8);
+  WireReader truncated(bytes);
+  MetricsResponse bad;
+  EXPECT_FALSE(decode_metrics_response(truncated, bad));
+}
+
 }  // namespace
 }  // namespace cosched

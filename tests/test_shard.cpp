@@ -1,0 +1,496 @@
+// Tests for the sharded deployment (src/shard): consistent-hash routing
+// through ShardRouter, the deterministic-replay Σ invariant (fan-in totals
+// exactly equal the sum of per-shard values, per-shard CSVs byte-identical
+// to isolated replays of the routed partitions), load-aware spillover with
+// remap stickiness, global job-id resolution, the RouterServer TCP front
+// (same wire contract as CoschedServer, including v1 back-compat) and the
+// combined /metrics fleet page.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "online/scheduler.hpp"
+#include "online/trace.hpp"
+#include "rpc/client.hpp"
+#include "rpc/protocol.hpp"
+#include "shard/router.hpp"
+#include "shard/router_server.hpp"
+
+namespace cosched {
+namespace {
+
+OnlineSchedulerOptions shard_fleet() {
+  OnlineSchedulerOptions options;
+  options.cores = 2;
+  options.machines = 2;
+  options.admission.every_k = 2;
+  options.log_process_finish = true;
+  return options;
+}
+
+LiveServiceOptions shard_service() {
+  LiveServiceOptions options;
+  options.wall_clock = false;
+  options.scheduler = shard_fleet();
+  return options;
+}
+
+/// Multi-tenant mix: job names carry a tenant prefix so the router has
+/// something to hash; arrival times ascend globally (hence per shard).
+WorkloadTrace tenant_trace(std::uint64_t seed, std::int32_t jobs = 24,
+                           int tenants = 6) {
+  TraceSpec spec;
+  spec.job_count = jobs;
+  spec.mean_interarrival = 2.0;
+  spec.work_lo = 4.0;
+  spec.work_hi = 12.0;
+  spec.parallel_fraction = 0.2;
+  spec.max_parallel_processes = 2;
+  spec.seed = seed;
+  WorkloadTrace trace = generate_trace(spec);
+  for (std::size_t i = 0; i < trace.jobs.size(); ++i) {
+    trace.jobs[i].name = "tenant" + std::to_string(i % tenants) + "/" +
+                         trace.jobs[i].name;
+  }
+  return trace;
+}
+
+RouterOptions ring_only_router() {
+  RouterOptions options;
+  options.spill_queue_depth = 0;        // spillover off:
+  options.spill_replan_p95_seconds = 0; // routing = pure consistent hashing
+  return options;
+}
+
+void build_fleet(ShardRouter& router, int shards) {
+  for (int i = 0; i < shards; ++i) router.add_local_shard(shard_service());
+}
+
+// ------------------------------------------------------------- routing
+
+TEST(ShardRouter, TenantKeyIsThePrefix) {
+  EXPECT_EQ(ShardRouter::tenant_key("tenantA/lu.C.4"), "tenantA");
+  EXPECT_EQ(ShardRouter::tenant_key("solo-job"), "solo-job");
+  EXPECT_EQ(ShardRouter::tenant_key("a/b/c"), "a");
+}
+
+TEST(ShardRouter, GlobalJobIdsEncodeTheShard) {
+  ShardRouter router(ring_only_router());
+  build_fleet(router, 3);
+  WorkloadTrace trace = tenant_trace(11);
+  for (const TraceJob& job : trace.jobs) {
+    SubmitJobResponse ack;
+    std::string error;
+    ASSERT_EQ(router.submit(job, ack, error), RpcStatus::Ok) << error;
+    ASSERT_GE(ack.shard_id, 0);
+    // global = local * N + shard: the ack's shard is recoverable from the
+    // id alone, and status queries route without a lookup table.
+    EXPECT_EQ(ack.job_id % 3, ack.shard_id);
+    EXPECT_EQ(ack.shard_id, router.ring_shard(job.name));
+
+    JobStatusResponse status;
+    ASSERT_EQ(router.job_status(ack.job_id, status, error), RpcStatus::Ok)
+        << error;
+    EXPECT_TRUE(status.found);
+    EXPECT_EQ(status.status.name, job.name);
+    EXPECT_EQ(status.status.id, ack.job_id);
+  }
+  std::string error;
+  DrainResponse drained;
+  ASSERT_EQ(router.drain(drained, error), RpcStatus::Ok) << error;
+  EXPECT_EQ(drained.completions,
+            static_cast<std::uint64_t>(trace.job_count()));
+}
+
+// THE acceptance criterion of the sharded deployment: after a deterministic
+// replay, every fan-in total equals the sum of its per-shard entries, and
+// each shard's deterministic CSV is byte-identical to an isolated
+// OnlineScheduler replay of exactly the jobs the ring routed there.
+TEST(ShardRouter, FanInTotalsEqualSumOfShardsByteForByte) {
+  const int kShards = 3;
+  WorkloadTrace trace = tenant_trace(21, 30);
+
+  ShardRouter router(ring_only_router());
+  build_fleet(router, kShards);
+
+  // Reference: partition the trace by the ring (pure hashing — spillover is
+  // off) and replay each partition on an identical isolated fleet.
+  std::vector<WorkloadTrace> partitions(kShards);
+  for (const TraceJob& job : trace.jobs)
+    partitions[static_cast<std::size_t>(router.ring_shard(job.name))]
+        .jobs.push_back(job);
+  std::ostringstream expected_csv;
+  std::vector<std::uint64_t> expected_replans(kShards);
+  for (int s = 0; s < kShards; ++s) {
+    OnlineScheduler reference(shard_fleet());
+    reference.run(partitions[static_cast<std::size_t>(s)]);
+    expected_csv << "# shard " << s << "\n"
+                 << reference.metrics().render_deterministic_csv();
+    expected_replans[static_cast<std::size_t>(s)] =
+        reference.metrics().replans();
+  }
+
+  for (const TraceJob& job : trace.jobs) {
+    SubmitJobResponse ack;
+    std::string error;
+    ASSERT_EQ(router.submit(job, ack, error), RpcStatus::Ok) << error;
+  }
+  std::string error;
+  DrainResponse drained;
+  ASSERT_EQ(router.drain(drained, error), RpcStatus::Ok) << error;
+
+  MetricsResponse fleet;
+  ASSERT_EQ(router.metrics(fleet, error), RpcStatus::Ok) << error;
+  ASSERT_EQ(fleet.shards.size(), static_cast<std::size_t>(kShards));
+
+  // Σ invariant: totals are exactly the sums of the entries they ship with.
+  std::uint64_t arrivals = 0, admissions = 0, completions = 0, replans = 0,
+                migrations = 0, requests = 0;
+  for (const ShardMetricsEntry& entry : fleet.shards) {
+    arrivals += entry.arrivals;
+    admissions += entry.admissions;
+    completions += entry.completions;
+    replans += entry.replans;
+    migrations += entry.migrations;
+    requests += entry.requests;
+  }
+  EXPECT_EQ(fleet.arrivals, arrivals);
+  EXPECT_EQ(fleet.admissions, admissions);
+  EXPECT_EQ(fleet.completions, completions);
+  EXPECT_EQ(fleet.replans, replans);
+  EXPECT_EQ(fleet.migrations, migrations);
+  EXPECT_EQ(fleet.completions, static_cast<std::uint64_t>(trace.job_count()));
+  EXPECT_EQ(requests, router.stats().requests);
+  EXPECT_EQ(requests, static_cast<std::uint64_t>(trace.job_count()));
+
+  // Byte-identical to the isolated replays: sharding changed *where* jobs
+  // ran, not *what* each shard computed.
+  EXPECT_EQ(fleet.deterministic_csv, expected_csv.str());
+  for (int s = 0; s < kShards; ++s)
+    EXPECT_EQ(fleet.shards[static_cast<std::size_t>(s)].replans,
+              expected_replans[static_cast<std::size_t>(s)]);
+
+  // No spillover happened (it was off): the router accounting says so.
+  EXPECT_EQ(fleet.router_spillovers, 0u);
+  EXPECT_EQ(fleet.router_remapped_keys, 0u);
+}
+
+// ------------------------------------------------------------ spillover
+
+TEST(ShardRouter, SpilloverReroutesHotShardAndSticks) {
+  RouterOptions options;
+  options.spill_queue_depth = 4;
+  ShardRouter router(options);
+  build_fleet(router, 3);
+
+  // A tenant whose ring home is shard 0 (scan until found — placement is
+  // deterministic, so this terminates at the same name every run).
+  std::string tenant;
+  for (int i = 0;; ++i) {
+    tenant = "hot-tenant-" + std::to_string(i);
+    if (router.ring_shard(tenant + "/job") == 0) break;
+  }
+
+  // Pretend shard 0 is buried: queue depth over the threshold.
+  LoadProbe hot;
+  hot.queue_depth = 32;
+  router.set_load_probe_override(0, hot);
+
+  TraceJob job;
+  job.name = tenant + "/job-a";
+  job.work = 4.0;
+  SubmitJobResponse ack;
+  std::string error;
+  ASSERT_EQ(router.submit(job, ack, error), RpcStatus::Ok) << error;
+  EXPECT_NE(ack.shard_id, 0);  // spilled off the hot ring shard
+  std::int32_t new_home = ack.shard_id;
+
+  RouterStats stats = router.stats();
+  EXPECT_EQ(stats.spillovers, 1u);
+  EXPECT_EQ(stats.remapped_keys, 1u);
+
+  // The remap sticks: even after shard 0 cools down, the tenant stays on
+  // its new home (QueryJobStatus keeps resolving, placements stay stable).
+  router.set_load_probe_override(0, LoadProbe{}, /*enabled=*/false);
+  TraceJob second;
+  second.name = tenant + "/job-b";
+  second.work = 4.0;
+  second.arrival_time = 1.0;
+  SubmitJobResponse ack2;
+  ASSERT_EQ(router.submit(second, ack2, error), RpcStatus::Ok) << error;
+  EXPECT_EQ(ack2.shard_id, new_home);
+  EXPECT_EQ(router.stats().spillovers, 1u);  // no second spill
+
+  // Other tenants still follow the ring.
+  std::string cold;
+  for (int i = 0;; ++i) {
+    cold = "cold-tenant-" + std::to_string(i);
+    if (router.ring_shard(cold + "/job") != 0) break;
+  }
+  TraceJob third;
+  third.name = cold + "/job";
+  third.work = 4.0;
+  third.arrival_time = 2.0;
+  SubmitJobResponse ack3;
+  ASSERT_EQ(router.submit(third, ack3, error), RpcStatus::Ok) << error;
+  EXPECT_EQ(ack3.shard_id, router.ring_shard(third.name));
+
+  DrainResponse drained;
+  ASSERT_EQ(router.drain(drained, error), RpcStatus::Ok) << error;
+  // The fan-in reports the spillover accounting.
+  MetricsResponse fleet;
+  ASSERT_EQ(router.metrics(fleet, error), RpcStatus::Ok) << error;
+  EXPECT_EQ(fleet.router_spillovers, 1u);
+  EXPECT_EQ(fleet.router_remapped_keys, 1u);
+}
+
+TEST(ShardRouter, RemapTableIsBounded) {
+  RouterOptions options;
+  options.spill_queue_depth = 1;
+  options.max_remap_entries = 2;
+  ShardRouter router(options);
+  build_fleet(router, 2);
+
+  // Both shards' ring homes run hot; every new tenant wants to spill, but
+  // only two remaps fit.
+  LoadProbe hot;
+  hot.queue_depth = 16;
+  router.set_load_probe_override(0, hot);
+  LoadProbe cool;  // shard 1 looks idle -> it is always the spill target
+  router.set_load_probe_override(1, cool);
+
+  int spilled = 0, refused = 0;
+  for (int i = 0; i < 8; ++i) {
+    std::string name = "bounded-" + std::to_string(i) + "/j";
+    if (router.ring_shard(name) != 0) continue;  // only shard-0 tenants spill
+    TraceJob job;
+    job.name = name;
+    job.work = 2.0;
+    job.arrival_time = static_cast<Real>(i);
+    SubmitJobResponse ack;
+    std::string error;
+    ASSERT_EQ(router.submit(job, ack, error), RpcStatus::Ok) << error;
+    if (ack.shard_id == 1)
+      ++spilled;
+    else
+      ++refused;  // at the cap the key stays on its ring shard
+  }
+  RouterStats stats = router.stats();
+  EXPECT_LE(stats.remapped_keys, 2u);
+  EXPECT_EQ(stats.spillovers, stats.remapped_keys);
+  if (spilled > 2) {
+    // More than the cap reached shard 1 only if several tenants shared a
+    // remap entry; the table itself must still be bounded.
+    EXPECT_LE(stats.remapped_keys, 2u);
+  }
+  if (refused > 0) EXPECT_GT(stats.remap_refused, 0u);
+
+  std::string error;
+  DrainResponse drained;
+  ASSERT_EQ(router.drain(drained, error), RpcStatus::Ok) << error;
+}
+
+// ------------------------------------------------------- TCP front door
+
+TEST(RouterServer, ServesShardedFleetOverTcp) {
+  ShardRouter router(ring_only_router());
+  build_fleet(router, 2);
+  RouterServerOptions options;
+  options.enable_http = true;
+  RouterServer server(router, options);
+  std::string error;
+  ASSERT_TRUE(server.start(error)) << error;
+  ASSERT_NE(server.port(), 0);
+  ASSERT_NE(server.http_port(), 0);
+
+  ClientOptions client_options;
+  client_options.port = server.port();
+  CoschedClient client(client_options);
+
+  WorkloadTrace trace = tenant_trace(31, 16);
+  std::map<std::int64_t, std::string> submitted;
+  for (const TraceJob& job : trace.jobs) {
+    SubmitJobResponse ack;
+    RpcError rpc = client.submit_job(job, ack);
+    ASSERT_TRUE(rpc.ok()) << rpc.describe();
+    ASSERT_GE(ack.shard_id, 0);  // v5 ack carries the routed shard
+    EXPECT_LT(ack.shard_id, 2);
+    EXPECT_EQ(ack.job_id % 2, ack.shard_id);
+    submitted[ack.job_id] = job.name;
+  }
+
+  // Global ids resolve through the front door.
+  for (const auto& [job_id, name] : submitted) {
+    JobStatusResponse status;
+    RpcError rpc = client.query_job_status(job_id, status);
+    ASSERT_TRUE(rpc.ok()) << rpc.describe();
+    EXPECT_EQ(status.status.name, name);
+  }
+  JobStatusResponse missing;
+  RpcError unknown = client.query_job_status(99991, missing);
+  EXPECT_EQ(unknown.app, RpcStatus::UnknownJob);
+
+  DrainResponse drained;
+  ASSERT_TRUE(client.drain(drained).ok());
+  EXPECT_EQ(drained.completions,
+            static_cast<std::uint64_t>(trace.job_count()));
+
+  // Fan-in over the wire: entries for both shards, Σ invariant holds, and
+  // the aggregated request count equals the sum of per-shard counts.
+  MetricsResponse fleet;
+  ASSERT_TRUE(client.get_metrics(fleet).ok());
+  ASSERT_EQ(fleet.shards.size(), 2u);
+  std::uint64_t completions = 0, requests = 0;
+  for (const ShardMetricsEntry& entry : fleet.shards) {
+    completions += entry.completions;
+    requests += entry.requests;
+  }
+  EXPECT_EQ(fleet.completions, completions);
+  EXPECT_EQ(requests, static_cast<std::uint64_t>(trace.job_count()));
+
+  // Merged snapshot: both shards' machines, global ids only.
+  ServiceSnapshot snapshot;
+  ASSERT_TRUE(client.query_snapshot(snapshot).ok());
+  EXPECT_EQ(snapshot.machines.size(), 4u);  // 2 shards x 2 machines
+
+  server.stop();
+}
+
+TEST(RouterServer, FleetMetricsPageMergesShards) {
+  ShardRouter router(ring_only_router());
+  build_fleet(router, 2);
+  RouterServer server(router, RouterServerOptions{});
+  std::string error;
+  ASSERT_TRUE(server.start(error)) << error;
+
+  ClientOptions client_options;
+  client_options.port = server.port();
+  CoschedClient client(client_options);
+  client.set_trace_id(0xABCD);  // lands as the latency exemplar's trace
+  WorkloadTrace trace = tenant_trace(41, 12);
+  for (const TraceJob& job : trace.jobs) {
+    SubmitJobResponse ack;
+    ASSERT_TRUE(client.submit_job(job, ack).ok());
+  }
+
+  // Fetch the fleet page over HTTP.
+  NetStatus net = NetStatus::Ok;
+  Deadline deadline = Deadline::after(5.0);
+  Socket http = Socket::connect_to("127.0.0.1", server.http_port(), deadline,
+                                   net);
+  ASSERT_EQ(net, NetStatus::Ok);
+  std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+  ASSERT_EQ(http.send_all(request.data(), request.size(), deadline),
+            NetStatus::Ok);
+  http.shutdown_send();
+  std::string page;
+  char chunk[4096];
+  while (true) {
+    std::size_t got = 0;
+    NetStatus rs = http.recv_some(chunk, sizeof(chunk), got, deadline);
+    if (rs == NetStatus::Closed) break;
+    ASSERT_EQ(rs, NetStatus::Ok);
+    page.append(chunk, got);
+  }
+  EXPECT_EQ(page.rfind("HTTP/1.0 200", 0), 0u) << page;
+
+  // Router counters, per-shard gauges, and the merged latency histogram.
+  EXPECT_NE(page.find("cosched_router_requests_total 12"), std::string::npos)
+      << page;
+  EXPECT_NE(page.find("cosched_router_shard_requests_total{shard=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(page.find("cosched_router_shard_requests_total{shard=\"1\"}"),
+            std::string::npos);
+  EXPECT_NE(page.find("cosched_router_shard_queue_depth{shard=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(page.find("cosched_router_request_seconds_count 12"),
+            std::string::npos)
+      << page;
+  // Exemplars survive the per-shard merge onto the fleet page.
+  EXPECT_NE(page.find("trace_id=\"000000000000abcd\""), std::string::npos)
+      << page;
+
+  std::string err;
+  DrainResponse drained;
+  ASSERT_EQ(router.drain(drained, err), RpcStatus::Ok) << err;
+  server.stop();
+}
+
+// The router speaks the whole version range: a v1 peer gets exactly the v1
+// bytes (no shard block anywhere), same as against a CoschedServer.
+TEST(RouterServer, V1PeerSeesNoShardBytes) {
+  ShardRouter router(ring_only_router());
+  build_fleet(router, 2);
+  RouterServer server(router, RouterServerOptions{});
+  std::string error;
+  ASSERT_TRUE(server.start(error)) << error;
+
+  NetStatus net = NetStatus::Ok;
+  Socket raw = Socket::connect_to("127.0.0.1", server.port(),
+                                  Deadline::after(2.0), net);
+  ASSERT_EQ(net, NetStatus::Ok);
+
+  // v1 SubmitJob: the ack must end after the v1..v4 fields — no shard id.
+  TraceJob job;
+  job.name = "tenantX/compat";
+  job.work = 4.0;
+  WireWriter body;
+  encode_trace_job(body, job);
+  RequestEnvelope request;
+  request.version = 1;
+  request.type = MessageType::SubmitJob;
+  request.request_id = 7;
+  request.body = body.take();
+  ASSERT_EQ(write_frame(raw, encode_request(request), Deadline::after(2.0)),
+            FrameStatus::Ok);
+  std::vector<std::uint8_t> payload;
+  ASSERT_EQ(read_frame(raw, payload, Deadline::after(5.0)), FrameStatus::Ok);
+  ResponseEnvelope response;
+  ASSERT_TRUE(decode_response(payload, response));
+  EXPECT_EQ(response.version, 1);
+  ASSERT_EQ(response.status, RpcStatus::Ok) << response.error;
+  WireReader r(response.body);
+  SubmitJobResponse ack;
+  ack.shard_id = 99;  // decoder must reset to the -1 default
+  ASSERT_TRUE(decode_submit_response(r, ack));
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_EQ(ack.shard_id, -1);
+  // The job still routed somewhere real; the global id proves it.
+  EXPECT_GE(ack.job_id, 0);
+
+  // v1 GetMetrics: body ends after the v1 fields; the fan-in block (and
+  // every other extension) stays off the wire.
+  RequestEnvelope metrics_request;
+  metrics_request.version = 1;
+  metrics_request.type = MessageType::GetMetrics;
+  metrics_request.request_id = 8;
+  ASSERT_EQ(write_frame(raw, encode_request(metrics_request),
+                        Deadline::after(2.0)),
+            FrameStatus::Ok);
+  ASSERT_EQ(read_frame(raw, payload, Deadline::after(5.0)), FrameStatus::Ok);
+  ASSERT_TRUE(decode_response(payload, response));
+  EXPECT_EQ(response.version, 1);
+  ASSERT_EQ(response.status, RpcStatus::Ok) << response.error;
+  WireReader mr(response.body);
+  MetricsResponse metrics;
+  metrics.command_queue_depth = 123;  // decoder must reset defaults
+  metrics.shards.push_back({});
+  ASSERT_TRUE(decode_metrics_response(mr, metrics));
+  EXPECT_EQ(mr.remaining(), 0u);
+  EXPECT_EQ(metrics.shard_id, -1);
+  EXPECT_EQ(metrics.command_queue_depth, 0u);
+  EXPECT_TRUE(metrics.shards.empty());
+
+  std::string err;
+  DrainResponse drained;
+  ASSERT_EQ(router.drain(drained, err), RpcStatus::Ok) << err;
+  server.stop();
+}
+
+}  // namespace
+}  // namespace cosched
