@@ -6,29 +6,34 @@
 // is used so the numbers measure the transport + scheduler-thread handoff,
 // not simulated job durations.
 //
+// Measurement goes through src/loadgen: each client's first --warmup
+// requests are classified Warmup by the phase controller and excluded from
+// every reported figure (they still run — cold connections, cold caches
+// and the first dense replans warm the service up for the measure window).
 // Latencies are accumulated in the shared fixed-bucket Histogram (one per
-// client, merged at the end), so the p50/p95/p99 reported here are the same
-// bucket-interpolated quantiles the /metrics exposition serves — not a
-// second, subtly different sort-based estimator.
+// client phase, merged at the end), so the p50/p95/p99 reported here are
+// the same bucket-interpolated quantiles the /metrics exposition serves.
+// Throughput is measure-phase completions over the measure window, not the
+// whole wall clock including warm-up.
 //
 // Besides the human-readable table (and CSV), the run always writes a
 // machine-readable summary (default BENCH_rpc_loopback.json, override with
-// --bench-out) so CI can diff throughput and p50/p95/p99 against the
-// checked-in baseline.
+// --bench-out) in the loadgen BenchReport schema so CI can diff throughput
+// and p50/p95/p99 against the checked-in baseline.
 //
-//   ./rpc_loopback --jobs 200 --clients 4 --scale 1
+//   ./rpc_loopback --jobs 200 --clients 4 --warmup 8 --scale 1
 //   ./rpc_loopback --trace-out traces/loopback.json --metrics-out
 //                  traces/loopback_metrics.txt --bench-out bench.json
 #include <chrono>
-#include <filesystem>
-#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <thread>
 #include <vector>
 
 #include "harness/experiment.hpp"
-#include "obs/histogram.hpp"
+#include "loadgen/phase.hpp"
+#include "loadgen/report.hpp"
+#include "obs/http.hpp"
 #include "obs/trace.hpp"
 #include "rpc/client.hpp"
 #include "rpc/server.hpp"
@@ -39,82 +44,67 @@ namespace {
 
 using namespace cosched;
 
-// Bucket edges in milliseconds; the overflow bucket catches outliers and
-// quantile() clamps into it using the observed max.
-std::vector<Real> latency_edges_ms() {
-  return {0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
-          250.0, 500.0, 1000.0};
-}
+using Clock = std::chrono::steady_clock;
 
+/// One client thread's accumulators, split by phase (no cool-down here —
+/// the trace is finite and the tail is as interesting as the middle).
 struct ClientLoad {
-  Histogram latency_ms{latency_edges_ms()};
-  std::uint64_t requests = 0;
-  std::uint64_t errors = 0;
+  PhaseStats warmup;
+  PhaseStats measure;
 };
 
 void drive_client(std::uint16_t port, const WorkloadTrace& trace,
+                  std::uint64_t warmup_count, Clock::time_point t0,
                   ClientLoad& load) {
   ClientOptions options;
   options.port = port;
   CoschedClient client(options);
+  PhaseController phases(
+      trace.jobs.size(),
+      std::min<std::uint64_t>(warmup_count, trace.jobs.size()), 0);
   // Arrival times are kept from the generated trace: flooding everything at
   // t=0 would saturate the fleet and every replan would be a dense 32-slot
   // solve — that benchmarks HA*, not the transport.
+  std::uint64_t index = 0;
   for (const TraceJob& job : trace.jobs) {
-    auto begin = std::chrono::steady_clock::now();
+    PhaseStats& bucket = phases.classify(index++) == LoadPhase::Warmup
+                             ? load.warmup
+                             : load.measure;
+    auto begin = Clock::now();
     SubmitJobResponse reply;
     RpcError error = client.submit_job(job, reply);
-    auto end = std::chrono::steady_clock::now();
+    auto end = Clock::now();
+    bucket.first_send_s = std::min(
+        bucket.first_send_s, std::chrono::duration<double>(begin - t0).count());
+    bucket.last_finish_s = std::max(
+        bucket.last_finish_s, std::chrono::duration<double>(end - t0).count());
     if (!error.ok()) {
-      ++load.errors;
+      ++bucket.errors;
       continue;
     }
-    ++load.requests;
-    load.latency_ms.add(
+    ++bucket.requests;
+    bucket.latency_ms.add(
         std::chrono::duration<double, std::milli>(end - begin).count());
   }
 }
 
-/// One-shot HTTP/1.0 GET against the server's observability port; returns
-/// the response body (headers stripped) or empty on any failure.
-std::string http_get(const std::string& host, std::uint16_t port,
-                     const std::string& path) {
-  NetStatus status = NetStatus::Ok;
-  Deadline deadline = Deadline::after(5.0);
-  Socket socket = Socket::connect_to(host, port, deadline, status);
-  if (status != NetStatus::Ok) return {};
-  std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
-  if (socket.send_all(request.data(), request.size(), deadline) !=
-      NetStatus::Ok)
-    return {};
-  socket.shutdown_send();
-  std::string response;
-  char chunk[4096];
-  while (true) {
-    std::size_t got = 0;
-    NetStatus recv_status =
-        socket.recv_some(chunk, sizeof(chunk), got, deadline);
-    if (recv_status == NetStatus::Closed) break;
-    if (recv_status != NetStatus::Ok) return {};
-    response.append(chunk, got);
+/// Runs all client threads against `port`, merging per-client loads.
+ClientLoad drive_all(std::uint16_t port,
+                     const std::vector<WorkloadTrace>& traces,
+                     std::uint64_t warmup_count) {
+  std::vector<ClientLoad> loads(traces.size());
+  Clock::time_point t0 = Clock::now();
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < traces.size(); ++c)
+    clients.emplace_back(drive_client, port, std::cref(traces[c]),
+                         warmup_count, t0, std::ref(loads[c]));
+  for (std::thread& t : clients) t.join();
+  ClientLoad all;
+  for (const ClientLoad& load : loads) {
+    all.warmup.merge(load.warmup);
+    all.measure.merge(load.measure);
   }
-  std::size_t body_at = response.find("\r\n\r\n");
-  if (body_at == std::string::npos) return {};
-  if (response.rfind("HTTP/1.0 200", 0) != 0 &&
-      response.rfind("HTTP/1.1 200", 0) != 0)
-    return {};
-  return response.substr(body_at + 4);
-}
-
-bool write_text_file(const std::string& path, const std::string& content) {
-  namespace fs = std::filesystem;
-  std::error_code ec;
-  fs::path parent = fs::path(path).parent_path();
-  if (!parent.empty()) fs::create_directories(parent, ec);
-  std::ofstream out(path);
-  if (!out) return false;
-  out << content;
-  return static_cast<bool>(out);
+  return all;
 }
 
 // ---- --router mode ---------------------------------------------------------
@@ -142,18 +132,22 @@ void tenantize(std::vector<WorkloadTrace>& traces) {
 }
 
 struct RouterRunResult {
-  std::uint64_t requests = 0;
-  std::uint64_t errors = 0;
+  ClientLoad load;
   std::uint64_t completions = 0;
-  double wall_seconds = 0.0;
-  Histogram latency_ms{latency_edges_ms()};
   bool fan_in_ok = false;
   std::uint64_t spillovers = 0;
   std::vector<std::uint64_t> shard_requests;
 
+  std::uint64_t requests() const { return load.measure.requests; }
+  std::uint64_t warmup_requests() const {
+    return load.warmup.requests + load.warmup.errors;
+  }
+  std::uint64_t errors() const {
+    return load.warmup.errors + load.measure.errors;
+  }
   double throughput_rps() const {
-    return wall_seconds > 0.0 ? static_cast<double>(requests) / wall_seconds
-                              : 0.0;
+    Real window = load.measure.window_seconds();
+    return window > 0.0 ? static_cast<double>(requests()) / window : 0.0;
   }
 };
 
@@ -162,6 +156,7 @@ struct RouterRunResult {
 /// fan-in and completion checks land in `result` for the caller to judge.
 bool run_router_config(std::int64_t shard_count,
                        const std::vector<WorkloadTrace>& traces,
+                       std::uint64_t warmup_count,
                        const std::string& metrics_out,
                        RouterRunResult& result) {
   ShardRouter router{RouterOptions{}};
@@ -187,20 +182,7 @@ bool run_router_config(std::int64_t shard_count,
     return false;
   }
 
-  std::vector<ClientLoad> loads(traces.size());
-  auto begin = std::chrono::steady_clock::now();
-  std::vector<std::thread> clients;
-  for (std::size_t c = 0; c < traces.size(); ++c)
-    clients.emplace_back(drive_client, server.port(), std::cref(traces[c]),
-                         std::ref(loads[c]));
-  for (std::thread& t : clients) t.join();
-  auto end = std::chrono::steady_clock::now();
-  result.wall_seconds = std::chrono::duration<double>(end - begin).count();
-  for (const ClientLoad& load : loads) {
-    result.latency_ms.merge(load.latency_ms);
-    result.requests += load.requests;
-    result.errors += load.errors;
-  }
+  result.load = drive_all(server.port(), traces, warmup_count);
 
   ClientOptions client_options;
   client_options.port = server.port();
@@ -226,7 +208,10 @@ bool run_router_config(std::int64_t shard_count,
 
   // The Σ invariant the router promises: each fan-in total is exactly the
   // sum of the shard entries it ships alongside, and routed requests add up
-  // to what the clients sent.
+  // to what the clients sent (warm-up included — the router routed those
+  // too, they are only excluded from the *latency* report).
+  std::uint64_t all_requests =
+      result.load.warmup.requests + result.load.measure.requests;
   std::uint64_t sum_requests = 0, sum_arrivals = 0, sum_admissions = 0;
   std::uint64_t sum_completions = 0, sum_replans = 0, sum_migrations = 0;
   for (const ShardMetricsEntry& entry : metrics.shards) {
@@ -244,7 +229,7 @@ bool run_router_config(std::int64_t shard_count,
       metrics.admissions == sum_admissions &&
       metrics.completions == sum_completions &&
       metrics.replans == sum_replans && metrics.migrations == sum_migrations &&
-      sum_requests == result.requests &&
+      sum_requests == all_requests &&
       metrics.completions == result.completions;
   result.spillovers = metrics.router_spillovers;
 
@@ -263,15 +248,22 @@ bool run_router_config(std::int64_t shard_count,
 
 void print_router_table(const std::string& title, const RouterRunResult& r) {
   TextTable table({"metric", title});
-  table.add_row({"requests ok",
-                 TextTable::fmt_int(static_cast<std::int64_t>(r.requests))});
+  table.add_row({"requests measured",
+                 TextTable::fmt_int(static_cast<std::int64_t>(r.requests()))});
+  table.add_row({"warm-up requests (excluded)",
+                 TextTable::fmt_int(
+                     static_cast<std::int64_t>(r.warmup_requests()))});
   table.add_row({"requests failed",
-                 TextTable::fmt_int(static_cast<std::int64_t>(r.errors))});
-  table.add_row({"wall seconds", TextTable::fmt(r.wall_seconds, 3)});
+                 TextTable::fmt_int(static_cast<std::int64_t>(r.errors()))});
+  table.add_row({"measure window s",
+                 TextTable::fmt(r.load.measure.window_seconds(), 3)});
   table.add_row({"throughput req/s", TextTable::fmt(r.throughput_rps(), 1)});
-  table.add_row({"latency p50 ms", TextTable::fmt(r.latency_ms.quantile(0.5), 3)});
-  table.add_row({"latency p95 ms", TextTable::fmt(r.latency_ms.quantile(0.95), 3)});
-  table.add_row({"latency p99 ms", TextTable::fmt(r.latency_ms.quantile(0.99), 3)});
+  table.add_row({"latency p50 ms",
+                 TextTable::fmt(r.load.measure.latency_ms.quantile(0.5), 3)});
+  table.add_row({"latency p95 ms",
+                 TextTable::fmt(r.load.measure.latency_ms.quantile(0.95), 3)});
+  table.add_row({"latency p99 ms",
+                 TextTable::fmt(r.load.measure.latency_ms.quantile(0.99), 3)});
   table.add_row({"jobs completed",
                  TextTable::fmt_int(static_cast<std::int64_t>(r.completions))});
   table.add_row({"spillovers",
@@ -282,11 +274,13 @@ void print_router_table(const std::string& title, const RouterRunResult& r) {
 
 void append_router_json(std::ostringstream& json, const std::string& key,
                         std::int64_t shards, const RouterRunResult& r) {
+  const Histogram& latency = r.load.measure.latency_ms;
   json << "  \"" << key << "\": {\n"
        << "    \"shards\": " << shards << ",\n"
-       << "    \"requests_ok\": " << r.requests << ",\n"
-       << "    \"requests_failed\": " << r.errors << ",\n"
-       << "    \"wall_seconds\": " << r.wall_seconds << ",\n"
+       << "    \"requests_ok\": " << r.requests() << ",\n"
+       << "    \"requests_failed\": " << r.errors() << ",\n"
+       << "    \"warmup_requests\": " << r.warmup_requests() << ",\n"
+       << "    \"wall_seconds\": " << r.load.measure.window_seconds() << ",\n"
        << "    \"throughput_rps\": " << r.throughput_rps() << ",\n"
        << "    \"spillovers\": " << r.spillovers << ",\n"
        << "    \"shard_requests\": [";
@@ -294,11 +288,11 @@ void append_router_json(std::ostringstream& json, const std::string& key,
     json << (i ? ", " : "") << r.shard_requests[i];
   json << "],\n"
        << "    \"latency_ms\": {\n"
-       << "      \"mean\": " << r.latency_ms.mean() << ",\n"
-       << "      \"p50\": " << r.latency_ms.quantile(0.5) << ",\n"
-       << "      \"p95\": " << r.latency_ms.quantile(0.95) << ",\n"
-       << "      \"p99\": " << r.latency_ms.quantile(0.99) << ",\n"
-       << "      \"max\": " << r.latency_ms.max() << "\n"
+       << "      \"mean\": " << latency.mean() << ",\n"
+       << "      \"p50\": " << latency.quantile(0.5) << ",\n"
+       << "      \"p95\": " << latency.quantile(0.95) << ",\n"
+       << "      \"p99\": " << latency.quantile(0.99) << ",\n"
+       << "      \"max\": " << latency.max() << "\n"
        << "    }\n"
        << "  }";
 }
@@ -306,7 +300,8 @@ void append_router_json(std::ostringstream& json, const std::string& key,
 /// --router entry point: 1-shard baseline then the N-shard fleet over the
 /// same tenantized workload; writes the comparison to `bench_out`.
 int run_router_mode(std::int64_t shard_count, std::int64_t jobs_per_client,
-                    std::int64_t client_count, const std::string& metrics_out,
+                    std::int64_t client_count, std::uint64_t warmup_count,
+                    const std::string& metrics_out,
                     const std::string& bench_out) {
   print_experiment_header(
       "rpc_sharded",
@@ -328,8 +323,10 @@ int run_router_mode(std::int64_t shard_count, std::int64_t jobs_per_client,
 
   RouterRunResult single;
   RouterRunResult sharded;
-  if (!run_router_config(1, traces, "", single)) return 1;
-  if (!run_router_config(shard_count, traces, metrics_out, sharded)) return 1;
+  if (!run_router_config(1, traces, warmup_count, "", single)) return 1;
+  if (!run_router_config(shard_count, traces, warmup_count, metrics_out,
+                         sharded))
+    return 1;
 
   print_router_table("1 shard", single);
   print_router_table(std::to_string(shard_count) + " shards", sharded);
@@ -346,6 +343,7 @@ int run_router_mode(std::int64_t shard_count, std::int64_t jobs_per_client,
     json.precision(4);
     json << "{\n"
          << "  \"bench\": \"rpc_sharded\",\n"
+         << "  \"mode\": \"closed\",\n"
          << "  \"clients\": " << client_count << ",\n"
          << "  \"jobs_per_client\": " << jobs_per_client << ",\n"
          << "  \"tenants\": " << kTenants << ",\n"
@@ -363,9 +361,11 @@ int run_router_mode(std::int64_t shard_count, std::int64_t jobs_per_client,
   }
 
   bool clean = single.fan_in_ok && sharded.fan_in_ok &&
-               single.errors == 0 && sharded.errors == 0 &&
-               single.completions == single.requests &&
-               sharded.completions == sharded.requests;
+               single.errors() == 0 && sharded.errors() == 0 &&
+               single.completions ==
+                   single.requests() + single.warmup_requests() &&
+               sharded.completions ==
+                   sharded.requests() + sharded.warmup_requests();
   return clean ? 0 : 1;
 }
 
@@ -376,6 +376,15 @@ int main(int argc, char** argv) {
   std::int64_t scale = args.get_int("scale", 1);
   std::int64_t jobs_per_client = args.get_int("jobs", 100) * scale;
   std::int64_t client_count = args.get_int("clients", 2);
+  // Per-client warm-up: the first N requests of every client thread warm
+  // the connection, the oracle cache and the scheduler before measurement
+  // starts. They run, they are counted, they never reach the histograms.
+  std::int64_t warmup = args.get_int("warmup", 5);
+  if (warmup < 0 || warmup >= jobs_per_client) {
+    std::cerr << "rpc_loopback: need 0 <= --warmup < --jobs\n";
+    return 1;
+  }
+  std::uint64_t warmup_count = static_cast<std::uint64_t>(warmup);
   std::string trace_out = args.get_string("trace-out", "");
   std::string metrics_out = args.get_string("metrics-out", "");
 
@@ -383,7 +392,7 @@ int main(int argc, char** argv) {
     // Sharded comparison mode: separate default bench-out so the single-
     // scheduler baseline JSON is never clobbered by a router run.
     return run_router_mode(args.get_int("shards", 4), jobs_per_client,
-                           client_count, metrics_out,
+                           client_count, warmup_count, metrics_out,
                            args.get_string("bench-out",
                                            "BENCH_rpc_sharded.json"));
   }
@@ -428,14 +437,7 @@ int main(int argc, char** argv) {
     traces[c] = generate_trace(spec);
   }
 
-  std::vector<ClientLoad> loads(traces.size());
-  auto begin = std::chrono::steady_clock::now();
-  std::vector<std::thread> clients;
-  for (std::size_t c = 0; c < traces.size(); ++c)
-    clients.emplace_back(drive_client, server.port(), std::cref(traces[c]),
-                         std::ref(loads[c]));
-  for (std::thread& t : clients) t.join();
-  auto end = std::chrono::steady_clock::now();
+  ClientLoad all = drive_all(server.port(), traces, warmup_count);
 
   DrainResponse drained;
   {
@@ -461,34 +463,41 @@ int main(int argc, char** argv) {
   ServerStats stats = server.stats();
   server.stop();
 
-  Histogram all(latency_edges_ms());
-  std::uint64_t requests = 0;
-  std::uint64_t errors = 0;
-  for (const ClientLoad& load : loads) {
-    all.merge(load.latency_ms);
-    requests += load.requests;
-    errors += load.errors;
-  }
-  double wall_seconds = std::chrono::duration<double>(end - begin).count();
+  BenchReport report;
+  report.bench = "rpc_loopback";
+  report.mode = "closed";
+  report.deployment = "single";
+  report.clients = client_count;
+  report.jobs_per_client = jobs_per_client;
+  report.requests_ok = all.measure.requests;
+  report.requests_failed = all.warmup.errors + all.measure.errors;
+  report.warmup_requests = all.warmup.requests + all.warmup.errors;
+  report.achieved_rps =
+      all.measure.window_seconds() > 0.0
+          ? static_cast<double>(all.measure.requests) /
+                all.measure.window_seconds()
+          : 0.0;
+  report.wall_seconds = all.measure.window_seconds();
+  report.latency = LatencySummary::from(all.measure.latency_ms);
 
   TextTable table({"metric", "value"});
   table.add_row({"clients", TextTable::fmt_int(client_count)});
-  table.add_row({"requests ok",
-                 TextTable::fmt_int(static_cast<std::int64_t>(requests))});
-  table.add_row(
-      {"requests failed", TextTable::fmt_int(static_cast<std::int64_t>(errors))});
-  table.add_row({"wall seconds", TextTable::fmt(wall_seconds, 3)});
-  table.add_row(
-      {"throughput req/s",
-       TextTable::fmt(wall_seconds > 0.0
-                          ? static_cast<double>(requests) / wall_seconds
-                          : 0.0,
-                      1)});
-  table.add_row({"latency mean ms", TextTable::fmt(all.mean(), 3)});
-  table.add_row({"latency p50 ms", TextTable::fmt(all.quantile(0.5), 3)});
-  table.add_row({"latency p95 ms", TextTable::fmt(all.quantile(0.95), 3)});
-  table.add_row({"latency p99 ms", TextTable::fmt(all.quantile(0.99), 3)});
-  table.add_row({"latency max ms", TextTable::fmt(all.max(), 3)});
+  table.add_row({"requests measured",
+                 TextTable::fmt_int(
+                     static_cast<std::int64_t>(report.requests_ok))});
+  table.add_row({"warm-up requests (excluded)",
+                 TextTable::fmt_int(
+                     static_cast<std::int64_t>(report.warmup_requests))});
+  table.add_row({"requests failed",
+                 TextTable::fmt_int(
+                     static_cast<std::int64_t>(report.requests_failed))});
+  table.add_row({"measure window s", TextTable::fmt(report.wall_seconds, 3)});
+  table.add_row({"throughput req/s", TextTable::fmt(report.achieved_rps, 1)});
+  table.add_row({"latency mean ms", TextTable::fmt(report.latency.mean, 3)});
+  table.add_row({"latency p50 ms", TextTable::fmt(report.latency.p50, 3)});
+  table.add_row({"latency p95 ms", TextTable::fmt(report.latency.p95, 3)});
+  table.add_row({"latency p99 ms", TextTable::fmt(report.latency.p99, 3)});
+  table.add_row({"latency max ms", TextTable::fmt(report.latency.max, 3)});
   table.add_row({"jobs completed",
                  TextTable::fmt_int(static_cast<std::int64_t>(
                      drained.completions))});
@@ -504,31 +513,10 @@ int main(int argc, char** argv) {
   }
 
   if (!bench_out.empty()) {
-    std::ostringstream json;
-    json.setf(std::ios::fixed);
-    json.precision(4);
-    json << "{\n"
-         << "  \"bench\": \"rpc_loopback\",\n"
-         << "  \"clients\": " << client_count << ",\n"
-         << "  \"jobs_per_client\": " << jobs_per_client << ",\n"
-         << "  \"requests_ok\": " << requests << ",\n"
-         << "  \"requests_failed\": " << errors << ",\n"
-         << "  \"wall_seconds\": " << wall_seconds << ",\n"
-         << "  \"throughput_rps\": "
-         << (wall_seconds > 0.0 ? static_cast<double>(requests) / wall_seconds
-                                : 0.0)
-         << ",\n"
-         << "  \"latency_ms\": {\n"
-         << "    \"mean\": " << all.mean() << ",\n"
-         << "    \"p50\": " << all.quantile(0.5) << ",\n"
-         << "    \"p95\": " << all.quantile(0.95) << ",\n"
-         << "    \"p99\": " << all.quantile(0.99) << ",\n"
-         << "    \"max\": " << all.max() << "\n"
-         << "  }\n"
-         << "}\n";
-    if (write_text_file(bench_out, json.str()))
+    if (write_text_file(bench_out, report.to_json()))
       std::cout << "wrote " << bench_out << "\n";
   }
 
-  return drained.completions == requests && errors == 0 ? 0 : 1;
+  std::uint64_t all_ok = all.warmup.requests + all.measure.requests;
+  return drained.completions == all_ok && report.requests_failed == 0 ? 0 : 1;
 }

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "obs/http.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/otlp.hpp"
 #include "obs/tail_sampler.hpp"
@@ -182,33 +183,6 @@ void drive_subscriber(std::uint16_t port, const std::string& capture,
   }
 }
 
-std::string http_get_body(const std::string& host, std::uint16_t port,
-                          const std::string& path) {
-  NetStatus status = NetStatus::Ok;
-  Deadline deadline = Deadline::after(5.0);
-  Socket socket = Socket::connect_to(host, port, deadline, status);
-  if (status != NetStatus::Ok) return {};
-  std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
-  if (socket.send_all(request.data(), request.size(), deadline) !=
-      NetStatus::Ok)
-    return {};
-  socket.shutdown_send();
-  std::string response;
-  char chunk[4096];
-  while (true) {
-    std::size_t got = 0;
-    NetStatus recv_status =
-        socket.recv_some(chunk, sizeof(chunk), got, deadline);
-    if (recv_status == NetStatus::Closed) break;
-    if (recv_status != NetStatus::Ok) return {};
-    response.append(chunk, got);
-  }
-  std::size_t body_at = response.find("\r\n\r\n");
-  if (body_at == std::string::npos) return {};
-  if (response.rfind("HTTP/1.0 200", 0) != 0) return {};
-  return response.substr(body_at + 4);
-}
-
 bool check(bool ok, const std::string& what) {
   std::cout << (ok ? "PASS  " : "FAIL  ") << what << "\n";
   return ok;
@@ -324,7 +298,7 @@ int main(int argc, char** argv) {
   std::size_t tail_pending_end = TailSampler::global().pending();
 
   std::string exposition =
-      http_get_body(server_options.host, server.http_port(), "/metrics");
+      http_get(server_options.host, server.http_port(), "/metrics");
 
   g_stop.store(true, std::memory_order_release);
   for (std::thread& t : threads) t.join();

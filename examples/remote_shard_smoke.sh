@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Multi-process RemoteShard smoke test.
+#
+# Launches two CoschedServer shard processes (rpc_server --shard-id 0/1),
+# fronts them with a shard_router --remote deployment in a third process,
+# and drives the router with benchmark_app --connect. The run fails unless
+#   * every request succeeds,
+#   * the router's GetMetrics fan-in reports exactly 2 shards whose summed
+#     counters equal the fleet totals (checked by --expect-shards), and
+#   * both shard processes and the router shut down cleanly over RPC.
+#
+# Usage: examples/remote_shard_smoke.sh [build-dir]   (default: build)
+set -u
+
+BUILD_DIR="${1:-build}"
+BIN_EX="$BUILD_DIR/examples"
+BIN_BENCH="$BUILD_DIR/bench"
+HOST=127.0.0.1
+SHARD_A_PORT="${SHARD_A_PORT:-7731}"
+SHARD_B_PORT="${SHARD_B_PORT:-7732}"
+ROUTER_PORT="${ROUTER_PORT:-7733}"
+OUT_DIR="${OUT_DIR:-traces}"
+mkdir -p "$OUT_DIR"
+
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+}
+trap cleanup EXIT
+
+wait_port() {
+  local port="$1" tries=50
+  while ((tries-- > 0)); do
+    if (exec 3<>"/dev/tcp/$HOST/$port") 2>/dev/null; then
+      exec 3>&- 3<&-
+      return 0
+    fi
+    sleep 0.2
+  done
+  echo "remote_shard_smoke: port $port never came up" >&2
+  return 1
+}
+
+# Shard processes: virtual-time mode so arrivals come from the submitted
+# stamps (deterministic load), generous deadline so a drain that has to
+# finish the whole backlog cannot time out, HTTP side door disabled (two
+# processes would race for the default metrics port).
+"$BIN_EX/rpc_server" --port "$SHARD_A_PORT" --shard-id 0 --virtual 1 \
+  --machines 4 --cores 4 --deadline 300 --metrics-port -1 \
+  --out "$OUT_DIR/remote_shard0" >"$OUT_DIR/remote_shard0.log" 2>&1 &
+PIDS+=($!)
+"$BIN_EX/rpc_server" --port "$SHARD_B_PORT" --shard-id 1 --virtual 1 \
+  --machines 4 --cores 4 --deadline 300 --metrics-port -1 \
+  --out "$OUT_DIR/remote_shard1" >"$OUT_DIR/remote_shard1.log" 2>&1 &
+PIDS+=($!)
+wait_port "$SHARD_A_PORT" || exit 1
+wait_port "$SHARD_B_PORT" || exit 1
+
+"$BIN_EX/shard_router" --port "$ROUTER_PORT" \
+  --remote "$HOST:$SHARD_A_PORT,$HOST:$SHARD_B_PORT" --remote-cores 16 \
+  --shard-timeout 300 --metrics-port -1 \
+  >"$OUT_DIR/remote_router.log" 2>&1 &
+PIDS+=($!)
+wait_port "$ROUTER_PORT" || exit 1
+
+# Drive through the router. --expect-shards 2 makes benchmark_app fetch the
+# fan-in metrics and fail unless the two remote shards account for every
+# routed request and completion.
+"$BIN_BENCH/benchmark_app" --mode open --rate 20 --requests 60 --warmup 10 \
+  --depth 4 --tenants 8 --connect "$HOST:$ROUTER_PORT" --expect-shards 2 \
+  --bench-out "$OUT_DIR/BENCH_remote_smoke.json"
+BENCH_STATUS=$?
+
+# Orderly teardown: the router answers Shutdown itself (it does not forward
+# it), so each shard process is stopped directly.
+"$BIN_EX/rpc_client" --port "$ROUTER_PORT" --shutdown 1 >/dev/null 2>&1
+"$BIN_EX/rpc_client" --port "$SHARD_A_PORT" --shutdown 1 >/dev/null 2>&1
+"$BIN_EX/rpc_client" --port "$SHARD_B_PORT" --shutdown 1 >/dev/null 2>&1
+
+STATUS=0
+for pid in "${PIDS[@]}"; do
+  if ! wait "$pid"; then
+    echo "remote_shard_smoke: process $pid exited nonzero" >&2
+    STATUS=1
+  fi
+done
+PIDS=()
+
+if [[ $BENCH_STATUS -ne 0 ]]; then
+  echo "remote_shard_smoke: benchmark_app exited $BENCH_STATUS" >&2
+  cat "$OUT_DIR/remote_router.log" >&2 || true
+  exit "$BENCH_STATUS"
+fi
+if [[ $STATUS -ne 0 ]]; then
+  exit "$STATUS"
+fi
+echo "remote_shard_smoke: PASS (2 remote shards, fan-in verified)"

@@ -22,12 +22,53 @@
 // queue/clock gauges (one series per shard label — point Grafana at it for a
 // fleet view), and the per-shard latency histograms merged with exemplars
 // intact. Runs until an RPC Shutdown arrives.
+// A multi-process deployment uses --remote instead of local shards:
+//
+//   ./rpc_server --port 7731 --shard-id 0 --virtual 1 &
+//   ./rpc_server --port 7732 --shard-id 1 --virtual 1 &
+//   ./shard_router --port 7720 --remote 127.0.0.1:7731,127.0.0.1:7732
+//
+// Each entry becomes a RemoteShard backend speaking protocol v5 to that
+// server; shard ids follow list order, so start server k with --shard-id k.
+// --remote-cores tells the router each backend's capacity (the spillover
+// signal); --remote-timeout bounds each proxied RPC.
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "harness/experiment.hpp"
 #include "shard/router.hpp"
 #include "shard/router_server.hpp"
+
+namespace {
+
+/// Splits "host:port,host:port" into client options, one per backend.
+std::vector<cosched::ClientOptions> parse_remotes(const std::string& spec,
+                                                  double timeout_seconds) {
+  std::vector<cosched::ClientOptions> remotes;
+  std::size_t start = 0;
+  while (start < spec.size()) {
+    std::size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string entry = spec.substr(start, comma - start);
+    start = comma + 1;
+    if (entry.empty()) continue;
+    cosched::ClientOptions options;
+    options.request_timeout_seconds = timeout_seconds;
+    std::size_t colon = entry.rfind(':');
+    if (colon == std::string::npos) {
+      options.host = entry;
+    } else {
+      options.host = entry.substr(0, colon);
+      options.port =
+          static_cast<std::uint16_t>(std::stoi(entry.substr(colon + 1)));
+    }
+    remotes.push_back(std::move(options));
+  }
+  return remotes;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace cosched;
@@ -35,6 +76,8 @@ int main(int argc, char** argv) {
 
   std::int64_t shard_count = args.get_int("shards", 4);
   if (shard_count < 1) shard_count = 1;
+  std::vector<ClientOptions> remotes = parse_remotes(
+      args.get_string("remote", ""), args.get_real("remote-timeout", 60.0));
 
   RouterOptions router_options;
   router_options.vnodes_per_shard =
@@ -42,23 +85,34 @@ int main(int argc, char** argv) {
   router_options.spill_queue_depth =
       static_cast<std::size_t>(args.get_int("spill-depth", 64));
   router_options.spill_replan_p95_seconds = args.get_real("spill-p95", 0.0);
+  router_options.shard_timeout_seconds = args.get_real("shard-timeout", 30.0);
   ShardRouter router(router_options);
 
-  for (std::int64_t s = 0; s < shard_count; ++s) {
-    LiveServiceOptions service;
-    service.wall_clock = args.get_int("virtual", 0) == 0;
-    service.wall_time_scale = args.get_real("wall-scale", 4.0);
-    service.scheduler.cores =
-        static_cast<std::uint32_t>(args.get_int("cores", 4));
-    service.scheduler.machines =
-        static_cast<std::int32_t>(args.get_int("machines-per-shard", 2));
-    service.scheduler.admission.trigger = ReplanTrigger::EveryKArrivals;
-    service.scheduler.admission.every_k =
-        static_cast<std::int32_t>(args.get_int("every-k", 2));
-    service.scheduler.cache_compaction_jobs =
-        static_cast<std::uint32_t>(args.get_int("compact-jobs", 16));
-    service.scheduler.log_process_finish = false;
-    router.add_local_shard(service);
+  if (!remotes.empty()) {
+    shard_count = static_cast<std::int64_t>(remotes.size());
+    std::int32_t cores_per_remote = static_cast<std::int32_t>(
+        args.get_int("remote-cores",
+                     args.get_int("machines-per-shard", 2) *
+                         args.get_int("cores", 4)));
+    for (ClientOptions& remote : remotes)
+      router.add_remote_shard(std::move(remote), cores_per_remote);
+  } else {
+    for (std::int64_t s = 0; s < shard_count; ++s) {
+      LiveServiceOptions service;
+      service.wall_clock = args.get_int("virtual", 0) == 0;
+      service.wall_time_scale = args.get_real("wall-scale", 4.0);
+      service.scheduler.cores =
+          static_cast<std::uint32_t>(args.get_int("cores", 4));
+      service.scheduler.machines =
+          static_cast<std::int32_t>(args.get_int("machines-per-shard", 2));
+      service.scheduler.admission.trigger = ReplanTrigger::EveryKArrivals;
+      service.scheduler.admission.every_k =
+          static_cast<std::int32_t>(args.get_int("every-k", 2));
+      service.scheduler.cache_compaction_jobs =
+          static_cast<std::uint32_t>(args.get_int("compact-jobs", 16));
+      service.scheduler.log_process_finish = false;
+      router.add_local_shard(service);
+    }
   }
 
   RouterServerOptions options;

@@ -1,0 +1,212 @@
+#include "loadgen/flat_json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace cosched {
+
+namespace {
+
+/// Recursive-descent parser over a string view with explicit position, so
+/// errors can say where they happened.
+class Parser {
+ public:
+  Parser(const std::string& text, FlatJson& out) : text_(text), out_(out) {}
+
+  bool parse(std::string& error) {
+    skip_ws();
+    if (!parse_value("")) {
+      error = error_;
+      return false;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      error = "trailing content at byte " + std::to_string(pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& what) {
+    error_ = what + " at byte " + std::to_string(pos_);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  bool literal(const char* word) {
+    std::size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  static std::string join(const std::string& prefix, const std::string& key) {
+    return prefix.empty() ? key : prefix + "." + key;
+  }
+
+  bool parse_string(std::string& out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"')
+      return fail("expected string");
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return fail("dangling escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          // \uXXXX: our writers never emit it; keep the parse alive by
+          // passing the escape through verbatim.
+          case 'u':
+            out += "\\u";
+            break;
+          default:
+            return fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos_ >= text_.size()) return fail("unterminated string");
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool parse_value(const std::string& path) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return parse_object(path);
+    if (c == '[') return parse_array(path);
+    if (c == '"') {
+      std::string s;
+      if (!parse_string(s)) return false;
+      out_.strings[path] = std::move(s);
+      return true;
+    }
+    if (literal("true")) {
+      out_.numbers[path] = 1.0;
+      return true;
+    }
+    if (literal("false")) {
+      out_.numbers[path] = 0.0;
+      return true;
+    }
+    if (literal("null")) return true;  // recorded nowhere: a lookup miss
+    return parse_number(path);
+  }
+
+  bool parse_number(const std::string& path) {
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    double v = std::strtod(begin, &end);
+    if (end == begin) return fail("expected value");
+    pos_ += static_cast<std::size_t>(end - begin);
+    out_.numbers[path] = static_cast<Real>(v);
+    return true;
+  }
+
+  bool parse_object(const std::string& path) {
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':')
+        return fail("expected ':'");
+      ++pos_;
+      if (!parse_value(join(path, key))) return false;
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(const std::string& path) {
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    std::size_t index = 0;
+    while (true) {
+      if (!parse_value(join(path, std::to_string(index++)))) return false;
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  const std::string& text_;
+  FlatJson& out_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+bool parse_flat_json(const std::string& text, FlatJson& out,
+                     std::string& error) {
+  out = FlatJson{};
+  Parser parser(text, out);
+  if (parser.parse(error)) return true;
+  out = FlatJson{};
+  return false;
+}
+
+bool load_flat_json(const std::string& path, FlatJson& out,
+                    std::string& error) {
+  std::ifstream in(path);
+  if (!in) {
+    error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!parse_flat_json(buffer.str(), out, error)) {
+    error = path + ": " + error;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace cosched

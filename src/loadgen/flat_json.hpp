@@ -1,0 +1,50 @@
+// Minimal JSON reader for the bench/SLO tooling.
+//
+// Every BENCH_*.json and slo.json in this repository is written by our own
+// code: objects, arrays, numbers, strings and booleans, nothing exotic. The
+// reader flattens that tree into dotted paths ("latency_ms.p95",
+// "shard_requests.0") so the consumers — the --compare baseline loader and
+// the SLO budget loader — do plain map lookups instead of walking a DOM.
+// Parsing a document we did not write is a supported case (a hand-edited
+// slo.json): malformed input fails with a position-carrying error rather
+// than a partial result.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "util/common.hpp"
+
+namespace cosched {
+
+/// A parsed JSON document, flattened. Numbers and booleans land in
+/// `numbers` (true = 1.0, false = 0.0), strings in `strings`; null is
+/// recorded in neither (a lookup miss, which is what a null means here).
+struct FlatJson {
+  std::map<std::string, Real> numbers;
+  std::map<std::string, std::string> strings;
+
+  bool has_number(const std::string& key) const {
+    return numbers.find(key) != numbers.end();
+  }
+  Real number(const std::string& key, Real fallback) const {
+    auto it = numbers.find(key);
+    return it == numbers.end() ? fallback : it->second;
+  }
+  std::string string(const std::string& key,
+                     const std::string& fallback) const {
+    auto it = strings.find(key);
+    return it == strings.end() ? fallback : it->second;
+  }
+};
+
+/// Parses `text` into `out`. On failure returns false and fills `error`
+/// with a byte-offset diagnostic; `out` is left cleared.
+bool parse_flat_json(const std::string& text, FlatJson& out,
+                     std::string& error);
+
+/// Reads and parses a file. Missing/unreadable files are an error.
+bool load_flat_json(const std::string& path, FlatJson& out,
+                    std::string& error);
+
+}  // namespace cosched

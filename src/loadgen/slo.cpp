@@ -1,0 +1,62 @@
+#include "loadgen/slo.hpp"
+
+#include <sstream>
+
+namespace cosched {
+
+bool load_slo_budget(const std::string& path, SloBudget& out,
+                     std::string& error) {
+  FlatJson json;
+  if (!load_flat_json(path, json, error)) return false;
+  out = SloBudget{};
+  out.p50_ms = json.number("p50_ms", 0.0);
+  out.p95_ms = json.number("p95_ms", 0.0);
+  out.p99_ms = json.number("p99_ms", 0.0);
+  out.min_rps = json.number("min_rps", 0.0);
+  out.max_error_rate = json.number("max_error_rate", -1.0);
+  return true;
+}
+
+std::string SloVerdict::describe() const {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(3);
+  for (const SloCheck& check : checks)
+    out << "  " << (check.pass ? "ok  " : "FAIL") << " " << check.name
+        << ": observed " << check.observed << ", budget " << check.budget
+        << "\n";
+  return out.str();
+}
+
+SloVerdict evaluate_slo(const SloBudget& budget, const BenchReport& report) {
+  SloVerdict verdict;
+  auto ceiling = [&verdict](const std::string& name, Real limit,
+                            Real observed) {
+    if (limit <= 0.0) return;
+    SloCheck check{name, limit, observed, observed <= limit};
+    verdict.pass = verdict.pass && check.pass;
+    verdict.checks.push_back(std::move(check));
+  };
+  ceiling("p50_ms", budget.p50_ms, report.latency.p50);
+  ceiling("p95_ms", budget.p95_ms, report.latency.p95);
+  ceiling("p99_ms", budget.p99_ms, report.latency.p99);
+  if (budget.min_rps > 0.0) {
+    SloCheck check{"min_rps", budget.min_rps, report.achieved_rps,
+                   report.achieved_rps >= budget.min_rps};
+    verdict.pass = verdict.pass && check.pass;
+    verdict.checks.push_back(std::move(check));
+  }
+  if (budget.max_error_rate >= 0.0) {
+    std::uint64_t total = report.requests_ok + report.requests_failed;
+    Real rate = total == 0 ? 0.0
+                           : static_cast<Real>(report.requests_failed) /
+                                 static_cast<Real>(total);
+    SloCheck check{"max_error_rate", budget.max_error_rate, rate,
+                   rate <= budget.max_error_rate};
+    verdict.pass = verdict.pass && check.pass;
+    verdict.checks.push_back(std::move(check));
+  }
+  return verdict;
+}
+
+}  // namespace cosched

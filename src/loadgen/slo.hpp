@@ -1,0 +1,57 @@
+// SLO budgets: the pass/fail contract a benchmark run is held to.
+//
+// A budget is a small JSON file (slo.json at the repo root is the committed
+// default) of absolute limits:
+//
+//   { "p50_ms": 50, "p95_ms": 900, "p99_ms": 1200,
+//     "min_rps": 8, "max_error_rate": 0.0 }
+//
+// Unset fields (absent, or <= 0 for latencies/throughput, < 0 for the
+// error rate) are skipped — a budget can gate just p95 and nothing else.
+// Boundary semantics: a measurement exactly at its budget PASSES; budgets
+// are ceilings/floors, not strict bounds, so a regenerated baseline that
+// exactly meets its own budget stays green.
+//
+// This is deliberately distinct from --compare (loadgen/report): the SLO is
+// an absolute product promise ("p95 under 900 ms, ever"), the comparison a
+// relative regression gate ("no worse than the committed baseline"). CI
+// runs both.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "loadgen/report.hpp"
+#include "util/common.hpp"
+
+namespace cosched {
+
+struct SloBudget {
+  Real p50_ms = 0.0;          ///< <= 0: unset
+  Real p95_ms = 0.0;          ///< <= 0: unset
+  Real p99_ms = 0.0;          ///< <= 0: unset
+  Real min_rps = 0.0;         ///< <= 0: unset
+  Real max_error_rate = -1.0; ///< < 0: unset; 0 means "no errors at all"
+};
+
+/// Loads a budget from a JSON file. Unknown keys are ignored so a budget
+/// file can carry comments-by-convention ("_note": "...").
+bool load_slo_budget(const std::string& path, SloBudget& out,
+                     std::string& error);
+
+struct SloCheck {
+  std::string name;
+  Real budget = 0.0;
+  Real observed = 0.0;
+  bool pass = true;
+};
+
+struct SloVerdict {
+  bool pass = true;
+  std::vector<SloCheck> checks;  ///< only the budgets that were set
+  std::string describe() const;
+};
+
+SloVerdict evaluate_slo(const SloBudget& budget, const BenchReport& report);
+
+}  // namespace cosched

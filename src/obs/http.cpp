@@ -203,4 +203,33 @@ void HttpEndpoint::serve_connection(Socket socket) {
                 deadline, head);
 }
 
+std::string http_get(const std::string& host, std::uint16_t port,
+                     const std::string& path, double timeout_seconds) {
+  NetStatus status = NetStatus::Ok;
+  Deadline deadline = Deadline::after(timeout_seconds);
+  Socket socket = Socket::connect_to(host, port, deadline, status);
+  if (status != NetStatus::Ok) return {};
+  std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  if (socket.send_all(request.data(), request.size(), deadline) !=
+      NetStatus::Ok)
+    return {};
+  socket.shutdown_send();
+  std::string response;
+  char chunk[4096];
+  while (true) {
+    std::size_t got = 0;
+    NetStatus recv_status =
+        socket.recv_some(chunk, sizeof(chunk), got, deadline);
+    if (recv_status == NetStatus::Closed) break;
+    if (recv_status != NetStatus::Ok) return {};
+    response.append(chunk, got);
+  }
+  std::size_t body_at = response.find("\r\n\r\n");
+  if (body_at == std::string::npos) return {};
+  if (response.rfind("HTTP/1.0 200", 0) != 0 &&
+      response.rfind("HTTP/1.1 200", 0) != 0)
+    return {};
+  return response.substr(body_at + 4);
+}
+
 }  // namespace cosched

@@ -74,4 +74,12 @@ class HttpEndpoint {
   std::thread thread_;
 };
 
+/// One-shot HTTP/1.0 GET against an HttpEndpoint (or anything equally
+/// plain); returns the response body on a 200, empty on any failure. The
+/// client-side twin of the endpoint above — the benches scrape /metrics
+/// snapshots with it instead of each carrying a private copy.
+std::string http_get(const std::string& host, std::uint16_t port,
+                     const std::string& path,
+                     double timeout_seconds = 5.0);
+
 }  // namespace cosched
