@@ -575,10 +575,6 @@ ResponseEnvelope CoschedServer::handle_request(const RequestEnvelope& request) {
         response.error = "malformed SubmitJob body";
         return response;
       }
-      // Injected latency regression: every submission stalls 900 ms before
-      // reaching the scheduler. Exists only to demonstrate the CI perf-slo
-      // gate failing; reverted in the next commit.
-      std::this_thread::sleep_for(std::chrono::milliseconds(900));
       SubmitOutcome outcome;
       if (!service_->submit(job, outcome, remaining_seconds())) {
         response.status = RpcStatus::DeadlineExpired;
