@@ -45,6 +45,7 @@
 #include "loadgen/shapes.hpp"
 #include "loadgen/slo.hpp"
 #include "obs/http.hpp"
+#include "obs/profiler.hpp"
 #include "rpc/client.hpp"
 #include "rpc/server.hpp"
 #include "shard/router.hpp"
@@ -87,8 +88,14 @@ bool split_host_port(const std::string& address, std::string& host,
 /// The router's Σ promise, checked through the front door: every fleet
 /// total equals the sum of its per-shard entries, the routed request count
 /// equals what this run submitted, and nothing was lost before drain.
+/// Fleet totals must equal the shard sums, and this run's share of them —
+/// everything past `baseline_requests` (what the deployment had already
+/// served when benchmark_app attached) — must match what the runner
+/// submitted. Keeps the invariant meaningful against a --connect deployment
+/// with prior traffic (e.g. a correlated tracing batch in the smoke test).
 bool fan_in_holds(const MetricsResponse& metrics, std::int64_t expect_shards,
-                  std::uint64_t submitted_ok, std::uint64_t completions) {
+                  std::uint64_t submitted_ok, std::uint64_t completions,
+                  std::uint64_t baseline_requests) {
   std::uint64_t sum_requests = 0, sum_arrivals = 0, sum_admissions = 0;
   std::uint64_t sum_completions = 0, sum_replans = 0, sum_migrations = 0;
   for (const ShardMetricsEntry& entry : metrics.shards) {
@@ -105,7 +112,8 @@ bool fan_in_holds(const MetricsResponse& metrics, std::int64_t expect_shards,
          metrics.completions == sum_completions &&
          metrics.replans == sum_replans &&
          metrics.migrations == sum_migrations &&
-         sum_requests == submitted_ok && metrics.completions == completions;
+         sum_requests == baseline_requests + submitted_ok &&
+         metrics.completions == completions;
 }
 
 }  // namespace
@@ -282,6 +290,25 @@ int main(int argc, char** argv) {
   runner_options.host = deployment.host;
   runner_options.port = deployment.port;
 
+  // An external deployment may have served traffic before we attached;
+  // snapshot its counters so the post-run accounting works on deltas. The
+  // final drain completes that earlier backlog along with ours, so the
+  // completions check is anchored on prior arrivals, not prior completions.
+  std::uint64_t baseline_requests = 0, baseline_arrivals = 0;
+  if (deployment.kind == "remote") {
+    ClientOptions client_options;
+    client_options.host = deployment.host;
+    client_options.port = deployment.port;
+    CoschedClient client(client_options);
+    MetricsResponse before;
+    if (client.get_metrics(before).ok()) {
+      baseline_arrivals = before.arrivals;
+      for (const ShardMetricsEntry& entry : before.shards)
+        baseline_requests += entry.requests;
+      if (before.shards.empty()) baseline_requests = before.arrivals;
+    }
+  }
+
   // ---- generate and run --------------------------------------------------
   std::vector<TraceJob> jobs =
       build_jobs(shape, static_cast<std::int32_t>(requests));
@@ -318,7 +345,8 @@ int main(int argc, char** argv) {
       RpcError metrics_error = client.get_metrics(metrics);
       if (!metrics_error.ok() ||
           !fan_in_holds(metrics, deployment.expect_shards,
-                        result.total_requests(), completions)) {
+                        result.total_requests(), completions,
+                        baseline_requests)) {
         std::cerr << "benchmark_app: metric fan-in VIOLATED ("
                   << metrics.shards.size() << " shards reported)\n";
         exit_code = 1;
@@ -329,9 +357,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (completions != result.total_requests()) {
+  if (completions - baseline_arrivals != result.total_requests()) {
     std::cerr << "benchmark_app: " << result.total_requests()
-              << " accepted submissions but " << completions
+              << " accepted submissions but "
+              << (completions - baseline_arrivals)
               << " completions after drain\n";
     exit_code = 1;
   }
@@ -349,6 +378,20 @@ int main(int argc, char** argv) {
       std::cerr << "benchmark_app: GET /metrics failed\n";
     else if (write_text_file(metrics_out, exposition))
       std::cout << "wrote " << metrics_out << "\n";
+  }
+  // --profile-out FILE: the loaded deployment's collapsed-stack profile.
+  // Embedded deployments are scraped through their own /debug/profile side
+  // door (exercising the endpoint end to end); without one, fall back to
+  // this process's profiler directly.
+  std::string profile_out = args.get_string("profile-out", "");
+  if (!profile_out.empty()) {
+    std::string collapsed;
+    if (deployment.http_port != 0)
+      collapsed =
+          http_get(deployment.host, deployment.http_port, "/debug/profile");
+    if (collapsed.empty()) collapsed = Profiler::global().render_collapsed();
+    if (write_text_file(profile_out, collapsed))
+      std::cout << "wrote " << profile_out << "\n";
   }
   deployment.stop();
 

@@ -6,8 +6,15 @@
 # and drives the router with benchmark_app --connect. The run fails unless
 #   * every request succeeds,
 #   * the router's GetMetrics fan-in reports exactly 2 shards whose summed
-#     counters equal the fleet totals (checked by --expect-shards), and
-#   * both shard processes and the router shut down cleanly over RPC.
+#     counters equal the fleet totals (checked by --expect-shards),
+#   * a TraceDump against the router returns the merged fabric timeline:
+#     a correlated batch's trace id appears both on the router's request
+#     span and on a shard's replan span (namespaced shard<k>/, on its own
+#     Perfetto pid, linked by flow events with the same id),
+#   * the router's /healthz answers ok with both shards up, then degraded
+#     after one shard process is killed, and /debug/profile serves a
+#     non-empty collapsed stack,
+#   * the router and the surviving shard shut down cleanly over RPC.
 #
 # Usage: examples/remote_shard_smoke.sh [build-dir]   (default: build)
 set -u
@@ -19,7 +26,9 @@ HOST=127.0.0.1
 SHARD_A_PORT="${SHARD_A_PORT:-7731}"
 SHARD_B_PORT="${SHARD_B_PORT:-7732}"
 ROUTER_PORT="${ROUTER_PORT:-7733}"
+ROUTER_HTTP_PORT="${ROUTER_HTTP_PORT:-7734}"
 OUT_DIR="${OUT_DIR:-traces}"
+TRACE_ID=48879  # 0xBEEF: the correlated batch below is tagged with it
 mkdir -p "$OUT_DIR"
 
 PIDS=()
@@ -43,27 +52,60 @@ wait_port() {
   return 1
 }
 
+# Plain HTTP/1.0 GET over /dev/tcp (no curl dependency): prints the whole
+# response, status line included.
+http_get() {
+  local port="$1" path="$2"
+  exec 3<>"/dev/tcp/$HOST/$port" || return 1
+  printf 'GET %s HTTP/1.0\r\n\r\n' "$path" >&3
+  cat <&3
+  exec 3>&- 3<&-
+}
+
 # Shard processes: virtual-time mode so arrivals come from the submitted
 # stamps (deterministic load), generous deadline so a drain that has to
 # finish the whole backlog cannot time out, HTTP side door disabled (two
-# processes would race for the default metrics port).
+# processes would race for the default metrics port). Tracing on, so the
+# router's TraceDump fan-in has shard timelines to pull.
 "$BIN_EX/rpc_server" --port "$SHARD_A_PORT" --shard-id 0 --virtual 1 \
-  --machines 4 --cores 4 --deadline 300 --metrics-port -1 \
+  --machines 4 --cores 4 --deadline 300 --metrics-port -1 --trace 1 \
   --out "$OUT_DIR/remote_shard0" >"$OUT_DIR/remote_shard0.log" 2>&1 &
 PIDS+=($!)
 "$BIN_EX/rpc_server" --port "$SHARD_B_PORT" --shard-id 1 --virtual 1 \
-  --machines 4 --cores 4 --deadline 300 --metrics-port -1 \
+  --machines 4 --cores 4 --deadline 300 --metrics-port -1 --trace 1 \
   --out "$OUT_DIR/remote_shard1" >"$OUT_DIR/remote_shard1.log" 2>&1 &
-PIDS+=($!)
+SHARD_B_PID=$!
+PIDS+=($SHARD_B_PID)
 wait_port "$SHARD_A_PORT" || exit 1
 wait_port "$SHARD_B_PORT" || exit 1
 
 "$BIN_EX/shard_router" --port "$ROUTER_PORT" \
   --remote "$HOST:$SHARD_A_PORT,$HOST:$SHARD_B_PORT" --remote-cores 16 \
-  --shard-timeout 300 --metrics-port -1 \
+  --shard-timeout 300 --metrics-port "$ROUTER_HTTP_PORT" --trace 1 \
   >"$OUT_DIR/remote_router.log" 2>&1 &
 PIDS+=($!)
 wait_port "$ROUTER_PORT" || exit 1
+wait_port "$ROUTER_HTTP_PORT" || exit 1
+
+# Both shards up: /healthz must fold the fleet to ok.
+HEALTH_OK=$(http_get "$ROUTER_HTTP_PORT" /healthz)
+case "$HEALTH_OK" in
+  *'"status":"ok"'*) : ;;
+  *)
+    echo "remote_shard_smoke: expected ok /healthz, got:" >&2
+    echo "$HEALTH_OK" >&2
+    exit 1
+    ;;
+esac
+
+# A correlated batch: one tenant (so one shard), every request stamped with
+# a fixed trace id. The id must survive the client -> router -> RemoteShard
+# -> shard-server hops and come back in the merged TraceDump. Submitted
+# before benchmark_app because its run ends with a fleet drain (admissions
+# stop), and the drain conveniently commits this batch's replans too.
+"$BIN_EX/rpc_client" --port "$ROUTER_PORT" --jobs 6 --trace-id "$TRACE_ID" \
+  --name-prefix tenantZ/ >"$OUT_DIR/remote_traced_batch.log" 2>&1 \
+  || { echo "remote_shard_smoke: traced batch failed" >&2; exit 1; }
 
 # Drive through the router. --expect-shards 2 makes benchmark_app fetch the
 # fan-in metrics and fail unless the two remote shards account for every
@@ -73,14 +115,70 @@ wait_port "$ROUTER_PORT" || exit 1
   --bench-out "$OUT_DIR/BENCH_remote_smoke.json"
 BENCH_STATUS=$?
 
-# Orderly teardown: the router answers Shutdown itself (it does not forward
-# it), so each shard process is stopped directly.
+"$BIN_EX/rpc_client" --port "$ROUTER_PORT" \
+  --trace-dump "$OUT_DIR/remote_trace_merged.json" \
+  --trace-text "$OUT_DIR/remote_trace_merged.txt" \
+  || { echo "remote_shard_smoke: trace dump failed" >&2; exit 1; }
+
+# The merged timeline: router span and shard replan span share the id, the
+# shard's section is namespaced onto its own Perfetto pid, and flow events
+# with the id exist on both sides of the process boundary.
+python3 - "$OUT_DIR" "$TRACE_ID" <<'EOF' || exit 1
+import re, sys
+out_dir, trace_id = sys.argv[1], sys.argv[2]
+text = open(f'{out_dir}/remote_trace_merged.txt').read()
+assert re.search(rf'span router\.request.*trace={trace_id}\b', text), \
+    'router span does not carry the batch trace id'
+assert re.search(rf'span shard\d+/online\.replan.*trace={trace_id}\b', text), \
+    'no shard replan span carries the batch trace id'
+chrome = open(f'{out_dir}/remote_trace_merged.json').read()
+assert re.search(r'"name":"shard\d+/online\.replan"', chrome), \
+    'merged chrome trace lost the namespaced shard spans'
+flow_pids = set(re.findall(
+    rf'"cat":"flow","ph":"[stf]","id":{trace_id},"ts":[0-9.]+,"pid":(\d+)',
+    chrome))
+assert len(flow_pids) >= 2, \
+    f'flow events of trace {trace_id} span pids {flow_pids}, expected >= 2'
+print(f'OK: merged trace stitched across pids {sorted(flow_pids)}')
+EOF
+
+# The router profiles itself continuously: under load the collapsed stack
+# must be non-empty (it ships with the CI artifacts for flamegraphs).
+http_get "$ROUTER_HTTP_PORT" /debug/profile \
+  >"$OUT_DIR/remote_router_profile.collapsed"
+if ! grep -q "router.request" "$OUT_DIR/remote_router_profile.collapsed"; then
+  echo "remote_shard_smoke: /debug/profile has no router.request samples" >&2
+  exit 1
+fi
+
+# Kill one shard the hard way: /healthz must fold the fleet to degraded
+# once the bounded-staleness health cache re-probes (2 s default).
+kill -9 "$SHARD_B_PID" 2>/dev/null || true
+DEGRADED=0
+for _ in $(seq 1 30); do
+  HEALTH=$(http_get "$ROUTER_HTTP_PORT" /healthz)
+  case "$HEALTH" in
+    *'"status":"degraded"'*) DEGRADED=1; break ;;
+  esac
+  sleep 0.5
+done
+if [[ $DEGRADED -ne 1 ]]; then
+  echo "remote_shard_smoke: /healthz never reported degraded after kill" >&2
+  echo "$HEALTH" >&2
+  exit 1
+fi
+
+# Orderly teardown of the survivors: the router answers Shutdown itself (it
+# does not forward it), so the remaining shard process is stopped directly.
 "$BIN_EX/rpc_client" --port "$ROUTER_PORT" --shutdown 1 >/dev/null 2>&1
 "$BIN_EX/rpc_client" --port "$SHARD_A_PORT" --shutdown 1 >/dev/null 2>&1
-"$BIN_EX/rpc_client" --port "$SHARD_B_PORT" --shutdown 1 >/dev/null 2>&1
 
 STATUS=0
 for pid in "${PIDS[@]}"; do
+  if [[ "$pid" == "$SHARD_B_PID" ]]; then
+    wait "$pid" 2>/dev/null  # killed on purpose; nonzero is the point
+    continue
+  fi
   if ! wait "$pid"; then
     echo "remote_shard_smoke: process $pid exited nonzero" >&2
     STATUS=1
@@ -96,4 +194,4 @@ fi
 if [[ $STATUS -ne 0 ]]; then
   exit "$STATUS"
 fi
-echo "remote_shard_smoke: PASS (2 remote shards, fan-in verified)"
+echo "remote_shard_smoke: PASS (2 remote shards, fan-in + merged trace + degraded health verified)"

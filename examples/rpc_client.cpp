@@ -6,14 +6,35 @@
 //   ./rpc_client --port 7717 --metrics 1        # scheduler counters
 //   ./rpc_client --port 7717 --drain 1          # stop admissions, finish all
 //   ./rpc_client --port 7717 --shutdown 1       # stop the server
+//   ./rpc_client --port 7717 --trace-dump t.json --trace-text t.txt
 //
 // Submissions use the same seeded generator as the benchmarks (--seed), so
 // a job mix is reproducible; each submission prints the placement and the
-// predicted Eq. 1/9 degradation the scheduler answered with.
+// predicted Eq. 1/9 degradation the scheduler answered with. --trace-id N
+// stamps every request with that trace id (against a router, the id is
+// forwarded to the shards — the handle for a stitched fabric timeline);
+// --trace-dump pulls the server's trace as Chrome JSON (merged and
+// shard-namespaced when the server is a router), --trace-text the
+// deterministic text form.
+#include <fstream>
 #include <iostream>
 
 #include "harness/experiment.hpp"
 #include "rpc/client.hpp"
+
+namespace {
+
+bool spill_to_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (out) out << content;
+  if (!out) {
+    std::cerr << "rpc_client: cannot write " << path << "\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace cosched;
@@ -25,11 +46,28 @@ int main(int argc, char** argv) {
   options.request_timeout_seconds = args.get_real("timeout", 5.0);
   options.max_attempts = static_cast<int>(args.get_int("attempts", 3));
   CoschedClient client(options);
+  if (args.has("trace-id"))
+    client.set_trace_id(static_cast<std::uint64_t>(args.get_int("trace-id", 0)));
 
   auto fail = [](const char* what, const RpcError& error) {
     std::cerr << "rpc_client: " << what << ": " << error.describe() << "\n";
     return 1;
   };
+
+  if (args.has("trace-dump") || args.has("trace-text")) {
+    TraceDumpResponse reply;
+    RpcError error = client.trace_dump(reply);
+    if (!error.ok()) return fail("trace-dump", error);
+    std::cout << "trace dump: " << reply.event_count << " events, tracing "
+              << (reply.enabled ? "enabled" : "disabled") << "\n";
+    std::string json_path = args.get_string("trace-dump", "");
+    if (!json_path.empty() && !spill_to_file(json_path, reply.chrome_json))
+      return 1;
+    std::string text_path = args.get_string("trace-text", "");
+    if (!text_path.empty() && !spill_to_file(text_path, reply.text))
+      return 1;
+    return 0;
+  }
 
   if (args.has("status")) {
     std::int64_t id = args.get_int("status", 0);

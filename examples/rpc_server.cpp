@@ -14,6 +14,7 @@
 
 #include "harness/experiment.hpp"
 #include "obs/otlp.hpp"
+#include "obs/profiler.hpp"
 #include "obs/tail_sampler.hpp"
 #include "obs/trace.hpp"
 #include "rpc/server.hpp"
@@ -175,5 +176,10 @@ int main(int argc, char** argv) {
                   << "\n";
     }
   }
+  // --profile-out FILE drops the lifetime collapsed-stack profile (the same
+  // text /debug/profile serves live) for flamegraph.pl / speedscope.
+  std::string profile_out = args.get_string("profile-out", "");
+  if (!profile_out.empty() && Profiler::global().write_collapsed(profile_out))
+    std::cout << "wrote " << profile_out << "\n";
   return 0;
 }

@@ -28,15 +28,20 @@
 //   ./rpc_server --port 7732 --shard-id 1 --virtual 1 &
 //   ./shard_router --port 7720 --remote 127.0.0.1:7731,127.0.0.1:7732
 //
-// Each entry becomes a RemoteShard backend speaking protocol v5 to that
+// Each entry becomes a RemoteShard backend speaking protocol v6 to that
 // server; shard ids follow list order, so start server k with --shard-id k.
 // --remote-cores tells the router each backend's capacity (the spillover
-// signal); --remote-timeout bounds each proxied RPC.
+// signal); --remote-timeout bounds each proxied RPC. With --trace 1 the
+// router records its own request spans and forwards each request's trace
+// id to the shard it routes to — a TraceDump against the router then
+// returns the merged, shard-namespaced fabric timeline.
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace.hpp"
 #include "shard/router.hpp"
 #include "shard/router_server.hpp"
 
@@ -76,6 +81,11 @@ int main(int argc, char** argv) {
 
   std::int64_t shard_count = args.get_int("shards", 4);
   if (shard_count < 1) shard_count = 1;
+  // --trace 1: record router request spans (and forward trace ids to the
+  // shards) so TraceDump answers the merged fabric timeline.
+  if (args.get_int("trace", 0) != 0) Tracer::global().set_enabled(true);
+  Tracer::global().set_max_events_per_thread(
+      static_cast<std::size_t>(args.get_int("trace-ring", 4096)));
   std::vector<ClientOptions> remotes = parse_remotes(
       args.get_string("remote", ""), args.get_real("remote-timeout", 60.0));
 
@@ -162,5 +172,10 @@ int main(int argc, char** argv) {
                 << TextTable::fmt(entry.virtual_now, 2) << "\n";
   }
   server.stop();
+  // --profile-out FILE drops the router process's collapsed-stack profile
+  // (what /debug/profile serves live) for flamegraph tooling.
+  std::string profile_out = args.get_string("profile-out", "");
+  if (!profile_out.empty() && Profiler::global().write_collapsed(profile_out))
+    std::cout << "wrote " << profile_out << "\n";
   return 0;
 }

@@ -18,6 +18,7 @@ std::string status_line(int code) {
     case 400: return "HTTP/1.0 400 Bad Request\r\n";
     case 404: return "HTTP/1.0 404 Not Found\r\n";
     case 405: return "HTTP/1.0 405 Method Not Allowed\r\n";
+    case 503: return "HTTP/1.0 503 Service Unavailable\r\n";
     default: return "HTTP/1.0 500 Internal Server Error\r\n";
   }
 }
@@ -61,6 +62,16 @@ HttpEndpoint::HttpEndpoint(HttpOptions options)
 HttpEndpoint::~HttpEndpoint() { stop(); }
 
 void HttpEndpoint::handle(std::string path, HttpHandler handler) {
+  COSCHED_EXPECTS(handler != nullptr);
+  handle_status(std::move(path),
+                [handler = std::move(handler)](const std::string& p,
+                                               std::string& body,
+                                               std::string& content_type) {
+                  return handler(p, body, content_type) ? 200 : 0;
+                });
+}
+
+void HttpEndpoint::handle_status(std::string path, HttpStatusHandler handler) {
   COSCHED_EXPECTS(!thread_.joinable());  // routes are fixed once started
   COSCHED_EXPECTS(handler != nullptr);
   routes_.emplace_back(std::move(path), std::move(handler));
@@ -195,8 +206,9 @@ void HttpEndpoint::serve_connection(Socket socket) {
     if (route != path) continue;
     std::string body;
     std::string content_type = "text/plain; charset=utf-8";
-    if (!handler(path, body, content_type)) break;
-    send_response(socket, 200, body, content_type, deadline, head);
+    int code = handler(path, body, content_type);
+    if (code <= 0) break;  // handler declined — fall through to 404
+    send_response(socket, code, body, content_type, deadline, head);
     return;
   }
   send_response(socket, 404, "no such path: " + path + "\n", "text/plain",

@@ -47,6 +47,14 @@ using HttpHandler =
     std::function<bool(const std::string& path, std::string& body,
                        std::string& content_type)>;
 
+/// Status-aware variant: the handler picks the HTTP status code (a health
+/// endpoint answers 503 when the fleet is down). Returning a code the
+/// endpoint does not know renders as 500; returning <= 0 means "not mine"
+/// and falls through to 404 like an HttpHandler returning false.
+using HttpStatusHandler =
+    std::function<int(const std::string& path, std::string& body,
+                      std::string& content_type)>;
+
 class HttpEndpoint {
  public:
   explicit HttpEndpoint(HttpOptions options);
@@ -57,6 +65,8 @@ class HttpEndpoint {
 
   /// Exact-path route. Register every route before start().
   void handle(std::string path, HttpHandler handler);
+  /// Exact-path route whose handler also picks the status code.
+  void handle_status(std::string path, HttpStatusHandler handler);
 
   bool start(std::string& error);
   std::uint16_t port() const { return port_; }
@@ -67,7 +77,7 @@ class HttpEndpoint {
   void serve_connection(Socket socket);
 
   HttpOptions options_;
-  std::vector<std::pair<std::string, HttpHandler>> routes_;
+  std::vector<std::pair<std::string, HttpStatusHandler>> routes_;
   Socket listener_;
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};

@@ -488,6 +488,98 @@ std::string Tracer::export_chrome_json() const {
   return out;
 }
 
+// ---- cross-process dump merging -------------------------------------------
+
+namespace {
+
+/// Splits an export_chrome_json() array into its records. Relies on the
+/// exporter's exact shape: records joined with ",\n" inside "[...]\n" —
+/// the only inputs these helpers are specified for.
+std::vector<std::string> chrome_records(const std::string& json) {
+  std::size_t open = json.find('[');
+  std::size_t close = json.rfind(']');
+  std::vector<std::string> records;
+  if (open == std::string::npos || close == std::string::npos ||
+      close <= open + 1)
+    return records;
+  std::string body = json.substr(open + 1, close - open - 1);
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t end = body.find(",\n", pos);
+    if (end == std::string::npos) end = body.size();
+    std::string record = body.substr(pos, end - pos);
+    if (record.find('{') != std::string::npos)
+      records.push_back(std::move(record));
+    pos = end + 2;
+  }
+  return records;
+}
+
+}  // namespace
+
+std::string namespace_trace_text(const std::string& text,
+                                 const std::string& prefix) {
+  static const char* kKeywords[] = {"thread ", "span ", "mark ", "count "};
+  std::string out;
+  out.reserve(text.size() + prefix.size() * 32);
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    std::string line = text.substr(pos, end - pos);
+    std::size_t indent = 0;
+    while (indent < line.size() && line[indent] == ' ') ++indent;
+    for (const char* keyword : kKeywords) {
+      std::size_t n = std::strlen(keyword);
+      if (line.compare(indent, n, keyword) == 0) {
+        line.insert(indent + n, prefix);
+        break;
+      }
+    }
+    out += line;
+    out += '\n';
+    pos = end + 1;
+  }
+  return out;
+}
+
+std::string namespace_chrome_trace(const std::string& json, int pid,
+                                   const std::string& prefix) {
+  const std::string pid_field = "\"pid\":1,";
+  const std::string pid_rewrite = "\"pid\":" + std::to_string(pid) + ",";
+  std::vector<std::string> records = chrome_records(json);
+  std::string out = "[";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    std::string& record = records[i];
+    std::size_t at = record.find(pid_field);
+    if (at != std::string::npos)
+      record.replace(at, pid_field.size(), pid_rewrite);
+    // Flow events keep their name: Perfetto binds flows by (cat, name, id),
+    // and the cross-process arrows are the whole point of the merge.
+    if (record.rfind("{\"name\":\"", 0) == 0 &&
+        record.find("\"cat\":\"flow\"") == std::string::npos)
+      record.insert(std::strlen("{\"name\":\""), prefix);
+    if (i > 0) out += ",\n";
+    out += record;
+  }
+  out += "]\n";
+  return out;
+}
+
+std::string merge_chrome_traces(const std::vector<std::string>& parts) {
+  std::string out = "[";
+  bool first = true;
+  for (const std::string& part : parts) {
+    for (std::string& record : chrome_records(part)) {
+      if (!first) out += ",\n";
+      first = false;
+      out += record;
+    }
+  }
+  out += "]\n";
+  return out;
+}
+
 bool Tracer::write_chrome_json(const std::string& path) const {
   namespace fs = std::filesystem;
   fs::path target(path);

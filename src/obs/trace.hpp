@@ -237,6 +237,32 @@ class Tracer {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
 };
 
+// ---- cross-process dump merging -------------------------------------------
+// The router's TraceDump fan-in pulls each remote shard's own dump and
+// merges it with the local one. These helpers understand exactly the two
+// formats the exporters above produce — nothing more general.
+
+/// Namespaces a dump_text() dump: prefixes every span/mark/count name and
+/// every thread id with `prefix` (e.g. "shard0/"), so a merged dump keeps
+/// shard provenance readable and collision-free.
+std::string namespace_trace_text(const std::string& text,
+                                 const std::string& prefix);
+
+/// Namespaces an export_chrome_json() array for merging: rewrites pid 1 to
+/// `pid` (Perfetto shows each process as its own track group) and prefixes
+/// span/instant/counter names with `prefix`. Flow events are left untouched
+/// on purpose — Perfetto binds flows by (cat, name, id), and an unchanged
+/// "trace"/"flow" pair with a shared trace id is what draws the
+/// router -> shard arrow across process tracks.
+std::string namespace_chrome_trace(const std::string& json, int pid,
+                                   const std::string& prefix);
+
+/// Concatenates export_chrome_json() arrays (typically one local + N
+/// namespaced remote ones) into one loadable array. Timestamps keep their
+/// per-process epochs — cross-process skew is cosmetic; the flow events
+/// carry the causality.
+std::string merge_chrome_traces(const std::vector<std::string>& parts);
+
 /// Installs `context` as the calling thread's current trace context for the
 /// scope's lifetime, restoring the previous one on exit. Used by the RPC
 /// server around request handling and by LiveSchedulerService when replaying

@@ -307,6 +307,15 @@ void encode_metrics_response(WireWriter& w, const MetricsResponse& response,
     w.u64(shard.queue_depth);
     w.real(shard.replan_p95_seconds);
   }
+  if (version < 6) return;  // v5 body ends here
+  w.u32(static_cast<std::uint32_t>(response.shard_health.size()));
+  for (const ShardHealthEntry& health : response.shard_health) {
+    w.i32(health.shard_id);
+    w.boolean(health.up);
+    w.u64(health.transport_errors);
+    w.u64(health.protocol_errors);
+    w.u64(health.application_errors);
+  }
 }
 
 bool decode_metrics_response(WireReader& r, MetricsResponse& response) {
@@ -352,6 +361,7 @@ bool decode_metrics_response(WireReader& r, MetricsResponse& response) {
   response.router_spillovers = 0;
   response.router_remapped_keys = 0;
   response.shards.clear();
+  response.shard_health.clear();
   if (r.remaining() == 0) return true;
   response.cache.compactions = r.u64();
   response.astar_searches = r.u64();
@@ -403,6 +413,21 @@ bool decode_metrics_response(WireReader& r, MetricsResponse& response) {
     shard.queue_depth = r.u64();
     shard.replan_p95_seconds = r.real();
     response.shards.push_back(shard);
+  }
+  if (!r.ok()) return false;
+  // v6 extensions: a v5 body ends here.
+  if (r.remaining() == 0) return true;
+  std::uint32_t health_count = r.u32();
+  if (!r.ok() || health_count > r.remaining()) return false;
+  response.shard_health.reserve(health_count);
+  for (std::uint32_t i = 0; i < health_count; ++i) {
+    ShardHealthEntry health;
+    health.shard_id = r.i32();
+    health.up = r.boolean();
+    health.transport_errors = r.u64();
+    health.protocol_errors = r.u64();
+    health.application_errors = r.u64();
+    response.shard_health.push_back(health);
   }
   return r.ok();
 }

@@ -39,13 +39,17 @@ namespace cosched {
 /// block — the answering instance's shard id, command-queue depth and
 /// replan p95 (the spillover signals), the router's spillover/remap
 /// accounting, and one summary entry per fronted shard (empty when a
-/// single CoschedServer answers).
+/// single CoschedServer answers). Version 6 appends the health fan-in
+/// block to GetMetrics: one entry per fronted shard with its cached
+/// liveness verdict and the per-kind RPC failure counters the router's
+/// RemoteShard backend accumulated against it (transport / protocol /
+/// application — the client error taxonomy).
 /// The server accepts every version in [kMinProtocolVersion,
-/// kProtocolVersion] and answers in the requester's version — a v1..v4
+/// kProtocolVersion] and answers in the requester's version — a v1..v5
 /// peer gets exactly the bytes it always got (extension fields are appended
 /// after the older body and decoded only when present; the envelope
 /// trace_id travels on v3+ wires only).
-inline constexpr std::uint16_t kProtocolVersion = 5;
+inline constexpr std::uint16_t kProtocolVersion = 6;
 inline constexpr std::uint16_t kMinProtocolVersion = 1;
 
 enum class MessageType : std::uint8_t {
@@ -140,6 +144,18 @@ struct ShardMetricsEntry {
   Real replan_p95_seconds = 0.0;
 };
 
+/// Per-shard transport health carried in the v6 GetMetrics fan-in block:
+/// the router's cached liveness verdict plus the RPC failures its
+/// RemoteShard backend has folded, split by the client error taxonomy.
+/// Local (in-process) shards are always up with zero counters.
+struct ShardHealthEntry {
+  std::int32_t shard_id = -1;
+  bool up = true;
+  std::uint64_t transport_errors = 0;    ///< bytes never made it
+  std::uint64_t protocol_errors = 0;     ///< both ends disagree on the rules
+  std::uint64_t application_errors = 0;  ///< shard understood and said no
+};
+
 struct MetricsResponse {
   Real virtual_now = 0.0;
   std::uint64_t arrivals = 0;
@@ -188,6 +204,10 @@ struct MetricsResponse {
   /// One entry per fronted shard — the fan-in block a router answers with.
   /// Empty for a single CoschedServer.
   std::vector<ShardMetricsEntry> shards;
+  // ---- v6 extension fields (empty when a v1..v5 peer answered) -------------
+  /// Health fan-in: liveness + per-kind RPC failure counters per fronted
+  /// shard. Empty for a single CoschedServer.
+  std::vector<ShardHealthEntry> shard_health;
 };
 
 struct TraceDumpResponse {
@@ -282,8 +302,9 @@ bool decode_status_response(WireReader& r, JobStatusResponse& response);
 /// `version` selects the wire layout: v1 stops after deterministic_csv, v2
 /// appends the first extension block, v3 appends the queue-wait/tracer
 /// block, v4 appends the tail-sampler/exemplar block, v5 appends the
-/// shard/fan-in block. The decoder reads each extension block only when
-/// bytes remain, so either end may be the older one.
+/// shard/fan-in block, v6 appends the shard-health block. The decoder reads
+/// each extension block only when bytes remain, so either end may be the
+/// older one.
 void encode_metrics_response(WireWriter& w, const MetricsResponse& response,
                              std::uint16_t version = kProtocolVersion);
 bool decode_metrics_response(WireReader& r, MetricsResponse& response);

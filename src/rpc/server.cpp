@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/profiler.hpp"
 #include "obs/tail_sampler.hpp"
 #include "obs/trace.hpp"
 #include "online/metrics.hpp"
@@ -65,6 +66,13 @@ bool CoschedServer::start(std::string& error) {
       body = "ok\n";
       return true;
     });
+    http_->handle("/debug/profile", [](const std::string&, std::string& body,
+                                       std::string&) {
+      // Collapsed-stack ("folded") format: one "path self_us" line per
+      // phase, ready for flamegraph.pl / speedscope.
+      body = Profiler::global().render_collapsed();
+      return true;
+    });
     if (!http_->start(error)) {
       http_.reset();
       listener_.close();
@@ -72,6 +80,10 @@ bool CoschedServer::start(std::string& error) {
     }
   }
   register_observability();
+
+  // A serving scheduler profiles itself: the scoped phase timers cost two
+  // clock reads per phase, and /debug/profile needs data behind it.
+  Profiler::global().set_enabled(true);
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -321,8 +333,14 @@ void CoschedServer::serve_connection(Socket socket) {
                                        : next_server_trace_id();
       TraceContext context = Tracer::global().make_context(trace_id);
       TraceContextScope trace_scope(context);
+      // Shard-addressable servers tag the request span with their shard id,
+      // so a merged fleet dump attributes every span to its shard.
+      std::string span_args = std::string("type=") + to_string(request.type);
+      if (options_.shard_id >= 0)
+        span_args += " shard=" + std::to_string(options_.shard_id);
       COSCHED_TRACE_SPAN(request_span, "rpc.request", -1.0,
-                         std::string("type=") + to_string(request.type));
+                         std::move(span_args));
+      COSCHED_PROFILE_PHASE(request_phase, "rpc.request");
       response = handle_request(request);
       response.trace_id = trace_id;  // echoed on v3+ wires only
     }

@@ -1,5 +1,7 @@
 #include "shard/backend.hpp"
 
+#include "obs/trace.hpp"
+
 namespace cosched {
 
 // ---- LocalShard -----------------------------------------------------------
@@ -105,6 +107,19 @@ RemoteShard::RemoteShard(std::int32_t shard_id, ClientOptions options,
 RpcStatus RemoteShard::fold(const RpcError& rpc, RpcStatus app_status,
                             std::string& error) {
   if (rpc.ok()) return RpcStatus::Ok;
+  switch (rpc.kind) {
+    case RpcErrorKind::Transport:
+      transport_errors_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RpcErrorKind::Protocol:
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RpcErrorKind::Application:
+      application_errors_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RpcErrorKind::None:
+      break;
+  }
   error = rpc.describe();
   // Application verdicts pass through; transport/protocol failures become
   // ServerError — the shard is unreachable, not wrong.
@@ -112,9 +127,16 @@ RpcStatus RemoteShard::fold(const RpcError& rpc, RpcStatus app_status,
                                                : RpcStatus::ServerError;
 }
 
+void RemoteShard::forward_trace_locked() {
+  // 0 (no context on this thread — e.g. a background load refresh) lets
+  // the client derive its own per-request id, as before.
+  client_.set_trace_id(Tracer::current_context().trace_id);
+}
+
 RpcStatus RemoteShard::submit(const TraceJob& job, SubmitJobResponse& out,
                               std::string& error) {
   std::lock_guard<std::mutex> lock(mutex_);
+  forward_trace_locked();
   RpcError rpc = client_.submit_job(job, out);
   RpcStatus status = fold(rpc, rpc.app, error);
   if (status == RpcStatus::Ok && out.shard_id < 0) out.shard_id = shard_id_;
@@ -124,18 +146,21 @@ RpcStatus RemoteShard::submit(const TraceJob& job, SubmitJobResponse& out,
 RpcStatus RemoteShard::job_status(std::int64_t job_id, JobStatusResponse& out,
                                   std::string& error) {
   std::lock_guard<std::mutex> lock(mutex_);
+  forward_trace_locked();
   RpcError rpc = client_.query_job_status(job_id, out);
   return fold(rpc, rpc.app, error);
 }
 
 RpcStatus RemoteShard::snapshot(ServiceSnapshot& out, std::string& error) {
   std::lock_guard<std::mutex> lock(mutex_);
+  forward_trace_locked();
   RpcError rpc = client_.query_snapshot(out);
   return fold(rpc, rpc.app, error);
 }
 
 RpcStatus RemoteShard::metrics(MetricsResponse& out, std::string& error) {
   std::lock_guard<std::mutex> lock(mutex_);
+  forward_trace_locked();
   RpcError rpc = client_.get_metrics(out);
   RpcStatus status = fold(rpc, rpc.app, error);
   if (status == RpcStatus::Ok) {
@@ -152,6 +177,7 @@ RpcStatus RemoteShard::metrics(MetricsResponse& out, std::string& error) {
 
 RpcStatus RemoteShard::drain(DrainResponse& out, std::string& error) {
   std::lock_guard<std::mutex> lock(mutex_);
+  forward_trace_locked();
   RpcError rpc = client_.drain(out);
   return fold(rpc, rpc.app, error);
 }
@@ -165,6 +191,26 @@ void RemoteShard::refresh_load() {
   MetricsResponse ignored;
   std::string error;
   metrics(ignored, error);  // side effect: cached_load_ update
+}
+
+bool RemoteShard::probe(std::string& error) {
+  MetricsResponse ignored;
+  return metrics(ignored, error) == RpcStatus::Ok;
+}
+
+RpcStatus RemoteShard::trace_dump(TraceDumpResponse& out, std::string& error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  forward_trace_locked();
+  RpcError rpc = client_.trace_dump(out);
+  return fold(rpc, rpc.app, error);
+}
+
+ShardRpcErrors RemoteShard::rpc_errors() const {
+  ShardRpcErrors errors;
+  errors.transport = transport_errors_.load(std::memory_order_relaxed);
+  errors.protocol = protocol_errors_.load(std::memory_order_relaxed);
+  errors.application = application_errors_.load(std::memory_order_relaxed);
+  return errors;
 }
 
 }  // namespace cosched

@@ -9,7 +9,7 @@
 //  * LocalShard — owns the service in-process. This is the default and the
 //    deterministic one: no sockets, results are a pure function of the
 //    routed submission sequence.
-//  * RemoteShard — speaks protocol v5 to a CoschedServer started elsewhere
+//  * RemoteShard — speaks protocol v6 to a CoschedServer started elsewhere
 //    with ServerOptions::shard_id set (the RPC-addressable deployment).
 //    Calls are serialized on one connection; the load probe is the cached
 //    fan-in block of the last GetMetrics, refreshed by refresh_load().
@@ -18,8 +18,17 @@
 // shard verdicts (Draining, InvalidJob, UnknownJob, ...) unchanged; local
 // command-queue timeouts and remote transport failures both surface as
 // DeadlineExpired/ServerError rather than hanging the router worker.
+//
+// Observability across the process boundary: every remote verb forwards
+// the calling thread's current trace id on the wire (the shard's spans
+// then carry the router-assigned id, so a merged dump stitches into one
+// request timeline), every folded failure is counted by error kind
+// (transport / protocol / application — surfaced as
+// cosched_shard_rpc_errors_total and the v6 GetMetrics health block), and
+// probe()/trace_dump() feed the router's /healthz and TraceDump fan-in.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -30,6 +39,14 @@
 #include "rpc/protocol.hpp"
 
 namespace cosched {
+
+/// Per-kind RPC failure counts a backend has folded, matching the client
+/// error taxonomy. Always zero for local shards (no wire to fail on).
+struct ShardRpcErrors {
+  std::uint64_t transport = 0;
+  std::uint64_t protocol = 0;
+  std::uint64_t application = 0;
+};
 
 class ShardBackend {
  public:
@@ -58,6 +75,24 @@ class ShardBackend {
   /// Forces a probe refresh. No-op for local shards (always live); one
   /// GetMetrics round-trip for remote ones.
   virtual void refresh_load() {}
+
+  /// Liveness probe for the router's health fan-in. Local shards are up by
+  /// construction (their scheduler thread lives in this process); remote
+  /// shards answer with a GetMetrics round-trip.
+  virtual bool probe(std::string& error) {
+    (void)error;
+    return true;
+  }
+  /// The shard's own trace dump, for the router's TraceDump fan-in. Only
+  /// remote shards have a tracer of their own to pull — a local shard
+  /// shares the process-global tracer the router already dumps.
+  virtual RpcStatus trace_dump(TraceDumpResponse& out, std::string& error) {
+    (void)out;
+    error = "shard shares the local tracer";
+    return RpcStatus::BadRequest;
+  }
+  /// Folded RPC failures by kind; zero for local shards.
+  virtual ShardRpcErrors rpc_errors() const { return {}; }
 };
 
 /// In-process shard: owns the service and its scheduler thread.
@@ -87,7 +122,7 @@ class LocalShard : public ShardBackend {
   LiveSchedulerService service_;
 };
 
-/// RPC-addressable shard: a v5 CoschedServer somewhere else.
+/// RPC-addressable shard: a v6 CoschedServer somewhere else.
 class RemoteShard : public ShardBackend {
  public:
   RemoteShard(std::int32_t shard_id, ClientOptions options,
@@ -107,17 +142,32 @@ class RemoteShard : public ShardBackend {
   LoadProbe load() override;
   void refresh_load() override;
 
+  /// One GetMetrics round-trip; false (with the fold error) when the shard
+  /// server is unreachable or answers garbage.
+  bool probe(std::string& error) override;
+  /// Pulls the shard server's own trace dump (its text + Chrome JSON).
+  RpcStatus trace_dump(TraceDumpResponse& out, std::string& error) override;
+  ShardRpcErrors rpc_errors() const override;
+
  private:
-  /// Folds an RpcError into (status, error); transport/protocol failures
-  /// become ServerError so the router can answer something structured.
-  static RpcStatus fold(const RpcError& rpc, RpcStatus app_status,
-                        std::string& error);
+  /// Folds an RpcError into (status, error) and counts the failure by
+  /// kind; transport/protocol failures become ServerError so the router
+  /// can answer something structured.
+  RpcStatus fold(const RpcError& rpc, RpcStatus app_status,
+                 std::string& error);
+  /// Stamps the calling thread's current trace id onto the next client
+  /// call, so the shard's spans join the router-assigned trace. Caller
+  /// holds mutex_.
+  void forward_trace_locked();
 
   std::int32_t shard_id_;
   std::int32_t total_cores_;
   std::mutex mutex_;  ///< one connection, one outstanding request
   CoschedClient client_;
   LoadProbe cached_load_;  ///< guarded by mutex_
+  std::atomic<std::uint64_t> transport_errors_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> application_errors_{0};
 };
 
 }  // namespace cosched

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <sstream>
 
 #include "obs/metrics_registry.hpp"
@@ -23,7 +24,38 @@ double now_seconds() {
       .count();
 }
 
+/// Minimal JSON string escaping for health error messages.
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
 }  // namespace
+
+const char* to_string(FleetHealth::State state) {
+  switch (state) {
+    case FleetHealth::State::Ok: return "ok";
+    case FleetHealth::State::Degraded: return "degraded";
+    case FleetHealth::State::Down: return "down";
+  }
+  return "unknown";
+}
 
 ShardRouter::ShardRouter(RouterOptions options)
     : options_(options), ring_(options.vnodes_per_shard) {}
@@ -262,6 +294,30 @@ RpcStatus ShardRouter::metrics(MetricsResponse& out, std::string& error) {
   out.deterministic_csv = csv.str();
   out.router_spillovers = router.spillovers;
   out.router_remapped_keys = router.remapped_keys;
+  // v6 health block: every shard answered its metrics round-trip above
+  // (fail-fast on the first miss preserves the Σ invariant), so each is up
+  // by observation; record that in the health cache too — a successful
+  // GetMetrics is exactly the probe a stale verdict would re-run.
+  double checked_at = now_seconds();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    ShardHealthEntry health;
+    health.shard_id = static_cast<std::int32_t>(i);
+    health.up = true;
+    ShardRpcErrors rpc_errors = shards_[i].backend->rpc_errors();
+    health.transport_errors = rpc_errors.transport;
+    health.protocol_errors = rpc_errors.protocol;
+    health.application_errors = rpc_errors.application;
+    out.shard_health.push_back(health);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& slot : shards_) {
+      slot.health_probed = true;
+      slot.health_up = true;
+      slot.health_error.clear();
+      slot.health_checked_at = checked_at;
+    }
+  }
   return RpcStatus::Ok;
 }
 
@@ -282,7 +338,90 @@ RouterStats ShardRouter::stats() const {
   return stats_;
 }
 
-std::string ShardRouter::render_prometheus() const {
+FleetHealth ShardRouter::health(double max_age_seconds) {
+  FleetHealth fleet;
+  fleet.shards.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    bool need_probe;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const ShardSlot& slot = shards_[i];
+      need_probe = !slot.health_probed ||
+                   now_seconds() - slot.health_checked_at > max_age_seconds;
+    }
+    if (need_probe) {
+      // Probe outside the lock: a dead remote shard costs its connect
+      // timeout here, and must stall only this caller, not the router.
+      std::string error;
+      bool up = shards_[i].backend->probe(error);
+      std::lock_guard<std::mutex> lock(mutex_);
+      ShardSlot& slot = shards_[i];
+      slot.health_probed = true;
+      slot.health_up = up;
+      slot.health_error = up ? std::string() : error;
+      slot.health_checked_at = now_seconds();
+    }
+    ShardHealth entry;
+    entry.shard_id = static_cast<std::int32_t>(i);
+    entry.local = shards_[i].backend->is_local();
+    entry.rpc_errors = shards_[i].backend->rpc_errors();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const ShardSlot& slot = shards_[i];
+      entry.up = slot.health_up;
+      entry.error = slot.health_error;
+      entry.age_seconds =
+          std::max(0.0, now_seconds() - slot.health_checked_at);
+    }
+    if (entry.up) ++fleet.shards_up;
+    fleet.shards.push_back(std::move(entry));
+  }
+  if (fleet.shards.empty() || fleet.shards_up == 0)
+    fleet.state = FleetHealth::State::Down;
+  else if (fleet.shards_up < fleet.shards.size())
+    fleet.state = FleetHealth::State::Degraded;
+  else
+    fleet.state = FleetHealth::State::Ok;
+  return fleet;
+}
+
+std::string ShardRouter::health_json(const FleetHealth& health) {
+  std::string out = "{\"status\":\"";
+  out += to_string(health.state);
+  out += "\",\"shards_up\":" + std::to_string(health.shards_up);
+  out += ",\"shards_total\":" + std::to_string(health.shards.size());
+  out += ",\"shards\":[";
+  for (std::size_t i = 0; i < health.shards.size(); ++i) {
+    const ShardHealth& shard = health.shards[i];
+    if (i > 0) out += ",";
+    out += "{\"shard\":" + std::to_string(shard.shard_id);
+    out += std::string(",\"backend\":\"") +
+           (shard.local ? "local" : "remote") + "\"";
+    out += std::string(",\"up\":") + (shard.up ? "true" : "false");
+    char age[32];
+    std::snprintf(age, sizeof(age), "%.3f", shard.age_seconds);
+    out += std::string(",\"age_seconds\":") + age;
+    out += ",\"rpc_errors\":{\"transport\":" +
+           std::to_string(shard.rpc_errors.transport) +
+           ",\"protocol\":" + std::to_string(shard.rpc_errors.protocol) +
+           ",\"application\":" +
+           std::to_string(shard.rpc_errors.application) + "}";
+    if (!shard.error.empty()) {
+      out += ",\"error\":\"";
+      append_json_escaped(out, shard.error);
+      out += "\"";
+    }
+    out += "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string ShardRouter::render_prometheus() {
+  // Health first: refreshes stale verdicts (probes run unlocked) and
+  // carries the per-kind RPC failure counters.
+  FleetHealth fleet_health = health(options_.health_max_age_seconds);
+
   // Assemble per-shard snapshots first (shard probes and histogram copies),
   // holding the router mutex only around router-owned state.
   std::vector<LoadProbe> probes(shards_.size());
@@ -347,6 +486,33 @@ std::string ShardRouter::render_prometheus() const {
   for (std::size_t i = 0; i < probes.size(); ++i) {
     out << "cosched_router_shard_replan_p95_seconds{shard=\"" << i << "\"} "
         << format_prometheus_value(probes[i].replan_p95_seconds) << "\n";
+  }
+  out << "# HELP cosched_shard_up Shard liveness from the health fan-in "
+         "(1 up, 0 down).\n";
+  out << "# TYPE cosched_shard_up gauge\n";
+  for (const ShardHealth& shard : fleet_health.shards) {
+    out << "cosched_shard_up{shard=\"" << shard.shard_id << "\"} "
+        << (shard.up ? "1" : "0") << "\n";
+  }
+  out << "# HELP cosched_shard_rpc_errors_total Folded shard RPC failures "
+         "by error kind.\n";
+  out << "# TYPE cosched_shard_rpc_errors_total counter\n";
+  for (const ShardHealth& shard : fleet_health.shards) {
+    out << "cosched_shard_rpc_errors_total{shard=\"" << shard.shard_id
+        << "\",kind=\"transport\"} "
+        << format_prometheus_value(
+               static_cast<double>(shard.rpc_errors.transport))
+        << "\n";
+    out << "cosched_shard_rpc_errors_total{shard=\"" << shard.shard_id
+        << "\",kind=\"protocol\"} "
+        << format_prometheus_value(
+               static_cast<double>(shard.rpc_errors.protocol))
+        << "\n";
+    out << "cosched_shard_rpc_errors_total{shard=\"" << shard.shard_id
+        << "\",kind=\"application\"} "
+        << format_prometheus_value(
+               static_cast<double>(shard.rpc_errors.application))
+        << "\n";
   }
   out << "# HELP cosched_router_request_seconds Router-side submit latency, "
          "all shards merged.\n";

@@ -23,6 +23,12 @@
 //    fleet totals (Σ invariant: every total equals the sum of the shard
 //    entries it ships alongside) and the Prometheus page merges per-shard
 //    latency histograms through Histogram::merge — exemplars included.
+//  * Health fans in too: health() probes per-shard liveness behind a
+//    bounded-staleness cache (a fresh verdict is served from cache, a
+//    stale one re-probes — one GetMetrics round-trip for remote shards)
+//    and folds the fleet into ok / degraded / down. The Prometheus page
+//    carries cosched_shard_up gauges and the per-kind
+//    cosched_shard_rpc_errors_total counters the backends accumulate.
 //
 // Thread-safety: every public call is safe from any thread. Router state
 // (ring, remap table, counters, histograms) sits behind one mutex held
@@ -56,7 +62,31 @@ struct RouterOptions {
   std::size_t max_remap_entries = 4096;
   /// Command budget for local shards, seconds.
   double shard_timeout_seconds = 30.0;
+  /// Staleness bound of the health cache: verdicts older than this are
+  /// re-probed by the next health() / render_prometheus() call.
+  double health_max_age_seconds = 2.0;
 };
+
+/// One shard's liveness verdict, as cached by the health fan-in.
+struct ShardHealth {
+  std::int32_t shard_id = -1;
+  bool local = false;
+  bool up = true;
+  double age_seconds = 0.0;   ///< staleness of the verdict at assembly time
+  std::string error;          ///< last probe failure; empty when up
+  ShardRpcErrors rpc_errors;  ///< folded RPC failures by kind
+};
+
+/// Fleet-level health fold: ok (every shard up), degraded (some up, some
+/// down), down (no shard reachable).
+struct FleetHealth {
+  enum class State { Ok, Degraded, Down };
+  State state = State::Ok;
+  std::size_t shards_up = 0;
+  std::vector<ShardHealth> shards;
+};
+
+const char* to_string(FleetHealth::State state);
 
 /// Router-side accounting, all monotone.
 struct RouterStats {
@@ -109,10 +139,24 @@ class ShardRouter {
 
   RouterStats stats() const;
 
-  /// Combined Prometheus page: router counters, per-shard gauges, and the
-  /// per-shard request-latency histograms merged into one fleet histogram
-  /// (Histogram::merge — exemplars survive).
-  std::string render_prometheus() const;
+  /// Liveness fan-in behind the bounded-staleness cache: shards whose
+  /// cached verdict is older than `max_age_seconds` are re-probed (one
+  /// GetMetrics round-trip for remote shards, free for local ones);
+  /// fresher verdicts answer from cache, so a scrape storm cannot turn
+  /// into a probe storm. Thread-safe; probes run outside the router lock.
+  FleetHealth health(double max_age_seconds);
+  /// health() at the configured RouterOptions::health_max_age_seconds.
+  FleetHealth health() { return health(options_.health_max_age_seconds); }
+
+  /// JSON breakdown of a health fold — the /healthz response body.
+  static std::string health_json(const FleetHealth& health);
+
+  /// Combined Prometheus page: router counters, per-shard gauges
+  /// (including cosched_shard_up and the per-kind RPC failure counters),
+  /// and the per-shard request-latency histograms merged into one fleet
+  /// histogram (Histogram::merge — exemplars survive). Refreshes stale
+  /// health verdicts, hence non-const.
+  std::string render_prometheus();
 
   /// Refreshes cached load probes of remote shards (one GetMetrics each).
   /// Local shards are always live.
@@ -129,6 +173,11 @@ class ShardRouter {
     std::unique_ptr<ShardBackend> backend;
     bool probe_override = false;
     LoadProbe probe;  ///< the override, when enabled
+    // Health cache, guarded by mutex_ (probes run unlocked).
+    bool health_probed = false;  ///< false until the first probe
+    bool health_up = true;
+    std::string health_error;
+    double health_checked_at = 0.0;  ///< now_seconds() of the verdict
   };
 
   LoadProbe probe_of(std::size_t index);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "util/rng.hpp"
 
@@ -27,6 +28,10 @@ bool RouterServer::start(std::string& error) {
   }
   port_ = listener_.local_port();
 
+  // A serving router profiles itself — the phase timers are cheap enough
+  // to leave on, and /debug/profile is only useful with data behind it.
+  Profiler::global().set_enabled(true);
+
   if (options_.enable_http) {
     HttpOptions http_options;
     http_options.host = options_.host;
@@ -39,9 +44,20 @@ bool RouterServer::start(std::string& error) {
       content_type = "text/plain; version=0.0.4; charset=utf-8";
       return true;
     });
-    http_->handle("/healthz", [](const std::string&, std::string& body,
-                                 std::string&) {
-      body = "ok\n";
+    // Liveness fans in: ok / degraded answer 200 (the body carries the
+    // verdict and the per-shard breakdown), a fully-down fleet answers 503
+    // so dumb load-balancer probes fail over without parsing JSON.
+    http_->handle_status(
+        "/healthz", [router](const std::string&, std::string& body,
+                             std::string& content_type) {
+          FleetHealth health = router->health();
+          body = ShardRouter::health_json(health);
+          content_type = "application/json";
+          return health.state == FleetHealth::State::Down ? 503 : 200;
+        });
+    http_->handle("/debug/profile", [](const std::string&, std::string& body,
+                                       std::string&) {
+      body = Profiler::global().render_collapsed();
       return true;
     });
     if (!http_->start(error)) {
@@ -186,6 +202,7 @@ void RouterServer::serve_connection(Socket socket) {
       TraceContextScope trace_scope(context);
       COSCHED_TRACE_SPAN(request_span, "router.request", -1.0,
                          std::string("type=") + to_string(request.type));
+      COSCHED_PROFILE_PHASE(request_phase, "router.request");
       response = handle_request(request, trace_id);
       response.trace_id = trace_id;
     }
@@ -282,12 +299,35 @@ ResponseEnvelope RouterServer::handle_request(const RequestEnvelope& request,
     case MessageType::TraceDump: {
       if (!reader.complete())
         return fail(RpcStatus::BadRequest, "unexpected TraceDump body");
+      // Fan-in: the router's own dump (which covers local shards — they
+      // share this process's tracer) merged with every remote shard's
+      // dump, namespaced "shard<k>/" and moved to its own Perfetto pid.
+      // Flow events keep their name/id so the shared trace ids draw the
+      // router -> shard arrows. A shard that cannot answer is skipped: a
+      // partial trace beats no trace, and the failure shows up in the
+      // cosched_shard_rpc_errors_total counters.
       const Tracer& tracer = Tracer::global();
       TraceDumpResponse reply;
       reply.enabled = tracer.enabled();
       reply.event_count = tracer.event_count();
       reply.text = tracer.dump_text();
-      reply.chrome_json = tracer.export_chrome_json();
+      std::vector<std::string> chrome_parts;
+      chrome_parts.push_back(tracer.export_chrome_json());
+      for (std::size_t i = 0; i < router_.shard_count(); ++i) {
+        ShardBackend& shard = router_.shard(i);
+        if (shard.is_local()) continue;
+        TraceDumpResponse remote;
+        std::string shard_error;
+        if (shard.trace_dump(remote, shard_error) != RpcStatus::Ok) continue;
+        const std::string prefix = "shard" + std::to_string(i) + "/";
+        reply.event_count += remote.event_count;
+        reply.text += namespace_trace_text(remote.text, prefix);
+        chrome_parts.push_back(namespace_chrome_trace(
+            remote.chrome_json, static_cast<int>(i) + 2, prefix));
+      }
+      reply.chrome_json = chrome_parts.size() == 1
+                              ? std::move(chrome_parts.front())
+                              : merge_chrome_traces(chrome_parts);
       encode_trace_dump_response(body, reply);
       break;
     }

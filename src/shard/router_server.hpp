@@ -1,19 +1,27 @@
 // RouterServer — TCP front door of a sharded deployment.
 //
 // Same wire contract as CoschedServer (CSC1 frames, versioned envelopes,
-// v1..v5 accepted, answered in the requester's version) so every existing
+// v1..v6 accepted, answered in the requester's version) so every existing
 // client — CoschedClient, the loopback bench, the examples — talks to a
 // sharded fleet unchanged. The difference is behind the dispatcher: requests
 // go to a ShardRouter instead of one LiveSchedulerService, job ids are
 // global (shard-encoded), SubmitJob acks carry the routed shard on v5
-// wires, and GetMetrics answers the fan-in block.
+// wires, and GetMetrics answers the fan-in block (with the v6 per-shard
+// health entries).
 //
 // Deliberately simpler than CoschedServer: no telemetry streaming
 // (SubscribeTelemetry answers BadRequest — subscribe to the shards' own
 // servers in an RPC-addressable deployment) and no per-request tail
 // sampling. The HTTP side door serves the *fleet* view:
 // ShardRouter::render_prometheus() — router counters, per-shard gauges and
-// the merged latency histogram — instead of the process registry.
+// the merged latency histogram — instead of the process registry, /healthz
+// answers the health fan-in (JSON breakdown, 503 when every shard is down)
+// and /debug/profile serves the process profiler's collapsed stacks.
+//
+// TraceDump fans in too: the reply merges the router's own dump with each
+// remote shard's dump — span names namespaced "shard<k>/", pids separated,
+// flow events left intact so Perfetto stitches a request's router span to
+// the shard's replan span through the shared trace id.
 //
 // The router is borrowed, not owned: the caller builds the fleet (add
 // shards), hands it in, and may keep using it directly (the router is

@@ -612,5 +612,88 @@ TEST(ObsEndToEnd, ReplanTraceShowsPhaseHierarchyAndAstarCounters) {
   EXPECT_GT(expansions.value(), expansions_before);
 }
 
+// ------------------------------------------- cross-process dump merging
+
+std::size_t occurrences(const std::string& text, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t at = text.find(needle); at != std::string::npos;
+       at = text.find(needle, at + needle.size()))
+    ++n;
+  return n;
+}
+
+TEST(ObsTraceMerge, TextNamespacePrefixesEveryNameAndThread) {
+  const std::string dump =
+      "thread 0\n"
+      "  span online.replan @vt=4 trace=9\n"
+      "    mark replan.commit\n"
+      "  count rpc.queue_depth = 3\n";
+  EXPECT_EQ(namespace_trace_text(dump, "shard0/"),
+            "thread shard0/0\n"
+            "  span shard0/online.replan @vt=4 trace=9\n"
+            "    mark shard0/replan.commit\n"
+            "  count shard0/rpc.queue_depth = 3\n");
+}
+
+TEST(ObsTraceMerge, ChromeNamespaceMovesPidAndLeavesFlowNamesAlone) {
+  const std::string json =
+      "[{\"name\":\"online.replan\",\"cat\":\"cosched\",\"ph\":\"X\","
+      "\"ts\":1,\"pid\":1,\"tid\":0,\"dur\":5},\n"
+      "{\"name\":\"trace\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":9,"
+      "\"ts\":1,\"pid\":1,\"tid\":0}]\n";
+  std::string out = namespace_chrome_trace(json, 3, "shard1/");
+  EXPECT_NE(out.find("\"name\":\"shard1/online.replan\""), std::string::npos)
+      << out;
+  // The flow record keeps its name — Perfetto binds flows by
+  // (cat, name, id), and an unchanged pair is what draws the cross-process
+  // arrow after the merge...
+  EXPECT_NE(out.find("{\"name\":\"trace\",\"cat\":\"flow\""),
+            std::string::npos)
+      << out;
+  // ...but both records moved to the target pid.
+  EXPECT_EQ(occurrences(out, "\"pid\":3,"), 2u) << out;
+  EXPECT_EQ(out.find("\"pid\":1,"), std::string::npos) << out;
+}
+
+TEST(ObsTraceMerge, MergedArraysStayOneLoadableArray) {
+  const std::string a = "[{\"name\":\"a\",\"pid\":1,\"tid\":0}]\n";
+  const std::string b =
+      "[{\"name\":\"b\",\"pid\":2,\"tid\":0},\n"
+      "{\"name\":\"c\",\"pid\":2,\"tid\":1}]\n";
+  std::string merged = merge_chrome_traces({a, b});
+  EXPECT_EQ(merged.rfind("[", 0), 0u);
+  EXPECT_EQ(merged.substr(merged.size() - 2), "]\n");
+  EXPECT_EQ(occurrences(merged, "{\"name\":\""), 3u) << merged;
+  for (const char* name : {"\"a\"", "\"b\"", "\"c\""})
+    EXPECT_NE(merged.find(std::string("{\"name\":") + name),
+              std::string::npos)
+        << merged;
+  // Empty parts contribute nothing (and leave no stray separators).
+  EXPECT_EQ(merge_chrome_traces({"[]\n", a}), a);
+}
+
+TEST(ObsTraceMerge, RealExportsSurviveNamespacingAndMerge) {
+  // Two dumps from a real tracer: the "router" part untouched, the same
+  // export namespaced as a shard — exactly what the TraceDump fan-in does.
+  Tracer tracer;
+  tracer.set_enabled(true);
+  TraceContextScope scope(tracer.make_context(0x77));
+  tracer.begin_span("rpc.request");
+  tracer.begin_span("online.replan", 2.0);
+  tracer.end_span();
+  tracer.end_span();
+  std::string json = tracer.export_chrome_json();
+  std::string merged =
+      merge_chrome_traces({json, namespace_chrome_trace(json, 2, "shard0/")});
+  // Both copies of each span survive, one per pid, flows unrenamed.
+  EXPECT_NE(merged.find("\"name\":\"online.replan\""), std::string::npos);
+  EXPECT_NE(merged.find("\"name\":\"shard0/online.replan\""),
+            std::string::npos);
+  EXPECT_GT(occurrences(merged, "\"pid\":2,"), 0u);
+  EXPECT_EQ(occurrences(merged, "\"cat\":\"flow\""),
+            2 * occurrences(json, "\"cat\":\"flow\""));
+  EXPECT_EQ(merged.find("\"name\":\"shard0/trace\""), std::string::npos);
+}
+
 }  // namespace
 }  // namespace cosched

@@ -1,9 +1,12 @@
 // Compile-time kill switch: this TU is built with -DCOSCHED_TRACE_DISABLED
-// (see tests/CMakeLists.txt), so every COSCHED_TRACE_* macro must expand to
-// a no-op — no events recorded even with the tracer runtime-enabled. This
-// is the overhead story for builds that want tracing gone entirely.
+// and -DCOSCHED_PROFILE_DISABLED (see tests/CMakeLists.txt), so every
+// COSCHED_TRACE_* and COSCHED_PROFILE_PHASE macro must expand to a no-op —
+// no events or phase samples recorded even with the runtime switches on.
+// This is the overhead story for builds that want instrumentation gone
+// entirely.
 #include <gtest/gtest.h>
 
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
 namespace cosched {
@@ -11,6 +14,9 @@ namespace {
 
 #ifndef COSCHED_TRACE_DISABLED
 #error "this TU must be compiled with COSCHED_TRACE_DISABLED"
+#endif
+#ifndef COSCHED_PROFILE_DISABLED
+#error "this TU must be compiled with COSCHED_PROFILE_DISABLED"
 #endif
 
 TEST(ObsTracingDisabled, MacrosAreNoOpsEvenWhenRuntimeEnabled) {
@@ -40,6 +46,21 @@ TEST(ObsTracingDisabled, MacrosParseInBranchPositions) {
   else
     COSCHED_TRACE_COUNTER("else-branch", 1.0);
   EXPECT_EQ(Tracer::global().event_count(), 0u);
+}
+
+TEST(ObsProfilingDisabled, PhaseMacroLeavesNoResidue) {
+  Profiler& profiler = Profiler::global();
+  profiler.reset();
+  profiler.set_enabled(true);
+  {
+    COSCHED_PROFILE_PHASE(phase, "compiled.out.phase");
+  }
+  if (true)
+    COSCHED_PROFILE_PHASE(branch_phase, "branch-position");
+  profiler.set_enabled(false);
+  EXPECT_EQ(profiler.render_collapsed().find("compiled.out.phase"),
+            std::string::npos);
+  profiler.reset();
 }
 
 }  // namespace

@@ -685,5 +685,70 @@ TEST(ShardCompat, MetricsFanInBlockRoundTrips) {
   EXPECT_FALSE(decode_metrics_response(truncated, bad));
 }
 
+// ------------------------------------------- v6 health fan-in wire compat
+
+// A v5 peer's GetMetrics body must end exactly where it always did: the v6
+// shard-health block never leaks backwards, and the decoder resets the v6
+// defaults when fed an older body.
+TEST(ShardCompat, V5PeerGetsNoHealthBlock) {
+  MetricsResponse response;
+  response.virtual_now = 5.0;
+  ShardHealthEntry health;
+  health.shard_id = 0;
+  health.up = false;
+  health.transport_errors = 4;
+  response.shard_health.push_back(health);
+
+  WireWriter w;
+  encode_metrics_response(w, response, 5);
+  WireReader r(w.bytes());
+  MetricsResponse got;
+  got.shard_health.push_back({});  // decoder must reset the v6 default
+  ASSERT_TRUE(decode_metrics_response(r, got));
+  EXPECT_EQ(r.remaining(), 0u) << "v5 body carries trailing bytes";
+  EXPECT_TRUE(got.shard_health.empty());
+}
+
+// Round-trip of the v6 health block itself — per-shard liveness and the
+// per-kind RPC failure counters a router answers to a v6 peer.
+TEST(ShardCompat, HealthBlockRoundTripsAtV6) {
+  MetricsResponse response;
+  response.virtual_now = 8.0;
+  response.arrivals = 4;
+  ShardHealthEntry a;
+  a.shard_id = 0;
+  a.up = true;
+  ShardHealthEntry b;
+  b.shard_id = 1;
+  b.up = false;
+  b.transport_errors = 7;
+  b.protocol_errors = 1;
+  b.application_errors = 2;
+  response.shard_health = {a, b};
+
+  WireWriter w;
+  encode_metrics_response(w, response, 6);
+  WireReader r(w.bytes());
+  MetricsResponse got;
+  ASSERT_TRUE(decode_metrics_response(r, got));
+  EXPECT_EQ(r.remaining(), 0u);
+  ASSERT_EQ(got.shard_health.size(), 2u);
+  EXPECT_EQ(got.shard_health[0].shard_id, 0);
+  EXPECT_TRUE(got.shard_health[0].up);
+  EXPECT_EQ(got.shard_health[0].transport_errors, 0u);
+  EXPECT_EQ(got.shard_health[1].shard_id, 1);
+  EXPECT_FALSE(got.shard_health[1].up);
+  EXPECT_EQ(got.shard_health[1].transport_errors, 7u);
+  EXPECT_EQ(got.shard_health[1].protocol_errors, 1u);
+  EXPECT_EQ(got.shard_health[1].application_errors, 2u);
+
+  // A truncated health list is rejected, not misread.
+  std::vector<std::uint8_t> bytes = w.bytes();
+  bytes.resize(bytes.size() - 4);
+  WireReader truncated(bytes);
+  MetricsResponse bad;
+  EXPECT_FALSE(decode_metrics_response(truncated, bad));
+}
+
 }  // namespace
 }  // namespace cosched

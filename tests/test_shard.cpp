@@ -3,10 +3,14 @@
 // exactly equal the sum of per-shard values, per-shard CSVs byte-identical
 // to isolated replays of the routed partitions), load-aware spillover with
 // remap stickiness, global job-id resolution, the RouterServer TCP front
-// (same wire contract as CoschedServer, including v1 back-compat) and the
-// combined /metrics fleet page.
+// (same wire contract as CoschedServer, including v1 back-compat), the
+// combined /metrics fleet page, and the observability fan-in: trace-id
+// propagation across the router -> RemoteShard -> shard-server hops with
+// merged TraceDump output, the /healthz liveness fold, and the per-kind
+// RPC failure counters.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <map>
 #include <sstream>
 #include <string>
@@ -14,10 +18,12 @@
 
 #include "net/frame.hpp"
 #include "net/socket.hpp"
+#include "obs/trace.hpp"
 #include "online/scheduler.hpp"
 #include "online/trace.hpp"
 #include "rpc/client.hpp"
 #include "rpc/protocol.hpp"
+#include "rpc/server.hpp"
 #include "shard/router.hpp"
 #include "shard/router_server.hpp"
 
@@ -490,6 +496,239 @@ TEST(RouterServer, V1PeerSeesNoShardBytes) {
   DrainResponse drained;
   ASSERT_EQ(router.drain(drained, err), RpcStatus::Ok) << err;
   server.stop();
+}
+
+// --------------------------------------- observability fan-in (v6)
+
+/// A shard CoschedServer the router can adopt with add_remote_shard:
+/// RPC-addressable (shard_id set), virtual clock, no HTTP side door.
+ServerOptions shard_server_options(std::int32_t shard_id) {
+  ServerOptions options;
+  options.host = "127.0.0.1";
+  options.port = 0;  // ephemeral
+  options.enable_http = false;
+  options.shard_id = shard_id;
+  options.service = shard_service();
+  return options;
+}
+
+/// Minimal HTTP/1.0 GET; returns the whole response (status line included).
+std::string http_get(std::uint16_t port, const std::string& path) {
+  NetStatus net = NetStatus::Ok;
+  Deadline deadline = Deadline::after(10.0);
+  Socket socket = Socket::connect_to("127.0.0.1", port, deadline, net);
+  if (net != NetStatus::Ok) return "";
+  std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  if (socket.send_all(request.data(), request.size(), deadline) !=
+      NetStatus::Ok)
+    return "";
+  socket.shutdown_send();
+  std::string response;
+  char chunk[4096];
+  while (true) {
+    std::size_t got = 0;
+    NetStatus status = socket.recv_some(chunk, sizeof(chunk), got, deadline);
+    if (status != NetStatus::Ok) break;
+    response.append(chunk, got);
+  }
+  return response;
+}
+
+// THE tentpole acceptance criterion: a client-chosen trace id survives the
+// client -> RouterServer -> RemoteShard -> shard CoschedServer hops (two
+// wire crossings) and lands on the shard's replan spans; the router's
+// TraceDump fan-in then pulls the shard's own dump, namespaces it
+// "shard0/", and merges the Chrome exports with the flow events intact —
+// one Perfetto load shows the router span and the shard replan span
+// joined by the shared id.
+TEST(RouterObservability, TraceIdStitchesRouterAndShardTimelines) {
+  Tracer& tracer = Tracer::global();
+  tracer.reset();
+  tracer.set_enabled(true);
+
+  CoschedServer shard_server(shard_server_options(0));
+  std::string error;
+  ASSERT_TRUE(shard_server.start(error)) << error;
+
+  ShardRouter router(ring_only_router());
+  ClientOptions remote;
+  remote.port = shard_server.port();
+  router.add_remote_shard(remote, /*total_cores=*/4);
+
+  RouterServer front(router, RouterServerOptions{});
+  ASSERT_TRUE(front.start(error)) << error;
+
+  ClientOptions client_options;
+  client_options.port = front.port();
+  CoschedClient client(client_options);
+  const std::uint64_t kTraceId = 0xBEEF;
+  client.set_trace_id(kTraceId);
+
+  WorkloadTrace trace = tenant_trace(61, 8);
+  for (const TraceJob& job : trace.jobs) {
+    SubmitJobResponse ack;
+    RpcError rpc = client.submit_job(job, ack);
+    ASSERT_TRUE(rpc.ok()) << rpc.describe();
+    EXPECT_EQ(ack.shard_id, 0);  // the only shard
+  }
+  DrainResponse drained;
+  ASSERT_TRUE(client.drain(drained).ok());
+  EXPECT_EQ(drained.completions,
+            static_cast<std::uint64_t>(trace.job_count()));
+
+  // v6 GetMetrics carries the health block over the wire: the shard
+  // answered every fan-in call, so it reports up with zero failures.
+  MetricsResponse fleet;
+  ASSERT_TRUE(client.get_metrics(fleet).ok());
+  ASSERT_EQ(fleet.shard_health.size(), 1u);
+  EXPECT_EQ(fleet.shard_health[0].shard_id, 0);
+  EXPECT_TRUE(fleet.shard_health[0].up);
+  EXPECT_EQ(fleet.shard_health[0].transport_errors, 0u);
+
+  TraceDumpResponse dump;
+  RpcError rpc = client.trace_dump(dump);
+  tracer.set_enabled(false);
+  ASSERT_TRUE(rpc.ok()) << rpc.describe();
+  EXPECT_TRUE(dump.enabled);
+
+  // The router's own request span is in the local section of the merge...
+  EXPECT_NE(dump.text.find("span router.request"), std::string::npos)
+      << dump.text;
+  // ...and the shard's replan span sits in the namespaced remote section
+  // AND carries the client's id: the namespacing proves the fan-in pulled
+  // the remote dump, the id proves it crossed both wire hops (the shard's
+  // scheduler thread replays the context captured from the forwarded RPC).
+  const std::string want_trace = "trace=" + std::to_string(kTraceId);
+  bool shard_replan_carries_id = false;
+  std::istringstream lines(dump.text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.find("span shard0/online.replan") != std::string::npos &&
+        line.find(want_trace) != std::string::npos)
+      shard_replan_carries_id = true;
+  }
+  EXPECT_TRUE(shard_replan_carries_id) << dump.text;
+  // The shard's request spans are tagged with its shard id.
+  EXPECT_NE(dump.text.find("span shard0/rpc.request"), std::string::npos);
+  EXPECT_NE(dump.text.find("shard=0]"), std::string::npos);
+
+  // Merged Chrome export: shard records moved to pid 2 with namespaced
+  // names, flow events kept their (cat, name, id) so Perfetto draws the
+  // router (pid 1) -> shard (pid 2) arrows for the shared trace id.
+  EXPECT_NE(dump.chrome_json.find("\"name\":\"shard0/online.replan\""),
+            std::string::npos);
+  EXPECT_NE(dump.chrome_json.find("\"pid\":2,"), std::string::npos);
+  EXPECT_NE(dump.chrome_json.find("\"cat\":\"flow\",\"ph\":\"s\",\"id\":" +
+                                  std::to_string(kTraceId)),
+            std::string::npos);
+  EXPECT_EQ(dump.chrome_json.find("\"name\":\"shard0/trace\""),
+            std::string::npos);
+
+  front.stop();
+  shard_server.stop();
+}
+
+TEST(RouterObservability, HealthFanInTracksShardLiveness) {
+  CoschedServer shard_server(shard_server_options(1));
+  std::string error;
+  ASSERT_TRUE(shard_server.start(error)) << error;
+
+  RouterOptions options = ring_only_router();
+  // A huge staleness bound makes the cache behaviour deterministic: only
+  // the explicit health(0.0) calls below re-probe.
+  options.health_max_age_seconds = 600.0;
+  ShardRouter router(options);
+  router.add_local_shard(shard_service());  // shard 0: up by construction
+  ClientOptions remote;
+  remote.port = shard_server.port();
+  remote.request_timeout_seconds = 5.0;
+  router.add_remote_shard(remote, 4);  // shard 1
+
+  FleetHealth healthy = router.health(0.0);  // force a probe of both
+  EXPECT_EQ(healthy.state, FleetHealth::State::Ok);
+  EXPECT_EQ(healthy.shards_up, 2u);
+  ASSERT_EQ(healthy.shards.size(), 2u);
+  EXPECT_TRUE(healthy.shards[0].local);
+  EXPECT_FALSE(healthy.shards[1].local);
+  EXPECT_TRUE(healthy.shards[1].up);
+  EXPECT_TRUE(healthy.shards[1].error.empty());
+  std::string json = ShardRouter::health_json(healthy);
+  EXPECT_NE(json.find("\"status\":\"ok\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"shards_total\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"backend\":\"remote\""), std::string::npos) << json;
+
+  // The Prometheus page carries liveness gauges and per-kind counters.
+  std::string page = router.render_prometheus();
+  EXPECT_NE(page.find("cosched_shard_up{shard=\"0\"} 1"), std::string::npos)
+      << page;
+  EXPECT_NE(page.find("cosched_shard_up{shard=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(
+      page.find(
+          "cosched_shard_rpc_errors_total{shard=\"1\",kind=\"transport\"} 0"),
+      std::string::npos)
+      << page;
+
+  // Kill the shard server. A fresh-enough verdict still answers from the
+  // cache (bounded staleness: scrape storms cannot become probe storms)...
+  shard_server.stop();
+  FleetHealth cached = router.health(600.0);
+  EXPECT_EQ(cached.state, FleetHealth::State::Ok);
+
+  // ...but a forced re-probe sees it down and folds the fleet degraded.
+  FleetHealth degraded = router.health(0.0);
+  EXPECT_EQ(degraded.state, FleetHealth::State::Degraded);
+  EXPECT_EQ(degraded.shards_up, 1u);
+  EXPECT_TRUE(degraded.shards[0].up);
+  EXPECT_FALSE(degraded.shards[1].up);
+  EXPECT_FALSE(degraded.shards[1].error.empty());
+  json = ShardRouter::health_json(degraded);
+  EXPECT_NE(json.find("\"status\":\"degraded\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"up\":false"), std::string::npos) << json;
+  // The failed probe was counted under its error kind.
+  EXPECT_GT(router.shard(1).rpc_errors().transport, 0u);
+  page = router.render_prometheus();
+  EXPECT_NE(page.find("cosched_shard_up{shard=\"1\"} 0"), std::string::npos)
+      << page;
+}
+
+TEST(RouterObservability, HealthzAnswers503OnlyWhenTheFleetIsDown) {
+  RouterServerOptions http_options;
+  http_options.enable_http = true;
+
+  // Live fleet: one local shard -> 200 with the ok verdict in the body.
+  ShardRouter healthy_router(ring_only_router());
+  healthy_router.add_local_shard(shard_service());
+  RouterServer healthy_front(healthy_router, http_options);
+  std::string error;
+  ASSERT_TRUE(healthy_front.start(error)) << error;
+  std::string response = http_get(healthy_front.http_port(), "/healthz");
+  EXPECT_EQ(response.rfind("HTTP/1.0 200", 0), 0u) << response;
+  EXPECT_NE(response.find("\"status\":\"ok\""), std::string::npos)
+      << response;
+  // The profiler side door serves collapsed stacks on the same endpoint.
+  std::string profile = http_get(healthy_front.http_port(), "/debug/profile");
+  EXPECT_EQ(profile.rfind("HTTP/1.0 200", 0), 0u) << profile;
+  healthy_front.stop();
+
+  // Dead fleet: the only shard is a remote nobody listens on -> 503, so a
+  // dumb LB probe fails over without parsing the JSON breakdown.
+  CoschedServer ghost(shard_server_options(0));
+  ASSERT_TRUE(ghost.start(error)) << error;
+  std::uint16_t dead_port = ghost.port();
+  ghost.stop();  // connections to the port are now refused
+
+  ShardRouter down_router(ring_only_router());
+  ClientOptions dead;
+  dead.port = dead_port;
+  dead.request_timeout_seconds = 2.0;
+  down_router.add_remote_shard(dead, 4);
+  RouterServer down_front(down_router, http_options);
+  ASSERT_TRUE(down_front.start(error)) << error;
+  response = http_get(down_front.http_port(), "/healthz");
+  EXPECT_EQ(response.rfind("HTTP/1.0 503", 0), 0u) << response;
+  EXPECT_NE(response.find("\"status\":\"down\""), std::string::npos)
+      << response;
+  down_front.stop();
 }
 
 }  // namespace
