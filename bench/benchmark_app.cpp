@@ -45,6 +45,7 @@
 #include "loadgen/shapes.hpp"
 #include "loadgen/slo.hpp"
 #include "obs/http.hpp"
+#include "obs/log.hpp"
 #include "obs/profiler.hpp"
 #include "rpc/client.hpp"
 #include "rpc/server.hpp"
@@ -135,6 +136,21 @@ int main(int argc, char** argv) {
     std::cerr << "benchmark_app: unknown --hint " << hint
               << " (latency|throughput)\n";
     return 1;
+  }
+
+  // Structured logging: --log-level debug|info|warn|error|off filters the
+  // global logger (the embedded deployment's scheduler shares it), --log-json
+  // 1 switches to JSON lines, --log-out FILE appends accepted records.
+  {
+    std::string level_text = args.get_string("log-level", "warn");
+    LogLevel level = LogLevel::Warn;
+    if (!parse_log_level(level_text, level))
+      std::cerr << "benchmark_app: unknown --log-level '" << level_text
+                << "' (want debug|info|warn|error|off)\n";
+    Logger::global().set_level(level);
+    Logger::global().set_json(args.get_int("log-json", 0) != 0);
+    std::string log_out = args.get_string("log-out", "");
+    if (!log_out.empty()) Logger::global().set_sink_path(log_out);
   }
 
   // ---- generator configuration ------------------------------------------

@@ -142,6 +142,53 @@ assert len(flow_pids) >= 2, \
 print(f'OK: merged trace stitched across pids {sorted(flow_pids)}')
 EOF
 
+# "Explain this placement" across processes: QueryJobTimeline for a job of
+# the traced batch must cross router -> RemoteShard -> shard server and come
+# back as a non-empty, time-ordered decision journal. The job id is global
+# (rewritten by the router), pulled from the batch's submit log.
+TRACED_JOB=$(sed -n 's/^job \([0-9][0-9]*\) .*/\1/p' \
+  "$OUT_DIR/remote_traced_batch.log" | head -1)
+if [[ -z "$TRACED_JOB" ]]; then
+  echo "remote_shard_smoke: no job id in remote_traced_batch.log" >&2
+  exit 1
+fi
+"$BIN_EX/rpc_client" --port "$ROUTER_PORT" --timeline "$TRACED_JOB" \
+  >"$OUT_DIR/remote_timeline.txt" 2>&1 \
+  || { echo "remote_shard_smoke: timeline query failed" >&2;
+       cat "$OUT_DIR/remote_timeline.txt" >&2; exit 1; }
+
+# The journal firehose of the router's own routing decisions, archived with
+# the CI artifacts next to the merged trace.
+http_get "$ROUTER_HTTP_PORT" "/debug/events" \
+  >"$OUT_DIR/remote_journal_events.txt" || true
+http_get "$ROUTER_HTTP_PORT" "/debug/events?job=$TRACED_JOB" \
+  >"$OUT_DIR/remote_journal_job.txt" || true
+
+python3 - "$OUT_DIR" "$TRACED_JOB" <<'EOF' || exit 1
+import re, sys
+out_dir, job = sys.argv[1], sys.argv[2]
+text = open(f'{out_dir}/remote_timeline.txt').read()
+events = [l for l in text.splitlines() if l.strip().startswith('t=')]
+assert events, f'timeline for job {job} is empty:\n{text}'
+kinds = [re.search(r'kind=(\S+)', l).group(1) for l in events]
+assert 'admission' in kinds, f'no admission event in {kinds}'
+assert 'placement' in kinds, f'no placement event in {kinds}'
+times = [float(re.search(r't=([0-9.]+)', l).group(1)) for l in events]
+assert times == sorted(times), f'timeline timestamps not monotonic: {times}'
+for line in events:
+    assert f'job={job} ' in line, f'event not rewritten to global id: {line}'
+# Every decision carries the trace that made it: the placement's trace id
+# must resolve into a replan span of the merged fabric TraceDump.
+placement = events[kinds.index('placement')]
+trace = re.search(r'trace=(\d+)', placement).group(1)
+merged = open(f'{out_dir}/remote_trace_merged.txt').read()
+assert trace != '0' and re.search(
+    rf'span shard\d+/online\.replan.*trace={trace}\b', merged), \
+    f'placement trace id {trace} does not resolve in the merged TraceDump'
+print(f'OK: job {job} explains itself across the process boundary '
+      f'({len(events)} events, placement trace {trace})')
+EOF
+
 # The router profiles itself continuously: under load the collapsed stack
 # must be non-empty (it ships with the CI artifacts for flamegraphs).
 http_get "$ROUTER_HTTP_PORT" /debug/profile \

@@ -2,6 +2,7 @@
 //
 //   ./rpc_client --port 7717 --jobs 20          # submit a generated mix
 //   ./rpc_client --port 7717 --status 3         # query one job
+//   ./rpc_client --port 7717 --timeline 3       # explain job 3's placement
 //   ./rpc_client --port 7717 --snapshot 1       # fleet placement view
 //   ./rpc_client --port 7717 --metrics 1        # scheduler counters
 //   ./rpc_client --port 7717 --drain 1          # stop admissions, finish all
@@ -87,6 +88,24 @@ int main(int argc, char** argv) {
                 << ", degradation " << TextTable::fmt(p.degradation, 3)
                 << ", remaining " << TextTable::fmt(p.remaining_work, 2)
                 << "\n";
+    return 0;
+  }
+
+  if (args.has("timeline")) {
+    // "Explain this placement": the decision journal's events of one job —
+    // admission trigger, placement (policy, machine, co-runners, predicted
+    // degradation delta), migrations, completion — each with the trace id
+    // that resolves into the replan span of a --trace-dump.
+    std::int64_t id = args.get_int("timeline", 0);
+    JobTimelineResponse reply;
+    RpcError error = client.query_job_timeline(id, reply);
+    if (!error.ok()) return fail("timeline", error);
+    std::cout << "job " << reply.job_id << ": " << reply.events.size()
+              << " events at t=" << TextTable::fmt(reply.virtual_now, 2)
+              << (reply.truncated ? " (truncated: older events evicted)" : "")
+              << "\n";
+    for (const JournalEvent& event : reply.events)
+      std::cout << "  " << render_journal_event(event) << "\n";
     return 0;
   }
 

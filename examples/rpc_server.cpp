@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "obs/log.hpp"
 #include "obs/otlp.hpp"
 #include "obs/profiler.hpp"
 #include "obs/tail_sampler.hpp"
@@ -94,6 +95,21 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Structured logging: --log-level debug|info|warn|error|off filters the
+  // global logger, --log-json 1 switches the sink to JSON lines, --log-out
+  // FILE appends every accepted record to a file (the tail -f surface).
+  {
+    std::string level_text = args.get_string("log-level", "info");
+    LogLevel level = LogLevel::Info;
+    if (!parse_log_level(level_text, level))
+      std::cerr << "rpc_server: unknown --log-level '" << level_text
+                << "' (want debug|info|warn|error|off)\n";
+    Logger::global().set_level(level);
+    Logger::global().set_json(args.get_int("log-json", 0) != 0);
+    std::string log_out = args.get_string("log-out", "");
+    if (!log_out.empty()) Logger::global().set_sink_path(log_out);
+  }
+
   options.service.wall_clock = args.get_int("virtual", 0) == 0;
   options.service.wall_time_scale = args.get_real("wall-scale", 4.0);
   options.service.scheduler.cores =
@@ -155,7 +171,8 @@ int main(int argc, char** argv) {
   if (!otlp_out.empty()) {
     std::vector<std::string> written;
     if (otlp_write_files(otlp_out, Tracer::global(),
-                         MetricsRegistry::global(), tail, {}, &written))
+                         MetricsRegistry::global(), tail, {}, &written,
+                         &Logger::global(), &server.service().journal()))
       for (const std::string& path : written)
         std::cout << "wrote " << path << "\n";
   }

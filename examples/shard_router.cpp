@@ -28,7 +28,7 @@
 //   ./rpc_server --port 7732 --shard-id 1 --virtual 1 &
 //   ./shard_router --port 7720 --remote 127.0.0.1:7731,127.0.0.1:7732
 //
-// Each entry becomes a RemoteShard backend speaking protocol v6 to that
+// Each entry becomes a RemoteShard backend speaking protocol v7 to that
 // server; shard ids follow list order, so start server k with --shard-id k.
 // --remote-cores tells the router each backend's capacity (the spillover
 // signal); --remote-timeout bounds each proxied RPC. With --trace 1 the
@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "obs/log.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "shard/router.hpp"
@@ -88,6 +89,21 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("trace-ring", 4096)));
   std::vector<ClientOptions> remotes = parse_remotes(
       args.get_string("remote", ""), args.get_real("remote-timeout", 60.0));
+
+  // Structured logging: --log-level debug|info|warn|error|off filters the
+  // global logger, --log-json 1 switches the sink to JSON lines, --log-out
+  // FILE appends every accepted record to a file (the tail -f surface).
+  {
+    std::string level_text = args.get_string("log-level", "info");
+    LogLevel level = LogLevel::Info;
+    if (!parse_log_level(level_text, level))
+      std::cerr << "shard_router: unknown --log-level '" << level_text
+                << "' (want debug|info|warn|error|off)\n";
+    Logger::global().set_level(level);
+    Logger::global().set_json(args.get_int("log-json", 0) != 0);
+    std::string log_out = args.get_string("log-out", "");
+    if (!log_out.empty()) Logger::global().set_sink_path(log_out);
+  }
 
   RouterOptions router_options;
   router_options.vnodes_per_shard =

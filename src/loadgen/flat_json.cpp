@@ -1,6 +1,7 @@
 #include "loadgen/flat_json.hpp"
 
 #include <cctype>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -52,6 +53,70 @@ class Parser {
     return prefix.empty() ? key : prefix + "." + key;
   }
 
+  /// Four hex digits after a \u, or -1.
+  std::int32_t parse_hex4() {
+    if (pos_ + 4 > text_.size()) return -1;
+    std::int32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      char h = text_[pos_ + static_cast<std::size_t>(i)];
+      std::int32_t digit;
+      if (h >= '0' && h <= '9') digit = h - '0';
+      else if (h >= 'a' && h <= 'f') digit = 10 + (h - 'a');
+      else if (h >= 'A' && h <= 'F') digit = 10 + (h - 'A');
+      else return -1;
+      value = value * 16 + digit;
+    }
+    pos_ += 4;
+    return value;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  /// \uXXXX (pos_ just past the 'u') decoded to UTF-8. A high surrogate must
+  /// be followed by \uDC00..\uDFFF (the pair decodes to one astral code
+  /// point); a lone or out-of-order surrogate is a parse error, not U+FFFD —
+  /// this parser feeds byte-exact baseline comparisons, so silently mangling
+  /// input is worse than rejecting it.
+  bool parse_unicode_escape(std::string& out) {
+    std::int32_t unit = parse_hex4();
+    if (unit < 0) return fail("bad \\u escape: want 4 hex digits");
+    if (unit >= 0xDC00 && unit <= 0xDFFF)
+      return fail("lone low surrogate in \\u escape");
+    if (unit >= 0xD800 && unit <= 0xDBFF) {
+      if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+          text_[pos_ + 1] != 'u')
+        return fail("high surrogate not followed by \\u escape");
+      pos_ += 2;
+      std::int32_t low = parse_hex4();
+      if (low < 0) return fail("bad \\u escape: want 4 hex digits");
+      if (low < 0xDC00 || low > 0xDFFF)
+        return fail("high surrogate not followed by low surrogate");
+      std::uint32_t cp = 0x10000u +
+                         ((static_cast<std::uint32_t>(unit) - 0xD800u) << 10) +
+                         (static_cast<std::uint32_t>(low) - 0xDC00u);
+      append_utf8(out, cp);
+      return true;
+    }
+    append_utf8(out, static_cast<std::uint32_t>(unit));
+    return true;
+  }
+
   bool parse_string(std::string& out) {
     if (pos_ >= text_.size() || text_[pos_] != '"')
       return fail("expected string");
@@ -71,10 +136,8 @@ class Parser {
           case 'r': out += '\r'; break;
           case 'b': out += '\b'; break;
           case 'f': out += '\f'; break;
-          // \uXXXX: our writers never emit it; keep the parse alive by
-          // passing the escape through verbatim.
           case 'u':
-            out += "\\u";
+            if (!parse_unicode_escape(out)) return false;
             break;
           default:
             return fail("unknown escape");

@@ -202,8 +202,14 @@ void HttpEndpoint::serve_connection(Socket socket) {
   std::string path =
       line.substr(method_end + 1, path_end - method_end - 1);
 
+  // Routes match on the path alone; the handler receives the full
+  // request-target so it can parse its own query string
+  // (http_query_param).
+  const std::size_t query_at = path.find('?');
+  const std::string bare_path =
+      query_at == std::string::npos ? path : path.substr(0, query_at);
   for (const auto& [route, handler] : routes_) {
-    if (route != path) continue;
+    if (route != bare_path) continue;
     std::string body;
     std::string content_type = "text/plain; charset=utf-8";
     int code = handler(path, body, content_type);
@@ -213,6 +219,24 @@ void HttpEndpoint::serve_connection(Socket socket) {
   }
   send_response(socket, 404, "no such path: " + path + "\n", "text/plain",
                 deadline, head);
+}
+
+std::string http_query_param(const std::string& target,
+                             const std::string& key) {
+  std::size_t at = target.find('?');
+  if (at == std::string::npos) return {};
+  std::string query = target.substr(at + 1);
+  std::size_t pos = 0;
+  while (pos <= query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    std::size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp &&
+        query.compare(pos, eq - pos, key) == 0)
+      return query.substr(eq + 1, amp - eq - 1);
+    pos = amp + 1;
+  }
+  return {};
 }
 
 std::string http_get(const std::string& host, std::uint16_t port,

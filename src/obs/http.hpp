@@ -39,10 +39,11 @@ struct HttpOptions {
   double request_timeout_seconds = 5.0;
 };
 
-/// Return the response body for `path` (no query parsing — exact match is
-/// the handler's business). `content_type` defaults to text/plain.
-/// Returning false means "not mine" and the dispatcher tries no further —
-/// register one handler per path.
+/// Return the response body for a request-target. Routes are matched on
+/// the path *before* any `?`; the handler receives the full target
+/// (including the query string — parse it with http_query_param).
+/// `content_type` defaults to text/plain. Returning false means "not mine"
+/// and the dispatcher tries no further — register one handler per path.
 using HttpHandler =
     std::function<bool(const std::string& path, std::string& body,
                        std::string& content_type)>;
@@ -83,6 +84,12 @@ class HttpEndpoint {
   std::atomic<bool> stopping_{false};
   std::thread thread_;
 };
+
+/// Value of `key` in the request-target's query string ("" when absent):
+/// http_query_param("/debug/events?job=3", "job") == "3". No %-decoding —
+/// the side door's parameters are numbers and bare words.
+std::string http_query_param(const std::string& target,
+                             const std::string& key);
 
 /// One-shot HTTP/1.0 GET against an HttpEndpoint (or anything equally
 /// plain); returns the response body on a 200, empty on any failure. The

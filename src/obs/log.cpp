@@ -1,0 +1,335 @@
+#include "obs/log.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "obs/trace.hpp"
+
+namespace cosched {
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string format_real(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+    case LogLevel::Off: return "off";
+  }
+  return "?";
+}
+
+bool parse_log_level(const std::string& text, LogLevel& out) {
+  if (text == "debug") out = LogLevel::Debug;
+  else if (text == "info") out = LogLevel::Info;
+  else if (text == "warn") out = LogLevel::Warn;
+  else if (text == "error") out = LogLevel::Error;
+  else if (text == "off") out = LogLevel::Off;
+  else return false;
+  return true;
+}
+
+LogField log_kv(std::string key, std::string value) {
+  return LogField{std::move(key), std::move(value), true};
+}
+LogField log_kv(std::string key, const char* value) {
+  return LogField{std::move(key), std::string(value), true};
+}
+LogField log_kv(std::string key, std::int64_t value) {
+  return LogField{std::move(key), std::to_string(value), false};
+}
+LogField log_kv(std::string key, std::uint64_t value) {
+  return LogField{std::move(key), std::to_string(value), false};
+}
+LogField log_kv(std::string key, std::int32_t value) {
+  return LogField{std::move(key), std::to_string(value), false};
+}
+LogField log_kv(std::string key, double value) {
+  return LogField{std::move(key), format_real(value), false};
+}
+LogField log_kv(std::string key, bool value) {
+  return LogField{std::move(key), value ? "true" : "false", false};
+}
+
+Logger::Logger() : epoch_(std::chrono::steady_clock::now()) {
+  static std::atomic<std::uint64_t> next_id{1};
+  id_ = next_id.fetch_add(1, std::memory_order_relaxed);
+  bucket_refill_ = epoch_;
+}
+
+Logger::~Logger() {
+  std::lock_guard<std::mutex> lock(sink_mutex_);
+  if (sink_) std::fclose(sink_);
+  sink_ = nullptr;
+}
+
+Logger& Logger::global() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_rate_limit(double rate_per_second, double burst) {
+  std::lock_guard<std::mutex> lock(bucket_mutex_);
+  rate_per_second_ = rate_per_second;
+  burst_ = std::max(burst, 1.0);
+  tokens_ = burst_;
+  bucket_refill_ = std::chrono::steady_clock::now();
+}
+
+bool Logger::set_sink_path(const std::string& path) {
+  std::FILE* next = nullptr;
+  if (!path.empty()) {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::path target(path);
+    if (target.has_parent_path())
+      fs::create_directories(target.parent_path(), ec);
+    next = std::fopen(path.c_str(), "a");
+    if (!next) {
+      std::fprintf(stderr, "cosched: cannot open log sink %s\n", path.c_str());
+      return false;
+    }
+  }
+  std::lock_guard<std::mutex> lock(sink_mutex_);
+  if (sink_) std::fclose(sink_);
+  sink_ = next;
+  return true;
+}
+
+Logger::ThreadBuffer& Logger::local_buffer() {
+  // One cached buffer per (thread, logger) pair; a second Logger (tests)
+  // re-resolves on id mismatch.
+  thread_local std::uint64_t cached_id = 0;
+  thread_local std::shared_ptr<ThreadBuffer> cached;
+  if (cached && cached_id == id_) return *cached;
+  auto buffer = std::make_shared<ThreadBuffer>();
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    buffer->tid = static_cast<std::int32_t>(buffers_.size() + 1);
+    buffers_.push_back(buffer);
+  }
+  cached = buffer;
+  cached_id = id_;
+  return *cached;
+}
+
+bool Logger::take_token() {
+  std::lock_guard<std::mutex> lock(bucket_mutex_);
+  if (rate_per_second_ <= 0.0) return true;
+  auto now = std::chrono::steady_clock::now();
+  double elapsed = std::chrono::duration<double>(now - bucket_refill_).count();
+  bucket_refill_ = now;
+  tokens_ = std::min(burst_, tokens_ + elapsed * rate_per_second_);
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+void Logger::log(LogLevel level, const char* component, std::string message,
+                 std::vector<LogField> fields) {
+  if (level == LogLevel::Off || !enabled(level)) return;
+  if (!take_token()) {
+    rate_limited_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  LogRecord record;
+  record.level = level;
+  record.component = component;
+  record.message = std::move(message);
+  record.wall_us = std::chrono::duration<double, std::micro>(
+                       std::chrono::steady_clock::now() - epoch_)
+                       .count();
+  record.trace_id = Tracer::current_context().trace_id;
+  record.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  record.fields = std::move(fields);
+  records_by_level_[static_cast<std::size_t>(level)].fetch_add(
+      1, std::memory_order_relaxed);
+
+  ThreadBuffer& buffer = local_buffer();
+  record.tid = buffer.tid;
+  sink_write(record);
+  std::size_t capacity = max_records_per_thread();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  if (buffer.records.size() < capacity) {
+    buffer.records.push_back(std::move(record));
+  } else {
+    if (buffer.next >= buffer.records.size()) buffer.next = 0;
+    buffer.records[buffer.next] = std::move(record);
+    buffer.next = (buffer.next + 1) % buffer.records.size();
+    ++buffer.dropped;
+  }
+}
+
+void Logger::sink_write(const LogRecord& record) {
+  std::lock_guard<std::mutex> lock(sink_mutex_);
+  if (!sink_) return;
+  std::string line = render(record);
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), sink_);
+  if (record.level >= LogLevel::Warn) std::fflush(sink_);
+}
+
+std::string Logger::render(const LogRecord& record) const {
+  std::string out;
+  char stamp[32];
+  std::snprintf(stamp, sizeof(stamp), "%.6f", record.wall_us / 1e6);
+  if (json()) {
+    out += "{\"ts\":";
+    out += stamp;
+    out += ",\"level\":\"";
+    out += to_string(record.level);
+    out += "\",\"component\":\"";
+    append_escaped(out, record.component);
+    out += "\",\"message\":\"";
+    append_escaped(out, record.message);
+    out += "\"";
+    if (record.trace_id != 0)
+      out += ",\"trace_id\":" + std::to_string(record.trace_id);
+    for (const LogField& field : record.fields) {
+      out += ",\"";
+      append_escaped(out, field.key);
+      out += "\":";
+      if (field.quoted) {
+        out += "\"";
+        append_escaped(out, field.value);
+        out += "\"";
+      } else {
+        out += field.value;
+      }
+    }
+    out += "}";
+  } else {
+    out += stamp;
+    out += " ";
+    out += to_string(record.level);
+    out += " ";
+    out += record.component;
+    out += " ";
+    out += record.message;
+    if (record.trace_id != 0)
+      out += " trace=" + std::to_string(record.trace_id);
+    for (const LogField& field : record.fields) {
+      out += " ";
+      out += field.key;
+      out += "=";
+      out += field.value;
+    }
+  }
+  return out;
+}
+
+std::uint64_t Logger::records_total(LogLevel level) const {
+  if (level >= LogLevel::Off) return 0;
+  return records_by_level_[static_cast<std::size_t>(level)].load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t Logger::dropped_records() const {
+  std::uint64_t total = rate_limited_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    total += buffer->dropped;
+  }
+  return total;
+}
+
+std::uint64_t Logger::buffered_records() const {
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    total += buffer->records.size();
+  }
+  return total;
+}
+
+std::vector<LogRecord> Logger::collect(const std::string& component,
+                                       std::size_t max_records) const {
+  std::vector<LogRecord> out;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      for (const LogRecord& record : buffer->records) {
+        if (!component.empty() && component != record.component) continue;
+        out.push_back(record);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LogRecord& a, const LogRecord& b) { return a.seq < b.seq; });
+  if (out.size() > max_records)
+    out.erase(out.begin(),
+              out.end() - static_cast<std::ptrdiff_t>(max_records));
+  return out;
+}
+
+std::string render_log_metrics() {
+  Logger& logger = Logger::global();
+  std::string out;
+  out +=
+      "# HELP cosched_log_records_total structured log records accepted\n"
+      "# TYPE cosched_log_records_total counter\n";
+  for (LogLevel level : {LogLevel::Debug, LogLevel::Info, LogLevel::Warn,
+                         LogLevel::Error}) {
+    out += "cosched_log_records_total{level=\"";
+    out += to_string(level);
+    out += "\"} " + std::to_string(logger.records_total(level)) + "\n";
+  }
+  out +=
+      "# HELP cosched_log_dropped_total log records shed by rate limiting "
+      "or ring overwrite\n"
+      "# TYPE cosched_log_dropped_total counter\n"
+      "cosched_log_dropped_total " +
+      std::to_string(logger.dropped_records()) + "\n";
+  return out;
+}
+
+void Logger::reset() {
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      buffer->records.clear();
+      buffer->next = 0;
+      buffer->dropped = 0;
+    }
+  }
+  for (auto& counter : records_by_level_)
+    counter.store(0, std::memory_order_relaxed);
+  rate_limited_.store(0, std::memory_order_relaxed);
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+}  // namespace cosched

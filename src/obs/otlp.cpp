@@ -365,10 +365,95 @@ std::string otlp_metrics_json(const MetricsRegistry& registry,
   return out;
 }
 
+std::string otlp_logs_json(const Logger& logger, const DecisionJournal* journal,
+                           const OtlpExportOptions& options) {
+  auto append_attr = [](std::string& out, bool& first, const std::string& key,
+                        const std::string& value, bool quoted) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"key\":\"";
+    append_json_escaped(out, key);
+    out += quoted ? "\",\"value\":{\"stringValue\":\"" : "\",\"value\":{";
+    if (quoted) {
+      append_json_escaped(out, value);
+      out += "\"}}";
+    } else {
+      // Pre-rendered numeric/boolean literal; protojson doubles are fine
+      // as-is, integers ride as stringValue to stay 64-bit safe.
+      out += "\"stringValue\":\"" + value + "\"}}";
+    }
+  };
+  auto severity = [](LogLevel level) {
+    switch (level) {
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info: return "INFO";
+      case LogLevel::Warn: return "WARN";
+      case LogLevel::Error: return "ERROR";
+      case LogLevel::Off: break;
+    }
+    return "INFO";
+  };
+
+  std::string records;
+  bool first_record = true;
+  auto open_record = [&](double wall_us, const char* severity_text,
+                         std::uint64_t trace_id, const std::string& body) {
+    if (!first_record) records += ",";
+    first_record = false;
+    std::uint64_t nanos =
+        options.base_unix_nanos +
+        static_cast<std::uint64_t>(wall_us < 0.0 ? 0.0 : wall_us * 1000.0);
+    records += "{\"timeUnixNano\":" + fmt_u64_string(nanos);
+    records += ",\"severityText\":\"";
+    records += severity_text;
+    records += "\",\"body\":{\"stringValue\":\"";
+    append_json_escaped(records, body);
+    records += "\"}";
+    if (trace_id != 0)
+      records += ",\"traceId\":\"" + otlp_trace_id(trace_id) + "\"";
+  };
+
+  for (const LogRecord& record : logger.collect()) {
+    open_record(record.wall_us, severity(record.level), record.trace_id,
+                record.message);
+    records += ",\"attributes\":[";
+    bool first_attr = true;
+    append_attr(records, first_attr, "component", record.component, true);
+    for (const LogField& field : record.fields)
+      append_attr(records, first_attr, field.key, field.value, field.quoted);
+    records += "]}";
+  }
+  if (journal) {
+    for (const JournalEvent& event : journal->tail(SIZE_MAX)) {
+      // Journal timestamps are virtual seconds, not wall time; export at
+      // the resource epoch and carry the virtual time as an attribute.
+      open_record(0.0, "INFO", event.trace_id, render_journal_event(event));
+      records += ",\"attributes\":[";
+      bool first_attr = true;
+      append_attr(records, first_attr, "journal.kind", to_string(event.kind),
+                  true);
+      append_attr(records, first_attr, "journal.job",
+                  std::to_string(event.job_id), false);
+      append_attr(records, first_attr, "journal.policy", event.policy, true);
+      append_attr(records, first_attr, "journal.virtual_time",
+                  fmt_number(event.time), false);
+      records += "]}";
+    }
+  }
+
+  std::string out = "{\"resourceLogs\":[{";
+  out += resource_json(options);
+  out += ",\"scopeLogs\":[{\"scope\":{\"name\":\"cosched\"},\"logRecords\":[";
+  out += records;
+  out += "]}]}]}\n";
+  return out;
+}
+
 bool otlp_write_files(const std::string& dir, const Tracer& tracer,
                       const MetricsRegistry& registry, TailSampler* tail,
                       const OtlpExportOptions& options,
-                      std::vector<std::string>* written) {
+                      std::vector<std::string>* written, const Logger* logger,
+                      const DecisionJournal* journal) {
   namespace fs = std::filesystem;
   std::error_code ec;
   fs::create_directories(dir, ec);
@@ -392,6 +477,10 @@ bool otlp_write_files(const std::string& dir, const Tracer& tracer,
                       otlp_traces_json(tracer, tail, options));
   ok = write_one("otlp_metrics.json", otlp_metrics_json(registry, options)) &&
        ok;
+  if (logger)
+    ok = write_one("otlp_logs.json",
+                   otlp_logs_json(*logger, journal, options)) &&
+         ok;
   return ok;
 }
 

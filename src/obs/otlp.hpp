@@ -33,9 +33,11 @@
 #include <string>
 #include <vector>
 
+#include "obs/log.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/tail_sampler.hpp"
 #include "obs/trace.hpp"
+#include "online/journal.hpp"
 
 namespace cosched {
 
@@ -56,14 +58,26 @@ std::string otlp_traces_json(const Tracer& tracer, TailSampler* tail = nullptr,
 std::string otlp_metrics_json(const MetricsRegistry& registry,
                               const OtlpExportOptions& options = {});
 
+/// OTLP JSON log export (resourceLogs → scopeLogs → logRecords): the
+/// logger's buffered structured records plus, when `journal` is given, one
+/// record per decision-journal event (body = render_journal_event line,
+/// attributes kind/job/policy). Trace-correlated records carry the OTLP
+/// traceId of their trace context, so a collector joins them to spans.
+std::string otlp_logs_json(const Logger& logger,
+                           const DecisionJournal* journal = nullptr,
+                           const OtlpExportOptions& options = {});
+
 /// Writes otlp_traces.json and otlp_metrics.json under `dir` (created if
-/// missing). Appends the paths written to `written`; false (with a stderr
-/// warning) on any I/O failure.
+/// missing) — plus otlp_logs.json when `logger` is given. Appends the
+/// paths written to `written`; false (with a stderr warning) on any I/O
+/// failure.
 bool otlp_write_files(const std::string& dir, const Tracer& tracer,
                       const MetricsRegistry& registry,
                       TailSampler* tail = nullptr,
                       const OtlpExportOptions& options = {},
-                      std::vector<std::string>* written = nullptr);
+                      std::vector<std::string>* written = nullptr,
+                      const Logger* logger = nullptr,
+                      const DecisionJournal* journal = nullptr);
 
 /// "host:port" collector address for otlp_post().
 struct OtlpEndpoint {

@@ -135,6 +135,19 @@ bool LiveSchedulerService::job_status(std::int64_t job_id, StatusOutcome& out,
   return true;
 }
 
+bool LiveSchedulerService::job_timeline(std::int64_t job_id,
+                                        TimelineOutcome& out,
+                                        double timeout_seconds) {
+  Command command;
+  command.kind = CommandKind::Timeline;
+  command.job_id = job_id;
+  auto future = enqueue(std::move(command));
+  CommandResult result;
+  if (!await(future, result, timeout_seconds)) return false;
+  out = std::move(result.timeline);
+  return true;
+}
+
 bool LiveSchedulerService::snapshot(ServiceSnapshot& out,
                                     double timeout_seconds) {
   Command command;
@@ -250,6 +263,15 @@ void LiveSchedulerService::execute(Command& command) {
       if (command.job_id >= 0 && command.job_id < scheduler_.job_count()) {
         out.found = true;
         out.status = scheduler_.job_status(command.job_id);
+      }
+      break;
+    }
+    case CommandKind::Timeline: {
+      TimelineOutcome& out = result.timeline;
+      out.virtual_now = scheduler_.now();
+      if (command.job_id >= 0 && command.job_id < scheduler_.job_count()) {
+        out.found = true;
+        out.timeline = scheduler_.job_timeline(command.job_id);
       }
       break;
     }

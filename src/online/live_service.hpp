@@ -91,6 +91,15 @@ struct DrainOutcome {
   Real virtual_now = 0.0;
 };
 
+/// Decision-journal slice of one job (see online/journal.hpp). `found` is
+/// false for job ids the scheduler has never issued; an evicted-but-known
+/// job comes back found with timeline.truncated set.
+struct TimelineOutcome {
+  bool found = false;
+  Real virtual_now = 0.0;
+  JobTimeline timeline;
+};
+
 /// Cheap, lock-light load snapshot of one service instance — the signal the
 /// shard router's spillover policy reads on every admission, so it must not
 /// round-trip through the command queue. queue_depth is exact (one mutex
@@ -128,6 +137,8 @@ class LiveSchedulerService {
               double timeout_seconds);
   bool job_status(std::int64_t job_id, StatusOutcome& out,
                   double timeout_seconds);
+  bool job_timeline(std::int64_t job_id, TimelineOutcome& out,
+                    double timeout_seconds);
   bool snapshot(ServiceSnapshot& out, double timeout_seconds);
   bool metrics(MetricsOutcome& out, double timeout_seconds);
   /// Stops admissions, then runs every queued job to completion.
@@ -150,6 +161,11 @@ class LiveSchedulerService {
     return scheduler_.oracle_cache();
   }
 
+  /// Decision journal of the underlying scheduler. Internally mutex-guarded,
+  /// so counter sampling (/metrics) and tail views (/debug/events) are safe
+  /// from any thread without a round-trip through the command queue.
+  const DecisionJournal& journal() const { return scheduler_.journal(); }
+
   /// Stops the scheduler thread without draining. Idempotent.
   void stop();
 
@@ -161,11 +177,12 @@ class LiveSchedulerService {
                                               const std::string& prefix);
 
  private:
-  enum class CommandKind { Submit, Status, Snapshot, Metrics, Drain };
+  enum class CommandKind { Submit, Status, Timeline, Snapshot, Metrics, Drain };
 
   struct CommandResult {
     SubmitOutcome submit;
     StatusOutcome status;
+    TimelineOutcome timeline;
     ServiceSnapshot snapshot;
     MetricsOutcome metrics;
     DrainOutcome drain;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <map>
 
 #include "astar/search.hpp"
 #include "baseline/pg_greedy.hpp"
@@ -9,6 +10,7 @@
 #include "cache/machine_config.hpp"
 #include "core/degradation_models.hpp"
 #include "core/snapshot.hpp"
+#include "obs/log.hpp"
 #include "obs/profiler.hpp"
 #include "obs/tail_sampler.hpp"
 #include "obs/trace.hpp"
@@ -61,6 +63,7 @@ OnlineScheduler::OnlineScheduler(OnlineSchedulerOptions options)
   COSCHED_EXPECTS(options_.migration_cost >= 0.0);
   machine_by_cores(options_.cores);  // validates the core count
   machines_.assign(static_cast<std::size_t>(options_.machines), {});
+  journal_.set_capacity(options_.journal_capacity);
 }
 
 OnlineScheduler::~OnlineScheduler() = default;
@@ -186,6 +189,7 @@ void OnlineScheduler::begin() {
   clock_ = VirtualClock();
   queue_ = EventQueue();
   log_ = EventLog();
+  journal_.clear();
   metrics_ = SchedulerMetrics();
   jobs_.clear();
   procs_.clear();
@@ -324,6 +328,13 @@ void OnlineScheduler::handle_process_finish(std::int64_t proc_gid) {
     metrics_.on_completion(slowdown);
     log_.record(clock_.now(), EventKind::JobCompletion,
                 job.spec.name + " slowdown=" + TextTable::fmt(slowdown));
+    JournalEvent done;
+    done.job_id = p.job;
+    done.kind = JournalEventKind::Completion;
+    done.time = clock_.now();
+    done.trace_id = Tracer::current_context().trace_id;
+    done.detail = "slowdown=" + TextTable::fmt(slowdown);
+    journal_.append(std::move(done));
     ++finished_since_compaction_;
     maybe_compact_cache();
   }
@@ -394,6 +405,23 @@ void OnlineScheduler::replan(const char* reason, bool allow_pure_rebalance) {
                      std::string("reason=") + reason +
                          " solver=" + to_string(options_.solver));
   COSCHED_PROFILE_PHASE(replan_phase, "online.replan");
+
+  // Decision journal: one fleet-level event per fired replan, then one
+  // per admitted job — all stamped with the trace that triggered us.
+  const std::uint64_t decision_trace = Tracer::current_context().trace_id;
+  {
+    JournalEvent trigger;
+    trigger.kind = JournalEventKind::BatchTrigger;
+    trigger.time = clock_.now();
+    trigger.trace_id = decision_trace;
+    trigger.policy = reason;
+    trigger.candidates = static_cast<std::int32_t>(pending_.size());
+    trigger.detail = "admit=" + TextTable::fmt_int(admit) +
+                     " free_slots=" + TextTable::fmt_int(free_slot_count());
+    journal_.append(std::move(trigger));
+  }
+  std::vector<std::int64_t> admitted_ids(
+      pending_.begin(), pending_.begin() + admit);
   {
     COSCHED_TRACE_SPAN(admission_span, "replan.admission", clock_.now());
     COSCHED_PROFILE_PHASE(admission_phase, "replan.admission");
@@ -415,6 +443,16 @@ void OnlineScheduler::replan(const char* reason, bool allow_pure_rebalance) {
       metrics_.on_admission(wait);
       log_.record(clock_.now(), EventKind::JobAdmission,
                   job.spec.name + " wait=" + TextTable::fmt(wait));
+      JournalEvent admitted;
+      admitted.job_id = job_id;
+      admitted.kind = JournalEventKind::Admission;
+      admitted.time = clock_.now();
+      admitted.trace_id = decision_trace;
+      admitted.policy = reason;
+      admitted.candidates = admit;
+      admitted.detail = "wait=" + TextTable::fmt(wait) +
+                        " procs=" + TextTable::fmt_int(job.spec.processes);
+      journal_.append(std::move(admitted));
     }
     pending_.erase(pending_.begin(), pending_.begin() + admit);
   }
@@ -542,6 +580,11 @@ void OnlineScheduler::replan(const char* reason, bool allow_pure_rebalance) {
   // per-machine re-query loop.
   COSCHED_TRACE_SPAN(commit_span, "replan.commit", clock_.now());
   COSCHED_PROFILE_PHASE(commit_phase, "replan.commit");
+  // Pre-commit machine of every process: the commit loop overwrites it,
+  // and the delta is what the journal's migration events report.
+  std::vector<std::int32_t> prev_machine(procs_.size(), -1);
+  for (std::size_t i = 0; i < procs_.size(); ++i)
+    prev_machine[i] = procs_[i].machine;
   ScheduleSnapshot adopted = snapshot_schedule(problem, result.placement);
   for (std::size_t m = 0; m < machines_.size(); ++m) {
     machines_[m].clear();
@@ -558,6 +601,83 @@ void OnlineScheduler::replan(const char* reason, bool allow_pure_rebalance) {
   }
   problem_ = std::make_unique<Problem>(std::move(problem));
   last_replan_time_ = clock_.now();
+
+  // Per-job attribution: the placement every admitted job got (machine,
+  // co-runners, predicted delta of the adopted schedule vs staying put)
+  // and one migration event per job whose running processes moved.
+  const Real decision_delta = result.combined - stay_combined;
+  auto co_runner_jobs = [&](std::int64_t self_id) {
+    std::vector<std::int64_t> co;
+    const JobState& job = jobs_[static_cast<std::size_t>(self_id)];
+    for (std::int64_t gid : job.procs) {
+      const ProcState& p = procs_[static_cast<std::size_t>(gid)];
+      if (!p.live || p.machine < 0) continue;
+      for (std::int64_t other :
+           machines_[static_cast<std::size_t>(p.machine)]) {
+        std::int64_t other_job = procs_[static_cast<std::size_t>(other)].job;
+        if (other_job != self_id) co.push_back(other_job);
+      }
+    }
+    std::sort(co.begin(), co.end());
+    co.erase(std::unique(co.begin(), co.end()), co.end());
+    return co;
+  };
+  auto first_machine = [&](std::int64_t job_id) {
+    const JobState& job = jobs_[static_cast<std::size_t>(job_id)];
+    for (std::int64_t gid : job.procs) {
+      const ProcState& p = procs_[static_cast<std::size_t>(gid)];
+      if (p.live && p.machine >= 0) return p.machine;
+    }
+    return static_cast<std::int32_t>(-1);
+  };
+  for (std::int64_t job_id : admitted_ids) {
+    JournalEvent placed;
+    placed.job_id = job_id;
+    placed.kind = JournalEventKind::Placement;
+    placed.time = clock_.now();
+    placed.trace_id = decision_trace;
+    placed.policy = to_string(options_.solver);
+    placed.machine = first_machine(job_id);
+    placed.candidates = options_.machines;
+    placed.degradation_delta = decision_delta;
+    placed.co_runners = co_runner_jobs(job_id);
+    placed.detail = std::string("reason=") + reason;
+    journal_.append(std::move(placed));
+  }
+  std::map<std::int64_t, std::string> moved;  // job -> "p3:m0->m2 ..."
+  for (std::size_t i = 0; i < prev_machine.size(); ++i) {
+    const ProcState& p = procs_[i];
+    if (prev_machine[i] < 0 || !p.live || p.machine == prev_machine[i])
+      continue;
+    std::string& detail = moved[p.job];
+    if (!detail.empty()) detail += " ";
+    detail += "p" + std::to_string(i) + ":m" +
+              std::to_string(prev_machine[i]) + "->m" +
+              std::to_string(p.machine);
+  }
+  for (auto& [job_id, detail] : moved) {
+    JournalEvent migrated;
+    migrated.job_id = job_id;
+    migrated.kind = JournalEventKind::Migration;
+    migrated.time = clock_.now();
+    migrated.trace_id = decision_trace;
+    migrated.policy = to_string(options_.solver);
+    migrated.machine = first_machine(job_id);
+    migrated.candidates = options_.machines;
+    migrated.degradation_delta = decision_delta;
+    migrated.co_runners = co_runner_jobs(job_id);
+    migrated.detail = std::move(detail);
+    journal_.append(std::move(migrated));
+  }
+  COSCHED_LOG(LogLevel::Info, "online", "replan committed",
+              {log_kv("reason", reason), log_kv("solver",
+                                                to_string(options_.solver)),
+               log_kv("admitted", static_cast<std::int64_t>(admit)),
+               log_kv("migrations",
+                      static_cast<std::int64_t>(result.migrations)),
+               log_kv("combined", static_cast<double>(result.combined)),
+               log_kv("delta", static_cast<double>(decision_delta)),
+               log_kv("virtual_now", static_cast<double>(clock_.now()))});
 
   ReplanRecord record;
   record.time = clock_.now();

@@ -40,6 +40,7 @@
 #include "core/problem.hpp"
 #include "online/admission.hpp"
 #include "online/event.hpp"
+#include "online/journal.hpp"
 #include "online/metrics.hpp"
 #include "online/trace.hpp"
 #include "util/rng.hpp"
@@ -73,6 +74,9 @@ struct OnlineSchedulerOptions {
   std::uint32_t cache_compaction_jobs = 0;
   std::uint64_t seed = 0xC05EDULL;  ///< Random-solver draws
   bool log_process_finish = true;   ///< event-log verbosity
+  /// Decision-journal ring capacity (admissions, placements, migrations);
+  /// oldest events are evicted (and counted) past this bound.
+  std::size_t journal_capacity = 65536;
 };
 
 /// Lifecycle of a submitted job as seen by status queries.
@@ -151,6 +155,13 @@ class OnlineScheduler {
   Real now() const { return clock_.now(); }
   const SchedulerMetrics& metrics() const { return metrics_; }
   const EventLog& log() const { return log_; }
+  /// Per-decision attribution ring (see journal.hpp); query with
+  /// job_timeline().
+  const DecisionJournal& journal() const { return journal_; }
+  /// Admission → placement → migration → completion events of one job.
+  JobTimeline job_timeline(std::int64_t job_id) const {
+    return journal_.query(job_id);
+  }
   /// Shared degradation cache (hit statistics, entry count).
   const DegradationCache& oracle_cache() const { return *cache_; }
   std::int32_t machine_count() const { return options_.machines; }
@@ -194,6 +205,7 @@ class OnlineScheduler {
   VirtualClock clock_;
   EventQueue queue_;
   EventLog log_;
+  DecisionJournal journal_;
   SchedulerMetrics metrics_;
   DegradationCachePtr cache_;
 

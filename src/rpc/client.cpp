@@ -199,6 +199,22 @@ RpcError CoschedClient::query_job_status(std::int64_t job_id,
   return error;
 }
 
+RpcError CoschedClient::query_job_timeline(std::int64_t job_id,
+                                           JobTimelineResponse& out) {
+  WireWriter w;
+  w.i64(job_id);
+  ResponseEnvelope envelope;
+  RpcError error =
+      call(MessageType::QueryJobTimeline, w.bytes(), true, envelope);
+  if (!error.ok()) return error;
+  WireReader r(envelope.body);
+  if (!decode_timeline_response(r, out) || !r.complete()) {
+    error.kind = RpcErrorKind::Protocol;
+    error.message = "undecodable QueryJobTimeline response body";
+  }
+  return error;
+}
+
 RpcError CoschedClient::query_snapshot(ServiceSnapshot& out) {
   ResponseEnvelope envelope;
   RpcError error = call(MessageType::QueryScheduleSnapshot, {}, true, envelope);

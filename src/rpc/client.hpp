@@ -72,6 +72,9 @@ class CoschedClient {
 
   RpcError submit_job(const TraceJob& job, SubmitJobResponse& out);
   RpcError query_job_status(std::int64_t job_id, JobStatusResponse& out);
+  /// v7: the decision journal's admission → placement → migration →
+  /// completion timeline of one job.
+  RpcError query_job_timeline(std::int64_t job_id, JobTimelineResponse& out);
   RpcError query_snapshot(ServiceSnapshot& out);
   RpcError get_metrics(MetricsResponse& out);
   /// v2: the server's structured trace (text dump + Chrome JSON).

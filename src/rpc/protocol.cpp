@@ -14,13 +14,14 @@ const char* to_string(MessageType type) {
     case MessageType::Shutdown: return "Shutdown";
     case MessageType::TraceDump: return "TraceDump";
     case MessageType::SubscribeTelemetry: return "SubscribeTelemetry";
+    case MessageType::QueryJobTimeline: return "QueryJobTimeline";
   }
   return "?";
 }
 
 bool valid_message_type(std::uint8_t raw) {
   return raw >= static_cast<std::uint8_t>(MessageType::SubmitJob) &&
-         raw <= static_cast<std::uint8_t>(MessageType::SubscribeTelemetry);
+         raw <= static_cast<std::uint8_t>(MessageType::QueryJobTimeline);
 }
 
 const char* to_string(RpcStatus status) {
@@ -558,6 +559,73 @@ bool decode_telemetry_frame(WireReader& r, TelemetryFrame& frame) {
   frame.sampling_mode.clear();
   if (r.remaining() == 0) return r.ok();
   frame.sampling_mode = r.str();
+  return r.ok();
+}
+
+// ---- decision-journal timeline (v7) --------------------------------------
+
+void encode_journal_event(WireWriter& w, const JournalEvent& event) {
+  w.i64(event.job_id);
+  w.u8(static_cast<std::uint8_t>(event.kind));
+  w.real(event.time);
+  w.u64(event.trace_id);
+  w.u64(event.seq);
+  w.str(event.policy);
+  w.i32(event.machine);
+  w.i32(event.candidates);
+  w.real(event.degradation_delta);
+  w.u32(static_cast<std::uint32_t>(event.co_runners.size()));
+  for (std::int64_t co : event.co_runners) w.i64(co);
+  w.str(event.detail);
+}
+
+bool decode_journal_event(WireReader& r, JournalEvent& event) {
+  event.job_id = r.i64();
+  std::uint8_t raw_kind = r.u8();
+  event.time = r.real();
+  event.trace_id = r.u64();
+  event.seq = r.u64();
+  event.policy = r.str();
+  event.machine = r.i32();
+  event.candidates = r.i32();
+  event.degradation_delta = r.real();
+  std::uint32_t co_count = r.u32();
+  if (!r.ok() || !journal_event_kind_from(raw_kind, event.kind) ||
+      co_count > r.remaining())
+    return false;
+  event.co_runners.clear();
+  event.co_runners.reserve(co_count);
+  for (std::uint32_t i = 0; i < co_count; ++i)
+    event.co_runners.push_back(r.i64());
+  event.detail = r.str();
+  return r.ok();
+}
+
+void encode_timeline_response(WireWriter& w,
+                              const JobTimelineResponse& response) {
+  w.i64(response.job_id);
+  w.boolean(response.found);
+  w.boolean(response.truncated);
+  w.real(response.virtual_now);
+  w.u32(static_cast<std::uint32_t>(response.events.size()));
+  for (const JournalEvent& event : response.events)
+    encode_journal_event(w, event);
+}
+
+bool decode_timeline_response(WireReader& r, JobTimelineResponse& response) {
+  response.job_id = r.i64();
+  response.found = r.boolean();
+  response.truncated = r.boolean();
+  response.virtual_now = r.real();
+  std::uint32_t count = r.u32();
+  if (!r.ok() || count > r.remaining()) return false;
+  response.events.clear();
+  response.events.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    JournalEvent event;
+    if (!decode_journal_event(r, event)) return false;
+    response.events.push_back(std::move(event));
+  }
   return r.ok();
 }
 

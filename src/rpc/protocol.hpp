@@ -44,12 +44,19 @@ namespace cosched {
 /// liveness verdict and the per-kind RPC failure counters the router's
 /// RemoteShard backend accumulated against it (transport / protocol /
 /// application — the client error taxonomy).
+/// Version 7 adds the QueryJobTimeline message: a job id resolves to the
+/// ordered decision-journal events behind it (admission, batch trigger,
+/// placement with policy/co-runners/predicted degradation delta,
+/// spillover, migration, completion — see online/journal.hpp), each
+/// carrying the trace id of the replan that made the call. The message is
+/// v7-only (older peers never sent it); every pre-v7 reply body is
+/// unchanged.
 /// The server accepts every version in [kMinProtocolVersion,
-/// kProtocolVersion] and answers in the requester's version — a v1..v5
+/// kProtocolVersion] and answers in the requester's version — a v1..v6
 /// peer gets exactly the bytes it always got (extension fields are appended
 /// after the older body and decoded only when present; the envelope
 /// trace_id travels on v3+ wires only).
-inline constexpr std::uint16_t kProtocolVersion = 6;
+inline constexpr std::uint16_t kProtocolVersion = 7;
 inline constexpr std::uint16_t kMinProtocolVersion = 1;
 
 enum class MessageType : std::uint8_t {
@@ -61,6 +68,7 @@ enum class MessageType : std::uint8_t {
   Shutdown = 6,
   TraceDump = 7,  ///< v2: the server's structured trace, text + Chrome JSON
   SubscribeTelemetry = 8,  ///< v3: server-push metrics + span stream
+  QueryJobTimeline = 9,  ///< v7: decision-journal events of one job
 };
 
 const char* to_string(MessageType type);
@@ -279,6 +287,21 @@ struct ShutdownResponse {
   Real virtual_now = 0.0;
 };
 
+// ---- decision-journal timeline (v7) --------------------------------------
+// QueryJobTimeline request body: one i64 job id (global when asked of a
+// router, local when asked of a single shard). The response carries the
+// journal events of that job in decision order; `truncated` says the
+// journal's bounded ring has evicted events and the retained timeline may
+// be missing its earliest decisions (a well-formed answer, not an error).
+
+struct JobTimelineResponse {
+  std::int64_t job_id = -1;
+  bool found = false;      ///< false: the id was never submitted here
+  bool truncated = false;  ///< ring evictions may have removed events
+  Real virtual_now = 0.0;
+  std::vector<JournalEvent> events;  ///< ascending seq
+};
+
 // Field-level encoders shared by client and server. Decoders return false
 // on malformed input and leave the output in an unspecified state.
 void encode_trace_job(WireWriter& w, const TraceJob& job);
@@ -331,5 +354,12 @@ bool decode_telemetry_subscribe_ack(WireReader& r, TelemetrySubscribeAck& ack);
 void encode_telemetry_frame(WireWriter& w, const TelemetryFrame& frame,
                             std::uint16_t version = kProtocolVersion);
 bool decode_telemetry_frame(WireReader& r, TelemetryFrame& frame);
+
+void encode_journal_event(WireWriter& w, const JournalEvent& event);
+bool decode_journal_event(WireReader& r, JournalEvent& event);
+
+void encode_timeline_response(WireWriter& w,
+                              const JobTimelineResponse& response);
+bool decode_timeline_response(WireReader& r, JobTimelineResponse& response);
 
 }  // namespace cosched

@@ -1,8 +1,10 @@
 #include "rpc/server.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <utility>
 
+#include "obs/log.hpp"
 #include "obs/profiler.hpp"
 #include "obs/tail_sampler.hpp"
 #include "obs/trace.hpp"
@@ -53,11 +55,14 @@ bool CoschedServer::start(std::string& error) {
     http_options.host = options_.host;
     http_options.port = options_.http_port;
     http_ = std::make_unique<HttpEndpoint>(http_options);
-    http_->handle("/metrics", [](const std::string&, std::string& body,
-                                 std::string& content_type) {
+    http_->handle("/metrics", [this](const std::string&, std::string& body,
+                                     std::string& content_type) {
       // Exemplars ride on the side door: a Grafana heatmap cell links
-      // straight to the trace behind it.
+      // straight to the trace behind it. The labeled log/journal families
+      // are hand-rendered (the registry callbacks are label-free).
       body = MetricsRegistry::global().render_prometheus(true);
+      body += render_log_metrics();
+      body += render_journal_metrics(service_->journal());
       content_type = "text/plain; version=0.0.4; charset=utf-8";
       return true;
     });
@@ -71,6 +76,31 @@ bool CoschedServer::start(std::string& error) {
       // Collapsed-stack ("folded") format: one "path self_us" line per
       // phase, ready for flamegraph.pl / speedscope.
       body = Profiler::global().render_collapsed();
+      return true;
+    });
+    http_->handle("/debug/events", [this](const std::string& target,
+                                          std::string& body, std::string&) {
+      // ?job=<id> filters to one job's timeline; bare = the newest 256
+      // decisions fleet-wide (the firehose view).
+      const DecisionJournal& journal = service_->journal();
+      const std::string job_param = http_query_param(target, "job");
+      if (!job_param.empty()) {
+        char* end = nullptr;
+        long long id = std::strtoll(job_param.c_str(), &end, 10);
+        if (end == job_param.c_str() || *end != '\0') {
+          body = "bad job id: " + job_param + "\n";
+          return true;
+        }
+        JobTimeline timeline = journal.query(static_cast<std::int64_t>(id));
+        body = "job=" + std::to_string(id) +
+               " events=" + std::to_string(timeline.events.size()) +
+               " truncated=" + (timeline.truncated ? "1" : "0") + "\n";
+        for (const JournalEvent& event : timeline.events)
+          body += render_journal_event(event) + "\n";
+        return true;
+      }
+      for (const JournalEvent& event : journal.tail(256))
+        body += render_journal_event(event) + "\n";
       return true;
     });
     if (!http_->start(error)) {
@@ -642,6 +672,38 @@ ResponseEnvelope CoschedServer::handle_request(const RequestEnvelope& request) {
       reply.virtual_now = outcome.virtual_now;
       reply.status = outcome.status;
       encode_status_response(body, reply);
+      break;
+    }
+    case MessageType::QueryJobTimeline: {
+      if (request.version < 7) {
+        response.status = RpcStatus::BadRequest;
+        response.error = "QueryJobTimeline requires protocol v7";
+        return response;
+      }
+      std::int64_t job_id = reader.i64();
+      if (!reader.complete()) {
+        response.status = RpcStatus::BadRequest;
+        response.error = "malformed QueryJobTimeline body";
+        return response;
+      }
+      TimelineOutcome outcome;
+      if (!service_->job_timeline(job_id, outcome, remaining_seconds())) {
+        response.status = RpcStatus::DeadlineExpired;
+        response.error = "scheduler did not answer within the budget";
+        return response;
+      }
+      if (!outcome.found) {
+        response.status = RpcStatus::UnknownJob;
+        response.error = "no job with id " + std::to_string(job_id);
+        return response;
+      }
+      JobTimelineResponse reply;
+      reply.job_id = job_id;
+      reply.found = true;
+      reply.truncated = outcome.timeline.truncated;
+      reply.virtual_now = outcome.virtual_now;
+      reply.events = std::move(outcome.timeline.events);
+      encode_timeline_response(body, reply);
       break;
     }
     case MessageType::QueryScheduleSnapshot: {

@@ -49,6 +49,26 @@ RpcStatus LocalShard::job_status(std::int64_t job_id, JobStatusResponse& out,
   return outcome.found ? RpcStatus::Ok : RpcStatus::UnknownJob;
 }
 
+RpcStatus LocalShard::job_timeline(std::int64_t job_id,
+                                   JobTimelineResponse& out,
+                                   std::string& error) {
+  TimelineOutcome outcome;
+  if (!service_.job_timeline(job_id, outcome, timeout_)) {
+    error = "shard command queue timeout";
+    return RpcStatus::DeadlineExpired;
+  }
+  out.job_id = job_id;
+  out.found = outcome.found;
+  out.truncated = outcome.timeline.truncated;
+  out.virtual_now = outcome.virtual_now;
+  out.events = std::move(outcome.timeline.events);
+  if (!outcome.found) {
+    error = "no job with id " + std::to_string(job_id);
+    return RpcStatus::UnknownJob;
+  }
+  return RpcStatus::Ok;
+}
+
 RpcStatus LocalShard::snapshot(ServiceSnapshot& out, std::string& error) {
   if (!service_.snapshot(out, timeout_)) {
     error = "shard command queue timeout";
@@ -148,6 +168,15 @@ RpcStatus RemoteShard::job_status(std::int64_t job_id, JobStatusResponse& out,
   std::lock_guard<std::mutex> lock(mutex_);
   forward_trace_locked();
   RpcError rpc = client_.query_job_status(job_id, out);
+  return fold(rpc, rpc.app, error);
+}
+
+RpcStatus RemoteShard::job_timeline(std::int64_t job_id,
+                                    JobTimelineResponse& out,
+                                    std::string& error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  forward_trace_locked();
+  RpcError rpc = client_.query_job_timeline(job_id, out);
   return fold(rpc, rpc.app, error);
 }
 

@@ -9,7 +9,7 @@
 //  * LocalShard — owns the service in-process. This is the default and the
 //    deterministic one: no sockets, results are a pure function of the
 //    routed submission sequence.
-//  * RemoteShard — speaks protocol v6 to a CoschedServer started elsewhere
+//  * RemoteShard — speaks protocol v7 to a CoschedServer started elsewhere
 //    with ServerOptions::shard_id set (the RPC-addressable deployment).
 //    Calls are serialized on one connection; the load probe is the cached
 //    fan-in block of the last GetMetrics, refreshed by refresh_load().
@@ -61,6 +61,9 @@ class ShardBackend {
                            std::string& error) = 0;
   virtual RpcStatus job_status(std::int64_t job_id, JobStatusResponse& out,
                                std::string& error) = 0;
+  /// v7: the shard's decision-journal timeline of one (shard-local) job.
+  virtual RpcStatus job_timeline(std::int64_t job_id, JobTimelineResponse& out,
+                                 std::string& error) = 0;
   virtual RpcStatus snapshot(ServiceSnapshot& out, std::string& error) = 0;
   /// Fills the shard's own counters plus the v5 load fields (queue depth,
   /// replan p95). The fan-in `shards` vector stays empty — nesting routers
@@ -109,6 +112,8 @@ class LocalShard : public ShardBackend {
                    std::string& error) override;
   RpcStatus job_status(std::int64_t job_id, JobStatusResponse& out,
                        std::string& error) override;
+  RpcStatus job_timeline(std::int64_t job_id, JobTimelineResponse& out,
+                         std::string& error) override;
   RpcStatus snapshot(ServiceSnapshot& out, std::string& error) override;
   RpcStatus metrics(MetricsResponse& out, std::string& error) override;
   RpcStatus drain(DrainResponse& out, std::string& error) override;
@@ -136,6 +141,8 @@ class RemoteShard : public ShardBackend {
                    std::string& error) override;
   RpcStatus job_status(std::int64_t job_id, JobStatusResponse& out,
                        std::string& error) override;
+  RpcStatus job_timeline(std::int64_t job_id, JobTimelineResponse& out,
+                         std::string& error) override;
   RpcStatus snapshot(ServiceSnapshot& out, std::string& error) override;
   RpcStatus metrics(MetricsResponse& out, std::string& error) override;
   RpcStatus drain(DrainResponse& out, std::string& error) override;

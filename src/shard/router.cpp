@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "obs/log.hpp"
 #include "obs/metrics_registry.hpp"
 
 namespace cosched {
@@ -186,8 +187,62 @@ RpcStatus ShardRouter::submit(const TraceJob& job, SubmitJobResponse& out,
     out.shard_id = static_cast<std::int32_t>(shard);
     out.job_id = to_global(out.job_id, shard);
     rewrite_view_global(out.status, shard);
+    std::size_t ring_target = static_cast<std::size_t>(ring_shard(job.name));
+    if (shard != ring_target) {
+      // The routed shard differs from pure consistent hashing: attribute
+      // the spillover (or sticky remap) in the router journal under the
+      // *global* id, timestamped 0.0 — before any shard virtual time, so a
+      // merged timeline stays ordered across clock domains.
+      JournalEvent event;
+      event.job_id = out.job_id;
+      event.kind = JournalEventKind::Spillover;
+      event.time = 0.0;
+      event.trace_id = trace_id;
+      event.policy = "least_loaded";
+      event.machine = static_cast<std::int32_t>(shard);
+      event.candidates = static_cast<std::int32_t>(shards_.size());
+      event.detail = "ring_shard=" + std::to_string(ring_target) +
+                     " tenant=" + tenant_key(job.name);
+      journal_.append(std::move(event));
+      COSCHED_LOG(LogLevel::Info, "router", "submit spilled off ring shard",
+                  {log_kv("job", out.job_id),
+                   log_kv("ring_shard", static_cast<std::int64_t>(ring_target)),
+                   log_kv("shard", static_cast<std::int64_t>(shard)),
+                   log_kv("tenant", tenant_key(job.name))});
+    }
   }
   return status;
+}
+
+RpcStatus ShardRouter::job_timeline(std::int64_t global_id,
+                                    JobTimelineResponse& out,
+                                    std::string& error) {
+  if (shards_.empty()) {
+    error = "router has no shards";
+    return RpcStatus::ServerError;
+  }
+  if (global_id < 0) {
+    error = "negative job id";
+    return RpcStatus::UnknownJob;
+  }
+  std::int64_t n = static_cast<std::int64_t>(shards_.size());
+  std::size_t shard = static_cast<std::size_t>(global_id % n);
+  std::int64_t local_id = global_id / n;
+  RpcStatus status =
+      shards_[shard].backend->job_timeline(local_id, out, error);
+  if (status != RpcStatus::Ok) return status;
+  out.job_id = global_id;
+  for (JournalEvent& event : out.events) {
+    event.job_id = to_global(event.job_id, shard);
+    for (std::int64_t& co : event.co_runners) co = to_global(co, shard);
+  }
+  // Router spillover events lead (time 0.0 ≤ every shard virtual time).
+  JobTimeline routed = journal_.query(global_id);
+  if (!routed.events.empty()) {
+    out.events.insert(out.events.begin(), routed.events.begin(),
+                      routed.events.end());
+  }
+  return RpcStatus::Ok;
 }
 
 RpcStatus ShardRouter::job_status(std::int64_t global_id,
@@ -518,6 +573,9 @@ std::string ShardRouter::render_prometheus() {
          "all shards merged.\n";
   render_prometheus_histogram(out, "cosched_router_request_seconds", fleet,
                               /*with_exemplars=*/true);
+  // Labeled log/journal accounting (the router's own spillover journal).
+  out << render_log_metrics();
+  out << render_journal_metrics(journal_);
   return out.str();
 }
 

@@ -128,6 +128,13 @@ class ShardRouter {
                    std::string& error, std::uint64_t trace_id = 0);
   RpcStatus job_status(std::int64_t global_id, JobStatusResponse& out,
                        std::string& error);
+  /// v7 "explain this placement": resolves the owning shard from the
+  /// global id, pulls its decision-journal timeline, rewrites job and
+  /// co-runner ids into the global domain and prepends the router's own
+  /// spillover events for the job (timestamped 0.0, i.e. before any shard
+  /// virtual time, so the merged list stays ordered).
+  RpcStatus job_timeline(std::int64_t global_id, JobTimelineResponse& out,
+                         std::string& error);
   /// Merged fleet view: machines concatenated in shard order, clocks
   /// reported at the max, job/process ids rewritten to the global domain.
   RpcStatus snapshot(ServiceSnapshot& out, std::string& error);
@@ -138,6 +145,10 @@ class ShardRouter {
   RpcStatus drain(DrainResponse& out, std::string& error);
 
   RouterStats stats() const;
+
+  /// Router-owned decision journal: one Spillover event per submit that
+  /// landed off its ring shard (keyed by global job id). Thread-safe.
+  const DecisionJournal& journal() const { return journal_; }
 
   /// Liveness fan-in behind the bounded-staleness cache: shards whose
   /// cached verdict is older than `max_age_seconds` are re-probed (one
@@ -205,6 +216,8 @@ class ShardRouter {
   /// max_remap_entries.
   std::unordered_map<std::uint64_t, std::size_t> remap_;
   RouterStats stats_;
+  /// Spillover attribution, own mutex (see journal.hpp).
+  DecisionJournal journal_;
   /// Per-shard router-side submit latency (wall seconds), exemplar per
   /// bucket keyed by the request's trace id. Merged for the fleet page.
   std::vector<Histogram> latency_;

@@ -1,6 +1,7 @@
 #include "shard/router_server.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <utility>
 
 #include "obs/profiler.hpp"
@@ -58,6 +59,37 @@ bool RouterServer::start(std::string& error) {
     http_->handle("/debug/profile", [](const std::string&, std::string& body,
                                        std::string&) {
       body = Profiler::global().render_collapsed();
+      return true;
+    });
+    http_->handle("/debug/events", [router](const std::string& target,
+                                            std::string& body, std::string&) {
+      // ?job=<global id> fans through to the owning shard's journal (ids
+      // rewritten to the global domain); bare = the router's own spillover
+      // journal tail.
+      const std::string job_param = http_query_param(target, "job");
+      if (!job_param.empty()) {
+        char* end = nullptr;
+        long long id = std::strtoll(job_param.c_str(), &end, 10);
+        if (end == job_param.c_str() || *end != '\0') {
+          body = "bad job id: " + job_param + "\n";
+          return true;
+        }
+        JobTimelineResponse reply;
+        std::string error;
+        RpcStatus status = router->job_timeline(id, reply, error);
+        if (status != RpcStatus::Ok) {
+          body = std::string(to_string(status)) + ": " + error + "\n";
+          return true;
+        }
+        body = "job=" + std::to_string(id) +
+               " events=" + std::to_string(reply.events.size()) +
+               " truncated=" + (reply.truncated ? "1" : "0") + "\n";
+        for (const JournalEvent& event : reply.events)
+          body += render_journal_event(event) + "\n";
+        return true;
+      }
+      for (const JournalEvent& event : router->journal().tail(256))
+        body += render_journal_event(event) + "\n";
       return true;
     });
     if (!http_->start(error)) {
@@ -275,6 +307,23 @@ ResponseEnvelope RouterServer::handle_request(const RequestEnvelope& request,
                                 : error);
       }
       encode_status_response(body, reply);
+      break;
+    }
+    case MessageType::QueryJobTimeline: {
+      if (request.version < 7)
+        return fail(RpcStatus::BadRequest,
+                    "QueryJobTimeline requires protocol v7");
+      std::int64_t job_id = reader.i64();
+      if (!reader.complete())
+        return fail(RpcStatus::BadRequest, "malformed QueryJobTimeline body");
+      JobTimelineResponse reply;
+      RpcStatus status = router_.job_timeline(job_id, reply, error);
+      if (status != RpcStatus::Ok) {
+        return fail(status, error.empty()
+                                ? "no job with id " + std::to_string(job_id)
+                                : error);
+      }
+      encode_timeline_response(body, reply);
       break;
     }
     case MessageType::QueryScheduleSnapshot: {

@@ -263,6 +263,45 @@ TEST(FlatJson, FlattensNestedDocument) {
   EXPECT_EQ(json.number("missing", -7.0), -7.0);
 }
 
+TEST(FlatJson, UnicodeEscapesDecodeToUtf8) {
+  FlatJson json;
+  std::string error;
+  // ASCII, 2-byte, and 3-byte UTF-8 from BMP escapes (raw string: the parser
+  // sees the six-character sequence \u0041, not a pre-decoded 'A').
+  ASSERT_TRUE(
+      parse_flat_json(R"({"a": "\u0041\u00e9\u20AC"})", json, error))
+      << error;
+  EXPECT_EQ(json.string("a", ""), "A\xC3\xA9\xE2\x82\xAC");  // A e-acute euro
+
+  // A surrogate pair decodes to one astral code point (U+1F600).
+  ASSERT_TRUE(parse_flat_json(R"({"b": "\uD83D\uDE00"})", json, error))
+      << error;
+  EXPECT_EQ(json.string("b", ""), "\xF0\x9F\x98\x80");
+
+  // Escaped keys flatten under their decoded form.
+  ASSERT_TRUE(parse_flat_json(R"({"\u006B": 7})", json, error)) << error;
+  EXPECT_EQ(json.number("k", 0.0), 7.0);
+}
+
+TEST(FlatJson, InvalidUnicodeEscapesAreRejected) {
+  FlatJson json;
+  std::string error;
+  // Lone high surrogate.
+  EXPECT_FALSE(parse_flat_json(R"({"a": "\uD800"})", json, error));
+  EXPECT_NE(error.find("surrogate"), std::string::npos) << error;
+  // Lone low surrogate.
+  EXPECT_FALSE(parse_flat_json(R"({"a": "\uDC00"})", json, error));
+  // High surrogate followed by a non-surrogate escape.
+  EXPECT_FALSE(parse_flat_json(R"({"a": "\uD800A"})", json, error));
+  // High surrogate followed by a plain character.
+  EXPECT_FALSE(parse_flat_json(R"({"a": "\uD800x"})", json, error));
+  // Too few hex digits / non-hex digits.
+  EXPECT_FALSE(parse_flat_json(R"({"a": "\u12"})", json, error));
+  EXPECT_FALSE(parse_flat_json(R"({"a": "\u12GZ"})", json, error));
+  // Truncated at end of input.
+  EXPECT_FALSE(parse_flat_json(R"({"a": "\u00)", json, error));
+}
+
 TEST(FlatJson, MalformedInputFailsWithPosition) {
   FlatJson json;
   std::string error;

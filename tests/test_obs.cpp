@@ -8,7 +8,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <limits>
 #include <map>
 #include <sstream>
@@ -18,8 +20,10 @@
 
 #include "core/oracle_cache.hpp"
 #include "obs/histogram.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/trace.hpp"
+#include "online/journal.hpp"
 #include "online/scheduler.hpp"
 
 namespace cosched {
@@ -694,6 +698,293 @@ TEST(ObsTraceMerge, RealExportsSurviveNamespacingAndMerge) {
             2 * occurrences(json, "\"cat\":\"flow\""));
   EXPECT_EQ(merged.find("\"name\":\"shard0/trace\""), std::string::npos);
 }
+
+
+// ------------------------------------------------------------ logger
+
+TEST(ObsLogger, LevelThresholdFiltersBeforeCounting) {
+  Logger logger;
+  logger.set_level(LogLevel::Warn);
+  EXPECT_FALSE(logger.enabled(LogLevel::Debug));
+  EXPECT_FALSE(logger.enabled(LogLevel::Info));
+  EXPECT_TRUE(logger.enabled(LogLevel::Warn));
+  EXPECT_TRUE(logger.enabled(LogLevel::Error));
+
+  logger.log(LogLevel::Debug, "test", "below threshold");
+  logger.log(LogLevel::Info, "test", "below threshold");
+  logger.log(LogLevel::Warn, "test", "kept");
+  logger.log(LogLevel::Error, "test", "kept too");
+
+  EXPECT_EQ(logger.records_total(LogLevel::Debug), 0u);
+  EXPECT_EQ(logger.records_total(LogLevel::Info), 0u);
+  EXPECT_EQ(logger.records_total(LogLevel::Warn), 1u);
+  EXPECT_EQ(logger.records_total(LogLevel::Error), 1u);
+  EXPECT_EQ(logger.dropped_records(), 0u);  // filtered != dropped
+  EXPECT_EQ(logger.buffered_records(), 2u);
+}
+
+TEST(ObsLogger, RingOverwritesOldestAndCountsDrops) {
+  Logger logger;
+  logger.set_level(LogLevel::Debug);
+  logger.set_max_records_per_thread(4);
+  for (int i = 0; i < 10; ++i)
+    logger.log(LogLevel::Info, "ring", "msg " + std::to_string(i));
+
+  EXPECT_EQ(logger.buffered_records(), 4u);
+  EXPECT_EQ(logger.dropped_records(), 6u);
+  EXPECT_EQ(logger.records_total(LogLevel::Info), 10u);  // accepted, then shed
+
+  std::vector<LogRecord> records = logger.collect();
+  ASSERT_EQ(records.size(), 4u);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].message, "msg " + std::to_string(6 + i));
+    if (i > 0) {
+      EXPECT_GT(records[i].seq, records[i - 1].seq);
+    }
+  }
+
+  // collect() honors the component filter and the newest-N cap.
+  logger.log(LogLevel::Info, "other", "different component");
+  EXPECT_EQ(logger.collect("other").size(), 1u);
+  EXPECT_EQ(logger.collect("ring").size(), 3u);  // one slot overwritten
+  EXPECT_EQ(logger.collect("", 2).size(), 2u);
+}
+
+TEST(ObsLogger, TokenBucketShedsFloodObservably) {
+  Logger logger;
+  logger.set_level(LogLevel::Debug);
+  // Burst of 3, effectively no refill: exactly 3 records pass.
+  logger.set_rate_limit(1e-9, 3.0);
+  for (int i = 0; i < 10; ++i) logger.log(LogLevel::Info, "flood", "x");
+  EXPECT_EQ(logger.records_total(LogLevel::Info), 3u);
+  EXPECT_EQ(logger.buffered_records(), 3u);
+  EXPECT_EQ(logger.dropped_records(), 7u);
+
+  // rate <= 0 turns limiting back off.
+  logger.set_rate_limit(0.0, 0.0);
+  logger.log(LogLevel::Info, "flood", "y");
+  EXPECT_EQ(logger.records_total(LogLevel::Info), 4u);
+}
+
+TEST(ObsLogger, RecordsCarryTheCurrentTraceContext) {
+  Logger logger;
+  logger.set_level(LogLevel::Debug);
+  {
+    TraceContextScope scope(Tracer::global().make_context(0xAB));
+    logger.log(LogLevel::Info, "rpc", "correlated");
+  }
+  logger.log(LogLevel::Info, "rpc", "uncorrelated");
+  std::vector<LogRecord> records = logger.collect();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].trace_id, 0xABu);
+  EXPECT_EQ(records[1].trace_id, 0u);
+}
+
+TEST(ObsLogger, RendersLogfmtAndJsonLines) {
+  Logger logger;
+  logger.set_level(LogLevel::Debug);
+  logger.log(LogLevel::Warn, "router", "submit spilled",
+             {log_kv("job", std::int64_t{17}), log_kv("tenant", "acme"),
+              log_kv("ok", true)});
+  std::vector<LogRecord> records = logger.collect();
+  ASSERT_EQ(records.size(), 1u);
+
+  std::string text = logger.render(records[0]);
+  EXPECT_NE(text.find(" warn router submit spilled"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("job=17"), std::string::npos);
+  EXPECT_NE(text.find("tenant=acme"), std::string::npos);
+  EXPECT_NE(text.find("ok=true"), std::string::npos);
+  EXPECT_EQ(text.find('\n'), std::string::npos);
+
+  logger.set_json(true);
+  std::string json = logger.render(records[0]);
+  EXPECT_NE(json.find("\"level\":\"warn\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"component\":\"router\""), std::string::npos);
+  EXPECT_NE(json.find("\"message\":\"submit spilled\""), std::string::npos);
+  EXPECT_NE(json.find("\"job\":17"), std::string::npos);       // unquoted int
+  EXPECT_NE(json.find("\"tenant\":\"acme\""), std::string::npos);
+  EXPECT_NE(json.find("\"ok\":true"), std::string::npos);
+}
+
+TEST(ObsLogger, SinkAppendsRenderedLines) {
+  std::string path = "logger_sink_test.log";
+  {
+    Logger logger;
+    logger.set_level(LogLevel::Debug);
+    ASSERT_TRUE(logger.set_sink_path(path));
+    logger.log(LogLevel::Info, "sink", "first");
+    logger.log(LogLevel::Error, "sink", "second");
+    logger.set_sink_path("");  // close, flush
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("info sink first"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[1].find("error sink second"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ObsLogger, ParseLogLevelRoundTrips) {
+  LogLevel level = LogLevel::Info;
+  EXPECT_TRUE(parse_log_level("debug", level));
+  EXPECT_EQ(level, LogLevel::Debug);
+  EXPECT_TRUE(parse_log_level("off", level));
+  EXPECT_EQ(level, LogLevel::Off);
+  EXPECT_FALSE(parse_log_level("verbose", level));
+  EXPECT_EQ(level, LogLevel::Off);  // untouched on failure
+  for (LogLevel l : {LogLevel::Debug, LogLevel::Info, LogLevel::Warn,
+                     LogLevel::Error, LogLevel::Off}) {
+    LogLevel parsed = LogLevel::Info;
+    EXPECT_TRUE(parse_log_level(to_string(l), parsed));
+    EXPECT_EQ(parsed, l);
+  }
+}
+
+TEST(ObsLogger, MacroAndMetricsRideTheGlobalLogger) {
+  Logger& logger = Logger::global();
+  logger.reset();
+  logger.set_level(LogLevel::Info);
+  COSCHED_LOG(LogLevel::Debug, "macro", "filtered out");
+  COSCHED_LOG(LogLevel::Info, "macro", "kept",
+              {log_kv("n", std::int64_t{1})});
+  EXPECT_EQ(logger.records_total(LogLevel::Debug), 0u);
+  EXPECT_EQ(logger.records_total(LogLevel::Info), 1u);
+
+  std::string page = render_log_metrics();
+  EXPECT_NE(page.find("cosched_log_records_total{level=\"info\"} 1"),
+            std::string::npos)
+      << page;
+  EXPECT_NE(page.find("cosched_log_records_total{level=\"error\"} 0"),
+            std::string::npos);
+  EXPECT_NE(page.find("cosched_log_dropped_total 0"), std::string::npos);
+  logger.reset();
+}
+
+// ------------------------------------------------------------ journal
+
+JournalEvent make_event(std::int64_t job, JournalEventKind kind, Real time) {
+  JournalEvent event;
+  event.job_id = job;
+  event.kind = kind;
+  event.time = time;
+  return event;
+}
+
+TEST(ObsJournal, QueryReturnsOneJobInDecisionOrder) {
+  DecisionJournal journal(16);
+  journal.append(make_event(-1, JournalEventKind::BatchTrigger, 1.0));
+  journal.append(make_event(0, JournalEventKind::Admission, 1.0));
+  journal.append(make_event(1, JournalEventKind::Admission, 1.0));
+  journal.append(make_event(0, JournalEventKind::Placement, 1.0));
+  journal.append(make_event(0, JournalEventKind::Completion, 9.0));
+
+  JobTimeline timeline = journal.query(0);
+  EXPECT_FALSE(timeline.truncated);
+  ASSERT_EQ(timeline.events.size(), 3u);
+  EXPECT_EQ(timeline.events[0].kind, JournalEventKind::Admission);
+  EXPECT_EQ(timeline.events[1].kind, JournalEventKind::Placement);
+  EXPECT_EQ(timeline.events[2].kind, JournalEventKind::Completion);
+  for (std::size_t i = 1; i < timeline.events.size(); ++i)
+    EXPECT_GT(timeline.events[i].seq, timeline.events[i - 1].seq);
+
+  EXPECT_TRUE(journal.query(42).events.empty());
+  EXPECT_FALSE(journal.query(42).truncated);  // nothing dropped yet
+}
+
+TEST(ObsJournal, OverflowEvictsOldestFirstWithExactAccounting) {
+  DecisionJournal journal(4);
+  for (int i = 0; i < 10; ++i)
+    journal.append(make_event(i, JournalEventKind::Admission,
+                              static_cast<Real>(i)));
+  EXPECT_EQ(journal.size(), 4u);
+  EXPECT_EQ(journal.dropped_total(), 6u);
+  EXPECT_EQ(journal.events_total(JournalEventKind::Admission), 10u);
+
+  std::vector<JournalEvent> all = journal.tail(SIZE_MAX);
+  ASSERT_EQ(all.size(), 4u);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].job_id, static_cast<std::int64_t>(6 + i));  // oldest gone
+    EXPECT_EQ(all[i].seq, 6 + i);
+  }
+  EXPECT_EQ(journal.tail(2).size(), 2u);
+  EXPECT_EQ(journal.tail(2).front().job_id, 8);  // newest-N, ascending
+}
+
+TEST(ObsJournal, EvictedJobAnswersTruncatedNotError) {
+  DecisionJournal journal(3);
+  journal.append(make_event(0, JournalEventKind::Admission, 1.0));
+  journal.append(make_event(0, JournalEventKind::Placement, 1.0));
+  journal.append(make_event(1, JournalEventKind::Admission, 2.0));
+  journal.append(make_event(1, JournalEventKind::Placement, 2.0));
+  journal.append(make_event(0, JournalEventKind::Completion, 5.0));
+  // Ring now holds [1/Admission, 1/Placement, 0/Completion]; job 0's
+  // admission and placement were evicted.
+  ASSERT_EQ(journal.dropped_total(), 2u);
+
+  JobTimeline rolled = journal.query(0);
+  EXPECT_TRUE(rolled.truncated);  // history rolled over, still well-formed
+  ASSERT_EQ(rolled.events.size(), 1u);
+  EXPECT_EQ(rolled.events[0].kind, JournalEventKind::Completion);
+
+  JobTimeline intact = journal.query(1);
+  EXPECT_FALSE(intact.truncated);  // starts at its admission
+  EXPECT_EQ(intact.events.size(), 2u);
+
+  JobTimeline vanished = journal.query(99);
+  EXPECT_TRUE(vanished.truncated);  // maybe evicted: cannot prove absence
+  EXPECT_TRUE(vanished.events.empty());
+}
+
+TEST(ObsJournal, ShrinkingCapacityEvictsImmediately) {
+  DecisionJournal journal(8);
+  for (int i = 0; i < 8; ++i)
+    journal.append(make_event(i, JournalEventKind::Admission, 0.0));
+  journal.set_capacity(3);
+  EXPECT_EQ(journal.size(), 3u);
+  EXPECT_EQ(journal.dropped_total(), 5u);
+  EXPECT_EQ(journal.tail(SIZE_MAX).front().job_id, 5);
+
+  journal.clear();
+  EXPECT_EQ(journal.size(), 0u);
+  EXPECT_EQ(journal.dropped_total(), 0u);
+  journal.append(make_event(0, JournalEventKind::Admission, 0.0));
+  EXPECT_GE(journal.tail(1).front().seq, 8u);  // seq keeps climbing
+}
+
+TEST(ObsJournal, RenderAndMetricsExposition) {
+  DecisionJournal journal(8);
+  JournalEvent event = make_event(7, JournalEventKind::Placement, 3.25);
+  event.trace_id = 0x2A;
+  event.policy = "solver";
+  event.machine = 2;
+  event.candidates = 4;
+  event.degradation_delta = 0.125;
+  event.co_runners = {3, 5};
+  event.detail = "batch=2";
+  journal.append(event);
+
+  std::string line = render_journal_event(journal.tail(1).front());
+  EXPECT_NE(line.find("kind=placement"), std::string::npos) << line;
+  EXPECT_NE(line.find("job=7"), std::string::npos);
+  EXPECT_NE(line.find("policy=solver"), std::string::npos);
+  EXPECT_NE(line.find("machine=2"), std::string::npos);
+  EXPECT_NE(line.find("co_runners=[3,5]"), std::string::npos);
+  EXPECT_NE(line.find("batch=2"), std::string::npos);
+
+  std::string page = render_journal_metrics(journal);
+  EXPECT_NE(page.find("cosched_journal_events_total{kind=\"placement\"} 1"),
+            std::string::npos)
+      << page;
+  EXPECT_NE(page.find("cosched_journal_events_total{kind=\"migration\"} 0"),
+            std::string::npos);
+  EXPECT_NE(page.find("cosched_journal_events_dropped_total 0"),
+            std::string::npos);
+}
+
 
 }  // namespace
 }  // namespace cosched

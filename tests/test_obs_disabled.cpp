@@ -1,11 +1,12 @@
-// Compile-time kill switch: this TU is built with -DCOSCHED_TRACE_DISABLED
-// and -DCOSCHED_PROFILE_DISABLED (see tests/CMakeLists.txt), so every
-// COSCHED_TRACE_* and COSCHED_PROFILE_PHASE macro must expand to a no-op —
-// no events or phase samples recorded even with the runtime switches on.
-// This is the overhead story for builds that want instrumentation gone
-// entirely.
+// Compile-time kill switch: this TU is built with -DCOSCHED_TRACE_DISABLED,
+// -DCOSCHED_PROFILE_DISABLED and -DCOSCHED_LOG_DISABLED (see
+// tests/CMakeLists.txt), so every COSCHED_TRACE_*, COSCHED_PROFILE_PHASE
+// and COSCHED_LOG macro must expand to a no-op — no events, phase samples
+// or log records recorded even with the runtime switches on. This is the
+// overhead story for builds that want instrumentation gone entirely.
 #include <gtest/gtest.h>
 
+#include "obs/log.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
@@ -17,6 +18,9 @@ namespace {
 #endif
 #ifndef COSCHED_PROFILE_DISABLED
 #error "this TU must be compiled with COSCHED_PROFILE_DISABLED"
+#endif
+#ifndef COSCHED_LOG_DISABLED
+#error "this TU must be compiled with COSCHED_LOG_DISABLED"
 #endif
 
 TEST(ObsTracingDisabled, MacrosAreNoOpsEvenWhenRuntimeEnabled) {
@@ -46,6 +50,29 @@ TEST(ObsTracingDisabled, MacrosParseInBranchPositions) {
   else
     COSCHED_TRACE_COUNTER("else-branch", 1.0);
   EXPECT_EQ(Tracer::global().event_count(), 0u);
+}
+
+TEST(ObsLoggingDisabled, MacroIsNoOpEvenAtPassingLevel) {
+  Logger logger;  // fresh instance: no cross-test pollution of global()
+  logger.set_level(LogLevel::Debug);
+  // The disabled macro must not evaluate its arguments against the global
+  // logger either; use global() with a known-clean baseline.
+  Logger& global = Logger::global();
+  global.reset();
+  global.set_level(LogLevel::Debug);
+  COSCHED_LOG(LogLevel::Error, "compiled.out", "never recorded",
+              {log_kv("n", std::int64_t{1})});
+  if (true)
+    COSCHED_LOG(LogLevel::Error, "branch", "then");
+  else
+    COSCHED_LOG(LogLevel::Error, "branch", "else");
+  EXPECT_EQ(global.records_total(LogLevel::Error), 0u);
+  EXPECT_EQ(global.buffered_records(), 0u);
+  // The runtime API stays callable: direct log() is a deliberate act and
+  // still works in kill-switch builds.
+  logger.log(LogLevel::Info, "direct", "explicit call");
+  EXPECT_EQ(logger.records_total(LogLevel::Info), 1u);
+  global.set_level(LogLevel::Info);
 }
 
 TEST(ObsProfilingDisabled, PhaseMacroLeavesNoResidue) {

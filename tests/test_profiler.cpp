@@ -120,17 +120,21 @@ TEST(Profiler, FreshSolveOwnsTheMajorityOfReplanTime) {
   profiler.reset();
   profiler.set_enabled(true);
 
+  // Sized so the HA* solve robustly dominates the fixed per-replan
+  // bookkeeping even on slow virtualized clocks: more machines and
+  // processes grow the solve superlinearly while the per-replan
+  // overhead (admission, journal, commit) stays roughly constant.
   TraceSpec spec;
-  spec.job_count = 12;
+  spec.job_count = 24;
   spec.mean_interarrival = 2.0;
-  spec.work_lo = 4.0;
-  spec.work_hi = 12.0;
-  spec.parallel_fraction = 0.2;
-  spec.max_parallel_processes = 2;
+  spec.work_lo = 8.0;
+  spec.work_hi = 24.0;
+  spec.parallel_fraction = 0.4;
+  spec.max_parallel_processes = 4;
   spec.seed = 11;
   OnlineSchedulerOptions options;
-  options.cores = 2;
-  options.machines = 3;
+  options.cores = 4;
+  options.machines = 4;
   options.admission.every_k = 2;
   options.solver = OnlineSolverKind::HAStar;
   options.log_process_finish = false;

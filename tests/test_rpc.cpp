@@ -750,5 +750,205 @@ TEST(ShardCompat, HealthBlockRoundTripsAtV6) {
   EXPECT_FALSE(decode_metrics_response(truncated, bad));
 }
 
+// --------------------------------------- v7 decision-journal wire compat
+
+TEST(TimelineWire, JournalEventAndResponseRoundTrip) {
+  JournalEvent event;
+  event.job_id = 17;
+  event.kind = JournalEventKind::Placement;
+  event.time = 4.25;
+  event.trace_id = 0xBEEF;
+  event.seq = 9;
+  event.policy = "solver";
+  event.machine = 3;
+  event.candidates = 6;
+  event.degradation_delta = -0.5;
+  event.co_runners = {2, 11};
+  event.detail = "batch=4";
+
+  WireWriter w;
+  encode_journal_event(w, event);
+  WireReader r(w.bytes());
+  JournalEvent got;
+  got.co_runners = {99};  // decoder must reset, not append
+  ASSERT_TRUE(decode_journal_event(r, got));
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_EQ(got.job_id, 17);
+  EXPECT_EQ(got.kind, JournalEventKind::Placement);
+  EXPECT_EQ(got.time, 4.25);
+  EXPECT_EQ(got.trace_id, 0xBEEFu);
+  EXPECT_EQ(got.seq, 9u);
+  EXPECT_EQ(got.policy, "solver");
+  EXPECT_EQ(got.machine, 3);
+  EXPECT_EQ(got.candidates, 6);
+  EXPECT_EQ(got.degradation_delta, -0.5);
+  EXPECT_EQ(got.co_runners, (std::vector<std::int64_t>{2, 11}));
+  EXPECT_EQ(got.detail, "batch=4");
+
+  JobTimelineResponse reply;
+  reply.job_id = 17;
+  reply.found = true;
+  reply.truncated = true;
+  reply.virtual_now = 30.0;
+  reply.events = {event, event};
+  WireWriter rw;
+  encode_timeline_response(rw, reply);
+  WireReader rr(rw.bytes());
+  JobTimelineResponse round;
+  ASSERT_TRUE(decode_timeline_response(rr, round));
+  EXPECT_EQ(rr.remaining(), 0u);
+  EXPECT_EQ(round.job_id, 17);
+  EXPECT_TRUE(round.truncated);
+  EXPECT_EQ(round.virtual_now, 30.0);
+  ASSERT_EQ(round.events.size(), 2u);
+  EXPECT_EQ(round.events[1].policy, "solver");
+
+  // A truncated body (event count promising more than the bytes hold) is
+  // rejected, not misread.
+  std::vector<std::uint8_t> bytes = rw.bytes();
+  bytes.resize(bytes.size() - 6);
+  WireReader truncated(bytes);
+  JobTimelineResponse bad;
+  EXPECT_FALSE(decode_timeline_response(truncated, bad));
+
+  // An undecodable event kind is rejected too.
+  JournalEventKind kind;
+  EXPECT_FALSE(journal_event_kind_from(200, kind));
+}
+
+// A v6 peer against a v7 server keeps getting byte-identical replies: the
+// GetMetrics body still ends after the v6 health block and the TraceDump
+// body still decodes cleanly with nothing trailing. New messages must ride
+// new requests, never leak into old reply shapes.
+TEST(TimelineCompat, V6RepliesArePinnedUnderV7Server) {
+  ServerOptions options = loopback_options();
+  options.shard_id = 1;
+  CoschedServer server(options);
+  std::string error;
+  ASSERT_TRUE(server.start(error)) << error;
+
+  ResponseEnvelope metrics_reply =
+      raw_exchange(server.port(), 6, MessageType::GetMetrics, 61, {});
+  EXPECT_EQ(metrics_reply.version, 6);
+  ASSERT_EQ(metrics_reply.status, RpcStatus::Ok) << metrics_reply.error;
+  WireReader mr(metrics_reply.body);
+  MetricsResponse metrics;
+  ASSERT_TRUE(decode_metrics_response(mr, metrics));
+  EXPECT_EQ(mr.remaining(), 0u) << "v6 GetMetrics body carries trailing bytes";
+  EXPECT_EQ(metrics.shard_id, 1);
+
+  ResponseEnvelope trace_reply =
+      raw_exchange(server.port(), 6, MessageType::TraceDump, 62, {});
+  EXPECT_EQ(trace_reply.version, 6);
+  ASSERT_EQ(trace_reply.status, RpcStatus::Ok) << trace_reply.error;
+  WireReader tr(trace_reply.body);
+  TraceDumpResponse trace;
+  ASSERT_TRUE(decode_trace_dump_response(tr, trace));
+  EXPECT_EQ(tr.remaining(), 0u) << "v6 TraceDump body carries trailing bytes";
+  server.stop();
+}
+
+// QueryJobTimeline is v7-only: a pre-v7 peer asking for it gets a clean
+// BadRequest in its own version, not a dropped connection or a reply body
+// it cannot decode.
+TEST(TimelineCompat, PreV7TimelineRequestsGetBadRequest) {
+  CoschedServer server(loopback_options());
+  std::string error;
+  ASSERT_TRUE(server.start(error)) << error;
+
+  WireWriter body;
+  body.i64(0);
+  ResponseEnvelope response = raw_exchange(
+      server.port(), 6, MessageType::QueryJobTimeline, 63, body.bytes());
+  EXPECT_EQ(response.version, 6);
+  EXPECT_EQ(response.status, RpcStatus::BadRequest);
+  EXPECT_NE(response.error.find("protocol v7"), std::string::npos)
+      << response.error;
+  server.stop();
+}
+
+// The end-to-end explainability loop: a job submitted over TCP answers a
+// timeline that starts at its admission, places it somewhere concrete, and
+// stays internally ordered.
+TEST(TimelineLoopback, SubmittedJobExplainsItself) {
+  CoschedServer server(loopback_options());
+  std::string error;
+  ASSERT_TRUE(server.start(error)) << error;
+  CoschedClient client(client_for(server));
+
+  WorkloadTrace trace = small_trace(7, 6);
+  std::int64_t first_id = -1;
+  for (const TraceJob& job : trace.jobs) {
+    SubmitJobResponse ack;
+    ASSERT_TRUE(client.submit_job(job, ack).ok());
+    if (first_id < 0) first_id = ack.job_id;
+  }
+  DrainResponse drained;
+  ASSERT_TRUE(client.drain(drained).ok());
+
+  JobTimelineResponse reply;
+  ASSERT_TRUE(client.query_job_timeline(first_id, reply).ok());
+  EXPECT_EQ(reply.job_id, first_id);
+  EXPECT_FALSE(reply.truncated);
+  ASSERT_GE(reply.events.size(), 3u);  // admission, placement, completion
+  EXPECT_EQ(reply.events.front().kind, JournalEventKind::Admission);
+  bool placed = false, completed = false;
+  for (std::size_t i = 0; i < reply.events.size(); ++i) {
+    const JournalEvent& event = reply.events[i];
+    EXPECT_EQ(event.job_id, first_id);
+    if (i > 0) {
+      EXPECT_GT(event.seq, reply.events[i - 1].seq);
+      EXPECT_GE(event.time, reply.events[i - 1].time);
+    }
+    if (event.kind == JournalEventKind::Placement) {
+      placed = true;
+      EXPECT_GE(event.machine, 0);
+      EXPECT_GT(event.candidates, 0);
+      EXPECT_FALSE(event.policy.empty());  // the solver that placed it
+    }
+    if (event.kind == JournalEventKind::Completion) completed = true;
+  }
+  EXPECT_TRUE(placed);
+  EXPECT_TRUE(completed);
+
+  // Unknown job: an application error, not a mangled body.
+  RpcError unknown = client.query_job_timeline(999, reply);
+  EXPECT_EQ(unknown.kind, RpcErrorKind::Application);
+  EXPECT_EQ(unknown.app, RpcStatus::UnknownJob);
+  server.stop();
+}
+
+// Journal overflow over RPC: with a tiny ring the oldest job's early events
+// are evicted, and QueryJobTimeline answers the well-formed truncated
+// marker — status Ok, truncated flag set — never an error.
+TEST(TimelineLoopback, OverflowAnswersTruncatedMarkerNotError) {
+  ServerOptions options = loopback_options();
+  options.service.scheduler.journal_capacity = 6;
+  CoschedServer server(options);
+  std::string error;
+  ASSERT_TRUE(server.start(error)) << error;
+  CoschedClient client(client_for(server));
+
+  WorkloadTrace trace = small_trace(11, 12);
+  std::int64_t first_id = -1;
+  for (const TraceJob& job : trace.jobs) {
+    SubmitJobResponse ack;
+    ASSERT_TRUE(client.submit_job(job, ack).ok());
+    if (first_id < 0) first_id = ack.job_id;
+  }
+  DrainResponse drained;
+  ASSERT_TRUE(client.drain(drained).ok());
+
+  // 12 jobs × (admission + placement + completion) plus batch triggers in
+  // a 6-slot ring: job 0's admission is long gone.
+  JobTimelineResponse reply;
+  RpcError rolled = client.query_job_timeline(first_id, reply);
+  ASSERT_TRUE(rolled.ok()) << rolled.describe();
+  EXPECT_TRUE(reply.truncated);
+  for (const JournalEvent& event : reply.events)
+    EXPECT_EQ(event.job_id, first_id);
+  server.stop();
+}
+
 }  // namespace
 }  // namespace cosched

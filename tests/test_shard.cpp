@@ -255,6 +255,90 @@ TEST(ShardRouter, SpilloverReroutesHotShardAndSticks) {
   EXPECT_EQ(fleet.router_remapped_keys, 1u);
 }
 
+// v7 explainability through the front door: the router resolves the owning
+// shard from the global id, rewrites the shard's journal events into the
+// global id domain, and prepends its own spillover attribution at time 0.
+TEST(ShardRouter, JobTimelineRewritesIdsAndMergesSpillover) {
+  RouterOptions options;
+  options.spill_queue_depth = 4;
+  ShardRouter router(options);
+  build_fleet(router, 3);
+
+  // A tenant homed on shard 0, then shard 0 buried: the submit spills.
+  std::string tenant;
+  for (int i = 0;; ++i) {
+    tenant = "spilled-tenant-" + std::to_string(i);
+    if (router.ring_shard(tenant + "/job") == 0) break;
+  }
+  LoadProbe hot;
+  hot.queue_depth = 32;
+  router.set_load_probe_override(0, hot);
+
+  TraceJob job;
+  job.name = tenant + "/job";
+  job.work = 4.0;
+  SubmitJobResponse ack;
+  std::string error;
+  ASSERT_EQ(router.submit(job, ack, error), RpcStatus::Ok) << error;
+  ASSERT_NE(ack.shard_id, 0);
+
+  // A second, ring-homed tenant submitted before the drain (drained shards
+  // refuse admissions): its timeline must carry no spillover event.
+  router.set_load_probe_override(0, LoadProbe{}, /*enabled=*/false);
+  std::string cold;
+  for (int i = 0;; ++i) {
+    cold = "ring-tenant-" + std::to_string(i);
+    if (router.ring_shard(cold + "/job") != 0) break;
+  }
+  TraceJob ringed;
+  ringed.name = cold + "/job";
+  ringed.work = 4.0;
+  ringed.arrival_time = 1.0;
+  SubmitJobResponse ack2;
+  ASSERT_EQ(router.submit(ringed, ack2, error), RpcStatus::Ok) << error;
+
+  DrainResponse drained;
+  ASSERT_EQ(router.drain(drained, error), RpcStatus::Ok) << error;
+
+  JobTimelineResponse reply;
+  ASSERT_EQ(router.job_timeline(ack.job_id, reply, error), RpcStatus::Ok)
+      << error;
+  EXPECT_EQ(reply.job_id, ack.job_id);
+  ASSERT_GE(reply.events.size(), 4u);  // spillover + admission + ...
+
+  // The router's spillover event leads the merged timeline, timestamped
+  // 0.0 so the ordering invariant holds across clock domains.
+  const JournalEvent& spill = reply.events.front();
+  EXPECT_EQ(spill.kind, JournalEventKind::Spillover);
+  EXPECT_EQ(spill.time, 0.0);
+  EXPECT_EQ(spill.job_id, ack.job_id);
+  EXPECT_EQ(spill.machine, ack.shard_id);  // machine = chosen shard
+  EXPECT_EQ(spill.candidates, 3);
+  EXPECT_EQ(spill.policy, "least_loaded");
+  EXPECT_NE(spill.detail.find("ring_shard=0"), std::string::npos)
+      << spill.detail;
+
+  // Every shard-side event was rewritten into the global id domain: ids
+  // ≡ shard (mod N), times ascending after the router's epoch-0 events.
+  for (std::size_t i = 1; i < reply.events.size(); ++i) {
+    const JournalEvent& event = reply.events[i];
+    if (event.job_id >= 0) EXPECT_EQ(event.job_id % 3, ack.shard_id);
+    for (std::int64_t co : event.co_runners)
+      EXPECT_EQ(co % 3, ack.shard_id);
+    EXPECT_GE(event.time, reply.events[i - 1].time);
+  }
+
+  // Unknown ids answer UnknownJob; the ring-homed tenant's timeline
+  // carries no spillover event.
+  EXPECT_EQ(router.job_timeline(-1, reply, error), RpcStatus::UnknownJob);
+  JobTimelineResponse ring_reply;
+  ASSERT_EQ(router.job_timeline(ack2.job_id, ring_reply, error),
+            RpcStatus::Ok)
+      << error;
+  for (const JournalEvent& event : ring_reply.events)
+    EXPECT_NE(event.kind, JournalEventKind::Spillover);
+}
+
 TEST(ShardRouter, RemapTableIsBounded) {
   RouterOptions options;
   options.spill_queue_depth = 1;
