@@ -32,7 +32,8 @@
 //
 // Exit codes: 0 ok; 1 infrastructure/correctness failure (errors, lost
 // completions, fan-in violation); 2 SLO budget violated; 3 baseline
-// regression.
+// regression; 4 --fail-on-alert and the deployment's SLO watchdog fired
+// during the run.
 #include <iostream>
 #include <memory>
 #include <string>
@@ -153,6 +154,41 @@ int main(int argc, char** argv) {
     if (!log_out.empty()) Logger::global().set_sink_path(log_out);
   }
 
+  // ---- SLO watchdog configuration ----------------------------------------
+  // Embedded deployments run the servers' alert engine (--alerts 0 turns it
+  // off); --alert-rules FILE replaces the default burn-rate guards, --slo
+  // FILE points them at that budget's p95, --tsdb-* size the store, and
+  // --fail-on-alert 1 makes the run exit 4 when the watchdog fired.
+  bool alerts_on = args.get_int("alerts", 1) != 0;
+  bool fail_on_alert = args.get_int("fail-on-alert", 0) != 0;
+  AlertEngineOptions alert_options;
+  alert_options.scrape_interval_seconds = args.get_real("tsdb-interval", 1.0);
+  alert_options.tsdb.raw_capacity =
+      static_cast<std::size_t>(args.get_int("tsdb-raw", 600));
+  alert_options.tsdb.max_series =
+      static_cast<std::size_t>(args.get_int("tsdb-series", 1024));
+  double alert_budget_ms = 900.0;
+  {
+    std::string rules_path = args.get_string("alert-rules", "");
+    if (!rules_path.empty()) {
+      std::string rules_error;
+      if (!load_alert_rules(rules_path, alert_options.rules, rules_error)) {
+        std::cerr << "benchmark_app: --alert-rules: " << rules_error << "\n";
+        return 1;
+      }
+    }
+    std::string slo_path = args.get_string("slo", "");
+    if (!slo_path.empty()) {
+      SloBudget budget;
+      std::string slo_error;
+      if (!load_slo_budget(slo_path, budget, slo_error)) {
+        std::cerr << "benchmark_app: --slo: " << slo_error << "\n";
+        return 1;
+      }
+      if (budget.p95_ms > 0.0) alert_budget_ms = budget.p95_ms;
+    }
+  }
+
   // ---- generator configuration ------------------------------------------
   std::string mode_name = args.get_string("mode", "open");
   if (mode_name != "open" && mode_name != "closed") {
@@ -270,6 +306,9 @@ int main(int argc, char** argv) {
     options.worker_threads =
         std::max<std::size_t>(runner_options.concurrency, 2);
     options.request_deadline_seconds = 300.0;  // drain outlives 10 s easily
+    options.enable_alerts = alerts_on;
+    options.alerts = alert_options;
+    options.alert_budget_ms = alert_budget_ms;
     deployment.router_server =
         std::make_unique<RouterServer>(*deployment.router, options);
     std::string error;
@@ -285,6 +324,9 @@ int main(int argc, char** argv) {
     options.worker_threads =
         std::max<std::size_t>(runner_options.concurrency, 2);
     options.request_deadline_seconds = 300.0;  // drain outlives 10 s easily
+    options.enable_alerts = alerts_on;
+    options.alerts = alert_options;
+    options.alert_budget_ms = alert_budget_ms;
     options.service.wall_clock = false;
     options.service.scheduler.cores =
         static_cast<std::uint32_t>(args.get_int("cores", 4));
@@ -409,6 +451,37 @@ int main(int argc, char** argv) {
     if (write_text_file(profile_out, collapsed))
       std::cout << "wrote " << profile_out << "\n";
   }
+  // --fail-on-alert: sample the watchdog before tearing the deployment
+  // down. Embedded deployments expose their engine directly (lifetime
+  // fired count survives resolution); a --connect deployment answers
+  // GetAlerts — rules currently firing or resolved count as fired.
+  std::uint64_t alerts_fired = 0;
+  std::vector<std::string> fired_rules;
+  if (fail_on_alert) {
+    AlertEngine* engine = nullptr;
+    if (deployment.single) engine = deployment.single->alert_engine();
+    if (deployment.router_server)
+      engine = deployment.router_server->alert_engine();
+    if (engine != nullptr) {
+      alerts_fired = engine->fired_total();
+      fired_rules = engine->firing_rules();
+    } else if (deployment.kind == "remote") {
+      ClientOptions client_options;
+      client_options.host = deployment.host;
+      client_options.port = deployment.port;
+      CoschedClient client(client_options);
+      AlertsResponse remote;
+      if (client.get_alerts(remote).ok()) {
+        for (const AlertEntry& entry : remote.alerts) {
+          if (entry.state != static_cast<std::uint8_t>(AlertState::Firing) &&
+              entry.state != static_cast<std::uint8_t>(AlertState::Resolved))
+            continue;
+          ++alerts_fired;
+          fired_rules.push_back(entry.rule);
+        }
+      }
+    }
+  }
   deployment.stop();
 
   // ---- report ------------------------------------------------------------
@@ -513,6 +586,15 @@ int main(int argc, char** argv) {
       std::cerr << "benchmark_app: SLO VIOLATED per " << slo_path << "\n";
       if (exit_code == 0) exit_code = 2;
     }
+  }
+
+  // ---- gate: the SLO watchdog itself (--fail-on-alert) -------------------
+  if (fail_on_alert && alerts_fired > 0) {
+    std::cerr << "benchmark_app: watchdog fired " << alerts_fired
+              << " alert(s) during the run:";
+    for (const std::string& rule : fired_rules) std::cerr << " " << rule;
+    std::cerr << "\n";
+    if (exit_code == 0) exit_code = 4;
   }
 
   return exit_code;

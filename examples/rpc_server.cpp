@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "loadgen/slo.hpp"
 #include "obs/log.hpp"
 #include "obs/otlp.hpp"
 #include "obs/profiler.hpp"
@@ -110,6 +111,38 @@ int main(int argc, char** argv) {
     if (!log_out.empty()) Logger::global().set_sink_path(log_out);
   }
 
+  // SLO watchdog: --alerts 0 disables the engine; --alert-rules FILE loads
+  // a declarative rule set (default: fast+slow burn-rate guards on the RPC
+  // latency histogram); --slo FILE points the default rules at that
+  // budget's p95; --tsdb-interval/--tsdb-raw/--tsdb-series size the
+  // embedded store. GET /alerts (text, ?format=json) serves the state.
+  options.enable_alerts = args.get_int("alerts", 1) != 0;
+  options.alerts.scrape_interval_seconds = args.get_real("tsdb-interval", 1.0);
+  options.alerts.tsdb.raw_capacity =
+      static_cast<std::size_t>(args.get_int("tsdb-raw", 600));
+  options.alerts.tsdb.max_series =
+      static_cast<std::size_t>(args.get_int("tsdb-series", 1024));
+  {
+    std::string rules_path = args.get_string("alert-rules", "");
+    if (!rules_path.empty()) {
+      std::string rules_error;
+      if (!load_alert_rules(rules_path, options.alerts.rules, rules_error)) {
+        std::cerr << "rpc_server: --alert-rules: " << rules_error << "\n";
+        return 1;
+      }
+    }
+    std::string slo_path = args.get_string("slo", "");
+    if (!slo_path.empty()) {
+      SloBudget budget;
+      std::string slo_error;
+      if (!load_slo_budget(slo_path, budget, slo_error)) {
+        std::cerr << "rpc_server: --slo: " << slo_error << "\n";
+        return 1;
+      }
+      if (budget.p95_ms > 0.0) options.alert_budget_ms = budget.p95_ms;
+    }
+  }
+
   options.service.wall_clock = args.get_int("virtual", 0) == 0;
   options.service.wall_time_scale = args.get_real("wall-scale", 4.0);
   options.service.scheduler.cores =
@@ -133,9 +166,13 @@ int main(int argc, char** argv) {
 
   std::cout << "cosched rpc_server listening on " << options.host << ":"
             << server.port() << "\n";
-  if (server.http_port() != 0)
+  if (server.http_port() != 0) {
     std::cout << "  metrics: curl http://" << options.host << ":"
               << server.http_port() << "/metrics\n";
+    if (server.alert_engine() != nullptr)
+      std::cout << "  alerts:  curl http://" << options.host << ":"
+                << server.http_port() << "/alerts\n";
+  }
   std::cout << "  fleet: " << options.service.scheduler.machines
             << " machines x " << options.service.scheduler.cores << " cores, "
             << (options.service.wall_clock ? "wall-clock" : "virtual-time")

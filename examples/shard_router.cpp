@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "loadgen/slo.hpp"
 #include "obs/log.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
@@ -150,6 +151,38 @@ int main(int argc, char** argv) {
   if (options.enable_http)
     options.http_port = static_cast<std::uint16_t>(metrics_port);
 
+  // SLO watchdog over the fleet page: --alerts 0 disables the router's
+  // engine; --alert-rules FILE loads a rule set (default: burn-rate guards
+  // on the merged RPC latency histogram); --slo FILE points the default
+  // rules at that budget's p95; --tsdb-* size the embedded store. GET
+  // /alerts fans in remote shards' engines shard-labelled.
+  options.enable_alerts = args.get_int("alerts", 1) != 0;
+  options.alerts.scrape_interval_seconds = args.get_real("tsdb-interval", 1.0);
+  options.alerts.tsdb.raw_capacity =
+      static_cast<std::size_t>(args.get_int("tsdb-raw", 600));
+  options.alerts.tsdb.max_series =
+      static_cast<std::size_t>(args.get_int("tsdb-series", 1024));
+  {
+    std::string rules_path = args.get_string("alert-rules", "");
+    if (!rules_path.empty()) {
+      std::string rules_error;
+      if (!load_alert_rules(rules_path, options.alerts.rules, rules_error)) {
+        std::cerr << "shard_router: --alert-rules: " << rules_error << "\n";
+        return 1;
+      }
+    }
+    std::string slo_path = args.get_string("slo", "");
+    if (!slo_path.empty()) {
+      SloBudget budget;
+      std::string slo_error;
+      if (!load_slo_budget(slo_path, budget, slo_error)) {
+        std::cerr << "shard_router: --slo: " << slo_error << "\n";
+        return 1;
+      }
+      if (budget.p95_ms > 0.0) options.alert_budget_ms = budget.p95_ms;
+    }
+  }
+
   RouterServer server(router, options);
   std::string error;
   if (!server.start(error)) {
@@ -162,9 +195,13 @@ int main(int argc, char** argv) {
             << "  fleet: " << shard_count << " shards x "
             << args.get_int("machines-per-shard", 2) << " machines x "
             << args.get_int("cores", 4) << " cores\n";
-  if (server.http_port() != 0)
+  if (server.http_port() != 0) {
     std::cout << "  fleet metrics: curl http://" << options.host << ":"
               << server.http_port() << "/metrics\n";
+    if (server.alert_engine() != nullptr)
+      std::cout << "  fleet alerts:  curl http://" << options.host << ":"
+                << server.http_port() << "/alerts\n";
+  }
   std::cout << "  submit jobs with: ./rpc_client --port " << server.port()
             << " --jobs 20\n"
             << "  stop with:        ./rpc_client --port " << server.port()

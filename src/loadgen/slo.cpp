@@ -1,20 +1,114 @@
 #include "loadgen/slo.hpp"
 
+#include <cmath>
 #include <sstream>
 
+#include "loadgen/flat_json.hpp"
+
 namespace cosched {
+
+namespace {
+
+/// Pulls one numeric budget field out of the flattened document with
+/// field-specific diagnostics: a string where a number belongs, NaN/inf
+/// (parseable JSON cannot produce them, but a caller-built FlatJson can)
+/// and negative values all name the offending key. Absent keys leave
+/// `value` at its unset default.
+bool budget_field(const FlatJson& json, const std::string& key,
+                  bool allow_zero, Real& value, std::string& error) {
+  if (json.strings.count(key)) {
+    error = key + ": expected a number, got a string";
+    return false;
+  }
+  if (!json.has_number(key)) return true;
+  Real raw = json.number(key, 0.0);
+  if (!std::isfinite(raw)) {
+    error = key + ": must be a finite number";
+    return false;
+  }
+  if (raw < 0.0) {
+    error = key + ": must not be negative (omit";
+    error += allow_zero ? " the key to leave it unset)"
+                        : " the key or use 0 to leave it unset)";
+    return false;
+  }
+  value = raw;
+  return true;
+}
+
+bool validate_slo_budget(const FlatJson& json, SloBudget& out,
+                         std::string& error) {
+  static const char* const kKeys[] = {"p50_ms", "p95_ms", "p99_ms", "min_rps",
+                                      "max_error_rate"};
+  auto known = [&](const std::string& key) {
+    if (!key.empty() && key[0] == '_') return true;  // "_note" convention
+    for (const char* k : kKeys)
+      if (key == k) return true;
+    return false;
+  };
+  for (const auto& [key, value] : json.numbers) {
+    (void)value;
+    if (!known(key)) {
+      error = key + ": unknown budget field (known: p50_ms p95_ms p99_ms "
+                    "min_rps max_error_rate)";
+      return false;
+    }
+  }
+  for (const auto& [key, value] : json.strings) {
+    (void)value;
+    if (key.empty() || key[0] != '_') {
+      error = key + ": " + (known(key) ? "expected a number, got a string"
+                                       : "unknown budget field (known: "
+                                         "p50_ms p95_ms p99_ms min_rps "
+                                         "max_error_rate)");
+      return false;
+    }
+  }
+
+  out = SloBudget{};
+  if (!budget_field(json, "p50_ms", false, out.p50_ms, error)) return false;
+  if (!budget_field(json, "p95_ms", false, out.p95_ms, error)) return false;
+  if (!budget_field(json, "p99_ms", false, out.p99_ms, error)) return false;
+  if (!budget_field(json, "min_rps", false, out.min_rps, error)) return false;
+  if (!budget_field(json, "max_error_rate", true, out.max_error_rate, error))
+    return false;
+  if (out.max_error_rate > 1.0) {
+    error = "max_error_rate: must be a fraction in [0, 1], got " +
+            std::to_string(out.max_error_rate);
+    return false;
+  }
+
+  // Set percentile budgets must not contradict each other — a p50 budget
+  // looser than the p95 budget is a typo, not a gate.
+  auto ordered = [&](const char* lo_name, Real lo, const char* hi_name,
+                     Real hi) {
+    if (lo <= 0.0 || hi <= 0.0 || lo <= hi) return true;
+    error = std::string(lo_name) + ": must not exceed " + hi_name + " (" +
+            std::to_string(lo) + " > " + std::to_string(hi) + ")";
+    return false;
+  };
+  if (!ordered("p50_ms", out.p50_ms, "p95_ms", out.p95_ms)) return false;
+  if (!ordered("p50_ms", out.p50_ms, "p99_ms", out.p99_ms)) return false;
+  if (!ordered("p95_ms", out.p95_ms, "p99_ms", out.p99_ms)) return false;
+  return true;
+}
+
+}  // namespace
 
 bool load_slo_budget(const std::string& path, SloBudget& out,
                      std::string& error) {
   FlatJson json;
   if (!load_flat_json(path, json, error)) return false;
-  out = SloBudget{};
-  out.p50_ms = json.number("p50_ms", 0.0);
-  out.p95_ms = json.number("p95_ms", 0.0);
-  out.p99_ms = json.number("p99_ms", 0.0);
-  out.min_rps = json.number("min_rps", 0.0);
-  out.max_error_rate = json.number("max_error_rate", -1.0);
-  return true;
+  if (validate_slo_budget(json, out, error)) return true;
+  error = path + ": " + error;
+  return false;
+}
+
+bool parse_slo_budget(const std::string& text, SloBudget& out,
+                      std::string& error) {
+  FlatJson json;
+  if (!parse_flat_json(text, json, error)) return false;
+  return validate_slo_budget(json, out, error);
 }
 
 std::string SloVerdict::describe() const {

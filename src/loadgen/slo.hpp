@@ -34,10 +34,17 @@ struct SloBudget {
   Real max_error_rate = -1.0; ///< < 0: unset; 0 means "no errors at all"
 };
 
-/// Loads a budget from a JSON file. Unknown keys are ignored so a budget
-/// file can carry comments-by-convention ("_note": "...").
+/// Loads a budget from a JSON file, validating every field: unknown keys
+/// (except the "_"-prefixed comment-by-convention ones, "_note": "..."),
+/// wrong-typed values, NaN/infinite/negative numbers and a percentile
+/// ordering that contradicts itself (p50 > p95, p95 > p99 among the set
+/// fields) all fail with a "<key>: why" diagnostic. Partial budgets are
+/// fine — a file can gate just p95 and nothing else.
 bool load_slo_budget(const std::string& path, SloBudget& out,
                      std::string& error);
+/// Same, from already-loaded text (tests, embedded budgets).
+bool parse_slo_budget(const std::string& text, SloBudget& out,
+                      std::string& error);
 
 struct SloCheck {
   std::string name;

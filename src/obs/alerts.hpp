@@ -1,0 +1,260 @@
+// Declarative alerting over the embedded time-series store — the layer
+// that turns five PRs of telemetry collection into a watchdog.
+//
+// An AlertEngine owns a MetricsTsdb, periodically scrapes the live
+// MetricsRegistry into it, and evaluates a rule set on every tick. Two
+// rule kinds:
+//
+//   * Threshold — an aggregation of one series over a window compared
+//     against a bound: `rate(cosched_router_spillovers_total) > 5 over
+//     60s`, `avg(cosched_rpc_queue_depth) > 32`, `p95(latency) > 0.9`.
+//   * BurnRate — the SRE multi-window error-budget rule. "Bad" is a
+//     latency histogram sample above budget_ms; the burn rate is
+//     bad_fraction / (1 - objective), i.e. how many times faster than
+//     sustainable the SLO's error budget is being spent. The rule fires
+//     only when BOTH a fast window (reacts quickly, noisy alone) and a
+//     slow window (confirms it is not a blip) exceed burn_factor.
+//
+// Each rule runs an inactive → pending → firing → resolved state machine:
+// a breach holds for for_seconds before firing (hysteresis against
+// flapping), a firing rule must stay clear for clear_seconds before
+// resolving, and a resolved rule rests resolved_hold_seconds before
+// returning to inactive. Every transition is logged (COSCHED_LOG),
+// journalled (JournalEventKind::Alert, job_id = -1, the rule name as the
+// policy) under a per-tick trace id — so the log line, the journal event
+// and a TraceDump all correlate — and counted into
+// cosched_alert_transitions_total{rule,state}; the instantaneous firing
+// count is cosched_alerts_firing.
+//
+// Determinism: tick(now) takes an explicit clock and an injectable
+// exposition, so tests drive the full lifecycle without sleeping. The
+// background thread (start/stop) just calls tick on the wall clock.
+//
+// COSCHED_ALERTS_DISABLED compiles the watchdog out of a translation
+// unit: kAlertsDisabled flips, AlertEngine::start() refuses to spawn the
+// scrape thread and tick() no-ops, so a build with the define pays only
+// an untaken branch (gated ≤2 % in CI, like the trace/profile/log
+// switches).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/tsdb.hpp"
+
+namespace cosched {
+
+class DecisionJournal;
+class MetricsRegistry;
+
+#ifdef COSCHED_ALERTS_DISABLED
+inline constexpr bool kAlertsDisabled = true;
+#else
+inline constexpr bool kAlertsDisabled = false;
+#endif
+
+enum class AlertState : std::uint8_t {
+  Inactive = 0,  ///< condition false, at rest
+  Pending,       ///< condition true, waiting out for_seconds
+  Firing,        ///< condition held long enough — page someone
+  Resolved,      ///< recently cleared, resting before inactive
+};
+inline constexpr std::size_t kAlertStates = 4;
+
+const char* to_string(AlertState state);
+bool alert_state_from(std::uint8_t raw, AlertState& out);
+
+enum class AlertSeverity : std::uint8_t { Info = 0, Warn, Critical };
+
+const char* to_string(AlertSeverity severity);
+bool parse_alert_severity(const std::string& text, AlertSeverity& out);
+
+/// Threshold aggregations over the query window.
+enum class AlertAgg : std::uint8_t {
+  Latest = 0,  ///< newest raw value (window ignored)
+  Avg,
+  Min,
+  Max,
+  Rate,  ///< counter increase per second
+  P50,   ///< histogram quantiles of the windowed bucket deltas;
+  P95,   ///< `metric` names the histogram base (no _bucket suffix)
+  P99,
+};
+
+const char* to_string(AlertAgg agg);
+bool parse_alert_agg(const std::string& text, AlertAgg& out);
+
+struct AlertRule {
+  enum class Kind : std::uint8_t { Threshold = 0, BurnRate };
+
+  std::string name;
+  Kind kind = Kind::Threshold;
+  AlertSeverity severity = AlertSeverity::Warn;
+
+  // -- threshold rules ---------------------------------------------------
+  std::string metric;  ///< series key, or histogram base for P50/P95/P99
+  AlertAgg agg = AlertAgg::Avg;
+  double window_seconds = 60.0;
+  bool above = true;  ///< op ">" fires above threshold, "<" below
+  double threshold = 0.0;
+
+  // -- burn-rate rules ---------------------------------------------------
+  std::string histogram;     ///< latency histogram base name
+  double budget_ms = 900.0;  ///< good = sample latency <= budget
+  double objective = 0.95;   ///< SLO: fraction of samples that must be good
+  double fast_window_seconds = 10.0;
+  double slow_window_seconds = 60.0;
+  double burn_factor = 6.0;  ///< fire when both windows burn this fast
+
+  // -- state machine -----------------------------------------------------
+  double for_seconds = 5.0;            ///< pending must hold this long
+  double clear_seconds = 5.0;          ///< firing must stay clear this long
+  double resolved_hold_seconds = 15.0; ///< resolved rests before inactive
+};
+
+struct AlertRuleSet {
+  std::vector<AlertRule> rules;
+};
+
+/// Loads a rule file (flat JSON: {"rules":[{...},...]}) with field-level
+/// validation — unknown keys, bad enums, non-positive windows and missing
+/// names all come back as "rules.N.field: why" in `error`.
+bool load_alert_rules(const std::string& path, AlertRuleSet& out,
+                      std::string& error);
+/// Same, from already-loaded text (tests).
+bool parse_alert_rules(const std::string& text, AlertRuleSet& out,
+                       std::string& error);
+
+/// The watchdog rules every server gets when no --alert-rules file is
+/// given: fast+slow burn-rate guards on the RPC latency histogram against
+/// `p95_budget_ms` (slo.json's p95 budget, 900 ms by default), plus an
+/// error-rate threshold on cosched_rpc_requests_errors if present.
+AlertRuleSet default_alert_rules(double p95_budget_ms);
+
+/// Point-in-time view of one rule — what /alerts and GetAlerts serve.
+struct AlertView {
+  std::int32_t shard_id = -1;  ///< -1 = this process / the router itself
+  std::string rule;
+  AlertState state = AlertState::Inactive;
+  AlertSeverity severity = AlertSeverity::Warn;
+  double value = 0.0;      ///< last evaluated value (burn: fast-window burn)
+  double threshold = 0.0;  ///< bound (burn: burn_factor)
+  double since_seconds = 0.0;  ///< time spent in the current state
+  std::string detail;          ///< "k=v ..." extras (burn windows, budget)
+};
+
+/// Deterministic text rendering, one `rule=... state=...` line per view.
+std::string render_alerts_text(const std::vector<AlertView>& views,
+                               bool enabled);
+/// JSON rendering: {"enabled":...,"firing":N,"alerts":[{...}]}.
+std::string render_alerts_json(const std::vector<AlertView>& views,
+                               bool enabled);
+
+struct AlertEngineOptions {
+  TsdbOptions tsdb;
+  AlertRuleSet rules;  ///< empty => caller decides (servers fall back to
+                       ///< default_alert_rules)
+  double scrape_interval_seconds = 1.0;  ///< background tick cadence
+  /// What the background thread scrapes. Defaults to the process-global
+  /// MetricsRegistry; a shard router points this at its fleet page so the
+  /// rules see the *merged* latency histogram and the router counters.
+  std::function<std::string()> exposition_source;
+};
+
+class AlertEngine {
+ public:
+  explicit AlertEngine(AlertEngineOptions options);
+  ~AlertEngine();
+  AlertEngine(const AlertEngine&) = delete;
+  AlertEngine& operator=(const AlertEngine&) = delete;
+
+  /// Alert transitions append JournalEventKind::Alert events here (the
+  /// scheduler's own journal, so `--timeline`/debug/events interleave
+  /// alerts with the decisions that caused them). Optional; set before
+  /// start().
+  void set_journal(DecisionJournal* journal);
+
+  /// One deterministic evaluation step: ingest `exposition` at `now`,
+  /// then run every rule's state machine. No-op (returns false) in a
+  /// COSCHED_ALERTS_DISABLED translation unit.
+  bool tick(const std::string& exposition, double now) {
+    if (kAlertsDisabled) return false;
+    return tick_impl(exposition, now);
+  }
+  /// tick() on a fresh render of `registry`.
+  bool tick_registry(const MetricsRegistry& registry, double now);
+
+  /// Spawns the background scrape-and-evaluate thread over the global
+  /// registry at options().scrape_interval_seconds. Returns false (and
+  /// stays stopped) in a COSCHED_ALERTS_DISABLED translation unit.
+  bool start() {
+    if (kAlertsDisabled) return false;
+    return start_impl();
+  }
+  void stop();
+  bool running() const { return thread_.joinable(); }
+
+  /// Current state of every rule, evaluation order. since_seconds is
+  /// relative to the newest tick.
+  std::vector<AlertView> views() const;
+  std::size_t firing_count() const;
+  std::vector<std::string> firing_rules() const;
+  /// Transitions into Firing over the engine's lifetime — benchmark_app's
+  /// --fail-on-alert checks this after the measure phase.
+  std::uint64_t fired_total() const;
+  /// (rule, state) -> transition count, for the metrics family.
+  std::map<std::string, std::uint64_t> transition_counts() const;
+
+  const MetricsTsdb& tsdb() const { return tsdb_; }
+  const AlertEngineOptions& options() const { return options_; }
+
+ private:
+  struct RuleState {
+    AlertRule rule;
+    AlertState state = AlertState::Inactive;
+    double state_since = 0.0;   ///< when the current state began
+    double clear_since = 0.0;   ///< firing: when the condition last cleared
+    bool clear_pending = false;
+    double value = 0.0;
+    bool has_value = false;
+    std::string detail;
+  };
+
+  bool tick_impl(const std::string& exposition, double now);
+  bool start_impl();
+  void evaluate_locked(RuleState& rs, double now, std::uint64_t trace_id);
+  bool condition_locked(const RuleState& rs, double now, double& value,
+                        std::string& detail) const;
+  void transition_locked(RuleState& rs, AlertState next, double now,
+                         std::uint64_t trace_id);
+  void thread_main();
+
+  AlertEngineOptions options_;
+  MetricsTsdb tsdb_;
+  DecisionJournal* journal_ = nullptr;
+
+  mutable std::mutex mutex_;
+  std::vector<RuleState> states_;
+  std::map<std::string, std::uint64_t> transitions_;  ///< "rule\x1fstate"
+  std::uint64_t fired_total_ = 0;
+  double last_tick_ = 0.0;
+  std::uint64_t tick_count_ = 0;
+
+  std::thread thread_;
+  mutable std::mutex stop_mutex_;
+  bool stop_requested_ = false;
+};
+
+/// Prometheus exposition lines of one engine's families
+/// (cosched_alerts_firing, cosched_alert_transitions_total{rule,state})
+/// plus its store's cosched_tsdb_* accounting — appended to /metrics next
+/// to the log/journal families (labels cannot ride the registry path).
+std::string render_alert_metrics(const AlertEngine& engine);
+
+}  // namespace cosched

@@ -77,7 +77,33 @@ void HttpEndpoint::handle_status(std::string path, HttpStatusHandler handler) {
   routes_.emplace_back(std::move(path), std::move(handler));
 }
 
+std::vector<std::string> HttpEndpoint::route_paths() const {
+  std::vector<std::string> paths;
+  paths.reserve(routes_.size());
+  for (const auto& [route, handler] : routes_) paths.push_back(route);
+  return paths;
+}
+
 bool HttpEndpoint::start(std::string& error) {
+  // Synthesize the index route unless the caller claimed "/" itself. The
+  // body is captured now — routes are fixed once started, so a snapshot is
+  // exact — one path per line, registration order.
+  bool has_root = false;
+  for (const auto& [route, handler] : routes_)
+    if (route == "/") has_root = true;
+  if (!has_root) {
+    std::string index = "cosched http endpoint\nroutes:\n";
+    for (const auto& [route, handler] : routes_) index += "  " + route + "\n";
+    index += "  /\n";  // the index lists itself: every route curls
+    routes_.emplace_back(
+        "/", [index](const std::string&, std::string& body,
+                     std::string& content_type) {
+          body = index;
+          content_type = "text/plain; charset=utf-8";
+          return 200;
+        });
+  }
+
   NetStatus status = NetStatus::Ok;
   listener_ = Socket::listen_on(options_.host, options_.port,
                                 options_.backlog, status);

@@ -9,7 +9,9 @@
 // Recognizable-but-unsupported methods (POST, PUT, ...) get 405 with an
 // `Allow: GET, HEAD` header; malformed request lines, oversized heads and
 // requests that announce or ship a body get 400 — never a silent close.
-// A path no handler claims gets 404.
+// A path no handler claims gets 404. `GET /` answers an index of every
+// registered route (unless the caller claimed "/" itself), so a human with
+// curl discovers the side door without reading the source.
 //
 // This is deliberately NOT a general web server: no keep-alive, no request
 // bodies, no chunking, 8 KiB request cap. The RPC protocol stays on the
@@ -72,6 +74,10 @@ class HttpEndpoint {
   bool start(std::string& error);
   std::uint16_t port() const { return port_; }
   void stop();  ///< joins the serving thread; idempotent
+
+  /// Paths registered so far, in registration order. After start() this
+  /// includes the synthesized "/" index (unless the caller claimed "/").
+  std::vector<std::string> route_paths() const;
 
  private:
   void serve_main();

@@ -1,0 +1,399 @@
+#include "obs/tsdb.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "obs/metrics_registry.hpp"
+
+namespace cosched {
+namespace {
+
+bool ends_with(const std::string& text, const char* suffix) {
+  std::size_t n = std::char_traits<char>::length(suffix);
+  return text.size() >= n && text.compare(text.size() - n, n, suffix) == 0;
+}
+
+/// Extracts the numeric `le` label of a bucket series key, e.g.
+/// `foo_bucket{le="0.25"}` -> 0.25 and `le="+Inf"` -> +infinity.
+bool parse_le(const std::string& key, double& out) {
+  std::size_t pos = key.find("le=\"");
+  if (pos == std::string::npos) return false;
+  pos += 4;
+  std::size_t end = key.find('"', pos);
+  if (end == std::string::npos) return false;
+  std::string text = key.substr(pos, end - pos);
+  if (text == "+Inf" || text == "inf" || text == "Inf") {
+    out = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  char* parse_end = nullptr;
+  out = std::strtod(text.c_str(), &parse_end);
+  return parse_end != text.c_str();
+}
+
+}  // namespace
+
+bool tsdb_counter_name(const std::string& name) {
+  return ends_with(name, "_total") || ends_with(name, "_count") ||
+         ends_with(name, "_sum") || ends_with(name, "_bucket");
+}
+
+MetricsTsdb::MetricsTsdb(TsdbOptions options) : options_(options) {
+  if (options_.raw_capacity == 0) options_.raw_capacity = 1;
+  if (options_.rollup_capacity == 0) options_.rollup_capacity = 1;
+  if (options_.max_series == 0) options_.max_series = 1;
+}
+
+bool MetricsTsdb::scrape_text(const std::string& exposition, double now) {
+  std::vector<PrometheusSample> samples;
+  if (!parse_prometheus_text(exposition, samples)) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.scrapes;
+  for (const PrometheusSample& sample : samples) {
+    std::string key = sample.name;
+    if (!sample.labels.empty()) key += "{" + sample.labels + "}";
+    ingest_locked(key, tsdb_counter_name(sample.name), sample.value, now);
+  }
+  return true;
+}
+
+bool MetricsTsdb::scrape(const MetricsRegistry& registry, double now) {
+  return scrape_text(registry.render_prometheus(/*with_exemplars=*/false), now);
+}
+
+void MetricsTsdb::ingest_locked(const std::string& key, bool counter,
+                                double value, double now) {
+  if (!std::isfinite(value)) return;
+  auto it = series_.find(key);
+  if (it == series_.end()) {
+    if (series_.size() >= options_.max_series) {
+      ++stats_.series_rejected;
+      return;
+    }
+    Series fresh;
+    fresh.counter = counter;
+    fresh.r10.width = 10.0;
+    fresh.r60.width = 60.0;
+    it = series_.emplace(key, std::move(fresh)).first;
+  }
+  Series& series = it->second;
+  TsdbBucket point;
+  point.start = point.end = now;
+  point.min = point.max = point.sum = point.first = point.last = value;
+  point.count = 1;
+  series.raw.push_back(point);
+  ++stats_.points_ingested;
+  ++stats_.resident_raw;
+  while (series.raw.size() > options_.raw_capacity) {
+    series.raw.pop_front();
+    --stats_.resident_raw;
+    ++stats_.evicted_raw;
+  }
+  roll_locked(series, series.r10, value, now, stats_.evicted_rollup_10s);
+  roll_locked(series, series.r60, value, now, stats_.evicted_rollup_1m);
+}
+
+void MetricsTsdb::fold(TsdbBucket& bucket, double value, double now) {
+  bucket.end = now;
+  bucket.min = std::min(bucket.min, value);
+  bucket.max = std::max(bucket.max, value);
+  bucket.sum += value;
+  bucket.last = value;
+  ++bucket.count;
+}
+
+void MetricsTsdb::roll_locked(Series& series, Rollup& rollup, double value,
+                              double now, std::uint64_t& evicted) {
+  (void)series;
+  double bucket_start = std::floor(now / rollup.width) * rollup.width;
+  if (rollup.open_valid && rollup.open.start != bucket_start) {
+    rollup.ring.push_back(rollup.open);
+    if (rollup.width >= 60.0)
+      ++stats_.resident_rollup_1m;
+    else
+      ++stats_.resident_rollup_10s;
+    rollup.open_valid = false;
+    std::uint64_t& resident = rollup.width >= 60.0
+                                  ? stats_.resident_rollup_1m
+                                  : stats_.resident_rollup_10s;
+    while (rollup.ring.size() > options_.rollup_capacity) {
+      rollup.ring.pop_front();
+      --resident;
+      ++evicted;
+    }
+  }
+  if (!rollup.open_valid) {
+    rollup.open = TsdbBucket{};
+    rollup.open.start = bucket_start;
+    rollup.open.end = now;
+    rollup.open.min = rollup.open.max = rollup.open.sum = value;
+    rollup.open.first = rollup.open.last = value;
+    rollup.open.count = 1;
+    rollup.open_valid = true;
+    return;
+  }
+  fold(rollup.open, value, now);
+}
+
+const MetricsTsdb::Series* MetricsTsdb::find_locked(
+    const std::string& key) const {
+  auto it = series_.find(key);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+std::vector<TsdbBucket> MetricsTsdb::collect_locked(const Series& series,
+                                                    double window_seconds,
+                                                    double now) const {
+  double start = now - window_seconds;
+  std::vector<TsdbBucket> out;
+  // Prefer raw; fall back to the 10 s then 1 m rollup when raw retention no
+  // longer reaches the window start. "Covers" means the oldest retained
+  // point is at-or-before the window start, or nothing was ever evicted
+  // (the series simply hasn't lived that long yet).
+  auto covers = [&](double oldest, bool evicted_any) {
+    return !evicted_any || oldest <= start;
+  };
+  bool raw_ok = !series.raw.empty() &&
+                covers(series.raw.front().start,
+                       series.raw.size() >= options_.raw_capacity);
+  if (raw_ok) {
+    for (const TsdbBucket& point : series.raw)
+      if (point.end >= start) out.push_back(point);
+    if (!out.empty()) return out;
+  }
+  auto from_rollup = [&](const Rollup& rollup) {
+    std::vector<TsdbBucket> buckets;
+    for (const TsdbBucket& bucket : rollup.ring)
+      if (bucket.end >= start) buckets.push_back(bucket);
+    if (rollup.open_valid && rollup.open.end >= start)
+      buckets.push_back(rollup.open);
+    return buckets;
+  };
+  std::vector<TsdbBucket> r10 = from_rollup(series.r10);
+  bool r10_ok =
+      !r10.empty() && covers(r10.front().start,
+                             series.r10.ring.size() >= options_.rollup_capacity);
+  if (r10_ok) return r10;
+  std::vector<TsdbBucket> r60 = from_rollup(series.r60);
+  if (!r60.empty()) return r60;
+  if (!r10.empty()) return r10;
+  // Window predates all retained data: answer from whatever is newest so
+  // `latest` style queries still see the series.
+  if (!series.raw.empty()) out.push_back(series.raw.back());
+  return out;
+}
+
+bool MetricsTsdb::latest(const std::string& series, double& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Series* found = find_locked(series);
+  if (found == nullptr || found->raw.empty()) return false;
+  out = found->raw.back().last;
+  return true;
+}
+
+bool MetricsTsdb::window_stat(const std::string& series, double window_seconds,
+                              double now, Stat stat, double& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Series* found = find_locked(series);
+  if (found == nullptr) return false;
+  std::vector<TsdbBucket> buckets = collect_locked(*found, window_seconds, now);
+  if (buckets.empty()) return false;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  std::uint64_t count = 0;
+  for (const TsdbBucket& bucket : buckets) {
+    min = std::min(min, bucket.min);
+    max = std::max(max, bucket.max);
+    sum += bucket.sum;
+    count += bucket.count;
+  }
+  if (count == 0) return false;
+  switch (stat) {
+    case Stat::Avg:
+      out = sum / static_cast<double>(count);
+      return true;
+    case Stat::Min:
+      out = min;
+      return true;
+    case Stat::Max:
+      out = max;
+      return true;
+  }
+  return false;
+}
+
+bool MetricsTsdb::counter_delta(const std::string& series,
+                                double window_seconds, double now,
+                                double& delta, double& span_seconds) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Series* found = find_locked(series);
+  if (found == nullptr) return false;
+  std::vector<TsdbBucket> buckets = collect_locked(*found, window_seconds, now);
+  if (buckets.size() < 2) return false;
+  const TsdbBucket& oldest = buckets.front();
+  const TsdbBucket& newest = buckets.back();
+  delta = newest.last - oldest.first;
+  span_seconds = newest.end - oldest.start;
+  if (delta < 0.0) delta = newest.last;  // counter reset: baseline restarts at 0
+  if (span_seconds <= 0.0) return false;
+  return true;
+}
+
+bool MetricsTsdb::counter_rate(const std::string& series, double window_seconds,
+                               double now, double& rate) const {
+  double delta = 0.0;
+  double span = 0.0;
+  if (!counter_delta(series, window_seconds, now, delta, span)) return false;
+  rate = delta / span;
+  return true;
+}
+
+bool MetricsTsdb::bucket_deltas_locked(
+    const std::string& base, double window_seconds, double now,
+    std::vector<std::pair<double, double>>& out) const {
+  std::string prefix = base + "_bucket{";
+  out.clear();
+  for (auto it = series_.lower_bound(prefix);
+       it != series_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    double le = 0.0;
+    if (!parse_le(it->first, le)) continue;
+    std::vector<TsdbBucket> buckets =
+        collect_locked(it->second, window_seconds, now);
+    double delta = 0.0;
+    if (buckets.size() >= 2) {
+      delta = buckets.back().last - buckets.front().first;
+      if (delta < 0.0) delta = buckets.back().last;
+    }
+    out.emplace_back(le, delta);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return !out.empty();
+}
+
+bool MetricsTsdb::histogram_quantile(const std::string& base, double q,
+                                     double window_seconds, double now,
+                                     double& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<double, double>> buckets;
+  if (!bucket_deltas_locked(base, window_seconds, now, buckets)) return false;
+  double total = buckets.back().second;  // cumulative: +Inf (or widest) bucket
+  if (total <= 0.0) return false;
+  q = std::clamp(q, 0.0, 1.0);
+  double rank = q * total;
+  double prev_edge = 0.0;
+  double prev_cum = 0.0;
+  double widest_finite = 0.0;
+  for (const auto& [le, cum] : buckets)
+    if (std::isfinite(le)) widest_finite = le;
+  for (const auto& [le, cum] : buckets) {
+    if (cum >= rank) {
+      if (!std::isfinite(le)) {
+        // Overflow mass: credit at the widest finite edge, matching
+        // Histogram::quantile's overflow-at-max convention.
+        out = widest_finite;
+        return true;
+      }
+      double in_bucket = cum - prev_cum;
+      if (in_bucket <= 0.0) {
+        out = le;
+        return true;
+      }
+      double fraction = (rank - prev_cum) / in_bucket;
+      out = prev_edge + fraction * (le - prev_edge);
+      return true;
+    }
+    prev_cum = cum;
+    if (std::isfinite(le)) prev_edge = le;
+  }
+  out = widest_finite;
+  return true;
+}
+
+bool MetricsTsdb::histogram_bad_fraction(const std::string& base,
+                                         double threshold,
+                                         double window_seconds, double now,
+                                         double& out, double& total) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<double, double>> buckets;
+  if (!bucket_deltas_locked(base, window_seconds, now, buckets)) return false;
+  total = buckets.back().second;
+  if (total <= 0.0) return false;
+  double prev_edge = 0.0;
+  double prev_cum = 0.0;
+  double cum_at_threshold = total;  // threshold beyond every finite edge
+  for (const auto& [le, cum] : buckets) {
+    if (!std::isfinite(le)) continue;
+    if (le >= threshold) {
+      double width = le - prev_edge;
+      double in_bucket = cum - prev_cum;
+      double fraction =
+          width <= 0.0 ? 1.0 : std::clamp((threshold - prev_edge) / width, 0.0, 1.0);
+      cum_at_threshold = prev_cum + fraction * in_bucket;
+      break;
+    }
+    prev_edge = le;
+    prev_cum = cum;
+  }
+  out = std::clamp((total - cum_at_threshold) / total, 0.0, 1.0);
+  return true;
+}
+
+TsdbStats MetricsTsdb::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TsdbStats stats = stats_;
+  stats.series = series_.size();
+  return stats;
+}
+
+std::vector<std::string> MetricsTsdb::series_keys() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> keys;
+  keys.reserve(series_.size());
+  for (const auto& [key, series] : series_) keys.push_back(key);
+  return keys;
+}
+
+std::string render_tsdb_metrics(const MetricsTsdb& tsdb) {
+  TsdbStats stats = tsdb.stats();
+  std::ostringstream out;
+  out << "# HELP cosched_tsdb_series Live series in the embedded store.\n"
+      << "# TYPE cosched_tsdb_series gauge\n"
+      << "cosched_tsdb_series " << stats.series << "\n";
+  out << "# HELP cosched_tsdb_scrapes_total Expositions ingested.\n"
+      << "# TYPE cosched_tsdb_scrapes_total counter\n"
+      << "cosched_tsdb_scrapes_total " << stats.scrapes << "\n";
+  out << "# HELP cosched_tsdb_points_total Samples ingested across series.\n"
+      << "# TYPE cosched_tsdb_points_total counter\n"
+      << "cosched_tsdb_points_total " << stats.points_ingested << "\n";
+  out << "# HELP cosched_tsdb_series_rejected_total Samples dropped at the "
+         "series cap.\n"
+      << "# TYPE cosched_tsdb_series_rejected_total counter\n"
+      << "cosched_tsdb_series_rejected_total " << stats.series_rejected << "\n";
+  out << "# HELP cosched_tsdb_points_resident Points currently retained per "
+         "resolution.\n"
+      << "# TYPE cosched_tsdb_points_resident gauge\n"
+      << "cosched_tsdb_points_resident{resolution=\"raw\"} "
+      << stats.resident_raw << "\n"
+      << "cosched_tsdb_points_resident{resolution=\"10s\"} "
+      << stats.resident_rollup_10s << "\n"
+      << "cosched_tsdb_points_resident{resolution=\"1m\"} "
+      << stats.resident_rollup_1m << "\n";
+  out << "# HELP cosched_tsdb_points_evicted_total Points evicted "
+         "oldest-first per resolution.\n"
+      << "# TYPE cosched_tsdb_points_evicted_total counter\n"
+      << "cosched_tsdb_points_evicted_total{resolution=\"raw\"} "
+      << stats.evicted_raw << "\n"
+      << "cosched_tsdb_points_evicted_total{resolution=\"10s\"} "
+      << stats.evicted_rollup_10s << "\n"
+      << "cosched_tsdb_points_evicted_total{resolution=\"1m\"} "
+      << stats.evicted_rollup_1m << "\n";
+  return out.str();
+}
+
+}  // namespace cosched

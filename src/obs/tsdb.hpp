@@ -1,0 +1,181 @@
+// Bounded in-memory time-series store fed by Prometheus expositions.
+//
+// The metrics registry answers "what is the value now"; alerting needs
+// "what happened over the last window". MetricsTsdb closes that gap: it
+// periodically ingests a text exposition (normally the live
+// MetricsRegistry's render), classifies each sample as counter-like or
+// gauge-like by name, and appends it to a fixed-capacity per-series ring.
+// Raw points are simultaneously folded into 10-second and 1-minute
+// rollups (min/max/sum/count/first/last per bucket) so windows longer
+// than the raw ring's span still answer from data, just coarser.
+// Eviction is strictly oldest-first and exactly accounted per resolution
+// (points_evicted_total), mirroring the trace/log/journal rings.
+//
+// Query surface (what the alert rule engine consumes):
+//   * latest(series)                     — newest raw value
+//   * window_stat(series, Avg|Min|Max)   — gauge aggregation over a window
+//   * counter_delta / counter_rate       — monotone increase over a window,
+//     counter-reset tolerant (a decrease restarts the baseline at zero)
+//   * histogram_quantile(base, q)        — interpolated quantile of the
+//     *windowed* bucket deltas of base_bucket{le="..."} series
+//   * histogram_bad_fraction(base, T)    — fraction of windowed samples
+//     above threshold T, the burn-rate numerator
+//
+// Series identity is the full exposition key: `name` or `name{labels}`.
+// Histogram bucket series therefore arrive pre-labelled (le="...") and the
+// histogram queries group them back by base name.
+//
+// Thread-safety: one mutex guards the store; ingest runs on the alert
+// engine's scrape thread, queries on HTTP/RPC threads. All queries take an
+// explicit `now` so tests drive a synthetic clock deterministically.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cosched {
+
+class MetricsRegistry;
+
+struct TsdbOptions {
+  /// Raw ring capacity, points per series. At the default 1 Hz scrape this
+  /// retains 10 minutes of raw history.
+  std::size_t raw_capacity = 600;
+  /// Rollup ring capacities (10 s and 1 m buckets): 360 buckets retain one
+  /// hour at 10 s and six hours at 1 m.
+  std::size_t rollup_capacity = 360;
+  /// New series past this cap are rejected and counted, never stored — the
+  /// store's footprint is bounded no matter what the exposition grows.
+  std::size_t max_series = 1024;
+};
+
+/// Aggregate of one rollup bucket (or one raw point, degenerate).
+struct TsdbBucket {
+  double start = 0.0;  ///< bucket start time, seconds
+  double end = 0.0;    ///< time of the newest folded point
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+  double first = 0.0;  ///< oldest folded value (counter baseline)
+  double last = 0.0;   ///< newest folded value
+  std::uint64_t count = 0;
+};
+
+struct TsdbStats {
+  std::size_t series = 0;
+  std::uint64_t scrapes = 0;
+  std::uint64_t points_ingested = 0;
+  std::uint64_t series_rejected = 0;  ///< samples dropped at the series cap
+  std::uint64_t resident_raw = 0;
+  std::uint64_t resident_rollup_10s = 0;
+  std::uint64_t resident_rollup_1m = 0;
+  std::uint64_t evicted_raw = 0;
+  std::uint64_t evicted_rollup_10s = 0;
+  std::uint64_t evicted_rollup_1m = 0;
+};
+
+class MetricsTsdb {
+ public:
+  enum class Stat { Avg, Min, Max };
+
+  explicit MetricsTsdb(TsdbOptions options = {});
+
+  /// Ingests every sample line of a Prometheus text exposition, stamped at
+  /// `now`. Returns false when the exposition does not parse (nothing is
+  /// ingested); individual samples never fail.
+  bool scrape_text(const std::string& exposition, double now);
+  /// Renders `registry` (without exemplars) and ingests it.
+  bool scrape(const MetricsRegistry& registry, double now);
+
+  /// Newest raw value of a series. False when the series is unknown/empty.
+  bool latest(const std::string& series, double& out) const;
+
+  /// Gauge aggregation over [now - window, now], answered from the finest
+  /// resolution whose retention still covers the window. False when no
+  /// point falls inside the window.
+  bool window_stat(const std::string& series, double window_seconds,
+                   double now, Stat stat, double& out) const;
+
+  /// Monotone increase of a counter over [now - window, now]. The baseline
+  /// is the newest point at-or-before the window start (so a window that
+  /// spans the whole retention degrades gracefully to "since oldest").
+  /// A decrease (process restart) restarts the baseline at zero. False
+  /// when fewer than two points cover the window.
+  bool counter_delta(const std::string& series, double window_seconds,
+                     double now, double& delta, double& span_seconds) const;
+  /// counter_delta per elapsed second. False under the same conditions.
+  bool counter_rate(const std::string& series, double window_seconds,
+                    double now, double& rate) const;
+
+  /// Interpolated q-quantile of the windowed deltas of `base`'s cumulative
+  /// bucket series (base_bucket{le="..."}). Overflow mass is credited at
+  /// the largest finite edge. False when the histogram saw no samples in
+  /// the window.
+  bool histogram_quantile(const std::string& base, double q,
+                          double window_seconds, double now,
+                          double& out) const;
+  /// Fraction of windowed samples strictly above `threshold` (native
+  /// units), interpolating inside the straddling bucket; also reports the
+  /// windowed sample total. False when the histogram saw no samples in the
+  /// window — "no traffic" is not "all good", the caller decides.
+  bool histogram_bad_fraction(const std::string& base, double threshold,
+                              double window_seconds, double now, double& out,
+                              double& total) const;
+
+  TsdbStats stats() const;
+  const TsdbOptions& options() const { return options_; }
+  /// Sorted series keys (tests and the /alerts debug view).
+  std::vector<std::string> series_keys() const;
+
+ private:
+  struct Rollup {
+    double width = 10.0;
+    std::deque<TsdbBucket> ring;
+    TsdbBucket open;
+    bool open_valid = false;
+  };
+  struct Series {
+    bool counter = false;  ///< name-suffix classification at first sight
+    std::deque<TsdbBucket> raw;  ///< degenerate buckets, one per point
+    Rollup r10;
+    Rollup r60;
+  };
+
+  void ingest_locked(const std::string& key, bool counter, double value,
+                     double now);
+  static void fold(TsdbBucket& bucket, double value, double now);
+  void roll_locked(Series& series, Rollup& rollup, double value, double now,
+                   std::uint64_t& evicted);
+  /// Window [now - window, now] as buckets from the finest resolution that
+  /// still covers it (open rollup buckets included). Empty when the series
+  /// is unknown.
+  std::vector<TsdbBucket> collect_locked(const Series& series,
+                                         double window_seconds,
+                                         double now) const;
+  const Series* find_locked(const std::string& key) const;
+  /// (le, windowed delta) pairs of `base`'s cumulative bucket series,
+  /// ascending le. False when no bucket series exists.
+  bool bucket_deltas_locked(const std::string& base, double window_seconds,
+                            double now,
+                            std::vector<std::pair<double, double>>& out) const;
+
+  TsdbOptions options_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Series> series_;  ///< ordered => deterministic dumps
+  TsdbStats stats_;
+};
+
+/// True iff a sample name is counter-like by the exposition's naming
+/// convention (`_total`, histogram `_count`/`_sum`/`_bucket` suffixes).
+bool tsdb_counter_name(const std::string& name);
+
+/// Prometheus exposition lines of one store's accounting
+/// (cosched_tsdb_points_evicted_total{resolution="..."} et al.), appended
+/// to /metrics next to the log/journal families.
+std::string render_tsdb_metrics(const MetricsTsdb& tsdb);
+
+}  // namespace cosched

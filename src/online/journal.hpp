@@ -40,9 +40,10 @@ enum class JournalEventKind : std::uint8_t {
   Spillover,        ///< router sent the job off its ring shard
   Migration,        ///< replan moved the job's running processes
   Completion,       ///< last process finished
+  Alert,            ///< alert rule transition (fleet-level, job_id == -1)
 };
 
-inline constexpr std::size_t kJournalEventKinds = 6;
+inline constexpr std::size_t kJournalEventKinds = 7;
 
 const char* to_string(JournalEventKind kind);
 bool journal_event_kind_from(std::uint8_t raw, JournalEventKind& out);

@@ -165,6 +165,7 @@ class LiveSchedulerService {
   /// so counter sampling (/metrics) and tail views (/debug/events) are safe
   /// from any thread without a round-trip through the command queue.
   const DecisionJournal& journal() const { return scheduler_.journal(); }
+  DecisionJournal& journal() { return scheduler_.journal(); }
 
   /// Stops the scheduler thread without draining. Idempotent.
   void stop();

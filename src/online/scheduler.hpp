@@ -156,8 +156,11 @@ class OnlineScheduler {
   const SchedulerMetrics& metrics() const { return metrics_; }
   const EventLog& log() const { return log_; }
   /// Per-decision attribution ring (see journal.hpp); query with
-  /// job_timeline().
+  /// job_timeline(). The non-const overload exists for the alert engine,
+  /// which appends fleet-level transition events from its own thread (the
+  /// journal is internally mutex-guarded).
   const DecisionJournal& journal() const { return journal_; }
+  DecisionJournal& journal() { return journal_; }
   /// Admission → placement → migration → completion events of one job.
   JobTimeline job_timeline(std::int64_t job_id) const {
     return journal_.query(job_id);

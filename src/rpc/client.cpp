@@ -239,6 +239,18 @@ RpcError CoschedClient::get_metrics(MetricsResponse& out) {
   return error;
 }
 
+RpcError CoschedClient::get_alerts(AlertsResponse& out) {
+  ResponseEnvelope envelope;
+  RpcError error = call(MessageType::GetAlerts, {}, true, envelope);
+  if (!error.ok()) return error;
+  WireReader r(envelope.body);
+  if (!decode_alerts_response(r, out) || !r.complete()) {
+    error.kind = RpcErrorKind::Protocol;
+    error.message = "undecodable GetAlerts response body";
+  }
+  return error;
+}
+
 RpcError CoschedClient::trace_dump(TraceDumpResponse& out) {
   ResponseEnvelope envelope;
   RpcError error = call(MessageType::TraceDump, {}, true, envelope);

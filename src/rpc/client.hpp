@@ -77,6 +77,9 @@ class CoschedClient {
   RpcError query_job_timeline(std::int64_t job_id, JobTimelineResponse& out);
   RpcError query_snapshot(ServiceSnapshot& out);
   RpcError get_metrics(MetricsResponse& out);
+  /// v8: the SLO watchdog's alert rule states (router: fleet fan-in,
+  /// shard-labelled).
+  RpcError get_alerts(AlertsResponse& out);
   /// v2: the server's structured trace (text dump + Chrome JSON).
   RpcError trace_dump(TraceDumpResponse& out);
   RpcError drain(DrainResponse& out);

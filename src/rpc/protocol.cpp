@@ -15,13 +15,14 @@ const char* to_string(MessageType type) {
     case MessageType::TraceDump: return "TraceDump";
     case MessageType::SubscribeTelemetry: return "SubscribeTelemetry";
     case MessageType::QueryJobTimeline: return "QueryJobTimeline";
+    case MessageType::GetAlerts: return "GetAlerts";
   }
   return "?";
 }
 
 bool valid_message_type(std::uint8_t raw) {
   return raw >= static_cast<std::uint8_t>(MessageType::SubmitJob) &&
-         raw <= static_cast<std::uint8_t>(MessageType::QueryJobTimeline);
+         raw <= static_cast<std::uint8_t>(MessageType::GetAlerts);
 }
 
 const char* to_string(RpcStatus status) {
@@ -625,6 +626,47 @@ bool decode_timeline_response(WireReader& r, JobTimelineResponse& response) {
     JournalEvent event;
     if (!decode_journal_event(r, event)) return false;
     response.events.push_back(std::move(event));
+  }
+  return r.ok();
+}
+
+void encode_alerts_response(WireWriter& w, const AlertsResponse& response) {
+  w.boolean(response.engine_enabled);
+  w.u64(response.firing);
+  w.u32(static_cast<std::uint32_t>(response.alerts.size()));
+  for (const AlertEntry& entry : response.alerts) {
+    w.i32(entry.shard_id);
+    w.str(entry.rule);
+    w.u8(entry.state);
+    w.u8(entry.severity);
+    w.real(entry.value);
+    w.real(entry.threshold);
+    w.real(entry.since_seconds);
+    w.str(entry.detail);
+  }
+}
+
+bool decode_alerts_response(WireReader& r, AlertsResponse& response) {
+  response.engine_enabled = r.boolean();
+  response.firing = r.u64();
+  std::uint32_t count = r.u32();
+  if (!r.ok() || count > r.remaining()) return false;
+  response.alerts.clear();
+  response.alerts.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    AlertEntry entry;
+    entry.shard_id = r.i32();
+    entry.rule = r.str();
+    entry.state = r.u8();
+    entry.severity = r.u8();
+    entry.value = r.real();
+    entry.threshold = r.real();
+    entry.since_seconds = r.real();
+    entry.detail = r.str();
+    // The state machine has 4 states and 3 severities; anything else is a
+    // corrupted body, not a future extension (those append fields).
+    if (!r.ok() || entry.state > 3 || entry.severity > 2) return false;
+    response.alerts.push_back(std::move(entry));
   }
   return r.ok();
 }

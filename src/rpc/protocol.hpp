@@ -51,12 +51,18 @@ namespace cosched {
 /// carrying the trace id of the replan that made the call. The message is
 /// v7-only (older peers never sent it); every pre-v7 reply body is
 /// unchanged.
+/// Version 8 adds the GetAlerts message: the answering instance's alert
+/// rule states (the SLO watchdog — see obs/alerts.hpp), one entry per
+/// rule with its state machine position, evaluated value and bound. A
+/// router fans in every fronted shard's alerts, shard-labelled, next to
+/// its own. The message is v8-only (pre-v8 peers get BadRequest); every
+/// pre-v8 reply body is unchanged.
 /// The server accepts every version in [kMinProtocolVersion,
-/// kProtocolVersion] and answers in the requester's version — a v1..v6
+/// kProtocolVersion] and answers in the requester's version — a v1..v7
 /// peer gets exactly the bytes it always got (extension fields are appended
 /// after the older body and decoded only when present; the envelope
 /// trace_id travels on v3+ wires only).
-inline constexpr std::uint16_t kProtocolVersion = 7;
+inline constexpr std::uint16_t kProtocolVersion = 8;
 inline constexpr std::uint16_t kMinProtocolVersion = 1;
 
 enum class MessageType : std::uint8_t {
@@ -69,6 +75,7 @@ enum class MessageType : std::uint8_t {
   TraceDump = 7,  ///< v2: the server's structured trace, text + Chrome JSON
   SubscribeTelemetry = 8,  ///< v3: server-push metrics + span stream
   QueryJobTimeline = 9,  ///< v7: decision-journal events of one job
+  GetAlerts = 10,  ///< v8: alert rule states (router: fleet fan-in)
 };
 
 const char* to_string(MessageType type);
@@ -302,6 +309,30 @@ struct JobTimelineResponse {
   std::vector<JournalEvent> events;  ///< ascending seq
 };
 
+// ---- alert fan-in (v8) ----------------------------------------------------
+// GetAlerts request body: empty. The response carries one entry per alert
+// rule of the answering instance; a router additionally fans in every
+// fronted shard's entries with their shard ids stamped (its own rules
+// travel as shard_id == -1).
+
+/// One alert rule's state, as served by /alerts and GetAlerts.
+struct AlertEntry {
+  std::int32_t shard_id = -1;  ///< -1 = the answering instance itself
+  std::string rule;
+  std::uint8_t state = 0;     ///< AlertState raw (inactive/pending/...)
+  std::uint8_t severity = 0;  ///< AlertSeverity raw (info/warn/critical)
+  Real value = 0.0;           ///< last evaluated value
+  Real threshold = 0.0;       ///< bound (burn-rate rules: the burn factor)
+  Real since_seconds = 0.0;   ///< time spent in the current state
+  std::string detail;         ///< free-form "k=v ..." extras
+};
+
+struct AlertsResponse {
+  bool engine_enabled = false;  ///< false: watchdog compiled out / disabled
+  std::uint64_t firing = 0;     ///< firing entries across the response
+  std::vector<AlertEntry> alerts;
+};
+
 // Field-level encoders shared by client and server. Decoders return false
 // on malformed input and leave the output in an unspecified state.
 void encode_trace_job(WireWriter& w, const TraceJob& job);
@@ -361,5 +392,8 @@ bool decode_journal_event(WireReader& r, JournalEvent& event);
 void encode_timeline_response(WireWriter& w,
                               const JobTimelineResponse& response);
 bool decode_timeline_response(WireReader& r, JobTimelineResponse& response);
+
+void encode_alerts_response(WireWriter& w, const AlertsResponse& response);
+bool decode_alerts_response(WireReader& r, AlertsResponse& response);
 
 }  // namespace cosched

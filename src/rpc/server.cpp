@@ -50,6 +50,19 @@ bool CoschedServer::start(std::string& error) {
   }
   port_ = listener_.local_port();
 
+  // SLO watchdog: scrape-and-evaluate on a background tick. A standalone
+  // server gets the default burn-rate rules against its latency budget
+  // unless the caller supplied a rule file. Engine construction is cheap;
+  // under COSCHED_ALERTS_DISABLED start() refuses and we drop it.
+  if (options_.enable_alerts && !kAlertsDisabled) {
+    AlertEngineOptions alert_options = options_.alerts;
+    if (alert_options.rules.rules.empty())
+      alert_options.rules = default_alert_rules(options_.alert_budget_ms);
+    alerts_ = std::make_unique<AlertEngine>(std::move(alert_options));
+    alerts_->set_journal(&service_->journal());
+    if (!alerts_->start()) alerts_.reset();
+  }
+
   if (options_.enable_http) {
     HttpOptions http_options;
     http_options.host = options_.host;
@@ -63,12 +76,36 @@ bool CoschedServer::start(std::string& error) {
       body = MetricsRegistry::global().render_prometheus(true);
       body += render_log_metrics();
       body += render_journal_metrics(service_->journal());
+      if (alerts_) body += render_alert_metrics(*alerts_);
       content_type = "text/plain; version=0.0.4; charset=utf-8";
       return true;
     });
-    http_->handle("/healthz", [](const std::string&, std::string& body,
-                                 std::string&) {
-      body = "ok\n";
+    http_->handle("/healthz", [this](const std::string&, std::string& body,
+                                     std::string&) {
+      // Firing alerts degrade the verdict (still 200 — the process serves)
+      // so a fleet prober sees the watchdog's judgement, not just liveness.
+      std::vector<std::string> firing =
+          alerts_ ? alerts_->firing_rules() : std::vector<std::string>{};
+      if (firing.empty()) {
+        body = "ok\n";
+      } else {
+        body = "degraded: firing";
+        for (const std::string& rule : firing) body += " " + rule;
+        body += "\n";
+      }
+      return true;
+    });
+    http_->handle("/alerts", [this](const std::string& target,
+                                    std::string& body,
+                                    std::string& content_type) {
+      std::vector<AlertView> views =
+          alerts_ ? alerts_->views() : std::vector<AlertView>{};
+      if (http_query_param(target, "format") == "json") {
+        body = render_alerts_json(views, alerts_ != nullptr);
+        content_type = "application/json";
+      } else {
+        body = render_alerts_text(views, alerts_ != nullptr);
+      }
       return true;
     });
     http_->handle("/debug/profile", [](const std::string&, std::string& body,
@@ -153,6 +190,10 @@ void CoschedServer::stop() {
   if (http_) {
     http_->stop();
     http_.reset();
+  }
+  if (alerts_) {
+    alerts_->stop();
+    alerts_.reset();
   }
   unregister_observability();
   {
@@ -704,6 +745,37 @@ ResponseEnvelope CoschedServer::handle_request(const RequestEnvelope& request) {
       reply.virtual_now = outcome.virtual_now;
       reply.events = std::move(outcome.timeline.events);
       encode_timeline_response(body, reply);
+      break;
+    }
+    case MessageType::GetAlerts: {
+      if (request.version < 8) {
+        response.status = RpcStatus::BadRequest;
+        response.error = "GetAlerts requires protocol v8";
+        return response;
+      }
+      if (!reader.complete()) {
+        response.status = RpcStatus::BadRequest;
+        response.error = "unexpected GetAlerts body";
+        return response;
+      }
+      AlertsResponse reply;
+      reply.engine_enabled = alerts_ != nullptr;
+      if (alerts_) {
+        for (const AlertView& view : alerts_->views()) {
+          AlertEntry entry;
+          entry.shard_id = options_.shard_id;
+          entry.rule = view.rule;
+          entry.state = static_cast<std::uint8_t>(view.state);
+          entry.severity = static_cast<std::uint8_t>(view.severity);
+          entry.value = view.value;
+          entry.threshold = view.threshold;
+          entry.since_seconds = view.since_seconds;
+          entry.detail = view.detail;
+          if (view.state == AlertState::Firing) ++reply.firing;
+          reply.alerts.push_back(std::move(entry));
+        }
+      }
+      encode_alerts_response(body, reply);
       break;
     }
     case MessageType::QueryScheduleSnapshot: {

@@ -34,6 +34,7 @@
 
 #include "net/frame.hpp"
 #include "net/socket.hpp"
+#include "obs/alerts.hpp"
 #include "obs/http.hpp"
 #include "obs/metrics_registry.hpp"
 #include "online/live_service.hpp"
@@ -64,6 +65,16 @@ struct ServerOptions {
   /// RPC-addressable backend is a plain CoschedServer started with its
   /// shard id set.
   std::int32_t shard_id = -1;
+  /// SLO watchdog: scrape the process registry into the embedded tsdb and
+  /// evaluate alert rules on a background tick (obs/alerts.hpp). When
+  /// `alerts.rules` is empty the server installs default_alert_rules()
+  /// against `alert_budget_ms`. Compiled out under COSCHED_ALERTS_DISABLED
+  /// regardless of this switch.
+  bool enable_alerts = true;
+  AlertEngineOptions alerts;
+  /// Latency budget (ms) behind the default burn-rate rules; slo.json's
+  /// p95_ms is the natural source.
+  double alert_budget_ms = 900.0;
   LiveServiceOptions service;
 };
 
@@ -108,6 +119,8 @@ class CoschedServer {
   void stop();
 
   LiveSchedulerService& service() { return *service_; }
+  /// The SLO watchdog (nullptr when disabled or compiled out).
+  AlertEngine* alert_engine() { return alerts_.get(); }
   ServerStats stats() const;
 
  private:
@@ -132,6 +145,7 @@ class CoschedServer {
   Socket listener_;
   std::uint16_t port_ = 0;
   std::unique_ptr<HttpEndpoint> http_;
+  std::unique_ptr<AlertEngine> alerts_;
   /// Cached at start(): workers observe without touching the registry map
   /// (whose mutex the /metrics render holds while sampling callbacks).
   HistogramMetric* request_latency_ = nullptr;

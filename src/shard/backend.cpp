@@ -234,6 +234,13 @@ RpcStatus RemoteShard::trace_dump(TraceDumpResponse& out, std::string& error) {
   return fold(rpc, rpc.app, error);
 }
 
+RpcStatus RemoteShard::alerts(AlertsResponse& out, std::string& error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  forward_trace_locked();
+  RpcError rpc = client_.get_alerts(out);
+  return fold(rpc, rpc.app, error);
+}
+
 ShardRpcErrors RemoteShard::rpc_errors() const {
   ShardRpcErrors errors;
   errors.transport = transport_errors_.load(std::memory_order_relaxed);

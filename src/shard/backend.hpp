@@ -94,6 +94,14 @@ class ShardBackend {
     error = "shard shares the local tracer";
     return RpcStatus::BadRequest;
   }
+  /// The shard's own alert states, for the router's GetAlerts//alerts
+  /// fan-in. Only remote shards run a watchdog of their own — a local
+  /// shard shares the process registry the router's engine already scrapes.
+  virtual RpcStatus alerts(AlertsResponse& out, std::string& error) {
+    (void)out;
+    error = "shard shares the local alert engine";
+    return RpcStatus::BadRequest;
+  }
   /// Folded RPC failures by kind; zero for local shards.
   virtual ShardRpcErrors rpc_errors() const { return {}; }
 };
@@ -154,6 +162,8 @@ class RemoteShard : public ShardBackend {
   bool probe(std::string& error) override;
   /// Pulls the shard server's own trace dump (its text + Chrome JSON).
   RpcStatus trace_dump(TraceDumpResponse& out, std::string& error) override;
+  /// Pulls the shard server's alert states (one GetAlerts round-trip).
+  RpcStatus alerts(AlertsResponse& out, std::string& error) override;
   ShardRpcErrors rpc_errors() const override;
 
  private:

@@ -33,29 +33,102 @@ bool RouterServer::start(std::string& error) {
   // to leave on, and /debug/profile is only useful with data behind it.
   Profiler::global().set_enabled(true);
 
+  // The router's own SLO watchdog. It scrapes the *fleet* page — router
+  // counters, per-shard gauges and the merged latency histogram — so the
+  // default burn-rate rules watch fleet-wide latency, not just this
+  // process's registry. Remote shards run their own engines and are fanned
+  // in by collect_alerts().
+  if (options_.enable_alerts && !kAlertsDisabled) {
+    AlertEngineOptions alert_options = options_.alerts;
+    if (alert_options.rules.rules.empty()) {
+      alert_options.rules = default_alert_rules(options_.alert_budget_ms);
+      // The fleet page's latency histogram is the router-side submit
+      // latency (cosched_router_request_seconds) — cosched_rpc_request
+      // _seconds belongs to the shard processes and never appears here.
+      // Repoint the default burn rules at the family that exists.
+      for (AlertRule& rule : alert_options.rules.rules)
+        if (rule.histogram == "cosched_rpc_request_seconds")
+          rule.histogram = "cosched_router_request_seconds";
+    }
+    if (!alert_options.exposition_source) {
+      ShardRouter* router = &router_;
+      alert_options.exposition_source = [router] {
+        return router->render_prometheus();
+      };
+    }
+    alerts_ = std::make_unique<AlertEngine>(std::move(alert_options));
+    alerts_->set_journal(&router_.journal());
+    if (!alerts_->start()) alerts_.reset();
+  }
+
   if (options_.enable_http) {
     HttpOptions http_options;
     http_options.host = options_.host;
     http_options.port = options_.http_port;
     http_ = std::make_unique<HttpEndpoint>(http_options);
     ShardRouter* router = &router_;
-    http_->handle("/metrics", [router](const std::string&, std::string& body,
-                                       std::string& content_type) {
+    http_->handle("/metrics", [this, router](const std::string&,
+                                             std::string& body,
+                                             std::string& content_type) {
       body = router->render_prometheus();
+      if (alerts_) body += render_alert_metrics(*alerts_);
       content_type = "text/plain; version=0.0.4; charset=utf-8";
       return true;
     });
     // Liveness fans in: ok / degraded answer 200 (the body carries the
     // verdict and the per-shard breakdown), a fully-down fleet answers 503
-    // so dumb load-balancer probes fail over without parsing JSON.
+    // so dumb load-balancer probes fail over without parsing JSON. Firing
+    // alerts — the router's own or any shard's — demote ok to degraded but
+    // never change the status code: the process is still serving.
     http_->handle_status(
-        "/healthz", [router](const std::string&, std::string& body,
-                             std::string& content_type) {
+        "/healthz", [this, router](const std::string&, std::string& body,
+                                   std::string& content_type) {
           FleetHealth health = router->health();
-          body = ShardRouter::health_json(health);
+          std::vector<std::string> firing;
+          AlertsResponse fleet_alerts = collect_alerts();
+          for (const AlertEntry& entry : fleet_alerts.alerts) {
+            if (entry.state != static_cast<std::uint8_t>(AlertState::Firing))
+              continue;
+            firing.push_back(entry.shard_id < 0
+                                 ? entry.rule
+                                 : "shard" + std::to_string(entry.shard_id) +
+                                       "/" + entry.rule);
+          }
+          body = ShardRouter::health_json(health, firing);
           content_type = "application/json";
           return health.state == FleetHealth::State::Down ? 503 : 200;
         });
+    // Fleet alert fan-in: the router's own rules (shard=-1) plus every
+    // remote shard's, shard-labelled. Text by default, ?format=json for
+    // machines — same contract as the single-server /alerts.
+    http_->handle("/alerts", [this](const std::string& target,
+                                    std::string& body,
+                                    std::string& content_type) {
+      AlertsResponse fleet_alerts = collect_alerts();
+      std::vector<AlertView> views;
+      views.reserve(fleet_alerts.alerts.size());
+      for (const AlertEntry& entry : fleet_alerts.alerts) {
+        AlertView view;
+        view.shard_id = entry.shard_id;
+        view.rule = entry.rule;
+        alert_state_from(entry.state, view.state);
+        view.severity = entry.severity <= 2
+                            ? static_cast<AlertSeverity>(entry.severity)
+                            : AlertSeverity::Warn;
+        view.value = entry.value;
+        view.threshold = entry.threshold;
+        view.since_seconds = entry.since_seconds;
+        view.detail = entry.detail;
+        views.push_back(std::move(view));
+      }
+      if (http_query_param(target, "format") == "json") {
+        body = render_alerts_json(views, fleet_alerts.engine_enabled);
+        content_type = "application/json";
+      } else {
+        body = render_alerts_text(views, fleet_alerts.engine_enabled);
+      }
+      return true;
+    });
     http_->handle("/debug/profile", [](const std::string&, std::string& body,
                                        std::string&) {
       body = Profiler::global().render_collapsed();
@@ -135,6 +208,10 @@ void RouterServer::stop() {
     http_->stop();
     http_.reset();
   }
+  if (alerts_) {
+    alerts_->stop();
+    alerts_.reset();
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   pending_.clear();
   started_ = false;
@@ -145,6 +222,45 @@ void RouterServer::stop() {
 RouterServerStats RouterServer::stats() const {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   return stats_;
+}
+
+AlertsResponse RouterServer::collect_alerts() {
+  AlertsResponse fleet;
+  fleet.engine_enabled = alerts_ != nullptr;
+  if (alerts_) {
+    for (const AlertView& view : alerts_->views()) {
+      AlertEntry entry;
+      entry.shard_id = -1;  // the router's own watchdog
+      entry.rule = view.rule;
+      entry.state = static_cast<std::uint8_t>(view.state);
+      entry.severity = static_cast<std::uint8_t>(view.severity);
+      entry.value = view.value;
+      entry.threshold = view.threshold;
+      entry.since_seconds = view.since_seconds;
+      entry.detail = view.detail;
+      if (view.state == AlertState::Firing) ++fleet.firing;
+      fleet.alerts.push_back(std::move(entry));
+    }
+  }
+  // Remote shards run their own engines; local shards share this process's
+  // registry (the router engine above already watches them), and their
+  // backend answers BadRequest — skipped, not an error. A remote shard that
+  // cannot answer is skipped too: a partial fan-in beats none, and the
+  // failure shows in cosched_shard_rpc_errors_total.
+  for (std::size_t i = 0; i < router_.shard_count(); ++i) {
+    ShardBackend& shard = router_.shard(i);
+    if (shard.is_local()) continue;
+    AlertsResponse remote;
+    std::string shard_error;
+    if (shard.alerts(remote, shard_error) != RpcStatus::Ok) continue;
+    for (AlertEntry& entry : remote.alerts) {
+      entry.shard_id = static_cast<std::int32_t>(i);
+      if (entry.state == static_cast<std::uint8_t>(AlertState::Firing))
+        ++fleet.firing;
+      fleet.alerts.push_back(std::move(entry));
+    }
+  }
+  return fleet;
 }
 
 void RouterServer::accept_main() {
@@ -396,6 +512,14 @@ ResponseEnvelope RouterServer::handle_request(const RequestEnvelope& request,
       body.real(router_.metrics(fleet, error) == RpcStatus::Ok
                     ? fleet.virtual_now
                     : 0.0);
+      break;
+    }
+    case MessageType::GetAlerts: {
+      if (request.version < 8)
+        return fail(RpcStatus::BadRequest, "GetAlerts requires protocol v8");
+      if (!reader.complete())
+        return fail(RpcStatus::BadRequest, "unexpected GetAlerts body");
+      encode_alerts_response(body, collect_alerts());
       break;
     }
     case MessageType::SubscribeTelemetry: {

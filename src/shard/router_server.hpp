@@ -40,6 +40,7 @@
 
 #include "net/frame.hpp"
 #include "net/socket.hpp"
+#include "obs/alerts.hpp"
 #include "obs/http.hpp"
 #include "shard/router.hpp"
 
@@ -56,6 +57,14 @@ struct RouterServerOptions {
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
   bool enable_http = true;
   std::uint16_t http_port = 0;  ///< 0 = ephemeral; read back with http_port()
+  /// SLO watchdog over the router process's registry (which includes every
+  /// local shard — they share the process). Remote shards run their own
+  /// engines; GetAlerts//alerts fans those in shard-labelled. Compiled out
+  /// under COSCHED_ALERTS_DISABLED regardless of this switch.
+  bool enable_alerts = true;
+  AlertEngineOptions alerts;
+  /// Latency budget (ms) behind the default burn-rate rules.
+  double alert_budget_ms = 900.0;
 };
 
 struct RouterServerStats {
@@ -87,10 +96,16 @@ class RouterServer {
   void stop();
 
   ShardRouter& router() { return router_; }
+  /// The router's own SLO watchdog (nullptr when disabled/compiled out).
+  AlertEngine* alert_engine() { return alerts_.get(); }
   RouterServerStats stats() const;
 
  private:
   void accept_main();
+  /// Fleet alert fan-in: the router's own rules (shard_id == -1) plus each
+  /// remote shard's GetAlerts entries rewritten with its shard id. Local
+  /// shards share the process registry the router engine already watches.
+  AlertsResponse collect_alerts();
   void worker_main();
   void serve_connection(Socket socket);
   ResponseEnvelope handle_request(const RequestEnvelope& request,
@@ -102,6 +117,7 @@ class RouterServer {
   Socket listener_;
   std::uint16_t port_ = 0;
   std::unique_ptr<HttpEndpoint> http_;
+  std::unique_ptr<AlertEngine> alerts_;
 
   std::mutex mutex_;
   std::condition_variable wake_;      ///< workers: connection queue

@@ -111,6 +111,57 @@ TEST(HttpEndpointTest, HeadReturnsHeadersWithoutBody) {
   endpoint.stop();
 }
 
+TEST(HttpEndpointTest, IndexPageListsRegisteredRoutes) {
+  HttpEndpoint endpoint(HttpOptions{});
+  endpoint.handle("/ping", [](const std::string&, std::string& body,
+                              std::string&) {
+    body = "pong";
+    return true;
+  });
+  endpoint.handle("/stats", [](const std::string&, std::string& body,
+                               std::string&) {
+    body = "{}";
+    return true;
+  });
+  std::string error;
+  ASSERT_TRUE(endpoint.start(error)) << error;
+
+  // The endpoint synthesizes a "/" index once started; route_paths() shows
+  // it alongside the caller's routes.
+  std::vector<std::string> paths = endpoint.route_paths();
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_EQ(paths[0], "/ping");
+  EXPECT_EQ(paths[1], "/stats");
+  EXPECT_EQ(paths[2], "/");
+
+  std::string index = raw_http(endpoint.port(), "GET / HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(index.rfind("HTTP/1.0 200", 0), 0u) << index;
+  std::string body = http_body(index);
+  EXPECT_NE(body.find("routes:"), std::string::npos) << body;
+  EXPECT_NE(body.find("  /ping\n"), std::string::npos) << body;
+  EXPECT_NE(body.find("  /stats\n"), std::string::npos) << body;
+  // The index lists itself too — curl of any listed path succeeds.
+  EXPECT_NE(body.find("  /\n"), std::string::npos) << body;
+
+  endpoint.stop();
+}
+
+// A caller that claims "/" itself wins: no synthesized index on top.
+TEST(HttpEndpointTest, CallerProvidedRootIsNotOverridden) {
+  HttpEndpoint endpoint(HttpOptions{});
+  endpoint.handle("/", [](const std::string&, std::string& body,
+                          std::string&) {
+    body = "custom root";
+    return true;
+  });
+  std::string error;
+  ASSERT_TRUE(endpoint.start(error)) << error;
+  EXPECT_EQ(endpoint.route_paths().size(), 1u);
+  std::string root = raw_http(endpoint.port(), "GET / HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(http_body(root), "custom root");
+  endpoint.stop();
+}
+
 TEST(HttpEndpointTest, RejectsRequestBodies) {
   HttpEndpoint endpoint(HttpOptions{});
   endpoint.handle("/ping", [](const std::string&, std::string& body,

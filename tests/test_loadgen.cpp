@@ -486,5 +486,71 @@ TEST(Slo, LoadsBudgetFromJsonFile) {
   EXPECT_FALSE(error.empty());
 }
 
+// Budget validation names the offending field so a CI failure reads as
+// "p95_ms: must be a finite number", not a generic parse error.
+TEST(Slo, ValidationErrorsNameTheField) {
+  SloBudget budget;
+  std::string error;
+
+  EXPECT_FALSE(parse_slo_budget(R"({"p95_ms": 12, "wat": 1})", budget, error));
+  EXPECT_NE(error.find("wat: unknown budget field"), std::string::npos)
+      << error;
+  EXPECT_NE(error.find("p50_ms p95_ms p99_ms min_rps max_error_rate"),
+            std::string::npos)
+      << error;
+
+  EXPECT_FALSE(parse_slo_budget(R"({"p95_ms": "fast"})", budget, error));
+  EXPECT_NE(error.find("p95_ms: expected a number, got a string"),
+            std::string::npos)
+      << error;
+
+  EXPECT_FALSE(parse_slo_budget(R"({"min_rps": -3})", budget, error));
+  EXPECT_NE(error.find("min_rps: must not be negative"), std::string::npos)
+      << error;
+
+  EXPECT_FALSE(parse_slo_budget(R"({"max_error_rate": 1.5})", budget, error));
+  EXPECT_NE(error.find("max_error_rate:"), std::string::npos) << error;
+
+  // Percentile ordering is cross-checked among the fields that are set.
+  EXPECT_FALSE(
+      parse_slo_budget(R"({"p50_ms": 900, "p95_ms": 100})", budget, error));
+  EXPECT_NE(error.find("p50_ms: must not exceed p95_ms"), std::string::npos)
+      << error;
+  EXPECT_FALSE(
+      parse_slo_budget(R"({"p95_ms": 900, "p99_ms": 100})", budget, error));
+  EXPECT_NE(error.find("p95_ms: must not exceed p99_ms"), std::string::npos)
+      << error;
+}
+
+TEST(Slo, ValidationAcceptsPartialBudgetsAndComments) {
+  SloBudget budget;
+  std::string error;
+  // Underscore-prefixed keys are comments; absent fields stay unset.
+  ASSERT_TRUE(parse_slo_budget(
+      R"({"_note": "partial", "p99_ms": 50})", budget, error))
+      << error;
+  EXPECT_EQ(budget.p99_ms, 50.0);
+  EXPECT_LE(budget.p50_ms, 0.0);
+  EXPECT_LE(budget.p95_ms, 0.0);
+  EXPECT_LT(budget.max_error_rate, 0.0);
+
+  // p50 <= p99 with p95 absent is still checked — and passes here.
+  ASSERT_TRUE(parse_slo_budget(
+      R"({"p50_ms": 10, "p99_ms": 50})", budget, error))
+      << error;
+  EXPECT_FALSE(
+      parse_slo_budget(R"({"p50_ms": 90, "p99_ms": 50})", budget, error));
+  EXPECT_NE(error.find("p50_ms: must not exceed p99_ms"), std::string::npos)
+      << error;
+
+  // The file loader prefixes the path so multi-file CI logs stay readable.
+  std::string path = "test_slo_invalid_tmp.json";
+  ASSERT_TRUE(write_text_file(path, R"({"p95_ms": "slow"})"));
+  EXPECT_FALSE(load_slo_budget(path, budget, error));
+  EXPECT_NE(error.find(path), std::string::npos) << error;
+  EXPECT_NE(error.find("p95_ms:"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace cosched

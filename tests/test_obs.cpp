@@ -71,6 +71,42 @@ TEST(ObsHistogram, QuantileInterpolatesWithinBuckets) {
   EXPECT_EQ(overflow.quantile(0.99), 10.0);
 }
 
+// Degenerate shapes the alerting TSDB leans on: an empty histogram answers
+// 0 for every q, a single sample answers (an interpolation of) itself, and
+// an all-overflow histogram pins every quantile to the observed max rather
+// than inventing a value beyond the widest finite edge.
+TEST(ObsHistogram, QuantileEdgeCases) {
+  Histogram empty({1.0, 2.0});
+  for (Real q : {0.0, 0.5, 0.99, 1.0}) EXPECT_EQ(empty.quantile(q), 0.0);
+
+  // One in-range sample: the bucket's upper edge is capped at the observed
+  // max, so every quantile lands between the bucket's lower edge and the
+  // sample itself — never an invented value above what was seen.
+  Histogram single({1.0, 2.0});
+  single.add(1.5);
+  for (Real q : {0.01, 0.5, 0.99, 1.0}) {
+    Real v = single.quantile(q);
+    EXPECT_GE(v, 1.0 - 1e-12) << q;
+    EXPECT_LE(v, 1.5 + 1e-12) << q;
+  }
+  EXPECT_NEAR(single.quantile(1.0), 1.5, 1e-12);
+
+  // Every sample past the widest finite edge: quantiles report the observed
+  // max, and stay monotone.
+  Histogram overflow({1.0, 2.0});
+  overflow.add(50.0);
+  overflow.add(75.0);
+  overflow.add(100.0);
+  EXPECT_EQ(overflow.quantile(0.5), 100.0);
+  EXPECT_EQ(overflow.quantile(0.99), 100.0);
+  Real prev = 0.0;
+  for (Real q = 0.0; q <= 1.0; q += 0.1) {
+    Real v = overflow.quantile(q);
+    EXPECT_GE(v, prev - 1e-12);
+    prev = v;
+  }
+}
+
 TEST(ObsHistogram, MergeFoldsBucketsSumsAndInvalids) {
   Histogram a({1.0, 5.0});
   a.add(0.5);
@@ -496,6 +532,34 @@ TEST(ObsExemplars, OpenMetricsRenderRoundTripsThroughTheParser) {
       "cosched_x_bucket{le=\"1\"} 2 # {trace_id=\"1\"\n", bad));
   EXPECT_FALSE(parse_prometheus_text(
       "cosched_x_bucket{le=\"1\"} 2 # {trace_id=\"1\"} nan-ish x\n", bad));
+}
+
+// Every-bucket-traced round-trip: when each bucket carries an exemplar the
+// parser recovers one exemplar per finite bucket plus the overflow, each
+// with the value that landed in that bucket. This is the exposition the
+// alerting TSDB scrapes, so the parse must not drop or misattribute any.
+TEST(ObsExemplars, FullyTracedHistogramRoundTripsEveryExemplar) {
+  MetricsRegistry reg;
+  HistogramMetric& h =
+      reg.histogram("cosched_test_traced_seconds", "traced", {0.1, 1.0});
+  h.observe(0.05, 0xa);
+  h.observe(0.5, 0xb);
+  h.observe(5.0, 0xc);
+
+  std::vector<PrometheusSample> samples;
+  ASSERT_TRUE(parse_prometheus_text(reg.render_prometheus(true), samples));
+  std::map<std::string, std::pair<std::string, double>> by_bucket;
+  for (const PrometheusSample& s : samples)
+    if (s.has_exemplar)
+      by_bucket[s.labels] = {s.exemplar_labels, s.exemplar_value};
+  ASSERT_EQ(by_bucket.size(), 3u);
+  EXPECT_EQ(by_bucket.at("le=\"0.1\"").first, "trace_id=\"000000000000000a\"");
+  EXPECT_EQ(by_bucket.at("le=\"0.1\"").second, 0.05);
+  EXPECT_EQ(by_bucket.at("le=\"1\"").first, "trace_id=\"000000000000000b\"");
+  EXPECT_EQ(by_bucket.at("le=\"1\"").second, 0.5);
+  EXPECT_EQ(by_bucket.at("le=\"+Inf\"").first,
+            "trace_id=\"000000000000000c\"");
+  EXPECT_EQ(by_bucket.at("le=\"+Inf\"").second, 5.0);
 }
 
 TEST(ObsExemplars, TraceIdHexIsZeroPadded16) {

@@ -1,11 +1,14 @@
 // Compile-time kill switch: this TU is built with -DCOSCHED_TRACE_DISABLED,
-// -DCOSCHED_PROFILE_DISABLED and -DCOSCHED_LOG_DISABLED (see
-// tests/CMakeLists.txt), so every COSCHED_TRACE_*, COSCHED_PROFILE_PHASE
-// and COSCHED_LOG macro must expand to a no-op — no events, phase samples
-// or log records recorded even with the runtime switches on. This is the
-// overhead story for builds that want instrumentation gone entirely.
+// -DCOSCHED_PROFILE_DISABLED, -DCOSCHED_LOG_DISABLED and
+// -DCOSCHED_ALERTS_DISABLED (see tests/CMakeLists.txt), so every
+// COSCHED_TRACE_*, COSCHED_PROFILE_PHASE and COSCHED_LOG macro must expand
+// to a no-op — no events, phase samples or log records recorded even with
+// the runtime switches on — and the alert engine must refuse to tick or
+// spawn its scrape thread. This is the overhead story for builds that want
+// instrumentation gone entirely.
 #include <gtest/gtest.h>
 
+#include "obs/alerts.hpp"
 #include "obs/log.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
@@ -21,6 +24,9 @@ namespace {
 #endif
 #ifndef COSCHED_LOG_DISABLED
 #error "this TU must be compiled with COSCHED_LOG_DISABLED"
+#endif
+#ifndef COSCHED_ALERTS_DISABLED
+#error "this TU must be compiled with COSCHED_ALERTS_DISABLED"
 #endif
 
 TEST(ObsTracingDisabled, MacrosAreNoOpsEvenWhenRuntimeEnabled) {
@@ -88,6 +94,25 @@ TEST(ObsProfilingDisabled, PhaseMacroLeavesNoResidue) {
   EXPECT_EQ(profiler.render_collapsed().find("compiled.out.phase"),
             std::string::npos);
   profiler.reset();
+}
+
+TEST(ObsAlertsDisabled, EngineRefusesToTickOrStart) {
+  static_assert(kAlertsDisabled, "kill switch must flip the constant");
+  AlertEngineOptions options;
+  AlertRule rule;
+  rule.name = "never";
+  rule.metric = "cosched_depth";
+  rule.agg = AlertAgg::Latest;
+  rule.threshold = 0.0;
+  rule.for_seconds = 0.0;
+  options.rules.rules.push_back(rule);
+  AlertEngine engine(std::move(options));
+  EXPECT_FALSE(engine.tick("cosched_depth 10\n", 0.0));
+  EXPECT_FALSE(engine.start());
+  EXPECT_FALSE(engine.running());
+  EXPECT_EQ(engine.fired_total(), 0u);
+  EXPECT_EQ(engine.tsdb().stats().scrapes, 0u);
+  EXPECT_EQ(engine.views().at(0).state, AlertState::Inactive);
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 
 #include "net/frame.hpp"
 #include "net/socket.hpp"
+#include "obs/alerts.hpp"
 #include "online/scheduler.hpp"
 #include "rpc/client.hpp"
 #include "rpc/protocol.hpp"
@@ -948,6 +949,164 @@ TEST(TimelineLoopback, OverflowAnswersTruncatedMarkerNotError) {
   for (const JournalEvent& event : reply.events)
     EXPECT_EQ(event.job_id, first_id);
   server.stop();
+}
+
+// ------------------------------------------- v8 alert fan-in wire compat
+
+TEST(AlertWire, AlertsResponseRoundTripsAndRejectsCorruption) {
+  AlertsResponse reply;
+  reply.engine_enabled = true;
+  reply.firing = 1;
+  AlertEntry fast;
+  fast.shard_id = -1;
+  fast.rule = "rpc_latency_burn_fast";
+  fast.state = 2;     // firing
+  fast.severity = 2;  // critical
+  fast.value = 9.5;
+  fast.threshold = 8.0;
+  fast.since_seconds = 12.5;
+  fast.detail = "fast=9.5 slow=8.2";
+  AlertEntry quiet;
+  quiet.shard_id = 3;
+  quiet.rule = "deep_queue";
+  quiet.state = 0;
+  quiet.severity = 1;
+  reply.alerts = {fast, quiet};
+
+  WireWriter w;
+  encode_alerts_response(w, reply);
+  WireReader r(w.bytes());
+  AlertsResponse got;
+  got.alerts.push_back({});  // decoder must reset, not append
+  ASSERT_TRUE(decode_alerts_response(r, got));
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_TRUE(got.engine_enabled);
+  EXPECT_EQ(got.firing, 1u);
+  ASSERT_EQ(got.alerts.size(), 2u);
+  EXPECT_EQ(got.alerts[0].shard_id, -1);
+  EXPECT_EQ(got.alerts[0].rule, "rpc_latency_burn_fast");
+  EXPECT_EQ(got.alerts[0].state, 2);
+  EXPECT_EQ(got.alerts[0].severity, 2);
+  EXPECT_EQ(got.alerts[0].value, 9.5);
+  EXPECT_EQ(got.alerts[0].threshold, 8.0);
+  EXPECT_EQ(got.alerts[0].since_seconds, 12.5);
+  EXPECT_EQ(got.alerts[0].detail, "fast=9.5 slow=8.2");
+  EXPECT_EQ(got.alerts[1].shard_id, 3);
+  EXPECT_EQ(got.alerts[1].rule, "deep_queue");
+
+  // A truncated body is rejected, not misread.
+  std::vector<std::uint8_t> bytes = w.bytes();
+  bytes.resize(bytes.size() - 4);
+  WireReader truncated(bytes);
+  EXPECT_FALSE(decode_alerts_response(truncated, got));
+
+  // Out-of-range state / severity bytes are corruption, not extensions.
+  AlertsResponse bad_state = reply;
+  bad_state.alerts[0].state = 9;
+  WireWriter ws;
+  encode_alerts_response(ws, bad_state);
+  WireReader rs(ws.bytes());
+  EXPECT_FALSE(decode_alerts_response(rs, got));
+
+  AlertsResponse bad_severity = reply;
+  bad_severity.alerts[1].severity = 7;
+  WireWriter wv;
+  encode_alerts_response(wv, bad_severity);
+  WireReader rv(wv.bytes());
+  EXPECT_FALSE(decode_alerts_response(rv, got));
+}
+
+// GetAlerts is v8-only: a pre-v8 peer asking for it gets a clean
+// BadRequest in its own version, not a dropped connection.
+TEST(AlertCompat, PreV8AlertRequestsGetBadRequest) {
+  CoschedServer server(loopback_options());
+  std::string error;
+  ASSERT_TRUE(server.start(error)) << error;
+
+  ResponseEnvelope response =
+      raw_exchange(server.port(), 7, MessageType::GetAlerts, 81, {});
+  EXPECT_EQ(response.version, 7);
+  EXPECT_EQ(response.status, RpcStatus::BadRequest);
+  EXPECT_NE(response.error.find("protocol v8"), std::string::npos)
+      << response.error;
+
+  // A v8 GetAlerts with a non-empty body is malformed too.
+  ResponseEnvelope trailing =
+      raw_exchange(server.port(), 8, MessageType::GetAlerts, 82, {1});
+  EXPECT_EQ(trailing.status, RpcStatus::BadRequest);
+  server.stop();
+}
+
+// A v7 peer against a v8 server keeps getting byte-identical replies: the
+// GetMetrics body still ends after its last v7 block and TraceDump decodes
+// with nothing trailing. The alert fan-in rides GetAlerts only.
+TEST(AlertCompat, V7RepliesArePinnedUnderV8Server) {
+  ServerOptions options = loopback_options();
+  options.shard_id = 4;
+  CoschedServer server(options);
+  std::string error;
+  ASSERT_TRUE(server.start(error)) << error;
+
+  ResponseEnvelope metrics_reply =
+      raw_exchange(server.port(), 7, MessageType::GetMetrics, 71, {});
+  EXPECT_EQ(metrics_reply.version, 7);
+  ASSERT_EQ(metrics_reply.status, RpcStatus::Ok) << metrics_reply.error;
+  WireReader mr(metrics_reply.body);
+  MetricsResponse metrics;
+  ASSERT_TRUE(decode_metrics_response(mr, metrics));
+  EXPECT_EQ(mr.remaining(), 0u) << "v7 GetMetrics body carries trailing bytes";
+  EXPECT_EQ(metrics.shard_id, 4);
+
+  ResponseEnvelope trace_reply =
+      raw_exchange(server.port(), 7, MessageType::TraceDump, 72, {});
+  EXPECT_EQ(trace_reply.version, 7);
+  ASSERT_EQ(trace_reply.status, RpcStatus::Ok) << trace_reply.error;
+  WireReader tr(trace_reply.body);
+  TraceDumpResponse trace;
+  ASSERT_TRUE(decode_trace_dump_response(tr, trace));
+  EXPECT_EQ(tr.remaining(), 0u) << "v7 TraceDump body carries trailing bytes";
+  server.stop();
+}
+
+// GetAlerts against a live server: the default watchdog rules answer with
+// their states (idle server: everything inactive, nothing firing), and
+// switching the engine off answers engine_enabled=false rather than an
+// error — a fleet dashboard can always ask.
+TEST(AlertLoopback, GetAlertsReportsRuleStates) {
+  CoschedServer server(loopback_options());
+  std::string error;
+  ASSERT_TRUE(server.start(error)) << error;
+  CoschedClient client(client_for(server));
+
+  AlertsResponse reply;
+  RpcError status = client.get_alerts(reply);
+  ASSERT_TRUE(status.ok()) << status.describe();
+  if (kAlertsDisabled) {
+    EXPECT_FALSE(reply.engine_enabled);
+    server.stop();
+    return;
+  }
+  EXPECT_TRUE(reply.engine_enabled);
+  EXPECT_EQ(reply.firing, 0u);
+  ASSERT_EQ(reply.alerts.size(), 2u);  // the default burn-rate pair
+  EXPECT_EQ(reply.alerts[0].rule, "rpc_latency_burn_fast");
+  EXPECT_EQ(reply.alerts[1].rule, "rpc_latency_burn_slow");
+  for (const AlertEntry& entry : reply.alerts) {
+    EXPECT_EQ(entry.shard_id, -1);  // the answering instance itself
+    EXPECT_EQ(entry.state, 0);      // inactive on an idle server
+  }
+  server.stop();
+
+  ServerOptions off = loopback_options();
+  off.enable_alerts = false;
+  CoschedServer dark(off);
+  ASSERT_TRUE(dark.start(error)) << error;
+  CoschedClient dark_client(client_for(dark));
+  AlertsResponse none;
+  ASSERT_TRUE(dark_client.get_alerts(none).ok());
+  EXPECT_FALSE(none.engine_enabled);
+  EXPECT_TRUE(none.alerts.empty());
+  dark.stop();
 }
 
 }  // namespace

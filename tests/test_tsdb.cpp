@@ -1,0 +1,258 @@
+// MetricsTsdb: the bounded in-memory store behind the alert engine.
+// Every test drives scrape_text with a synthetic clock — no sleeping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "obs/metrics_registry.hpp"
+#include "obs/tsdb.hpp"
+
+namespace cosched {
+namespace {
+
+std::string gauge_line(const std::string& name, double value) {
+  return name + " " + format_prometheus_value(value) + "\n";
+}
+
+TEST(Tsdb, CounterNameClassification) {
+  EXPECT_TRUE(tsdb_counter_name("cosched_rpc_requests_total"));
+  EXPECT_TRUE(tsdb_counter_name("cosched_rpc_request_seconds_count"));
+  EXPECT_TRUE(tsdb_counter_name("cosched_rpc_request_seconds_sum"));
+  EXPECT_TRUE(tsdb_counter_name("cosched_rpc_request_seconds_bucket"));
+  EXPECT_FALSE(tsdb_counter_name("cosched_rpc_queue_depth"));
+  EXPECT_FALSE(tsdb_counter_name("cosched_virtual_now"));
+}
+
+TEST(Tsdb, ScrapeAndLatest) {
+  MetricsTsdb tsdb;
+  ASSERT_TRUE(tsdb.scrape_text("cosched_queue_depth 3\n"
+                               "cosched_requests_total 10\n",
+                               0.0));
+  ASSERT_TRUE(tsdb.scrape_text("cosched_queue_depth 7\n"
+                               "cosched_requests_total 25\n",
+                               1.0));
+  double value = 0.0;
+  ASSERT_TRUE(tsdb.latest("cosched_queue_depth", value));
+  EXPECT_DOUBLE_EQ(value, 7.0);
+  ASSERT_TRUE(tsdb.latest("cosched_requests_total", value));
+  EXPECT_DOUBLE_EQ(value, 25.0);
+  EXPECT_FALSE(tsdb.latest("cosched_no_such_series", value));
+
+  TsdbStats stats = tsdb.stats();
+  EXPECT_EQ(stats.series, 2u);
+  EXPECT_EQ(stats.scrapes, 2u);
+  EXPECT_EQ(stats.points_ingested, 4u);
+}
+
+TEST(Tsdb, MalformedExpositionIngestsNothing) {
+  MetricsTsdb tsdb;
+  EXPECT_FALSE(tsdb.scrape_text("cosched_queue_depth not_a_number\n", 0.0));
+  EXPECT_EQ(tsdb.stats().scrapes, 0u);
+  EXPECT_EQ(tsdb.stats().points_ingested, 0u);
+}
+
+TEST(Tsdb, WindowStatAggregatesGauges) {
+  MetricsTsdb tsdb;
+  for (int t = 0; t < 5; ++t)
+    ASSERT_TRUE(tsdb.scrape_text(gauge_line("cosched_depth", 1.0 + t),
+                                 static_cast<double>(t)));
+  double value = 0.0;
+  ASSERT_TRUE(tsdb.window_stat("cosched_depth", 10.0, 4.0,
+                               MetricsTsdb::Stat::Avg, value));
+  EXPECT_DOUBLE_EQ(value, 3.0);
+  ASSERT_TRUE(tsdb.window_stat("cosched_depth", 10.0, 4.0,
+                               MetricsTsdb::Stat::Min, value));
+  EXPECT_DOUBLE_EQ(value, 1.0);
+  ASSERT_TRUE(tsdb.window_stat("cosched_depth", 10.0, 4.0,
+                               MetricsTsdb::Stat::Max, value));
+  EXPECT_DOUBLE_EQ(value, 5.0);
+  // A narrower window drops the old points.
+  ASSERT_TRUE(tsdb.window_stat("cosched_depth", 2.0, 4.0,
+                               MetricsTsdb::Stat::Min, value));
+  EXPECT_DOUBLE_EQ(value, 3.0);
+  EXPECT_FALSE(tsdb.window_stat("cosched_unknown", 10.0, 4.0,
+                                MetricsTsdb::Stat::Avg, value));
+}
+
+TEST(Tsdb, CounterDeltaAndRate) {
+  MetricsTsdb tsdb;
+  ASSERT_TRUE(tsdb.scrape_text(gauge_line("cosched_reqs_total", 0.0), 0.0));
+  ASSERT_TRUE(tsdb.scrape_text(gauge_line("cosched_reqs_total", 100.0), 10.0));
+  double delta = 0.0, span = 0.0, rate = 0.0;
+  ASSERT_TRUE(tsdb.counter_delta("cosched_reqs_total", 60.0, 10.0, delta, span));
+  EXPECT_DOUBLE_EQ(delta, 100.0);
+  EXPECT_DOUBLE_EQ(span, 10.0);
+  ASSERT_TRUE(tsdb.counter_rate("cosched_reqs_total", 60.0, 10.0, rate));
+  EXPECT_DOUBLE_EQ(rate, 10.0);
+  // A single point cannot answer a delta.
+  MetricsTsdb fresh;
+  ASSERT_TRUE(fresh.scrape_text(gauge_line("cosched_reqs_total", 5.0), 0.0));
+  EXPECT_FALSE(fresh.counter_delta("cosched_reqs_total", 60.0, 0.0, delta,
+                                   span));
+}
+
+TEST(Tsdb, CounterResetRestartsBaselineAtZero) {
+  MetricsTsdb tsdb;
+  ASSERT_TRUE(tsdb.scrape_text(gauge_line("cosched_reqs_total", 100.0), 0.0));
+  ASSERT_TRUE(tsdb.scrape_text(gauge_line("cosched_reqs_total", 20.0), 1.0));
+  double delta = 0.0, span = 0.0;
+  ASSERT_TRUE(tsdb.counter_delta("cosched_reqs_total", 60.0, 1.0, delta, span));
+  EXPECT_DOUBLE_EQ(delta, 20.0);  // restart: everything since the reset
+}
+
+TEST(Tsdb, RawEvictionIsExactlyAccounted) {
+  TsdbOptions options;
+  options.raw_capacity = 4;
+  MetricsTsdb tsdb(options);
+  for (int t = 0; t < 10; ++t)
+    ASSERT_TRUE(tsdb.scrape_text(gauge_line("cosched_depth", t),
+                                 static_cast<double>(t)));
+  TsdbStats stats = tsdb.stats();
+  EXPECT_EQ(stats.points_ingested, 10u);
+  EXPECT_EQ(stats.resident_raw, 4u);
+  EXPECT_EQ(stats.evicted_raw, 6u);
+}
+
+TEST(Tsdb, RollupsAnswerWindowsBeyondRawRetention) {
+  TsdbOptions options;
+  options.raw_capacity = 5;  // raw retains only the newest 5 seconds
+  MetricsTsdb tsdb(options);
+  // Two minutes of 1 Hz scrapes: a monotone counter and a gauge.
+  for (int t = 0; t < 120; ++t)
+    ASSERT_TRUE(tsdb.scrape_text(gauge_line("cosched_reqs_total", t) +
+                                     gauge_line("cosched_depth", t % 10),
+                                 static_cast<double>(t)));
+  // The 2-minute window outlives raw retention but the 10 s rollup ring
+  // still reaches t=0, so the counter delta spans the whole run.
+  double delta = 0.0, span = 0.0;
+  ASSERT_TRUE(
+      tsdb.counter_delta("cosched_reqs_total", 120.0, 119.0, delta, span));
+  EXPECT_DOUBLE_EQ(delta, 119.0);
+  EXPECT_GT(span, 100.0);
+  double value = 0.0;
+  ASSERT_TRUE(tsdb.window_stat("cosched_depth", 120.0, 119.0,
+                               MetricsTsdb::Stat::Max, value));
+  EXPECT_DOUBLE_EQ(value, 9.0);
+  TsdbStats stats = tsdb.stats();
+  EXPECT_GT(stats.resident_rollup_10s, 0u);
+  EXPECT_GT(stats.resident_rollup_1m, 0u);
+}
+
+TEST(Tsdb, SeriesCapRejectsAndCounts) {
+  TsdbOptions options;
+  options.max_series = 2;
+  MetricsTsdb tsdb(options);
+  ASSERT_TRUE(tsdb.scrape_text("cosched_a 1\ncosched_b 2\ncosched_c 3\n", 0.0));
+  TsdbStats stats = tsdb.stats();
+  EXPECT_EQ(stats.series, 2u);
+  EXPECT_EQ(stats.series_rejected, 1u);
+  double value = 0.0;
+  EXPECT_FALSE(tsdb.latest("cosched_c", value));
+  // The rejected series stays rejected on later scrapes too.
+  ASSERT_TRUE(tsdb.scrape_text("cosched_c 4\n", 1.0));
+  EXPECT_EQ(tsdb.stats().series_rejected, 2u);
+}
+
+std::string histogram_scrape(double le_small, double le_inf) {
+  std::string text;
+  text += "cosched_lat_seconds_bucket{le=\"0.1\"} " +
+          format_prometheus_value(le_small) + "\n";
+  text += "cosched_lat_seconds_bucket{le=\"0.5\"} " +
+          format_prometheus_value(le_inf) + "\n";
+  text += "cosched_lat_seconds_bucket{le=\"+Inf\"} " +
+          format_prometheus_value(le_inf) + "\n";
+  return text;
+}
+
+TEST(Tsdb, HistogramQuantileInterpolatesWindowedDeltas) {
+  MetricsTsdb tsdb;
+  ASSERT_TRUE(tsdb.scrape_text(histogram_scrape(0.0, 0.0), 0.0));
+  // 100 samples over the window: 50 below 0.1 s, 50 in (0.1, 0.5].
+  ASSERT_TRUE(tsdb.scrape_text(histogram_scrape(50.0, 100.0), 10.0));
+  double q = 0.0;
+  ASSERT_TRUE(tsdb.histogram_quantile("cosched_lat_seconds", 0.5, 60.0, 10.0, q));
+  EXPECT_NEAR(q, 0.1, 1e-9);
+  ASSERT_TRUE(tsdb.histogram_quantile("cosched_lat_seconds", 0.25, 60.0, 10.0, q));
+  EXPECT_NEAR(q, 0.05, 1e-9);
+  ASSERT_TRUE(tsdb.histogram_quantile("cosched_lat_seconds", 0.75, 60.0, 10.0, q));
+  EXPECT_NEAR(q, 0.3, 1e-9);
+}
+
+TEST(Tsdb, HistogramBadFractionSplitsTheStraddlingBucket) {
+  MetricsTsdb tsdb;
+  ASSERT_TRUE(tsdb.scrape_text(histogram_scrape(0.0, 0.0), 0.0));
+  ASSERT_TRUE(tsdb.scrape_text(histogram_scrape(50.0, 100.0), 10.0));
+  double bad = 0.0, total = 0.0;
+  // Exactly at the first edge: everything in the wider bucket is bad.
+  ASSERT_TRUE(tsdb.histogram_bad_fraction("cosched_lat_seconds", 0.1, 60.0,
+                                          10.0, bad, total));
+  EXPECT_NEAR(bad, 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(total, 100.0);
+  // Halfway through the (0.1, 0.5] bucket: half its mass interpolates away.
+  ASSERT_TRUE(tsdb.histogram_bad_fraction("cosched_lat_seconds", 0.3, 60.0,
+                                          10.0, bad, total));
+  EXPECT_NEAR(bad, 0.25, 1e-9);
+  // Beyond every finite edge: nothing is bad.
+  ASSERT_TRUE(tsdb.histogram_bad_fraction("cosched_lat_seconds", 0.6, 60.0,
+                                          10.0, bad, total));
+  EXPECT_NEAR(bad, 0.0, 1e-9);
+}
+
+TEST(Tsdb, HistogramOverflowCreditsWidestFiniteEdge) {
+  MetricsTsdb tsdb;
+  // All mass lands above every finite edge.
+  std::string t0 = "cosched_lat_seconds_bucket{le=\"0.1\"} 0\n"
+                   "cosched_lat_seconds_bucket{le=\"+Inf\"} 0\n";
+  std::string t1 = "cosched_lat_seconds_bucket{le=\"0.1\"} 0\n"
+                   "cosched_lat_seconds_bucket{le=\"+Inf\"} 10\n";
+  ASSERT_TRUE(tsdb.scrape_text(t0, 0.0));
+  ASSERT_TRUE(tsdb.scrape_text(t1, 1.0));
+  double q = 0.0;
+  ASSERT_TRUE(tsdb.histogram_quantile("cosched_lat_seconds", 0.99, 60.0, 1.0, q));
+  EXPECT_DOUBLE_EQ(q, 0.1);
+}
+
+TEST(Tsdb, HistogramWithNoWindowedSamplesAnswersFalse) {
+  MetricsTsdb tsdb;
+  ASSERT_TRUE(tsdb.scrape_text(histogram_scrape(50.0, 100.0), 0.0));
+  ASSERT_TRUE(tsdb.scrape_text(histogram_scrape(50.0, 100.0), 1.0));
+  double q = 0.0, bad = 0.0, total = 0.0;
+  // Counts did not move: zero windowed delta means no evidence.
+  EXPECT_FALSE(
+      tsdb.histogram_quantile("cosched_lat_seconds", 0.5, 60.0, 1.0, q));
+  EXPECT_FALSE(tsdb.histogram_bad_fraction("cosched_lat_seconds", 0.1, 60.0,
+                                           1.0, bad, total));
+  EXPECT_FALSE(tsdb.histogram_quantile("cosched_nothing", 0.5, 60.0, 1.0, q));
+}
+
+TEST(Tsdb, RenderMetricsRoundTrips) {
+  TsdbOptions options;
+  options.raw_capacity = 2;
+  MetricsTsdb tsdb(options);
+  for (int t = 0; t < 5; ++t)
+    ASSERT_TRUE(tsdb.scrape_text(gauge_line("cosched_depth", t),
+                                 static_cast<double>(t)));
+  std::string text = render_tsdb_metrics(tsdb);
+  EXPECT_NE(text.find("cosched_tsdb_series 1"), std::string::npos);
+  EXPECT_NE(text.find("cosched_tsdb_scrapes_total 5"), std::string::npos);
+  EXPECT_NE(
+      text.find("cosched_tsdb_points_evicted_total{resolution=\"raw\"} 3"),
+      std::string::npos);
+  std::vector<PrometheusSample> samples;
+  EXPECT_TRUE(parse_prometheus_text(text, samples));
+  EXPECT_FALSE(samples.empty());
+}
+
+TEST(Tsdb, ScrapeRegistryRender) {
+  MetricsRegistry registry;
+  registry.counter("cosched_test_scrape_total", "scrape test").inc(3);
+  MetricsTsdb tsdb;
+  ASSERT_TRUE(tsdb.scrape(registry, 0.0));
+  double value = 0.0;
+  ASSERT_TRUE(tsdb.latest("cosched_test_scrape_total", value));
+  EXPECT_DOUBLE_EQ(value, 3.0);
+}
+
+}  // namespace
+}  // namespace cosched
